@@ -1,0 +1,212 @@
+//! Admission control for an SFQ server.
+//!
+//! The paper's guarantees are conditional on admission: Theorems 2–5
+//! require `Σ_n r_n <= C` (or `Σ_n R_n(v) <= C` for variable rates).
+//! This module packages that check together with the per-flow delay
+//! and throughput budgets a flow is entitled to once admitted — the
+//! interface a signalling/reservation layer would call.
+
+use crate::bounds::{sfq_delay_term, sfq_throughput_floor_bits};
+use simtime::{Bytes, Ratio, Rate, SimDuration};
+
+/// A flow's reservation request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowSpec {
+    /// Reserved rate `r_f` (also the SFQ weight).
+    pub rate: Rate,
+    /// Maximum packet length `l_f^max`.
+    pub max_len: Bytes,
+}
+
+/// Why a reservation was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// Admitting the flow would make `Σ r_n` exceed the server rate.
+    CapacityExceeded {
+        /// Aggregate reserved rate including the candidate (b/s).
+        requested_bps: u64,
+        /// Server average rate (b/s).
+        capacity_bps: u64,
+    },
+    /// Zero-rate or zero-length specs are meaningless.
+    InvalidSpec,
+}
+
+/// The guarantee an admitted flow holds (Theorems 2 and 4).
+#[derive(Clone, Copy, Debug)]
+pub struct Guarantee {
+    /// Worst-case extra delay beyond a packet's expected arrival time.
+    pub delay_term: SimDuration,
+    /// Long-run throughput floor: for any backlogged interval `T`,
+    /// `W_f >= rate * T - slack_bits`.
+    pub throughput_slack_bits: u64,
+}
+
+/// Admission controller for one SFQ FC server `(C, δ)`.
+#[derive(Debug)]
+pub struct Admission {
+    capacity: Rate,
+    delta_bits: u64,
+    flows: Vec<FlowSpec>,
+}
+
+impl Admission {
+    /// Controller for an FC server with average rate `capacity` and
+    /// burstiness `delta_bits` (use 0 for a constant-rate link).
+    pub fn new(capacity: Rate, delta_bits: u64) -> Self {
+        assert!(capacity.as_bps() > 0, "server capacity must be positive");
+        Admission {
+            capacity,
+            delta_bits,
+            flows: Vec::new(),
+        }
+    }
+
+    /// Currently admitted flows.
+    pub fn flows(&self) -> &[FlowSpec] {
+        &self.flows
+    }
+
+    /// Aggregate reserved rate.
+    pub fn reserved(&self) -> Rate {
+        self.flows.iter().map(|f| f.rate).sum()
+    }
+
+    /// Try to admit `spec`. On success the flow is recorded and its
+    /// guarantee returned; on failure nothing changes.
+    pub fn admit(&mut self, spec: FlowSpec) -> Result<Guarantee, AdmissionError> {
+        if spec.rate.as_bps() == 0 || spec.max_len.as_u64() == 0 {
+            return Err(AdmissionError::InvalidSpec);
+        }
+        let requested = self.reserved().as_bps() + spec.rate.as_bps();
+        if requested > self.capacity.as_bps() {
+            return Err(AdmissionError::CapacityExceeded {
+                requested_bps: requested,
+                capacity_bps: self.capacity.as_bps(),
+            });
+        }
+        self.flows.push(spec);
+        Ok(self.guarantee_of(self.flows.len() - 1))
+    }
+
+    /// Remove a previously admitted flow (by the index order of
+    /// admission); returns it.
+    pub fn release(&mut self, index: usize) -> FlowSpec {
+        self.flows.remove(index)
+    }
+
+    /// The Theorem 2/4 guarantee currently held by flow `index`.
+    /// Admitting more flows later *weakens* earlier guarantees (their
+    /// delay term includes every peer's `l^max`), so callers re-query
+    /// after membership changes.
+    pub fn guarantee_of(&self, index: usize) -> Guarantee {
+        let spec = self.flows[index];
+        let others: Vec<Bytes> = self
+            .flows
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != index)
+            .map(|(_, f)| f.max_len)
+            .collect();
+        let delay_term = sfq_delay_term(&others, spec.max_len, self.capacity, self.delta_bits);
+        // Theorem 2 slack: r Σ l^max / C + r δ/C + l_f^max, independent
+        // of the interval length.
+        let all: Vec<Bytes> = self.flows.iter().map(|f| f.max_len).collect();
+        let zero_interval_floor = sfq_throughput_floor_bits(
+            spec.rate,
+            SimDuration::ZERO,
+            &all,
+            self.capacity,
+            self.delta_bits,
+            spec.max_len,
+        );
+        let slack = (-zero_interval_floor).max(Ratio::ZERO);
+        Guarantee {
+            delay_term,
+            throughput_slack_bits: slack.ceil().max(0) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(kbps: u64, len: u64) -> FlowSpec {
+        FlowSpec {
+            rate: Rate::kbps(kbps),
+            max_len: Bytes::new(len),
+        }
+    }
+
+    #[test]
+    fn admits_until_capacity_then_rejects() {
+        let mut ac = Admission::new(Rate::mbps(1), 0);
+        for _ in 0..10 {
+            ac.admit(spec(100, 500)).expect("fits");
+        }
+        let err = ac.admit(spec(1, 500)).unwrap_err();
+        match err {
+            AdmissionError::CapacityExceeded {
+                requested_bps,
+                capacity_bps,
+            } => {
+                assert_eq!(requested_bps, 1_001_000);
+                assert_eq!(capacity_bps, 1_000_000);
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        assert_eq!(ac.flows().len(), 10);
+    }
+
+    #[test]
+    fn release_frees_capacity() {
+        let mut ac = Admission::new(Rate::kbps(100), 0);
+        ac.admit(spec(60, 200)).expect("fits");
+        assert!(ac.admit(spec(60, 200)).is_err());
+        let freed = ac.release(0);
+        assert_eq!(freed.rate, Rate::kbps(60));
+        assert!(ac.admit(spec(60, 200)).is_ok());
+    }
+
+    #[test]
+    fn guarantee_matches_theorem4_term() {
+        let mut ac = Admission::new(Rate::mbps(10), 0);
+        let g1 = ac.admit(spec(100, 200)).expect("fits");
+        // Alone on the link: delay term = l/C = 1600/1e7 = 160 us.
+        assert_eq!(g1.delay_term, SimDuration::from_micros(160));
+        let _ = ac.admit(spec(100, 1_000)).expect("fits");
+        // With a 1000 B peer the first flow's term grows by 8000/1e7.
+        let g1b = ac.guarantee_of(0);
+        assert_eq!(
+            g1b.delay_term,
+            SimDuration::from_micros(160 + 800)
+        );
+    }
+
+    #[test]
+    fn throughput_slack_includes_delta() {
+        let mut ac = Admission::new(Rate::kbps(100), 10_000);
+        let g = ac.admit(spec(50, 250)).expect("fits");
+        // slack = r*(l_sum)/C + r*delta/C + l_max
+        //       = 50k*2000/100k + 50k*10000/100k + 2000 = 1000+5000+2000.
+        assert_eq!(g.throughput_slack_bits, 8_000);
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let mut ac = Admission::new(Rate::kbps(100), 0);
+        assert_eq!(
+            ac.admit(spec(0, 100)).unwrap_err(),
+            AdmissionError::InvalidSpec
+        );
+        assert_eq!(
+            ac.admit(FlowSpec {
+                rate: Rate::kbps(1),
+                max_len: Bytes::ZERO
+            })
+            .unwrap_err(),
+            AdmissionError::InvalidSpec
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Per-packet delay measurement and delay-guarantee checking.
+
+use servers::Departure;
+use sfq_core::FlowId;
+use simtime::{Bytes, Rate, SimDuration, SimTime};
+
+/// Queueing + transmission delay of every packet of `flow`:
+/// `departure − arrival`, in departure order.
+pub fn packet_delays(departures: &[Departure], flow: FlowId) -> Vec<SimDuration> {
+    departures
+        .iter()
+        .filter(|d| d.pkt.flow == flow)
+        .map(|d| d.departure - d.pkt.arrival)
+        .collect()
+}
+
+/// Summary statistics over a set of durations.
+#[derive(Clone, Copy, Debug, serde::Serialize)]
+pub struct DelaySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean in seconds.
+    pub mean_s: f64,
+    /// Maximum in seconds.
+    pub max_s: f64,
+    /// Minimum in seconds.
+    pub min_s: f64,
+    /// Median in seconds.
+    pub p50_s: f64,
+    /// 99th percentile in seconds.
+    pub p99_s: f64,
+}
+
+impl DelaySummary {
+    /// Summarize a sample of durations. Returns `None` if empty.
+    pub fn from_durations(samples: &[SimDuration]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut secs: Vec<f64> = samples.iter().map(|d| d.as_secs_f64()).collect();
+        secs.sort_by(|a, b| a.partial_cmp(b).expect("finite delays"));
+        let count = secs.len();
+        let mean_s = secs.iter().sum::<f64>() / count as f64;
+        let pct = |p: f64| secs[((count as f64 - 1.0) * p).round() as usize];
+        Some(DelaySummary {
+            count,
+            mean_s,
+            max_s: secs[count - 1],
+            min_s: secs[0],
+            p50_s: pct(0.5),
+            p99_s: pct(0.99),
+        })
+    }
+}
+
+/// Check the EAT-based delay guarantee (Theorems 4/5 shape): every
+/// packet of `flow` must depart by `EAT + term`. Returns the worst
+/// violation (positive seconds) or zero.
+///
+/// The EAT chain is recomputed from the flow's arrival sequence at rate
+/// `r` (Eq. 37), so this validates the *server*, not the scheduler's
+/// own bookkeeping.
+pub fn max_guarantee_violation(
+    departures: &[Departure],
+    flow: FlowId,
+    r: Rate,
+    term: SimDuration,
+) -> SimDuration {
+    let mut flow_deps: Vec<&Departure> =
+        departures.iter().filter(|d| d.pkt.flow == flow).collect();
+    // Rebuild the flow's true arrival order: by arrival time, then
+    // minting order among simultaneous arrivals (Eq. 37 is defined
+    // over the arrival sequence).
+    flow_deps.sort_by_key(|d| (d.pkt.arrival, d.pkt.seq));
+    let arrivals: Vec<(SimTime, Bytes)> =
+        flow_deps.iter().map(|d| (d.pkt.arrival, d.pkt.len)).collect();
+    let eats = crate::bounds::expected_arrival_times(&arrivals, r);
+    let mut worst = SimDuration::ZERO;
+    for (dep, eat) in flow_deps.iter().zip(eats) {
+        let bound = eat + term;
+        if dep.departure > bound {
+            worst = worst.max(dep.departure - bound);
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_core::{Packet, PacketFactory};
+
+    fn dep(pf: &mut PacketFactory, flow: u32, arrive_ms: i128, depart_ms: i128) -> Departure {
+        let pkt: Packet = pf.make(FlowId(flow), Bytes::new(125), SimTime::from_millis(arrive_ms));
+        Departure {
+            pkt,
+            service_start: SimTime::from_millis(depart_ms - 1),
+            departure: SimTime::from_millis(depart_ms),
+        }
+    }
+
+    #[test]
+    fn delays_are_departure_minus_arrival() {
+        let mut pf = PacketFactory::new();
+        let deps = vec![dep(&mut pf, 1, 0, 10), dep(&mut pf, 1, 5, 30), dep(&mut pf, 2, 0, 7)];
+        let d = packet_delays(&deps, FlowId(1));
+        assert_eq!(
+            d,
+            vec![SimDuration::from_millis(10), SimDuration::from_millis(25)]
+        );
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let samples: Vec<SimDuration> =
+            (1..=100).map(SimDuration::from_millis).collect();
+        let s = DelaySummary::from_durations(&samples).unwrap();
+        assert_eq!(s.count, 100);
+        assert!((s.mean_s - 0.0505).abs() < 1e-9);
+        assert!((s.max_s - 0.1).abs() < 1e-12);
+        assert!((s.min_s - 0.001).abs() < 1e-12);
+        assert!((s.p50_s - 0.050).abs() < 0.002);
+        assert!((s.p99_s - 0.099).abs() < 0.002);
+        assert!(DelaySummary::from_durations(&[]).is_none());
+    }
+
+    #[test]
+    fn guarantee_violation_detection() {
+        let mut pf = PacketFactory::new();
+        // 125 B at 1000 bps: EATs 0, 1000 ms. Bound term 50 ms.
+        let deps = vec![
+            dep(&mut pf, 1, 0, 40),    // ok: 40 <= 0 + 50
+            dep(&mut pf, 1, 0, 1100),  // violation: 1100 > 1000 + 50
+        ];
+        let v = max_guarantee_violation(
+            &deps,
+            FlowId(1),
+            Rate::bps(1_000),
+            SimDuration::from_millis(50),
+        );
+        assert_eq!(v, SimDuration::from_millis(50));
+        let ok = max_guarantee_violation(
+            &deps,
+            FlowId(1),
+            Rate::bps(1_000),
+            SimDuration::from_millis(100),
+        );
+        assert_eq!(ok, SimDuration::ZERO);
+    }
+}

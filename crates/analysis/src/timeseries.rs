@@ -1,0 +1,113 @@
+//! Windowed time-series over departure schedules — the raw material of
+//! the paper's figures (cumulative sequence curves, per-window
+//! throughput plots).
+
+use servers::Departure;
+use sfq_core::FlowId;
+use simtime::{SimDuration, SimTime};
+
+/// Per-window throughput of `flow` in bits/second: one sample per
+/// `window`, covering `[0, horizon)`. Windows with no completed
+/// service report 0.
+pub fn throughput_series(
+    departures: &[Departure],
+    flow: FlowId,
+    window: SimDuration,
+    horizon: SimTime,
+) -> Vec<(SimTime, f64)> {
+    assert!(window > SimDuration::ZERO, "window must be positive");
+    let w_s = window.as_secs_f64();
+    let n = (horizon.as_secs_f64() / w_s).ceil() as usize;
+    let mut bits = vec![0u64; n];
+    for d in departures {
+        if d.pkt.flow != flow || d.departure > horizon {
+            continue;
+        }
+        let idx = (d.departure.as_secs_f64() / w_s) as usize;
+        if idx < n {
+            bits[idx] += d.pkt.len.bits();
+        }
+    }
+    (0..n)
+        .map(|i| {
+            let end = SimTime::from_nanos(((i + 1) as f64 * w_s * 1e9) as i128);
+            (end, bits[i] as f64 / w_s)
+        })
+        .collect()
+}
+
+/// Cumulative packet count of `flow` at each of its departures —
+/// the Figure 1(b)-style sequence curve.
+pub fn cumulative_series(departures: &[Departure], flow: FlowId) -> Vec<(SimTime, usize)> {
+    let mut out = Vec::new();
+    let mut n = 0usize;
+    for d in departures {
+        if d.pkt.flow == flow {
+            n += 1;
+            out.push((d.departure, n));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_core::PacketFactory;
+    use simtime::Bytes;
+
+    fn dep(pf: &mut PacketFactory, flow: u32, ms: i128, len: u64) -> Departure {
+        let pkt = pf.make(FlowId(flow), Bytes::new(len), SimTime::ZERO);
+        Departure {
+            pkt,
+            service_start: SimTime::from_millis(ms - 1),
+            departure: SimTime::from_millis(ms),
+        }
+    }
+
+    #[test]
+    fn throughput_series_buckets_by_window() {
+        let mut pf = PacketFactory::new();
+        let deps = vec![
+            dep(&mut pf, 1, 100, 125), // 1000 bits in window 0
+            dep(&mut pf, 1, 600, 125), // window 1
+            dep(&mut pf, 1, 700, 125), // window 1
+            dep(&mut pf, 2, 100, 125), // other flow
+        ];
+        let s = throughput_series(
+            &deps,
+            FlowId(1),
+            SimDuration::from_millis(500),
+            SimTime::from_secs(2),
+        );
+        assert_eq!(s.len(), 4);
+        assert!((s[0].1 - 2_000.0).abs() < 1e-9);
+        assert!((s[1].1 - 4_000.0).abs() < 1e-9);
+        assert_eq!(s[2].1, 0.0);
+        assert_eq!(s[0].0, SimTime::from_millis(500));
+    }
+
+    #[test]
+    fn cumulative_series_counts_in_order() {
+        let mut pf = PacketFactory::new();
+        let deps = vec![
+            dep(&mut pf, 1, 10, 100),
+            dep(&mut pf, 2, 20, 100),
+            dep(&mut pf, 1, 30, 100),
+        ];
+        let s = cumulative_series(&deps, FlowId(1));
+        assert_eq!(
+            s,
+            vec![
+                (SimTime::from_millis(10), 1),
+                (SimTime::from_millis(30), 2)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = throughput_series(&[], FlowId(1), SimDuration::ZERO, SimTime::from_secs(1));
+    }
+}

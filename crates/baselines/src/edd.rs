@@ -1,0 +1,223 @@
+//! Delay Earliest-Due-Date (Delay EDD), as defined in Section 3 of the
+//! paper (Eq. 66) and analyzed over Fluctuation Constrained servers in
+//! Theorem 7.
+//!
+//! On arrival, packet `p_f^j` is assigned the deadline
+//! `D(p_f^j) = EAT(p_f^j, r_f) + d_f`, where `EAT` is the expected
+//! arrival time recurrence of Eq. 37 and `d_f` the flow's deadline
+//! offset; packets are served earliest-deadline-first. Delay EDD
+//! *separates* delay from throughput allocation (a flow may get a small
+//! `d_f` with a small `r_f`), which flat SFQ cannot do — the paper uses
+//! Delay EDD inside a hierarchical SFQ class to add that capability.
+//!
+//! The schedulability condition (Eq. 67) lives in the `analysis` crate.
+
+use sfq_core::{FlowId, Packet, Scheduler};
+use simtime::{Rate, SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+#[derive(Debug)]
+struct FlowState {
+    rate: Rate,
+    deadline_offset: SimDuration,
+    /// `EAT(p_f^{j-1}) + l^{j-1}/r` (Eq. 37's recurrence floor); the
+    /// paper's `EAT(p^0) = -inf` is realized by starting at zero.
+    eat_floor: SimTime,
+    backlog: usize,
+}
+
+/// The Delay EDD scheduler.
+#[derive(Debug)]
+pub struct DelayEdd {
+    flows: HashMap<FlowId, FlowState>,
+    heap: BinaryHeap<Reverse<(SimTime, u64, HeapPacket)>>,
+    deadlines: HashMap<u64, SimTime>,
+    queued: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct HeapPacket(Packet);
+
+impl PartialOrd for HeapPacket {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapPacket {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.uid.cmp(&other.0.uid)
+    }
+}
+
+impl DelayEdd {
+    /// New Delay EDD scheduler.
+    pub fn new() -> Self {
+        DelayEdd {
+            flows: HashMap::new(),
+            heap: BinaryHeap::new(),
+            deadlines: HashMap::new(),
+            queued: 0,
+        }
+    }
+
+    /// Register a flow with rate `r_f` and deadline offset `d_f`.
+    pub fn add_flow_with_deadline(&mut self, flow: FlowId, rate: Rate, d: SimDuration) {
+        assert!(rate.as_bps() > 0, "EDD: flow rate must be positive");
+        self.flows
+            .entry(flow)
+            .and_modify(|f| {
+                f.rate = rate;
+                f.deadline_offset = d;
+            })
+            .or_insert(FlowState {
+                rate,
+                deadline_offset: d,
+                eat_floor: SimTime::ZERO,
+                backlog: 0,
+            });
+    }
+
+    /// Deadline assigned to a queued packet (tests/telemetry).
+    pub fn deadline_of(&self, uid: u64) -> Option<SimTime> {
+        self.deadlines.get(&uid).copied()
+    }
+}
+
+impl Default for DelayEdd {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler for DelayEdd {
+    /// Trait-level registration uses the flow's own packet service time
+    /// at its rate as a conservative default deadline offset of zero —
+    /// prefer [`DelayEdd::add_flow_with_deadline`].
+    fn add_flow(&mut self, flow: FlowId, weight: Rate) {
+        self.add_flow_with_deadline(flow, weight, SimDuration::ZERO);
+    }
+
+    fn enqueue(&mut self, now: SimTime, pkt: Packet) {
+        let fs = self
+            .flows
+            .get_mut(&pkt.flow)
+            .unwrap_or_else(|| panic!("EDD: unregistered flow {}", pkt.flow));
+        // Eq. 37: EAT = max(A, EAT_prev + l_prev/r).
+        let eat = now.max(fs.eat_floor);
+        fs.eat_floor = eat + fs.rate.tx_time(pkt.len);
+        fs.backlog += 1;
+        let deadline = eat + fs.deadline_offset;
+        self.deadlines.insert(pkt.uid, deadline);
+        self.heap
+            .push(Reverse((deadline, pkt.uid, HeapPacket(pkt))));
+        self.queued += 1;
+    }
+
+    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+        let Reverse((_d, uid, HeapPacket(pkt))) = self.heap.pop()?;
+        self.queued -= 1;
+        self.deadlines.remove(&uid);
+        if let Some(fs) = self.flows.get_mut(&pkt.flow) {
+            fs.backlog -= 1;
+        }
+        Some(pkt)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.queued == 0
+    }
+
+    fn len(&self) -> usize {
+        self.queued
+    }
+
+    fn backlog(&self, flow: FlowId) -> usize {
+        self.flows.get(&flow).map_or(0, |f| f.backlog)
+    }
+
+    fn remove_flow(&mut self, flow: FlowId) -> bool {
+        match self.flows.get(&flow) {
+            Some(fs) if fs.backlog == 0 => {
+                self.flows.remove(&flow);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "DelayEDD"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_core::PacketFactory;
+    use simtime::Bytes;
+
+    #[test]
+    fn deadline_is_eat_plus_offset() {
+        let mut e = DelayEdd::new();
+        e.add_flow_with_deadline(FlowId(1), Rate::bps(1_000), SimDuration::from_millis(50));
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        let a = pf.make(FlowId(1), Bytes::new(125), t0); // EAT=0
+        let b = pf.make(FlowId(1), Bytes::new(125), t0); // EAT=1s
+        e.enqueue(t0, a);
+        e.enqueue(t0, b);
+        assert_eq!(e.deadline_of(a.uid), Some(SimTime::from_millis(50)));
+        assert_eq!(e.deadline_of(b.uid), Some(SimTime::from_millis(1_050)));
+    }
+
+    #[test]
+    fn small_deadline_flow_preempts_large() {
+        let mut e = DelayEdd::new();
+        e.add_flow_with_deadline(FlowId(1), Rate::bps(1_000), SimDuration::from_secs(10));
+        e.add_flow_with_deadline(FlowId(2), Rate::bps(1_000), SimDuration::from_millis(1));
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        let slow = pf.make(FlowId(1), Bytes::new(125), t0);
+        e.enqueue(t0, slow);
+        let urgent = pf.make(FlowId(2), Bytes::new(125), t0);
+        e.enqueue(t0, urgent);
+        assert_eq!(e.dequeue(t0).unwrap().uid, urgent.uid);
+    }
+
+    #[test]
+    fn eat_floor_respects_reserved_rate_not_arrival_burst() {
+        let mut e = DelayEdd::new();
+        e.add_flow_with_deadline(FlowId(1), Rate::bps(1_000), SimDuration::ZERO);
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        // Burst of 3: EATs are 0, 1, 2 s even though all arrive at 0.
+        let mut eats = Vec::new();
+        for _ in 0..3 {
+            let p = pf.make(FlowId(1), Bytes::new(125), t0);
+            e.enqueue(t0, p);
+            eats.push(e.deadline_of(p.uid).unwrap());
+        }
+        assert_eq!(
+            eats,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_secs(1),
+                SimTime::from_secs(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn counts() {
+        let mut e = DelayEdd::new();
+        e.add_flow(FlowId(1), Rate::bps(8));
+        assert!(e.dequeue(SimTime::ZERO).is_none());
+        let mut pf = PacketFactory::new();
+        e.enqueue(SimTime::ZERO, pf.make(FlowId(1), Bytes::new(1), SimTime::ZERO));
+        assert_eq!((e.len(), e.backlog(FlowId(1))), (1, 1));
+        let _ = e.dequeue(SimTime::ZERO);
+        assert!(e.is_empty());
+    }
+}

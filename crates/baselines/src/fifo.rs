@@ -1,0 +1,96 @@
+//! First-in-first-out — the null discipline, used as a sanity baseline
+//! in benches and tests.
+
+use sfq_core::{FlowId, Packet, Scheduler};
+use simtime::{Rate, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+/// Single shared FIFO queue across all flows.
+#[derive(Debug, Default)]
+pub struct Fifo {
+    queue: VecDeque<Packet>,
+    backlog: HashMap<FlowId, usize>,
+}
+
+impl Fifo {
+    /// New empty FIFO.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for Fifo {
+    fn add_flow(&mut self, flow: FlowId, _weight: Rate) {
+        self.backlog.entry(flow).or_insert(0);
+    }
+
+    fn enqueue(&mut self, _now: SimTime, pkt: Packet) {
+        *self.backlog.entry(pkt.flow).or_insert(0) += 1;
+        self.queue.push_back(pkt);
+    }
+
+    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+        let pkt = self.queue.pop_front()?;
+        *self.backlog.get_mut(&pkt.flow).expect("flow counted") -= 1;
+        Some(pkt)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn backlog(&self, flow: FlowId) -> usize {
+        self.backlog.get(&flow).copied().unwrap_or(0)
+    }
+
+    fn remove_flow(&mut self, flow: FlowId) -> bool {
+        match self.backlog.get(&flow) {
+            Some(0) => {
+                self.backlog.remove(&flow);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "FIFO"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_core::PacketFactory;
+    use simtime::Bytes;
+
+    #[test]
+    fn serves_in_arrival_order() {
+        let mut f = Fifo::new();
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        let a = pf.make(FlowId(1), Bytes::new(10), t0);
+        let b = pf.make(FlowId(2), Bytes::new(10), t0);
+        f.enqueue(t0, a);
+        f.enqueue(t0, b);
+        assert_eq!(f.dequeue(t0).unwrap().uid, a.uid);
+        assert_eq!(f.dequeue(t0).unwrap().uid, b.uid);
+        assert!(f.dequeue(t0).is_none());
+    }
+
+    #[test]
+    fn backlog_per_flow() {
+        let mut f = Fifo::new();
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        f.enqueue(t0, pf.make(FlowId(1), Bytes::new(10), t0));
+        f.enqueue(t0, pf.make(FlowId(1), Bytes::new(10), t0));
+        assert_eq!(f.backlog(FlowId(1)), 2);
+        assert_eq!(f.backlog(FlowId(9)), 0);
+        assert_eq!(f.len(), 2);
+    }
+}

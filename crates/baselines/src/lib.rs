@@ -1,0 +1,33 @@
+//! # baselines — every comparator discipline the SFQ paper discusses
+//!
+//! - [`Wfq`]: Weighted Fair Queuing / PGPS with an exact GPS fluid
+//!   simulation for `v(t)` (Eqs. 1–3),
+//! - [`Fqs`]: Fair Queuing based on Start-time (GPS tags, start-tag
+//!   order),
+//! - [`Scfq`]: Self-Clocked Fair Queuing,
+//! - [`VirtualClock`]: Zhang's Virtual Clock (unfair real-time
+//!   baseline; also the GSQ inside Fair Airport),
+//! - [`Drr`]: Deficit Round Robin,
+//! - [`DelayEdd`]: Delay Earliest-Due-Date (Eq. 66 / Theorem 7),
+//! - [`Fifo`]: the null discipline.
+//!
+//! All implement `sfq_core::Scheduler`, so the servers, network
+//! simulator, benches, and analysis treat them interchangeably with SFQ.
+
+#![warn(missing_docs)]
+
+mod drr;
+mod edd;
+mod fifo;
+mod gps;
+mod scfq;
+mod vc;
+mod wfq;
+
+pub use drr::{drr_quantum, Drr};
+pub use edd::DelayEdd;
+pub use fifo::Fifo;
+pub use gps::GpsClock;
+pub use scfq::Scfq;
+pub use vc::VirtualClock;
+pub use wfq::{Fqs, Wfq};

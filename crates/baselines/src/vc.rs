@@ -1,0 +1,208 @@
+//! Virtual Clock (Zhang '90).
+//!
+//! Each packet is stamped `VC(p_f^j) = max(A(p_f^j), VC(p_f^{j-1})) +
+//! l_f^j / r_f` — i.e. its expected departure time had the flow streamed
+//! at exactly its reserved rate — and packets are served in increasing
+//! timestamp order. Virtual Clock gives the same delay guarantee as WFQ
+//! but is *unfair*: a flow that used idle bandwidth builds up large
+//! timestamps and is punished later (the paper cites this to motivate
+//! fair schedulers for VBR video). It is also the GSQ discipline inside
+//! Fair Airport.
+
+use sfq_core::{FlowId, Packet, Scheduler};
+use simtime::{Rate, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+#[derive(Debug)]
+struct FlowState {
+    weight: Rate,
+    /// `VC(p_f^{j-1})` — the auxiliary virtual clock, in real seconds.
+    auxvc: SimTime,
+    backlog: usize,
+}
+
+/// The (work-conserving) Virtual Clock scheduler.
+#[derive(Debug)]
+pub struct VirtualClock {
+    flows: HashMap<FlowId, FlowState>,
+    heap: BinaryHeap<Reverse<(SimTime, u64, HeapPacket)>>,
+    stamps: HashMap<u64, SimTime>,
+    queued: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct HeapPacket(Packet);
+
+impl PartialOrd for HeapPacket {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapPacket {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.uid.cmp(&other.0.uid)
+    }
+}
+
+impl VirtualClock {
+    /// New Virtual Clock scheduler.
+    pub fn new() -> Self {
+        VirtualClock {
+            flows: HashMap::new(),
+            heap: BinaryHeap::new(),
+            stamps: HashMap::new(),
+            queued: 0,
+        }
+    }
+
+    /// Timestamp assigned to a queued packet (tests/telemetry).
+    pub fn stamp_of(&self, uid: u64) -> Option<SimTime> {
+        self.stamps.get(&uid).copied()
+    }
+}
+
+impl Default for VirtualClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler for VirtualClock {
+    fn add_flow(&mut self, flow: FlowId, weight: Rate) {
+        assert!(weight.as_bps() > 0, "VC: flow weight must be positive");
+        self.flows
+            .entry(flow)
+            .and_modify(|f| f.weight = weight)
+            .or_insert(FlowState {
+                weight,
+                auxvc: SimTime::ZERO,
+                backlog: 0,
+            });
+    }
+
+    fn enqueue(&mut self, now: SimTime, pkt: Packet) {
+        let fs = self
+            .flows
+            .get_mut(&pkt.flow)
+            .unwrap_or_else(|| panic!("VC: unregistered flow {}", pkt.flow));
+        let vc = now.max(fs.auxvc) + fs.weight.tx_time(pkt.len);
+        fs.auxvc = vc;
+        fs.backlog += 1;
+        self.stamps.insert(pkt.uid, vc);
+        self.heap.push(Reverse((vc, pkt.uid, HeapPacket(pkt))));
+        self.queued += 1;
+    }
+
+    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+        let Reverse((_vc, uid, HeapPacket(pkt))) = self.heap.pop()?;
+        self.queued -= 1;
+        self.stamps.remove(&uid);
+        if let Some(fs) = self.flows.get_mut(&pkt.flow) {
+            fs.backlog -= 1;
+        }
+        Some(pkt)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.queued == 0
+    }
+
+    fn len(&self) -> usize {
+        self.queued
+    }
+
+    fn backlog(&self, flow: FlowId) -> usize {
+        self.flows.get(&flow).map_or(0, |f| f.backlog)
+    }
+
+    fn remove_flow(&mut self, flow: FlowId) -> bool {
+        match self.flows.get(&flow) {
+            Some(fs) if fs.backlog == 0 => {
+                self.flows.remove(&flow);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "VirtualClock"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_core::PacketFactory;
+    use simtime::Bytes;
+
+    #[test]
+    fn stamps_follow_reserved_rate() {
+        let mut vc = VirtualClock::new();
+        vc.add_flow(FlowId(1), Rate::bps(1_000)); // 125 B -> 1 s
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        let a = pf.make(FlowId(1), Bytes::new(125), t0);
+        let b = pf.make(FlowId(1), Bytes::new(125), t0);
+        vc.enqueue(t0, a);
+        vc.enqueue(t0, b);
+        assert_eq!(vc.stamp_of(a.uid), Some(SimTime::from_secs(1)));
+        assert_eq!(vc.stamp_of(b.uid), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn idle_bandwidth_usage_is_punished() {
+        // The unfairness the paper cites: flow 1 bursts while alone,
+        // building auxVC far into the future. When flow 2 arrives, all
+        // of flow 2's packets beat flow 1's queued ones.
+        let mut vc = VirtualClock::new();
+        vc.add_flow(FlowId(1), Rate::bps(1_000));
+        vc.add_flow(FlowId(2), Rate::bps(1_000));
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        for _ in 0..10 {
+            vc.enqueue(t0, pf.make(FlowId(1), Bytes::new(125), t0));
+        }
+        // Flow 1's stamps run 1..10 s. At t=1.5 s flow 2 arrives and is
+        // stamped 2.5 s: it jumps ahead of flow 1's packets stamped 3 s
+        // and later, punishing flow 1 for its earlier burst.
+        let t = SimTime::from_millis(1500);
+        let p2 = pf.make(FlowId(2), Bytes::new(125), t);
+        vc.enqueue(t, p2);
+        assert_eq!(vc.stamp_of(p2.uid), Some(SimTime::from_millis(2500)));
+        let order: Vec<u32> =
+            std::iter::from_fn(|| vc.dequeue(t).map(|p| p.flow.0)).collect();
+        let pos2 = order.iter().position(|&f| f == 2).unwrap();
+        assert_eq!(pos2, 2, "flow 2 jumps all flow-1 packets stamped after 2.5s");
+    }
+
+    #[test]
+    fn arrival_after_idle_resets_to_real_time() {
+        let mut vc = VirtualClock::new();
+        vc.add_flow(FlowId(1), Rate::bps(1_000));
+        let mut pf = PacketFactory::new();
+        let a = pf.make(FlowId(1), Bytes::new(125), SimTime::ZERO);
+        vc.enqueue(SimTime::ZERO, a);
+        let _ = vc.dequeue(SimTime::ZERO);
+        // Long idle: next packet stamps from its arrival time.
+        let t9 = SimTime::from_secs(9);
+        let b = pf.make(FlowId(1), Bytes::new(125), t9);
+        vc.enqueue(t9, b);
+        assert_eq!(vc.stamp_of(b.uid), Some(SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn counts() {
+        let mut vc = VirtualClock::new();
+        vc.add_flow(FlowId(1), Rate::bps(8));
+        assert!(vc.dequeue(SimTime::ZERO).is_none());
+        let mut pf = PacketFactory::new();
+        vc.enqueue(SimTime::ZERO, pf.make(FlowId(1), Bytes::new(1), SimTime::ZERO));
+        assert_eq!(vc.len(), 1);
+        assert_eq!(vc.backlog(FlowId(1)), 1);
+        let _ = vc.dequeue(SimTime::ZERO);
+        assert!(vc.is_empty());
+    }
+}

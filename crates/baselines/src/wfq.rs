@@ -1,0 +1,307 @@
+//! Weighted Fair Queuing (WFQ / PGPS) and Fair Queuing based on
+//! Start-time (FQS).
+//!
+//! Both stamp packets with the GPS-derived tags of Eqs. 1–2, using the
+//! exact fluid simulation in [`crate::GpsClock`] for `v(t)` (Eq. 3).
+//! WFQ serves in increasing *finish*-tag order; FQS (Greenberg &
+//! Madras) serves in increasing *start*-tag order. Both assume a fixed
+//! server capacity `C` when computing `v(t)` — the assumption Example 2
+//! of the paper exploits to show WFQ's unfairness on variable-rate
+//! servers.
+
+use crate::gps::GpsClock;
+use sfq_core::{FlowId, Packet, Scheduler};
+use simtime::{Ratio, Rate, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Which GPS tag orders service.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Order {
+    /// Increasing finish tags: WFQ.
+    Finish,
+    /// Increasing start tags: FQS.
+    Start,
+}
+
+#[derive(Debug)]
+struct GpsScheduler {
+    gps: GpsClock,
+    order: Order,
+    name: &'static str,
+    last_finish: HashMap<FlowId, Ratio>,
+    weights: HashMap<FlowId, Rate>,
+    backlog: HashMap<FlowId, usize>,
+    heap: BinaryHeap<Reverse<(Ratio, u64, HeapPacket)>>,
+    tags: HashMap<u64, (Ratio, Ratio)>,
+    queued: usize,
+}
+
+/// Wrapper so the heap tuple is fully ordered without requiring Ord on
+/// `Packet` fields beyond the uid already present in the key.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct HeapPacket(Packet);
+
+impl PartialOrd for HeapPacket {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapPacket {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.uid.cmp(&other.0.uid)
+    }
+}
+
+impl GpsScheduler {
+    fn new(capacity: Rate, order: Order, name: &'static str) -> Self {
+        GpsScheduler {
+            gps: GpsClock::new(capacity),
+            order,
+            name,
+            last_finish: HashMap::new(),
+            weights: HashMap::new(),
+            backlog: HashMap::new(),
+            heap: BinaryHeap::new(),
+            tags: HashMap::new(),
+            queued: 0,
+        }
+    }
+
+    fn tags_of(&self, uid: u64) -> Option<(Ratio, Ratio)> {
+        self.tags.get(&uid).copied()
+    }
+}
+
+impl Scheduler for GpsScheduler {
+    fn add_flow(&mut self, flow: FlowId, weight: Rate) {
+        self.gps.add_flow(flow, weight);
+        self.weights.insert(flow, weight);
+        self.last_finish.entry(flow).or_insert(Ratio::ZERO);
+        self.backlog.entry(flow).or_insert(0);
+    }
+
+    fn enqueue(&mut self, now: SimTime, pkt: Packet) {
+        let weight = *self
+            .weights
+            .get(&pkt.flow)
+            .unwrap_or_else(|| panic!("{}: unregistered flow {}", self.name, pkt.flow));
+        let lf = self.last_finish[&pkt.flow];
+        let span = weight.tag_span(pkt.len);
+        let (start, finish) = self.gps.on_arrival(now, pkt.flow, span, lf);
+        self.last_finish.insert(pkt.flow, finish);
+        *self.backlog.get_mut(&pkt.flow).expect("registered") += 1;
+        let key = match self.order {
+            Order::Finish => finish,
+            Order::Start => start,
+        };
+        self.tags.insert(pkt.uid, (start, finish));
+        self.heap.push(Reverse((key, pkt.uid, HeapPacket(pkt))));
+        self.queued += 1;
+    }
+
+    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+        let Reverse((_key, uid, HeapPacket(pkt))) = self.heap.pop()?;
+        self.queued -= 1;
+        self.tags.remove(&uid);
+        *self.backlog.get_mut(&pkt.flow).expect("registered") -= 1;
+        Some(pkt)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.queued == 0
+    }
+
+    fn len(&self) -> usize {
+        self.queued
+    }
+
+    fn backlog(&self, flow: FlowId) -> usize {
+        self.backlog.get(&flow).copied().unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Weighted Fair Queuing (PGPS): GPS tags, served by finish tag.
+#[derive(Debug)]
+pub struct Wfq(GpsScheduler);
+
+impl Wfq {
+    /// WFQ emulating a fluid server of capacity `assumed_capacity`.
+    pub fn new(assumed_capacity: Rate) -> Self {
+        Wfq(GpsScheduler::new(assumed_capacity, Order::Finish, "WFQ"))
+    }
+
+    /// GPS start/finish tags of a queued packet (tests/telemetry).
+    pub fn tags_of(&self, uid: u64) -> Option<(Ratio, Ratio)> {
+        self.0.tags_of(uid)
+    }
+
+    /// Current GPS virtual time (advanced lazily; for tests).
+    pub fn gps_v(&self) -> Ratio {
+        self.0.gps.peek_v()
+    }
+}
+
+/// Fair Queuing based on Start-time: GPS tags, served by start tag.
+#[derive(Debug)]
+pub struct Fqs(GpsScheduler);
+
+impl Fqs {
+    /// FQS emulating a fluid server of capacity `assumed_capacity`.
+    pub fn new(assumed_capacity: Rate) -> Self {
+        Fqs(GpsScheduler::new(assumed_capacity, Order::Start, "FQS"))
+    }
+
+    /// GPS start/finish tags of a queued packet (tests/telemetry).
+    pub fn tags_of(&self, uid: u64) -> Option<(Ratio, Ratio)> {
+        self.0.tags_of(uid)
+    }
+}
+
+macro_rules! delegate_scheduler {
+    ($ty:ty) => {
+        impl Scheduler for $ty {
+            fn add_flow(&mut self, flow: FlowId, weight: Rate) {
+                self.0.add_flow(flow, weight)
+            }
+            fn enqueue(&mut self, now: SimTime, pkt: Packet) {
+                self.0.enqueue(now, pkt)
+            }
+            fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+                self.0.dequeue(now)
+            }
+            fn on_departure(&mut self, now: SimTime) {
+                self.0.on_departure(now)
+            }
+            fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+            fn len(&self) -> usize {
+                self.0.len()
+            }
+            fn backlog(&self, flow: FlowId) -> usize {
+                self.0.backlog(flow)
+            }
+            fn name(&self) -> &'static str {
+                self.0.name()
+            }
+        }
+    };
+}
+
+delegate_scheduler!(Wfq);
+delegate_scheduler!(Fqs);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_core::PacketFactory;
+    use simtime::Bytes;
+
+    /// Example 1 of the paper: flows f and m with l^max/r equal; f sends
+    /// 2 full-size packets, m sends one full-size and two half-size; a
+    /// valid WFQ order is f1, m1, m2, m3, f2.
+    #[test]
+    fn example1_wfq_order() {
+        let t0 = SimTime::ZERO;
+        // Full-size packets are 250 bytes (span 2), halves 125 (span 1).
+        let mut w = Wfq::new(Rate::bps(2_000));
+        w.add_flow(FlowId(1), Rate::bps(1_000));
+        w.add_flow(FlowId(2), Rate::bps(1_000));
+        let mut pf = PacketFactory::new();
+        let f1 = pf.make(FlowId(1), Bytes::new(250), t0);
+        let f2 = pf.make(FlowId(1), Bytes::new(250), t0);
+        let m1 = pf.make(FlowId(2), Bytes::new(250), t0);
+        let m2 = pf.make(FlowId(2), Bytes::new(125), t0);
+        let m3 = pf.make(FlowId(2), Bytes::new(125), t0);
+        for p in [f1, f2, m1, m2, m3] {
+            w.enqueue(t0, p);
+        }
+        // Finish tags: F(f1)=2, F(f2)=4, F(m1)=2, F(m2)=3, F(m3)=4.
+        assert_eq!(w.tags_of(f1.uid).unwrap().1, Ratio::from_int(2));
+        assert_eq!(w.tags_of(f2.uid).unwrap().1, Ratio::from_int(4));
+        assert_eq!(w.tags_of(m1.uid).unwrap().1, Ratio::from_int(2));
+        assert_eq!(w.tags_of(m2.uid).unwrap().1, Ratio::from_int(3));
+        assert_eq!(w.tags_of(m3.uid).unwrap().1, Ratio::from_int(4));
+        let order: Vec<u64> = std::iter::from_fn(|| w.dequeue(t0).map(|p| p.uid)).collect();
+        // Ties broken by uid: f1 before m1 (uid), f2 before m3? f2.uid=1 <
+        // m3.uid=4, so order is f1, m1, m2, f2, m3 — uid tie-break picks
+        // f2 at tag 4. Example 1 allows any tie-break; the unfairness
+        // interval [start(m1), finish(m3)] still contains no f service
+        // in the paper's chosen order. Here we just verify tag ordering.
+        assert_eq!(order[0], f1.uid);
+        assert_eq!(order[1], m1.uid);
+        assert_eq!(order[2], m2.uid);
+        assert!(order[3] == f2.uid || order[3] == m3.uid);
+    }
+
+    #[test]
+    fn fqs_serves_by_start_tag() {
+        let mut q = Fqs::new(Rate::bps(2_000));
+        q.add_flow(FlowId(1), Rate::bps(1_000));
+        q.add_flow(FlowId(2), Rate::bps(1_000));
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        let a = pf.make(FlowId(1), Bytes::new(125), t0); // S=0,F=1
+        let b = pf.make(FlowId(1), Bytes::new(125), t0); // S=1,F=2
+        let c = pf.make(FlowId(2), Bytes::new(125), t0); // S=0,F=1
+        q.enqueue(t0, a);
+        q.enqueue(t0, b);
+        q.enqueue(t0, c);
+        let order: Vec<u64> = std::iter::from_fn(|| q.dequeue(t0).map(|p| p.uid)).collect();
+        assert_eq!(order, vec![a.uid, c.uid, b.uid]);
+    }
+
+    #[test]
+    fn wfq_backlog_and_len() {
+        let mut w = Wfq::new(Rate::mbps(1));
+        w.add_flow(FlowId(1), Rate::kbps(500));
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        w.enqueue(t0, pf.make(FlowId(1), Bytes::new(100), t0));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.backlog(FlowId(1)), 1);
+        assert!(!w.is_empty());
+        let _ = w.dequeue(t0);
+        assert!(w.is_empty());
+        assert!(w.dequeue(t0).is_none());
+    }
+
+    /// Example 2: WFQ computes v(t) against its assumed capacity, so a
+    /// flow arriving after a slow real-server interval gets a huge
+    /// finish tag and is starved — the schedule itself shows the bias.
+    #[test]
+    fn example2_late_flow_gets_large_tags() {
+        // Assumed capacity C = 10 unit packets/s (packets of 125 bytes
+        // at 10_000 bps); weights 1 pkt/s = 1_000 bps.
+        let c = 10i128;
+        let mut w = Wfq::new(Rate::bps(10_000));
+        w.add_flow(FlowId(1), Rate::bps(1_000));
+        w.add_flow(FlowId(2), Rate::bps(1_000));
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        // Flow 1 sends C+1 packets at t=0: F(p^j) = j.
+        let mut pkts = Vec::new();
+        for _ in 0..=c {
+            let p = pf.make(FlowId(1), Bytes::new(125), t0);
+            w.enqueue(t0, p);
+            pkts.push(p);
+        }
+        assert_eq!(w.tags_of(pkts[0].uid).unwrap().1, Ratio::ONE);
+        // Real server was slow: only 1 packet served in [0,1). At t=1 the
+        // GPS clock nevertheless advanced at slope C/1 = 10: v(1) = C.
+        let t1 = SimTime::from_secs(1);
+        let m1 = pf.make(FlowId(2), Bytes::new(125), t1);
+        w.enqueue(t1, m1);
+        // F(m1) = v(1) + 1 = C + 1, behind all of flow 1's backlog.
+        assert_eq!(
+            w.tags_of(m1.uid).unwrap().1,
+            Ratio::from_int(c + 1)
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Per-packet scheduling cost across disciplines and flow counts —
+//! the implementation-complexity dimension of Table 1.
+//!
+//! Measures one enqueue + one dequeue per iteration on a server with
+//! `Q` backlogged flows. Expected shape: FIFO and DRR are O(1); SFQ,
+//! SCFQ, and Virtual Clock are O(log Q) with small constants; WFQ and
+//! FQS pay the extra GPS fluid-simulation cost.
+
+use baselines::{Drr, Fifo, Fqs, Scfq, VirtualClock, Wfq};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfq_core::{FairAirport, FlowId, HierSfq, PacketFactory, Scheduler, Sfq};
+use simtime::{Bytes, Rate, SimTime};
+use std::hint::black_box;
+
+const PKT: u64 = 200;
+
+/// Pre-fill `sched` with a backlog on every flow, then measure
+/// steady-state enqueue+dequeue pairs.
+fn bench_discipline<S: Scheduler>(
+    c: &mut Criterion,
+    group: &str,
+    make: impl Fn(usize) -> S,
+    flows: &[usize],
+) {
+    let mut g = c.benchmark_group(group);
+    for &q in flows {
+        g.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+            let mut sched = make(q);
+            let mut pf = PacketFactory::new();
+            let t0 = SimTime::ZERO;
+            for f in 0..q as u32 {
+                for _ in 0..4 {
+                    sched.enqueue(t0, pf.make(FlowId(f), Bytes::new(PKT), t0));
+                }
+            }
+            let mut i = 0u32;
+            b.iter(|| {
+                let f = FlowId(i % q as u32);
+                i = i.wrapping_add(1);
+                sched.enqueue(t0, pf.make(f, Bytes::new(PKT), t0));
+                let p = sched.dequeue(t0).expect("backlogged");
+                sched.on_departure(t0);
+                black_box(p.uid)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn flows_of<S: Scheduler>(mut s: S, q: usize) -> S {
+    for f in 0..q as u32 {
+        s.add_flow(FlowId(f), Rate::kbps(64 + f as u64));
+    }
+    s
+}
+
+fn benches(c: &mut Criterion) {
+    let flows = [8usize, 64, 512];
+    bench_discipline(c, "sfq", |q| flows_of(Sfq::new(), q), &flows);
+    bench_discipline(c, "scfq", |q| flows_of(Scfq::new(), q), &flows);
+    bench_discipline(c, "wfq", |q| flows_of(Wfq::new(Rate::mbps(100)), q), &flows);
+    bench_discipline(c, "fqs", |q| flows_of(Fqs::new(Rate::mbps(100)), q), &flows);
+    bench_discipline(
+        c,
+        "virtual_clock",
+        |q| flows_of(VirtualClock::new(), q),
+        &flows,
+    );
+    bench_discipline(c, "drr", |q| flows_of(Drr::new(), q), &flows);
+    bench_discipline(c, "fifo", |q| flows_of(Fifo::new(), q), &flows);
+    bench_discipline(
+        c,
+        "fair_airport",
+        |q| flows_of(FairAirport::new(), q),
+        &flows,
+    );
+    bench_discipline(c, "hier_sfq_flat", |q| flows_of(HierSfq::new(), q), &flows);
+    // A two-level hierarchy: ~sqrt(Q) classes of ~sqrt(Q) flows.
+    bench_discipline(
+        c,
+        "hier_sfq_two_level",
+        |q| {
+            let mut h = HierSfq::new();
+            let classes = (q as f64).sqrt().ceil() as usize;
+            let mut class_ids = Vec::new();
+            for _ in 0..classes {
+                class_ids.push(h.add_class(h.root(), Rate::mbps(1)));
+            }
+            for f in 0..q as u32 {
+                h.add_flow_to(
+                    class_ids[f as usize % classes],
+                    FlowId(f),
+                    Rate::kbps(64 + f as u64),
+                );
+            }
+            h
+        },
+        &flows,
+    );
+}
+
+/// Ablation: per-packet cost versus hierarchy depth (DESIGN.md calls
+/// out the recursive dequeue as the price of link sharing). A chain of
+/// `depth` interior classes ends in 8 flows.
+fn hierarchy_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hier_depth");
+    for depth in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            let mut h = HierSfq::new();
+            let mut parent = h.root();
+            for _ in 0..depth {
+                parent = h.add_class(parent, Rate::mbps(1));
+            }
+            for f in 0..8u32 {
+                h.add_flow_to(parent, FlowId(f), Rate::kbps(64));
+            }
+            let mut pf = PacketFactory::new();
+            let t0 = SimTime::ZERO;
+            for f in 0..8u32 {
+                for _ in 0..4 {
+                    h.enqueue(t0, pf.make(FlowId(f), Bytes::new(PKT), t0));
+                }
+            }
+            let mut i = 0u32;
+            b.iter(|| {
+                let f = FlowId(i % 8);
+                i = i.wrapping_add(1);
+                h.enqueue(t0, pf.make(f, Bytes::new(PKT), t0));
+                let p = h.dequeue(t0).expect("backlogged");
+                h.on_departure(t0);
+                black_box(p.uid)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = scheduler_cost;
+    config = Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = benches, hierarchy_depth
+}
+criterion_main!(scheduler_cost);

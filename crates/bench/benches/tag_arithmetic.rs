@@ -1,0 +1,84 @@
+//! Cost of the exact-rational tag arithmetic (DESIGN.md's central
+//! implementation choice) versus plain f64 — quantifies what the
+//! reproduction pays for bit-exact theorem checking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simtime::{Bytes, Rate, Ratio};
+use std::hint::black_box;
+
+fn ratio_ops(c: &mut Criterion) {
+    let spans: Vec<Ratio> = (1..64u64)
+        .map(|k| Rate::bps(64_000 + 997 * k).tag_span(Bytes::new(200 + k)))
+        .collect();
+    let floats: Vec<f64> = spans.iter().map(|r| r.to_f64()).collect();
+
+    // A flow's tag chain adds the SAME span repeatedly (Eq. 5), so the
+    // denominator stays fixed — the realistic hot path.
+    let chain_span = spans[7];
+    c.bench_function("ratio_tag_chain_add", |b| {
+        b.iter(|| {
+            let mut acc = Ratio::ZERO;
+            for _ in 0..spans.len() {
+                acc = acc + chain_span;
+            }
+            black_box(acc)
+        })
+    });
+    // Summing DISTINCT coprime spans exactly would grow denominators
+    // like their lcm (that is the denominator_stress hazard); the
+    // snapped accumulation is what v-derived paths actually do.
+    c.bench_function("ratio_cross_weight_sum_snapped", |b| {
+        b.iter(|| {
+            let mut acc = Ratio::ZERO;
+            for s in &spans {
+                acc = (acc + *s).snap_pico();
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("f64_tag_chain_add", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for s in &floats {
+                acc += *s;
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("ratio_cmp_heap_key", |b| {
+        b.iter(|| {
+            let mut max = spans[0];
+            for s in &spans {
+                if *s > max {
+                    max = *s;
+                }
+            }
+            black_box(max)
+        })
+    });
+    c.bench_function("ratio_cmp_large_denominators", |b| {
+        // Force the continued-fraction slow path.
+        let x = Ratio::new(10i128.pow(30) + 7, 10i128.pow(30));
+        let y = Ratio::new(10i128.pow(29) + 3, 10i128.pow(29));
+        b.iter(|| black_box(x.cmp(&y)))
+    });
+    c.bench_function("ratio_tx_time", |b| {
+        b.iter(|| {
+            let mut acc = Ratio::ZERO;
+            for k in 1..64u64 {
+                acc = (acc + Rate::bps(64_000 + k).tag_span(Bytes::new(200))).snap_pico();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group! {
+    name = tag_arithmetic;
+    config = Criterion::default()
+        .sample_size(40)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = ratio_ops
+}
+criterion_main!(tag_arithmetic);

@@ -1,0 +1,41 @@
+//! Regenerates the Theorem 3/5 EBF-server experiment: empirical
+//! violation tails of the probabilistic throughput and delay
+//! guarantees versus the excess γ.
+//!
+//! Usage: `cargo run --release -p bench --bin ebf [seed] [horizon_s]`
+
+use bench::exp_ebf::ebf_tails;
+use bench::report::{emit_json, print_table};
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(21);
+    let horizon: i128 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(120);
+    println!(
+        "SFQ over an EBF server (random slot gaps + catch-up, C = 100 Kb/s):\n\
+         Theorem 5 lateness tail and Theorem 3 throughput-deficit tail vs γ.\n\
+         seed {seed}, horizon {horizon} s"
+    );
+    let r = ebf_tails(seed, horizon);
+    let rows: Vec<Vec<String>> = r
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.gamma_bits.to_string(),
+                format!("{:.5}", p.delay_tail),
+                format!("{:.5}", p.throughput_tail),
+            ]
+        })
+        .collect();
+    print_table(
+        "Violation tails (fractions)",
+        &["gamma (bits)", "P(late > gamma/C)", "P(deficit > r*gamma/C)"],
+        &rows,
+    );
+    println!(
+        "\nExpected: both tails decay at least exponentially and hit zero by the\n\
+         construction's hard deficit ceiling (~2 slots of work); {} packets observed.",
+        r.packets
+    );
+    emit_json("ebf_tails", &r);
+}

@@ -1,0 +1,60 @@
+//! Regenerates Figure 2(a): analytic reduction in maximum delay
+//! (WFQ − SFQ, Eq. 58) versus number of flows, per flow rate; plus the
+//! Section 2.3 numeric examples.
+//!
+//! Usage: `cargo run --release -p bench --bin fig2a`
+
+use analysis::{delta_wfq_minus_sfq, scfq_sfq_delay_gap};
+use bench::exp_fig2::fig2a;
+use bench::report::{emit_json, ms, print_table};
+use simtime::{Bytes, Rate};
+
+fn main() {
+    let pts = fig2a();
+    println!("Figure 2(a) — Δ max delay (WFQ − SFQ), 200 B packets, C = 100 Mb/s");
+    let mut rates: Vec<u64> = pts.iter().map(|p| p.rate_bps).collect();
+    rates.sort();
+    rates.dedup();
+    let mut ns: Vec<usize> = pts.iter().map(|p| p.n_flows).collect();
+    ns.sort();
+    ns.dedup();
+    let header: Vec<String> = std::iter::once("|Q| \\ rate".to_string())
+        .chain(rates.iter().map(|r| format!("{} Kb/s", r / 1000)))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let rows: Vec<Vec<String>> = ns
+        .iter()
+        .map(|&n| {
+            std::iter::once(n.to_string())
+                .chain(rates.iter().map(|&r| {
+                    let p = pts
+                        .iter()
+                        .find(|p| p.n_flows == n && p.rate_bps == r)
+                        .expect("point");
+                    format!("{} ms", ms(p.delta_s))
+                }))
+                .collect()
+        })
+        .collect();
+    print_table("Δ(p) by flow count and rate", &header_refs, &rows);
+    println!("Paper shape: reduction grows as the flow's rate share shrinks (Eq. 60).");
+    emit_json("fig2a", &pts);
+
+    // Section 2.3 numeric examples.
+    let gap1 = scfq_sfq_delay_gap(Bytes::new(200), Rate::kbps(64), Rate::mbps(100));
+    println!(
+        "\nSCFQ − SFQ delay gap (Eq. 57), 64 Kb/s / 200 B / 100 Mb/s: {} ms (paper: 24.4 ms); x5 hops: {} ms (paper: 122 ms)",
+        ms(gap1.as_secs_f64()),
+        ms(5.0 * gap1.as_secs_f64()),
+    );
+    let l = Bytes::new(200);
+    let c = Rate::mbps(100);
+    let others = vec![l; 269]; // 70 + 200 flows -> 269 others
+    let low = delta_wfq_minus_sfq(l, Rate::kbps(64), l, &others, c);
+    let high = delta_wfq_minus_sfq(l, Rate::mbps(1), l, &others, c);
+    println!(
+        "Mix of 70 x 1 Mb/s + 200 x 64 Kb/s flows: 64 Kb/s flows gain {} ms (paper: 20.39 ms), 1 Mb/s flows lose {} ms (paper: 2.48 ms)",
+        ms(low.to_f64()),
+        ms(-high.to_f64()),
+    );
+}

@@ -1,0 +1,57 @@
+//! Regenerates Figure 3(b): three connections with weights 1:2:3 on a
+//! fluctuating-capacity interface; throughput over time and ratios
+//! across terminations.
+//!
+//! Usage: `cargo run --release -p bench --bin fig3b [packets_per_conn]`
+//! (paper: 500,000 x 4 KB; default here 5,000 — ratios are scale-free).
+
+use bench::exp_fig3b::fig3b;
+use bench::report::{emit_json, print_table};
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5_000);
+    println!(
+        "Figure 3(b) — SFQ over a fluctuating ~48 Mb/s interface; weights 1:2:3;\n\
+         each connection sends {n} x 4 KiB packets then terminates."
+    );
+    let r = fig3b(n, true);
+    print_table(
+        "Milestones",
+        &["metric", "value", "paper expectation"],
+        &[
+            vec![
+                "throughput ratio while all active".into(),
+                format!(
+                    "1 : {:.2} : {:.2}",
+                    r.ratio_all_active[1], r.ratio_all_active[2]
+                ),
+                "1 : 2 : 3".into(),
+            ],
+            vec![
+                "ratio flow2:flow1 after flow3 ends".into(),
+                format!("{:.2} : 1", r.ratio_after_f3),
+                "2 : 1".into(),
+            ],
+            vec![
+                "completion order".into(),
+                format!(
+                    "f3 {:.2}s < f2 {:.2}s < f1 {:.2}s",
+                    r.completion_s[2], r.completion_s[1], r.completion_s[0]
+                ),
+                "highest weight first".into(),
+            ],
+        ],
+    );
+    println!("\nPer-window throughput (Mb/s):");
+    println!("{:>8}  {:>8} {:>8} {:>8}", "t (s)", "conn1", "conn2", "conn3");
+    for (t, tp) in r.series.iter().step_by(3) {
+        println!(
+            "{:>8.2}  {:>8.2} {:>8.2} {:>8.2}",
+            t, tp[0], tp[1], tp[2]
+        );
+    }
+    emit_json("fig3b", &r);
+}

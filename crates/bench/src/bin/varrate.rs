@@ -1,0 +1,33 @@
+//! Regenerates the Eq. 36 variable-rate SFQ experiment: per-scene rate
+//! renegotiation for VBR video vs fixed mean-rate charging.
+//!
+//! Usage: `cargo run --release -p bench --bin varrate`
+
+use bench::exp_varrate::var_rate;
+use bench::report::{emit_json, ms, print_table};
+
+fn main() {
+    println!(
+        "Generalized SFQ (per-packet rates, Eq. 36): VBR video alternating\n\
+         600/200 Kb/s scenes on a 1 Mb/s link with a mirrored data flow."
+    );
+    let r = var_rate();
+    print_table(
+        "Video worst-case packet delay",
+        &[
+            "charging",
+            "max delay (ms)",
+            "generalized Thm 4 violation (ms)",
+        ],
+        &[
+            vec!["fixed mean rate".into(), ms(r.fixed_max_delay_s), "-".into()],
+            vec![
+                "per-scene rates".into(),
+                ms(r.var_max_delay_s),
+                ms(r.bound_violation_s),
+            ],
+        ],
+    );
+    println!("\nExpected: renegotiated rates cut the action-scene delay; zero violations.");
+    emit_json("var_rate", &r);
+}

@@ -1,0 +1,212 @@
+//! Section 2.4 / Corollary 1: end-to-end delay over a tandem of K SFQ
+//! servers, measured against the deterministic bound for a leaky-
+//! bucket-conforming flow (Appendix A.5).
+
+use analysis::{e2e_delay_bound, scfq_delay_term, sfq_delay_term, wfq_delay_term};
+use baselines::{Scfq, VirtualClock};
+use netsim::{SwitchCore, Tandem};
+use serde::Serialize;
+use servers::RateProfile;
+use sfq_core::{FlowId, Scheduler, Sfq};
+use simtime::{Bytes, Rate, SimDuration, SimTime};
+use traffic::{arrivals_until, CbrSource, LeakyBucket, PoissonSource};
+
+/// Result for one tandem length K.
+#[derive(Debug, Clone, Serialize)]
+pub struct TandemResult {
+    /// Number of servers K.
+    pub k: usize,
+    /// Measured max end-to-end delay of the observed flow (s).
+    pub measured_max_s: f64,
+    /// Corollary 1 + A.5 deterministic bound (s).
+    pub bound_s: f64,
+}
+
+/// Run the tandem experiment for each K in `ks`.
+///
+/// The observed flow is `(σ, ρ)`-leaky-bucket-shaped Poisson traffic
+/// (64 Kb/s, 200-byte packets, σ = 3 packets); each hop also carries
+/// nine 100 Kb/s CBR cross-traffic flows on a 1 Mb/s link.
+pub fn tandem(ks: &[usize], horizon: SimTime, seed: u64) -> Vec<TandemResult> {
+    let link = Rate::mbps(1);
+    let len = Bytes::new(200);
+    let rho = Rate::kbps(64);
+    let sigma_bits = 3 * len.bits();
+    let prop = SimDuration::from_millis(1);
+    let n_cross = 9u32;
+    let cross_rate = Rate::kbps(100);
+
+    // Shaped source: Poisson at ρ through a (σ, ρ) bucket.
+    let raw = arrivals_until(
+        PoissonSource::with_rate(SimTime::ZERO, rho, len, des::SimRng::new(seed)),
+        horizon,
+    );
+    let shaped = LeakyBucket::new(sigma_bits, rho).shape(&raw);
+
+    let mut out = Vec::new();
+    for &k in ks {
+        let mut hops = Vec::new();
+        for h in 0..k {
+            let mut s = Sfq::new();
+            s.add_flow(FlowId(1), rho);
+            for cfid in 0..n_cross {
+                s.add_flow(FlowId(100 * (h as u32 + 1) + cfid), cross_rate);
+            }
+            hops.push(SwitchCore::new(
+                Box::new(s),
+                RateProfile::constant(link),
+                None,
+            ));
+        }
+        let mut t = Tandem::new(hops, prop);
+        t.add_source(FlowId(1), &shaped);
+        // Fresh cross traffic at every hop: each hop h carries its own
+        // set of local CBR flows that enter and exit there, so the
+        // observed flow meets independent contention at each server —
+        // the setting Corollary 1 is really about.
+        for h in 0..k {
+            for cfid in 0..n_cross {
+                // Stagger CBR starts to avoid full synchronization.
+                let start = SimTime::from_millis((h as i128) * 3 + cfid as i128);
+                let src = CbrSource::with_rate(start, cross_rate, len);
+                let arr = arrivals_until(src, horizon);
+                t.add_path_source(FlowId(100 * (h as u32 + 1) + cfid), &arr, h, h);
+            }
+        }
+        let transits = t.run(horizon + SimDuration::from_secs(5));
+
+        let mut measured = 0.0f64;
+        for tr in transits.iter().filter(|t| t.pkt.flow == FlowId(1)) {
+            let done = *tr.hop_departures.last().expect("cleared all hops");
+            measured = measured.max((done - tr.pkt.arrival).as_secs_f64());
+        }
+        // Per-hop β: Theorem 4 term with δ = 0 and 9 cross flows.
+        let beta = sfq_delay_term(&vec![len; n_cross as usize], len, link, 0);
+        let bound = e2e_delay_bound(
+            sigma_bits,
+            rho,
+            len,
+            &vec![beta; k],
+            &vec![prop; k.saturating_sub(1)],
+        );
+        out.push(TandemResult {
+            k,
+            measured_max_s: measured,
+            bound_s: bound.as_secs_f64(),
+        });
+    }
+    out
+}
+
+/// Result of the mixed-discipline tandem (Section 2.4's
+/// interoperability claim: any scheduler satisfying Eq. 62 composes
+/// under Corollary 1).
+#[derive(Debug, Clone, Serialize)]
+pub struct MixedTandemResult {
+    /// Disciplines, hop by hop.
+    pub disciplines: Vec<String>,
+    /// Measured max end-to-end delay (s).
+    pub measured_max_s: f64,
+    /// Corollary 1 bound composed from each discipline's own β (s).
+    pub bound_s: f64,
+}
+
+/// A 3-hop tandem running SFQ, SCFQ, and Virtual Clock in sequence.
+/// Each discipline contributes its own per-hop delay term β to the
+/// Corollary 1 composition:
+/// SFQ: `Σ_{n≠f} l_n^max/C + l/C`; SCFQ: `Σ_{n≠f} l_n^max/C + l/r`;
+/// VC (and WFQ): `l/r + l_max/C`.
+pub fn tandem_mixed(horizon: SimTime, seed: u64) -> MixedTandemResult {
+    let link = Rate::mbps(1);
+    let len = Bytes::new(200);
+    let rho = Rate::kbps(64);
+    let sigma_bits = 3 * len.bits();
+    let prop = SimDuration::from_millis(1);
+    let n_cross = 9u32;
+    let cross_rate = Rate::kbps(100);
+
+    let raw = arrivals_until(
+        PoissonSource::with_rate(SimTime::ZERO, rho, len, des::SimRng::new(seed)),
+        horizon,
+    );
+    let shaped = LeakyBucket::new(sigma_bits, rho).shape(&raw);
+
+    let mut hops: Vec<SwitchCore> = Vec::new();
+    let mut names = Vec::new();
+    for h in 0..3usize {
+        let mut sched: Box<dyn Scheduler> = match h {
+            0 => Box::new(Sfq::new()),
+            1 => Box::new(Scfq::new()),
+            _ => Box::new(VirtualClock::new()),
+        };
+        names.push(sched.name().to_string());
+        sched.add_flow(FlowId(1), rho);
+        for cfid in 0..n_cross {
+            sched.add_flow(FlowId(100 * (h as u32 + 1) + cfid), cross_rate);
+        }
+        hops.push(SwitchCore::new(
+            sched,
+            RateProfile::constant(link),
+            None,
+        ));
+    }
+    let mut t = Tandem::new(hops, prop);
+    t.add_source(FlowId(1), &shaped);
+    for h in 0..3usize {
+        for cfid in 0..n_cross {
+            let start = SimTime::from_millis((h as i128) * 3 + cfid as i128);
+            let src = CbrSource::with_rate(start, cross_rate, len);
+            let arr = arrivals_until(src, horizon);
+            t.add_path_source(FlowId(100 * (h as u32 + 1) + cfid), &arr, h, h);
+        }
+    }
+    let transits = t.run(horizon + SimDuration::from_secs(5));
+    let mut measured = 0.0f64;
+    for tr in transits.iter().filter(|t| t.pkt.flow == FlowId(1)) {
+        let done = *tr.hop_departures.last().expect("cleared all hops");
+        measured = measured.max((done - tr.pkt.arrival).as_secs_f64());
+    }
+    let others = vec![len; n_cross as usize];
+    let betas = vec![
+        sfq_delay_term(&others, len, link, 0),
+        scfq_delay_term(&others, len, rho, link),
+        wfq_delay_term(len, rho, len, link),
+    ];
+    let bound = e2e_delay_bound(sigma_bits, rho, len, &betas, &[prop, prop]);
+    MixedTandemResult {
+        disciplines: names,
+        measured_max_s: measured,
+        bound_s: bound.as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_disciplines_compose_under_corollary1() {
+        let r = tandem_mixed(SimTime::from_secs(30), 5);
+        assert_eq!(r.disciplines, vec!["SFQ", "SCFQ", "VirtualClock"]);
+        assert!(
+            r.measured_max_s <= r.bound_s,
+            "interoperability bound violated: {r:?}"
+        );
+        assert!(r.measured_max_s > 0.0);
+    }
+
+    #[test]
+    fn bound_holds_and_grows_with_k() {
+        let res = tandem(&[1, 3, 5], SimTime::from_secs(30), 11);
+        for r in &res {
+            assert!(
+                r.measured_max_s <= r.bound_s,
+                "Corollary 1 violated at K={}: {r:?}",
+                r.k
+            );
+            assert!(r.measured_max_s > 0.0);
+        }
+        assert!(res[2].bound_s > res[0].bound_s);
+        assert!(res[2].measured_max_s >= res[0].measured_max_s);
+    }
+}

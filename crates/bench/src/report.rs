@@ -1,0 +1,50 @@
+//! Tiny report helpers: aligned console tables plus machine-readable
+//! JSON lines, so EXPERIMENTS.md can be regenerated from runs.
+
+use serde::Serialize;
+
+/// Print a titled, aligned table: `rows` of equal-length string cells.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if cell.len() > widths[i] {
+                widths[i] = cell.len();
+            }
+        }
+    }
+    let fmt_row = |cells: Vec<String>| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(header.iter().map(|s| s.to_string()).collect()));
+    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        println!("{}", fmt_row(row.clone()));
+    }
+}
+
+/// Emit one JSON line tagged with the experiment id (for scripts that
+/// collect results into EXPERIMENTS.md).
+pub fn emit_json<T: Serialize>(experiment: &str, value: &T) {
+    let line = serde_json::json!({ "experiment": experiment, "result": value });
+    println!("JSON {line}");
+}
+
+/// Format seconds as milliseconds with 3 decimals.
+pub fn ms(seconds: f64) -> String {
+    format!("{:.3}", seconds * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ms_formats() {
+        assert_eq!(super::ms(0.0244), "24.400");
+    }
+}

@@ -1,0 +1,30 @@
+//! # netsim — discrete-event network simulator substrate
+//!
+//! The reproduction's replacement for the REAL simulator used in the
+//! paper's Figure 1 experiment:
+//!
+//! - [`SwitchCore`]: an output-queued switch port with a strict-
+//!   priority class and a pluggable [`sfq_core::Scheduler`],
+//! - [`TcpSender`] / [`TcpReceiver`]: a compact TCP Reno model (slow
+//!   start, congestion avoidance, fast retransmit/recovery, adaptive
+//!   RTO),
+//! - [`Net`]: the Figure 1(a) single-bottleneck topology with an ACK
+//!   return path,
+//! - [`Tandem`]: a K-server chain for the end-to-end delay experiments
+//!   of Section 2.4,
+//! - [`Mesh`]: arbitrary routed topologies (e.g. the parking-lot
+//!   end-to-end fairness scenario).
+
+#![warn(missing_docs)]
+
+mod mesh;
+mod net;
+mod switch;
+mod tandem;
+mod tcp;
+
+pub use mesh::{LinkId, Mesh, MeshDelivery};
+pub use net::{Delivery, Net};
+pub use switch::SwitchCore;
+pub use tandem::{Tandem, Transit};
+pub use tcp::{TcpConfig, TcpReceiver, TcpSender};

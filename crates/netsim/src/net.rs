@@ -1,0 +1,308 @@
+//! Single-bottleneck network simulation: scripted + TCP sources, one
+//! scheduled switch port, a sink, and an ACK return path.
+//!
+//! This is the topology of Figure 1(a): sources feed one switch whose
+//! output link runs the discipline under test; the destination returns
+//! TCP ACKs after a propagation delay.
+
+use crate::switch::SwitchCore;
+use crate::tcp::{TcpConfig, TcpReceiver, TcpSender};
+use des::EventQueue;
+use sfq_core::{FlowId, Packet, PacketFactory};
+use simtime::{Bytes, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// A packet delivered to the destination.
+#[derive(Clone, Copy, Debug)]
+pub struct Delivery {
+    /// The packet.
+    pub pkt: Packet,
+    /// Arrival time at the destination.
+    pub at: SimTime,
+}
+
+enum Ev {
+    /// Scripted packet (index into the script) arrives at the switch.
+    Script(usize),
+    /// The switch's in-flight transmission of this packet completes.
+    TxDone(Packet),
+    /// A packet reaches the destination.
+    Deliver(Packet),
+    /// A cumulative ACK reaches a TCP source.
+    Ack(FlowId, u64),
+    /// A TCP retransmission timer fires (flow, generation).
+    Rto(FlowId, u64),
+    /// A TCP connection starts.
+    TcpStart(FlowId),
+}
+
+struct TcpEndpoints {
+    sender: TcpSender,
+    receiver: TcpReceiver,
+    /// uid -> segment number for in-flight packets.
+    seg_of: HashMap<u64, u64>,
+    mss: Bytes,
+}
+
+/// The single-bottleneck simulation.
+pub struct Net {
+    q: EventQueue<Ev>,
+    switch: SwitchCore,
+    pf: PacketFactory,
+    script: Vec<(bool, Packet)>, // (is_priority, packet)
+    tcp: HashMap<FlowId, TcpEndpoints>,
+    /// One-way propagation switch -> destination.
+    fwd_prop: SimDuration,
+    /// Destination -> source ACK path delay.
+    ack_prop: SimDuration,
+    deliveries: Vec<Delivery>,
+}
+
+impl Net {
+    /// New simulation around a switch, with the given forward and ACK
+    /// propagation delays.
+    pub fn new(switch: SwitchCore, fwd_prop: SimDuration, ack_prop: SimDuration) -> Self {
+        Net {
+            q: EventQueue::new(),
+            switch,
+            pf: PacketFactory::new(),
+            script: Vec::new(),
+            tcp: HashMap::new(),
+            fwd_prop,
+            ack_prop,
+            deliveries: Vec::new(),
+        }
+    }
+
+    /// Add a scripted source: each `(time, len)` arrival is offered to
+    /// the switch at that time — to the strict-priority class if
+    /// `priority` (the VBR video flow of Figure 1).
+    pub fn add_scripted_source(
+        &mut self,
+        flow: FlowId,
+        arrivals: &[(SimTime, Bytes)],
+        priority: bool,
+    ) {
+        for &(t, len) in arrivals {
+            let pkt = self.pf.make(flow, len, t);
+            let idx = self.script.len();
+            self.script.push((priority, pkt));
+            self.q.schedule(t, Ev::Script(idx));
+        }
+    }
+
+    /// Add a TCP Reno source starting at `start`. The flow must already
+    /// be registered with the switch's scheduler.
+    pub fn add_tcp_source(&mut self, flow: FlowId, cfg: TcpConfig, start: SimTime) {
+        self.tcp.insert(
+            flow,
+            TcpEndpoints {
+                sender: TcpSender::new(cfg),
+                receiver: TcpReceiver::new(),
+                seg_of: HashMap::new(),
+                mss: cfg.mss,
+            },
+        );
+        self.q.schedule(start, Ev::TcpStart(flow));
+    }
+
+    /// Mutable access to the switch (to register flows).
+    pub fn switch_mut(&mut self) -> &mut SwitchCore {
+        &mut self.switch
+    }
+
+    /// Run until `horizon`; returns all deliveries time-sorted.
+    pub fn run(mut self, horizon: SimTime) -> Vec<Delivery> {
+        while let Some(t) = self.q.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (now, ev) = self.q.pop().expect("peeked");
+            self.handle(now, ev);
+        }
+        self.deliveries
+            .sort_by(|a, b| a.at.cmp(&b.at).then(a.pkt.uid.cmp(&b.pkt.uid)));
+        self.deliveries
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Script(idx) => {
+                let (priority, mut pkt) = self.script[idx];
+                pkt.arrival = now;
+                if priority {
+                    self.switch.offer_priority(now, pkt);
+                } else {
+                    let _ = self.switch.offer(now, pkt);
+                }
+                self.kick(now);
+            }
+            Ev::TxDone(pkt) => {
+                self.switch.complete(now);
+                self.q.schedule(now + self.fwd_prop, Ev::Deliver(pkt));
+                self.kick(now);
+            }
+            Ev::Deliver(pkt) => {
+                self.deliveries.push(Delivery { pkt, at: now });
+                if let Some(ep) = self.tcp.get_mut(&pkt.flow) {
+                    if let Some(seg) = ep.seg_of.remove(&pkt.uid) {
+                        let ack = ep.receiver.on_segment(seg);
+                        self.q
+                            .schedule(now + self.ack_prop, Ev::Ack(pkt.flow, ack));
+                    }
+                }
+            }
+            Ev::Ack(flow, ackno) => {
+                let segs = self
+                    .tcp
+                    .get_mut(&flow)
+                    .expect("tcp flow")
+                    .sender
+                    .on_ack(now, ackno);
+                self.send_segments(now, flow, segs);
+            }
+            Ev::Rto(flow, gen) => {
+                let segs = self
+                    .tcp
+                    .get_mut(&flow)
+                    .expect("tcp flow")
+                    .sender
+                    .on_rto(now, gen);
+                self.send_segments(now, flow, segs);
+            }
+            Ev::TcpStart(flow) => {
+                let segs = self
+                    .tcp
+                    .get_mut(&flow)
+                    .expect("tcp flow")
+                    .sender
+                    .on_start(now);
+                self.send_segments(now, flow, segs);
+            }
+        }
+    }
+
+    fn send_segments(&mut self, now: SimTime, flow: FlowId, segs: Vec<u64>) {
+        let mss = self.tcp[&flow].mss;
+        for seg in segs {
+            let pkt = self.pf.make(flow, mss, now);
+            let accepted = self.switch.offer(now, pkt);
+            let ep = self.tcp.get_mut(&flow).expect("tcp flow");
+            if accepted {
+                ep.seg_of.insert(pkt.uid, seg);
+            }
+            // Dropped segments recover via dupacks / RTO.
+        }
+        // (Re)arm the RTO event for the current timer generation. Stale
+        // generations are ignored by the sender.
+        if let Some((deadline, gen)) = self.tcp[&flow].sender.timer() {
+            self.q.schedule(deadline.max(now), Ev::Rto(flow, gen));
+        }
+        self.kick(now);
+    }
+
+    fn kick(&mut self, now: SimTime) {
+        if let Some((pkt, done)) = self.switch.try_start(now) {
+            self.q.schedule(done, Ev::TxDone(pkt));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use servers::RateProfile;
+    use sfq_core::{Scheduler, Sfq};
+    use simtime::Rate;
+
+    fn switch_with(flows: &[(u32, Rate)], link: Rate, cap: Option<usize>) -> SwitchCore {
+        let mut s = Sfq::new();
+        for &(f, w) in flows {
+            s.add_flow(FlowId(f), w);
+        }
+        SwitchCore::new(Box::new(s), RateProfile::constant(link), cap)
+    }
+
+    #[test]
+    fn scripted_flow_delivers_all_packets() {
+        let sw = switch_with(&[(1, Rate::kbps(64))], Rate::mbps(1), None);
+        let mut net = Net::new(sw, SimDuration::from_millis(1), SimDuration::from_millis(1));
+        let arr: Vec<(SimTime, Bytes)> = (0..10)
+            .map(|i| (SimTime::from_millis(i * 10), Bytes::new(200)))
+            .collect();
+        net.add_scripted_source(FlowId(1), &arr, false);
+        let deliveries = net.run(SimTime::from_secs(10));
+        assert_eq!(deliveries.len(), 10);
+        // 200 B at 1 Mb/s = 1.6 ms tx + 1 ms prop.
+        assert_eq!(
+            deliveries[0].at,
+            SimTime::from_micros(1600) + SimDuration::from_millis(1)
+        );
+    }
+
+    #[test]
+    fn tcp_transfers_complete_and_in_order() {
+        let sw = switch_with(&[(1, Rate::mbps(1))], Rate::mbps(1), Some(64));
+        let mut net = Net::new(sw, SimDuration::from_millis(1), SimDuration::from_millis(1));
+        net.add_tcp_source(
+            FlowId(1),
+            TcpConfig {
+                limit: Some(100),
+                ..TcpConfig::default()
+            },
+            SimTime::ZERO,
+        );
+        let deliveries = net.run(SimTime::from_secs(60));
+        // All 100 segments (plus possibly spurious retransmissions)
+        // delivered.
+        assert!(deliveries.len() >= 100, "got {}", deliveries.len());
+    }
+
+    #[test]
+    fn two_tcp_flows_share_fairly_under_sfq() {
+        let sw = switch_with(
+            &[(1, Rate::mbps(1)), (2, Rate::mbps(1))],
+            Rate::mbps(2),
+            Some(32),
+        );
+        let mut net = Net::new(sw, SimDuration::from_millis(1), SimDuration::from_millis(1));
+        for f in [1u32, 2] {
+            net.add_tcp_source(FlowId(f), TcpConfig::default(), SimTime::ZERO);
+        }
+        let deliveries = net.run(SimTime::from_secs(5));
+        let n1 = deliveries.iter().filter(|d| d.pkt.flow == FlowId(1)).count();
+        let n2 = deliveries.iter().filter(|d| d.pkt.flow == FlowId(2)).count();
+        assert!(n1 > 100 && n2 > 100, "n1={n1} n2={n2}");
+        let ratio = n1 as f64 / n2 as f64;
+        assert!(ratio > 0.8 && ratio < 1.25, "unfair: n1={n1} n2={n2}");
+    }
+
+    #[test]
+    fn priority_traffic_steals_capacity_from_tcp() {
+        // With a priority CBR flow using half the link, a single TCP
+        // flow should deliver roughly half of what it gets on an idle
+        // link over the same horizon.
+        let horizon = SimTime::from_secs(5);
+        let run = |with_priority: bool| -> usize {
+            let sw = switch_with(&[(1, Rate::mbps(1))], Rate::mbps(2), Some(64));
+            let mut net =
+                Net::new(sw, SimDuration::from_millis(1), SimDuration::from_millis(1));
+            if with_priority {
+                let arr: Vec<(SimTime, Bytes)> = (0..5000)
+                    .map(|i| (SimTime::from_micros(i * 1000), Bytes::new(125)))
+                    .collect();
+                net.add_scripted_source(FlowId(9), &arr, true);
+            }
+            net.add_tcp_source(FlowId(1), TcpConfig::default(), SimTime::ZERO);
+            net.run(horizon)
+                .iter()
+                .filter(|d| d.pkt.flow == FlowId(1))
+                .count()
+        };
+        let idle = run(false);
+        let contended = run(true);
+        assert!(contended < idle, "idle={idle} contended={contended}");
+        let frac = contended as f64 / idle as f64;
+        assert!(frac > 0.3 && frac < 0.75, "frac={frac}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Output-queued switch port: strict-priority class + pluggable
+//! scheduler, drained by a (possibly variable-rate) link.
+//!
+//! This models the switch of Figure 1: source 1's packets get strict
+//! priority; sources 2 and 3 are scheduled by WFQ or SFQ. To the
+//! scheduled class, the link therefore *is* a variable-rate server —
+//! the situation SFQ handles and WFQ does not.
+
+use servers::RateProfile;
+use sfq_core::{FlowId, Packet, Scheduler};
+use simtime::SimTime;
+use std::collections::{HashMap, VecDeque};
+
+/// One switch output port.
+pub struct SwitchCore {
+    sched: Box<dyn Scheduler>,
+    priority: VecDeque<Packet>,
+    link: RateProfile,
+    /// Per-flow buffer cap for scheduled flows (`None` = unbounded).
+    per_flow_cap: Option<usize>,
+    busy: bool,
+    drops: HashMap<FlowId, u64>,
+}
+
+impl SwitchCore {
+    /// New port draining `sched` over `link`.
+    pub fn new(sched: Box<dyn Scheduler>, link: RateProfile, per_flow_cap: Option<usize>) -> Self {
+        SwitchCore {
+            sched,
+            priority: VecDeque::new(),
+            link,
+            per_flow_cap,
+            busy: false,
+            drops: HashMap::new(),
+        }
+    }
+
+    /// Register a scheduled flow.
+    pub fn add_flow(&mut self, flow: FlowId, weight: simtime::Rate) {
+        self.sched.add_flow(flow, weight);
+    }
+
+    /// Offer a packet to the strict-priority class (never dropped).
+    pub fn offer_priority(&mut self, _now: SimTime, pkt: Packet) {
+        self.priority.push_back(pkt);
+    }
+
+    /// Offer a packet to the scheduled class; returns `false` (drop) if
+    /// the flow's buffer is full.
+    pub fn offer(&mut self, now: SimTime, pkt: Packet) -> bool {
+        if let Some(cap) = self.per_flow_cap {
+            if self.sched.backlog(pkt.flow) >= cap {
+                *self.drops.entry(pkt.flow).or_insert(0) += 1;
+                return false;
+            }
+        }
+        self.sched.enqueue(now, pkt);
+        true
+    }
+
+    /// If the link is free and a packet is queued, start transmitting:
+    /// returns the packet and its exact completion time.
+    pub fn try_start(&mut self, now: SimTime) -> Option<(Packet, SimTime)> {
+        if self.busy {
+            return None;
+        }
+        let pkt = if let Some(p) = self.priority.pop_front() {
+            Some(p)
+        } else {
+            self.sched.dequeue(now)
+        }?;
+        self.busy = true;
+        let done = self.link.finish_time(now, pkt.len);
+        Some((pkt, done))
+    }
+
+    /// The in-flight transmission completed.
+    pub fn complete(&mut self, now: SimTime) {
+        debug_assert!(self.busy, "completion while idle");
+        self.busy = false;
+        self.sched.on_departure(now);
+    }
+
+    /// Total packets dropped for a flow.
+    pub fn drops(&self, flow: FlowId) -> u64 {
+        self.drops.get(&flow).copied().unwrap_or(0)
+    }
+
+    /// Queued packets (both classes).
+    pub fn queued(&self) -> usize {
+        self.priority.len() + self.sched.len()
+    }
+
+    /// Name of the scheduled-class discipline.
+    pub fn discipline(&self) -> &'static str {
+        self.sched.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use servers::RateProfile;
+    use sfq_core::{PacketFactory, Sfq};
+    use simtime::{Bytes, Rate};
+
+    fn core(cap: Option<usize>) -> (SwitchCore, PacketFactory) {
+        let mut s = Sfq::new();
+        s.add_flow(FlowId(1), Rate::bps(1_000));
+        s.add_flow(FlowId(2), Rate::bps(1_000));
+        (
+            SwitchCore::new(Box::new(s), RateProfile::constant(Rate::bps(1_000)), cap),
+            PacketFactory::new(),
+        )
+    }
+
+    #[test]
+    fn priority_class_preempts_scheduled_order() {
+        let (mut sw, mut pf) = core(None);
+        let t0 = SimTime::ZERO;
+        let low = pf.make(FlowId(1), Bytes::new(125), t0);
+        assert!(sw.offer(t0, low));
+        let hi = pf.make(FlowId(9), Bytes::new(125), t0);
+        sw.offer_priority(t0, hi);
+        let (first, done) = sw.try_start(t0).unwrap();
+        assert_eq!(first.uid, hi.uid);
+        assert_eq!(done, SimTime::from_secs(1));
+        // Busy: no second start until complete.
+        assert!(sw.try_start(t0).is_none());
+        sw.complete(done);
+        let (second, _) = sw.try_start(done).unwrap();
+        assert_eq!(second.uid, low.uid);
+    }
+
+    #[test]
+    fn per_flow_cap_drops_excess() {
+        let (mut sw, mut pf) = core(Some(2));
+        let t0 = SimTime::ZERO;
+        assert!(sw.offer(t0, pf.make(FlowId(1), Bytes::new(10), t0)));
+        assert!(sw.offer(t0, pf.make(FlowId(1), Bytes::new(10), t0)));
+        assert!(!sw.offer(t0, pf.make(FlowId(1), Bytes::new(10), t0)));
+        assert_eq!(sw.drops(FlowId(1)), 1);
+        // Other flow unaffected.
+        assert!(sw.offer(t0, pf.make(FlowId(2), Bytes::new(10), t0)));
+        assert_eq!(sw.queued(), 3);
+    }
+}

@@ -1,0 +1,269 @@
+//! A tandem of K scheduled servers — the end-to-end setting of
+//! Section 2.4 (Theorem 6 / Corollary 1).
+//!
+//! Scripted flows enter server 1; each packet traverses all K servers
+//! in order with a fixed propagation delay `τ` between hops. The
+//! result records every hop's departure time per packet, so tests can
+//! check the end-to-end delay bound exactly.
+
+use crate::switch::SwitchCore;
+use des::EventQueue;
+use sfq_core::{FlowId, Packet, PacketFactory};
+use simtime::{Bytes, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Per-packet record across the tandem.
+#[derive(Clone, Debug)]
+pub struct Transit {
+    /// The packet as injected at server 1.
+    pub pkt: Packet,
+    /// Departure time from each server, in hop order.
+    pub hop_departures: Vec<SimTime>,
+}
+
+enum Ev {
+    Inject(usize),
+    Arrive(usize, Packet),
+    TxDone(usize, Packet),
+}
+
+/// The tandem simulation.
+pub struct Tandem {
+    q: EventQueue<Ev>,
+    hops: Vec<SwitchCore>,
+    prop: SimDuration,
+    pf: PacketFactory,
+    script: Vec<Packet>,
+    transits: HashMap<u64, Transit>,
+    /// Per-flow path: (entry hop, exit hop inclusive). Flows without an
+    /// entry ride the whole tandem.
+    paths: HashMap<FlowId, (usize, usize)>,
+}
+
+impl Tandem {
+    /// New tandem of the given hops with uniform inter-hop propagation
+    /// delay `prop`.
+    pub fn new(hops: Vec<SwitchCore>, prop: SimDuration) -> Self {
+        assert!(!hops.is_empty(), "tandem needs at least one hop");
+        Tandem {
+            q: EventQueue::new(),
+            hops,
+            prop,
+            pf: PacketFactory::new(),
+            script: Vec::new(),
+            transits: HashMap::new(),
+            paths: HashMap::new(),
+        }
+    }
+
+    /// Number of hops.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// `true` if the tandem has no hops (never — construction forbids
+    /// it; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// Inject a scripted flow at server 1, traversing every hop.
+    pub fn add_source(&mut self, flow: FlowId, arrivals: &[(SimTime, Bytes)]) {
+        self.add_path_source(flow, arrivals, 0, self.hops.len() - 1);
+    }
+
+    /// Inject a scripted flow that enters at `entry` and leaves after
+    /// `exit` (both hop indices, inclusive) — per-hop cross traffic in
+    /// the Section 2.4 end-to-end setting.
+    pub fn add_path_source(
+        &mut self,
+        flow: FlowId,
+        arrivals: &[(SimTime, Bytes)],
+        entry: usize,
+        exit: usize,
+    ) {
+        assert!(entry <= exit && exit < self.hops.len(), "invalid path");
+        assert!(
+            self.paths.insert(flow, (entry, exit)).is_none_or(|p| p == (entry, exit)),
+            "flow already routed on a different path"
+        );
+        for &(t, len) in arrivals {
+            let pkt = self.pf.make(flow, len, t);
+            let idx = self.script.len();
+            self.script.push(pkt);
+            self.q.schedule(t, Ev::Inject(idx));
+        }
+    }
+
+    /// Run to `horizon`; returns each packet's transit record (only
+    /// packets that cleared every hop).
+    pub fn run(mut self, horizon: SimTime) -> Vec<Transit> {
+        while let Some(t) = self.q.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (now, ev) = self.q.pop().expect("peeked");
+            self.handle(now, ev);
+        }
+        let paths = self.paths;
+        let mut out: Vec<Transit> = self
+            .transits
+            .into_values()
+            .filter(|t| {
+                let (entry, exit) = paths[&t.pkt.flow];
+                t.hop_departures.len() == exit - entry + 1
+            })
+            .collect();
+        out.sort_by_key(|t| t.pkt.uid);
+        out
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Inject(idx) => {
+                let pkt = self.script[idx];
+                self.transits.insert(
+                    pkt.uid,
+                    Transit {
+                        pkt,
+                        hop_departures: Vec::new(),
+                    },
+                );
+                let entry = self.paths[&pkt.flow].0;
+                self.offer(now, entry, pkt);
+            }
+            Ev::Arrive(hop, pkt) => {
+                self.offer(now, hop, pkt);
+            }
+            Ev::TxDone(hop, pkt) => {
+                self.hops[hop].complete(now);
+                self.transits
+                    .get_mut(&pkt.uid)
+                    .expect("in transit")
+                    .hop_departures
+                    .push(now);
+                let exit = self.paths[&pkt.flow].1;
+                if hop < exit {
+                    self.q
+                        .schedule(now + self.prop, Ev::Arrive(hop + 1, pkt));
+                }
+                self.kick(now, hop);
+            }
+        }
+    }
+
+    fn offer(&mut self, now: SimTime, hop: usize, mut pkt: Packet) {
+        pkt.arrival = now;
+        let accepted = self.hops[hop].offer(now, pkt);
+        assert!(accepted, "tandem hops are configured unbounded");
+        self.kick(now, hop);
+    }
+
+    fn kick(&mut self, now: SimTime, hop: usize) {
+        if let Some((pkt, done)) = self.hops[hop].try_start(now) {
+            self.q.schedule(done, Ev::TxDone(hop, pkt));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use servers::RateProfile;
+    use sfq_core::{Scheduler, Sfq};
+    use simtime::Rate;
+
+    fn hop(flows: &[(u32, Rate)], link: Rate) -> SwitchCore {
+        let mut s = Sfq::new();
+        for &(f, w) in flows {
+            s.add_flow(FlowId(f), w);
+        }
+        SwitchCore::new(Box::new(s), RateProfile::constant(link), None)
+    }
+
+    #[test]
+    fn single_packet_crosses_all_hops() {
+        let hops = vec![
+            hop(&[(1, Rate::kbps(64))], Rate::mbps(1)),
+            hop(&[(1, Rate::kbps(64))], Rate::mbps(1)),
+            hop(&[(1, Rate::kbps(64))], Rate::mbps(1)),
+        ];
+        let mut t = Tandem::new(hops, SimDuration::from_millis(2));
+        t.add_source(FlowId(1), &[(SimTime::ZERO, Bytes::new(125))]);
+        let out = t.run(SimTime::from_secs(1));
+        assert_eq!(out.len(), 1);
+        // 125 B at 1 Mb/s = 1 ms per hop; + 2 ms propagation between.
+        assert_eq!(
+            out[0].hop_departures,
+            vec![
+                SimTime::from_millis(1),
+                SimTime::from_millis(4),
+                SimTime::from_millis(7),
+            ]
+        );
+    }
+
+    #[test]
+    fn per_flow_order_is_preserved_end_to_end() {
+        let hops = vec![
+            hop(&[(1, Rate::kbps(64)), (2, Rate::kbps(64))], Rate::mbps(1)),
+            hop(&[(1, Rate::kbps(64)), (2, Rate::kbps(64))], Rate::mbps(1)),
+        ];
+        let mut t = Tandem::new(hops, SimDuration::from_millis(1));
+        let arr: Vec<(SimTime, Bytes)> = (0..20)
+            .map(|i| (SimTime::from_micros(i * 100), Bytes::new(200)))
+            .collect();
+        t.add_source(FlowId(1), &arr);
+        t.add_source(FlowId(2), &arr);
+        let out = t.run(SimTime::from_secs(2));
+        assert_eq!(out.len(), 40);
+        for f in [1u32, 2] {
+            let mut last = SimTime::ZERO;
+            for tr in out.iter().filter(|t| t.pkt.flow == FlowId(f)) {
+                let fin = *tr.hop_departures.last().unwrap();
+                assert!(fin >= last, "reordering within flow {f}");
+                last = fin;
+            }
+        }
+    }
+
+    #[test]
+    fn path_source_enters_and_exits_mid_tandem() {
+        let mk = || hop(&[(1, Rate::kbps(64)), (2, Rate::kbps(64))], Rate::mbps(1));
+        let hops = vec![mk(), mk(), mk()];
+        let mut t = Tandem::new(hops, SimDuration::from_millis(1));
+        t.add_source(FlowId(1), &[(SimTime::ZERO, Bytes::new(125))]);
+        // Cross flow rides only hop 1 (the middle one).
+        t.add_path_source(FlowId(2), &[(SimTime::ZERO, Bytes::new(125))], 1, 1);
+        let out = t.run(SimTime::from_secs(1));
+        assert_eq!(out.len(), 2);
+        let cross = out.iter().find(|tr| tr.pkt.flow == FlowId(2)).unwrap();
+        assert_eq!(cross.hop_departures.len(), 1, "one hop only");
+        let main = out.iter().find(|tr| tr.pkt.flow == FlowId(1)).unwrap();
+        assert_eq!(main.hop_departures.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid path")]
+    fn out_of_range_path_rejected() {
+        let hops = vec![hop(&[(1, Rate::kbps(64))], Rate::mbps(1))];
+        let mut t = Tandem::new(hops, SimDuration::ZERO);
+        t.add_path_source(FlowId(1), &[], 0, 5);
+    }
+
+    #[test]
+    fn incomplete_packets_excluded_at_horizon() {
+        let hops = vec![hop(&[(1, Rate::bps(1_000))], Rate::bps(1_000))];
+        let mut t = Tandem::new(hops, SimDuration::ZERO);
+        // Two 1-second packets; horizon cuts off the second.
+        t.add_source(
+            FlowId(1),
+            &[
+                (SimTime::ZERO, Bytes::new(125)),
+                (SimTime::ZERO, Bytes::new(125)),
+            ],
+        );
+        let out = t.run(SimTime::from_millis(1500));
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,307 @@
+//! Fluctuation Constrained and Exponentially Bounded Fluctuation
+//! servers (Definitions 1 and 2 of the paper), as rate profiles.
+//!
+//! An FC server with parameters `(C, δ(C))` does at most `δ(C)` bits
+//! less work than a constant-rate-`C` server over any interval of a
+//! busy period. An EBF server is its stochastic relaxation: the
+//! probability of falling more than `δ(C) + γ` behind decays like
+//! `B·e^{−αγ}`.
+//!
+//! This module provides deterministic and randomized profile builders
+//! whose constructions *guarantee* the respective property, plus an
+//! exact validator that measures the worst-interval deficit of any
+//! profile — used by property tests to confirm the builders honor the
+//! definitions.
+
+use crate::profile::{RateProfile, Segment};
+use des::SimRng;
+use simtime::{Ratio, Rate, SimDuration, SimTime};
+
+/// Parameters of a Fluctuation Constrained server: average rate `C` and
+/// burstiness `δ(C)` in bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FcParams {
+    /// Average service rate `C`.
+    pub rate: Rate,
+    /// Burstiness `δ(C)` in bits.
+    pub delta_bits: u64,
+}
+
+/// Parameters of an EBF server `(C, B, α, δ(C))`.
+#[derive(Clone, Copy, Debug)]
+pub struct EbfParams {
+    /// Average service rate `C`.
+    pub rate: Rate,
+    /// Tail coefficient `B`.
+    pub b: f64,
+    /// Tail exponent `α` (per bit).
+    pub alpha: f64,
+    /// Deterministic offset `δ(C)` in bits.
+    pub delta_bits: u64,
+}
+
+/// Deterministic on–off FC profile with exactly the claimed parameters.
+///
+/// The profile alternates an *off* phase of duration `δ/C` (rate 0) and
+/// an *on* phase of the same duration at rate `2C`. Every period nets
+/// exactly `C · period` bits, and the worst-interval deficit is `δ`
+/// (one full off phase), so the profile is FC `(C, δ)` — and *not* FC
+/// for any smaller δ, making it the tightest test vector.
+pub fn fc_on_off(params: FcParams, horizon: SimTime) -> RateProfile {
+    let c = params.rate;
+    assert!(c.as_bps() > 0, "FC rate must be positive");
+    if params.delta_bits == 0 {
+        return RateProfile::constant(c);
+    }
+    // Phase length δ/C.
+    let phase = SimDuration::from_ratio(Ratio::new(
+        params.delta_bits as i128,
+        c.as_bps() as i128,
+    ));
+    let mut segments = Vec::new();
+    let mut t = SimTime::ZERO;
+    let on_rate = Rate::bps(2 * c.as_bps());
+    let mut off = true;
+    while t <= horizon {
+        segments.push(Segment {
+            start: t,
+            rate: if off { Rate::bps(0) } else { on_rate },
+        });
+        t += phase;
+        off = !off;
+    }
+    // Beyond the modeled window the server runs at its average rate, so
+    // a transmission started near the horizon always completes.
+    segments.push(Segment { start: t, rate: c });
+    RateProfile::from_segments(segments)
+}
+
+/// Randomized catch-up EBF profile.
+///
+/// Time is divided into slots of length `slot`. In each slot the server
+/// idles for a random `τ ~ Exp(mean_gap)` truncated to `slot/2`, then
+/// runs fast enough to finish the slot having done exactly `C · slot`
+/// bits of work. Deficits therefore (a) reset at every slot boundary
+/// and (b) within a slot are at most `C·τ`, which has an exponential
+/// tail — the EBF property with `α ≈ 1/(C · mean_gap)` and a modest
+/// `B`. Validated empirically by [`ebf_tail_estimate`].
+pub fn ebf_catch_up(
+    rate: Rate,
+    slot: SimDuration,
+    mean_gap: SimDuration,
+    horizon: SimTime,
+    rng: &mut SimRng,
+) -> RateProfile {
+    assert!(rate.as_bps() > 0, "EBF rate must be positive");
+    assert!(slot > SimDuration::ZERO, "slot must be positive");
+    let mut segments = Vec::new();
+    let mut t = SimTime::ZERO;
+    let half_slot_ns = (slot.as_secs_f64() * 5e8) as i128;
+    while t <= horizon {
+        let gap_raw = rng.exp_duration(mean_gap);
+        let gap = gap_raw.min(SimDuration::from_nanos(half_slot_ns));
+        // Idle for `gap`, then catch up over the rest of the slot.
+        segments.push(Segment {
+            start: t,
+            rate: Rate::bps(0),
+        });
+        let busy = slot - gap;
+        // Rate such that busy * r == slot * C exactly (rounded up a bit
+        // via integer ceiling so the slot always fully catches up).
+        let needed_bits = rate.as_ratio() * slot.as_ratio();
+        let r = (needed_bits / busy.as_ratio()).ceil().max(1) as u64;
+        segments.push(Segment {
+            start: t + gap,
+            rate: Rate::bps(r),
+        });
+        t += slot;
+    }
+    RateProfile::from_segments(segments)
+}
+
+/// Exact worst-interval deficit of a profile against rate `C` over
+/// `[0, horizon]`: `max_{t1 <= t2} ( C·(t2−t1) − W(t1, t2) )` in bits.
+///
+/// The deficit is piecewise-linear in `t1` and `t2`, so the maximum is
+/// attained with both endpoints at segment breakpoints (or the
+/// horizon); we evaluate all pairs exactly.
+pub fn max_interval_deficit_bits(profile: &RateProfile, c: Rate, horizon: SimTime) -> Ratio {
+    let mut points: Vec<SimTime> = profile
+        .segments()
+        .iter()
+        .map(|s| s.start)
+        .filter(|&t| t <= horizon)
+        .collect();
+    points.push(horizon);
+    points.sort();
+    points.dedup();
+    // Prefix work W(0, t) at each point, then deficit over (i, j) is
+    // C*(tj-ti) - (Wj - Wi). Maximizing over i for fixed j means
+    // minimizing Wi - C*ti: single pass, O(n).
+    let mut best = Ratio::ZERO;
+    let mut min_base: Option<Ratio> = None;
+    let mut prefix = Ratio::ZERO;
+    let mut prev = SimTime::ZERO;
+    for &t in &points {
+        prefix += profile.work_bits(prev, t);
+        prev = t;
+        let base = prefix - c.as_ratio() * t.as_ratio();
+        match min_base {
+            None => min_base = Some(base),
+            Some(m) => {
+                let deficit = m - base;
+                if deficit > best {
+                    best = deficit;
+                }
+                if base < m {
+                    min_base = Some(base);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Empirical EBF tail estimate: the fraction of sampled intervals whose
+/// deficit beyond `delta_bits` exceeds `gamma_bits`. An EBF `(C, B, α,
+/// δ)` profile must keep this below `B·e^{−α·γ}`.
+pub fn ebf_tail_estimate(
+    profile: &RateProfile,
+    c: Rate,
+    delta_bits: u64,
+    gamma_bits: u64,
+    horizon: SimTime,
+    samples: usize,
+    rng: &mut SimRng,
+) -> f64 {
+    let horizon_ns = (horizon.as_secs_f64() * 1e9) as u64;
+    let mut exceed = 0usize;
+    let threshold = Ratio::from_int((delta_bits + gamma_bits) as i128);
+    for _ in 0..samples {
+        let a = rng.uniform_range(0, horizon_ns);
+        let b = rng.uniform_range(0, horizon_ns);
+        let (t1, t2) = if a <= b { (a, b) } else { (b, a) };
+        let t1 = SimTime::from_nanos(t1 as i128);
+        let t2 = SimTime::from_nanos(t2 as i128);
+        let work = profile.work_bits(t1, t2);
+        let deficit = c.as_ratio() * (t2 - t1).as_ratio() - work;
+        if deficit > threshold {
+            exceed += 1;
+        }
+    }
+    exceed as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_profile_has_zero_deficit() {
+        let p = RateProfile::constant(Rate::mbps(1));
+        let d = max_interval_deficit_bits(&p, Rate::mbps(1), SimTime::from_secs(10));
+        assert_eq!(d, Ratio::ZERO);
+    }
+
+    #[test]
+    fn fc_on_off_deficit_is_exactly_delta() {
+        let params = FcParams {
+            rate: Rate::bps(1_000),
+            delta_bits: 500,
+        };
+        let horizon = SimTime::from_secs(10);
+        let p = fc_on_off(params, horizon);
+        let d = max_interval_deficit_bits(&p, params.rate, horizon);
+        assert_eq!(d, Ratio::from_int(500));
+    }
+
+    #[test]
+    fn fc_on_off_with_zero_delta_is_constant() {
+        let p = fc_on_off(
+            FcParams {
+                rate: Rate::kbps(64),
+                delta_bits: 0,
+            },
+            SimTime::from_secs(1),
+        );
+        assert_eq!(p.segments().len(), 1);
+    }
+
+    #[test]
+    fn fc_on_off_average_rate_is_c() {
+        let params = FcParams {
+            rate: Rate::bps(1_000),
+            delta_bits: 250,
+        };
+        // Horizon at a whole number of periods: average exactly C.
+        // Phase = 0.25 s, period = 0.5 s; 10 s = 20 periods.
+        let horizon = SimTime::from_secs(10);
+        let p = fc_on_off(params, horizon);
+        assert_eq!(p.average_rate(horizon), Ratio::from_int(1_000));
+    }
+
+    #[test]
+    fn ebf_profile_catches_up_every_slot() {
+        let mut rng = SimRng::new(99);
+        let c = Rate::bps(10_000);
+        let slot = SimDuration::from_millis(100);
+        let p = ebf_catch_up(
+            c,
+            slot,
+            SimDuration::from_millis(10),
+            SimTime::from_secs(5),
+            &mut rng,
+        );
+        // At every slot boundary, cumulative work >= C * t.
+        for k in 1..50 {
+            let t = SimTime::from_millis(100 * k);
+            let w = p.work_bits(SimTime::ZERO, t);
+            assert!(
+                w >= c.as_ratio() * t.as_ratio(),
+                "slot {k} did not catch up: {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ebf_tail_decays_with_gamma() {
+        let mut rng = SimRng::new(7);
+        let c = Rate::bps(10_000);
+        let horizon = SimTime::from_secs(20);
+        let p = ebf_catch_up(
+            c,
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(10),
+            horizon,
+            &mut rng,
+        );
+        let mut sampler = SimRng::new(8);
+        let f_small = ebf_tail_estimate(&p, c, 0, 100, horizon, 4_000, &mut sampler);
+        let mut sampler = SimRng::new(8);
+        let f_large = ebf_tail_estimate(&p, c, 0, 1_000, horizon, 4_000, &mut sampler);
+        assert!(f_large <= f_small, "tail must decay: {f_small} -> {f_large}");
+        // Deficit within a slot is at most C*(slot/2) + catch-up slack;
+        // a gamma of 2 * C * slot can never be exceeded.
+        let mut sampler = SimRng::new(9);
+        let f_zero = ebf_tail_estimate(&p, c, 2_000, 2_000, horizon, 4_000, &mut sampler);
+        assert_eq!(f_zero, 0.0);
+    }
+
+    #[test]
+    fn deficit_validator_detects_violation() {
+        // A profile that is NOT FC(C, 100): one second of zero rate
+        // against C = 1000 bps gives deficit 1000.
+        let p = RateProfile::from_segments(vec![
+            Segment {
+                start: SimTime::ZERO,
+                rate: Rate::bps(0),
+            },
+            Segment {
+                start: SimTime::from_secs(1),
+                rate: Rate::bps(2_000),
+            },
+        ]);
+        let d = max_interval_deficit_bits(&p, Rate::bps(1_000), SimTime::from_secs(4));
+        assert_eq!(d, Ratio::from_int(1_000));
+    }
+}

@@ -1,0 +1,242 @@
+//! Piecewise-constant service-rate profiles.
+//!
+//! A [`RateProfile`] is the exact rate function `C(t)` of a server: a
+//! sorted list of `(start-time, rate)` segments, the last extending to
+//! infinity. Constant-rate, Fluctuation Constrained, and EBF servers
+//! are all just profiles; the scheduler never sees the difference —
+//! exactly the separation the paper's analysis relies on.
+
+use simtime::{Bytes, Ratio, Rate, SimDuration, SimTime};
+
+/// One segment of a profile: from `start` (inclusive) the server runs
+/// at `rate` until the next segment begins.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// Segment start time.
+    pub start: SimTime,
+    /// Service rate from `start` onward.
+    pub rate: Rate,
+}
+
+/// A piecewise-constant service-rate function defined on `[0, ∞)`.
+#[derive(Clone, Debug)]
+pub struct RateProfile {
+    segments: Vec<Segment>,
+}
+
+impl RateProfile {
+    /// Constant-rate server (`(C, 0)` Fluctuation Constrained).
+    pub fn constant(rate: Rate) -> Self {
+        RateProfile {
+            segments: vec![Segment {
+                start: SimTime::ZERO,
+                rate,
+            }],
+        }
+    }
+
+    /// Build from explicit segments. Panics unless segments start at
+    /// t = 0 and are strictly increasing in time.
+    pub fn from_segments(segments: Vec<Segment>) -> Self {
+        assert!(!segments.is_empty(), "profile needs at least one segment");
+        assert_eq!(
+            segments[0].start,
+            SimTime::ZERO,
+            "profile must start at t=0"
+        );
+        for w in segments.windows(2) {
+            assert!(
+                w[0].start < w[1].start,
+                "profile segments must be strictly increasing"
+            );
+        }
+        RateProfile { segments }
+    }
+
+    /// The segments (for validators and plots).
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Rate in effect at time `t`.
+    pub fn rate_at(&self, t: SimTime) -> Rate {
+        let idx = match self
+            .segments
+            .binary_search_by(|s| s.start.cmp(&t))
+        {
+            Ok(i) => i,
+            Err(0) => unreachable!("profiles start at t=0 and t >= 0"),
+            Err(i) => i - 1,
+        };
+        self.segments[idx].rate
+    }
+
+    /// Exact work (in bits) the server performs over `[t1, t2]`.
+    pub fn work_bits(&self, t1: SimTime, t2: SimTime) -> Ratio {
+        assert!(t1 <= t2, "work_bits interval reversed");
+        let mut total = Ratio::ZERO;
+        for (i, seg) in self.segments.iter().enumerate() {
+            let seg_start = seg.start.max(t1);
+            let seg_end = match self.segments.get(i + 1) {
+                Some(next) => next.start.min(t2),
+                None => t2,
+            };
+            if seg_end > seg_start {
+                total += seg.rate.work_bits(seg_end - seg_start);
+            }
+        }
+        total
+    }
+
+    /// Exact time at which a transmission of `len` bytes beginning at
+    /// `t0` completes. Panics if the profile has zero rate forever
+    /// after the remaining work (the transmission would never finish).
+    pub fn finish_time(&self, t0: SimTime, len: Bytes) -> SimTime {
+        let mut remaining = len.bits_ratio();
+        if remaining.is_zero() {
+            return t0;
+        }
+        let start_idx = match self.segments.binary_search_by(|s| s.start.cmp(&t0)) {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        };
+        let mut t = t0;
+        for i in start_idx..self.segments.len() {
+            let seg = self.segments[i];
+            let seg_end = self.segments.get(i + 1).map(|n| n.start);
+            let rate = seg.rate.as_ratio();
+            match seg_end {
+                Some(end) if end > t => {
+                    let capacity = rate * (end - t).as_ratio();
+                    if capacity >= remaining && !rate.is_zero() {
+                        return t + SimDuration::from_ratio(remaining / rate);
+                    }
+                    remaining -= capacity;
+                    t = end;
+                }
+                Some(_) => continue,
+                None => {
+                    assert!(
+                        !rate.is_zero(),
+                        "transmission never completes: zero final rate"
+                    );
+                    return t + SimDuration::from_ratio(remaining / rate);
+                }
+            }
+        }
+        unreachable!("final segment handled above")
+    }
+
+    /// Average rate over `[0, horizon]`.
+    pub fn average_rate(&self, horizon: SimTime) -> Ratio {
+        self.work_bits(SimTime::ZERO, horizon) / horizon.as_ratio()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn on_off() -> RateProfile {
+        // 0-1s: 8 bps, 1-2s: 0, 2s-: 16 bps.
+        RateProfile::from_segments(vec![
+            Segment {
+                start: SimTime::ZERO,
+                rate: Rate::bps(8),
+            },
+            Segment {
+                start: SimTime::from_secs(1),
+                rate: Rate::bps(0),
+            },
+            Segment {
+                start: SimTime::from_secs(2),
+                rate: Rate::bps(16),
+            },
+        ])
+    }
+
+    #[test]
+    fn rate_at_picks_correct_segment() {
+        let p = on_off();
+        assert_eq!(p.rate_at(SimTime::ZERO), Rate::bps(8));
+        assert_eq!(p.rate_at(SimTime::from_millis(999)), Rate::bps(8));
+        assert_eq!(p.rate_at(SimTime::from_secs(1)), Rate::bps(0));
+        assert_eq!(p.rate_at(SimTime::from_secs(3)), Rate::bps(16));
+    }
+
+    #[test]
+    fn work_bits_integrates_exactly() {
+        let p = on_off();
+        assert_eq!(
+            p.work_bits(SimTime::ZERO, SimTime::from_secs(3)),
+            Ratio::from_int(8 + 0 + 16)
+        );
+        assert_eq!(
+            p.work_bits(SimTime::from_millis(500), SimTime::from_millis(1500)),
+            Ratio::from_int(4)
+        );
+    }
+
+    #[test]
+    fn finish_time_spans_zero_rate_gap() {
+        let p = on_off();
+        // 2 bytes = 16 bits starting at t=0: 8 bits by t=1, gap until 2,
+        // remaining 8 bits at 16 bps = 0.5 s.
+        assert_eq!(
+            p.finish_time(SimTime::ZERO, Bytes::new(2)),
+            SimTime::from_millis(2500)
+        );
+    }
+
+    #[test]
+    fn finish_time_constant() {
+        let p = RateProfile::constant(Rate::mbps(1));
+        // 125 bytes = 1000 bits at 1e6 bps = 1 ms.
+        assert_eq!(
+            p.finish_time(SimTime::from_secs(1), Bytes::new(125)),
+            SimTime::from_secs(1) + SimDuration::from_millis(1)
+        );
+    }
+
+    #[test]
+    fn finish_time_zero_len_is_instant() {
+        let p = on_off();
+        assert_eq!(
+            p.finish_time(SimTime::from_secs(1), Bytes::ZERO),
+            SimTime::from_secs(1)
+        );
+    }
+
+    #[test]
+    fn average_rate_over_horizon() {
+        let p = on_off();
+        assert_eq!(
+            p.average_rate(SimTime::from_secs(2)),
+            Ratio::from_int(4)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "start at t=0")]
+    fn profile_must_start_at_zero() {
+        let _ = RateProfile::from_segments(vec![Segment {
+            start: SimTime::from_secs(1),
+            rate: Rate::bps(1),
+        }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn segments_must_increase() {
+        let _ = RateProfile::from_segments(vec![
+            Segment {
+                start: SimTime::ZERO,
+                rate: Rate::bps(1),
+            },
+            Segment {
+                start: SimTime::ZERO,
+                rate: Rate::bps(2),
+            },
+        ]);
+    }
+}

@@ -1,0 +1,479 @@
+//! Fair Airport scheduling (Appendix B of the paper).
+//!
+//! Fair Airport (FA) combines three components to get WFQ's delay
+//! guarantee *and* fairness over variable-rate servers at O(log Q) cost:
+//!
+//! 1. a per-flow **rate regulator** releasing packet `p_f^j` at its
+//!    expected arrival time `EAT^RC(p_f^j, r_f)` (Eq. 120), computed
+//!    over the subsequence of packets serviced through the GSQ;
+//! 2. a **Guaranteed Service Queue (GSQ)** running Virtual Clock over
+//!    regulated packets, timestamping with `EAT^GSQ + l/r` ;
+//! 3. an **Auxiliary Service Queue (ASQ)** running SFQ over *all*
+//!    unserved packets.
+//!
+//! The server gives (non-preemptive) priority to the GSQ. A packet that
+//! became eligible in the GSQ is only removed from the ASQ once the GSQ
+//! serves it; on such a removal, the flow's next ASQ packet inherits the
+//! removed packet's start tag (rule 5), which is what keeps Lemmas 1–2
+//! valid for the ASQ and yields the fairness bound of Theorem 8.
+
+use crate::packet::{FlowId, Packet};
+use crate::sched::Scheduler;
+use simtime::{Ratio, Rate, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
+
+#[derive(Debug)]
+struct FaFlow {
+    weight: Rate,
+    /// Unserved packets, FIFO. The first `in_gsq` of them have passed
+    /// the regulator and are awaiting GSQ service.
+    queue: VecDeque<Packet>,
+    in_gsq: usize,
+    /// ASQ (SFQ) start tag of the front unserved packet; valid while
+    /// `queue` is non-empty.
+    front_start: Ratio,
+    /// ASQ finish-tag state for arrivals to an idle flow.
+    last_finish: Ratio,
+    /// Regulator chain: earliest possible EAT for the next packet to
+    /// enter the GSQ (`EAT_prev + l_prev / r` over GSQ-served packets).
+    chain: SimTime,
+}
+
+/// Which queue served a packet — exposed for telemetry and tests.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ServedVia {
+    /// Served by the Virtual Clock guaranteed-service queue.
+    Gsq,
+    /// Served by the SFQ auxiliary queue (ahead of its eligibility).
+    Asq,
+}
+
+/// The Fair Airport scheduler.
+///
+/// ```
+/// use sfq_core::{FairAirport, FlowId, PacketFactory, Scheduler, ServedVia};
+/// use simtime::{Bytes, Rate, SimTime};
+///
+/// let mut fa = FairAirport::new();
+/// fa.add_flow(FlowId(1), Rate::kbps(64));
+/// let mut pf = PacketFactory::new();
+/// let t0 = SimTime::ZERO;
+/// // Two back-to-back packets: the first is eligible immediately and
+/// // goes through the guaranteed queue; the second's expected arrival
+/// // time is one l/r in the future, so the work-conserving auxiliary
+/// // (SFQ) queue serves it early.
+/// fa.enqueue(t0, pf.make(FlowId(1), Bytes::new(200), t0));
+/// fa.enqueue(t0, pf.make(FlowId(1), Bytes::new(200), t0));
+/// let _ = fa.dequeue(t0).unwrap();
+/// assert_eq!(fa.last_served_via(), Some(ServedVia::Gsq));
+/// fa.on_departure(t0);
+/// let _ = fa.dequeue(t0).unwrap();
+/// assert_eq!(fa.last_served_via(), Some(ServedVia::Asq));
+/// ```
+#[derive(Debug)]
+pub struct FairAirport {
+    flows: HashMap<FlowId, FaFlow>,
+    flow_order: Vec<FlowId>,
+    /// ASQ ready set: (front start tag, flow).
+    asq_ready: BTreeSet<(Ratio, FlowId)>,
+    /// GSQ: Virtual Clock heap of (timestamp, uid, flow).
+    gsq: BinaryHeap<Reverse<(SimTime, u64, FlowId)>>,
+    /// Eligibility heap over each flow's *front pending* packet (the
+    /// oldest packet not yet admitted to the GSQ): (EAT, uid, flow).
+    /// Entries are lazily invalidated — an entry whose uid no longer
+    /// matches the flow's current front pending packet is discarded at
+    /// pop time. Makes the regulator O(log Q) per dequeue instead of a
+    /// full flow scan.
+    pending: BinaryHeap<Reverse<(SimTime, u64, FlowId)>>,
+    /// ASQ virtual time state (SFQ rules).
+    v: Ratio,
+    in_service: Option<Ratio>,
+    max_finish_served: Ratio,
+    queued: usize,
+    last_served_via: Option<ServedVia>,
+}
+
+impl FairAirport {
+    /// New, empty Fair Airport scheduler.
+    pub fn new() -> Self {
+        FairAirport {
+            flows: HashMap::new(),
+            flow_order: Vec::new(),
+            asq_ready: BTreeSet::new(),
+            gsq: BinaryHeap::new(),
+            pending: BinaryHeap::new(),
+            v: Ratio::ZERO,
+            in_service: None,
+            max_finish_served: Ratio::ZERO,
+            queued: 0,
+            last_served_via: None,
+        }
+    }
+
+    /// The ASQ's virtual time `v(t)` (SFQ semantics).
+    pub fn asq_virtual_time(&self) -> Ratio {
+        self.in_service.unwrap_or(self.v)
+    }
+
+    /// Which queue the most recently dequeued packet came from.
+    pub fn last_served_via(&self) -> Option<ServedVia> {
+        self.last_served_via
+    }
+
+    /// (Re)announce `flow`'s current front pending packet on the
+    /// eligibility heap. Stale announcements are skipped at pop time.
+    fn announce_pending(&mut self, flow: FlowId) {
+        let fs = self.flows.get(&flow).expect("known flow");
+        if fs.in_gsq < fs.queue.len() {
+            let p = fs.queue[fs.in_gsq];
+            let eat = p.arrival.max(fs.chain);
+            self.pending.push(Reverse((eat, p.uid, flow)));
+        }
+    }
+
+    /// Move every packet whose EAT has passed into the GSQ.
+    fn release_regulator(&mut self, now: SimTime) {
+        while let Some(&Reverse((eat, uid, flow))) = self.pending.peek() {
+            if eat > now {
+                break;
+            }
+            let _ = self.pending.pop();
+            let fs = self.flows.get_mut(&flow).expect("known flow");
+            // Skip stale announcements (the packet was ASQ-served or
+            // already admitted since).
+            let front = fs
+                .queue
+                .get(fs.in_gsq)
+                .filter(|p| p.uid == uid && p.arrival.max(fs.chain) == eat);
+            let Some(&p) = front else { continue };
+            // Virtual Clock timestamp: EAT^GSQ + l/r (Eq. in rule 3).
+            let ts = eat + fs.weight.tx_time(p.len);
+            self.gsq.push(Reverse((ts, p.uid, flow)));
+            fs.chain = ts;
+            fs.in_gsq += 1;
+            // The next pending packet (if any) becomes announceable.
+            self.announce_pending(flow);
+        }
+    }
+
+    /// Remove the front unserved packet of `flow` and fix up the ASQ
+    /// bookkeeping, applying start-tag inheritance on GSQ removals.
+    fn remove_front(&mut self, flow: FlowId, via: ServedVia) -> Packet {
+        let fs = self.flows.get_mut(&flow).expect("known flow");
+        let removed_start = fs.front_start;
+        let p = fs.queue.pop_front().expect("non-empty flow queue");
+        let natural_finish = removed_start + fs.weight.tag_span(p.len);
+        self.asq_ready.remove(&(removed_start, flow));
+        if let Some(_next) = fs.queue.front() {
+            fs.front_start = match via {
+                // Rule 5: the next packet inherits the removed packet's
+                // start tag.
+                ServedVia::Gsq => removed_start,
+                // Ordinary SFQ continuation: S = F of the predecessor.
+                ServedVia::Asq => natural_finish,
+            };
+            let new_start = fs.front_start;
+            self.asq_ready.insert((new_start, flow));
+        } else {
+            fs.last_finish = natural_finish;
+        }
+        self.max_finish_served = self.max_finish_served.max(natural_finish);
+        self.queued -= 1;
+        self.last_served_via = Some(via);
+        if via == ServedVia::Asq {
+            // The served packet was the flow's front *pending* packet
+            // (GSQ priority guarantees in_gsq == 0 here): announce the
+            // successor's eligibility.
+            debug_assert_eq!(self.flows[&flow].in_gsq, 0);
+            self.announce_pending(flow);
+        }
+        p
+    }
+}
+
+impl Default for FairAirport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler for FairAirport {
+    fn add_flow(&mut self, flow: FlowId, weight: Rate) {
+        assert!(weight.as_bps() > 0, "FA: flow weight must be positive");
+        if let Some(fs) = self.flows.get_mut(&flow) {
+            fs.weight = weight;
+        } else {
+            self.flows.insert(
+                flow,
+                FaFlow {
+                    weight,
+                    queue: VecDeque::new(),
+                    in_gsq: 0,
+                    front_start: Ratio::ZERO,
+                    last_finish: Ratio::ZERO,
+                    chain: SimTime::ZERO,
+                },
+            );
+            self.flow_order.push(flow);
+        }
+    }
+
+    fn enqueue(&mut self, _now: SimTime, pkt: Packet) {
+        // Snapped at the read point (see Ratio::snap_pico).
+        let v_now = self.asq_virtual_time().snap_pico();
+        let fs = self
+            .flows
+            .get_mut(&pkt.flow)
+            .unwrap_or_else(|| panic!("FA: unregistered flow {}", pkt.flow));
+        let was_empty = fs.queue.is_empty();
+        fs.queue.push_back(pkt);
+        let is_front_pending = fs.queue.len() - fs.in_gsq == 1;
+        if was_empty {
+            // SFQ arrival to an idle flow: S = max(v(A), F_prev).
+            fs.front_start = v_now.max(fs.last_finish);
+            let s = fs.front_start;
+            self.asq_ready.insert((s, pkt.flow));
+        }
+        self.queued += 1;
+        if is_front_pending {
+            self.announce_pending(pkt.flow);
+        }
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        if self.queued == 0 {
+            return None;
+        }
+        self.release_regulator(now);
+        // Priority to the GSQ (rule 6).
+        if let Some(Reverse((_ts, uid, flow))) = self.gsq.pop() {
+            let fs = self.flows.get_mut(&flow).expect("known flow");
+            debug_assert_eq!(
+                fs.queue.front().map(|p| p.uid),
+                Some(uid),
+                "GSQ head must be its flow's oldest unserved packet"
+            );
+            fs.in_gsq -= 1;
+            return Some(self.remove_front(flow, ServedVia::Gsq));
+        }
+        // GSQ empty: serve the ASQ in SFQ order. The served packet is
+        // necessarily still in the regulator (its EAT is in the future),
+        // so it is removed from the regulator (rule 4) and never enters
+        // the GSQ chain.
+        let &(start, flow) = self.asq_ready.iter().next()?;
+        self.in_service = Some(start);
+        self.v = start;
+        Some(self.remove_front(flow, ServedVia::Asq))
+    }
+
+    fn on_departure(&mut self, _now: SimTime) {
+        self.in_service = None;
+        if self.queued == 0 {
+            self.v = self.max_finish_served;
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.queued == 0
+    }
+
+    fn len(&self) -> usize {
+        self.queued
+    }
+
+    fn backlog(&self, flow: FlowId) -> usize {
+        self.flows.get(&flow).map_or(0, |f| f.queue.len())
+    }
+
+    fn remove_flow(&mut self, flow: FlowId) -> bool {
+        match self.flows.get(&flow) {
+            Some(fs) if fs.queue.is_empty() => {
+                self.flows.remove(&flow);
+                self.flow_order.retain(|f| *f != flow);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "FairAirport"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketFactory;
+    use simtime::Bytes;
+
+    /// 125-byte packets, 1000 b/s weights: tag span and tx time both 1s.
+    fn fa2() -> (FairAirport, PacketFactory) {
+        let mut fa = FairAirport::new();
+        fa.add_flow(FlowId(1), Rate::bps(1_000));
+        fa.add_flow(FlowId(2), Rate::bps(1_000));
+        (fa, PacketFactory::new())
+    }
+
+    #[test]
+    fn eligible_packet_served_via_gsq() {
+        let (mut fa, mut pf) = fa2();
+        let t0 = SimTime::ZERO;
+        let p = pf.make(FlowId(1), Bytes::new(125), t0);
+        fa.enqueue(t0, p);
+        // EAT = arrival = 0 <= now: passes regulator immediately.
+        let got = fa.dequeue(t0).unwrap();
+        assert_eq!(got.uid, p.uid);
+        assert_eq!(fa.last_served_via(), Some(ServedVia::Gsq));
+    }
+
+    #[test]
+    fn future_packets_served_via_asq_when_gsq_empty() {
+        let (mut fa, mut pf) = fa2();
+        let t0 = SimTime::ZERO;
+        // Two back-to-back packets: first has EAT 0, second EAT 1s.
+        let a = pf.make(FlowId(1), Bytes::new(125), t0);
+        let b = pf.make(FlowId(1), Bytes::new(125), t0);
+        fa.enqueue(t0, a);
+        fa.enqueue(t0, b);
+        let first = fa.dequeue(t0).unwrap();
+        assert_eq!(first.uid, a.uid);
+        assert_eq!(fa.last_served_via(), Some(ServedVia::Gsq));
+        fa.on_departure(t0);
+        // Still t=0: b's EAT is 1s, GSQ empty — work conservation sends
+        // it through the ASQ.
+        let second = fa.dequeue(t0).unwrap();
+        assert_eq!(second.uid, b.uid);
+        assert_eq!(fa.last_served_via(), Some(ServedVia::Asq));
+    }
+
+    #[test]
+    fn asq_served_packet_does_not_advance_regulator_chain() {
+        let (mut fa, mut pf) = fa2();
+        let t0 = SimTime::ZERO;
+        let a = pf.make(FlowId(1), Bytes::new(125), t0);
+        let b = pf.make(FlowId(1), Bytes::new(125), t0);
+        let c = pf.make(FlowId(1), Bytes::new(125), t0);
+        fa.enqueue(t0, a);
+        fa.enqueue(t0, b);
+        fa.enqueue(t0, c);
+        // a via GSQ (EAT 0, chain -> 1s).
+        assert_eq!(fa.dequeue(t0).unwrap().uid, a.uid);
+        fa.on_departure(t0);
+        // b via ASQ at t=0 (EAT 1s): chain must stay at 1s.
+        assert_eq!(fa.dequeue(t0).unwrap().uid, b.uid);
+        assert_eq!(fa.last_served_via(), Some(ServedVia::Asq));
+        fa.on_departure(t0);
+        // At t=1s, c's EAT = max(A=0, chain=1s) = 1s: eligible via GSQ.
+        let t1 = SimTime::from_secs(1);
+        assert_eq!(fa.dequeue(t1).unwrap().uid, c.uid);
+        assert_eq!(fa.last_served_via(), Some(ServedVia::Gsq));
+    }
+
+    #[test]
+    fn gsq_removal_inherits_start_tag_in_asq() {
+        let (mut fa, mut pf) = fa2();
+        let t0 = SimTime::ZERO;
+        let a = pf.make(FlowId(1), Bytes::new(125), t0);
+        let b = pf.make(FlowId(1), Bytes::new(125), t0);
+        fa.enqueue(t0, a);
+        fa.enqueue(t0, b);
+        // Front start tag is 0. Serve a via GSQ: b inherits S = 0.
+        let _ = fa.dequeue(t0).unwrap();
+        let fs_start = fa.flows.get(&FlowId(1)).unwrap().front_start;
+        assert_eq!(fs_start, Ratio::ZERO);
+    }
+
+    #[test]
+    fn asq_removal_advances_start_tag_normally() {
+        let (mut fa, mut pf) = fa2();
+        let t0 = SimTime::ZERO;
+        let a = pf.make(FlowId(1), Bytes::new(125), t0);
+        let b = pf.make(FlowId(1), Bytes::new(125), t0);
+        let c = pf.make(FlowId(1), Bytes::new(125), t0);
+        fa.enqueue(t0, a);
+        fa.enqueue(t0, b);
+        fa.enqueue(t0, c);
+        let _ = fa.dequeue(t0); // a via GSQ; b inherits S=0
+        fa.on_departure(t0);
+        let _ = fa.dequeue(t0); // b via ASQ at S=0; c gets S = F(b) = 1
+        let fs_start = fa.flows.get(&FlowId(1)).unwrap().front_start;
+        assert_eq!(fs_start, Ratio::ONE);
+    }
+
+    #[test]
+    fn gsq_priority_over_asq_across_flows() {
+        let (mut fa, mut pf) = fa2();
+        let t0 = SimTime::ZERO;
+        // Flow 1: one eligible packet. Flow 2: packet with smaller ASQ
+        // start tag cannot jump the GSQ.
+        let a = pf.make(FlowId(1), Bytes::new(125), t0);
+        fa.enqueue(t0, a);
+        let b = pf.make(FlowId(2), Bytes::new(125), t0);
+        fa.enqueue(t0, b);
+        let first = fa.dequeue(t0).unwrap();
+        // Both are eligible (EAT = 0); GSQ orders by timestamp then uid:
+        // equal timestamps, a has the smaller uid.
+        assert_eq!(first.uid, a.uid);
+        assert_eq!(fa.last_served_via(), Some(ServedVia::Gsq));
+    }
+
+    #[test]
+    fn paced_flow_is_always_served_via_gsq() {
+        // A flow paced at exactly l/r is always eligible on arrival:
+        // every service must come from the guaranteed queue.
+        let (mut fa, mut pf) = fa2();
+        for k in 0..10 {
+            let t = SimTime::from_secs(k);
+            let p = pf.make(FlowId(1), Bytes::new(125), t);
+            fa.enqueue(t, p);
+            let now = t;
+            let got = fa.dequeue(now).unwrap();
+            assert_eq!(got.uid, p.uid);
+            assert_eq!(fa.last_served_via(), Some(ServedVia::Gsq), "k={k}");
+            fa.on_departure(now + simtime::SimDuration::from_secs(1));
+        }
+    }
+
+    #[test]
+    fn asq_backlog_drains_fairly_between_flows() {
+        // Both flows burst 6 packets at t=0; only the first of each is
+        // GSQ-eligible. The rest drain via the ASQ in SFQ order:
+        // alternation between the flows.
+        let (mut fa, mut pf) = fa2();
+        let t0 = SimTime::ZERO;
+        for _ in 0..6 {
+            fa.enqueue(t0, pf.make(FlowId(1), Bytes::new(125), t0));
+            fa.enqueue(t0, pf.make(FlowId(2), Bytes::new(125), t0));
+        }
+        let mut order = Vec::new();
+        while let Some(p) = fa.dequeue(t0) {
+            order.push(p.flow.0);
+            fa.on_departure(t0);
+        }
+        assert_eq!(order.len(), 12);
+        // Prefix balance: flows never diverge by more than one packet.
+        let mut c = [0i32; 3];
+        for f in &order {
+            c[*f as usize] += 1;
+            assert!((c[1] - c[2]).abs() <= 1, "imbalance in {order:?}");
+        }
+    }
+
+    #[test]
+    fn counts_and_empty() {
+        let (mut fa, mut pf) = fa2();
+        let t0 = SimTime::ZERO;
+        assert!(fa.dequeue(t0).is_none());
+        fa.enqueue(t0, pf.make(FlowId(1), Bytes::new(125), t0));
+        fa.enqueue(t0, pf.make(FlowId(2), Bytes::new(125), t0));
+        assert_eq!(fa.len(), 2);
+        assert_eq!(fa.backlog(FlowId(1)), 1);
+        let _ = fa.dequeue(t0);
+        fa.on_departure(t0);
+        let _ = fa.dequeue(t0);
+        fa.on_departure(t0);
+        assert!(fa.is_empty());
+    }
+}

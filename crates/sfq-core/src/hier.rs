@@ -1,0 +1,674 @@
+//! Hierarchical SFQ link sharing (Section 3 of the paper).
+//!
+//! The link-sharing structure is a tree of *classes*; each node uses SFQ
+//! to schedule its children, treating every subclass as a flow. Flows
+//! are leaf classes. Scheduling is recursive: the root picks the
+//! backlogged child with the minimum start tag, that child picks among
+//! its own children, and so on down to a flow leaf whose head packet is
+//! transmitted. When the packet's length `l` is known, every node on the
+//! path charges its chosen child `F = S + l / r_child` and, if the child
+//! is still backlogged, re-admits it with start tag `F` — exactly the
+//! continuously-backlogged case of Eq. 4.
+//!
+//! Because SFQ is fair over servers of arbitrarily fluctuating rate
+//! (Theorem 1 makes no assumption on service times), each interior class
+//! — whose available rate fluctuates with its siblings' activity — still
+//! divides its bandwidth between subclasses in proportion to weights.
+//! This is the property Example 3 shows WFQ lacks.
+
+use crate::packet::{FlowId, Packet};
+use crate::sched::Scheduler;
+use simtime::{Ratio, Rate, SimTime};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Identifier of a class in the link-sharing tree. The root is created
+/// by [`HierSfq::new`] and returned by [`HierSfq::root`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ClassId(pub u32);
+
+struct Node {
+    parent: Option<ClassId>,
+    weight: Rate,
+    /// Start tag of this node's current "packet" in its parent's tag
+    /// space (valid while in the parent's ready set or in service).
+    start: Ratio,
+    /// Finish tag of this node's previous service in the parent's tag
+    /// space (the `F(p^{j-1})` of Eq. 4, with the class as the flow).
+    finish: Ratio,
+    /// Whether this node currently sits in its parent's ready set.
+    in_ready: bool,
+    /// This node's own SFQ virtual-time state (interior nodes).
+    v: Ratio,
+    in_service: Option<Ratio>,
+    max_finish_served: Ratio,
+    /// Backlogged children ordered by (start tag, child id).
+    ready: BTreeSet<(Ratio, ClassId)>,
+    /// Number of packets queued in this subtree.
+    subtree_backlog: usize,
+    /// Leaf-only FIFO packet queue.
+    queue: VecDeque<Packet>,
+    is_leaf: bool,
+    /// Optional nested discipline: the class delegates the ordering of
+    /// its own packets to this scheduler (Section 3: different
+    /// services may use different resource-allocation methods).
+    inner: Option<Box<dyn Scheduler>>,
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("parent", &self.parent)
+            .field("weight", &self.weight)
+            .field("start", &self.start)
+            .field("finish", &self.finish)
+            .field("backlog", &self.subtree_backlog)
+            .field("is_leaf", &self.is_leaf)
+            .field("inner", &self.inner.as_ref().map(|s| s.name()))
+            .finish()
+    }
+}
+
+impl Node {
+    fn new(parent: Option<ClassId>, weight: Rate, is_leaf: bool) -> Self {
+        Node {
+            parent,
+            weight,
+            start: Ratio::ZERO,
+            finish: Ratio::ZERO,
+            in_ready: false,
+            v: Ratio::ZERO,
+            in_service: None,
+            max_finish_served: Ratio::ZERO,
+            ready: BTreeSet::new(),
+            subtree_backlog: 0,
+            queue: VecDeque::new(),
+            is_leaf,
+            inner: None,
+        }
+    }
+
+    fn virtual_time(&self) -> Ratio {
+        self.in_service.unwrap_or(self.v)
+    }
+}
+
+/// Hierarchical SFQ scheduler over a link-sharing tree.
+///
+/// ```
+/// use sfq_core::{FlowId, HierSfq, PacketFactory, Scheduler};
+/// use simtime::{Bytes, Rate, SimTime};
+///
+/// // root{ A{ f1 }, f2 } with equal weights: class A and flow 2
+/// // alternate; inside A, flow 1 gets everything.
+/// let mut h = HierSfq::new();
+/// let a = h.add_class(h.root(), Rate::mbps(1));
+/// h.add_flow_to(a, FlowId(1), Rate::mbps(1));
+/// h.add_flow_to(h.root(), FlowId(2), Rate::mbps(1));
+///
+/// let mut pf = PacketFactory::new();
+/// let t0 = SimTime::ZERO;
+/// for _ in 0..2 {
+///     h.enqueue(t0, pf.make(FlowId(1), Bytes::new(500), t0));
+///     h.enqueue(t0, pf.make(FlowId(2), Bytes::new(500), t0));
+/// }
+/// let order: Vec<u32> = std::iter::from_fn(|| {
+///     let p = h.dequeue(t0)?;
+///     h.on_departure(t0);
+///     Some(p.flow.0)
+/// })
+/// .collect();
+/// assert_eq!(order, vec![1, 2, 1, 2]);
+/// ```
+#[derive(Debug)]
+pub struct HierSfq {
+    nodes: Vec<Node>,
+    flow_leaf: HashMap<FlowId, ClassId>,
+    /// Path of the most recent dequeue (root-to-leaf class ids), used by
+    /// `on_departure` to close per-class busy periods.
+    service_path: Vec<ClassId>,
+}
+
+impl HierSfq {
+    /// New tree containing only the root class.
+    pub fn new() -> Self {
+        HierSfq {
+            nodes: vec![Node::new(None, Rate::bps(1), false)],
+            flow_leaf: HashMap::new(),
+            service_path: Vec::new(),
+        }
+    }
+
+    /// The root class.
+    pub fn root(&self) -> ClassId {
+        ClassId(0)
+    }
+
+    /// Add an interior class under `parent` with the given weight.
+    pub fn add_class(&mut self, parent: ClassId, weight: Rate) -> ClassId {
+        assert!(weight.as_bps() > 0, "class weight must be positive");
+        assert!(
+            !self.node(parent).is_leaf,
+            "cannot add a class under a flow leaf"
+        );
+        let id = ClassId(self.nodes.len() as u32);
+        self.nodes.push(Node::new(Some(parent), weight, false));
+        id
+    }
+
+    /// Attach a flow as a leaf of `parent`.
+    pub fn add_flow_to(&mut self, parent: ClassId, flow: FlowId, weight: Rate) {
+        assert!(weight.as_bps() > 0, "flow weight must be positive");
+        assert!(
+            !self.node(parent).is_leaf,
+            "cannot attach a flow under a flow leaf"
+        );
+        assert!(
+            !self.flow_leaf.contains_key(&flow),
+            "flow already attached"
+        );
+        let id = ClassId(self.nodes.len() as u32);
+        self.nodes.push(Node::new(Some(parent), weight, true));
+        self.flow_leaf.insert(flow, id);
+    }
+
+    /// Add a class under `parent` whose *internal* packet order is
+    /// decided by an arbitrary nested discipline (e.g. Delay EDD for a
+    /// service that separates delay from throughput, Section 3). The
+    /// class still competes with its siblings under SFQ.
+    pub fn add_scheduler_class(
+        &mut self,
+        parent: ClassId,
+        weight: Rate,
+        inner: Box<dyn Scheduler>,
+    ) -> ClassId {
+        assert!(weight.as_bps() > 0, "class weight must be positive");
+        assert!(
+            !self.node(parent).is_leaf,
+            "cannot add a class under a flow leaf"
+        );
+        let id = ClassId(self.nodes.len() as u32);
+        let mut node = Node::new(Some(parent), weight, true);
+        node.inner = Some(inner);
+        self.nodes.push(node);
+        id
+    }
+
+    /// Attach a flow to a scheduler class created with
+    /// [`HierSfq::add_scheduler_class`], registering it with the nested
+    /// discipline at the given weight.
+    pub fn add_flow_to_scheduler(&mut self, class: ClassId, flow: FlowId, weight: Rate) {
+        assert!(
+            !self.flow_leaf.contains_key(&flow),
+            "flow already attached"
+        );
+        let node = self.node_mut(class);
+        let inner = node
+            .inner
+            .as_mut()
+            .expect("add_flow_to_scheduler requires a scheduler class");
+        inner.add_flow(flow, weight);
+        self.flow_leaf.insert(flow, class);
+    }
+
+    /// Route a flow to a scheduler class *without* registering it —
+    /// for nested disciplines configured before being handed to
+    /// [`HierSfq::add_scheduler_class`] (e.g. Delay EDD with per-flow
+    /// deadlines, which the plain `Scheduler::add_flow` cannot express).
+    pub fn attach_configured_flow(&mut self, class: ClassId, flow: FlowId) {
+        assert!(
+            !self.flow_leaf.contains_key(&flow),
+            "flow already attached"
+        );
+        assert!(
+            self.node(class).inner.is_some(),
+            "attach_configured_flow requires a scheduler class"
+        );
+        self.flow_leaf.insert(flow, class);
+    }
+
+    /// Virtual time of a class's own SFQ server (for tests/telemetry).
+    pub fn class_virtual_time(&self, class: ClassId) -> Ratio {
+        self.node(class).virtual_time()
+    }
+
+    /// Packets queued in a class's subtree.
+    pub fn class_backlog(&self, class: ClassId) -> usize {
+        self.node(class).subtree_backlog
+    }
+
+    fn node(&self, id: ClassId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    fn node_mut(&mut self, id: ClassId) -> &mut Node {
+        &mut self.nodes[id.0 as usize]
+    }
+}
+
+impl Default for HierSfq {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler for HierSfq {
+    /// Trait-level `add_flow` attaches the flow directly under the root,
+    /// which makes a flat `HierSfq` behave exactly like [`crate::Sfq`].
+    fn add_flow(&mut self, flow: FlowId, weight: Rate) {
+        self.add_flow_to(self.root(), flow, weight);
+    }
+
+    fn enqueue(&mut self, now: SimTime, pkt: Packet) {
+        let leaf = *self
+            .flow_leaf
+            .get(&pkt.flow)
+            .unwrap_or_else(|| panic!("HierSfq: unregistered flow {}", pkt.flow));
+        let leaf_node = self.node_mut(leaf);
+        match leaf_node.inner.as_mut() {
+            Some(inner) => inner.enqueue(now, pkt),
+            None => leaf_node.queue.push_back(pkt),
+        }
+
+        // Activate newly-backlogged nodes bottom-up: a node that was
+        // invisible to its parent (empty subtree and not in the ready
+        // set) gets start tag max(v_parent, F_prev) — Eq. 4 with the
+        // class as the flow.
+        let mut child = leaf;
+        let mut activating = true;
+        loop {
+            let was_empty = self.node(child).subtree_backlog == 0;
+            self.node_mut(child).subtree_backlog += 1;
+            let Some(parent) = self.node(child).parent else {
+                break;
+            };
+            if activating && was_empty && !self.node(child).in_ready {
+                // Virtual time snapped at the read point (see
+                // Ratio::snap_pico) to bound tag-denominator growth.
+                let s = self
+                    .node(parent)
+                    .virtual_time()
+                    .snap_pico()
+                    .max(self.node(child).finish);
+                self.node_mut(child).start = s;
+                self.node_mut(child).in_ready = true;
+                self.node_mut(parent).ready.insert((s, child));
+            } else {
+                activating = false;
+            }
+            child = parent;
+        }
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        if self.node(self.root()).subtree_backlog == 0 {
+            return None;
+        }
+        // Descend: each node serves the backlogged child with minimum
+        // start tag; its virtual time becomes that start tag.
+        let mut path: Vec<(ClassId, ClassId, Ratio)> = Vec::new(); // (parent, child, S_child)
+        let mut cur = self.root();
+        let pkt = loop {
+            if self.node(cur).is_leaf {
+                let node = self.node_mut(cur);
+                break match node.inner.as_mut() {
+                    Some(inner) => inner
+                        .dequeue(now)
+                        .expect("backlogged scheduler class with empty discipline"),
+                    None => node
+                        .queue
+                        .pop_front()
+                        .expect("backlogged leaf with empty queue"),
+                };
+            }
+            let &(s, child) = self
+                .node(cur)
+                .ready
+                .iter()
+                .next()
+                .expect("backlogged interior class with empty ready set");
+            self.node_mut(cur).ready.remove(&(s, child));
+            self.node_mut(child).in_ready = false;
+            self.node_mut(cur).in_service = Some(s);
+            self.node_mut(cur).v = s;
+            path.push((cur, child, s));
+            cur = child;
+        };
+
+        // Unwind: charge every node on the path for the actual packet
+        // length and re-admit still-backlogged children at S = F.
+        for &(_, c, _) in path.iter() {
+            self.node_mut(c).subtree_backlog -= 1;
+        }
+        self.node_mut(self.root()).subtree_backlog -= 1;
+        for &(parent, child, s) in path.iter().rev() {
+            let f = s + self.node(child).weight.tag_span(pkt.len);
+            self.node_mut(child).finish = f;
+            let pm = self.node_mut(parent);
+            pm.max_finish_served = pm.max_finish_served.max(f);
+            if self.node(child).subtree_backlog > 0 {
+                self.node_mut(child).start = f;
+                self.node_mut(child).in_ready = true;
+                self.node_mut(parent).ready.insert((f, child));
+            }
+        }
+        self.service_path = std::iter::once(self.root())
+            .chain(path.iter().map(|&(_, c, _)| c))
+            .collect();
+        Some(pkt)
+    }
+
+    fn on_departure(&mut self, now: SimTime) {
+        let path = std::mem::take(&mut self.service_path);
+        for id in path {
+            let n = self.node_mut(id);
+            n.in_service = None;
+            if n.subtree_backlog == 0 {
+                // End of this class's busy period (algorithm step 2).
+                n.v = n.max_finish_served;
+            }
+            if let Some(inner) = n.inner.as_mut() {
+                inner.on_departure(now);
+            }
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.node(self.root()).subtree_backlog == 0
+    }
+
+    fn len(&self) -> usize {
+        self.node(self.root()).subtree_backlog
+    }
+
+    fn backlog(&self, flow: FlowId) -> usize {
+        self.flow_leaf.get(&flow).map_or(0, |&leaf| {
+            let node = self.node(leaf);
+            match &node.inner {
+                Some(inner) => inner.backlog(flow),
+                None => node.subtree_backlog,
+            }
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "H-SFQ"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketFactory;
+    use simtime::Bytes;
+
+    /// Drain the scheduler completely, returning flow ids in service
+    /// order (instantaneous service — order is what matters).
+    fn drain(s: &mut HierSfq) -> Vec<u32> {
+        let mut order = Vec::new();
+        while let Some(p) = s.dequeue(SimTime::ZERO) {
+            order.push(p.flow.0);
+            s.on_departure(SimTime::ZERO);
+        }
+        order
+    }
+
+    #[test]
+    fn flat_tree_matches_plain_sfq_order() {
+        // Same scenario as the Sfq unit test: order must be identical.
+        let mut h = HierSfq::new();
+        h.add_flow(FlowId(1), Rate::bps(1_000));
+        h.add_flow(FlowId(2), Rate::bps(1_000));
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        h.enqueue(t0, pf.make(FlowId(1), Bytes::new(125), t0));
+        h.enqueue(t0, pf.make(FlowId(1), Bytes::new(125), t0));
+        h.enqueue(t0, pf.make(FlowId(2), Bytes::new(125), t0));
+        assert_eq!(drain(&mut h), vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn equal_weight_classes_interleave() {
+        // root{A{f1}, B{f2}} with equal weights: strict alternation.
+        let mut h = HierSfq::new();
+        let a = h.add_class(h.root(), Rate::bps(1_000));
+        let b = h.add_class(h.root(), Rate::bps(1_000));
+        h.add_flow_to(a, FlowId(1), Rate::bps(1_000));
+        h.add_flow_to(b, FlowId(2), Rate::bps(1_000));
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        for _ in 0..3 {
+            h.enqueue(t0, pf.make(FlowId(1), Bytes::new(125), t0));
+            h.enqueue(t0, pf.make(FlowId(2), Bytes::new(125), t0));
+        }
+        assert_eq!(drain(&mut h), vec![1, 2, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn weights_give_proportional_share() {
+        // Flow 2 has twice the weight: in any service prefix it should
+        // get about twice the packets of flow 1.
+        let mut h = HierSfq::new();
+        h.add_flow(FlowId(1), Rate::bps(1_000));
+        h.add_flow(FlowId(2), Rate::bps(2_000));
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        for _ in 0..30 {
+            h.enqueue(t0, pf.make(FlowId(1), Bytes::new(125), t0));
+            h.enqueue(t0, pf.make(FlowId(2), Bytes::new(125), t0));
+        }
+        let order = drain(&mut h);
+        let first12 = &order[..12];
+        let f2 = first12.iter().filter(|&&f| f == 2).count();
+        let f1 = first12.iter().filter(|&&f| f == 1).count();
+        assert_eq!(f1 + f2, 12);
+        assert!((f2 as i32 - 2 * f1 as i32).abs() <= 2, "f1={f1} f2={f2}");
+    }
+
+    #[test]
+    fn example3_subclass_fairness_when_sibling_activates() {
+        // Example 3: root{A{C,D}, B}, all weights equal. While B is idle
+        // C and D split the whole link; when B activates, A drops to 50%
+        // but C and D must keep splitting A's share equally. We check
+        // service-order fairness: in every window, C and D counts stay
+        // within one packet of each other.
+        let mut h = HierSfq::new();
+        let a = h.add_class(h.root(), Rate::bps(1_000));
+        h.add_flow_to(h.root(), FlowId(2), Rate::bps(1_000)); // class B = flow 2
+        h.add_flow_to(a, FlowId(10), Rate::bps(1_000)); // C
+        h.add_flow_to(a, FlowId(11), Rate::bps(1_000)); // D
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        // Phase 1: only C and D backlogged.
+        for _ in 0..4 {
+            h.enqueue(t0, pf.make(FlowId(10), Bytes::new(125), t0));
+            h.enqueue(t0, pf.make(FlowId(11), Bytes::new(125), t0));
+        }
+        let mut order = Vec::new();
+        for _ in 0..4 {
+            let p = h.dequeue(t0).unwrap();
+            order.push(p.flow.0);
+            h.on_departure(t0);
+        }
+        // Phase 2: B activates with a burst; C, D also refilled.
+        for _ in 0..6 {
+            h.enqueue(t0, pf.make(FlowId(2), Bytes::new(125), t0));
+            h.enqueue(t0, pf.make(FlowId(10), Bytes::new(125), t0));
+            h.enqueue(t0, pf.make(FlowId(11), Bytes::new(125), t0));
+        }
+        order.extend(drain(&mut h));
+        // Across the whole run C and D must stay balanced in every prefix.
+        let mut c = 0i32;
+        let mut d = 0i32;
+        for f in &order {
+            match f {
+                10 => c += 1,
+                11 => d += 1,
+                _ => {}
+            }
+            assert!((c - d).abs() <= 1, "C/D imbalance in prefix: c={c} d={d}");
+        }
+        // And B must get roughly half the link in phase 2 (12 A-packets
+        // served against 6 B-packets would be 2:1 — equal class weights
+        // mean alternation between A and B while both backlogged).
+        let phase2 = &order[4..];
+        let b_count = phase2.iter().filter(|&&f| f == 2).count();
+        let a_count = phase2.iter().filter(|&&f| f == 10 || f == 11).count();
+        // B stays backlogged until its 6 packets are done; during that
+        // span A and B alternate.
+        let first12 = &phase2[..12.min(phase2.len())];
+        let b12 = first12.iter().filter(|&&f| f == 2).count();
+        assert!(b12 >= 5, "B under-served while backlogged: {b12}/12");
+        assert_eq!(b_count, 6);
+        assert_eq!(a_count, phase2.len() - 6);
+    }
+
+    #[test]
+    fn backlog_accounting() {
+        let mut h = HierSfq::new();
+        let a = h.add_class(h.root(), Rate::bps(1_000));
+        h.add_flow_to(a, FlowId(1), Rate::bps(1_000));
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        h.enqueue(t0, pf.make(FlowId(1), Bytes::new(125), t0));
+        h.enqueue(t0, pf.make(FlowId(1), Bytes::new(125), t0));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.class_backlog(a), 2);
+        assert_eq!(h.backlog(FlowId(1)), 2);
+        let _ = h.dequeue(t0).unwrap();
+        h.on_departure(t0);
+        assert_eq!(h.len(), 1);
+        let _ = h.dequeue(t0).unwrap();
+        h.on_departure(t0);
+        assert!(h.is_empty());
+        assert!(h.dequeue(t0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered flow")]
+    fn unregistered_flow_panics() {
+        let mut h = HierSfq::new();
+        let mut pf = PacketFactory::new();
+        let p = pf.make(FlowId(3), Bytes::new(10), SimTime::ZERO);
+        h.enqueue(SimTime::ZERO, p);
+    }
+
+    #[test]
+    #[should_panic(expected = "under a flow leaf")]
+    fn cannot_nest_under_flow() {
+        let mut h = HierSfq::new();
+        h.add_flow(FlowId(1), Rate::bps(1));
+        let leaf = ClassId(1);
+        let _ = h.add_class(leaf, Rate::bps(1));
+    }
+
+    #[test]
+    fn scheduler_class_orders_by_inner_discipline() {
+        // A class whose inner discipline is plain SFQ but with inverted
+        // weights relative to the outer tree: inner ordering must be
+        // the inner scheduler's.
+        let mut h = HierSfq::new();
+        let mut inner = crate::Sfq::new();
+        inner.add_flow(FlowId(1), Rate::bps(4_000)); // favored inside
+        inner.add_flow(FlowId(2), Rate::bps(1_000));
+        let class = h.add_scheduler_class(h.root(), Rate::bps(1_000), Box::new(inner));
+        h.attach_configured_flow(class, FlowId(1));
+        h.attach_configured_flow(class, FlowId(2));
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        for _ in 0..4 {
+            h.enqueue(t0, pf.make(FlowId(2), Bytes::new(125), t0));
+            h.enqueue(t0, pf.make(FlowId(1), Bytes::new(125), t0));
+        }
+        assert_eq!(h.len(), 8);
+        assert_eq!(h.backlog(FlowId(1)), 4);
+        let order = drain(&mut h);
+        // Inner SFQ with 4:1 weights: flow 1 gets ~4 of the first 5.
+        let f1_first5 = order[..5].iter().filter(|&&f| f == 1).count();
+        assert!(f1_first5 >= 3, "inner discipline ignored: {order:?}");
+        assert_eq!(order.len(), 8);
+    }
+
+    #[test]
+    fn scheduler_class_competes_fairly_with_sibling_flow() {
+        let mut h = HierSfq::new();
+        let mut inner = crate::Sfq::new();
+        inner.add_flow(FlowId(1), Rate::bps(1_000));
+        let class = h.add_scheduler_class(h.root(), Rate::bps(1_000), Box::new(inner));
+        h.attach_configured_flow(class, FlowId(1));
+        h.add_flow(FlowId(2), Rate::bps(1_000));
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        for _ in 0..3 {
+            h.enqueue(t0, pf.make(FlowId(1), Bytes::new(125), t0));
+            h.enqueue(t0, pf.make(FlowId(2), Bytes::new(125), t0));
+        }
+        let order = drain(&mut h);
+        // Equal outer weights: strict alternation between the class and
+        // the plain flow.
+        assert_eq!(order, vec![1, 2, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn hierarchy_nests_inside_scheduler_class() {
+        // A HierSfq as the inner discipline of a class: three levels of
+        // link sharing exercised through one dequeue path.
+        let mut inner = HierSfq::new();
+        let sub = inner.add_class(inner.root(), Rate::bps(1_000));
+        inner.add_flow_to(sub, FlowId(1), Rate::bps(1_000));
+        inner.add_flow_to(inner.root(), FlowId(2), Rate::bps(1_000));
+
+        let mut outer = HierSfq::new();
+        let class = outer.add_scheduler_class(outer.root(), Rate::bps(1_000), Box::new(inner));
+        outer.attach_configured_flow(class, FlowId(1));
+        outer.attach_configured_flow(class, FlowId(2));
+        outer.add_flow(FlowId(3), Rate::bps(1_000));
+
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        for _ in 0..2 {
+            outer.enqueue(t0, pf.make(FlowId(1), Bytes::new(125), t0));
+            outer.enqueue(t0, pf.make(FlowId(2), Bytes::new(125), t0));
+            outer.enqueue(t0, pf.make(FlowId(3), Bytes::new(125), t0));
+        }
+        let order = drain(&mut outer);
+        assert_eq!(order.len(), 6);
+        // Outer alternates class vs flow 3; inner alternates 1 vs 2.
+        let f3: Vec<usize> = order
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f == 3)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(f3, vec![1, 3], "flow 3 must interleave: {order:?}");
+        let inner_order: Vec<u32> = order.iter().copied().filter(|&f| f != 3).collect();
+        assert_eq!(inner_order, vec![1, 2, 1, 2], "inner unfair: {order:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a scheduler class")]
+    fn attach_configured_flow_to_plain_class_panics() {
+        let mut h = HierSfq::new();
+        let c = h.add_class(h.root(), Rate::bps(1));
+        h.attach_configured_flow(c, FlowId(1));
+    }
+
+    #[test]
+    fn arrival_mid_service_gets_continuation_tag() {
+        // A packet arriving while its flow's previous packet is in
+        // service must continue from F_prev, not restart at v.
+        let mut h = HierSfq::new();
+        h.add_flow(FlowId(1), Rate::bps(1_000));
+        h.add_flow(FlowId(2), Rate::bps(1_000));
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        h.enqueue(t0, pf.make(FlowId(1), Bytes::new(125), t0));
+        let _ = h.dequeue(t0).unwrap(); // flow1 pkt in service
+        // flow1 sends another while in service; flow2 sends one too.
+        h.enqueue(t0, pf.make(FlowId(1), Bytes::new(125), t0));
+        h.enqueue(t0, pf.make(FlowId(2), Bytes::new(125), t0));
+        h.on_departure(t0);
+        // flow2's S = v = 0 < flow1's continuation S = 1: flow2 first.
+        let p = h.dequeue(t0).unwrap();
+        assert_eq!(p.flow, FlowId(2));
+    }
+}

@@ -1,0 +1,34 @@
+//! # sfq-core — Start-time Fair Queuing
+//!
+//! Reproduction of the scheduling algorithms contributed by
+//! *Start-time Fair Queuing: A Scheduling Algorithm for Integrated
+//! Services Packet Switching Networks* (Goyal, Vin, Cheng; SIGCOMM '96):
+//!
+//! - [`Sfq`]: the SFQ scheduler of Section 2, including the generalized
+//!   per-packet variable-rate form (Eq. 36) and pluggable tie-breaking
+//!   (Section 2.3),
+//! - [`HierSfq`]: the hierarchical link-sharing scheduler of Section 3,
+//! - [`FairAirport`]: the Fair Airport combination of Appendix B,
+//! - the [`Scheduler`] trait and [`Packet`] vocabulary shared with the
+//!   baseline disciplines in the `baselines` crate.
+//!
+//! A scheduler is a pure data structure: its server (constant-rate,
+//! Fluctuation Constrained, or EBF — see the `servers` crate) decides
+//! *when* transmissions happen; the discipline decides *order*. All tag
+//! arithmetic is exact (`simtime::Ratio`), so the paper's fairness and
+//! delay theorems can be verified as exact inequalities in the test
+//! suite.
+
+#![warn(missing_docs)]
+
+mod fair_airport;
+mod hier;
+mod packet;
+mod sched;
+mod sfq;
+
+pub use fair_airport::{FairAirport, ServedVia};
+pub use hier::{ClassId, HierSfq};
+pub use packet::{FlowId, Packet, PacketFactory};
+pub use sched::{Scheduler, TieBreak};
+pub use sfq::Sfq;

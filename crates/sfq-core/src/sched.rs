@@ -1,0 +1,103 @@
+//! The scheduling-discipline interface shared by SFQ and every baseline.
+//!
+//! A scheduler is a pure data structure driven by its server: the server
+//! hands it arriving packets (`enqueue`), asks for the next packet to
+//! transmit when the output becomes free (`dequeue`), and reports when a
+//! transmission finishes (`on_departure`). The server — constant-rate,
+//! Fluctuation Constrained, or EBF — owns all notion of *when* service
+//! happens; the discipline only decides *order*. This mirrors the
+//! paper's split between the scheduling algorithm and the (possibly
+//! variable-rate) server it runs on.
+
+use crate::packet::{FlowId, Packet};
+use simtime::{Rate, SimTime};
+
+/// A work-conserving packet scheduling discipline.
+pub trait Scheduler {
+    /// Register a flow and its weight/rate `r_f` before any of its
+    /// packets arrive. Re-registering an existing flow updates the
+    /// weight for subsequently arriving packets.
+    fn add_flow(&mut self, flow: FlowId, weight: Rate);
+
+    /// A packet arrives at this server at time `now` (== `pkt.arrival`).
+    ///
+    /// Panics if the packet's flow was never registered.
+    fn enqueue(&mut self, now: SimTime, pkt: Packet);
+
+    /// Select the next packet to begin service at time `now`, or `None`
+    /// if no packet is queued. Work conservation: must return `Some`
+    /// whenever `!self.is_empty()`.
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet>;
+
+    /// The transmission started by the last `dequeue` completed at
+    /// `now`. Disciplines that track busy periods (e.g. SFQ's rule for
+    /// resetting virtual time) hook this; the default is a no-op.
+    fn on_departure(&mut self, _now: SimTime) {}
+
+    /// `true` if no packets are queued (a packet in service does not
+    /// count — it has already been handed to the server).
+    fn is_empty(&self) -> bool;
+
+    /// Number of queued packets.
+    fn len(&self) -> usize;
+
+    /// Number of queued packets belonging to `flow`.
+    fn backlog(&self, flow: FlowId) -> usize;
+
+    /// Remove an idle flow (no queued packets), releasing its state.
+    /// Returns `false` if the flow is unknown, still backlogged, or the
+    /// discipline does not support removal. Per-flow tag state is
+    /// discarded: if the flow later re-registers it starts fresh, like
+    /// a brand-new flow.
+    fn remove_flow(&mut self, _flow: FlowId) -> bool {
+        false
+    }
+
+    /// Human-readable discipline name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Tie-breaking rule applied when two packets carry equal primary tags.
+///
+/// Theorems 4 and 5 hold under *any* tie-break; Section 2.3 notes a rule
+/// may still be chosen to serve secondary goals, e.g. favouring
+/// interactive low-throughput flows to reduce their average delay.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TieBreak {
+    /// First-come-first-served among equal tags (by packet uid). The
+    /// deterministic default.
+    #[default]
+    Fifo,
+    /// Among equal tags, serve the flow with the smaller weight first
+    /// (priority to low-throughput, typically interactive, flows).
+    LowWeightFirst,
+    /// Among equal tags, serve the flow with the larger weight first.
+    HighWeightFirst,
+}
+
+impl TieBreak {
+    /// Secondary sort key for a packet of weight `weight`; smaller keys
+    /// are served first. `uid` always provides the final deterministic
+    /// tertiary key.
+    pub fn key(self, weight: Rate) -> i128 {
+        match self {
+            TieBreak::Fifo => 0,
+            TieBreak::LowWeightFirst => weight.as_bps() as i128,
+            TieBreak::HighWeightFirst => -(weight.as_bps() as i128),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiebreak_keys_order_as_documented() {
+        let lo = Rate::kbps(32);
+        let hi = Rate::mbps(1);
+        assert_eq!(TieBreak::Fifo.key(lo), TieBreak::Fifo.key(hi));
+        assert!(TieBreak::LowWeightFirst.key(lo) < TieBreak::LowWeightFirst.key(hi));
+        assert!(TieBreak::HighWeightFirst.key(hi) < TieBreak::HighWeightFirst.key(lo));
+    }
+}

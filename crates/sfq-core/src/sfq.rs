@@ -1,0 +1,528 @@
+//! Start-time Fair Queuing (Section 2 of the paper).
+//!
+//! Each arriving packet `p_f^j` is stamped with
+//!
+//! ```text
+//! S(p_f^j) = max{ v(A(p_f^j)), F(p_f^{j-1}) }          (Eq. 4)
+//! F(p_f^j) = S(p_f^j) + l_f^j / r_f^j                  (Eq. 5 / Eq. 36)
+//! ```
+//!
+//! with `F(p_f^0) = 0`. Packets are served in increasing start-tag
+//! order. The server virtual time `v(t)` is the start tag of the packet
+//! in service; at the end of a busy period it becomes the maximum finish
+//! tag assigned to any serviced packet. Computing `v(t)` is O(1) — this
+//! is what makes SFQ as cheap as SCFQ while keeping fairness over
+//! arbitrary (even fluctuating-rate) servers.
+
+use crate::packet::{FlowId, Packet};
+use crate::sched::{Scheduler, TieBreak};
+use simtime::{Ratio, Rate, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Heap ordering key: primary start tag, then the tie-break key, then
+/// packet uid for full determinism.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+struct Key {
+    start: Ratio,
+    tie: i128,
+    uid: u64,
+}
+
+#[derive(Debug)]
+struct FlowState {
+    weight: Rate,
+    /// `F(p_f^{j-1})`: finish tag of the flow's previous packet
+    /// (zero before the first packet, per the paper).
+    last_finish: Ratio,
+    backlog: usize,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct QueuedTags {
+    start: Ratio,
+    finish: Ratio,
+}
+
+/// The Start-time Fair Queuing scheduler.
+///
+/// Supports the generalized per-packet variable-rate form (Eq. 36) via
+/// [`Sfq::enqueue_with_rate`]; plain [`Scheduler::enqueue`] charges each
+/// packet at its flow's registered weight.
+///
+/// ```
+/// use sfq_core::{FlowId, PacketFactory, Scheduler, Sfq};
+/// use simtime::{Bytes, Rate, SimTime};
+///
+/// let mut sched = Sfq::new();
+/// sched.add_flow(FlowId(1), Rate::kbps(64));
+/// sched.add_flow(FlowId(2), Rate::kbps(64));
+///
+/// let mut pf = PacketFactory::new();
+/// let t0 = SimTime::ZERO;
+/// // Flow 1 bursts two packets; flow 2 sends one. SFQ interleaves by
+/// // start tags: flow 2's first packet (tag 0) beats flow 1's second
+/// // (tag l/r).
+/// sched.enqueue(t0, pf.make(FlowId(1), Bytes::new(200), t0));
+/// sched.enqueue(t0, pf.make(FlowId(1), Bytes::new(200), t0));
+/// sched.enqueue(t0, pf.make(FlowId(2), Bytes::new(200), t0));
+///
+/// let order: Vec<u32> = std::iter::from_fn(|| {
+///     let p = sched.dequeue(t0)?;
+///     sched.on_departure(t0);
+///     Some(p.flow.0)
+/// })
+/// .collect();
+/// assert_eq!(order, vec![1, 2, 1]);
+/// ```
+#[derive(Debug)]
+pub struct Sfq {
+    flows: HashMap<FlowId, FlowState>,
+    heap: BinaryHeap<Reverse<(Key, PacketRec)>>,
+    tags: HashMap<u64, QueuedTags>,
+    tie: TieBreak,
+    /// Current virtual time `v(t)` outside of service; while a packet is
+    /// in service `in_service` overrides this.
+    v: Ratio,
+    /// Start tag of the packet currently in service, if any.
+    in_service: Option<Ratio>,
+    /// Maximum finish tag assigned to any packet serviced so far.
+    max_finish_served: Ratio,
+    queued: usize,
+}
+
+/// Packet plus its finish tag, carried through the heap so `dequeue`
+/// can update bookkeeping without a second lookup.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct PacketRec {
+    pkt: Packet,
+    finish: Ratio,
+}
+
+impl PartialOrd for PacketRec {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PacketRec {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Key is always distinct (uid component); PacketRec ordering is
+        // irrelevant but required by the heap's tuple ordering.
+        self.pkt.uid.cmp(&other.pkt.uid)
+    }
+}
+
+impl Sfq {
+    /// New SFQ scheduler with FIFO tie-breaking.
+    pub fn new() -> Self {
+        Self::with_tiebreak(TieBreak::Fifo)
+    }
+
+    /// New SFQ scheduler with an explicit tie-break rule (Section 2.3).
+    pub fn with_tiebreak(tie: TieBreak) -> Self {
+        Sfq {
+            flows: HashMap::new(),
+            heap: BinaryHeap::new(),
+            tags: HashMap::new(),
+            tie,
+            v: Ratio::ZERO,
+            in_service: None,
+            max_finish_served: Ratio::ZERO,
+            queued: 0,
+        }
+    }
+
+    /// The server virtual time `v(t)` right now: the start tag of the
+    /// packet in service, else the stored value (start tag of the last
+    /// served packet during a busy period, or the max finish tag served
+    /// after a busy period ended).
+    pub fn virtual_time(&self) -> Ratio {
+        self.in_service.unwrap_or(self.v)
+    }
+
+    /// Start/finish tags assigned to a still-queued packet, if present.
+    pub fn tags_of(&self, uid: u64) -> Option<(Ratio, Ratio)> {
+        self.tags.get(&uid).map(|t| (t.start, t.finish))
+    }
+
+    /// The finish tag `F(p_f^{j-1})` state of a flow (0 before its first
+    /// packet).
+    pub fn flow_last_finish(&self, flow: FlowId) -> Option<Ratio> {
+        self.flows.get(&flow).map(|f| f.last_finish)
+    }
+
+    /// Enqueue charging the packet at an explicit rate `r_f^j`
+    /// (generalized SFQ, Eq. 36). The weight registered via `add_flow`
+    /// is ignored for this packet's finish tag.
+    pub fn enqueue_with_rate(&mut self, _now: SimTime, pkt: Packet, rate: Rate) {
+        // Snap the virtual time at its read point: bounds tag
+        // denominators under adversarial weight mixes (no-op at the
+        // scales the exact theorem tests run at; see Ratio::snap_pico).
+        let v_now = self.virtual_time().snap_pico();
+        let fs = self
+            .flows
+            .get_mut(&pkt.flow)
+            .unwrap_or_else(|| panic!("SFQ: unregistered flow {}", pkt.flow));
+        let start = v_now.max(fs.last_finish);
+        let finish = start + rate.tag_span(pkt.len);
+        fs.last_finish = finish;
+        fs.backlog += 1;
+        let key = Key {
+            start,
+            tie: self.tie.key(rate),
+            uid: pkt.uid,
+        };
+        self.tags.insert(pkt.uid, QueuedTags { start, finish });
+        self.heap.push(Reverse((key, PacketRec { pkt, finish })));
+        self.queued += 1;
+    }
+}
+
+impl Default for Sfq {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler for Sfq {
+    fn add_flow(&mut self, flow: FlowId, weight: Rate) {
+        assert!(weight.as_bps() > 0, "SFQ: flow weight must be positive");
+        self.flows
+            .entry(flow)
+            .and_modify(|f| f.weight = weight)
+            .or_insert(FlowState {
+                weight,
+                last_finish: Ratio::ZERO,
+                backlog: 0,
+            });
+    }
+
+    fn enqueue(&mut self, now: SimTime, pkt: Packet) {
+        let weight = self
+            .flows
+            .get(&pkt.flow)
+            .unwrap_or_else(|| panic!("SFQ: unregistered flow {}", pkt.flow))
+            .weight;
+        self.enqueue_with_rate(now, pkt, weight);
+    }
+
+    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+        let Reverse((key, rec)) = self.heap.pop()?;
+        self.queued -= 1;
+        self.tags.remove(&rec.pkt.uid);
+        if let Some(fs) = self.flows.get_mut(&rec.pkt.flow) {
+            fs.backlog -= 1;
+        }
+        // v(t) during service is the start tag of the packet in service.
+        self.in_service = Some(key.start);
+        self.v = key.start;
+        self.max_finish_served = self.max_finish_served.max(rec.finish);
+        Some(rec.pkt)
+    }
+
+    fn on_departure(&mut self, _now: SimTime) {
+        self.in_service = None;
+        if self.queued == 0 {
+            // End of busy period: v := max finish tag serviced (step 2
+            // of the algorithm definition).
+            self.v = self.max_finish_served;
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.queued == 0
+    }
+
+    fn len(&self) -> usize {
+        self.queued
+    }
+
+    fn backlog(&self, flow: FlowId) -> usize {
+        self.flows.get(&flow).map_or(0, |f| f.backlog)
+    }
+
+    fn remove_flow(&mut self, flow: FlowId) -> bool {
+        match self.flows.get(&flow) {
+            Some(fs) if fs.backlog == 0 => {
+                self.flows.remove(&flow);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "SFQ"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketFactory;
+    use simtime::Bytes;
+
+    fn setup2() -> (Sfq, PacketFactory) {
+        let mut s = Sfq::new();
+        s.add_flow(FlowId(1), Rate::bps(1_000)); // tag span of 125B = 1
+        s.add_flow(FlowId(2), Rate::bps(1_000));
+        (s, PacketFactory::new())
+    }
+
+    #[test]
+    fn tags_follow_eq4_eq5() {
+        let (mut s, mut pf) = setup2();
+        let t0 = SimTime::ZERO;
+        let p1 = pf.make(FlowId(1), Bytes::new(125), t0);
+        let p2 = pf.make(FlowId(1), Bytes::new(125), t0);
+        s.enqueue(t0, p1);
+        s.enqueue(t0, p2);
+        // First packet: S = max(v=0, F0=0) = 0, F = 1.
+        assert_eq!(s.tags_of(p1.uid), Some((Ratio::ZERO, Ratio::ONE)));
+        // Second: S = F(p1) = 1, F = 2.
+        assert_eq!(
+            s.tags_of(p2.uid),
+            Some((Ratio::ONE, Ratio::from_int(2)))
+        );
+    }
+
+    #[test]
+    fn serves_in_start_tag_order_across_flows() {
+        let (mut s, mut pf) = setup2();
+        let t0 = SimTime::ZERO;
+        // Flow 1 sends two packets at t0 (tags 0,1); flow 2 one packet
+        // at t0 (tag 0) — tie on 0 broken by uid (FIFO), then flow2's
+        // S=0 packet precedes flow1's S=1 packet.
+        let a = pf.make(FlowId(1), Bytes::new(125), t0);
+        let b = pf.make(FlowId(1), Bytes::new(125), t0);
+        let c = pf.make(FlowId(2), Bytes::new(125), t0);
+        s.enqueue(t0, a);
+        s.enqueue(t0, b);
+        s.enqueue(t0, c);
+        let order: Vec<u64> = std::iter::from_fn(|| {
+            let p = s.dequeue(t0);
+            s.on_departure(t0);
+            p.map(|p| p.uid)
+        })
+        .collect();
+        assert_eq!(order, vec![a.uid, c.uid, b.uid]);
+    }
+
+    #[test]
+    fn virtual_time_is_start_tag_of_in_service_packet() {
+        let (mut s, mut pf) = setup2();
+        let t0 = SimTime::ZERO;
+        let a = pf.make(FlowId(1), Bytes::new(125), t0);
+        let b = pf.make(FlowId(1), Bytes::new(125), t0);
+        s.enqueue(t0, a);
+        s.enqueue(t0, b);
+        assert_eq!(s.virtual_time(), Ratio::ZERO);
+        let _ = s.dequeue(t0).unwrap();
+        assert_eq!(s.virtual_time(), Ratio::ZERO); // S(a) = 0
+        s.on_departure(t0);
+        let _ = s.dequeue(t0).unwrap();
+        assert_eq!(s.virtual_time(), Ratio::ONE); // S(b) = 1
+    }
+
+    #[test]
+    fn busy_period_end_sets_v_to_max_finish_served() {
+        let (mut s, mut pf) = setup2();
+        let t0 = SimTime::ZERO;
+        let a = pf.make(FlowId(1), Bytes::new(125), t0);
+        s.enqueue(t0, a);
+        let _ = s.dequeue(t0).unwrap();
+        s.on_departure(SimTime::from_secs(1));
+        // Busy period over: v = F(a) = 1.
+        assert_eq!(s.virtual_time(), Ratio::ONE);
+        // A later packet starts from that virtual time: S = max(1, F_prev=1).
+        let b = pf.make(FlowId(2), Bytes::new(125), SimTime::from_secs(5));
+        s.enqueue(SimTime::from_secs(5), b);
+        assert_eq!(s.tags_of(b.uid).unwrap().0, Ratio::ONE);
+    }
+
+    #[test]
+    fn arrival_during_service_sees_in_service_start_tag() {
+        let (mut s, mut pf) = setup2();
+        let t0 = SimTime::ZERO;
+        let a = pf.make(FlowId(1), Bytes::new(125), t0);
+        let b = pf.make(FlowId(1), Bytes::new(125), t0);
+        s.enqueue(t0, a);
+        s.enqueue(t0, b);
+        let _ = s.dequeue(t0); // a in service, v = 0
+        s.on_departure(t0);
+        let _ = s.dequeue(t0); // b in service, v = S(b) = 1
+        // Flow 2 packet arriving now: S = max(v=1, 0) = 1, not 2.
+        let c = pf.make(FlowId(2), Bytes::new(125), t0);
+        s.enqueue(t0, c);
+        assert_eq!(s.tags_of(c.uid).unwrap().0, Ratio::ONE);
+    }
+
+    #[test]
+    fn variable_rate_packets_use_given_rate() {
+        let (mut s, mut pf) = setup2();
+        let t0 = SimTime::ZERO;
+        let p = pf.make(FlowId(1), Bytes::new(125), t0);
+        // Charge at 2000 bps instead of the registered 1000 bps.
+        s.enqueue_with_rate(t0, p, Rate::bps(2_000));
+        let (start, finish) = s.tags_of(p.uid).unwrap();
+        assert_eq!(start, Ratio::ZERO);
+        assert_eq!(finish, Ratio::new(1, 2));
+    }
+
+    #[test]
+    fn low_weight_first_tiebreak() {
+        let mut s = Sfq::with_tiebreak(TieBreak::LowWeightFirst);
+        s.add_flow(FlowId(1), Rate::mbps(1));
+        s.add_flow(FlowId(2), Rate::kbps(32));
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        // Both first packets have S = 0; low-weight flow 2 must win even
+        // though flow 1's packet has the smaller uid.
+        let a = pf.make(FlowId(1), Bytes::new(125), t0);
+        let b = pf.make(FlowId(2), Bytes::new(125), t0);
+        s.enqueue(t0, a);
+        s.enqueue(t0, b);
+        assert_eq!(s.dequeue(t0).unwrap().uid, b.uid);
+    }
+
+    #[test]
+    fn backlog_counts_per_flow() {
+        let (mut s, mut pf) = setup2();
+        let t0 = SimTime::ZERO;
+        s.enqueue(t0, pf.make(FlowId(1), Bytes::new(125), t0));
+        s.enqueue(t0, pf.make(FlowId(1), Bytes::new(125), t0));
+        s.enqueue(t0, pf.make(FlowId(2), Bytes::new(125), t0));
+        assert_eq!(s.backlog(FlowId(1)), 2);
+        assert_eq!(s.backlog(FlowId(2)), 1);
+        assert_eq!(s.len(), 3);
+        let _ = s.dequeue(t0);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered flow")]
+    fn unregistered_flow_panics() {
+        let mut s = Sfq::new();
+        let mut pf = PacketFactory::new();
+        let p = pf.make(FlowId(9), Bytes::new(10), SimTime::ZERO);
+        s.enqueue(SimTime::ZERO, p);
+    }
+
+    #[test]
+    fn remove_flow_only_when_idle() {
+        let (mut s, mut pf) = setup2();
+        let t0 = SimTime::ZERO;
+        s.enqueue(t0, pf.make(FlowId(1), Bytes::new(125), t0));
+        assert!(!s.remove_flow(FlowId(1)), "backlogged flow stays");
+        let _ = s.dequeue(t0);
+        s.on_departure(t0);
+        assert!(s.remove_flow(FlowId(1)));
+        assert!(!s.remove_flow(FlowId(1)), "already gone");
+        assert!(!s.remove_flow(FlowId(9)), "unknown flow");
+        // Re-registering starts a fresh tag chain.
+        s.add_flow(FlowId(1), Rate::bps(1_000));
+        assert_eq!(s.flow_last_finish(FlowId(1)), Some(Ratio::ZERO));
+    }
+
+    #[test]
+    fn dequeue_empty_returns_none() {
+        let (mut s, _) = setup2();
+        assert!(s.dequeue(SimTime::ZERO).is_none());
+        assert!(s.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::packet::PacketFactory;
+    use proptest::prelude::*;
+    use simtime::Bytes;
+
+    /// A random interleaving of operations against an SFQ scheduler.
+    #[derive(Debug, Clone)]
+    enum Op {
+        /// Enqueue (flow index, length).
+        Enq(u8, u64),
+        /// Dequeue one packet and complete its transmission.
+        Deq,
+    }
+
+    fn ops() -> impl Strategy<Value = Vec<Op>> {
+        prop::collection::vec(
+            prop_oneof![
+                (0u8..4, 64u64..1500).prop_map(|(f, l)| Op::Enq(f, l)),
+                Just(Op::Deq),
+            ],
+            1..200,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Structural tag invariants under arbitrary interleavings:
+        /// v(t) is non-decreasing; every assigned start tag is >= the
+        /// virtual time at its assignment; finish > start; dequeues
+        /// come out in non-decreasing start-tag order within a busy
+        /// period.
+        #[test]
+        fn tag_invariants(ops in ops()) {
+            let mut s = Sfq::new();
+            for f in 0..4u32 {
+                s.add_flow(FlowId(f), Rate::bps(1_000 + 500 * f as u64));
+            }
+            let mut pf = PacketFactory::new();
+            let t0 = SimTime::ZERO;
+            let mut last_v = s.virtual_time();
+            let mut last_start_in_busy: Option<Ratio> = None;
+            for op in ops {
+                match op {
+                    Op::Enq(f, l) => {
+                        let pkt = pf.make(FlowId(f as u32), Bytes::new(l), t0);
+                        let v_before = s.virtual_time();
+                        s.enqueue(t0, pkt);
+                        let (start, finish) = s.tags_of(pkt.uid).expect("queued");
+                        prop_assert!(start >= v_before, "S below v at assignment");
+                        prop_assert!(finish > start, "F must exceed S");
+                    }
+                    Op::Deq => {
+                        if let Some(pkt) = s.dequeue(t0) {
+                            let v = s.virtual_time();
+                            if let Some(prev) = last_start_in_busy {
+                                prop_assert!(v >= prev, "start tags served out of order");
+                            }
+                            last_start_in_busy = Some(v);
+                            let _ = pkt;
+                            s.on_departure(t0);
+                            if s.is_empty() {
+                                last_start_in_busy = None;
+                            }
+                        }
+                    }
+                }
+                let v_now = s.virtual_time();
+                prop_assert!(v_now >= last_v, "virtual time went backwards");
+                last_v = v_now;
+            }
+        }
+
+        /// Flow finish-tag chains are strictly increasing per flow.
+        #[test]
+        fn per_flow_finish_chain_increases(lens in prop::collection::vec(1u64..2000, 1..50)) {
+            let mut s = Sfq::new();
+            s.add_flow(FlowId(1), Rate::bps(8_000));
+            let mut pf = PacketFactory::new();
+            let mut prev = Ratio::ZERO;
+            for l in lens {
+                let pkt = pf.make(FlowId(1), Bytes::new(l), SimTime::ZERO);
+                s.enqueue(SimTime::ZERO, pkt);
+                let f = s.flow_last_finish(FlowId(1)).expect("registered");
+                prop_assert!(f > prev);
+                prev = f;
+            }
+        }
+    }
+}

@@ -1,0 +1,503 @@
+//! Exact rational arithmetic.
+//!
+//! All scheduler state in this reproduction — virtual times, start/finish
+//! tags, transmission times — is kept as exact rationals. The theorems of
+//! the SFQ paper are exact inequalities; floating point would force every
+//! test to reason about rounding slop. `Ratio` is a reduced `i128`
+//! fraction with a strictly positive denominator.
+//!
+//! Arithmetic panics on overflow: in this simulation domain (times up to
+//! thousands of seconds, rates up to hundreds of Gb/s, nanosecond
+//! quantization of random inputs) intermediate products stay far below
+//! `i128::MAX`, and a panic is a correctness signal, not an expected
+//! runtime condition.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An exact rational number: `num / den`, always reduced, `den > 0`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: i128,
+    den: i128,
+}
+
+/// Greatest common divisor (binary-free Euclid; inputs may be negative).
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Ratio {
+    /// Zero.
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// Construct `num / den`. Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "Ratio denominator must be non-zero");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den);
+        if g == 0 {
+            return Ratio { num: 0, den: 1 };
+        }
+        Ratio {
+            num: sign * (num / g),
+            den: (den / g).abs(),
+        }
+    }
+
+    /// Construct from an integer.
+    pub const fn from_int(v: i128) -> Self {
+        Ratio { num: v, den: 1 }
+    }
+
+    /// Numerator of the reduced fraction.
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator of the reduced fraction (always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// `true` if the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// `true` if strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// `true` if strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Self {
+        Ratio {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Lossy conversion for reporting/plotting only — never used in
+    /// scheduler logic.
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Exact minimum.
+    pub fn min(self, other: Self) -> Self {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Exact maximum.
+    pub fn max(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Floor division to an integer.
+    pub fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Ceiling division to an integer.
+    pub fn ceil(self) -> i128 {
+        -((-self.num).div_euclid(self.den))
+    }
+
+    /// Checked addition (None on overflow).
+    pub fn checked_add(self, rhs: Self) -> Option<Self> {
+        // a/b + c/d = (a*(l/b) + c*(l/d)) / l with l = lcm(b, d).
+        let g = gcd(self.den, rhs.den);
+        let lb = rhs.den / g;
+        let ld = self.den / g;
+        let num = self
+            .num
+            .checked_mul(lb)?
+            .checked_add(rhs.num.checked_mul(ld)?)?;
+        let den = self.den.checked_mul(lb)?;
+        Some(Ratio::new(num, den))
+    }
+
+    /// Checked multiplication (None on overflow).
+    pub fn checked_mul(self, rhs: Self) -> Option<Self> {
+        // Cross-reduce before multiplying to keep magnitudes small.
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        let num = (self.num / g1).checked_mul(rhs.num / g2)?;
+        let den = (self.den / g2).checked_mul(rhs.den / g1)?;
+        Some(Ratio::new(num, den))
+    }
+
+    /// Exact reciprocal; panics on zero.
+    pub fn recip(self) -> Self {
+        assert!(self.num != 0, "Ratio::recip of zero");
+        Ratio::new(self.den, self.num)
+    }
+
+    /// Quantize to the picosecond grid (round to nearest multiple of
+    /// 1e-12) — a **no-op whenever the denominator is already ≤ 1e12**,
+    /// so values built from nanosecond times and ordinary rates pass
+    /// through exact.
+    ///
+    /// Self-clocked schedulers read another flow's tag as the virtual
+    /// time; kept fully exact, a workload mixing many coprime weights
+    /// with idle-flow reactivations grows tag denominators like the lcm
+    /// of every weight crossed and eventually overflows `i128`. Snapping
+    /// the virtual time at its read point bounds every derived
+    /// denominator at `lcm(10^12, r_f)` while perturbing values by at
+    /// most 5e-13 — eleven orders of magnitude below the quantities the
+    /// paper's bounds compare.
+    pub fn snap_pico(self) -> Self {
+        const PICO: i128 = 1_000_000_000_000;
+        if self.den <= PICO {
+            return self;
+        }
+        let q = self.num.div_euclid(self.den);
+        let rem = self - Ratio::from_int(q);
+        // rem in [0, 1): f64's 2^-52 relative error is far below the
+        // half-pico rounding step.
+        let pico = (rem.to_f64() * PICO as f64).round() as i128;
+        Ratio::from_int(q) + Ratio::new(pico, PICO)
+    }
+}
+
+impl Default for Ratio {
+    fn default() -> Self {
+        Ratio::ZERO
+    }
+}
+
+impl From<i128> for Ratio {
+    fn from(v: i128) -> Self {
+        Ratio::from_int(v)
+    }
+}
+
+impl From<i64> for Ratio {
+    fn from(v: i64) -> Self {
+        Ratio::from_int(v as i128)
+    }
+}
+
+impl From<u64> for Ratio {
+    fn from(v: u64) -> Self {
+        Ratio::from_int(v as i128)
+    }
+}
+
+impl From<u32> for Ratio {
+    fn from(v: u32) -> Self {
+        Ratio::from_int(v as i128)
+    }
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: Self) -> Self {
+        self.checked_add(rhs).expect("Ratio add overflow")
+    }
+}
+
+impl Sub for Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: Self) -> Self {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Self {
+        Ratio {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl Mul for Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: Self) -> Self {
+        self.checked_mul(rhs).expect("Ratio mul overflow")
+    }
+}
+
+impl Div for Ratio {
+    type Output = Ratio;
+    #[allow(clippy::suspicious_arithmetic_impl)] // a/b == a * (1/b) by definition
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.recip()
+    }
+}
+
+impl AddAssign for Ratio {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Ratio {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Ratio {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Ratio {
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Fast path: a/b vs c/d (b,d > 0)  <=>  a*d vs c*b.
+        if let (Some(lhs), Some(rhs)) = (
+            self.num.checked_mul(other.den),
+            other.num.checked_mul(self.den),
+        ) {
+            return lhs.cmp(&rhs);
+        }
+        cmp_frac(self.num, self.den, other.num, other.den)
+    }
+}
+
+/// Overflow-free exact comparison of `a/b` vs `c/d` (`b, d > 0`) by
+/// continued-fraction expansion: compare integer parts; on a tie,
+/// compare the reciprocals of the fractional parts with the order
+/// reversed (`ra/b < rc/d  <=>  d/rc < b/ra`). Terminates like the
+/// Euclidean algorithm and never multiplies large operands.
+fn cmp_frac(mut a: i128, mut b: i128, mut c: i128, mut d: i128) -> Ordering {
+    loop {
+        let qa = a.div_euclid(b);
+        let qc = c.div_euclid(d);
+        if qa != qc {
+            return qa.cmp(&qc);
+        }
+        let ra = a.rem_euclid(b);
+        let rc = c.rem_euclid(d);
+        match (ra == 0, rc == 0) {
+            (true, true) => return Ordering::Equal,
+            (true, false) => return Ordering::Less,
+            (false, true) => return Ordering::Greater,
+            (false, false) => {
+                // Compare ra/b vs rc/d via reversed reciprocals.
+                let (na, nb, nc, nd) = (d, rc, b, ra);
+                a = na;
+                b = nb;
+                c = nc;
+                d = nd;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Ratio {
+        Ratio::new(n, d)
+    }
+
+    #[test]
+    fn reduces_on_construction() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(2, 4).numer(), 1);
+        assert_eq!(r(2, 4).denom(), 2);
+    }
+
+    #[test]
+    fn normalizes_sign_to_denominator() {
+        assert_eq!(r(1, -2), r(-1, 2));
+        assert!(r(1, -2).is_negative());
+        assert!(r(-1, -2).is_positive());
+    }
+
+    #[test]
+    fn zero_from_zero_numerator() {
+        assert_eq!(r(0, 5), Ratio::ZERO);
+        assert!(r(0, -7).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_denominator_panics() {
+        let _ = r(1, 0);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = r(1, 3);
+        let b = r(1, 6);
+        assert_eq!(a + b, r(1, 2));
+        assert_eq!((a + b) - b, a);
+    }
+
+    #[test]
+    fn mul_div_roundtrip() {
+        let a = r(22, 7);
+        let b = r(3, 5);
+        assert_eq!(a * b, r(66, 35));
+        assert_eq!((a * b) / b, a);
+    }
+
+    #[test]
+    fn ordering_cross_multiplies() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(7, 7) == Ratio::ONE);
+    }
+
+    #[test]
+    fn floor_and_ceil() {
+        assert_eq!(r(7, 2).floor(), 3);
+        assert_eq!(r(7, 2).ceil(), 4);
+        assert_eq!(r(-7, 2).floor(), -4);
+        assert_eq!(r(-7, 2).ceil(), -3);
+        assert_eq!(r(4, 2).floor(), 2);
+        assert_eq!(r(4, 2).ceil(), 2);
+    }
+
+    #[test]
+    fn min_max_exact() {
+        assert_eq!(r(1, 3).min(r(1, 2)), r(1, 3));
+        assert_eq!(r(1, 3).max(r(1, 2)), r(1, 2));
+    }
+
+    #[test]
+    fn recip_inverts() {
+        assert_eq!(r(3, 4).recip(), r(4, 3));
+        assert_eq!(r(-3, 4).recip(), r(-4, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "recip of zero")]
+    fn recip_zero_panics() {
+        let _ = Ratio::ZERO.recip();
+    }
+
+    #[test]
+    fn to_f64_matches() {
+        assert!((r(1, 4).to_f64() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", r(3, 1)), "3");
+        assert_eq!(format!("{}", r(3, 2)), "3/2");
+        assert_eq!(format!("{}", r(-3, 2)), "-3/2");
+    }
+
+    #[test]
+    fn snap_pico_is_noop_on_coarse_grids() {
+        let r = Ratio::new(123_456, 1_000_000_007); // den just above 1e9
+        assert_eq!(r.snap_pico(), r);
+        let t = Ratio::new(1, 3);
+        assert_eq!(t.snap_pico(), t);
+    }
+
+    #[test]
+    fn snap_pico_bounds_denominator_and_error() {
+        // A denominator beyond the grid gets quantized.
+        let big = Ratio::new(10i128.pow(20) + 1, 3 * 10i128.pow(19));
+        let s = big.snap_pico();
+        assert!(s.denom() <= 1_000_000_000_000);
+        let err = (s - big).abs();
+        assert!(err <= Ratio::new(1, 1_000_000_000_000), "err={err:?}");
+    }
+
+    #[test]
+    fn cmp_survives_huge_coprime_denominators() {
+        // Denominators whose product overflows i128: the fast path
+        // fails and the continued-fraction path must take over.
+        let d1: i128 = 1_000_000_007; // prime
+        let d2: i128 = 998_244_353; // prime
+        let big = 10i128.pow(20);
+        let a = Ratio::new(big * d1 + 1, d1 * d2); // slightly above big/d2
+        let b = Ratio::new(big * d1, d1 * d2);
+        assert!(a > b);
+        assert_eq!(a.cmp(&a), core::cmp::Ordering::Equal);
+        // Cross-denominator comparison with overflow-scale operands.
+        let x = Ratio::new(10i128.pow(30) + 1, 10i128.pow(30));
+        let y = Ratio::new(10i128.pow(29) + 1, 10i128.pow(29));
+        assert!(x < y);
+    }
+
+    #[test]
+    fn cmp_frac_agrees_with_fast_path_on_small_values() {
+        for an in -20i128..20 {
+            for ad in 1i128..8 {
+                for cn in -20i128..20 {
+                    for cd in 1i128..8 {
+                        let fast = (an * cd).cmp(&(cn * ad));
+                        assert_eq!(
+                            super::cmp_frac(an, ad, cn, cd),
+                            fast,
+                            "{an}/{ad} vs {cn}/{cd}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn large_rate_arithmetic_stays_exact() {
+        // 1500 bytes at 100 Mb/s: 12000 bits / 1e8 bps = 3/25000 s.
+        let t = r(12000, 100_000_000);
+        assert_eq!(t, r(3, 25_000));
+        // One thousand of those transmissions:
+        let total = (0..1000).fold(Ratio::ZERO, |acc, _| acc + t);
+        assert_eq!(total, r(3000, 25_000));
+    }
+}

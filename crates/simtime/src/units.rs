@@ -1,0 +1,241 @@
+//! Physical units of the packet-scheduling domain.
+//!
+//! - [`Bytes`]: packet lengths and cumulative work, integer bytes.
+//! - [`Rate`]: link capacities and flow weights, integer bits per second.
+//!
+//! The paper interprets the weight `r_f` of a flow as a rate (Section
+//! 2.2), so one type serves both purposes; for pure weighted fairness the
+//! unit cancels out of every comparison.
+
+use crate::ratio::Ratio;
+use crate::time::SimDuration;
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A quantity of data in bytes (packet length or cumulative work).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bytes(pub u64);
+
+/// A transmission rate or flow weight in bits per second.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Rate(pub u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Construct from a byte count.
+    pub const fn new(b: u64) -> Self {
+        Bytes(b)
+    }
+
+    /// Construct from kilobytes (10^3 bytes).
+    pub const fn from_kb(kb: u64) -> Self {
+        Bytes(kb * 1_000)
+    }
+
+    /// Construct from kibibytes (2^10 bytes).
+    pub const fn from_kib(kib: u64) -> Self {
+        Bytes(kib * 1_024)
+    }
+
+    /// Byte count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Bit count.
+    pub const fn bits(self) -> u64 {
+        self.0 * 8
+    }
+
+    /// Exact rational bit count (for tag arithmetic).
+    pub fn bits_ratio(self) -> Ratio {
+        Ratio::from_int(self.bits() as i128)
+    }
+}
+
+impl Rate {
+    /// Construct from bits per second.
+    pub const fn bps(v: u64) -> Self {
+        Rate(v)
+    }
+
+    /// Construct from kilobits per second (10^3 b/s).
+    pub const fn kbps(v: u64) -> Self {
+        Rate(v * 1_000)
+    }
+
+    /// Construct from megabits per second (10^6 b/s).
+    pub const fn mbps(v: u64) -> Self {
+        Rate(v * 1_000_000)
+    }
+
+    /// Construct from gigabits per second (10^9 b/s).
+    pub const fn gbps(v: u64) -> Self {
+        Rate(v * 1_000_000_000)
+    }
+
+    /// Bits per second.
+    pub const fn as_bps(self) -> u64 {
+        self.0
+    }
+
+    /// Exact rational bits per second.
+    pub fn as_ratio(self) -> Ratio {
+        Ratio::from_int(self.0 as i128)
+    }
+
+    /// Exact time to transmit `len` at this rate. Panics on a zero rate.
+    pub fn tx_time(self, len: Bytes) -> SimDuration {
+        assert!(self.0 > 0, "transmission at zero rate");
+        SimDuration::from_ratio(Ratio::new(len.bits() as i128, self.0 as i128))
+    }
+
+    /// Exact tag increment `l / r` used by every discipline in the paper:
+    /// the virtual-time span occupied by a packet of length `len` on a
+    /// flow of weight `self`. Identical arithmetic to [`Rate::tx_time`],
+    /// returned as a bare [`Ratio`] because tag space is dimensionless.
+    pub fn tag_span(self, len: Bytes) -> Ratio {
+        assert!(self.0 > 0, "tag span for zero weight");
+        Ratio::new(len.bits() as i128, self.0 as i128)
+    }
+
+    /// Exact work done at this rate over `dur` (may be fractional bytes,
+    /// hence a `Ratio` of bits).
+    pub fn work_bits(self, dur: SimDuration) -> Ratio {
+        self.as_ratio() * dur.as_ratio()
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    fn add(self, rhs: Self) -> Self {
+        Bytes(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bytes {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Bytes {
+    type Output = Bytes;
+    fn sub(self, rhs: Self) -> Self {
+        Bytes(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Self {
+        iter.fold(Bytes::ZERO, |a, b| a + b)
+    }
+}
+
+impl Add for Rate {
+    type Output = Rate;
+    fn add(self, rhs: Self) -> Self {
+        Rate(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Rate {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Rate {
+    type Output = Rate;
+    fn sub(self, rhs: Self) -> Self {
+        Rate(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Rate {
+    fn sum<I: Iterator<Item = Rate>>(iter: I) -> Self {
+        iter.fold(Rate(0), |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B", self.0)
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B", self.0)
+    }
+}
+
+impl fmt::Debug for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}bps", self.0)
+    }
+}
+
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 && self.0.is_multiple_of(1_000_000) {
+            write!(f, "{}Mb/s", self.0 / 1_000_000)
+        } else if self.0 >= 1_000 && self.0.is_multiple_of(1_000) {
+            write!(f, "{}Kb/s", self.0 / 1_000)
+        } else {
+            write!(f, "{}b/s", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_time_is_exact() {
+        // 200 bytes at 64 Kb/s = 1600 bits / 64000 bps = 1/40 s = 25 ms.
+        let d = Rate::kbps(64).tx_time(Bytes::new(200));
+        assert_eq!(d, SimDuration::from_millis(25));
+    }
+
+    #[test]
+    fn tag_span_matches_tx_time_arithmetic() {
+        let r = Rate::mbps(1);
+        let l = Bytes::new(125);
+        assert_eq!(r.tag_span(l), r.tx_time(l).as_ratio());
+    }
+
+    #[test]
+    fn work_bits_over_duration() {
+        let w = Rate::mbps(1).work_bits(SimDuration::from_millis(8));
+        assert_eq!(w, Ratio::from_int(8_000));
+    }
+
+    #[test]
+    fn unit_constructors() {
+        assert_eq!(Rate::kbps(64).as_bps(), 64_000);
+        assert_eq!(Rate::mbps(100).as_bps(), 100_000_000);
+        assert_eq!(Rate::gbps(1).as_bps(), 1_000_000_000);
+        assert_eq!(Bytes::from_kb(4).as_u64(), 4_000);
+        assert_eq!(Bytes::from_kib(4).as_u64(), 4_096);
+        assert_eq!(Bytes::new(50).bits(), 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero rate")]
+    fn zero_rate_tx_panics() {
+        let _ = Rate::bps(0).tx_time(Bytes::new(1));
+    }
+
+    #[test]
+    fn sums() {
+        let total: Rate = [Rate::kbps(1), Rate::kbps(2)].into_iter().sum();
+        assert_eq!(total, Rate::kbps(3));
+        let b: Bytes = [Bytes::new(1), Bytes::new(2)].into_iter().sum();
+        assert_eq!(b, Bytes::new(3));
+    }
+}

@@ -1,0 +1,165 @@
+//! Heavy-tailed on-off source (Pareto sojourn times).
+//!
+//! Aggregates of Pareto on-off sources exhibit the long-range-dependent
+//! burstiness observed in real data traffic — a harsher stress for fair
+//! schedulers than Poisson. Used by the robustness variants of the
+//! Figure 2(b) experiment: SFQ's fairness theorems are workload-free,
+//! so the bounds must survive this traffic unchanged.
+
+use crate::sources::Source;
+use des::SimRng;
+use simtime::{Bytes, Rate, SimDuration, SimTime};
+
+/// On-off source whose on/off period lengths are Pareto-distributed.
+#[derive(Debug)]
+pub struct ParetoOnOffSource {
+    t: SimTime,
+    on_left: SimDuration,
+    interval: SimDuration,
+    len: Bytes,
+    mean_on: f64,
+    mean_off: f64,
+    shape: f64,
+    rng: SimRng,
+}
+
+impl ParetoOnOffSource {
+    /// Source sending `len`-byte packets every `interval` during on
+    /// periods. On/off durations are Pareto with the given means
+    /// (seconds) and tail `shape` (must be > 1 for a finite mean;
+    /// 1 < shape < 2 gives infinite variance, the self-similar regime).
+    pub fn new(
+        start: SimTime,
+        interval: SimDuration,
+        len: Bytes,
+        mean_on_s: f64,
+        mean_off_s: f64,
+        shape: f64,
+        rng: SimRng,
+    ) -> Self {
+        assert!(shape > 1.0, "Pareto shape must exceed 1 for a finite mean");
+        assert!(interval > SimDuration::ZERO, "interval must be positive");
+        assert!(mean_on_s > 0.0 && mean_off_s > 0.0, "means must be positive");
+        let mut src = ParetoOnOffSource {
+            t: start,
+            on_left: SimDuration::ZERO,
+            interval,
+            len,
+            mean_on: mean_on_s,
+            mean_off: mean_off_s,
+            shape,
+            rng,
+        };
+        src.on_left = src.pareto(mean_on_s);
+        src
+    }
+
+    fn pareto(&mut self, mean_s: f64) -> SimDuration {
+        // Pareto with mean m and shape a: x_m = m (a-1)/a;
+        // X = x_m * U^(-1/a).
+        let a = self.shape;
+        let xm = mean_s * (a - 1.0) / a;
+        let u: f64 = loop {
+            let u = self.rng.uniform();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let x = xm * u.powf(-1.0 / a);
+        SimDuration::from_nanos((x * 1e9).round().max(1.0) as i128)
+    }
+
+    /// Long-run average rate implied by the parameters.
+    pub fn mean_rate(&self) -> Rate {
+        let duty = self.mean_on / (self.mean_on + self.mean_off);
+        let on_rate = self.len.bits() as f64 / self.interval.as_secs_f64();
+        Rate::bps((on_rate * duty).round() as u64)
+    }
+}
+
+impl Source for ParetoOnOffSource {
+    fn next_arrival(&mut self) -> Option<(SimTime, Bytes)> {
+        let t = self.t;
+        if self.on_left > self.interval {
+            self.on_left = self.on_left - self.interval;
+            self.t += self.interval;
+        } else {
+            let off = self.pareto(self.mean_off);
+            self.t += self.interval + off;
+            self.on_left = self.pareto(self.mean_on);
+        }
+        Some((t, self.len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sources::arrivals_until;
+
+    fn src(seed: u64, shape: f64) -> ParetoOnOffSource {
+        ParetoOnOffSource::new(
+            SimTime::ZERO,
+            SimDuration::from_millis(10),
+            Bytes::new(500),
+            0.5,
+            0.5,
+            shape,
+            SimRng::new(seed),
+        )
+    }
+
+    #[test]
+    fn mean_rate_matches_duty_cycle() {
+        // 500 B / 10 ms on-rate = 400 Kb/s; 50% duty -> 200 Kb/s.
+        assert_eq!(src(1, 1.5).mean_rate(), Rate::kbps(200));
+    }
+
+    #[test]
+    fn long_run_rate_near_mean() {
+        let horizon = SimTime::from_secs(400);
+        let arr = arrivals_until(src(3, 1.9), horizon);
+        let bits: u64 = arr.iter().map(|a| a.1.bits()).sum();
+        let rate = bits as f64 / horizon.as_secs_f64();
+        // Heavy-tailed: generous tolerance.
+        assert!((rate - 200_000.0).abs() / 200_000.0 < 0.35, "rate={rate}");
+    }
+
+    #[test]
+    fn produces_long_bursts_and_long_silences() {
+        let arr = arrivals_until(src(7, 1.3), SimTime::from_secs(300));
+        // Detect at least one gap far above the mean off period and at
+        // least one on-run far above the mean on period.
+        let mut max_gap = 0.0f64;
+        let mut run = 1usize;
+        let mut max_run = 1usize;
+        for w in arr.windows(2) {
+            let gap = (w[1].0 - w[0].0).as_secs_f64();
+            if gap > max_gap {
+                max_gap = gap;
+            }
+            if gap < 0.011 {
+                run += 1;
+                max_run = max_run.max(run);
+            } else {
+                run = 1;
+            }
+        }
+        assert!(max_gap > 2.0, "no heavy-tailed silence: {max_gap}");
+        assert!(max_run > 150, "no heavy-tailed burst: {max_run}");
+    }
+
+    #[test]
+    fn arrivals_are_time_ordered() {
+        let arr = arrivals_until(src(11, 1.5), SimTime::from_secs(50));
+        for w in arr.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must exceed 1")]
+    fn shape_at_most_one_rejected() {
+        let _ = src(1, 1.0);
+    }
+}

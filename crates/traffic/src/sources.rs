@@ -1,0 +1,336 @@
+//! Basic traffic sources: CBR, Poisson, on-off, greedy, and scripted.
+//!
+//! A [`Source`] yields `(arrival time, packet length)` pairs in
+//! non-decreasing time order. [`arrivals_until`] materializes a source
+//! up to a horizon; [`to_packets`] mints `sfq_core::Packet`s; [`merge`]
+//! interleaves several flows' arrivals into one sorted schedule for the
+//! single-server harness.
+
+use des::SimRng;
+use sfq_core::{FlowId, Packet, PacketFactory};
+use simtime::{Bytes, Rate, SimDuration, SimTime};
+
+/// A packet arrival process.
+pub trait Source {
+    /// The next arrival `(time, length)`, in non-decreasing time order,
+    /// or `None` when the source is exhausted.
+    fn next_arrival(&mut self) -> Option<(SimTime, Bytes)>;
+}
+
+/// Constant bit rate: fixed-length packets at exact fixed intervals.
+#[derive(Debug)]
+pub struct CbrSource {
+    next: SimTime,
+    interval: SimDuration,
+    len: Bytes,
+    remaining: Option<u64>,
+}
+
+impl CbrSource {
+    /// CBR with explicit interval, starting at `start`, unlimited count.
+    pub fn new(start: SimTime, interval: SimDuration, len: Bytes) -> Self {
+        assert!(interval > SimDuration::ZERO, "CBR interval must be positive");
+        CbrSource {
+            next: start,
+            interval,
+            len,
+            remaining: None,
+        }
+    }
+
+    /// CBR paced so the long-run rate equals `rate`.
+    pub fn with_rate(start: SimTime, rate: Rate, len: Bytes) -> Self {
+        Self::new(start, rate.tx_time(len), len)
+    }
+
+    /// Stop after `n` packets.
+    pub fn take(mut self, n: u64) -> Self {
+        self.remaining = Some(n);
+        self
+    }
+}
+
+impl Source for CbrSource {
+    fn next_arrival(&mut self) -> Option<(SimTime, Bytes)> {
+        if let Some(rem) = &mut self.remaining {
+            if *rem == 0 {
+                return None;
+            }
+            *rem -= 1;
+        }
+        let t = self.next;
+        self.next += self.interval;
+        Some((t, self.len))
+    }
+}
+
+/// Poisson arrivals: fixed-length packets, exponential interarrivals.
+#[derive(Debug)]
+pub struct PoissonSource {
+    next: SimTime,
+    mean_gap: SimDuration,
+    len: Bytes,
+    rng: SimRng,
+}
+
+impl PoissonSource {
+    /// Poisson source whose long-run average rate is `rate`. The first
+    /// arrival falls one exponential gap after `start`, so sources
+    /// sharing a start time never synchronize.
+    pub fn with_rate(start: SimTime, rate: Rate, len: Bytes, rng: SimRng) -> Self {
+        let mean_gap = rate.tx_time(len);
+        PoissonSource {
+            next: start,
+            mean_gap,
+            len,
+            rng,
+        }
+    }
+}
+
+impl Source for PoissonSource {
+    fn next_arrival(&mut self) -> Option<(SimTime, Bytes)> {
+        self.next += self.rng.exp_duration(self.mean_gap);
+        Some((self.next, self.len))
+    }
+}
+
+/// On-off source: CBR bursts during on periods, silence during off.
+#[derive(Debug)]
+pub struct OnOffSource {
+    t: SimTime,
+    on: SimDuration,
+    off: SimDuration,
+    interval: SimDuration,
+    len: Bytes,
+    /// Time remaining in the current on period.
+    in_on: SimDuration,
+}
+
+impl OnOffSource {
+    /// On-off source sending `len`-byte packets every `interval` while
+    /// on. Periods alternate `on` / `off`, starting on at `start`.
+    pub fn new(
+        start: SimTime,
+        on: SimDuration,
+        off: SimDuration,
+        interval: SimDuration,
+        len: Bytes,
+    ) -> Self {
+        assert!(interval > SimDuration::ZERO, "interval must be positive");
+        assert!(on > SimDuration::ZERO, "on period must be positive");
+        OnOffSource {
+            t: start,
+            on,
+            off,
+            interval,
+            len,
+            in_on: on,
+        }
+    }
+}
+
+impl Source for OnOffSource {
+    fn next_arrival(&mut self) -> Option<(SimTime, Bytes)> {
+        let t = self.t;
+        // Advance; if the on period is exhausted, jump over the off gap.
+        if self.in_on > self.interval {
+            self.in_on = self.in_on - self.interval;
+            self.t += self.interval;
+        } else {
+            self.t += self.interval + self.off;
+            self.in_on = self.on;
+        }
+        Some((t, self.len))
+    }
+}
+
+/// Scripted source: an explicit `(time, length)` list — used for the
+/// paper's worked examples (Examples 1 and 2) and adversarial tests.
+#[derive(Debug)]
+pub struct ScriptSource {
+    items: std::vec::IntoIter<(SimTime, Bytes)>,
+}
+
+impl ScriptSource {
+    /// Source from an explicit arrival list (must be time-sorted).
+    pub fn new(items: Vec<(SimTime, Bytes)>) -> Self {
+        for w in items.windows(2) {
+            assert!(w[0].0 <= w[1].0, "script arrivals must be sorted");
+        }
+        ScriptSource {
+            items: items.into_iter(),
+        }
+    }
+
+    /// A greedy (always-backlogged) burst: `n` packets of `len` bytes
+    /// all arriving at `t`.
+    pub fn burst(t: SimTime, n: usize, len: Bytes) -> Self {
+        Self::new(vec![(t, len); n])
+    }
+}
+
+impl Source for ScriptSource {
+    fn next_arrival(&mut self) -> Option<(SimTime, Bytes)> {
+        self.items.next()
+    }
+}
+
+/// Materialize a source's arrivals with `time <= horizon`.
+pub fn arrivals_until<S: Source>(mut src: S, horizon: SimTime) -> Vec<(SimTime, Bytes)> {
+    let mut out = Vec::new();
+    while let Some((t, len)) = src.next_arrival() {
+        if t > horizon {
+            break;
+        }
+        out.push((t, len));
+    }
+    out
+}
+
+/// Mint packets for one flow from an arrival list.
+pub fn to_packets(
+    pf: &mut PacketFactory,
+    flow: FlowId,
+    arrivals: &[(SimTime, Bytes)],
+) -> Vec<Packet> {
+    arrivals
+        .iter()
+        .map(|&(t, len)| pf.make(flow, len, t))
+        .collect()
+}
+
+/// Merge per-flow packet lists into one time-sorted arrival schedule.
+/// The sort is stable on (time, uid), so simultaneous arrivals keep a
+/// deterministic order.
+pub fn merge(mut lists: Vec<Vec<Packet>>) -> Vec<Packet> {
+    let mut all: Vec<Packet> = lists.drain(..).flatten().collect();
+    all.sort_by(|a, b| a.arrival.cmp(&b.arrival).then(a.uid.cmp(&b.uid)));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbr_spacing_is_exact() {
+        let src = CbrSource::with_rate(SimTime::ZERO, Rate::kbps(64), Bytes::new(200));
+        // 200 B at 64 Kb/s = 25 ms.
+        let arr = arrivals_until(src, SimTime::from_millis(100));
+        let times: Vec<SimTime> = arr.iter().map(|a| a.0).collect();
+        assert_eq!(
+            times,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_millis(25),
+                SimTime::from_millis(50),
+                SimTime::from_millis(75),
+                SimTime::from_millis(100),
+            ]
+        );
+    }
+
+    #[test]
+    fn cbr_take_limits_count() {
+        let src = CbrSource::new(
+            SimTime::ZERO,
+            SimDuration::from_millis(1),
+            Bytes::new(10),
+        )
+        .take(3);
+        assert_eq!(arrivals_until(src, SimTime::from_secs(1)).len(), 3);
+    }
+
+    #[test]
+    fn poisson_mean_rate_plausible() {
+        let rng = SimRng::new(5);
+        let src =
+            PoissonSource::with_rate(SimTime::ZERO, Rate::kbps(100), Bytes::new(200), rng);
+        let horizon = SimTime::from_secs(200);
+        let arr = arrivals_until(src, horizon);
+        let bits: u64 = arr.iter().map(|a| a.1.bits()).sum();
+        let rate = bits as f64 / horizon.as_secs_f64();
+        assert!((rate - 100_000.0).abs() < 5_000.0, "rate={rate}");
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let a = arrivals_until(
+            PoissonSource::with_rate(
+                SimTime::ZERO,
+                Rate::kbps(32),
+                Bytes::new(200),
+                SimRng::new(1),
+            ),
+            SimTime::from_secs(10),
+        );
+        let b = arrivals_until(
+            PoissonSource::with_rate(
+                SimTime::ZERO,
+                Rate::kbps(32),
+                Bytes::new(200),
+                SimRng::new(1),
+            ),
+            SimTime::from_secs(10),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn onoff_silences_during_off() {
+        // On 10 ms (interval 5 ms), off 90 ms.
+        let src = OnOffSource::new(
+            SimTime::ZERO,
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(90),
+            SimDuration::from_millis(5),
+            Bytes::new(100),
+        );
+        let arr = arrivals_until(src, SimTime::from_millis(210));
+        let times: Vec<i128> = arr
+            .iter()
+            .map(|a| (a.0.as_secs_f64() * 1000.0).round() as i128)
+            .collect();
+        assert_eq!(times, vec![0, 5, 100, 105, 200, 205]);
+    }
+
+    #[test]
+    fn script_burst_all_at_once() {
+        let src = ScriptSource::burst(SimTime::from_secs(1), 4, Bytes::new(50));
+        let arr = arrivals_until(src, SimTime::from_secs(2));
+        assert_eq!(arr.len(), 4);
+        assert!(arr.iter().all(|a| a.0 == SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn merge_sorts_stably_by_time_then_uid() {
+        let mut pf = PacketFactory::new();
+        let f1 = to_packets(
+            &mut pf,
+            FlowId(1),
+            &[(SimTime::from_secs(1), Bytes::new(1))],
+        );
+        let f2 = to_packets(
+            &mut pf,
+            FlowId(2),
+            &[
+                (SimTime::ZERO, Bytes::new(1)),
+                (SimTime::from_secs(1), Bytes::new(1)),
+            ],
+        );
+        let m = merge(vec![f1, f2]);
+        assert_eq!(m[0].flow, FlowId(2));
+        assert_eq!(m[1].flow, FlowId(1)); // same time, lower uid
+        assert_eq!(m[2].flow, FlowId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_script_panics() {
+        let _ = ScriptSource::new(vec![
+            (SimTime::from_secs(1), Bytes::new(1)),
+            (SimTime::ZERO, Bytes::new(1)),
+        ]);
+    }
+}

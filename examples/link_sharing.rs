@@ -1,0 +1,112 @@
+//! Hierarchical link sharing (Section 3): a provider partitions a
+//! 45 Mb/s link between two organizations; each organization splits
+//! its share between a real-time and a best-effort class. As classes
+//! go idle and return, the spare bandwidth is redistributed *within*
+//! the right subtree first — the Floyd/Jacobson link-sharing goal the
+//! hierarchical SFQ scheduler implements.
+//!
+//! Run with: `cargo run --release --example link_sharing`
+
+use sfq_repro::prelude::*;
+
+fn main() {
+    let link = Rate::mbps(45);
+    let mut h = HierSfq::new();
+    // Organization A: 2/3 of the link. Organization B: 1/3.
+    let org_a = h.add_class(h.root(), Rate::mbps(30));
+    let org_b = h.add_class(h.root(), Rate::mbps(15));
+    // Within each org: real-time 2x best-effort.
+    h.add_flow_to(org_a, FlowId(1), Rate::mbps(20)); // A real-time
+    h.add_flow_to(org_a, FlowId(2), Rate::mbps(10)); // A best-effort
+    h.add_flow_to(org_b, FlowId(3), Rate::mbps(10)); // B real-time
+    h.add_flow_to(org_b, FlowId(4), Rate::mbps(5)); // B best-effort
+
+    // Phases (each 1 s):
+    //   P1: all four classes backlogged.
+    //   P2: A's real-time goes idle — its share must flow to A's
+    //       best-effort, not to B.
+    //   P3: all of org A idle — B's classes split the whole link 2:1.
+    let mut pf = PacketFactory::new();
+    let len = Bytes::new(1_500);
+    let mut arrivals = Vec::new();
+    let burst =
+        |pf: &mut PacketFactory, f: u32, from_ms: i128, to_ms: i128, out: &mut Vec<Packet>| {
+            // More than enough packets to stay backlogged for the phase.
+            let n = 4_000;
+            for _ in 0..n {
+                out.push(pf.make(FlowId(f), len, SimTime::from_millis(from_ms)));
+            }
+            let _ = to_ms;
+        };
+    // Flows 3 and 4 backlogged the whole 3 s.
+    burst(&mut pf, 3, 0, 3_000, &mut arrivals);
+    burst(&mut pf, 3, 1_000, 3_000, &mut arrivals);
+    burst(&mut pf, 3, 2_000, 3_000, &mut arrivals);
+    burst(&mut pf, 4, 0, 3_000, &mut arrivals);
+    burst(&mut pf, 4, 1_000, 3_000, &mut arrivals);
+    burst(&mut pf, 4, 2_000, 3_000, &mut arrivals);
+    // Flow 1 only in phase 1; flow 2 in phases 1-2.
+    burst(&mut pf, 1, 0, 1_000, &mut arrivals);
+    burst(&mut pf, 2, 0, 2_000, &mut arrivals);
+    burst(&mut pf, 2, 1_000, 2_000, &mut arrivals);
+    arrivals.sort_by_key(|p| (p.arrival, p.uid));
+
+    // Cap the bursts so flows 1 and 2 actually drain when their phase
+    // ends: trim flow 1's and 2's arrivals to their phase budget.
+    // (4000 x 1500 B = 48 Mb; at 20 Mb/s a phase consumes 20 Mb, so a
+    // flow would stay backlogged past its phase. Instead of trimming,
+    // we keep them backlogged and *report* shares per phase, idling
+    // them by sending nothing new — so we trim to the phase budget.)
+    let budget_bits = |rate_mbps: u64| rate_mbps * 1_000_000;
+    let mut seen1 = 0u64;
+    let mut seen2 = 0u64;
+    arrivals.retain(|p| match p.flow.0 {
+        1 => {
+            seen1 += len.bits();
+            seen1 <= budget_bits(20)
+        }
+        2 => {
+            seen2 += len.bits();
+            seen2 <= budget_bits(10) + budget_bits(30) // P1 share + P2 share
+        }
+        _ => true,
+    });
+
+    let profile = RateProfile::constant(link);
+    let deps = run_server(&mut h, &profile, &arrivals, SimTime::from_secs(3));
+
+    let tp = |f: u32, a_ms: i128, b_ms: i128| {
+        throughput_bps(
+            &deps,
+            FlowId(f),
+            SimTime::from_millis(a_ms),
+            SimTime::from_millis(b_ms),
+        ) / 1e6
+    };
+    println!("Hierarchical link sharing on a 45 Mb/s link (Mb/s per phase):");
+    println!(
+        "{:<26} {:>8} {:>8} {:>8} {:>8}",
+        "phase", "A-rt", "A-be", "B-rt", "B-be"
+    );
+    for (label, a, b, expect) in [
+        ("P1 all active", 50i128, 950i128, "20 / 10 / 10 / 5"),
+        ("P2 A-rt idle", 1_100, 1_950, "0 / 30 / 10 / 5"),
+        ("P3 org A idle", 2_100, 2_950, "0 / 0 / 30 / 15"),
+    ] {
+        println!(
+            "{:<26} {:>8.1} {:>8.1} {:>8.1} {:>8.1}   (expect {expect})",
+            label,
+            tp(1, a, b),
+            tp(2, a, b),
+            tp(3, a, b),
+            tp(4, a, b)
+        );
+    }
+
+    // Sanity assertions on the redistribution structure.
+    assert!((tp(2, 1_100, 1_950) - 30.0).abs() < 2.0, "A-be should absorb A-rt's share");
+    assert!((tp(3, 1_100, 1_950) - 10.0).abs() < 2.0, "B-rt unaffected by A's churn");
+    assert!((tp(3, 2_100, 2_950) - 30.0).abs() < 2.0, "B-rt gets 2/3 of the link in P3");
+    assert!((tp(4, 2_100, 2_950) - 15.0).abs() < 2.0, "B-be gets 1/3 of the link in P3");
+    println!("\nAll phase shares match the link-sharing structure.");
+}

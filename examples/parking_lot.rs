@@ -1,0 +1,75 @@
+//! End-to-end fairness across a routed network: the parking-lot
+//! topology. One long TCP flow crosses three SFQ-scheduled links; each
+//! link also carries a local TCP flow. With per-link fair scheduling
+//! the long flow keeps its fair share at *every* hop instead of being
+//! beaten down multiplicatively — the end-to-end story behind the
+//! paper's Section 2.4 composition results.
+//!
+//! Run with: `cargo run --release --example parking_lot`
+
+use netsim::{Mesh, SwitchCore, TcpConfig};
+use sfq_repro::prelude::*;
+
+fn link(flows: &[u32], rate: Rate) -> SwitchCore {
+    let mut s = Sfq::new();
+    for &f in flows {
+        s.add_flow(FlowId(f), Rate::kbps(500));
+    }
+    SwitchCore::new(Box::new(s), RateProfile::constant(rate), Some(64))
+}
+
+fn main() {
+    let c = Rate::mbps(1);
+    let mut m = Mesh::new();
+    // Links A, B, C in a row; flow 1 rides all three, flows 2-4 are
+    // local to one link each.
+    let a = m.add_link(link(&[1, 2], c), SimDuration::from_millis(1));
+    let b = m.add_link(link(&[1, 3], c), SimDuration::from_millis(1));
+    let cl = m.add_link(link(&[1, 4], c), SimDuration::from_millis(1));
+    m.add_route(FlowId(1), vec![a, b, cl]);
+    m.add_route(FlowId(2), vec![a]);
+    m.add_route(FlowId(3), vec![b]);
+    m.add_route(FlowId(4), vec![cl]);
+
+    let cfg = TcpConfig::default();
+    // The long flow's ACKs travel further.
+    m.add_tcp_source(FlowId(1), cfg, SimDuration::from_millis(3), SimTime::ZERO);
+    for f in 2..=4u32 {
+        m.add_tcp_source(FlowId(f), cfg, SimDuration::from_millis(1), SimTime::ZERO);
+    }
+
+    let horizon = SimTime::from_secs(10);
+    let deliveries = m.run(horizon);
+    println!("Parking lot: long TCP flow over links A->B->C vs one local TCP flow per link");
+    println!("{:<22} {:>10} {:>12}", "flow", "packets", "Mb/s");
+    let mut rates = Vec::new();
+    for (f, label) in [
+        (1u32, "long (3 hops)"),
+        (2, "local on A"),
+        (3, "local on B"),
+        (4, "local on C"),
+    ] {
+        let bits: u64 = deliveries
+            .iter()
+            .filter(|d| d.pkt.flow == FlowId(f))
+            .map(|d| d.pkt.len.bits())
+            .sum();
+        let rate = bits as f64 / horizon.as_secs_f64() / 1e6;
+        rates.push(rate);
+        println!(
+            "{:<22} {:>10} {:>12.3}",
+            label,
+            deliveries.iter().filter(|d| d.pkt.flow == FlowId(f)).count(),
+            rate
+        );
+    }
+    println!(
+        "\nWith SFQ at every link the long flow holds ~0.5 Mb/s — its fair share of\n\
+         each 1 Mb/s bottleneck — despite competing at three places and having a\n\
+         longer control loop."
+    );
+    assert!(rates[0] > 0.35, "long flow starved: {:.3} Mb/s", rates[0]);
+    for (i, r) in rates.iter().enumerate().skip(1) {
+        assert!(*r > 0.35, "local flow {i} starved: {r:.3} Mb/s");
+    }
+}

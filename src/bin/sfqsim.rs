@@ -1,0 +1,154 @@
+//! `sfqsim` — run a scheduling scenario file and report per-flow
+//! statistics.
+//!
+//! ```sh
+//! cargo run --release --bin sfqsim -- scenarios/demo.sfq
+//! cargo run --release --bin sfqsim -- --compare scenarios/demo.sfq
+//! ```
+//!
+//! `--compare` runs the same scenario under every discipline and
+//! prints a side-by-side delay table. See `src/scenario.rs` for the
+//! file format.
+
+use sfq_repro::prelude::*;
+use sfq_repro::scenario::Scenario;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (compare, path) = match args.as_slice() {
+        [p] => (false, p.clone()),
+        [flag, p] if flag == "--compare" => (true, p.clone()),
+        _ => {
+            eprintln!("usage: sfqsim [--compare] <scenario-file>");
+            return ExitCode::from(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("sfqsim: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let scenario = match Scenario::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sfqsim: {path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    if compare {
+        run_compare(&text, &scenario)
+    } else {
+        run_one(&scenario)
+    }
+}
+
+fn run_one(scenario: &Scenario) -> ExitCode {
+    let mut sched = match scenario.build_scheduler() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sfqsim: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let mut pf = PacketFactory::new();
+    let arrivals = scenario.build_arrivals(&mut pf);
+    let profile = scenario.build_profile();
+    let deps = run_server(&mut *sched, &profile, &arrivals, scenario.horizon);
+    println!(
+        "scenario: {} on {} ({} arrivals, {} served, horizon {})",
+        sched.name(),
+        scenario.link,
+        arrivals.len(),
+        deps.len(),
+        scenario.horizon,
+    );
+    println!(
+        "{:<6} {:>10} {:>12} {:>14} {:>14} {:>14}",
+        "flow", "pkts", "thpt Kb/s", "avg delay ms", "p99 delay ms", "max delay ms"
+    );
+    for f in &scenario.flows {
+        let flow = FlowId(f.id);
+        let delays = packet_delays(&deps, flow);
+        match DelaySummary::from_durations(&delays) {
+            Some(s) => println!(
+                "{:<6} {:>10} {:>12.1} {:>14.3} {:>14.3} {:>14.3}",
+                f.id,
+                s.count,
+                throughput_bps(&deps, flow, SimTime::ZERO, scenario.horizon) / 1e3,
+                s.mean_s * 1e3,
+                s.p99_s * 1e3,
+                s.max_s * 1e3,
+            ),
+            None => println!("{:<6} {:>10}", f.id, 0),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_compare(text: &str, base: &Scenario) -> ExitCode {
+    println!(
+        "comparing disciplines on {} flows, link {}, horizon {}",
+        base.flows.len(),
+        base.link,
+        base.horizon
+    );
+    println!(
+        "{:<6} {:>12} {:>14} {:>14} {:>16}",
+        "sched", "served", "avg delay ms", "max delay ms", "fairness gap s*"
+    );
+    for name in ["sfq", "scfq", "wfq", "fqs", "vc", "drr", "fa", "fifo"] {
+        // Re-parse with the discipline swapped so each run is fresh.
+        let replaced: String = text
+            .lines()
+            .map(|l| {
+                if l.trim_start().starts_with("sched") {
+                    format!("sched {name}")
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let sc = Scenario::parse(&replaced).expect("same text reparses");
+        let mut sched = sc.build_scheduler().expect("known discipline");
+        let mut pf = PacketFactory::new();
+        let arrivals = sc.build_arrivals(&mut pf);
+        let profile = sc.build_profile();
+        let deps = run_server(&mut *sched, &profile, &arrivals, sc.horizon);
+        let mut all = Vec::new();
+        for f in &sc.flows {
+            all.extend(packet_delays(&deps, FlowId(f.id)));
+        }
+        let s = DelaySummary::from_durations(&all);
+        let gap = if sc.flows.len() >= 2 {
+            max_fairness_gap(
+                &deps,
+                FlowId(sc.flows[0].id),
+                sc.flows[0].weight,
+                FlowId(sc.flows[1].id),
+                sc.flows[1].weight,
+                SimTime::ZERO,
+                sc.horizon,
+            )
+            .to_f64()
+        } else {
+            0.0
+        };
+        match s {
+            Some(s) => println!(
+                "{:<6} {:>12} {:>14.3} {:>14.3} {:>16.3}",
+                name,
+                s.count,
+                s.mean_s * 1e3,
+                s.max_s * 1e3,
+                gap
+            ),
+            None => println!("{name:<6} {:>12}", 0),
+        }
+    }
+    println!("* gap between the first two flows over the whole run (only meaningful\n  while both are backlogged).");
+    ExitCode::SUCCESS
+}

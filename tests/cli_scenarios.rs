@@ -1,0 +1,53 @@
+//! The shipped scenario files must parse and run end-to-end through
+//! the same code path the `sfqsim` CLI uses.
+
+use sfq_repro::prelude::*;
+use sfq_repro::scenario::Scenario;
+
+fn run_file(path: &str) -> (Scenario, Vec<Departure>) {
+    let text = std::fs::read_to_string(path).expect("scenario file readable");
+    let sc = Scenario::parse(&text).expect("scenario parses");
+    let mut sched = sc.build_scheduler().expect("scheduler builds");
+    let mut pf = PacketFactory::new();
+    let arrivals = sc.build_arrivals(&mut pf);
+    let profile = sc.build_profile();
+    let deps = run_server(&mut *sched, &profile, &arrivals, sc.horizon);
+    (sc, deps)
+}
+
+#[test]
+fn demo_scenario_runs_and_honors_weights() {
+    let (sc, deps) = run_file("scenarios/demo.sfq");
+    assert_eq!(sc.flows.len(), 3);
+    // CBR flow 1 gets its full 200 Kb/s (it never exceeds its weight).
+    let thpt = throughput_bps(&deps, FlowId(1), SimTime::ZERO, sc.horizon);
+    assert!((thpt - 200_000.0).abs() < 10_000.0, "thpt={thpt}");
+    // The burst flow is throttled near its fair share while backlogged.
+    assert!(!deps.is_empty());
+}
+
+#[test]
+fn fluctuating_scenario_runs_on_fc_profile() {
+    let (sc, deps) = run_file("scenarios/fluctuating.sfq");
+    assert!(sc.fc_delta_bits > 0);
+    // The FC link averages the configured rate, so total served work
+    // over the horizon is close to rate * time (the greedy flow keeps
+    // it busy).
+    let bits: u64 = deps.iter().map(|d| d.pkt.len.bits()).sum();
+    let avg = bits as f64 / sc.horizon.as_secs_f64();
+    assert!(
+        (avg - 1_000_000.0).abs() / 1_000_000.0 < 0.1,
+        "server average rate off: {avg}"
+    );
+}
+
+#[test]
+fn scenario_is_deterministic_end_to_end() {
+    let (_, a) = run_file("scenarios/demo.sfq");
+    let (_, b) = run_file("scenarios/demo.sfq");
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.pkt.uid, y.pkt.uid);
+        assert_eq!(x.departure, y.departure);
+    }
+}

@@ -1,0 +1,71 @@
+//! Regression: long runs mixing many pairwise-coprime weights with
+//! idle-flow reactivation used to grow exact tag denominators like the
+//! lcm of every weight crossed, overflowing `i128` after ~1M packets
+//! (first seen in the criterion benches at |Q| = 64). The fix snaps
+//! the virtual time to a picosecond grid at its read points
+//! (`Ratio::snap_pico`); these tests replay the offending pattern.
+
+use sfq_repro::prelude::*;
+
+/// The bench access pattern: round-robin arrivals, min-tag service —
+/// high-weight flows repeatedly drain to idle and reactivate off `v`.
+fn churn<S: Scheduler>(mut sched: S, q: u32, rounds: usize) {
+    for f in 0..q {
+        sched.add_flow(FlowId(f), Rate::kbps(64 + f as u64));
+    }
+    let mut pf = PacketFactory::new();
+    let t0 = SimTime::ZERO;
+    for f in 0..q {
+        for _ in 0..4 {
+            sched.enqueue(t0, pf.make(FlowId(f), Bytes::new(200), t0));
+        }
+    }
+    for i in 0..rounds {
+        let f = FlowId(i as u32 % q);
+        sched.enqueue(t0, pf.make(f, Bytes::new(200), t0));
+        let p = sched.dequeue(t0).expect("backlogged");
+        sched.on_departure(t0);
+        std::hint::black_box(p.uid);
+    }
+}
+
+#[test]
+fn sfq_survives_coprime_weight_churn() {
+    churn(Sfq::new(), 64, 400_000);
+}
+
+#[test]
+fn scfq_survives_coprime_weight_churn() {
+    churn(Scfq::new(), 64, 400_000);
+}
+
+#[test]
+fn fair_airport_survives_coprime_weight_churn() {
+    churn(FairAirport::new(), 32, 150_000);
+}
+
+#[test]
+fn hier_sfq_survives_coprime_weight_churn() {
+    churn(HierSfq::new(), 64, 400_000);
+}
+
+#[test]
+fn wide_weight_spread_also_survives() {
+    // Weights spanning six orders of magnitude.
+    let mut sched = Sfq::new();
+    for f in 0..32u32 {
+        sched.add_flow(FlowId(f), Rate::bps(1 + 7u64.pow(f % 8) + f as u64));
+    }
+    let mut pf = PacketFactory::new();
+    let t0 = SimTime::ZERO;
+    for f in 0..32u32 {
+        sched.enqueue(t0, pf.make(FlowId(f), Bytes::new(100), t0));
+    }
+    for i in 0..200_000usize {
+        let f = FlowId(i as u32 % 32);
+        sched.enqueue(t0, pf.make(f, Bytes::new(100), t0));
+        let p = sched.dequeue(t0).expect("backlogged");
+        sched.on_departure(t0);
+        std::hint::black_box(p.uid);
+    }
+}

@@ -1,0 +1,120 @@
+//! Bit-for-bit reproducibility: every stochastic experiment must yield
+//! identical results for identical seeds, and different results for
+//! different seeds (with overwhelming probability).
+
+use sfq_repro::prelude::*;
+
+/// Serialize a delivery list into a comparable fingerprint.
+fn fingerprint(deliveries: &[netsim::Delivery]) -> Vec<(u32, u64, String)> {
+    deliveries
+        .iter()
+        .map(|d| (d.pkt.flow.0, d.pkt.uid, format!("{:?}", d.at)))
+        .collect()
+}
+
+fn run_net(seed: u64) -> Vec<netsim::Delivery> {
+    let mut sw = SwitchCore::new(
+        Box::new(Sfq::new()),
+        RateProfile::constant(Rate::mbps(2)),
+        Some(50),
+    );
+    sw.add_flow(FlowId(2), Rate::mbps(1));
+    sw.add_flow(FlowId(3), Rate::mbps(1));
+    let mut net = Net::new(
+        sw,
+        SimDuration::from_millis(1),
+        SimDuration::from_millis(1),
+    );
+    let vbr = VbrVideoSource::new(
+        SimTime::ZERO,
+        Rate::kbps(800),
+        Bytes::new(50),
+        30,
+        0.4,
+        SimRng::new(seed),
+    );
+    let arrivals = arrivals_until(vbr, SimTime::from_millis(800));
+    net.add_scripted_source(FlowId(1), &arrivals, true);
+    net.add_tcp_source(FlowId(2), TcpConfig::default(), SimTime::ZERO);
+    net.add_tcp_source(FlowId(3), TcpConfig::default(), SimTime::from_millis(200));
+    net.run(SimTime::from_millis(800))
+}
+
+#[test]
+fn same_seed_identical_network_run() {
+    let a = run_net(1234);
+    let b = run_net(1234);
+    assert!(!a.is_empty());
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn different_seed_different_run() {
+    let a = run_net(1);
+    let b = run_net(2);
+    assert_ne!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn poisson_single_server_run_is_deterministic() {
+    let run = |seed: u64| {
+        let mut sched = Sfq::new();
+        sched.add_flow(FlowId(1), Rate::kbps(100));
+        sched.add_flow(FlowId(2), Rate::kbps(32));
+        let mut pf = PacketFactory::new();
+        let horizon = SimTime::from_secs(30);
+        let lists = vec![
+            to_packets(
+                &mut pf,
+                FlowId(1),
+                &arrivals_until(
+                    PoissonSource::with_rate(
+                        SimTime::ZERO,
+                        Rate::kbps(100),
+                        Bytes::new(200),
+                        SimRng::new(seed),
+                    ),
+                    horizon,
+                ),
+            ),
+            to_packets(
+                &mut pf,
+                FlowId(2),
+                &arrivals_until(
+                    PoissonSource::with_rate(
+                        SimTime::ZERO,
+                        Rate::kbps(32),
+                        Bytes::new(200),
+                        SimRng::new(seed ^ 0xdead),
+                    ),
+                    horizon,
+                ),
+            ),
+        ];
+        let arrivals = merge(lists);
+        run_server(
+            &mut sched,
+            &RateProfile::constant(Rate::kbps(200)),
+            &arrivals,
+            horizon,
+        )
+    };
+    let a = run(77);
+    let b = run(77);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.pkt.uid, y.pkt.uid);
+        assert_eq!(x.departure, y.departure);
+        assert_eq!(x.service_start, y.service_start);
+    }
+}
+
+#[test]
+fn fig_experiments_are_seed_stable() {
+    use bench::exp_fig1b::{fig1b, Discipline};
+    let a = fig1b(Discipline::Sfq, 9, SimTime::from_millis(700));
+    let b = fig1b(Discipline::Sfq, 9, SimTime::from_millis(700));
+    assert_eq!(a.src2_after_start3, b.src2_after_start3);
+    assert_eq!(a.src3_after_start3, b.src3_after_start3);
+    assert_eq!(a.src2_series, b.src2_series);
+}

@@ -1,0 +1,119 @@
+//! Workload robustness: the paper's guarantees are traffic-agnostic —
+//! they depend only on admission (`Σ r_n <= C`) and the EAT chain, not
+//! on the arrival process. Stress them with heavy-tailed Pareto on-off
+//! traffic (long-range-dependent burst structure) and confirm nothing
+//! moves.
+
+use sfq_repro::prelude::*;
+
+/// Theorem 4 under heavy-tailed cross traffic: an admitted CBR flow's
+/// delay bound must hold no matter how bursty its admitted peers are.
+#[test]
+fn theorem4_holds_under_pareto_cross_traffic() {
+    let link = Rate::mbps(1);
+    let horizon = SimTime::from_secs(120);
+    let mut sched = Sfq::new();
+    // Observed flow: CBR 200 Kb/s, 500 B.
+    sched.add_flow(FlowId(1), Rate::kbps(200));
+    // Three Pareto on-off peers, each *reserved* at 200 Kb/s (their
+    // mean is ~200 Kb/s but arrivals are wildly bursty). Σr = 800k <= C.
+    for f in 2..=4u32 {
+        sched.add_flow(FlowId(f), Rate::kbps(200));
+    }
+    let mut pf = PacketFactory::new();
+    let mut lists = vec![to_packets(
+        &mut pf,
+        FlowId(1),
+        &arrivals_until(
+            CbrSource::with_rate(SimTime::ZERO, Rate::kbps(200), Bytes::new(500)),
+            horizon,
+        ),
+    )];
+    for f in 2..=4u32 {
+        let src = traffic::ParetoOnOffSource::new(
+            SimTime::ZERO,
+            SimDuration::from_millis(10), // 400 Kb/s on-rate
+            Bytes::new(500),
+            0.5,
+            0.5,
+            1.4,
+            SimRng::new(900 + f as u64),
+        );
+        lists.push(to_packets(&mut pf, FlowId(f), &arrivals_until(src, horizon)));
+    }
+    let arrivals = merge(lists);
+    let deps = run_server(
+        &mut sched,
+        &RateProfile::constant(link),
+        &arrivals,
+        horizon,
+    );
+    // Theorem 4 for the CBR flow: others' l_max are all 500 B.
+    let term = analysis::sfq_delay_term(
+        &[Bytes::new(500); 3],
+        Bytes::new(500),
+        link,
+        0,
+    );
+    let viol = max_guarantee_violation(&deps, FlowId(1), Rate::kbps(200), term);
+    assert_eq!(viol, SimDuration::ZERO, "Theorem 4 violated: {viol:?}");
+    // Sanity: the Pareto peers actually sent a nontrivial load.
+    for f in 2..=4u32 {
+        assert!(
+            deps.iter().filter(|d| d.pkt.flow == FlowId(f)).count() > 500,
+            "peer {f} barely sent"
+        );
+    }
+}
+
+/// Theorem 1 with a Pareto peer: whenever both flows are backlogged
+/// the gap stays within the bound. We create guaranteed overlap by
+/// giving both flows an initial backlog dump plus their processes.
+#[test]
+fn fairness_bound_holds_with_pareto_peer() {
+    let link = Rate::kbps(400);
+    let horizon = SimTime::from_secs(200);
+    let w = Rate::kbps(100);
+    let mut sched = Sfq::new();
+    sched.add_flow(FlowId(1), w);
+    sched.add_flow(FlowId(2), w);
+    let mut pf = PacketFactory::new();
+    let mut arrivals = Vec::new();
+    // Both flows: 200 x 500 B dumped at t = 0 (100 s of backlog at a
+    // fair 200 Kb/s each... actually 800 kbit / 200 kbps = 4 s each;
+    // enough for the window below).
+    for _ in 0..200 {
+        arrivals.push(pf.make(FlowId(1), Bytes::new(500), SimTime::ZERO));
+        arrivals.push(pf.make(FlowId(2), Bytes::new(500), SimTime::ZERO));
+    }
+    // Flow 2 additionally runs a Pareto process afterwards.
+    let src = traffic::ParetoOnOffSource::new(
+        SimTime::from_secs(1),
+        SimDuration::from_millis(20),
+        Bytes::new(500),
+        1.0,
+        1.0,
+        1.5,
+        SimRng::new(77),
+    );
+    arrivals.extend(to_packets(&mut pf, FlowId(2), &arrivals_until(src, horizon)));
+    arrivals.sort_by_key(|p| (p.arrival, p.uid));
+    let deps = run_server(
+        &mut sched,
+        &RateProfile::constant(link),
+        &arrivals,
+        horizon,
+    );
+    // Both flows certainly backlogged during [0, 3 s] (initial dumps).
+    let gap = max_fairness_gap(
+        &deps,
+        FlowId(1),
+        w,
+        FlowId(2),
+        w,
+        SimTime::ZERO,
+        SimTime::from_secs(3),
+    );
+    let bound = sfq_fairness_bound(Bytes::new(500), w, Bytes::new(500), w);
+    assert!(gap <= bound, "gap {gap:?} > bound {bound:?}");
+}

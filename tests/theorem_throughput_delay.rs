@@ -1,0 +1,194 @@
+//! Property tests for the throughput and delay guarantees:
+//!
+//! - Theorem 2: a backlogged flow on an SFQ FC server receives at least
+//!   `r_f (t2−t1) − r_f Σ l^max/C − r_f δ/C − l_f^max` over every
+//!   interval,
+//! - Theorem 4: every packet departs by `EAT + Σ_{n≠f} l_n^max/C +
+//!   l/C + δ/C`,
+//! - Eq. 56: SCFQ departs by `EAT + Σ_{n≠f} l_n^max/C + l/r`,
+//! - WFQ's guarantee `EAT + l/r + l_max/C` on a constant-rate server.
+
+use proptest::prelude::*;
+use sfq_repro::prelude::*;
+
+const LINK: u64 = 100_000; // 100 Kb/s
+const DELTA: u64 = 10_000; // FC burstiness in bits
+
+/// N flows with admission Σ r <= C; flow 1 is the observed flow.
+#[derive(Debug)]
+struct Scenario {
+    weights: Vec<u64>,
+    lens: Vec<u64>,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (2usize..6).prop_flat_map(|n| {
+        (
+            prop::collection::vec(5_000u64..18_000, n),
+            prop::collection::vec(100u64..1_200, n),
+        )
+            .prop_map(|(weights, lens)| Scenario { weights, lens })
+    })
+}
+
+/// CBR arrivals at each flow's reserved rate with an initial burst on
+/// the observed flow (stresses the EAT chain).
+fn arrivals_for(pf: &mut PacketFactory, sc: &Scenario, horizon: SimTime) -> Vec<Packet> {
+    let mut all = Vec::new();
+    for (i, (&w, &l)) in sc.weights.iter().zip(&sc.lens).enumerate() {
+        let flow = FlowId(i as u32 + 1);
+        let src = CbrSource::with_rate(SimTime::ZERO, Rate::bps(w), Bytes::new(l));
+        let mut list = to_packets(pf, flow, &arrivals_until(src, horizon));
+        if i == 0 {
+            for _ in 0..3 {
+                list.push(pf.make(flow, Bytes::new(l), SimTime::ZERO));
+            }
+        }
+        all.push(list);
+    }
+    merge(all)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Theorem 4 on a fluctuating FC server.
+    #[test]
+    fn sfq_delay_guarantee_fc_server(sc in scenario()) {
+        let horizon = SimTime::from_secs(120);
+        let profile = fc_on_off(
+            FcParams { rate: Rate::bps(LINK), delta_bits: DELTA },
+            horizon,
+        );
+        let mut sched = Sfq::new();
+        for (i, &w) in sc.weights.iter().enumerate() {
+            sched.add_flow(FlowId(i as u32 + 1), Rate::bps(w));
+        }
+        let mut pf = PacketFactory::new();
+        let arrivals = arrivals_for(&mut pf, &sc, horizon);
+        let deps = run_server(&mut sched, &profile, &arrivals, horizon);
+        for (i, &w) in sc.weights.iter().enumerate() {
+            let flow = FlowId(i as u32 + 1);
+            let own = Bytes::new(sc.lens[i]);
+            let others: Vec<Bytes> = sc
+                .lens
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &l)| Bytes::new(l))
+                .collect();
+            let term = analysis::sfq_delay_term(&others, own, Rate::bps(LINK), DELTA);
+            let viol = max_guarantee_violation(&deps, flow, Rate::bps(w), term);
+            prop_assert_eq!(
+                viol, SimDuration::ZERO,
+                "Theorem 4 violated for flow {} by {:?}", i + 1, viol
+            );
+        }
+    }
+
+    /// Theorem 2 on the same setup: check the throughput floor over
+    /// every pair of departure boundaries while flow 1 is backlogged.
+    #[test]
+    fn sfq_throughput_guarantee_fc_server(sc in scenario()) {
+        let horizon = SimTime::from_secs(60);
+        let profile = fc_on_off(
+            FcParams { rate: Rate::bps(LINK), delta_bits: DELTA },
+            horizon,
+        );
+        let mut sched = Sfq::new();
+        for (i, &w) in sc.weights.iter().enumerate() {
+            sched.add_flow(FlowId(i as u32 + 1), Rate::bps(w));
+        }
+        // Flow 1 fully backlogged: a big burst at t=0. Others CBR.
+        let mut pf = PacketFactory::new();
+        let mut all = Vec::new();
+        let burst_bits: u64 = 2 * LINK * 60; // can never drain
+        let n_burst = burst_bits / (sc.lens[0] * 8);
+        let mut l0 = Vec::new();
+        for _ in 0..n_burst {
+            l0.push(pf.make(FlowId(1), Bytes::new(sc.lens[0]), SimTime::ZERO));
+        }
+        all.push(l0);
+        for (i, (&w, &l)) in sc.weights.iter().zip(&sc.lens).enumerate().skip(1) {
+            let flow = FlowId(i as u32 + 1);
+            let src = CbrSource::with_rate(SimTime::ZERO, Rate::bps(w), Bytes::new(l));
+            all.push(to_packets(&mut pf, flow, &arrivals_until(src, horizon)));
+        }
+        let arrivals = merge(all);
+        let deps = run_server(&mut sched, &profile, &arrivals, horizon);
+        // Sample intervals between service boundaries.
+        let boundaries: Vec<SimTime> = deps.iter().map(|d| d.departure).collect();
+        let all_lmax: Vec<Bytes> = sc.lens.iter().map(|&l| Bytes::new(l)).collect();
+        let w1 = Rate::bps(sc.weights[0]);
+        let step = (boundaries.len() / 12).max(1);
+        for (ai, &a) in boundaries.iter().step_by(step).enumerate() {
+            for &b in boundaries.iter().skip(ai * step).step_by(step * 2) {
+                if b <= a { continue; }
+                let floor = analysis::sfq_throughput_floor_bits(
+                    w1, b - a, &all_lmax, Rate::bps(LINK), DELTA, Bytes::new(sc.lens[0]),
+                );
+                let got = work_in_interval(&deps, FlowId(1), a, b).bits_ratio();
+                prop_assert!(
+                    got >= floor,
+                    "Theorem 2 violated on [{a:?},{b:?}]: got {got:?} < floor {floor:?}"
+                );
+            }
+        }
+    }
+
+    /// Eq. 56 for SCFQ on a constant-rate server.
+    #[test]
+    fn scfq_delay_guarantee_constant_server(sc in scenario()) {
+        let horizon = SimTime::from_secs(120);
+        let profile = RateProfile::constant(Rate::bps(LINK));
+        let mut sched = Scfq::new();
+        for (i, &w) in sc.weights.iter().enumerate() {
+            sched.add_flow(FlowId(i as u32 + 1), Rate::bps(w));
+        }
+        let mut pf = PacketFactory::new();
+        let arrivals = arrivals_for(&mut pf, &sc, horizon);
+        let deps = run_server(&mut sched, &profile, &arrivals, horizon);
+        for (i, &w) in sc.weights.iter().enumerate() {
+            let flow = FlowId(i as u32 + 1);
+            let own = Bytes::new(sc.lens[i]);
+            let others: Vec<Bytes> = sc
+                .lens
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &l)| Bytes::new(l))
+                .collect();
+            let term = analysis::scfq_delay_term(&others, own, Rate::bps(w), Rate::bps(LINK));
+            let viol = max_guarantee_violation(&deps, flow, Rate::bps(w), term);
+            prop_assert_eq!(
+                viol, SimDuration::ZERO,
+                "Eq. 56 violated for flow {} by {:?}", i + 1, viol
+            );
+        }
+    }
+
+    /// WFQ's guarantee `EAT + l/r + l_max/C` on a constant-rate server.
+    #[test]
+    fn wfq_delay_guarantee_constant_server(sc in scenario()) {
+        let horizon = SimTime::from_secs(120);
+        let profile = RateProfile::constant(Rate::bps(LINK));
+        let mut sched = Wfq::new(Rate::bps(LINK));
+        for (i, &w) in sc.weights.iter().enumerate() {
+            sched.add_flow(FlowId(i as u32 + 1), Rate::bps(w));
+        }
+        let mut pf = PacketFactory::new();
+        let arrivals = arrivals_for(&mut pf, &sc, horizon);
+        let deps = run_server(&mut sched, &profile, &arrivals, horizon);
+        let lmax = Bytes::new(*sc.lens.iter().max().expect("non-empty"));
+        for (i, &w) in sc.weights.iter().enumerate() {
+            let flow = FlowId(i as u32 + 1);
+            let own = Bytes::new(sc.lens[i]);
+            let term = analysis::wfq_delay_term(own, Rate::bps(w), lmax, Rate::bps(LINK));
+            let viol = max_guarantee_violation(&deps, flow, Rate::bps(w), term);
+            prop_assert_eq!(
+                viol, SimDuration::ZERO,
+                "WFQ guarantee violated for flow {} by {:?}", i + 1, viol
+            );
+        }
+    }
+}
