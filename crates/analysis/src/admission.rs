@@ -7,7 +7,7 @@
 //! interface a signalling/reservation layer would call.
 
 use crate::bounds::{sfq_delay_term, sfq_throughput_floor_bits};
-use simtime::{Bytes, Ratio, Rate, SimDuration};
+use simtime::{Bytes, Rate, Ratio, SimDuration};
 
 /// A flow's reservation request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -178,10 +178,7 @@ mod tests {
         let _ = ac.admit(spec(100, 1_000)).expect("fits");
         // With a 1000 B peer the first flow's term grows by 8000/1e7.
         let g1b = ac.guarantee_of(0);
-        assert_eq!(
-            g1b.delay_term,
-            SimDuration::from_micros(160 + 800)
-        );
+        assert_eq!(g1b.delay_term, SimDuration::from_micros(160 + 800));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! 20.39 ms, 2.48 ms) against these, and the integration tests check
 //! that *measured* schedules never violate them.
 
-use simtime::{Bytes, Ratio, Rate, SimDuration, SimTime};
+use simtime::{Bytes, Rate, Ratio, SimDuration, SimTime};
 
 /// Theorem 1 / fairness measure of SFQ (and SCFQ):
 /// `H(f, m) = l_f^max/r_f + l_m^max/r_m` (seconds of normalized
@@ -45,9 +45,7 @@ pub fn expected_arrival_times(arrivals: &[(SimTime, Bytes)], r: Rate) -> Vec<Sim
 
 /// Generalized Eq. 37 with per-packet rates `r^j`:
 /// `EAT(p^j) = max(A(p^j), EAT(p^{j-1}) + l^{j-1}/r^{j-1})`.
-pub fn expected_arrival_times_var(
-    arrivals: &[(SimTime, Bytes, Rate)],
-) -> Vec<SimTime> {
+pub fn expected_arrival_times_var(arrivals: &[(SimTime, Bytes, Rate)]) -> Vec<SimTime> {
     let mut out = Vec::with_capacity(arrivals.len());
     let mut floor: Option<SimTime> = None;
     for &(a, len, r) in arrivals {
@@ -80,7 +78,12 @@ pub fn sfq_delay_term(
 
 /// Eq. 56: SCFQ delay term (constant-rate server):
 /// `Σ_{n≠f} l_n^max/C + l_f^j/r_f^j`.
-pub fn scfq_delay_term(other_lmax: &[Bytes], own_len: Bytes, own_rate: Rate, c: Rate) -> SimDuration {
+pub fn scfq_delay_term(
+    other_lmax: &[Bytes],
+    own_len: Bytes,
+    own_rate: Rate,
+    c: Rate,
+) -> SimDuration {
     let mut total = Ratio::ZERO;
     for &l in other_lmax {
         total += c.tag_span(l);
@@ -168,7 +171,8 @@ pub fn virtual_server_fc(
 /// `(|Q_i| + 1)/(|Q| − K) < C_i / C`.
 pub fn delay_shift_improves(qi: usize, q: usize, k: usize, ci: Rate, c: Rate) -> bool {
     assert!(q > k, "need more flows than partitions");
-    Ratio::new((qi + 1) as i128, (q - k) as i128) < Ratio::new(ci.as_bps() as i128, c.as_bps() as i128)
+    Ratio::new((qi + 1) as i128, (q - k) as i128)
+        < Ratio::new(ci.as_bps() as i128, c.as_bps() as i128)
 }
 
 /// Eq. 67: Delay EDD schedulability. Checks
@@ -300,8 +304,18 @@ mod tests {
 
     #[test]
     fn fairness_bounds_relate() {
-        let h = sfq_fairness_bound(Bytes::new(100), Rate::kbps(1), Bytes::new(100), Rate::kbps(1));
-        let lo = fairness_lower_bound(Bytes::new(100), Rate::kbps(1), Bytes::new(100), Rate::kbps(1));
+        let h = sfq_fairness_bound(
+            Bytes::new(100),
+            Rate::kbps(1),
+            Bytes::new(100),
+            Rate::kbps(1),
+        );
+        let lo = fairness_lower_bound(
+            Bytes::new(100),
+            Rate::kbps(1),
+            Bytes::new(100),
+            Rate::kbps(1),
+        );
         assert_eq!(h, lo * Ratio::from_int(2));
         // Paper's DRR example: r = 100, l = 1 -> H_DRR = 1.02, 51x the
         // 0.02 of SCFQ/SFQ (the paper says "50 times larger").
@@ -366,21 +380,49 @@ mod tests {
     #[test]
     fn delay_shift_predicate_matches_eq73() {
         // |Q_i|+1 = 3, |Q|-K = 8: needs C_i/C > 3/8.
-        assert!(delay_shift_improves(2, 10, 2, Rate::mbps(4), Rate::mbps(10)));
-        assert!(!delay_shift_improves(2, 10, 2, Rate::mbps(3), Rate::mbps(10)));
+        assert!(delay_shift_improves(
+            2,
+            10,
+            2,
+            Rate::mbps(4),
+            Rate::mbps(10)
+        ));
+        assert!(!delay_shift_improves(
+            2,
+            10,
+            2,
+            Rate::mbps(3),
+            Rate::mbps(10)
+        ));
     }
 
     #[test]
     fn edd_schedulability_accepts_light_load_rejects_overload() {
         let c = Rate::mbps(1);
         let light = vec![
-            (Rate::kbps(100), Bytes::new(200), SimDuration::from_millis(50)),
-            (Rate::kbps(100), Bytes::new(200), SimDuration::from_millis(50)),
+            (
+                Rate::kbps(100),
+                Bytes::new(200),
+                SimDuration::from_millis(50),
+            ),
+            (
+                Rate::kbps(100),
+                Bytes::new(200),
+                SimDuration::from_millis(50),
+            ),
         ];
         assert!(edd_schedulable(&light, c, SimDuration::from_secs(2)));
         let heavy = vec![
-            (Rate::kbps(600), Bytes::new(200), SimDuration::from_millis(1)),
-            (Rate::kbps(600), Bytes::new(200), SimDuration::from_millis(1)),
+            (
+                Rate::kbps(600),
+                Bytes::new(200),
+                SimDuration::from_millis(1),
+            ),
+            (
+                Rate::kbps(600),
+                Bytes::new(200),
+                SimDuration::from_millis(1),
+            ),
         ];
         assert!(!edd_schedulable(&heavy, c, SimDuration::from_secs(2)));
     }

@@ -15,7 +15,7 @@ pub fn packet_delays(departures: &[Departure], flow: FlowId) -> Vec<SimDuration>
 }
 
 /// Summary statistics over a set of durations.
-#[derive(Clone, Copy, Debug, serde::Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct DelaySummary {
     /// Number of samples.
     pub count: usize,
@@ -30,6 +30,15 @@ pub struct DelaySummary {
     /// 99th percentile in seconds.
     pub p99_s: f64,
 }
+
+jsonline::impl_to_json!(DelaySummary {
+    count,
+    mean_s,
+    max_s,
+    min_s,
+    p50_s,
+    p99_s
+});
 
 impl DelaySummary {
     /// Summarize a sample of durations. Returns `None` if empty.
@@ -66,14 +75,15 @@ pub fn max_guarantee_violation(
     r: Rate,
     term: SimDuration,
 ) -> SimDuration {
-    let mut flow_deps: Vec<&Departure> =
-        departures.iter().filter(|d| d.pkt.flow == flow).collect();
+    let mut flow_deps: Vec<&Departure> = departures.iter().filter(|d| d.pkt.flow == flow).collect();
     // Rebuild the flow's true arrival order: by arrival time, then
     // minting order among simultaneous arrivals (Eq. 37 is defined
     // over the arrival sequence).
     flow_deps.sort_by_key(|d| (d.pkt.arrival, d.pkt.seq));
-    let arrivals: Vec<(SimTime, Bytes)> =
-        flow_deps.iter().map(|d| (d.pkt.arrival, d.pkt.len)).collect();
+    let arrivals: Vec<(SimTime, Bytes)> = flow_deps
+        .iter()
+        .map(|d| (d.pkt.arrival, d.pkt.len))
+        .collect();
     let eats = crate::bounds::expected_arrival_times(&arrivals, r);
     let mut worst = SimDuration::ZERO;
     for (dep, eat) in flow_deps.iter().zip(eats) {
@@ -91,7 +101,11 @@ mod tests {
     use sfq_core::{Packet, PacketFactory};
 
     fn dep(pf: &mut PacketFactory, flow: u32, arrive_ms: i128, depart_ms: i128) -> Departure {
-        let pkt: Packet = pf.make(FlowId(flow), Bytes::new(125), SimTime::from_millis(arrive_ms));
+        let pkt: Packet = pf.make(
+            FlowId(flow),
+            Bytes::new(125),
+            SimTime::from_millis(arrive_ms),
+        );
         Departure {
             pkt,
             service_start: SimTime::from_millis(depart_ms - 1),
@@ -102,7 +116,11 @@ mod tests {
     #[test]
     fn delays_are_departure_minus_arrival() {
         let mut pf = PacketFactory::new();
-        let deps = vec![dep(&mut pf, 1, 0, 10), dep(&mut pf, 1, 5, 30), dep(&mut pf, 2, 0, 7)];
+        let deps = vec![
+            dep(&mut pf, 1, 0, 10),
+            dep(&mut pf, 1, 5, 30),
+            dep(&mut pf, 2, 0, 7),
+        ];
         let d = packet_delays(&deps, FlowId(1));
         assert_eq!(
             d,
@@ -112,8 +130,7 @@ mod tests {
 
     #[test]
     fn summary_statistics() {
-        let samples: Vec<SimDuration> =
-            (1..=100).map(SimDuration::from_millis).collect();
+        let samples: Vec<SimDuration> = (1..=100).map(SimDuration::from_millis).collect();
         let s = DelaySummary::from_durations(&samples).unwrap();
         assert_eq!(s.count, 100);
         assert!((s.mean_s - 0.0505).abs() < 1e-9);
@@ -129,8 +146,8 @@ mod tests {
         let mut pf = PacketFactory::new();
         // 125 B at 1000 bps: EATs 0, 1000 ms. Bound term 50 ms.
         let deps = vec![
-            dep(&mut pf, 1, 0, 40),    // ok: 40 <= 0 + 50
-            dep(&mut pf, 1, 0, 1100),  // violation: 1100 > 1000 + 50
+            dep(&mut pf, 1, 0, 40),   // ok: 40 <= 0 + 50
+            dep(&mut pf, 1, 0, 1100), // violation: 1100 > 1000 + 50
         ];
         let v = max_guarantee_violation(
             &deps,

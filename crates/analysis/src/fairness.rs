@@ -16,16 +16,11 @@
 
 use servers::Departure;
 use sfq_core::FlowId;
-use simtime::{Bytes, Ratio, Rate, SimTime};
+use simtime::{Bytes, Rate, Ratio, SimTime};
 
 /// Work (aggregate bytes) of `flow` whose service starts and finishes
 /// within `[t1, t2]` — the paper's `W_f(t1, t2)`.
-pub fn work_in_interval(
-    departures: &[Departure],
-    flow: FlowId,
-    t1: SimTime,
-    t2: SimTime,
-) -> Bytes {
+pub fn work_in_interval(departures: &[Departure], flow: FlowId, t1: SimTime, t2: SimTime) -> Bytes {
     departures
         .iter()
         .filter(|d| d.pkt.flow == flow && d.service_start >= t1 && d.departure <= t2)
@@ -101,12 +96,7 @@ pub fn max_fairness_gap(
 }
 
 /// Throughput (bits/s, lossy for reporting) of a flow over `[t1, t2]`.
-pub fn throughput_bps(
-    departures: &[Departure],
-    flow: FlowId,
-    t1: SimTime,
-    t2: SimTime,
-) -> f64 {
+pub fn throughput_bps(departures: &[Departure], flow: FlowId, t1: SimTime, t2: SimTime) -> f64 {
     let w = work_in_interval(departures, flow, t1, t2);
     w.bits() as f64 / (t2 - t1).as_secs_f64()
 }
@@ -123,9 +113,7 @@ pub fn jain_index(
     assert!(!flows.is_empty(), "Jain index needs at least one flow");
     let xs: Vec<f64> = flows
         .iter()
-        .map(|&(f, r)| {
-            work_in_interval(departures, f, t1, t2).bits() as f64 / r.as_bps() as f64
-        })
+        .map(|&(f, r)| work_in_interval(departures, f, t1, t2).bits() as f64 / r.as_bps() as f64)
         .collect();
     let sum: f64 = xs.iter().sum();
     let sq: f64 = xs.iter().map(|x| x * x).sum();
@@ -148,10 +136,7 @@ pub fn fairness_gap_series(
     window: simtime::SimDuration,
     horizon: SimTime,
 ) -> Vec<(SimTime, f64)> {
-    assert!(
-        window.as_ratio().is_positive(),
-        "window must be positive"
-    );
+    assert!(window.as_ratio().is_positive(), "window must be positive");
     let w = window.as_secs_f64();
     let mut out = Vec::new();
     let mut start = 0.0f64;

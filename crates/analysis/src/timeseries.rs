@@ -98,10 +98,7 @@ mod tests {
         let s = cumulative_series(&deps, FlowId(1));
         assert_eq!(
             s,
-            vec![
-                (SimTime::from_millis(10), 1),
-                (SimTime::from_millis(30), 2)
-            ]
+            vec![(SimTime::from_millis(10), 1), (SimTime::from_millis(30), 2)]
         );
     }
 

@@ -258,7 +258,10 @@ mod tests {
         d.add_flow(FlowId(1), Rate::kbps(8));
         assert!(d.dequeue(SimTime::ZERO).is_none());
         let mut pf = PacketFactory::new();
-        d.enqueue(SimTime::ZERO, pf.make(FlowId(1), Bytes::new(1), SimTime::ZERO));
+        d.enqueue(
+            SimTime::ZERO,
+            pf.make(FlowId(1), Bytes::new(1), SimTime::ZERO),
+        );
         assert_eq!((d.len(), d.backlog(FlowId(1))), (1, 1));
         assert!(!d.is_empty());
         let _ = d.dequeue(SimTime::ZERO).unwrap();

@@ -201,11 +201,7 @@ mod tests {
         }
         assert_eq!(
             eats,
-            vec![
-                SimTime::ZERO,
-                SimTime::from_secs(1),
-                SimTime::from_secs(2)
-            ]
+            vec![SimTime::ZERO, SimTime::from_secs(1), SimTime::from_secs(2)]
         );
     }
 
@@ -215,7 +211,10 @@ mod tests {
         e.add_flow(FlowId(1), Rate::bps(8));
         assert!(e.dequeue(SimTime::ZERO).is_none());
         let mut pf = PacketFactory::new();
-        e.enqueue(SimTime::ZERO, pf.make(FlowId(1), Bytes::new(1), SimTime::ZERO));
+        e.enqueue(
+            SimTime::ZERO,
+            pf.make(FlowId(1), Bytes::new(1), SimTime::ZERO),
+        );
         assert_eq!((e.len(), e.backlog(FlowId(1))), (1, 1));
         let _ = e.dequeue(SimTime::ZERO);
         assert!(e.is_empty());

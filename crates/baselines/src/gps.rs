@@ -30,8 +30,8 @@
 //! paper's experiments compare. Tag *chains* (`S`, `F` per flow) remain
 //! exact.
 
-use simtime::{Ratio, Rate, SimTime};
 use sfq_core::FlowId;
+use simtime::{Rate, Ratio, SimTime};
 use std::collections::{BTreeSet, HashMap};
 
 /// Snap to the picosecond grid (see [`Ratio::snap_pico`]).
@@ -91,8 +91,7 @@ impl GpsClock {
             // Real time needed for v to reach next_exit at slope C/W:
             // dt = (next_exit - v) * W / C.
             let dt = (next_exit - self.v) * self.weight_sum / self.capacity.as_ratio();
-            let exit_time =
-                self.last_t + simtime::SimDuration::from_ratio(snap_pico(dt));
+            let exit_time = self.last_t + simtime::SimDuration::from_ratio(snap_pico(dt));
             if exit_time <= t {
                 // Flow's fluid backlog drains before (or at) t. Snap:
                 // tags chain off v, so keeping cross-flow exact tag
@@ -104,9 +103,7 @@ impl GpsClock {
                 self.weight_sum -= w.as_ratio();
             } else {
                 let span = (t - self.last_t).as_ratio();
-                self.v = snap_pico(
-                    self.v + self.capacity.as_ratio() * span / self.weight_sum,
-                );
+                self.v = snap_pico(self.v + self.capacity.as_ratio() * span / self.weight_sum);
                 self.last_t = t;
                 return self.v;
             }
@@ -209,8 +206,7 @@ mod tests {
         gps.add_flow(FlowId(1), Rate::bps(8));
         gps.on_arrival(SimTime::ZERO, FlowId(1), Ratio::ONE, Ratio::ZERO);
         let _ = gps.advance(SimTime::from_secs(10));
-        let (s, f) =
-            gps.on_arrival(SimTime::from_secs(10), FlowId(1), Ratio::ONE, Ratio::ONE);
+        let (s, f) = gps.on_arrival(SimTime::from_secs(10), FlowId(1), Ratio::ONE, Ratio::ONE);
         assert_eq!(s, Ratio::ONE);
         assert_eq!(f, Ratio::from_int(2));
     }

@@ -11,42 +11,42 @@
 //! link.
 
 use sfq_core::{FlowId, Packet, Scheduler};
-use simtime::{Ratio, Rate, SimTime};
+use simtime::{Rate, Ratio, SimTime};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// A packet in its flow's FIFO with the tags assigned at arrival.
+#[derive(Clone, Copy, Debug)]
+struct QueuedPkt {
+    pkt: Packet,
+    start: Ratio,
+    finish: Ratio,
+}
 
 #[derive(Debug)]
 struct FlowState {
     weight: Rate,
     last_finish: Ratio,
-    backlog: usize,
+    /// Backlogged packets in arrival order. Finish tags are strictly
+    /// increasing within a flow, so the FIFO head always carries the
+    /// flow's minimum tag and the scheduling heap only needs heads.
+    queue: VecDeque<QueuedPkt>,
 }
 
 /// The Self-Clocked Fair Queuing scheduler.
+///
+/// Packets live in per-flow FIFOs; the heap holds `(finish, uid, flow)`
+/// for each backlogged flow's head only (same head-of-flow structure as
+/// [`sfq_core::Sfq`]), so heap cost scales with backlogged flows, not
+/// queued packets.
 #[derive(Debug)]
 pub struct Scfq {
     flows: HashMap<FlowId, FlowState>,
-    heap: BinaryHeap<Reverse<(Ratio, u64, HeapPacket)>>,
-    tags: HashMap<u64, (Ratio, Ratio)>,
+    heap: BinaryHeap<Reverse<(Ratio, u64, FlowId)>>,
     /// v(t): finish tag of the packet in service (kept after service so
     /// arrivals between departures see the last served packet's tag).
     v: Ratio,
     queued: usize,
-}
-
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-struct HeapPacket(Packet);
-
-impl PartialOrd for HeapPacket {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for HeapPacket {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.uid.cmp(&other.0.uid)
-    }
 }
 
 impl Scfq {
@@ -55,7 +55,6 @@ impl Scfq {
         Scfq {
             flows: HashMap::new(),
             heap: BinaryHeap::new(),
-            tags: HashMap::new(),
             v: Ratio::ZERO,
             queued: 0,
         }
@@ -66,9 +65,21 @@ impl Scfq {
         self.v
     }
 
-    /// Tags of a queued packet (tests/telemetry).
+    /// Tags of a queued packet. Diagnostic accessor (tests/telemetry):
+    /// scans the per-flow FIFOs rather than taxing the hot path with a
+    /// uid index.
     pub fn tags_of(&self, uid: u64) -> Option<(Ratio, Ratio)> {
-        self.tags.get(&uid).copied()
+        self.flows
+            .values()
+            .flat_map(|f| f.queue.iter())
+            .find(|qp| qp.pkt.uid == uid)
+            .map(|qp| (qp.start, qp.finish))
+    }
+
+    /// Entries in the head-of-flow heap (diagnostic: ≤ backlogged flows
+    /// plus any stale entries awaiting lazy reclamation).
+    pub fn head_heap_len(&self) -> usize {
+        self.heap.len()
     }
 }
 
@@ -87,7 +98,7 @@ impl Scheduler for Scfq {
             .or_insert(FlowState {
                 weight,
                 last_finish: Ratio::ZERO,
-                backlog: 0,
+                queue: VecDeque::new(),
             });
     }
 
@@ -102,21 +113,41 @@ impl Scheduler for Scfq {
         let start = v.max(fs.last_finish);
         let finish = start + fs.weight.tag_span(pkt.len);
         fs.last_finish = finish;
-        fs.backlog += 1;
-        self.tags.insert(pkt.uid, (start, finish));
-        self.heap.push(Reverse((finish, pkt.uid, HeapPacket(pkt))));
+        let was_idle = fs.queue.is_empty();
+        fs.queue.push_back(QueuedPkt { pkt, start, finish });
+        if was_idle {
+            self.heap.push(Reverse((finish, pkt.uid, pkt.flow)));
+        }
         self.queued += 1;
     }
 
     fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
-        let Reverse((finish, uid, HeapPacket(pkt))) = self.heap.pop()?;
-        self.queued -= 1;
-        self.tags.remove(&uid);
-        if let Some(fs) = self.flows.get_mut(&pkt.flow) {
-            fs.backlog -= 1;
+        loop {
+            let Reverse((finish, uid, flow)) = self.heap.pop()?;
+            // An entry is live only if it matches the flow's current
+            // head (uids are never reused); anything else is stale —
+            // skip it without disturbing the exact `queued` count.
+            let Some(fs) = self.flows.get_mut(&flow) else {
+                continue;
+            };
+            if fs.queue.front().map(|h| h.pkt.uid) != Some(uid) {
+                continue;
+            }
+            let qp = fs.queue.pop_front().expect("checked non-empty front");
+            if let Some(next) = fs.queue.front() {
+                self.heap.push(Reverse((next.finish, next.pkt.uid, flow)));
+            }
+            self.queued -= 1;
+            self.v = finish;
+            // Pull the next dequeue candidate's head line in early (see
+            // sfq_core::prefetch — deep backlogs put it out of cache).
+            if let Some(&Reverse((_, _, nf))) = self.heap.peek() {
+                if let Some(h) = self.flows.get(&nf).and_then(|f| f.queue.front()) {
+                    sfq_core::prefetch::prefetch_read(h);
+                }
+            }
+            return Some(qp.pkt);
         }
-        self.v = finish;
-        Some(pkt)
     }
 
     fn is_empty(&self) -> bool {
@@ -128,12 +159,12 @@ impl Scheduler for Scfq {
     }
 
     fn backlog(&self, flow: FlowId) -> usize {
-        self.flows.get(&flow).map_or(0, |f| f.backlog)
+        self.flows.get(&flow).map_or(0, |f| f.queue.len())
     }
 
     fn remove_flow(&mut self, flow: FlowId) -> bool {
         match self.flows.get(&flow) {
-            Some(fs) if fs.backlog == 0 => {
+            Some(fs) if fs.queue.is_empty() => {
                 self.flows.remove(&flow);
                 true
             }
@@ -213,7 +244,10 @@ mod tests {
         s.add_flow(FlowId(1), Rate::bps(1_000));
         assert!(s.dequeue(SimTime::ZERO).is_none());
         let mut pf = PacketFactory::new();
-        s.enqueue(SimTime::ZERO, pf.make(FlowId(1), Bytes::new(10), SimTime::ZERO));
+        s.enqueue(
+            SimTime::ZERO,
+            pf.make(FlowId(1), Bytes::new(10), SimTime::ZERO),
+        );
         assert_eq!((s.len(), s.backlog(FlowId(1))), (1, 1));
         let _ = s.dequeue(SimTime::ZERO);
         assert!(s.is_empty());

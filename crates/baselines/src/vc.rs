@@ -12,38 +12,38 @@
 use sfq_core::{FlowId, Packet, Scheduler};
 use simtime::{Rate, SimTime};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// A packet in its flow's FIFO with the stamp assigned at arrival.
+#[derive(Clone, Copy, Debug)]
+struct QueuedPkt {
+    pkt: Packet,
+    stamp: SimTime,
+}
 
 #[derive(Debug)]
 struct FlowState {
     weight: Rate,
     /// `VC(p_f^{j-1})` — the auxiliary virtual clock, in real seconds.
     auxvc: SimTime,
-    backlog: usize,
+    /// Backlogged packets in arrival order. `VC` stamps are strictly
+    /// increasing within a flow (the `l/r` term is positive), so the
+    /// FIFO head carries the flow's minimum stamp and the scheduling
+    /// heap only needs heads.
+    queue: VecDeque<QueuedPkt>,
 }
 
 /// The (work-conserving) Virtual Clock scheduler.
+///
+/// Packets live in per-flow FIFOs; the heap holds `(stamp, uid, flow)`
+/// for each backlogged flow's head only (same head-of-flow structure as
+/// [`sfq_core::Sfq`]), so heap cost scales with backlogged flows, not
+/// queued packets.
 #[derive(Debug)]
 pub struct VirtualClock {
     flows: HashMap<FlowId, FlowState>,
-    heap: BinaryHeap<Reverse<(SimTime, u64, HeapPacket)>>,
-    stamps: HashMap<u64, SimTime>,
+    heap: BinaryHeap<Reverse<(SimTime, u64, FlowId)>>,
     queued: usize,
-}
-
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-struct HeapPacket(Packet);
-
-impl PartialOrd for HeapPacket {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for HeapPacket {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.uid.cmp(&other.0.uid)
-    }
 }
 
 impl VirtualClock {
@@ -52,14 +52,25 @@ impl VirtualClock {
         VirtualClock {
             flows: HashMap::new(),
             heap: BinaryHeap::new(),
-            stamps: HashMap::new(),
             queued: 0,
         }
     }
 
-    /// Timestamp assigned to a queued packet (tests/telemetry).
+    /// Timestamp assigned to a queued packet. Diagnostic accessor
+    /// (tests/telemetry): scans the per-flow FIFOs rather than taxing
+    /// the hot path with a uid index.
     pub fn stamp_of(&self, uid: u64) -> Option<SimTime> {
-        self.stamps.get(&uid).copied()
+        self.flows
+            .values()
+            .flat_map(|f| f.queue.iter())
+            .find(|qp| qp.pkt.uid == uid)
+            .map(|qp| qp.stamp)
+    }
+
+    /// Entries in the head-of-flow heap (diagnostic: ≤ backlogged flows
+    /// plus any stale entries awaiting lazy reclamation).
+    pub fn head_heap_len(&self) -> usize {
+        self.heap.len()
     }
 }
 
@@ -78,7 +89,7 @@ impl Scheduler for VirtualClock {
             .or_insert(FlowState {
                 weight,
                 auxvc: SimTime::ZERO,
-                backlog: 0,
+                queue: VecDeque::new(),
             });
     }
 
@@ -89,20 +100,40 @@ impl Scheduler for VirtualClock {
             .unwrap_or_else(|| panic!("VC: unregistered flow {}", pkt.flow));
         let vc = now.max(fs.auxvc) + fs.weight.tx_time(pkt.len);
         fs.auxvc = vc;
-        fs.backlog += 1;
-        self.stamps.insert(pkt.uid, vc);
-        self.heap.push(Reverse((vc, pkt.uid, HeapPacket(pkt))));
+        let was_idle = fs.queue.is_empty();
+        fs.queue.push_back(QueuedPkt { pkt, stamp: vc });
+        if was_idle {
+            self.heap.push(Reverse((vc, pkt.uid, pkt.flow)));
+        }
         self.queued += 1;
     }
 
     fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
-        let Reverse((_vc, uid, HeapPacket(pkt))) = self.heap.pop()?;
-        self.queued -= 1;
-        self.stamps.remove(&uid);
-        if let Some(fs) = self.flows.get_mut(&pkt.flow) {
-            fs.backlog -= 1;
+        loop {
+            let Reverse((_vc, uid, flow)) = self.heap.pop()?;
+            // An entry is live only if it matches the flow's current
+            // head (uids are never reused); anything else is stale —
+            // skip it without disturbing the exact `queued` count.
+            let Some(fs) = self.flows.get_mut(&flow) else {
+                continue;
+            };
+            if fs.queue.front().map(|h| h.pkt.uid) != Some(uid) {
+                continue;
+            }
+            let qp = fs.queue.pop_front().expect("checked non-empty front");
+            if let Some(next) = fs.queue.front() {
+                self.heap.push(Reverse((next.stamp, next.pkt.uid, flow)));
+            }
+            self.queued -= 1;
+            // Pull the next dequeue candidate's head line in early (see
+            // sfq_core::prefetch — deep backlogs put it out of cache).
+            if let Some(&Reverse((_, _, nf))) = self.heap.peek() {
+                if let Some(h) = self.flows.get(&nf).and_then(|f| f.queue.front()) {
+                    sfq_core::prefetch::prefetch_read(h);
+                }
+            }
+            return Some(qp.pkt);
         }
-        Some(pkt)
     }
 
     fn is_empty(&self) -> bool {
@@ -114,12 +145,12 @@ impl Scheduler for VirtualClock {
     }
 
     fn backlog(&self, flow: FlowId) -> usize {
-        self.flows.get(&flow).map_or(0, |f| f.backlog)
+        self.flows.get(&flow).map_or(0, |f| f.queue.len())
     }
 
     fn remove_flow(&mut self, flow: FlowId) -> bool {
         match self.flows.get(&flow) {
-            Some(fs) if fs.backlog == 0 => {
+            Some(fs) if fs.queue.is_empty() => {
                 self.flows.remove(&flow);
                 true
             }
@@ -172,10 +203,12 @@ mod tests {
         let p2 = pf.make(FlowId(2), Bytes::new(125), t);
         vc.enqueue(t, p2);
         assert_eq!(vc.stamp_of(p2.uid), Some(SimTime::from_millis(2500)));
-        let order: Vec<u32> =
-            std::iter::from_fn(|| vc.dequeue(t).map(|p| p.flow.0)).collect();
+        let order: Vec<u32> = std::iter::from_fn(|| vc.dequeue(t).map(|p| p.flow.0)).collect();
         let pos2 = order.iter().position(|&f| f == 2).unwrap();
-        assert_eq!(pos2, 2, "flow 2 jumps all flow-1 packets stamped after 2.5s");
+        assert_eq!(
+            pos2, 2,
+            "flow 2 jumps all flow-1 packets stamped after 2.5s"
+        );
     }
 
     #[test]
@@ -199,7 +232,10 @@ mod tests {
         vc.add_flow(FlowId(1), Rate::bps(8));
         assert!(vc.dequeue(SimTime::ZERO).is_none());
         let mut pf = PacketFactory::new();
-        vc.enqueue(SimTime::ZERO, pf.make(FlowId(1), Bytes::new(1), SimTime::ZERO));
+        vc.enqueue(
+            SimTime::ZERO,
+            pf.make(FlowId(1), Bytes::new(1), SimTime::ZERO),
+        );
         assert_eq!(vc.len(), 1);
         assert_eq!(vc.backlog(FlowId(1)), 1);
         let _ = vc.dequeue(SimTime::ZERO);

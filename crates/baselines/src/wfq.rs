@@ -11,7 +11,7 @@
 
 use crate::gps::GpsClock;
 use sfq_core::{FlowId, Packet, Scheduler};
-use simtime::{Ratio, Rate, SimTime};
+use simtime::{Rate, Ratio, SimTime};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -299,9 +299,6 @@ mod tests {
         let m1 = pf.make(FlowId(2), Bytes::new(125), t1);
         w.enqueue(t1, m1);
         // F(m1) = v(1) + 1 = C + 1, behind all of flow 1's backlog.
-        assert_eq!(
-            w.tags_of(m1.uid).unwrap().1,
-            Ratio::from_int(c + 1)
-        );
+        assert_eq!(w.tags_of(m1.uid).unwrap().1, Ratio::from_int(c + 1));
     }
 }

@@ -5,6 +5,12 @@
 //! `Q` backlogged flows. Expected shape: FIFO and DRR are O(1); SFQ,
 //! SCFQ, and Virtual Clock are O(log Q) with small constants; WFQ and
 //! FQS pay the extra GPS fluid-simulation cost.
+//!
+//! Each (discipline, flow count) point runs at two backlog depths — 4
+//! and 64 packets per flow. The head-of-flow restructure keeps heap
+//! size proportional to backlogged *flows*, so per-packet cost should
+//! be flat across this axis (a packet-global heap would pay an extra
+//! `log(depth)` and churn a 16×-larger heap).
 
 use baselines::{Drr, Fifo, Fqs, Scfq, VirtualClock, Wfq};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -14,7 +20,12 @@ use std::hint::black_box;
 
 const PKT: u64 = 200;
 
-/// Pre-fill `sched` with a backlog on every flow, then measure
+/// Backlog depths (packets pre-filled per flow) — the deep-backlog
+/// axis. Steady-state cost should not depend on this with head-of-flow
+/// heaps.
+const DEPTHS: [usize; 2] = [4, 64];
+
+/// Pre-fill `sched` with `depth` packets on every flow, then measure
 /// steady-state enqueue+dequeue pairs.
 fn bench_discipline<S: Scheduler>(
     c: &mut Criterion,
@@ -24,25 +35,28 @@ fn bench_discipline<S: Scheduler>(
 ) {
     let mut g = c.benchmark_group(group);
     for &q in flows {
-        g.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
-            let mut sched = make(q);
-            let mut pf = PacketFactory::new();
-            let t0 = SimTime::ZERO;
-            for f in 0..q as u32 {
-                for _ in 0..4 {
-                    sched.enqueue(t0, pf.make(FlowId(f), Bytes::new(PKT), t0));
+        for depth in DEPTHS {
+            let label = format!("{q}flows/{depth}deep");
+            g.bench_with_input(BenchmarkId::from_parameter(label), &q, |b, &q| {
+                let mut sched = make(q);
+                let mut pf = PacketFactory::new();
+                let t0 = SimTime::ZERO;
+                for f in 0..q as u32 {
+                    for _ in 0..depth {
+                        sched.enqueue(t0, pf.make(FlowId(f), Bytes::new(PKT), t0));
+                    }
                 }
-            }
-            let mut i = 0u32;
-            b.iter(|| {
-                let f = FlowId(i % q as u32);
-                i = i.wrapping_add(1);
-                sched.enqueue(t0, pf.make(f, Bytes::new(PKT), t0));
-                let p = sched.dequeue(t0).expect("backlogged");
-                sched.on_departure(t0);
-                black_box(p.uid)
+                let mut i = 0u32;
+                b.iter(|| {
+                    let f = FlowId(i % q as u32);
+                    i = i.wrapping_add(1);
+                    sched.enqueue(t0, pf.make(f, Bytes::new(PKT), t0));
+                    let p = sched.dequeue(t0).expect("backlogged");
+                    sched.on_departure(t0);
+                    black_box(p.uid)
+                });
             });
-        });
+        }
     }
     g.finish();
 }

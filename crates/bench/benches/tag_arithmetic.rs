@@ -19,7 +19,7 @@ fn ratio_ops(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = Ratio::ZERO;
             for _ in 0..spans.len() {
-                acc = acc + chain_span;
+                acc += chain_span;
             }
             black_box(acc)
         })

@@ -14,11 +14,7 @@ fn main() {
     let r = tiebreak();
     print_table(
         "Average delay by tie-break rule",
-        &[
-            "rule",
-            "interactive avg (ms)",
-            "bulk avg (ms)",
-        ],
+        &["rule", "interactive avg (ms)", "bulk avg (ms)"],
         &[
             vec!["FIFO (uid)".into(), ms(r.fifo_avg_s), "-".into()],
             vec![

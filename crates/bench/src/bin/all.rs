@@ -48,10 +48,7 @@ fn main() {
     }
 
     banner("Figure 2(a) (analytic, ms)");
-    for p in bench::exp_fig2::fig2a()
-        .iter()
-        .filter(|p| p.n_flows == 100)
-    {
+    for p in bench::exp_fig2::fig2a().iter().filter(|p| p.n_flows == 100) {
         println!(
             "  |Q|=100 rate {:>7} Kb/s: delta {:>8.3} ms",
             p.rate_bps / 1000,

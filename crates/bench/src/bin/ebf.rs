@@ -8,8 +8,14 @@ use bench::exp_ebf::ebf_tails;
 use bench::report::{emit_json, print_table};
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(21);
-    let horizon: i128 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(120);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(21);
+    let horizon: i128 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120);
     println!(
         "SFQ over an EBF server (random slot gaps + catch-up, C = 100 Kb/s):\n\
          Theorem 5 lateness tail and Theorem 3 throughput-deficit tail vs γ.\n\
@@ -29,7 +35,11 @@ fn main() {
         .collect();
     print_table(
         "Violation tails (fractions)",
-        &["gamma (bits)", "P(late > gamma/C)", "P(deficit > r*gamma/C)"],
+        &[
+            "gamma (bits)",
+            "P(late > gamma/C)",
+            "P(deficit > r*gamma/C)",
+        ],
         &rows,
     );
     println!(

@@ -23,10 +23,7 @@ fn main() {
             format!("{:.2}", r.vc_gap_s),
             format!("{:.3}", r.delay_violation_s),
         ]);
-        emit_json(
-            if fluctuating { "fa_fc" } else { "fa_const" },
-            &r,
-        );
+        emit_json(if fluctuating { "fa_fc" } else { "fa_const" }, &r);
     }
     print_table(
         "Fairness gap (s of normalized service) and Theorem 9 violations",

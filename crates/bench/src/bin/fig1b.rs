@@ -50,7 +50,10 @@ fn main() {
     // Cumulative sequence-number series (the actual Figure 1b curves),
     // decimated for the console.
     for r in [&wfq, &sfq] {
-        println!("\n-- {} cumulative deliveries (t_s, count) --", r.discipline);
+        println!(
+            "\n-- {} cumulative deliveries (t_s, count) --",
+            r.discipline
+        );
         for (label, series) in [("src2", &r.src2_series), ("src3", &r.src3_series)] {
             let pts: Vec<String> = series
                 .iter()

@@ -46,12 +46,12 @@ fn main() {
         ],
     );
     println!("\nPer-window throughput (Mb/s):");
-    println!("{:>8}  {:>8} {:>8} {:>8}", "t (s)", "conn1", "conn2", "conn3");
+    println!(
+        "{:>8}  {:>8} {:>8} {:>8}",
+        "t (s)", "conn1", "conn2", "conn3"
+    );
     for (t, tp) in r.series.iter().step_by(3) {
-        println!(
-            "{:>8.2}  {:>8.2} {:>8.2} {:>8.2}",
-            t, tp[0], tp[1], tp[2]
-        );
+        println!("{:>8.2}  {:>8.2} {:>8.2} {:>8.2}", t, tp[0], tp[1], tp[2]);
     }
     emit_json("fig3b", &r);
 }

@@ -34,7 +34,11 @@ fn main() {
     let d = delay_shift();
     print_table(
         "Delay shifting — favored 2-flow partition at 50% of a 12-flow link",
-        &["Eq.73 predicts win", "flat SFQ max (ms)", "hierarchical max (ms)"],
+        &[
+            "Eq.73 predicts win",
+            "flat SFQ max (ms)",
+            "hierarchical max (ms)",
+        ],
         &[vec![
             d.predicted_improvement.to_string(),
             ms(d.flat_max_s),

@@ -1,0 +1,315 @@
+//! Scheduler throughput snapshot: packets/sec for every discipline at
+//! several flow counts and backlog depths, written as machine-readable
+//! JSON to `BENCH_sched.json` at the repository root.
+//!
+//! Unlike the criterion benches (ns/iter, tuned for statistical
+//! comparison), this emits one absolute throughput figure per
+//! configuration so regressions are visible across commits from a
+//! single committed artifact. Run it from anywhere with:
+//!
+//! ```text
+//! cargo run --release -p bench --bin perfsnap
+//! ```
+//!
+//! The deep-backlog axis (4 vs 64 packets per flow) exercises the
+//! head-of-flow heap restructure: per-packet cost should be flat in
+//! backlog depth because heap size tracks backlogged flows, not queued
+//! packets.
+
+use baselines::{Drr, Fifo, Fqs, Scfq, VirtualClock, Wfq};
+use bench::report;
+use jsonline::{impl_to_json, ToJson};
+use sfq_core::{FairAirport, FlowId, HierSfq, PacketFactory, Scheduler, Sfq};
+use simtime::{Bytes, Rate, SimTime};
+use std::hint::black_box;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const PKT: u64 = 200;
+const FLOWS: [usize; 3] = [8, 64, 512];
+const DEPTHS: [usize; 2] = [4, 64];
+const WARMUP: Duration = Duration::from_millis(60);
+const MEASURE: Duration = Duration::from_millis(180);
+
+#[derive(Debug)]
+struct SnapPoint {
+    discipline: String,
+    flows: usize,
+    backlog_per_flow: usize,
+    pkts_per_sec: f64,
+    ns_per_pkt: f64,
+}
+impl_to_json!(SnapPoint {
+    discipline,
+    flows,
+    backlog_per_flow,
+    pkts_per_sec,
+    ns_per_pkt
+});
+
+/// Drift-cancelled shallow-vs-deep comparison (see [`measure_paired`]).
+#[derive(Debug)]
+struct DepthCheck {
+    discipline: String,
+    flows: usize,
+    shallow_depth: usize,
+    deep_depth: usize,
+    shallow_pkts_per_sec: f64,
+    deep_pkts_per_sec: f64,
+    deep_vs_shallow_pct: f64,
+}
+impl_to_json!(DepthCheck {
+    discipline,
+    flows,
+    shallow_depth,
+    deep_depth,
+    shallow_pkts_per_sec,
+    deep_pkts_per_sec,
+    deep_vs_shallow_pct
+});
+
+#[derive(Debug)]
+struct Snapshot {
+    pkt_bytes: u64,
+    warmup_ms: u64,
+    measure_ms: u64,
+    results: Vec<SnapPoint>,
+    depth_checks: Vec<DepthCheck>,
+}
+impl_to_json!(Snapshot {
+    pkt_bytes,
+    warmup_ms,
+    measure_ms,
+    results,
+    depth_checks
+});
+
+fn flows_of<S: Scheduler>(mut s: S, q: usize) -> S {
+    for f in 0..q as u32 {
+        s.add_flow(FlowId(f), Rate::kbps(64 + f as u64));
+    }
+    s
+}
+
+/// Steady-state enqueue+dequeue pairs against a pre-filled backlog;
+/// returns sustained packets per second.
+fn measure<S: Scheduler>(mut sched: S, q: usize, depth: usize) -> f64 {
+    let mut pf = PacketFactory::new();
+    let t0 = SimTime::ZERO;
+    for f in 0..q as u32 {
+        for _ in 0..depth {
+            sched.enqueue(t0, pf.make(FlowId(f), Bytes::new(PKT), t0));
+        }
+    }
+    let mut i = 0u32;
+    let mut pair = |sched: &mut S, pf: &mut PacketFactory| {
+        let f = FlowId(i % q as u32);
+        i = i.wrapping_add(1);
+        sched.enqueue(t0, pf.make(f, Bytes::new(PKT), t0));
+        let p = sched.dequeue(t0).expect("backlogged");
+        sched.on_departure(t0);
+        black_box(p.uid);
+    };
+    let warm_end = Instant::now() + WARMUP;
+    while Instant::now() < warm_end {
+        for _ in 0..64 {
+            pair(&mut sched, &mut pf);
+        }
+    }
+    let mut served = 0u64;
+    let start = Instant::now();
+    let end = start + MEASURE;
+    while Instant::now() < end {
+        for _ in 0..64 {
+            pair(&mut sched, &mut pf);
+        }
+        served += 64;
+    }
+    served as f64 / start.elapsed().as_secs_f64()
+}
+
+/// A scheduler in steady state plus the iteration state needed to keep
+/// driving enqueue+dequeue pairs against it.
+struct Steady<S: Scheduler> {
+    sched: S,
+    pf: PacketFactory,
+    q: usize,
+    i: u32,
+}
+
+impl<S: Scheduler> Steady<S> {
+    fn new(mut sched: S, q: usize, depth: usize) -> Self {
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        for f in 0..q as u32 {
+            for _ in 0..depth {
+                sched.enqueue(t0, pf.make(FlowId(f), Bytes::new(PKT), t0));
+            }
+        }
+        Steady { sched, pf, q, i: 0 }
+    }
+
+    fn run(&mut self, pairs: usize) {
+        let t0 = SimTime::ZERO;
+        for _ in 0..pairs {
+            let f = FlowId(self.i % self.q as u32);
+            self.i = self.i.wrapping_add(1);
+            self.sched.enqueue(t0, self.pf.make(f, Bytes::new(PKT), t0));
+            let p = self.sched.dequeue(t0).expect("backlogged");
+            self.sched.on_departure(t0);
+            black_box(p.uid);
+        }
+    }
+}
+
+/// Compare two configurations with interleaved time slices so that
+/// slow clock-frequency drift affects both equally. Returns sustained
+/// packets/sec for each.
+fn measure_paired<S: Scheduler>(a: &mut Steady<S>, b: &mut Steady<S>) -> (f64, f64) {
+    const SLICE: Duration = Duration::from_millis(25);
+    const ROUNDS: usize = 10;
+    // Warm both.
+    for s in [&mut *a, &mut *b] {
+        let end = Instant::now() + WARMUP;
+        while Instant::now() < end {
+            s.run(64);
+        }
+    }
+    let (mut na, mut nb) = (0u64, 0u64);
+    let (mut ta, mut tb) = (Duration::ZERO, Duration::ZERO);
+    for _ in 0..ROUNDS {
+        for (s, n, t) in [(&mut *a, &mut na, &mut ta), (&mut *b, &mut nb, &mut tb)] {
+            let start = Instant::now();
+            let end = start + SLICE;
+            while Instant::now() < end {
+                s.run(64);
+                *n += 64;
+            }
+            *t += start.elapsed();
+        }
+    }
+    (na as f64 / ta.as_secs_f64(), nb as f64 / tb.as_secs_f64())
+}
+
+fn snap_discipline<S: Scheduler>(
+    results: &mut Vec<SnapPoint>,
+    name: &str,
+    make: impl Fn(usize) -> S,
+) {
+    for &q in &FLOWS {
+        for &depth in &DEPTHS {
+            let pps = measure(make(q), q, depth);
+            eprintln!("  {name:>14}  {q:>4} flows  {depth:>3} deep  {pps:>12.0} pkt/s");
+            results.push(SnapPoint {
+                discipline: name.to_string(),
+                flows: q,
+                backlog_per_flow: depth,
+                pkts_per_sec: pps,
+                ns_per_pkt: 1e9 / pps,
+            });
+        }
+    }
+}
+
+fn main() {
+    let mut results = Vec::new();
+    eprintln!("perfsnap: steady-state enqueue+dequeue throughput");
+    snap_discipline(&mut results, "sfq", |q| flows_of(Sfq::new(), q));
+    snap_discipline(&mut results, "scfq", |q| flows_of(Scfq::new(), q));
+    snap_discipline(&mut results, "virtual_clock", |q| {
+        flows_of(VirtualClock::new(), q)
+    });
+    snap_discipline(&mut results, "wfq", |q| {
+        flows_of(Wfq::new(Rate::mbps(100)), q)
+    });
+    snap_discipline(&mut results, "fqs", |q| {
+        flows_of(Fqs::new(Rate::mbps(100)), q)
+    });
+    snap_discipline(&mut results, "drr", |q| flows_of(Drr::new(), q));
+    snap_discipline(&mut results, "fifo", |q| flows_of(Fifo::new(), q));
+    snap_discipline(&mut results, "fair_airport", |q| {
+        flows_of(FairAirport::new(), q)
+    });
+    snap_discipline(&mut results, "hier_sfq", |q| flows_of(HierSfq::new(), q));
+
+    // Depth sensitivity of SFQ at the largest flow count — the
+    // head-of-flow acceptance check (shallow vs deep within ~10%).
+    // Measured with interleaved slices so clock drift cancels; the
+    // sequential sweep above can show spurious depth gaps because each
+    // shallow point always runs before its deep counterpart.
+    let q = *FLOWS.last().unwrap();
+    let (d_lo, d_hi) = (DEPTHS[0], DEPTHS[1]);
+    let mut depth_checks = Vec::new();
+    fn run_check<S: Scheduler>(
+        out: &mut Vec<DepthCheck>,
+        name: &str,
+        q: usize,
+        d_lo: usize,
+        d_hi: usize,
+        make: impl Fn() -> S,
+    ) {
+        let mut shallow = Steady::new(make(), q, d_lo);
+        let mut deep = Steady::new(make(), q, d_hi);
+        let (pps_lo, pps_hi) = measure_paired(&mut shallow, &mut deep);
+        let pct = 100.0 * (pps_hi / pps_lo - 1.0);
+        eprintln!(
+            "{name}@{q} (paired): depth {d_lo} -> {pps_lo:.0} pkt/s, depth {d_hi} -> {pps_hi:.0} pkt/s ({pct:+.1}% deep vs shallow)",
+        );
+        out.push(DepthCheck {
+            discipline: name.to_string(),
+            flows: q,
+            shallow_depth: d_lo,
+            deep_depth: d_hi,
+            shallow_pkts_per_sec: pps_lo,
+            deep_pkts_per_sec: pps_hi,
+            deep_vs_shallow_pct: pct,
+        });
+    }
+    run_check(&mut depth_checks, "sfq", q, d_lo, d_hi, || {
+        flows_of(Sfq::new(), q)
+    });
+    run_check(&mut depth_checks, "scfq", q, d_lo, d_hi, || {
+        flows_of(Scfq::new(), q)
+    });
+    run_check(&mut depth_checks, "virtual_clock", q, d_lo, d_hi, || {
+        flows_of(VirtualClock::new(), q)
+    });
+    run_check(&mut depth_checks, "drr", q, d_lo, d_hi, || {
+        flows_of(Drr::new(), q)
+    });
+    run_check(&mut depth_checks, "fifo", q, d_lo, d_hi, || {
+        flows_of(Fifo::new(), q)
+    });
+
+    let snapshot = Snapshot {
+        pkt_bytes: PKT,
+        warmup_ms: WARMUP.as_millis() as u64,
+        measure_ms: MEASURE.as_millis() as u64,
+        results,
+        depth_checks,
+    };
+    // crates/bench -> repository root.
+    let out: PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", "..", "BENCH_sched.json"]
+        .iter()
+        .collect();
+    let mut f = std::fs::File::create(&out).expect("create BENCH_sched.json");
+    writeln!(f, "{}", snapshot.to_json()).expect("write BENCH_sched.json");
+    eprintln!("wrote {}", out.display());
+    report::print_table(
+        "perfsnap (pkt/s)",
+        &["discipline", "flows", "depth", "pkts/sec"],
+        &snapshot
+            .results
+            .iter()
+            .map(|p| {
+                vec![
+                    p.discipline.clone(),
+                    p.flows.to_string(),
+                    p.backlog_per_flow.to_string(),
+                    format!("{:.0}", p.pkts_per_sec),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

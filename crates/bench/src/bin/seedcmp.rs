@@ -1,0 +1,236 @@
+//! Before/after comparison for the head-of-flow restructure: the
+//! original global-heap SFQ (every queued packet in one `BinaryHeap`,
+//! plus a per-packet uid→tags map) versus the current per-flow-FIFO
+//! implementation, at 512 flows and backlog depths of 4 and 64 packets
+//! per flow.
+//!
+//! Shallow and deep configurations are measured in interleaved time
+//! slices (as in `perfsnap`) so clock-frequency drift cancels. Run:
+//!
+//! ```text
+//! cargo run --release -p bench --bin seedcmp
+//! ```
+
+use sfq_core::{FlowId, Packet, PacketFactory, Scheduler, Sfq, TieBreak};
+use simtime::{Bytes, Rate, Ratio, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const PKT: u64 = 200;
+const FLOWS: usize = 512;
+const WARMUP: Duration = Duration::from_millis(60);
+
+/// Heap key of the seed implementation: identical tag recurrence and
+/// ordering to the current `Sfq`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+struct Key {
+    start: Ratio,
+    tie: i128,
+    uid: u64,
+}
+
+/// Packet + finish tag with the seed's dummy uid ordering (the key is
+/// always distinct, so `PacketRec` order never decides).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct PacketRec {
+    pkt: Packet,
+    finish: Ratio,
+}
+impl PartialOrd for PacketRec {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PacketRec {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.pkt.uid.cmp(&other.pkt.uid)
+    }
+}
+
+/// The seed SFQ: one heap over *all* queued packets and a per-packet
+/// tag map, as shipped before the head-of-flow restructure.
+struct SeedSfq {
+    flows: HashMap<FlowId, (Rate, Ratio, usize)>,
+    heap: BinaryHeap<Reverse<(Key, PacketRec)>>,
+    tags: HashMap<u64, (Ratio, Ratio)>,
+    tie: TieBreak,
+    v: Ratio,
+    in_service: Option<Ratio>,
+    max_finish_served: Ratio,
+}
+
+impl SeedSfq {
+    fn new() -> Self {
+        SeedSfq {
+            flows: HashMap::new(),
+            heap: BinaryHeap::new(),
+            tags: HashMap::new(),
+            tie: TieBreak::Fifo,
+            v: Ratio::ZERO,
+            in_service: None,
+            max_finish_served: Ratio::ZERO,
+        }
+    }
+
+    fn add_flow(&mut self, flow: FlowId, weight: Rate) {
+        self.flows.insert(flow, (weight, Ratio::ZERO, 0));
+    }
+
+    fn enqueue(&mut self, pkt: Packet) {
+        let v_now = self.in_service.unwrap_or(self.v).snap_pico();
+        let (weight, last_finish, backlog) = self.flows.get_mut(&pkt.flow).expect("registered");
+        let start = v_now.max(*last_finish);
+        let finish = start + weight.tag_span(pkt.len);
+        *last_finish = finish;
+        *backlog += 1;
+        let key = Key {
+            start,
+            tie: self.tie.key(*weight),
+            uid: pkt.uid,
+        };
+        self.tags.insert(pkt.uid, (start, finish));
+        self.heap.push(Reverse((key, PacketRec { pkt, finish })));
+    }
+
+    fn dequeue(&mut self) -> Option<Packet> {
+        let Reverse((key, rec)) = self.heap.pop()?;
+        self.tags.remove(&rec.pkt.uid);
+        if let Some((_, _, backlog)) = self.flows.get_mut(&rec.pkt.flow) {
+            *backlog -= 1;
+        }
+        self.in_service = Some(key.start);
+        self.v = key.start;
+        self.max_finish_served = self.max_finish_served.max(rec.finish);
+        Some(rec.pkt)
+    }
+
+    fn on_departure(&mut self) {
+        self.in_service = None;
+        if self.heap.is_empty() {
+            self.v = self.max_finish_served;
+        }
+    }
+}
+
+/// One steady-state configuration driving enqueue+dequeue pairs. The
+/// two implementations expose slightly different APIs, so the driver is
+/// a trait object over a closure.
+struct Steady<F: FnMut(usize)> {
+    run: F,
+}
+
+fn steady_seed(depth: usize) -> Steady<impl FnMut(usize)> {
+    let mut s = SeedSfq::new();
+    let mut pf = PacketFactory::new();
+    let t0 = SimTime::ZERO;
+    for f in 0..FLOWS as u32 {
+        s.add_flow(FlowId(f), Rate::kbps(64 + f as u64));
+    }
+    for f in 0..FLOWS as u32 {
+        for _ in 0..depth {
+            s.enqueue(pf.make(FlowId(f), Bytes::new(PKT), t0));
+        }
+    }
+    let mut i = 0u32;
+    Steady {
+        run: move |pairs: usize| {
+            for _ in 0..pairs {
+                let f = FlowId(i % FLOWS as u32);
+                i = i.wrapping_add(1);
+                s.enqueue(pf.make(f, Bytes::new(PKT), t0));
+                let p = s.dequeue().expect("backlogged");
+                s.on_departure();
+                black_box(p.uid);
+            }
+        },
+    }
+}
+
+fn steady_current(depth: usize) -> Steady<impl FnMut(usize)> {
+    let mut s = Sfq::new();
+    let mut pf = PacketFactory::new();
+    let t0 = SimTime::ZERO;
+    for f in 0..FLOWS as u32 {
+        s.add_flow(FlowId(f), Rate::kbps(64 + f as u64));
+    }
+    for f in 0..FLOWS as u32 {
+        for _ in 0..depth {
+            s.enqueue(t0, pf.make(FlowId(f), Bytes::new(PKT), t0));
+        }
+    }
+    let mut i = 0u32;
+    Steady {
+        run: move |pairs: usize| {
+            for _ in 0..pairs {
+                let f = FlowId(i % FLOWS as u32);
+                i = i.wrapping_add(1);
+                s.enqueue(t0, pf.make(f, Bytes::new(PKT), t0));
+                let p = s.dequeue(t0).expect("backlogged");
+                s.on_departure(t0);
+                black_box(p.uid);
+            }
+        },
+    }
+}
+
+/// Interleaved-slice paired measurement (drift-cancelling); returns
+/// packets/sec for each configuration.
+fn measure_paired<'a>(a: &'a mut dyn FnMut(usize), b: &'a mut dyn FnMut(usize)) -> (f64, f64) {
+    const SLICE: Duration = Duration::from_millis(25);
+    const ROUNDS: usize = 10;
+    for s in [&mut *a, &mut *b] {
+        let end = Instant::now() + WARMUP;
+        while Instant::now() < end {
+            s(64);
+        }
+    }
+    let (mut na, mut nb) = (0u64, 0u64);
+    let (mut ta, mut tb) = (Duration::ZERO, Duration::ZERO);
+    for _ in 0..ROUNDS {
+        for (s, n, t) in [(&mut *a, &mut na, &mut ta), (&mut *b, &mut nb, &mut tb)] {
+            let start = Instant::now();
+            let end = start + SLICE;
+            while Instant::now() < end {
+                s(64);
+                *n += 64;
+            }
+            *t += start.elapsed();
+        }
+    }
+    (na as f64 / ta.as_secs_f64(), nb as f64 / tb.as_secs_f64())
+}
+
+fn report(name: &str, lo: f64, hi: f64) {
+    eprintln!(
+        "  {name:>22}: depth 4 -> {lo:.0} pkt/s, depth 64 -> {hi:.0} pkt/s ({:+.1}% deep vs shallow)",
+        100.0 * (hi / lo - 1.0),
+    );
+}
+
+fn main() {
+    eprintln!("seedcmp: global-heap seed vs head-of-flow SFQ @ {FLOWS} flows");
+    {
+        let mut shallow = steady_seed(4);
+        let mut deep = steady_seed(64);
+        let (lo, hi) = measure_paired(&mut shallow.run, &mut deep.run);
+        report("seed(global-heap)", lo, hi);
+    }
+    {
+        let mut shallow = steady_current(4);
+        let mut deep = steady_current(64);
+        let (lo, hi) = measure_paired(&mut shallow.run, &mut deep.run);
+        report("current(head-of-flow)", lo, hi);
+    }
+    // Head-to-head at each depth: what the restructure bought.
+    for depth in [4usize, 64] {
+        let mut seed = steady_seed(depth);
+        let mut cur = steady_current(depth);
+        let (s, c) = measure_paired(&mut seed.run, &mut cur.run);
+        eprintln!(
+            "  depth {depth:>2}: seed {s:.0} pkt/s vs head-of-flow {c:.0} pkt/s ({:+.1}%)",
+            100.0 * (c / s - 1.0),
+        );
+    }
+}

@@ -20,7 +20,11 @@ fn main() {
             "generalized Thm 4 violation (ms)",
         ],
         &[
-            vec!["fixed mean rate".into(), ms(r.fixed_max_delay_s), "-".into()],
+            vec![
+                "fixed mean rate".into(),
+                ms(r.fixed_max_delay_s),
+                "-".into(),
+            ],
             vec![
                 "per-scene rates".into(),
                 ms(r.var_max_delay_s),

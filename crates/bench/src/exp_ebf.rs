@@ -13,14 +13,14 @@
 
 use analysis::{expected_arrival_times, sfq_delay_term};
 use des::SimRng;
-use serde::Serialize;
+use jsonline::impl_to_json;
 use servers::{ebf_catch_up, run_server, Departure};
 use sfq_core::{FlowId, PacketFactory, Scheduler, Sfq};
 use simtime::{Bytes, Rate, SimDuration, SimTime};
 use traffic::{arrivals_until, merge, to_packets, CbrSource};
 
 /// Empirical tail of Theorem 5 lateness.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct EbfTailPoint {
     /// Excess γ expressed in bits of work at rate C.
     pub gamma_bits: u64,
@@ -31,14 +31,22 @@ pub struct EbfTailPoint {
     pub throughput_tail: f64,
 }
 
+impl_to_json!(EbfTailPoint {
+    gamma_bits,
+    delay_tail,
+    throughput_tail
+});
+
 /// Result of the EBF experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct EbfResult {
     /// Measured tails by γ.
     pub points: Vec<EbfTailPoint>,
     /// Total packets observed.
     pub packets: usize,
 }
+
+impl_to_json!(EbfResult { points, packets });
 
 const LINK: u64 = 100_000;
 const SLOT_MS: i128 = 50;
@@ -86,8 +94,7 @@ pub fn ebf_tails(seed: u64, horizon_s: i128) -> EbfResult {
             .map(|(_, &l)| Bytes::new(l))
             .collect();
         let beta = sfq_delay_term(&others, own, Rate::bps(LINK), 0);
-        let mut flow_deps: Vec<&Departure> =
-            deps.iter().filter(|d| d.pkt.flow == flow).collect();
+        let mut flow_deps: Vec<&Departure> = deps.iter().filter(|d| d.pkt.flow == flow).collect();
         flow_deps.sort_by_key(|d| (d.pkt.arrival, d.pkt.seq));
         let arr: Vec<(SimTime, Bytes)> = flow_deps
             .iter()
@@ -136,10 +143,7 @@ pub fn ebf_tails(seed: u64, horizon_s: i128) -> EbfResult {
         .iter()
         .map(|&g| EbfTailPoint {
             gamma_bits: g,
-            delay_tail: lateness_bits
-                .iter()
-                .filter(|&&lb| lb > g as f64)
-                .count() as f64
+            delay_tail: lateness_bits.iter().filter(|&&lb| lb > g as f64).count() as f64
                 / lateness_bits.len().max(1) as f64,
             throughput_tail: tput_deficit_bits
                 .iter()

@@ -3,14 +3,14 @@
 
 use analysis::{max_fairness_gap, packet_delays, sfq_fairness_bound};
 use baselines::{Drr, Fifo, Fqs, Scfq, VirtualClock, Wfq};
-use serde::Serialize;
+use jsonline::impl_to_json;
 use servers::{run_server, Departure, RateProfile, Segment};
 use sfq_core::{FairAirport, FlowId, Packet, PacketFactory, Scheduler, Sfq};
-use simtime::{Bytes, Ratio, Rate, SimTime};
+use simtime::{Bytes, Rate, Ratio, SimTime};
 
 /// Measured fairness of one discipline on the adversarial two-flow
 /// backlogged workload.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FairnessRow {
     /// Discipline name.
     pub discipline: String,
@@ -21,6 +21,13 @@ pub struct FairnessRow {
     /// Ratio measured / optimal-lower-bound (Golestani).
     pub vs_lower_bound: f64,
 }
+
+impl_to_json!(FairnessRow {
+    discipline,
+    measured_gap_s,
+    sfq_bound_s,
+    vs_lower_bound
+});
 
 const LMAX: u64 = 250;
 const WEIGHT: u64 = 1_000; // bps; 250 B => span 2 s
@@ -67,8 +74,12 @@ fn gap_of(deps: &[Departure]) -> Ratio {
 
 /// Run the Table 1 fairness comparison across all disciplines.
 pub fn table1() -> Vec<FairnessRow> {
-    let bound =
-        sfq_fairness_bound(Bytes::new(LMAX), Rate::bps(WEIGHT), Bytes::new(LMAX), Rate::bps(WEIGHT));
+    let bound = sfq_fairness_bound(
+        Bytes::new(LMAX),
+        Rate::bps(WEIGHT),
+        Bytes::new(LMAX),
+        Rate::bps(WEIGHT),
+    );
     let lower = bound / Ratio::from_int(2);
     let mut rows = Vec::new();
     let mut push = |name: &str, deps: Vec<Departure>| {
@@ -94,7 +105,7 @@ pub fn table1() -> Vec<FairnessRow> {
 
 /// Example 2 result: service received by each flow in `[1, 2]` seconds
 /// on the variable-rate server, per discipline.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Example2Row {
     /// Discipline name.
     pub discipline: String,
@@ -103,6 +114,12 @@ pub struct Example2Row {
     /// Packets of the late flow served in [1s, 2s].
     pub late_flow_pkts: usize,
 }
+
+impl_to_json!(Example2Row {
+    discipline,
+    early_flow_pkts,
+    late_flow_pkts
+});
 
 /// Example 2: actual server rate is 1 pkt/s during [0, 1) and C pkt/s
 /// during [1, 2); WFQ (fed the fixed capacity C) starves the late
@@ -159,7 +176,7 @@ pub fn example2(c_pkts: u64) -> Vec<Example2Row> {
 
 /// Measured worst packet delay of a low-rate flow under SCFQ vs SFQ
 /// among many backlogged high-rate flows (Section 2.3 / Eq. 57).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DelayGapResult {
     /// Max delay of the low-rate flow's packet under SCFQ (s).
     pub scfq_max_delay_s: f64,
@@ -168,6 +185,12 @@ pub struct DelayGapResult {
     /// Analytic gap `l/r − l/C` (s).
     pub analytic_gap_s: f64,
 }
+
+impl_to_json!(DelayGapResult {
+    scfq_max_delay_s,
+    sfq_max_delay_s,
+    analytic_gap_s
+});
 
 /// SCFQ-vs-SFQ delay gap experiment: one 64 Kb/s flow sends a single
 /// 200-byte packet into a server busy with backlogged fast flows.

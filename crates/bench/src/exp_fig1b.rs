@@ -12,8 +12,8 @@
 //! source 3 is starved for most of [0.5, 1.0]; under SFQ both TCP
 //! sources receive packets at comparable rates immediately.
 
+use jsonline::impl_to_json;
 use netsim::{Net, SwitchCore, TcpConfig};
-use serde::Serialize;
 use servers::RateProfile;
 use sfq_core::{FlowId, Scheduler, Sfq};
 use simtime::{Bytes, Rate, SimDuration, SimTime};
@@ -28,7 +28,7 @@ pub enum Discipline {
 }
 
 /// Result of one Figure 1(b) run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig1bResult {
     /// "SFQ" or "WFQ".
     pub discipline: String,
@@ -45,6 +45,15 @@ pub struct Fig1bResult {
     pub src3_first_435ms: usize,
 }
 
+impl_to_json!(Fig1bResult {
+    discipline,
+    src2_series,
+    src3_series,
+    src2_after_start3,
+    src3_after_start3,
+    src3_first_435ms
+});
+
 /// Run Figure 1(b) with the given discipline and seed.
 pub fn fig1b(discipline: Discipline, seed: u64, horizon: SimTime) -> Fig1bResult {
     let link = Rate::bps(2_500_000);
@@ -57,11 +66,7 @@ pub fn fig1b(discipline: Discipline, seed: u64, horizon: SimTime) -> Fig1bResult
     sw.add_flow(FlowId(2), tcp_weight);
     sw.add_flow(FlowId(3), tcp_weight);
 
-    let mut net = Net::new(
-        sw,
-        SimDuration::from_millis(1),
-        SimDuration::from_millis(1),
-    );
+    let mut net = Net::new(sw, SimDuration::from_millis(1), SimDuration::from_millis(1));
     // Source 1: synthetic VBR video, strict priority.
     let vbr = traffic::VbrVideoSource::new(
         SimTime::ZERO,

@@ -5,7 +5,7 @@
 use analysis::{delta_wfq_minus_sfq, packet_delays, DelaySummary};
 use baselines::Wfq;
 use des::SimRng;
-use serde::Serialize;
+use jsonline::impl_to_json;
 use servers::{run_server, RateProfile};
 use sfq_core::{FlowId, PacketFactory, Scheduler, Sfq};
 use simtime::{Bytes, Rate, SimTime};
@@ -13,7 +13,7 @@ use traffic::{arrivals_until, merge, to_packets, ParetoOnOffSource, PoissonSourc
 
 /// One point of Figure 2(a): Δ max-delay (WFQ − SFQ) for a flow of the
 /// given rate among `n_flows` equal-packet flows.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig2aPoint {
     /// Number of flows |Q| at the server.
     pub n_flows: usize,
@@ -22,6 +22,12 @@ pub struct Fig2aPoint {
     /// Δ(p) in seconds (positive: SFQ delivers earlier).
     pub delta_s: f64,
 }
+
+impl_to_json!(Fig2aPoint {
+    n_flows,
+    rate_bps,
+    delta_s
+});
 
 /// Figure 2(a): sweep flow counts and rates (200-byte packets,
 /// C = 100 Mb/s as in the paper).
@@ -49,7 +55,7 @@ pub fn fig2a() -> Vec<Fig2aPoint> {
 }
 
 /// One point of Figure 2(b).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig2bPoint {
     /// Number of low-throughput (32 Kb/s) flows.
     pub n_low: usize,
@@ -64,6 +70,15 @@ pub struct Fig2bPoint {
     /// Max delay under SFQ (s).
     pub sfq_max_delay_s: f64,
 }
+
+impl_to_json!(Fig2bPoint {
+    n_low,
+    utilization,
+    wfq_avg_delay_s,
+    sfq_avg_delay_s,
+    wfq_max_delay_s,
+    sfq_max_delay_s
+});
 
 /// Figure 2(b): 7 Poisson flows at 100 Kb/s plus `n_low` Poisson flows
 /// at 32 Kb/s share a 1 Mb/s link; 200-byte packets. The paper runs
@@ -90,12 +105,8 @@ pub fn fig2b(n_lows: &[usize], horizon: SimTime, seed: u64) -> Vec<Fig2bPoint> {
         for i in 0..n_low {
             let flow = FlowId(100 + i as u32);
             flows.push((flow, low_rate));
-            let src = PoissonSource::with_rate(
-                SimTime::ZERO,
-                low_rate,
-                len,
-                rng.fork(100 + i as u64),
-            );
+            let src =
+                PoissonSource::with_rate(SimTime::ZERO, low_rate, len, rng.fork(100 + i as u64));
             lists.push(to_packets(&mut pf, flow, &arrivals_until(src, horizon)));
         }
         let arrivals = merge(lists);
@@ -142,8 +153,7 @@ pub fn fig2b_pareto(n_lows: &[usize], horizon: SimTime, seed: u64) -> Vec<Fig2bP
         for i in 0..7 {
             let flow = FlowId(i);
             flows.push((flow, high_rate));
-            let src =
-                PoissonSource::with_rate(SimTime::ZERO, high_rate, len, rng.fork(i as u64));
+            let src = PoissonSource::with_rate(SimTime::ZERO, high_rate, len, rng.fork(i as u64));
             lists.push(to_packets(&mut pf, flow, &arrivals_until(src, horizon)));
         }
         for i in 0..n_low {

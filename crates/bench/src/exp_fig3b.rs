@@ -10,13 +10,13 @@
 //! throughputs must stay in the ratio of their weights.
 
 use analysis::throughput_bps;
-use serde::Serialize;
+use jsonline::impl_to_json;
 use servers::{fc_on_off, run_server, FcParams, RateProfile};
 use sfq_core::{FlowId, PacketFactory, Scheduler, Sfq};
 use simtime::{Bytes, Rate, SimTime};
 
 /// Result of the interface experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig3bResult {
     /// Per-window throughput samples: (window end s, per-flow Mb/s).
     pub series: Vec<(f64, [f64; 3])>,
@@ -29,6 +29,13 @@ pub struct Fig3bResult {
     /// before flow 2 finished.
     pub ratio_after_f3: f64,
 }
+
+impl_to_json!(Fig3bResult {
+    series,
+    completion_s,
+    ratio_all_active,
+    ratio_after_f3
+});
 
 /// Run Figure 3(b). `packets_per_conn` scales the experiment (the
 /// paper used 500,000 4 KB packets per connection; the default binary
@@ -102,8 +109,8 @@ pub fn fig3b(packets_per_conn: u64, fluctuating: bool) -> Fig3bResult {
     let a = completion_t[2];
     let span = completion_t[1] - a;
     let b = a + simtime::SimDuration::from_nanos((span.as_secs_f64() * 0.9 * 1e9) as i128);
-    let ratio_after = throughput_bps(&deps, FlowId(2), a, b)
-        / throughput_bps(&deps, FlowId(1), a, b).max(1.0);
+    let ratio_after =
+        throughput_bps(&deps, FlowId(2), a, b) / throughput_bps(&deps, FlowId(1), a, b).max(1.0);
     Fig3bResult {
         series,
         completion_s: [

@@ -4,13 +4,13 @@
 
 use analysis::{delay_shift_improves, edd_schedulable, max_guarantee_violation, packet_delays};
 use baselines::DelayEdd;
-use serde::Serialize;
+use jsonline::impl_to_json;
 use servers::{fc_on_off, run_server, FcParams, RateProfile};
 use sfq_core::{FlowId, HierSfq, PacketFactory, Scheduler};
 use simtime::{Bytes, Rate, SimDuration, SimTime};
 
 /// Example 3 / hierarchical sharing result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct HierShareResult {
     /// Throughput of C and D while B idle (b/s).
     pub phase1_c_bps: f64,
@@ -19,6 +19,12 @@ pub struct HierShareResult {
     /// Throughputs (C, D, B) while B active.
     pub phase2_bps: (f64, f64, f64),
 }
+
+impl_to_json!(HierShareResult {
+    phase1_c_bps,
+    phase1_d_bps,
+    phase2_bps
+});
 
 /// Example 3: root{A{C, D}, B}, equal weights; B idle during phase 1,
 /// active during phase 2. C and D must split A's (changing) share
@@ -62,7 +68,7 @@ pub fn hier_share() -> HierShareResult {
 
 /// Delay shifting result: max delay of a probe flow under flat SFQ vs
 /// hierarchically partitioned SFQ.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DelayShiftResult {
     /// Eq. 73 predicts improvement for the favored partition.
     pub predicted_improvement: bool,
@@ -71,6 +77,12 @@ pub struct DelayShiftResult {
     /// Measured max delay of the favored flow, hierarchical (s).
     pub hier_max_s: f64,
 }
+
+impl_to_json!(DelayShiftResult {
+    predicted_improvement,
+    flat_max_s,
+    hier_max_s
+});
 
 /// Delay shifting: |Q| = 12 equal CBR flows on a 12 Mb/s link. Flat
 /// SFQ vs a hierarchy with a small favored partition (2 flows, 50% of
@@ -138,7 +150,7 @@ pub fn delay_shift() -> DelayShiftResult {
 }
 
 /// Theorem 7 check: Delay EDD over an FC server.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct EddResult {
     /// Whether the flow set passed the Eq. 67 schedulability test.
     pub schedulable: bool,
@@ -150,6 +162,13 @@ pub struct EddResult {
     /// Max delay of the loose-deadline flow (s).
     pub loose_flow_max_s: f64,
 }
+
+impl_to_json!(EddResult {
+    schedulable,
+    worst_violation_s,
+    tight_flow_max_s,
+    loose_flow_max_s
+});
 
 /// Separation of delay and throughput: two CBR flows with the *same*
 /// rate but very different deadlines, scheduled by Delay EDD on an FC
@@ -217,7 +236,7 @@ pub fn edd_over_fc() -> EddResult {
 /// a backlogged bulk class. The EDD class's virtual server is FC with
 /// the Eq. 65 parameters, so Theorem 7 bounds every packet's departure
 /// by `EAT + d_f + l^max/C_i + δ_i/C_i`.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct EddHierResult {
     /// Eq. 67 schedulability at the class rate.
     pub schedulable: bool,
@@ -230,6 +249,14 @@ pub struct EddHierResult {
     /// Max delay of the loose-deadline flow (s).
     pub loose_flow_max_s: f64,
 }
+
+impl_to_json!(EddHierResult {
+    schedulable,
+    virtual_delta_bits,
+    worst_violation_s,
+    tight_flow_max_s,
+    loose_flow_max_s
+});
 
 /// Run the nested-EDD experiment.
 pub fn edd_in_hierarchy() -> EddHierResult {
@@ -246,13 +273,7 @@ pub fn edd_in_hierarchy() -> EddHierResult {
 
     // Eq. 65: the virtual server the EDD class sees. The sibling-set
     // maximum packet sizes are the class's own and the bulk class's.
-    let (vrate, vdelta) = virtual_server_fc(
-        class_rate,
-        &[edd_len, bulk_len],
-        link,
-        0,
-        edd_len,
-    );
+    let (vrate, vdelta) = virtual_server_fc(class_rate, &[edd_len, bulk_len], link, 0, edd_len);
     let schedulable = edd_schedulable(
         &[(flow_rate, edd_len, d_tight), (flow_rate, edd_len, d_loose)],
         vrate,
@@ -287,12 +308,7 @@ pub fn edd_in_hierarchy() -> EddHierResult {
         arrivals.push(pf.make(FlowId(3), bulk_len, SimTime::ZERO));
     }
     arrivals.sort_by_key(|p| (p.arrival, p.uid));
-    let deps = run_server(
-        &mut h,
-        &RateProfile::constant(link),
-        &arrivals,
-        horizon,
-    );
+    let deps = run_server(&mut h, &RateProfile::constant(link), &arrivals, horizon);
 
     // Nested Theorem 7 bound: d_f + l^max/C_i + δ_i/C_i.
     let slack = SimDuration::from_ratio(

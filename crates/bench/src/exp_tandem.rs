@@ -4,15 +4,15 @@
 
 use analysis::{e2e_delay_bound, scfq_delay_term, sfq_delay_term, wfq_delay_term};
 use baselines::{Scfq, VirtualClock};
+use jsonline::impl_to_json;
 use netsim::{SwitchCore, Tandem};
-use serde::Serialize;
 use servers::RateProfile;
 use sfq_core::{FlowId, Scheduler, Sfq};
 use simtime::{Bytes, Rate, SimDuration, SimTime};
 use traffic::{arrivals_until, CbrSource, LeakyBucket, PoissonSource};
 
 /// Result for one tandem length K.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TandemResult {
     /// Number of servers K.
     pub k: usize,
@@ -21,6 +21,12 @@ pub struct TandemResult {
     /// Corollary 1 + A.5 deterministic bound (s).
     pub bound_s: f64,
 }
+
+impl_to_json!(TandemResult {
+    k,
+    measured_max_s,
+    bound_s
+});
 
 /// Run the tandem experiment for each K in `ks`.
 ///
@@ -101,7 +107,7 @@ pub fn tandem(ks: &[usize], horizon: SimTime, seed: u64) -> Vec<TandemResult> {
 /// Result of the mixed-discipline tandem (Section 2.4's
 /// interoperability claim: any scheduler satisfying Eq. 62 composes
 /// under Corollary 1).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MixedTandemResult {
     /// Disciplines, hop by hop.
     pub disciplines: Vec<String>,
@@ -110,6 +116,12 @@ pub struct MixedTandemResult {
     /// Corollary 1 bound composed from each discipline's own β (s).
     pub bound_s: f64,
 }
+
+impl_to_json!(MixedTandemResult {
+    disciplines,
+    measured_max_s,
+    bound_s
+});
 
 /// A 3-hop tandem running SFQ, SCFQ, and Virtual Clock in sequence.
 /// Each discipline contributes its own per-hop delay term β to the
@@ -144,11 +156,7 @@ pub fn tandem_mixed(horizon: SimTime, seed: u64) -> MixedTandemResult {
         for cfid in 0..n_cross {
             sched.add_flow(FlowId(100 * (h as u32 + 1) + cfid), cross_rate);
         }
-        hops.push(SwitchCore::new(
-            sched,
-            RateProfile::constant(link),
-            None,
-        ));
+        hops.push(SwitchCore::new(sched, RateProfile::constant(link), None));
     }
     let mut t = Tandem::new(hops, prop);
     t.add_source(FlowId(1), &shaped);

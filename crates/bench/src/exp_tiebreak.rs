@@ -6,13 +6,13 @@
 //! periods, so bursts of start tags collide at every epoch.
 
 use analysis::{packet_delays, DelaySummary};
-use serde::Serialize;
+use jsonline::impl_to_json;
 use servers::{run_server, RateProfile};
 use sfq_core::{FlowId, PacketFactory, Scheduler, Sfq, TieBreak};
 use simtime::{Bytes, Rate, SimTime};
 
 /// Result of the tie-break ablation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TieBreakResult {
     /// Average delay of the interactive flows under FIFO tie-break (s).
     pub fifo_avg_s: f64,
@@ -21,6 +21,12 @@ pub struct TieBreakResult {
     /// Average delay of the bulk flows under low-weight-first (s).
     pub bulk_low_first_avg_s: f64,
 }
+
+impl_to_json!(TieBreakResult {
+    fifo_avg_s,
+    low_first_avg_s,
+    bulk_low_first_avg_s
+});
 
 /// Run the ablation: 4 bulk flows (200 Kb/s) + 8 interactive flows
 /// (16 Kb/s) on a 1 Mb/s link, all emitting synchronized bursts.
@@ -35,14 +41,22 @@ pub fn tiebreak() -> TieBreakResult {
             sched.add_flow(FlowId(f), Rate::kbps(200));
             // 1000 B packets, synchronized every 40 ms.
             for j in 0..750u32 {
-                arrivals.push(pf.make(FlowId(f), Bytes::new(1_000), SimTime::from_millis(40 * j as i128)));
+                arrivals.push(pf.make(
+                    FlowId(f),
+                    Bytes::new(1_000),
+                    SimTime::from_millis(40 * j as i128),
+                ));
             }
         }
         for f in 10..18u32 {
             sched.add_flow(FlowId(f), Rate::kbps(16));
             // 80 B packets, synchronized on the same epochs.
             for j in 0..750u32 {
-                arrivals.push(pf.make(FlowId(f), Bytes::new(80), SimTime::from_millis(40 * j as i128)));
+                arrivals.push(pf.make(
+                    FlowId(f),
+                    Bytes::new(80),
+                    SimTime::from_millis(40 * j as i128),
+                ));
             }
         }
         arrivals.sort_by_key(|p| (p.arrival, p.uid));

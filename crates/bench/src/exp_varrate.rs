@@ -12,7 +12,7 @@
 //! and checks the generalized Theorem 4 bound with variable EAT.
 
 use analysis::{expected_arrival_times_var, sfq_delay_term};
-use serde::Serialize;
+use jsonline::impl_to_json;
 use servers::{run_server_by, Departure, RateProfile};
 use sfq_core::{FlowId, Packet, PacketFactory, Scheduler, Sfq};
 use simtime::{Bytes, Rate, SimDuration, SimTime};
@@ -25,7 +25,7 @@ const LO: u64 = 200_000; // quiet-scene rate
 const SCENE_MS: i128 = 500;
 
 /// Result of the variable-rate experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct VarRateResult {
     /// Max delay of action-scene packets with fixed mean-rate charging.
     pub fixed_max_delay_s: f64,
@@ -34,6 +34,12 @@ pub struct VarRateResult {
     /// Worst violation of the generalized Theorem 4 bound (s).
     pub bound_violation_s: f64,
 }
+
+impl_to_json!(VarRateResult {
+    fixed_max_delay_s,
+    var_max_delay_s,
+    bound_violation_s
+});
 
 /// The video's arrival pattern plus each packet's negotiated rate:
 /// scenes alternate HI/LO every `SCENE_MS`, sending CBR at the scene
@@ -47,7 +53,10 @@ fn video_arrivals(pf: &mut PacketFactory, horizon: SimTime) -> Vec<(Packet, Rate
         let gap = Rate::bps(scene_rate).tx_time(Bytes::new(LEN));
         let scene_end = t + SimDuration::from_millis(SCENE_MS);
         while t < scene_end && t < horizon {
-            out.push((pf.make(FlowId(1), Bytes::new(LEN), t), Rate::bps(scene_rate)));
+            out.push((
+                pf.make(FlowId(1), Bytes::new(LEN), t),
+                Rate::bps(scene_rate),
+            ));
             t += gap;
         }
         t = scene_end;
@@ -88,19 +97,13 @@ fn run(charge_variable: bool) -> (Vec<Departure>, Vec<(SimTime, Bytes, Rate)>) {
     }
     arrivals.sort_by_key(|p| (p.arrival, p.uid));
     let profile = RateProfile::constant(Rate::bps(LINK));
-    let deps = run_server_by(
-        &mut sched,
-        &profile,
-        &arrivals,
-        horizon,
-        |s, now, pkt| {
-            if charge_variable && pkt.flow == FlowId(1) {
-                s.enqueue_with_rate(now, pkt, rates[&pkt.uid]);
-            } else {
-                s.enqueue(now, pkt);
-            }
-        },
-    );
+    let deps = run_server_by(&mut sched, &profile, &arrivals, horizon, |s, now, pkt| {
+        if charge_variable && pkt.flow == FlowId(1) {
+            s.enqueue_with_rate(now, pkt, rates[&pkt.uid]);
+        } else {
+            s.enqueue(now, pkt);
+        }
+    });
     (deps, video_rate_seq)
 }
 

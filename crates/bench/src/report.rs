@@ -1,7 +1,7 @@
 //! Tiny report helpers: aligned console tables plus machine-readable
 //! JSON lines, so EXPERIMENTS.md can be regenerated from runs.
 
-use serde::Serialize;
+use jsonline::ToJson;
 
 /// Print a titled, aligned table: `rows` of equal-length string cells.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
@@ -22,8 +22,18 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(header.iter().map(|s| s.to_string()).collect()));
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    println!(
+        "{}",
+        fmt_row(header.iter().map(|s| s.to_string()).collect())
+    );
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for row in rows {
         println!("{}", fmt_row(row.clone()));
     }
@@ -31,8 +41,12 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
 
 /// Emit one JSON line tagged with the experiment id (for scripts that
 /// collect results into EXPERIMENTS.md).
-pub fn emit_json<T: Serialize>(experiment: &str, value: &T) {
-    let line = serde_json::json!({ "experiment": experiment, "result": value });
+pub fn emit_json<T: ToJson>(experiment: &str, value: &T) {
+    let mut line = String::from("{\"experiment\":");
+    jsonline::push_json_str(experiment, &mut line);
+    line.push_str(",\"result\":");
+    value.push_json(&mut line);
+    line.push('}');
     println!("JSON {line}");
 }
 

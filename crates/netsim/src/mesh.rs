@@ -109,12 +109,7 @@ impl Mesh {
     /// Add a link with a maximum transmission unit: packets larger
     /// than `mtu` are fragmented on entry to this link and reassembled
     /// at the destination.
-    pub fn add_link_with_mtu(
-        &mut self,
-        core: SwitchCore,
-        prop: SimDuration,
-        mtu: Bytes,
-    ) -> LinkId {
+    pub fn add_link_with_mtu(&mut self, core: SwitchCore, prop: SimDuration, mtu: Bytes) -> LinkId {
         assert!(mtu.as_u64() > 0, "MTU must be positive");
         self.links.push(LinkState {
             core,
@@ -456,11 +451,20 @@ mod tests {
             );
         }
         let deliveries = m.run(SimTime::from_secs(5));
-        let n1 = deliveries.iter().filter(|d| d.pkt.flow == FlowId(1)).count();
-        let n2 = deliveries.iter().filter(|d| d.pkt.flow == FlowId(2)).count();
+        let n1 = deliveries
+            .iter()
+            .filter(|d| d.pkt.flow == FlowId(1))
+            .count();
+        let n2 = deliveries
+            .iter()
+            .filter(|d| d.pkt.flow == FlowId(2))
+            .count();
         assert!(n1 > 200 && n2 > 200, "n1={n1} n2={n2}");
         let ratio = n1 as f64 / n2 as f64;
-        assert!((0.7..1.4).contains(&ratio), "unfair at shared link: {n1} vs {n2}");
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "unfair at shared link: {n1} vs {n2}"
+        );
     }
 
     #[test]

@@ -147,8 +147,7 @@ impl Net {
                 if let Some(ep) = self.tcp.get_mut(&pkt.flow) {
                     if let Some(seg) = ep.seg_of.remove(&pkt.uid) {
                         let ack = ep.receiver.on_segment(seg);
-                        self.q
-                            .schedule(now + self.ack_prop, Ev::Ack(pkt.flow, ack));
+                        self.q.schedule(now + self.ack_prop, Ev::Ack(pkt.flow, ack));
                     }
                 }
             }
@@ -270,8 +269,14 @@ mod tests {
             net.add_tcp_source(FlowId(f), TcpConfig::default(), SimTime::ZERO);
         }
         let deliveries = net.run(SimTime::from_secs(5));
-        let n1 = deliveries.iter().filter(|d| d.pkt.flow == FlowId(1)).count();
-        let n2 = deliveries.iter().filter(|d| d.pkt.flow == FlowId(2)).count();
+        let n1 = deliveries
+            .iter()
+            .filter(|d| d.pkt.flow == FlowId(1))
+            .count();
+        let n2 = deliveries
+            .iter()
+            .filter(|d| d.pkt.flow == FlowId(2))
+            .count();
         assert!(n1 > 100 && n2 > 100, "n1={n1} n2={n2}");
         let ratio = n1 as f64 / n2 as f64;
         assert!(ratio > 0.8 && ratio < 1.25, "unfair: n1={n1} n2={n2}");
@@ -285,8 +290,7 @@ mod tests {
         let horizon = SimTime::from_secs(5);
         let run = |with_priority: bool| -> usize {
             let sw = switch_with(&[(1, Rate::mbps(1))], Rate::mbps(2), Some(64));
-            let mut net =
-                Net::new(sw, SimDuration::from_millis(1), SimDuration::from_millis(1));
+            let mut net = Net::new(sw, SimDuration::from_millis(1), SimDuration::from_millis(1));
             if with_priority {
                 let arr: Vec<(SimTime, Bytes)> = (0..5000)
                     .map(|i| (SimTime::from_micros(i * 1000), Bytes::new(125)))

@@ -84,7 +84,9 @@ impl Tandem {
     ) {
         assert!(entry <= exit && exit < self.hops.len(), "invalid path");
         assert!(
-            self.paths.insert(flow, (entry, exit)).is_none_or(|p| p == (entry, exit)),
+            self.paths
+                .insert(flow, (entry, exit))
+                .is_none_or(|p| p == (entry, exit)),
             "flow already routed on a different path"
         );
         for &(t, len) in arrivals {
@@ -144,8 +146,7 @@ impl Tandem {
                     .push(now);
                 let exit = self.paths[&pkt.flow].1;
                 if hop < exit {
-                    self.q
-                        .schedule(now + self.prop, Ev::Arrive(hop + 1, pkt));
+                    self.q.schedule(now + self.prop, Ev::Arrive(hop + 1, pkt));
                 }
                 self.kick(now, hop);
             }

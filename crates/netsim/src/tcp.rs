@@ -176,8 +176,7 @@ impl TcpSender {
                             self.rttvar = 0.75 * self.rttvar + 0.25 * err.abs();
                         }
                     }
-                    let rto_s =
-                        self.srtt.expect("set above") + 4.0 * self.rttvar.max(1e-6);
+                    let rto_s = self.srtt.expect("set above") + 4.0 * self.rttvar.max(1e-6);
                     let ns = (rto_s * 1e9).round() as i128;
                     self.rto = SimDuration::from_nanos(ns).max(self.cfg.min_rto);
                 }

@@ -15,7 +15,7 @@
 
 use crate::profile::{RateProfile, Segment};
 use des::SimRng;
-use simtime::{Ratio, Rate, SimDuration, SimTime};
+use simtime::{Rate, Ratio, SimDuration, SimTime};
 
 /// Parameters of a Fluctuation Constrained server: average rate `C` and
 /// burstiness `δ(C)` in bits.
@@ -54,10 +54,7 @@ pub fn fc_on_off(params: FcParams, horizon: SimTime) -> RateProfile {
         return RateProfile::constant(c);
     }
     // Phase length δ/C.
-    let phase = SimDuration::from_ratio(Ratio::new(
-        params.delta_bits as i128,
-        c.as_bps() as i128,
-    ));
+    let phase = SimDuration::from_ratio(Ratio::new(params.delta_bits as i128, c.as_bps() as i128));
     let mut segments = Vec::new();
     let mut t = SimTime::ZERO;
     let on_rate = Rate::bps(2 * c.as_bps());
@@ -279,7 +276,10 @@ mod tests {
         let f_small = ebf_tail_estimate(&p, c, 0, 100, horizon, 4_000, &mut sampler);
         let mut sampler = SimRng::new(8);
         let f_large = ebf_tail_estimate(&p, c, 0, 1_000, horizon, 4_000, &mut sampler);
-        assert!(f_large <= f_small, "tail must decay: {f_small} -> {f_large}");
+        assert!(
+            f_large <= f_small,
+            "tail must decay: {f_small} -> {f_large}"
+        );
         // Deficit within a slot is at most C*(slot/2) + catch-up slack;
         // a gamma of 2 * C * slot can never be exceeded.
         let mut sampler = SimRng::new(9);

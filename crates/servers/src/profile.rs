@@ -6,7 +6,7 @@
 //! are all just profiles; the scheduler never sees the difference —
 //! exactly the separation the paper's analysis relies on.
 
-use simtime::{Bytes, Ratio, Rate, SimDuration, SimTime};
+use simtime::{Bytes, Rate, Ratio, SimDuration, SimTime};
 
 /// One segment of a profile: from `start` (inclusive) the server runs
 /// at `rate` until the next segment begins.
@@ -60,10 +60,7 @@ impl RateProfile {
 
     /// Rate in effect at time `t`.
     pub fn rate_at(&self, t: SimTime) -> Rate {
-        let idx = match self
-            .segments
-            .binary_search_by(|s| s.start.cmp(&t))
-        {
+        let idx = match self.segments.binary_search_by(|s| s.start.cmp(&t)) {
             Ok(i) => i,
             Err(0) => unreachable!("profiles start at t=0 and t >= 0"),
             Err(i) => i - 1,
@@ -169,7 +166,8 @@ mod tests {
         let p = on_off();
         assert_eq!(
             p.work_bits(SimTime::ZERO, SimTime::from_secs(3)),
-            Ratio::from_int(8 + 0 + 16)
+            // 8 bits (first on-second) + nothing (off) + 16 (second on).
+            Ratio::from_int(8 + 16)
         );
         assert_eq!(
             p.work_bits(SimTime::from_millis(500), SimTime::from_millis(1500)),
@@ -210,10 +208,7 @@ mod tests {
     #[test]
     fn average_rate_over_horizon() {
         let p = on_off();
-        assert_eq!(
-            p.average_rate(SimTime::from_secs(2)),
-            Ratio::from_int(4)
-        );
+        assert_eq!(p.average_rate(SimTime::from_secs(2)), Ratio::from_int(4));
     }
 
     #[test]

@@ -19,17 +19,21 @@
 
 use crate::packet::{FlowId, Packet};
 use crate::sched::Scheduler;
-use simtime::{Ratio, Rate, SimTime};
+use simtime::{Rate, Ratio, SimTime};
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
 
 #[derive(Debug)]
 struct FaFlow {
     weight: Rate,
-    /// Unserved packets, FIFO. The first `in_gsq` of them have passed
-    /// the regulator and are awaiting GSQ service.
+    /// Unserved packets, FIFO. The first `gsq_ts.len()` of them have
+    /// passed the regulator and are awaiting GSQ service.
     queue: VecDeque<Packet>,
-    in_gsq: usize,
+    /// Virtual Clock timestamps of the admitted prefix of `queue`, in
+    /// order. Timestamps are strictly increasing within a flow (each is
+    /// `EAT + l/r` with `EAT >= chain`), so the front entry is the
+    /// flow's minimum and the GSQ heap only needs flow heads.
+    gsq_ts: VecDeque<SimTime>,
     /// ASQ (SFQ) start tag of the front unserved packet; valid while
     /// `queue` is non-empty.
     front_start: Ratio,
@@ -77,7 +81,10 @@ pub struct FairAirport {
     flow_order: Vec<FlowId>,
     /// ASQ ready set: (front start tag, flow).
     asq_ready: BTreeSet<(Ratio, FlowId)>,
-    /// GSQ: Virtual Clock heap of (timestamp, uid, flow).
+    /// GSQ: Virtual Clock heap of (timestamp, uid, flow) over each
+    /// flow's *front admitted* packet only (head-of-flow structure —
+    /// per-flow timestamps are monotone, so the global minimum is
+    /// always some flow's front).
     gsq: BinaryHeap<Reverse<(SimTime, u64, FlowId)>>,
     /// Eligibility heap over each flow's *front pending* packet (the
     /// oldest packet not yet admitted to the GSQ): (EAT, uid, flow).
@@ -125,8 +132,8 @@ impl FairAirport {
     /// eligibility heap. Stale announcements are skipped at pop time.
     fn announce_pending(&mut self, flow: FlowId) {
         let fs = self.flows.get(&flow).expect("known flow");
-        if fs.in_gsq < fs.queue.len() {
-            let p = fs.queue[fs.in_gsq];
+        if fs.gsq_ts.len() < fs.queue.len() {
+            let p = fs.queue[fs.gsq_ts.len()];
             let eat = p.arrival.max(fs.chain);
             self.pending.push(Reverse((eat, p.uid, flow)));
         }
@@ -144,14 +151,19 @@ impl FairAirport {
             // already admitted since).
             let front = fs
                 .queue
-                .get(fs.in_gsq)
+                .get(fs.gsq_ts.len())
                 .filter(|p| p.uid == uid && p.arrival.max(fs.chain) == eat);
             let Some(&p) = front else { continue };
             // Virtual Clock timestamp: EAT^GSQ + l/r (Eq. in rule 3).
             let ts = eat + fs.weight.tx_time(p.len);
-            self.gsq.push(Reverse((ts, p.uid, flow)));
             fs.chain = ts;
-            fs.in_gsq += 1;
+            let was_gsq_idle = fs.gsq_ts.is_empty();
+            fs.gsq_ts.push_back(ts);
+            if was_gsq_idle {
+                // The flow's first admitted packet becomes its GSQ head;
+                // later admissions wait in the flow's own FIFO prefix.
+                self.gsq.push(Reverse((ts, p.uid, flow)));
+            }
             // The next pending packet (if any) becomes announceable.
             self.announce_pending(flow);
         }
@@ -183,9 +195,9 @@ impl FairAirport {
         self.last_served_via = Some(via);
         if via == ServedVia::Asq {
             // The served packet was the flow's front *pending* packet
-            // (GSQ priority guarantees in_gsq == 0 here): announce the
-            // successor's eligibility.
-            debug_assert_eq!(self.flows[&flow].in_gsq, 0);
+            // (GSQ priority guarantees nothing is admitted here):
+            // announce the successor's eligibility.
+            debug_assert!(self.flows[&flow].gsq_ts.is_empty());
             self.announce_pending(flow);
         }
         p
@@ -209,7 +221,7 @@ impl Scheduler for FairAirport {
                 FaFlow {
                     weight,
                     queue: VecDeque::new(),
-                    in_gsq: 0,
+                    gsq_ts: VecDeque::new(),
                     front_start: Ratio::ZERO,
                     last_finish: Ratio::ZERO,
                     chain: SimTime::ZERO,
@@ -228,7 +240,7 @@ impl Scheduler for FairAirport {
             .unwrap_or_else(|| panic!("FA: unregistered flow {}", pkt.flow));
         let was_empty = fs.queue.is_empty();
         fs.queue.push_back(pkt);
-        let is_front_pending = fs.queue.len() - fs.in_gsq == 1;
+        let is_front_pending = fs.queue.len() - fs.gsq_ts.len() == 1;
         if was_empty {
             // SFQ arrival to an idle flow: S = max(v(A), F_prev).
             fs.front_start = v_now.max(fs.last_finish);
@@ -254,8 +266,15 @@ impl Scheduler for FairAirport {
                 Some(uid),
                 "GSQ head must be its flow's oldest unserved packet"
             );
-            fs.in_gsq -= 1;
-            return Some(self.remove_front(flow, ServedVia::Gsq));
+            fs.gsq_ts.pop_front();
+            let pkt = self.remove_front(flow, ServedVia::Gsq);
+            // The flow's next admitted packet (now its queue front, if
+            // any) takes over as its GSQ head.
+            let fs = self.flows.get(&flow).expect("known flow");
+            if let (Some(&ts), Some(next)) = (fs.gsq_ts.front(), fs.queue.front()) {
+                self.gsq.push(Reverse((ts, next.uid, flow)));
+            }
+            return Some(pkt);
         }
         // GSQ empty: serve the ASQ in SFQ order. The served packet is
         // necessarily still in the regulator (its EAT is in the future),

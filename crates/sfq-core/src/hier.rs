@@ -15,10 +15,19 @@
 //! — whose available rate fluctuates with its siblings' activity — still
 //! divides its bandwidth between subclasses in proportion to weights.
 //! This is the property Example 3 shows WFQ lacks.
+//!
+//! The tree is head-of-flow structured throughout: each node's ready
+//! set ([`BTreeSet`]) holds one entry per backlogged *child*, never per
+//! packet, and leaf flows keep their packets in per-flow FIFOs
+//! ([`VecDeque`]) — the same shape as the flat [`crate::Sfq`], so
+//! per-packet cost scales with the number of backlogged classes on the
+//! root-to-leaf path, not with queue depth. Classes backed by a nested
+//! scheduler (`add_scheduler_class`) inherit the head-of-flow
+//! behaviour of whatever discipline they wrap.
 
 use crate::packet::{FlowId, Packet};
 use crate::sched::Scheduler;
-use simtime::{Ratio, Rate, SimTime};
+use simtime::{Rate, Ratio, SimTime};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// Identifier of a class in the link-sharing tree. The root is created
@@ -162,10 +171,7 @@ impl HierSfq {
             !self.node(parent).is_leaf,
             "cannot attach a flow under a flow leaf"
         );
-        assert!(
-            !self.flow_leaf.contains_key(&flow),
-            "flow already attached"
-        );
+        assert!(!self.flow_leaf.contains_key(&flow), "flow already attached");
         let id = ClassId(self.nodes.len() as u32);
         self.nodes.push(Node::new(Some(parent), weight, true));
         self.flow_leaf.insert(flow, id);
@@ -197,10 +203,7 @@ impl HierSfq {
     /// [`HierSfq::add_scheduler_class`], registering it with the nested
     /// discipline at the given weight.
     pub fn add_flow_to_scheduler(&mut self, class: ClassId, flow: FlowId, weight: Rate) {
-        assert!(
-            !self.flow_leaf.contains_key(&flow),
-            "flow already attached"
-        );
+        assert!(!self.flow_leaf.contains_key(&flow), "flow already attached");
         let node = self.node_mut(class);
         let inner = node
             .inner
@@ -215,10 +218,7 @@ impl HierSfq {
     /// [`HierSfq::add_scheduler_class`] (e.g. Delay EDD with per-flow
     /// deadlines, which the plain `Scheduler::add_flow` cannot express).
     pub fn attach_configured_flow(&mut self, class: ClassId, flow: FlowId) {
-        assert!(
-            !self.flow_leaf.contains_key(&flow),
-            "flow already attached"
-        );
+        assert!(!self.flow_leaf.contains_key(&flow), "flow already attached");
         assert!(
             self.node(class).inner.is_some(),
             "attach_configured_flow requires a scheduler class"
@@ -663,7 +663,7 @@ mod tests {
         let t0 = SimTime::ZERO;
         h.enqueue(t0, pf.make(FlowId(1), Bytes::new(125), t0));
         let _ = h.dequeue(t0).unwrap(); // flow1 pkt in service
-        // flow1 sends another while in service; flow2 sends one too.
+                                        // flow1 sends another while in service; flow2 sends one too.
         h.enqueue(t0, pf.make(FlowId(1), Bytes::new(125), t0));
         h.enqueue(t0, pf.make(FlowId(2), Bytes::new(125), t0));
         h.on_departure(t0);

@@ -24,6 +24,7 @@
 mod fair_airport;
 mod hier;
 mod packet;
+pub mod prefetch;
 mod sched;
 mod sfq;
 

@@ -1,0 +1,35 @@
+//! Best-effort software prefetch for the scheduler hot paths.
+//!
+//! With per-flow FIFO rings, the line holding a flow's head packet was
+//! written when the packet was enqueued — one full ring revolution ago.
+//! At deep backlogs that write-to-read reuse distance exceeds the L2
+//! working set and, unlike a single global FIFO, hundreds of scattered
+//! rings defeat the hardware stride prefetcher. The schedulers therefore
+//! issue an explicit prefetch for the *next* dequeue candidate's head
+//! (known from the top of the head-of-flow heap) while finishing the
+//! current dequeue, buying roughly one operation of lead time to cover
+//! the miss.
+//!
+//! A prefetch is only a hint: issuing one for a stale heap entry or a
+//! line that is about to change is harmless, so callers need no
+//! precision here.
+
+/// Pull the cache lines holding `*v` toward L1 by issuing real
+/// (discarded) loads, one per 64-byte line.
+///
+/// A demand load rather than a prefetch hint on purpose: x86 `prefetch`
+/// instructions are dropped on a dTLB miss, and a deep backlog spans
+/// enough pages that the translation itself is usually the cold part.
+/// The loads' results feed nothing, so out-of-order execution retires
+/// surrounding work while the miss (and page walk) resolves.
+#[inline]
+pub fn prefetch_read<T>(v: &T) {
+    let base = v as *const T as *const u8;
+    let mut off = 0usize;
+    while off < core::mem::size_of::<T>() {
+        // In-bounds reads of a live &T; volatile so the otherwise-dead
+        // loads are not elided.
+        core::hint::black_box(unsafe { core::ptr::read_volatile(base.add(off)) });
+        off += 64;
+    }
+}

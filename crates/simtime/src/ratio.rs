@@ -43,6 +43,10 @@ impl Ratio {
     /// Construct `num / den`. Panics if `den == 0`.
     pub fn new(num: i128, den: i128) -> Self {
         assert!(den != 0, "Ratio denominator must be non-zero");
+        if den == 1 {
+            // Integer fast path: already reduced.
+            return Ratio { num, den: 1 };
+        }
         let sign = if den < 0 { -1 } else { 1 };
         let g = gcd(num, den);
         if g == 0 {
@@ -52,6 +56,19 @@ impl Ratio {
             num: sign * (num / g),
             den: (den / g).abs(),
         }
+    }
+
+    /// Construct a fraction the caller guarantees is already reduced
+    /// with `den > 0` — the fast-path constructor that skips the gcd of
+    /// [`Ratio::new`]. Invariants are checked in debug builds.
+    #[inline]
+    fn raw(num: i128, den: i128) -> Self {
+        debug_assert!(den > 0, "Ratio::raw requires den > 0");
+        debug_assert!(
+            gcd(num, den) == 1 && (num != 0 || den == 1),
+            "Ratio::raw requires a reduced fraction: {num}/{den}"
+        );
+        Ratio { num, den }
     }
 
     /// Construct from an integer.
@@ -127,7 +144,32 @@ impl Ratio {
     }
 
     /// Checked addition (None on overflow).
+    ///
+    /// Layered fast paths for the shapes scheduler arithmetic actually
+    /// produces (tag chains repeatedly add spans with one of a few
+    /// denominators): integers add without any gcd; a zero operand
+    /// returns the other; equal denominators need one gcd and no
+    /// multiplications; coprime denominators skip the final reduction
+    /// entirely (the cross sum is provably already reduced).
     pub fn checked_add(self, rhs: Self) -> Option<Self> {
+        if self.den == 1 && rhs.den == 1 {
+            return Some(Ratio::raw(self.num.checked_add(rhs.num)?, 1));
+        }
+        if self.num == 0 {
+            return Some(rhs);
+        }
+        if rhs.num == 0 {
+            return Some(self);
+        }
+        if self.den == rhs.den {
+            // a/b + c/b = (a + c)/b; reduce by gcd(a + c, b) only.
+            let num = self.num.checked_add(rhs.num)?;
+            if num == 0 {
+                return Some(Ratio::ZERO);
+            }
+            let g = gcd(num, self.den);
+            return Some(Ratio::raw(num / g, self.den / g));
+        }
         // a/b + c/d = (a*(l/b) + c*(l/d)) / l with l = lcm(b, d).
         let g = gcd(self.den, rhs.den);
         let lb = rhs.den / g;
@@ -137,17 +179,36 @@ impl Ratio {
             .checked_mul(lb)?
             .checked_add(rhs.num.checked_mul(ld)?)?;
         let den = self.den.checked_mul(lb)?;
-        Some(Ratio::new(num, den))
+        if g == 1 {
+            // Coprime denominators: gcd(a*d + c*b, b*d) = 1 when both
+            // inputs are reduced, so the sum needs no reduction.
+            return Some(Ratio::raw(num, den));
+        }
+        // gcd(num, den) divides g here, so one gcd against g suffices.
+        if num == 0 {
+            return Some(Ratio::ZERO);
+        }
+        let g2 = gcd(num, g);
+        Some(Ratio::raw(num / g2, den / g2))
     }
 
     /// Checked multiplication (None on overflow).
     pub fn checked_mul(self, rhs: Self) -> Option<Self> {
-        // Cross-reduce before multiplying to keep magnitudes small.
+        if self.num == 0 || rhs.num == 0 {
+            return Some(Ratio::ZERO);
+        }
+        if self.den == 1 && rhs.den == 1 {
+            // Integer fast path: no gcds at all.
+            return Some(Ratio::raw(self.num.checked_mul(rhs.num)?, 1));
+        }
+        // Cross-reduce before multiplying to keep magnitudes small; the
+        // cross-reduced product of reduced fractions is itself reduced,
+        // so no final gcd is needed.
         let g1 = gcd(self.num, rhs.den);
         let g2 = gcd(rhs.num, self.den);
         let num = (self.num / g1).checked_mul(rhs.num / g2)?;
         let den = (self.den / g2).checked_mul(rhs.den / g1)?;
-        Some(Ratio::new(num, den))
+        Some(Ratio::raw(num, den))
     }
 
     /// Exact reciprocal; panics on zero.
@@ -284,6 +345,11 @@ impl PartialOrd for Ratio {
 
 impl Ord for Ratio {
     fn cmp(&self, other: &Self) -> Ordering {
+        // Equal denominators (the common case along a tag chain, and
+        // all integer-valued tags): compare numerators directly.
+        if self.den == other.den {
+            return self.num.cmp(&other.num);
+        }
         // Fast path: a/b vs c/d (b,d > 0)  <=>  a*d vs c*b.
         if let (Some(lhs), Some(rhs)) = (
             self.num.checked_mul(other.den),
@@ -486,6 +552,52 @@ mod tests {
                             "{an}/{ad} vs {cn}/{cd}"
                         );
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_paths_agree_with_naive_reference() {
+        // Exhaustive small-range check that the layered fast paths in
+        // checked_add / checked_mul / cmp (integer short-circuits,
+        // equal-denominator, coprime-skip) are behaviour-preserving
+        // against the textbook formulas, and preserve the reduced /
+        // positive-denominator invariants.
+        let mut vals = Vec::new();
+        for n in -8i128..=8 {
+            for d in 1i128..=8 {
+                vals.push(r(n, d));
+            }
+        }
+        for &a in &vals {
+            for &b in &vals {
+                let sum = a + b;
+                assert_eq!(
+                    sum,
+                    r(
+                        a.numer() * b.denom() + b.numer() * a.denom(),
+                        a.denom() * b.denom()
+                    ),
+                    "{a} + {b}"
+                );
+                let prod = a * b;
+                assert_eq!(
+                    prod,
+                    r(a.numer() * b.numer(), a.denom() * b.denom()),
+                    "{a} * {b}"
+                );
+                assert_eq!(
+                    a.cmp(&b),
+                    (a.numer() * b.denom()).cmp(&(b.numer() * a.denom())),
+                    "{a} vs {b}"
+                );
+                for v in [sum, prod] {
+                    assert!(v.denom() > 0);
+                    assert!(
+                        super::gcd(v.numer(), v.denom()) == 1 || (v.numer() == 0 && v.denom() == 1),
+                        "unreduced result {v:?}"
+                    );
                 }
             }
         }

@@ -6,7 +6,7 @@
 //! derives end-to-end delay bounds for `(σ, ρ)`-conforming flows
 //! (`e^j ≤ σ/r`).
 
-use simtime::{Bytes, Ratio, Rate, SimDuration, SimTime};
+use simtime::{Bytes, Rate, Ratio, SimDuration, SimTime};
 
 /// Leaky bucket parameters: burst `σ` (bits) and rate `ρ`.
 #[derive(Clone, Copy, Debug)]

@@ -22,7 +22,6 @@ mod vbr;
 pub use leaky::LeakyBucket;
 pub use pareto::ParetoOnOffSource;
 pub use sources::{
-    arrivals_until, merge, to_packets, CbrSource, OnOffSource, PoissonSource, ScriptSource,
-    Source,
+    arrivals_until, merge, to_packets, CbrSource, OnOffSource, PoissonSource, ScriptSource, Source,
 };
 pub use vbr::VbrVideoSource;

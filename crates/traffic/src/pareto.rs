@@ -39,7 +39,10 @@ impl ParetoOnOffSource {
     ) -> Self {
         assert!(shape > 1.0, "Pareto shape must exceed 1 for a finite mean");
         assert!(interval > SimDuration::ZERO, "interval must be positive");
-        assert!(mean_on_s > 0.0 && mean_off_s > 0.0, "means must be positive");
+        assert!(
+            mean_on_s > 0.0 && mean_off_s > 0.0,
+            "means must be positive"
+        );
         let mut src = ParetoOnOffSource {
             t: start,
             on_left: SimDuration::ZERO,

@@ -29,7 +29,10 @@ pub struct CbrSource {
 impl CbrSource {
     /// CBR with explicit interval, starting at `start`, unlimited count.
     pub fn new(start: SimTime, interval: SimDuration, len: Bytes) -> Self {
-        assert!(interval > SimDuration::ZERO, "CBR interval must be positive");
+        assert!(
+            interval > SimDuration::ZERO,
+            "CBR interval must be positive"
+        );
         CbrSource {
             next: start,
             interval,
@@ -233,20 +236,15 @@ mod tests {
 
     #[test]
     fn cbr_take_limits_count() {
-        let src = CbrSource::new(
-            SimTime::ZERO,
-            SimDuration::from_millis(1),
-            Bytes::new(10),
-        )
-        .take(3);
+        let src =
+            CbrSource::new(SimTime::ZERO, SimDuration::from_millis(1), Bytes::new(10)).take(3);
         assert_eq!(arrivals_until(src, SimTime::from_secs(1)).len(), 3);
     }
 
     #[test]
     fn poisson_mean_rate_plausible() {
         let rng = SimRng::new(5);
-        let src =
-            PoissonSource::with_rate(SimTime::ZERO, Rate::kbps(100), Bytes::new(200), rng);
+        let src = PoissonSource::with_rate(SimTime::ZERO, Rate::kbps(100), Bytes::new(200), rng);
         let horizon = SimTime::from_secs(200);
         let arr = arrivals_until(src, horizon);
         let bits: u64 = arr.iter().map(|a| a.1.bits()).sum();

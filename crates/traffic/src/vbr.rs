@@ -89,8 +89,7 @@ impl VbrVideoSource {
         }
         self.frames_left_in_scene -= 1;
         let weight = GOP[self.frame_index % GOP.len()] as f64;
-        let mean_weight: f64 =
-            GOP.iter().map(|&w| w as f64).sum::<f64>() / GOP.len() as f64;
+        let mean_weight: f64 = GOP.iter().map(|&w| w as f64).sum::<f64>() / GOP.len() as f64;
         let frame_bytes =
             (self.mean_frame_bytes * self.scene_multiplier * weight / mean_weight).round();
         let n_packets = ((frame_bytes / self.packet_len.as_u64() as f64).round() as u64).max(1);

@@ -10,18 +10,17 @@ use sfq_repro::prelude::*;
 const LINK: Rate = Rate::mbps(10);
 
 fn workload(pf: &mut PacketFactory, horizon: SimTime) -> Vec<Packet> {
-    let mut lists = Vec::new();
     // Flow 1 — interactive audio: 64 Kb/s CBR, 200 B packets.
-    lists.push(to_packets(
+    let audio = to_packets(
         pf,
         FlowId(1),
         &arrivals_until(
             CbrSource::with_rate(SimTime::ZERO, Rate::kbps(64), Bytes::new(200)),
             horizon,
         ),
-    ));
+    );
     // Flow 2 — VBR video: synthetic MPEG, 2 Mb/s mean, 500 B packets.
-    lists.push(to_packets(
+    let video = to_packets(
         pf,
         FlowId(2),
         &arrivals_until(
@@ -35,19 +34,19 @@ fn workload(pf: &mut PacketFactory, horizon: SimTime) -> Vec<Packet> {
             ),
             horizon,
         ),
-    ));
+    );
     // Flow 3 — ftp: bulk transfer pushing 8 Mb/s of 1500 B packets,
     // more than its fair share (it stays backlogged under SFQ).
-    lists.push(to_packets(
+    let ftp = to_packets(
         pf,
         FlowId(3),
         &arrivals_until(
             CbrSource::with_rate(SimTime::ZERO, Rate::mbps(8), Bytes::new(1500)),
             horizon,
         ),
-    ));
+    );
     // Flow 4 — telnet: sparse Poisson, 10 Kb/s, 64 B packets.
-    lists.push(to_packets(
+    let telnet = to_packets(
         pf,
         FlowId(4),
         &arrivals_until(
@@ -59,8 +58,8 @@ fn workload(pf: &mut PacketFactory, horizon: SimTime) -> Vec<Packet> {
             ),
             horizon,
         ),
-    ));
-    merge(lists)
+    );
+    merge(vec![audio, video, ftp, telnet])
 }
 
 fn report(name: &str, deps: &[Departure], horizon: SimTime) {
@@ -105,16 +104,14 @@ fn main() {
     let mut pf = PacketFactory::new();
     let deps_fifo = run_server(&mut fifo, &profile, &workload(&mut pf, horizon), horizon);
 
-    println!(
-        "Integrated-services link: audio + VBR video + greedy ftp + telnet on {LINK}"
-    );
+    println!("Integrated-services link: audio + VBR video + greedy ftp + telnet on {LINK}");
     report("SFQ", &deps_sfq, horizon);
     report("FIFO", &deps_fifo, horizon);
 
-    let audio_sfq = DelaySummary::from_durations(&packet_delays(&deps_sfq, FlowId(1)))
-        .expect("audio served");
-    let audio_fifo = DelaySummary::from_durations(&packet_delays(&deps_fifo, FlowId(1)))
-        .expect("audio served");
+    let audio_sfq =
+        DelaySummary::from_durations(&packet_delays(&deps_sfq, FlowId(1))).expect("audio served");
+    let audio_fifo =
+        DelaySummary::from_durations(&packet_delays(&deps_fifo, FlowId(1))).expect("audio served");
     println!(
         "\nAudio max delay: SFQ {:.2} ms vs FIFO {:.2} ms — the greedy ftp flow \
          cannot hurt the interactive classes under SFQ.",

@@ -104,9 +104,21 @@ fn main() {
     }
 
     // Sanity assertions on the redistribution structure.
-    assert!((tp(2, 1_100, 1_950) - 30.0).abs() < 2.0, "A-be should absorb A-rt's share");
-    assert!((tp(3, 1_100, 1_950) - 10.0).abs() < 2.0, "B-rt unaffected by A's churn");
-    assert!((tp(3, 2_100, 2_950) - 30.0).abs() < 2.0, "B-rt gets 2/3 of the link in P3");
-    assert!((tp(4, 2_100, 2_950) - 15.0).abs() < 2.0, "B-be gets 1/3 of the link in P3");
+    assert!(
+        (tp(2, 1_100, 1_950) - 30.0).abs() < 2.0,
+        "A-be should absorb A-rt's share"
+    );
+    assert!(
+        (tp(3, 1_100, 1_950) - 10.0).abs() < 2.0,
+        "B-rt unaffected by A's churn"
+    );
+    assert!(
+        (tp(3, 2_100, 2_950) - 30.0).abs() < 2.0,
+        "B-rt gets 2/3 of the link in P3"
+    );
+    assert!(
+        (tp(4, 2_100, 2_950) - 15.0).abs() < 2.0,
+        "B-be gets 1/3 of the link in P3"
+    );
     println!("\nAll phase shares match the link-sharing structure.");
 }

@@ -59,7 +59,10 @@ fn main() {
         println!(
             "{:<22} {:>10} {:>12.3}",
             label,
-            deliveries.iter().filter(|d| d.pkt.flow == FlowId(f)).count(),
+            deliveries
+                .iter()
+                .filter(|d| d.pkt.flow == FlowId(f))
+                .count(),
             rate
         );
     }

@@ -69,8 +69,18 @@ fn main() {
         );
     }
 
-    let wfq2 = throughput_bps(&deps_wfq, FlowId(2), SimTime::from_secs(2), SimTime::from_secs(6));
-    let sfq2 = throughput_bps(&deps_sfq, FlowId(2), SimTime::from_secs(2), SimTime::from_secs(6));
+    let wfq2 = throughput_bps(
+        &deps_wfq,
+        FlowId(2),
+        SimTime::from_secs(2),
+        SimTime::from_secs(6),
+    );
+    let sfq2 = throughput_bps(
+        &deps_sfq,
+        FlowId(2),
+        SimTime::from_secs(2),
+        SimTime::from_secs(6),
+    );
     println!(
         "\nFlow 2's share of the recovered link: WFQ {:.0}% vs SFQ {:.0}% — \
          WFQ charges flow 2 for virtual time that never corresponded to real \

@@ -1,0 +1,297 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so the workspace ships
+//! a minimal wall-clock harness covering the API the benches use:
+//! `Criterion` with `sample_size`/`measurement_time`/`warm_up_time`,
+//! `benchmark_group` + `bench_with_input`, `bench_function`,
+//! `BenchmarkId`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark warms up for the configured
+//! warm-up time (also calibrating iterations/sample), then takes
+//! `sample_size` samples spread over the measurement time and reports
+//! the median, minimum, and maximum ns/iteration on stdout as
+//! `bench: <name> ... median <x> ns/iter`.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level harness configuration and entry point.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Total time budget for the measurement phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up (and calibration) time before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run a single standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let stats = run_bench(self, &mut f);
+        report(name, &stats);
+        self
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Id from just a parameter value (common for per-size sweeps).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        let stats = run_bench(self.criterion, &mut |b: &mut Bencher| f(b, input));
+        report(&label, &stats);
+        self
+    }
+
+    /// Benchmark `f` under this group, labelled by `id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let stats = run_bench(self.criterion, &mut f);
+        report(&label, &stats);
+        self
+    }
+
+    /// Finish the group (upstream flushes reports here; we report
+    /// incrementally, so this is a no-op marker).
+    pub fn finish(self) {}
+}
+
+/// Timing results for one benchmark, in ns/iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    /// Median over samples.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Iterations per sample used.
+    pub iters_per_sample: u64,
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] exactly once.
+pub struct Bencher {
+    mode: BenchMode,
+    samples: Vec<f64>,
+    iters: u64,
+}
+
+enum BenchMode {
+    /// Run the routine until the deadline, counting iterations.
+    Calibrate { budget: Duration },
+    /// Take timed samples of `iters` iterations each.
+    Measure { samples_wanted: usize },
+}
+
+impl Bencher {
+    /// Measure the routine (timing model described at crate level).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            BenchMode::Calibrate { budget } => {
+                let start = Instant::now();
+                let mut n = 0u64;
+                while start.elapsed() < budget {
+                    std::hint::black_box(routine());
+                    n += 1;
+                }
+                self.iters = n.max(1);
+            }
+            BenchMode::Measure { samples_wanted } => {
+                let iters = self.iters.max(1);
+                for _ in 0..samples_wanted {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        std::hint::black_box(routine());
+                    }
+                    let elapsed = start.elapsed();
+                    self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
+                }
+            }
+        }
+    }
+}
+
+fn run_bench(config: &Criterion, f: &mut dyn FnMut(&mut Bencher)) -> Stats {
+    // Warm-up + calibration pass: how many iterations fit the warm-up
+    // budget determines the per-sample iteration count.
+    let mut cal = Bencher {
+        mode: BenchMode::Calibrate {
+            budget: config.warm_up_time,
+        },
+        samples: Vec::new(),
+        iters: 0,
+    };
+    f(&mut cal);
+    let warm_ns = config.warm_up_time.as_nanos().max(1) as f64;
+    let est_ns_per_iter = warm_ns / cal.iters.max(1) as f64;
+    // Split the measurement budget into sample_size samples.
+    let per_sample_ns = config.measurement_time.as_nanos() as f64 / config.sample_size as f64;
+    let iters = (per_sample_ns / est_ns_per_iter.max(1.0)).max(1.0) as u64;
+
+    let mut bench = Bencher {
+        mode: BenchMode::Measure {
+            samples_wanted: config.sample_size,
+        },
+        samples: Vec::new(),
+        iters,
+    };
+    f(&mut bench);
+    let mut samples = bench.samples;
+    if samples.is_empty() {
+        samples.push(est_ns_per_iter);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timings"));
+    Stats {
+        median_ns: samples[samples.len() / 2],
+        min_ns: samples[0],
+        max_ns: samples[samples.len() - 1],
+        iters_per_sample: iters,
+    }
+}
+
+fn report(label: &str, stats: &Stats) {
+    println!(
+        "bench: {label:<40} median {:>12.1} ns/iter  (min {:.1}, max {:.1}, {} iters/sample)",
+        stats.median_ns, stats.min_ns, stats.max_ns, stats.iters_per_sample
+    );
+}
+
+/// Hide a value from the optimizer (re-export convenience).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a benchmark group function (named-field form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(10));
+        let mut g = c.benchmark_group("demo");
+        g.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn stats_ordering_sane() {
+        let c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(40))
+            .warm_up_time(Duration::from_millis(10));
+        let stats = run_bench(&c, &mut |b: &mut Bencher| b.iter(|| 1u64 + 1));
+        assert!(stats.min_ns <= stats.median_ns && stats.median_ns <= stats.max_ns);
+        assert!(stats.iters_per_sample >= 1);
+    }
+}

@@ -66,8 +66,8 @@ pub use traffic;
 /// Convenient glob import for examples and tests.
 pub mod prelude {
     pub use analysis::{
-        max_fairness_gap, max_guarantee_violation, packet_delays, packets_by,
-        sfq_fairness_bound, throughput_bps, work_in_interval, DelaySummary,
+        max_fairness_gap, max_guarantee_violation, packet_delays, packets_by, sfq_fairness_bound,
+        throughput_bps, work_in_interval, DelaySummary,
     };
     pub use baselines::{DelayEdd, Drr, Fifo, Fqs, Scfq, VirtualClock, Wfq};
     pub use des::SimRng;
@@ -76,7 +76,7 @@ pub mod prelude {
     pub use sfq_core::{
         ClassId, FairAirport, FlowId, HierSfq, Packet, PacketFactory, Scheduler, Sfq, TieBreak,
     };
-    pub use simtime::{Bytes, Ratio, Rate, SimDuration, SimTime};
+    pub use simtime::{Bytes, Rate, Ratio, SimDuration, SimTime};
     pub use traffic::{
         arrivals_until, merge, to_packets, CbrSource, LeakyBucket, OnOffSource, PoissonSource,
         ScriptSource, Source, VbrVideoSource,

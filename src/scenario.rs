@@ -207,9 +207,7 @@ impl Scenario {
                             .ok_or_else(|| err(line_no, "bad rate"))?,
                     );
                     if let Some(d) = map.get("fc_delta_bits") {
-                        fc_delta_bits = d
-                            .parse()
-                            .map_err(|_| err(line_no, "bad fc_delta_bits"))?;
+                        fc_delta_bits = d.parse().map_err(|_| err(line_no, "bad fc_delta_bits"))?;
                     }
                 }
                 "sched" => {
@@ -226,8 +224,7 @@ impl Scenario {
                     let weight = parse_rate(get(&map, "weight", line_no)?)
                         .ok_or_else(|| err(line_no, "bad weight"))?;
                     let deadline = match map.get("deadline") {
-                        Some(d) => parse_duration(d)
-                            .ok_or_else(|| err(line_no, "bad deadline"))?,
+                        Some(d) => parse_duration(d).ok_or_else(|| err(line_no, "bad deadline"))?,
                         None => SimDuration::from_millis(100),
                     };
                     let len = || -> Result<Bytes, ParseError> {
@@ -262,8 +259,9 @@ impl Scenario {
                             len: len()?,
                             at: SimTime::ZERO
                                 + match map.get("at") {
-                                    Some(a) => parse_duration(a)
-                                        .ok_or_else(|| err(line_no, "bad at"))?,
+                                    Some(a) => {
+                                        parse_duration(a).ok_or_else(|| err(line_no, "bad at"))?
+                                    }
                                     None => SimDuration::ZERO,
                                 },
                         },
@@ -363,14 +361,7 @@ impl Scenario {
                     self.horizon,
                 ),
                 SourceDef::Vbr { rate, len, seed } => arrivals_until(
-                    VbrVideoSource::new(
-                        SimTime::ZERO,
-                        *rate,
-                        *len,
-                        30,
-                        0.35,
-                        SimRng::new(*seed),
-                    ),
+                    VbrVideoSource::new(SimTime::ZERO, *rate, *len, 30, 0.35, SimRng::new(*seed)),
                     self.horizon,
                 ),
             };
@@ -460,8 +451,12 @@ horizon 10s
 
     #[test]
     fn unknown_directive_and_source_rejected() {
-        assert!(Scenario::parse("frob x=1\n").unwrap_err().msg.contains("frob"));
-        let bad = "link rate=1mbps\nsched sfq\nflow id=1 weight=1kbps source=warp len=1\nhorizon 1s\n";
+        assert!(Scenario::parse("frob x=1\n")
+            .unwrap_err()
+            .msg
+            .contains("frob"));
+        let bad =
+            "link rate=1mbps\nsched sfq\nflow id=1 weight=1kbps source=warp len=1\nhorizon 1s\n";
         assert!(Scenario::parse(bad).unwrap_err().msg.contains("warp"));
     }
 
@@ -479,7 +474,9 @@ horizon 10s
 
     #[test]
     fn every_discipline_builds() {
-        for name in ["sfq", "hsfq", "scfq", "wfq", "fqs", "vc", "drr", "fifo", "fa", "edd"] {
+        for name in [
+            "sfq", "hsfq", "scfq", "wfq", "fqs", "vc", "drr", "fifo", "fa", "edd",
+        ] {
             let text = format!(
                 "link rate=1mbps\nsched {name}\nflow id=1 weight=100kbps source=cbr rate=100kbps len=200\nhorizon 1s\n"
             );

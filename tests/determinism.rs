@@ -20,11 +20,7 @@ fn run_net(seed: u64) -> Vec<netsim::Delivery> {
     );
     sw.add_flow(FlowId(2), Rate::mbps(1));
     sw.add_flow(FlowId(3), Rate::mbps(1));
-    let mut net = Net::new(
-        sw,
-        SimDuration::from_millis(1),
-        SimDuration::from_millis(1),
-    );
+    let mut net = Net::new(sw, SimDuration::from_millis(1), SimDuration::from_millis(1));
     let vbr = VbrVideoSource::new(
         SimTime::ZERO,
         Rate::kbps(800),

@@ -113,14 +113,27 @@ fn example2_exact() {
         }
         let deps = run_server(&mut *sched, &profile, &arrivals, SimTime::from_secs(3));
         (
-            work_in_interval(&deps, FlowId(1), SimTime::from_secs(1), SimTime::from_secs(2)),
-            work_in_interval(&deps, FlowId(2), SimTime::from_secs(1), SimTime::from_secs(2)),
+            work_in_interval(
+                &deps,
+                FlowId(1),
+                SimTime::from_secs(1),
+                SimTime::from_secs(2),
+            ),
+            work_in_interval(
+                &deps,
+                FlowId(2),
+                SimTime::from_secs(1),
+                SimTime::from_secs(2),
+            ),
         )
     };
     let mut wfq = Wfq::new(Rate::bps(1_000 * c));
     let (wf, wm) = run(&mut wfq);
     // Paper: C-1 <= W_f(1,2) <= C and W_m(1,2) <= 1 (in packets).
-    assert!(wf.as_u64() >= (c - 1) * 125 && wf.as_u64() <= c * 125, "{wf:?}");
+    assert!(
+        wf.as_u64() >= (c - 1) * 125 && wf.as_u64() <= c * 125,
+        "{wf:?}"
+    );
     assert!(wm.as_u64() <= 125, "{wm:?}");
 
     let mut sfq = Sfq::new();
@@ -150,16 +163,11 @@ fn residual_capacity_of_priority_server_is_fc() {
     let shaped = LeakyBucket::new(sigma_bits, rho).shape(&raw);
     // Low priority: a single backlogged flow behind a strict-priority
     // class, modeled with the netsim switch.
-    let mut sw = SwitchCore::new(
-        Box::new(Sfq::new()),
-        RateProfile::constant(link),
-        None,
-    );
+    let mut sw = SwitchCore::new(Box::new(Sfq::new()), RateProfile::constant(link), None);
     sw.add_flow(FlowId(1), Rate::kbps(60));
     let mut net = Net::new(sw, SimDuration::ZERO, SimDuration::ZERO);
     net.add_scripted_source(FlowId(9), &shaped, true);
-    let low: Vec<(SimTime, Bytes)> =
-        vec![(SimTime::ZERO, Bytes::new(125)); 40_000];
+    let low: Vec<(SimTime, Bytes)> = vec![(SimTime::ZERO, Bytes::new(125)); 40_000];
     net.add_scripted_source(FlowId(1), &low, false);
     let deliveries = net.run(SimTime::from_secs(100));
     // Cumulative low-priority service must satisfy

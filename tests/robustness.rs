@@ -39,22 +39,16 @@ fn theorem4_holds_under_pareto_cross_traffic() {
             1.4,
             SimRng::new(900 + f as u64),
         );
-        lists.push(to_packets(&mut pf, FlowId(f), &arrivals_until(src, horizon)));
+        lists.push(to_packets(
+            &mut pf,
+            FlowId(f),
+            &arrivals_until(src, horizon),
+        ));
     }
     let arrivals = merge(lists);
-    let deps = run_server(
-        &mut sched,
-        &RateProfile::constant(link),
-        &arrivals,
-        horizon,
-    );
+    let deps = run_server(&mut sched, &RateProfile::constant(link), &arrivals, horizon);
     // Theorem 4 for the CBR flow: others' l_max are all 500 B.
-    let term = analysis::sfq_delay_term(
-        &[Bytes::new(500); 3],
-        Bytes::new(500),
-        link,
-        0,
-    );
+    let term = analysis::sfq_delay_term(&[Bytes::new(500); 3], Bytes::new(500), link, 0);
     let viol = max_guarantee_violation(&deps, FlowId(1), Rate::kbps(200), term);
     assert_eq!(viol, SimDuration::ZERO, "Theorem 4 violated: {viol:?}");
     // Sanity: the Pareto peers actually sent a nontrivial load.
@@ -96,14 +90,13 @@ fn fairness_bound_holds_with_pareto_peer() {
         1.5,
         SimRng::new(77),
     );
-    arrivals.extend(to_packets(&mut pf, FlowId(2), &arrivals_until(src, horizon)));
+    arrivals.extend(to_packets(
+        &mut pf,
+        FlowId(2),
+        &arrivals_until(src, horizon),
+    ));
     arrivals.sort_by_key(|p| (p.arrival, p.uid));
-    let deps = run_server(
-        &mut sched,
-        &RateProfile::constant(link),
-        &arrivals,
-        horizon,
-    );
+    let deps = run_server(&mut sched, &RateProfile::constant(link), &arrivals, horizon);
     // Both flows certainly backlogged during [0, 3 s] (initial dumps).
     let gap = max_fairness_gap(
         &deps,

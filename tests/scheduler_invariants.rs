@@ -58,7 +58,10 @@ fn check_invariants(
     // Causality & non-overlap: departures are sequential transmissions.
     let mut prev_depart = SimTime::ZERO;
     for d in deps {
-        prop_assert!(d.service_start >= d.pkt.arrival, "{name}: served before arrival");
+        prop_assert!(
+            d.service_start >= d.pkt.arrival,
+            "{name}: served before arrival"
+        );
         prop_assert!(d.departure >= d.service_start);
         prop_assert!(
             d.service_start >= prev_depart,
@@ -84,12 +87,7 @@ fn check_invariants(
     let mut last_uid: HashMap<FlowId, u64> = HashMap::new();
     for d in deps {
         if let Some(&prev) = last_uid.get(&d.pkt.flow) {
-            prop_assert!(
-                d.pkt.uid > prev,
-                "{}: flow {} reordered",
-                name,
-                d.pkt.flow
-            );
+            prop_assert!(d.pkt.uid > prev, "{}: flow {} reordered", name, d.pkt.flow);
         }
         last_uid.insert(d.pkt.flow, d.pkt.uid);
     }
@@ -108,8 +106,99 @@ fn run_one<S: Scheduler>(mut sched: S, w: &Workload) -> (Vec<Departure>, Vec<Pac
     (deps, arrivals)
 }
 
+/// Regression: force-removing a backlogged flow leaves a stale entry in
+/// SFQ's head-of-flow heap; `dequeue` must skip it without underflowing
+/// the `len`/`backlog` counters (the seed implementation decremented
+/// `queued` before checking that the popped packet's flow still
+/// existed) and the remaining flows must drain completely.
+#[test]
+fn sfq_survives_force_removed_flow() {
+    let mut s = Sfq::new();
+    s.add_flow(FlowId(1), Rate::bps(1_000));
+    s.add_flow(FlowId(2), Rate::bps(2_000));
+    let mut pf = PacketFactory::new();
+    let t0 = SimTime::ZERO;
+    for _ in 0..4 {
+        s.enqueue(t0, pf.make(FlowId(1), Bytes::new(125), t0));
+        s.enqueue(t0, pf.make(FlowId(2), Bytes::new(125), t0));
+    }
+    assert_eq!(s.len(), 8);
+    assert_eq!(s.force_remove_flow(FlowId(1)), 4);
+    assert_eq!(s.len(), 4, "removed flow's packets discounted exactly once");
+    assert_eq!(s.backlog(FlowId(1)), 0);
+    // Drain: only flow 2's packets come out, in FIFO order, and the
+    // counters bottom out at zero instead of underflowing.
+    let mut served = Vec::new();
+    while let Some(p) = s.dequeue(t0) {
+        assert_eq!(p.flow, FlowId(2));
+        served.push(p.uid);
+        s.on_departure(t0);
+    }
+    assert_eq!(served.len(), 4);
+    assert!(served.windows(2).all(|w| w[0] < w[1]), "flow 2 reordered");
+    assert!(s.is_empty());
+    assert_eq!(s.len(), 0);
+    // The scheduler keeps working after the stale entries are gone.
+    s.add_flow(FlowId(1), Rate::bps(1_000));
+    let p = pf.make(FlowId(1), Bytes::new(125), t0);
+    s.enqueue(t0, p);
+    assert_eq!(s.dequeue(t0).map(|q| q.uid), Some(p.uid));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Random interleavings of enqueue/dequeue/force-remove/re-register
+    /// never corrupt SFQ's counters: `len()` equals the live packet
+    /// count tracked externally, dequeues only yield live flows'
+    /// packets, and the scheduler always drains to empty.
+    #[test]
+    fn sfq_force_removal_keeps_counts_exact(
+        ops in prop::collection::vec((0u8..4, 0u32..3), 1..150),
+    ) {
+        let mut s = Sfq::new();
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        let mut live: HashMap<u32, usize> = HashMap::new();
+        let mut registered = [false; 3];
+        for (kind, f) in ops {
+            let flow = FlowId(f + 1);
+            match kind {
+                0 | 1 => {
+                    if !registered[f as usize] {
+                        s.add_flow(flow, Rate::bps(1_000 + f as u64 * 613));
+                        registered[f as usize] = true;
+                    }
+                    s.enqueue(t0, pf.make(flow, Bytes::new(125 + f as u64), t0));
+                    *live.entry(f).or_insert(0) += 1;
+                }
+                2 => {
+                    if let Some(p) = s.dequeue(t0) {
+                        let cnt = live.get_mut(&(p.flow.0 - 1)).expect("live flow");
+                        *cnt = cnt.checked_sub(1).expect("over-served flow");
+                        s.on_departure(t0);
+                    }
+                }
+                _ => {
+                    let dropped = s.force_remove_flow(flow);
+                    prop_assert_eq!(dropped, live.remove(&f).unwrap_or(0));
+                    registered[f as usize] = false;
+                }
+            }
+            prop_assert_eq!(s.len(), live.values().sum::<usize>());
+            for f in 0..3u32 {
+                prop_assert_eq!(
+                    s.backlog(FlowId(f + 1)),
+                    live.get(&f).copied().unwrap_or(0)
+                );
+            }
+        }
+        // Drain to empty.
+        while s.dequeue(t0).is_some() {
+            s.on_departure(t0);
+        }
+        prop_assert!(s.is_empty());
+    }
 
     #[test]
     fn sfq_invariants(w in workload()) {

@@ -13,11 +13,7 @@ use sfq_repro::prelude::*;
 /// Build a two-flow workload in which both flows are backlogged from
 /// t = 0 until at least the returned `busy_until` (we keep offered
 /// load far above capacity for the horizon).
-fn backlogged_workload(
-    pf: &mut PacketFactory,
-    lens1: &[u64],
-    lens2: &[u64],
-) -> Vec<Packet> {
+fn backlogged_workload(pf: &mut PacketFactory, lens1: &[u64], lens2: &[u64]) -> Vec<Packet> {
     let mut arrivals = Vec::new();
     for &l in lens1 {
         arrivals.push(pf.make(FlowId(1), Bytes::new(l), SimTime::ZERO));
@@ -38,6 +34,7 @@ fn safe_backlog_end(lens1: &[u64], lens2: &[u64], link_bps: u64) -> SimTime {
     SimTime::from_secs((t as i128 / 2).max(1))
 }
 
+#[allow(clippy::too_many_arguments)] // test harness: one knob per paper parameter
 fn check_fairness<S: Scheduler>(
     mut sched: S,
     lens1: Vec<u64>,
@@ -60,8 +57,8 @@ fn check_fairness<S: Scheduler>(
     let gap = max_fairness_gap(&deps, FlowId(1), w1, FlowId(2), w2, SimTime::ZERO, until);
     let l1 = *lens1.iter().max().expect("non-empty");
     let l2 = *lens2.iter().max().expect("non-empty");
-    let bound = sfq_fairness_bound(Bytes::new(l1), w1, Bytes::new(l2), w2) * bound_scale
-        + extra_bound;
+    let bound =
+        sfq_fairness_bound(Bytes::new(l1), w1, Bytes::new(l2), w2) * bound_scale + extra_bound;
     prop_assert!(
         gap <= bound,
         "gap {gap:?} exceeds bound {bound:?} (r1={r1} r2={r2})"
