@@ -9,8 +9,9 @@
 //! to 1) deviates unboundedly from the optimum as weights grow, and its
 //! maximum delay depends on the sum of all other flows' quanta.
 
+use sfq_core::obs::{FlowChange, NoopObserver, SchedEvent, SchedObserver};
 use sfq_core::{FlowId, Packet, Scheduler};
-use simtime::{Bytes, Rate, SimTime};
+use simtime::{Bytes, Rate, Ratio, SimTime};
 use std::collections::{HashMap, VecDeque};
 
 #[derive(Debug)]
@@ -27,8 +28,11 @@ struct FlowState {
 /// bytes (minimum 1). The classic recommendation sets every quantum at
 /// least as large as the maximum packet size so each visit serves at
 /// least one packet.
+///
+/// Generic over an observer (see [`sfq_core::obs`]); DRR computes no
+/// virtual-time tags, so events carry zero `start_tag`/`finish_tag`/`v`.
 #[derive(Debug)]
-pub struct Drr {
+pub struct Drr<O: SchedObserver = NoopObserver> {
     flows: HashMap<FlowId, FlowState>,
     /// Round-robin list of backlogged flows.
     active: VecDeque<FlowId>,
@@ -39,6 +43,7 @@ pub struct Drr {
     /// its quantum for this visit.
     front_credited: bool,
     queued: usize,
+    obs: O,
 }
 
 impl Drr {
@@ -50,6 +55,14 @@ impl Drr {
 
     /// DRR with quantum `weight_bps * num / den` bytes (minimum 1).
     pub fn with_quantum_scale(num: u64, den: u64) -> Self {
+        Self::with_observer(num, den, NoopObserver)
+    }
+}
+
+impl<O: SchedObserver> Drr<O> {
+    /// DRR with quantum `weight_bps * num / den` bytes (minimum 1),
+    /// reporting events to `obs`.
+    pub fn with_observer(num: u64, den: u64, obs: O) -> Self {
         assert!(den > 0, "DRR quantum scale denominator must be positive");
         Drr {
             flows: HashMap::new(),
@@ -58,7 +71,23 @@ impl Drr {
             scale_den: den,
             front_credited: false,
             queued: 0,
+            obs,
         }
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.obs
+    }
+
+    /// The attached observer, mutably.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.obs
+    }
+
+    /// Consume the scheduler, returning the observer.
+    pub fn into_observer(self) -> O {
+        self.obs
     }
 
     /// The quantum assigned to a flow (tests/telemetry).
@@ -78,7 +107,7 @@ impl Default for Drr {
     }
 }
 
-impl Scheduler for Drr {
+impl<O: SchedObserver> Scheduler for Drr<O> {
     fn add_flow(&mut self, flow: FlowId, weight: Rate) {
         assert!(weight.as_bps() > 0, "DRR: flow weight must be positive");
         let quantum =
@@ -93,9 +122,10 @@ impl Scheduler for Drr {
                 queue: VecDeque::new(),
                 active: false,
             });
+        self.obs.on_flow_change(flow, &FlowChange::Added { weight });
     }
 
-    fn enqueue(&mut self, _now: SimTime, pkt: Packet) {
+    fn enqueue(&mut self, now: SimTime, pkt: Packet) {
         let fs = self
             .flows
             .get_mut(&pkt.flow)
@@ -106,9 +136,18 @@ impl Scheduler for Drr {
             self.active.push_back(pkt.flow);
         }
         self.queued += 1;
+        self.obs.on_enqueue(&SchedEvent {
+            time: now,
+            flow: pkt.flow,
+            uid: pkt.uid,
+            len: pkt.len,
+            start_tag: Ratio::ZERO,
+            finish_tag: Ratio::ZERO,
+            v: Ratio::ZERO,
+        });
     }
 
-    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
         loop {
             let &flow = self.active.front()?;
             if !self.front_credited {
@@ -135,6 +174,15 @@ impl Scheduler for Drr {
                     self.active.pop_front();
                     self.front_credited = false;
                 }
+                self.obs.on_dequeue(&SchedEvent {
+                    time: now,
+                    flow: pkt.flow,
+                    uid: pkt.uid,
+                    len: pkt.len,
+                    start_tag: Ratio::ZERO,
+                    finish_tag: Ratio::ZERO,
+                    v: Ratio::ZERO,
+                });
                 return Some(pkt);
             }
             // Head does not fit: move this flow to the back of the
@@ -161,6 +209,7 @@ impl Scheduler for Drr {
             Some(fs) if fs.queue.is_empty() => {
                 debug_assert!(!fs.active, "idle flow cannot be on the active list");
                 self.flows.remove(&flow);
+                self.obs.on_flow_change(flow, &FlowChange::Removed);
                 true
             }
             _ => false,

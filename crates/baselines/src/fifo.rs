@@ -1,37 +1,93 @@
 //! First-in-first-out — the null discipline, used as a sanity baseline
 //! in benches and tests.
 
+use sfq_core::obs::{FlowChange, NoopObserver, SchedEvent, SchedObserver};
 use sfq_core::{FlowId, Packet, Scheduler};
-use simtime::{Rate, SimTime};
+use simtime::{Rate, Ratio, SimTime};
 use std::collections::{HashMap, VecDeque};
 
 /// Single shared FIFO queue across all flows.
-#[derive(Debug, Default)]
-pub struct Fifo {
+///
+/// Generic over an observer (see [`sfq_core::obs`]); FIFO computes no
+/// virtual-time tags, so events carry zero `start_tag`/`finish_tag`/`v`.
+#[derive(Debug)]
+pub struct Fifo<O: SchedObserver = NoopObserver> {
     queue: VecDeque<Packet>,
     backlog: HashMap<FlowId, usize>,
+    obs: O,
 }
 
 impl Fifo {
     /// New empty FIFO.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_observer(NoopObserver)
     }
 }
 
-impl Scheduler for Fifo {
-    fn add_flow(&mut self, flow: FlowId, _weight: Rate) {
-        self.backlog.entry(flow).or_insert(0);
+impl<O: SchedObserver> Fifo<O> {
+    /// New empty FIFO reporting events to `obs`.
+    pub fn with_observer(obs: O) -> Self {
+        Fifo {
+            queue: VecDeque::new(),
+            backlog: HashMap::new(),
+            obs,
+        }
     }
 
-    fn enqueue(&mut self, _now: SimTime, pkt: Packet) {
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.obs
+    }
+
+    /// The attached observer, mutably.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.obs
+    }
+
+    /// Consume the scheduler, returning the observer.
+    pub fn into_observer(self) -> O {
+        self.obs
+    }
+}
+
+impl Default for Fifo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<O: SchedObserver> Scheduler for Fifo<O> {
+    fn add_flow(&mut self, flow: FlowId, weight: Rate) {
+        self.backlog.entry(flow).or_insert(0);
+        self.obs.on_flow_change(flow, &FlowChange::Added { weight });
+    }
+
+    fn enqueue(&mut self, now: SimTime, pkt: Packet) {
         *self.backlog.entry(pkt.flow).or_insert(0) += 1;
         self.queue.push_back(pkt);
+        self.obs.on_enqueue(&SchedEvent {
+            time: now,
+            flow: pkt.flow,
+            uid: pkt.uid,
+            len: pkt.len,
+            start_tag: Ratio::ZERO,
+            finish_tag: Ratio::ZERO,
+            v: Ratio::ZERO,
+        });
     }
 
-    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
         let pkt = self.queue.pop_front()?;
         *self.backlog.get_mut(&pkt.flow).expect("flow counted") -= 1;
+        self.obs.on_dequeue(&SchedEvent {
+            time: now,
+            flow: pkt.flow,
+            uid: pkt.uid,
+            len: pkt.len,
+            start_tag: Ratio::ZERO,
+            finish_tag: Ratio::ZERO,
+            v: Ratio::ZERO,
+        });
         Some(pkt)
     }
 
@@ -51,6 +107,7 @@ impl Scheduler for Fifo {
         match self.backlog.get(&flow) {
             Some(0) => {
                 self.backlog.remove(&flow);
+                self.obs.on_flow_change(flow, &FlowChange::Removed);
                 true
             }
             _ => false,

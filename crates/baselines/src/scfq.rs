@@ -10,54 +10,64 @@
 //! as 24.4 ms for a 64 Kb/s flow with 200-byte packets on a 100 Mb/s
 //! link.
 
+use sfq_core::flowq::FlowFifos;
+use sfq_core::obs::{FlowChange, NoopObserver, SchedEvent, SchedObserver};
 use sfq_core::{FlowId, Packet, Scheduler};
 use simtime::{Rate, Ratio, SimTime};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
-
-/// A packet in its flow's FIFO with the tags assigned at arrival.
-#[derive(Clone, Copy, Debug)]
-struct QueuedPkt {
-    pkt: Packet,
-    start: Ratio,
-    finish: Ratio,
-}
 
 #[derive(Debug)]
-struct FlowState {
+struct FlowExt {
     weight: Rate,
     last_finish: Ratio,
-    /// Backlogged packets in arrival order. Finish tags are strictly
-    /// increasing within a flow, so the FIFO head always carries the
-    /// flow's minimum tag and the scheduling heap only needs heads.
-    queue: VecDeque<QueuedPkt>,
 }
 
 /// The Self-Clocked Fair Queuing scheduler.
 ///
-/// Packets live in per-flow FIFOs; the heap holds `(finish, uid, flow)`
-/// for each backlogged flow's head only (same head-of-flow structure as
-/// [`sfq_core::Sfq`]), so heap cost scales with backlogged flows, not
-/// queued packets.
+/// Packets live in per-flow FIFOs with a head-of-flow heap keyed by
+/// `(finish, uid)` — the shared [`sfq_core::flowq::FlowFifos`]
+/// structure — so heap cost scales with backlogged flows, not queued
+/// packets. Generic over an observer (see [`sfq_core::obs`]); the
+/// default no-op compiles away.
 #[derive(Debug)]
-pub struct Scfq {
-    flows: HashMap<FlowId, FlowState>,
-    heap: BinaryHeap<Reverse<(Ratio, u64, FlowId)>>,
+pub struct Scfq<O: SchedObserver = NoopObserver> {
+    /// Key `(finish, uid)`; per-packet metadata carries the start tag.
+    q: FlowFifos<(Ratio, u64), FlowExt, Ratio>,
     /// v(t): finish tag of the packet in service (kept after service so
     /// arrivals between departures see the last served packet's tag).
     v: Ratio,
-    queued: usize,
+    obs: O,
 }
 
 impl Scfq {
     /// New SCFQ scheduler.
     pub fn new() -> Self {
+        Self::with_observer(NoopObserver)
+    }
+}
+
+impl<O: SchedObserver> Scfq<O> {
+    /// New SCFQ scheduler reporting events to `obs`.
+    pub fn with_observer(obs: O) -> Self {
         Scfq {
-            flows: HashMap::new(),
-            heap: BinaryHeap::new(),
+            q: FlowFifos::new("SCFQ"),
             v: Ratio::ZERO,
-            queued: 0,
+            obs,
         }
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.obs
+    }
+
+    /// The attached observer, mutably.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.obs
+    }
+
+    /// Consume the scheduler, returning the observer.
+    pub fn into_observer(self) -> O {
+        self.obs
     }
 
     /// Current virtual time (finish tag of packet in service).
@@ -69,17 +79,29 @@ impl Scfq {
     /// scans the per-flow FIFOs rather than taxing the hot path with a
     /// uid index.
     pub fn tags_of(&self, uid: u64) -> Option<(Ratio, Ratio)> {
-        self.flows
-            .values()
-            .flat_map(|f| f.queue.iter())
-            .find(|qp| qp.pkt.uid == uid)
-            .map(|qp| (qp.start, qp.finish))
+        self.q
+            .find(uid)
+            .map(|(&(finish, _), &start)| (start, finish))
     }
 
     /// Entries in the head-of-flow heap (diagnostic: ≤ backlogged flows
     /// plus any stale entries awaiting lazy reclamation).
     pub fn head_heap_len(&self) -> usize {
-        self.heap.len()
+        self.q.head_heap_len()
+    }
+
+    /// Drop a flow and all of its queued packets immediately, without
+    /// the idle-only guard of [`Scheduler::remove_flow`]. Returns the
+    /// number of packets discarded.
+    pub fn force_remove_flow(&mut self, flow: FlowId) -> usize {
+        match self.q.force_remove_flow(flow) {
+            Some(dropped) => {
+                self.obs
+                    .on_flow_change(flow, &FlowChange::ForceRemoved { dropped });
+                dropped
+            }
+            None => 0,
+        }
     }
 }
 
@@ -89,87 +111,74 @@ impl Default for Scfq {
     }
 }
 
-impl Scheduler for Scfq {
+impl<O: SchedObserver> Scheduler for Scfq<O> {
     fn add_flow(&mut self, flow: FlowId, weight: Rate) {
         assert!(weight.as_bps() > 0, "SCFQ: flow weight must be positive");
-        self.flows
-            .entry(flow)
-            .and_modify(|f| f.weight = weight)
-            .or_insert(FlowState {
+        self.q
+            .upsert_flow(flow, || FlowExt {
                 weight,
                 last_finish: Ratio::ZERO,
-                queue: VecDeque::new(),
-            });
+            })
+            .weight = weight;
+        self.obs.on_flow_change(flow, &FlowChange::Added { weight });
     }
 
-    fn enqueue(&mut self, _now: SimTime, pkt: Packet) {
+    fn enqueue(&mut self, now: SimTime, pkt: Packet) {
         // Snapped at the read point to bound tag-denominator growth
         // (no-op below denominators of 1e12; see Ratio::snap_pico).
         let v = self.v.snap_pico();
-        let fs = self
-            .flows
-            .get_mut(&pkt.flow)
-            .unwrap_or_else(|| panic!("SCFQ: unregistered flow {}", pkt.flow));
-        let start = v.max(fs.last_finish);
-        let finish = start + fs.weight.tag_span(pkt.len);
-        fs.last_finish = finish;
-        let was_idle = fs.queue.is_empty();
-        fs.queue.push_back(QueuedPkt { pkt, start, finish });
-        if was_idle {
-            self.heap.push(Reverse((finish, pkt.uid, pkt.flow)));
-        }
-        self.queued += 1;
+        let uid = pkt.uid;
+        let len = pkt.len;
+        let ((finish, _), start) = self.q.push_with(pkt, |ext| {
+            let start = v.max(ext.last_finish);
+            let finish = start + ext.weight.tag_span(len);
+            ext.last_finish = finish;
+            ((finish, uid), start)
+        });
+        self.obs.on_enqueue(&SchedEvent {
+            time: now,
+            flow: pkt.flow,
+            uid,
+            len,
+            start_tag: start,
+            finish_tag: finish,
+            v,
+        });
     }
 
-    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
-        loop {
-            let Reverse((finish, uid, flow)) = self.heap.pop()?;
-            // An entry is live only if it matches the flow's current
-            // head (uids are never reused); anything else is stale —
-            // skip it without disturbing the exact `queued` count.
-            let Some(fs) = self.flows.get_mut(&flow) else {
-                continue;
-            };
-            if fs.queue.front().map(|h| h.pkt.uid) != Some(uid) {
-                continue;
-            }
-            let qp = fs.queue.pop_front().expect("checked non-empty front");
-            if let Some(next) = fs.queue.front() {
-                self.heap.push(Reverse((next.finish, next.pkt.uid, flow)));
-            }
-            self.queued -= 1;
-            self.v = finish;
-            // Pull the next dequeue candidate's head line in early (see
-            // sfq_core::prefetch — deep backlogs put it out of cache).
-            if let Some(&Reverse((_, _, nf))) = self.heap.peek() {
-                if let Some(h) = self.flows.get(&nf).and_then(|f| f.queue.front()) {
-                    sfq_core::prefetch::prefetch_read(h);
-                }
-            }
-            return Some(qp.pkt);
-        }
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        let (pkt, (finish, _), start) = self.q.pop_min()?;
+        self.v = finish;
+        self.obs.on_dequeue(&SchedEvent {
+            time: now,
+            flow: pkt.flow,
+            uid: pkt.uid,
+            len: pkt.len,
+            start_tag: start,
+            finish_tag: finish,
+            v: finish,
+        });
+        Some(pkt)
     }
 
     fn is_empty(&self) -> bool {
-        self.queued == 0
+        self.q.is_empty()
     }
 
     fn len(&self) -> usize {
-        self.queued
+        self.q.len()
     }
 
     fn backlog(&self, flow: FlowId) -> usize {
-        self.flows.get(&flow).map_or(0, |f| f.queue.len())
+        self.q.backlog(flow)
     }
 
     fn remove_flow(&mut self, flow: FlowId) -> bool {
-        match self.flows.get(&flow) {
-            Some(fs) if fs.queue.is_empty() => {
-                self.flows.remove(&flow);
-                true
-            }
-            _ => false,
+        let removed = self.q.remove_flow(flow);
+        if removed {
+            self.obs.on_flow_change(flow, &FlowChange::Removed);
         }
+        removed
     }
 
     fn name(&self) -> &'static str {
@@ -251,5 +260,24 @@ mod tests {
         assert_eq!((s.len(), s.backlog(FlowId(1))), (1, 1));
         let _ = s.dequeue(SimTime::ZERO);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn force_remove_discards_backlog() {
+        let mut s = Scfq::new();
+        s.add_flow(FlowId(1), Rate::bps(1_000));
+        s.add_flow(FlowId(2), Rate::bps(1_000));
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        s.enqueue(t0, pf.make(FlowId(1), Bytes::new(125), t0));
+        s.enqueue(t0, pf.make(FlowId(1), Bytes::new(125), t0));
+        let b = pf.make(FlowId(2), Bytes::new(125), t0);
+        s.enqueue(t0, b);
+        assert_eq!(s.force_remove_flow(FlowId(1)), 2);
+        assert_eq!(s.len(), 1);
+        // The stale heap entry is skipped; flow 2 drains cleanly.
+        assert_eq!(s.dequeue(t0).unwrap().uid, b.uid);
+        assert!(s.is_empty());
+        assert_eq!(s.force_remove_flow(FlowId(9)), 0);
     }
 }

@@ -9,68 +9,91 @@
 //! fair schedulers for VBR video). It is also the GSQ discipline inside
 //! Fair Airport.
 
+use sfq_core::flowq::FlowFifos;
+use sfq_core::obs::{FlowChange, NoopObserver, SchedEvent, SchedObserver};
 use sfq_core::{FlowId, Packet, Scheduler};
 use simtime::{Rate, SimTime};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
-
-/// A packet in its flow's FIFO with the stamp assigned at arrival.
-#[derive(Clone, Copy, Debug)]
-struct QueuedPkt {
-    pkt: Packet,
-    stamp: SimTime,
-}
 
 #[derive(Debug)]
-struct FlowState {
+struct FlowExt {
     weight: Rate,
     /// `VC(p_f^{j-1})` — the auxiliary virtual clock, in real seconds.
     auxvc: SimTime,
-    /// Backlogged packets in arrival order. `VC` stamps are strictly
-    /// increasing within a flow (the `l/r` term is positive), so the
-    /// FIFO head carries the flow's minimum stamp and the scheduling
-    /// heap only needs heads.
-    queue: VecDeque<QueuedPkt>,
 }
 
 /// The (work-conserving) Virtual Clock scheduler.
 ///
-/// Packets live in per-flow FIFOs; the heap holds `(stamp, uid, flow)`
-/// for each backlogged flow's head only (same head-of-flow structure as
-/// [`sfq_core::Sfq`]), so heap cost scales with backlogged flows, not
-/// queued packets.
+/// Packets live in per-flow FIFOs with a head-of-flow heap keyed by
+/// `(stamp, uid)` — the shared [`sfq_core::flowq::FlowFifos`]
+/// structure — so heap cost scales with backlogged flows, not queued
+/// packets. Generic over an observer (see [`sfq_core::obs`]); VC has no
+/// virtual-time function, so events report the real-time stamp as the
+/// finish tag, `max(A, auxVC)` as the start tag, and the wall clock as
+/// `v` (all exact, via [`SimTime::as_ratio`]).
 #[derive(Debug)]
-pub struct VirtualClock {
-    flows: HashMap<FlowId, FlowState>,
-    heap: BinaryHeap<Reverse<(SimTime, u64, FlowId)>>,
-    queued: usize,
+pub struct VirtualClock<O: SchedObserver = NoopObserver> {
+    /// Key `(stamp, uid)`; per-packet metadata carries the stamp base
+    /// `max(A, auxVC)` (the "start" of the packet's reserved-rate slot).
+    q: FlowFifos<(SimTime, u64), FlowExt, SimTime>,
+    obs: O,
 }
 
 impl VirtualClock {
     /// New Virtual Clock scheduler.
     pub fn new() -> Self {
+        Self::with_observer(NoopObserver)
+    }
+}
+
+impl<O: SchedObserver> VirtualClock<O> {
+    /// New Virtual Clock scheduler reporting events to `obs`.
+    pub fn with_observer(obs: O) -> Self {
         VirtualClock {
-            flows: HashMap::new(),
-            heap: BinaryHeap::new(),
-            queued: 0,
+            q: FlowFifos::new("VC"),
+            obs,
         }
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.obs
+    }
+
+    /// The attached observer, mutably.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.obs
+    }
+
+    /// Consume the scheduler, returning the observer.
+    pub fn into_observer(self) -> O {
+        self.obs
     }
 
     /// Timestamp assigned to a queued packet. Diagnostic accessor
     /// (tests/telemetry): scans the per-flow FIFOs rather than taxing
     /// the hot path with a uid index.
     pub fn stamp_of(&self, uid: u64) -> Option<SimTime> {
-        self.flows
-            .values()
-            .flat_map(|f| f.queue.iter())
-            .find(|qp| qp.pkt.uid == uid)
-            .map(|qp| qp.stamp)
+        self.q.find(uid).map(|(&(stamp, _), _)| stamp)
     }
 
     /// Entries in the head-of-flow heap (diagnostic: ≤ backlogged flows
     /// plus any stale entries awaiting lazy reclamation).
     pub fn head_heap_len(&self) -> usize {
-        self.heap.len()
+        self.q.head_heap_len()
+    }
+
+    /// Drop a flow and all of its queued packets immediately, without
+    /// the idle-only guard of [`Scheduler::remove_flow`]. Returns the
+    /// number of packets discarded.
+    pub fn force_remove_flow(&mut self, flow: FlowId) -> usize {
+        match self.q.force_remove_flow(flow) {
+            Some(dropped) => {
+                self.obs
+                    .on_flow_change(flow, &FlowChange::ForceRemoved { dropped });
+                dropped
+            }
+            None => 0,
+        }
     }
 }
 
@@ -80,82 +103,70 @@ impl Default for VirtualClock {
     }
 }
 
-impl Scheduler for VirtualClock {
+impl<O: SchedObserver> Scheduler for VirtualClock<O> {
     fn add_flow(&mut self, flow: FlowId, weight: Rate) {
         assert!(weight.as_bps() > 0, "VC: flow weight must be positive");
-        self.flows
-            .entry(flow)
-            .and_modify(|f| f.weight = weight)
-            .or_insert(FlowState {
+        self.q
+            .upsert_flow(flow, || FlowExt {
                 weight,
                 auxvc: SimTime::ZERO,
-                queue: VecDeque::new(),
-            });
+            })
+            .weight = weight;
+        self.obs.on_flow_change(flow, &FlowChange::Added { weight });
     }
 
     fn enqueue(&mut self, now: SimTime, pkt: Packet) {
-        let fs = self
-            .flows
-            .get_mut(&pkt.flow)
-            .unwrap_or_else(|| panic!("VC: unregistered flow {}", pkt.flow));
-        let vc = now.max(fs.auxvc) + fs.weight.tx_time(pkt.len);
-        fs.auxvc = vc;
-        let was_idle = fs.queue.is_empty();
-        fs.queue.push_back(QueuedPkt { pkt, stamp: vc });
-        if was_idle {
-            self.heap.push(Reverse((vc, pkt.uid, pkt.flow)));
-        }
-        self.queued += 1;
+        let uid = pkt.uid;
+        let len = pkt.len;
+        let ((stamp, _), base) = self.q.push_with(pkt, |ext| {
+            let base = now.max(ext.auxvc);
+            let vc = base + ext.weight.tx_time(len);
+            ext.auxvc = vc;
+            ((vc, uid), base)
+        });
+        self.obs.on_enqueue(&SchedEvent {
+            time: now,
+            flow: pkt.flow,
+            uid,
+            len,
+            start_tag: base.as_ratio(),
+            finish_tag: stamp.as_ratio(),
+            v: now.as_ratio(),
+        });
     }
 
-    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
-        loop {
-            let Reverse((_vc, uid, flow)) = self.heap.pop()?;
-            // An entry is live only if it matches the flow's current
-            // head (uids are never reused); anything else is stale —
-            // skip it without disturbing the exact `queued` count.
-            let Some(fs) = self.flows.get_mut(&flow) else {
-                continue;
-            };
-            if fs.queue.front().map(|h| h.pkt.uid) != Some(uid) {
-                continue;
-            }
-            let qp = fs.queue.pop_front().expect("checked non-empty front");
-            if let Some(next) = fs.queue.front() {
-                self.heap.push(Reverse((next.stamp, next.pkt.uid, flow)));
-            }
-            self.queued -= 1;
-            // Pull the next dequeue candidate's head line in early (see
-            // sfq_core::prefetch — deep backlogs put it out of cache).
-            if let Some(&Reverse((_, _, nf))) = self.heap.peek() {
-                if let Some(h) = self.flows.get(&nf).and_then(|f| f.queue.front()) {
-                    sfq_core::prefetch::prefetch_read(h);
-                }
-            }
-            return Some(qp.pkt);
-        }
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        let (pkt, (stamp, _), base) = self.q.pop_min()?;
+        self.obs.on_dequeue(&SchedEvent {
+            time: now,
+            flow: pkt.flow,
+            uid: pkt.uid,
+            len: pkt.len,
+            start_tag: base.as_ratio(),
+            finish_tag: stamp.as_ratio(),
+            v: now.as_ratio(),
+        });
+        Some(pkt)
     }
 
     fn is_empty(&self) -> bool {
-        self.queued == 0
+        self.q.is_empty()
     }
 
     fn len(&self) -> usize {
-        self.queued
+        self.q.len()
     }
 
     fn backlog(&self, flow: FlowId) -> usize {
-        self.flows.get(&flow).map_or(0, |f| f.queue.len())
+        self.q.backlog(flow)
     }
 
     fn remove_flow(&mut self, flow: FlowId) -> bool {
-        match self.flows.get(&flow) {
-            Some(fs) if fs.queue.is_empty() => {
-                self.flows.remove(&flow);
-                true
-            }
-            _ => false,
+        let removed = self.q.remove_flow(flow);
+        if removed {
+            self.obs.on_flow_change(flow, &FlowChange::Removed);
         }
+        removed
     }
 
     fn name(&self) -> &'static str {
@@ -240,5 +251,23 @@ mod tests {
         assert_eq!(vc.backlog(FlowId(1)), 1);
         let _ = vc.dequeue(SimTime::ZERO);
         assert!(vc.is_empty());
+    }
+
+    #[test]
+    fn force_remove_discards_backlog() {
+        let mut vc = VirtualClock::new();
+        vc.add_flow(FlowId(1), Rate::bps(1_000));
+        vc.add_flow(FlowId(2), Rate::bps(1_000));
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        vc.enqueue(t0, pf.make(FlowId(1), Bytes::new(125), t0));
+        vc.enqueue(t0, pf.make(FlowId(1), Bytes::new(125), t0));
+        let b = pf.make(FlowId(2), Bytes::new(125), t0);
+        vc.enqueue(t0, b);
+        assert_eq!(vc.force_remove_flow(FlowId(1)), 2);
+        assert_eq!(vc.len(), 1);
+        assert_eq!(vc.dequeue(t0).unwrap().uid, b.uid);
+        assert!(vc.is_empty());
+        assert_eq!(vc.force_remove_flow(FlowId(9)), 0);
     }
 }

@@ -10,6 +10,7 @@
 //! servers.
 
 use crate::gps::GpsClock;
+use sfq_core::obs::{FlowChange, NoopObserver, SchedEvent, SchedObserver};
 use sfq_core::{FlowId, Packet, Scheduler};
 use simtime::{Rate, Ratio, SimTime};
 use std::cmp::Reverse;
@@ -25,7 +26,7 @@ enum Order {
 }
 
 #[derive(Debug)]
-struct GpsScheduler {
+struct GpsScheduler<O: SchedObserver> {
     gps: GpsClock,
     order: Order,
     name: &'static str,
@@ -35,6 +36,7 @@ struct GpsScheduler {
     heap: BinaryHeap<Reverse<(Ratio, u64, HeapPacket)>>,
     tags: HashMap<u64, (Ratio, Ratio)>,
     queued: usize,
+    obs: O,
 }
 
 /// Wrapper so the heap tuple is fully ordered without requiring Ord on
@@ -54,8 +56,8 @@ impl Ord for HeapPacket {
     }
 }
 
-impl GpsScheduler {
-    fn new(capacity: Rate, order: Order, name: &'static str) -> Self {
+impl<O: SchedObserver> GpsScheduler<O> {
+    fn new(capacity: Rate, order: Order, name: &'static str, obs: O) -> Self {
         GpsScheduler {
             gps: GpsClock::new(capacity),
             order,
@@ -66,6 +68,7 @@ impl GpsScheduler {
             heap: BinaryHeap::new(),
             tags: HashMap::new(),
             queued: 0,
+            obs,
         }
     }
 
@@ -74,12 +77,13 @@ impl GpsScheduler {
     }
 }
 
-impl Scheduler for GpsScheduler {
+impl<O: SchedObserver> Scheduler for GpsScheduler<O> {
     fn add_flow(&mut self, flow: FlowId, weight: Rate) {
         self.gps.add_flow(flow, weight);
         self.weights.insert(flow, weight);
         self.last_finish.entry(flow).or_insert(Ratio::ZERO);
         self.backlog.entry(flow).or_insert(0);
+        self.obs.on_flow_change(flow, &FlowChange::Added { weight });
     }
 
     fn enqueue(&mut self, now: SimTime, pkt: Packet) {
@@ -99,13 +103,33 @@ impl Scheduler for GpsScheduler {
         self.tags.insert(pkt.uid, (start, finish));
         self.heap.push(Reverse((key, pkt.uid, HeapPacket(pkt))));
         self.queued += 1;
+        // v here is the GPS fluid clock, already advanced to `now` by
+        // on_arrival.
+        self.obs.on_enqueue(&SchedEvent {
+            time: now,
+            flow: pkt.flow,
+            uid: pkt.uid,
+            len: pkt.len,
+            start_tag: start,
+            finish_tag: finish,
+            v: self.gps.peek_v(),
+        });
     }
 
-    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
         let Reverse((_key, uid, HeapPacket(pkt))) = self.heap.pop()?;
         self.queued -= 1;
-        self.tags.remove(&uid);
+        let (start, finish) = self.tags.remove(&uid).expect("queued packet has tags");
         *self.backlog.get_mut(&pkt.flow).expect("registered") -= 1;
+        self.obs.on_dequeue(&SchedEvent {
+            time: now,
+            flow: pkt.flow,
+            uid,
+            len: pkt.len,
+            start_tag: start,
+            finish_tag: finish,
+            v: self.gps.peek_v(),
+        });
         Some(pkt)
     }
 
@@ -127,13 +151,29 @@ impl Scheduler for GpsScheduler {
 }
 
 /// Weighted Fair Queuing (PGPS): GPS tags, served by finish tag.
+///
+/// Generic over an observer (see [`sfq_core::obs`]); events report the
+/// GPS start/finish tags and the fluid clock `v(t)`.
 #[derive(Debug)]
-pub struct Wfq(GpsScheduler);
+pub struct Wfq<O: SchedObserver = NoopObserver>(GpsScheduler<O>);
 
 impl Wfq {
     /// WFQ emulating a fluid server of capacity `assumed_capacity`.
     pub fn new(assumed_capacity: Rate) -> Self {
-        Wfq(GpsScheduler::new(assumed_capacity, Order::Finish, "WFQ"))
+        Self::with_observer(assumed_capacity, NoopObserver)
+    }
+}
+
+impl<O: SchedObserver> Wfq<O> {
+    /// WFQ emulating a fluid server of capacity `assumed_capacity`,
+    /// reporting events to `obs`.
+    pub fn with_observer(assumed_capacity: Rate, obs: O) -> Self {
+        Wfq(GpsScheduler::new(
+            assumed_capacity,
+            Order::Finish,
+            "WFQ",
+            obs,
+        ))
     }
 
     /// GPS start/finish tags of a queued packet (tests/telemetry).
@@ -145,27 +185,73 @@ impl Wfq {
     pub fn gps_v(&self) -> Ratio {
         self.0.gps.peek_v()
     }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.0.obs
+    }
+
+    /// The attached observer, mutably.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.0.obs
+    }
+
+    /// Consume the scheduler, returning the observer.
+    pub fn into_observer(self) -> O {
+        self.0.obs
+    }
 }
 
 /// Fair Queuing based on Start-time: GPS tags, served by start tag.
+///
+/// Generic over an observer (see [`sfq_core::obs`]); events report the
+/// GPS start/finish tags and the fluid clock `v(t)`.
 #[derive(Debug)]
-pub struct Fqs(GpsScheduler);
+pub struct Fqs<O: SchedObserver = NoopObserver>(GpsScheduler<O>);
 
 impl Fqs {
     /// FQS emulating a fluid server of capacity `assumed_capacity`.
     pub fn new(assumed_capacity: Rate) -> Self {
-        Fqs(GpsScheduler::new(assumed_capacity, Order::Start, "FQS"))
+        Self::with_observer(assumed_capacity, NoopObserver)
+    }
+}
+
+impl<O: SchedObserver> Fqs<O> {
+    /// FQS emulating a fluid server of capacity `assumed_capacity`,
+    /// reporting events to `obs`.
+    pub fn with_observer(assumed_capacity: Rate, obs: O) -> Self {
+        Fqs(GpsScheduler::new(
+            assumed_capacity,
+            Order::Start,
+            "FQS",
+            obs,
+        ))
     }
 
     /// GPS start/finish tags of a queued packet (tests/telemetry).
     pub fn tags_of(&self, uid: u64) -> Option<(Ratio, Ratio)> {
         self.0.tags_of(uid)
     }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.0.obs
+    }
+
+    /// The attached observer, mutably.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.0.obs
+    }
+
+    /// Consume the scheduler, returning the observer.
+    pub fn into_observer(self) -> O {
+        self.0.obs
+    }
 }
 
 macro_rules! delegate_scheduler {
-    ($ty:ty) => {
-        impl Scheduler for $ty {
+    ($ty:ident) => {
+        impl<O: SchedObserver> Scheduler for $ty<O> {
             fn add_flow(&mut self, flow: FlowId, weight: Rate) {
                 self.0.add_flow(flow, weight)
             }

@@ -7,8 +7,9 @@
 //! the situation SFQ handles and WFQ does not.
 
 use servers::RateProfile;
+use sfq_core::obs::{SchedEvent, SchedObserver};
 use sfq_core::{FlowId, Packet, Scheduler};
-use simtime::SimTime;
+use simtime::{Ratio, SimTime};
 use std::collections::{HashMap, VecDeque};
 
 /// One switch output port.
@@ -20,6 +21,11 @@ pub struct SwitchCore {
     per_flow_cap: Option<usize>,
     busy: bool,
     drops: HashMap<FlowId, u64>,
+    /// Drop hook: fires for packets the port refuses before the
+    /// scheduler ever sees them (so a scheduler-attached observer
+    /// cannot report them). Enqueue/dequeue events come from the
+    /// scheduler's own observer, attached at construction.
+    drop_obs: Option<Box<dyn SchedObserver>>,
 }
 
 impl SwitchCore {
@@ -32,7 +38,15 @@ impl SwitchCore {
             per_flow_cap,
             busy: false,
             drops: HashMap::new(),
+            drop_obs: None,
         }
+    }
+
+    /// Attach an observer for packets this port refuses (buffer-cap
+    /// drops). Dropped packets carry zero tags — they were never
+    /// tagged.
+    pub fn set_drop_observer(&mut self, obs: Box<dyn SchedObserver>) {
+        self.drop_obs = Some(obs);
     }
 
     /// Register a scheduled flow.
@@ -51,6 +65,17 @@ impl SwitchCore {
         if let Some(cap) = self.per_flow_cap {
             if self.sched.backlog(pkt.flow) >= cap {
                 *self.drops.entry(pkt.flow).or_insert(0) += 1;
+                if let Some(obs) = &mut self.drop_obs {
+                    obs.on_drop(&SchedEvent {
+                        time: now,
+                        flow: pkt.flow,
+                        uid: pkt.uid,
+                        len: pkt.len,
+                        start_tag: Ratio::ZERO,
+                        finish_tag: Ratio::ZERO,
+                        v: Ratio::ZERO,
+                    });
+                }
                 return false;
             }
         }
@@ -94,6 +119,49 @@ impl SwitchCore {
     /// Name of the scheduled-class discipline.
     pub fn discipline(&self) -> &'static str {
         self.sched.name()
+    }
+}
+
+#[cfg(test)]
+mod obs_tests {
+    use super::*;
+    use servers::RateProfile;
+    use sfq_core::{PacketFactory, Sfq};
+    use simtime::{Bytes, Rate};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Shared drop counter (the `Rc<RefCell<_>>` observer pattern).
+    #[derive(Default)]
+    struct DropLog {
+        drops: Vec<(u32, u64)>,
+    }
+
+    impl SchedObserver for DropLog {
+        fn on_drop(&mut self, ev: &SchedEvent) {
+            self.drops.push((ev.flow.0, ev.uid));
+        }
+    }
+
+    #[test]
+    fn drop_observer_sees_refused_packets() {
+        let mut s = Sfq::new();
+        s.add_flow(FlowId(1), Rate::bps(1_000));
+        let mut sw = SwitchCore::new(
+            Box::new(s),
+            RateProfile::constant(Rate::bps(1_000)),
+            Some(1),
+        );
+        let log = Rc::new(RefCell::new(DropLog::default()));
+        sw.set_drop_observer(Box::new(Rc::clone(&log)));
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        let a = pf.make(FlowId(1), Bytes::new(10), t0);
+        let b = pf.make(FlowId(1), Bytes::new(10), t0);
+        assert!(sw.offer(t0, a));
+        assert!(!sw.offer(t0, b));
+        assert_eq!(log.borrow().drops, vec![(1, b.uid)]);
+        assert_eq!(sw.drops(FlowId(1)), 1);
     }
 }
 

@@ -61,6 +61,24 @@ impl Tandem {
         self.hops.len()
     }
 
+    /// Attach a drop observer to one hop's switch port (see
+    /// [`SwitchCore::set_drop_observer`]). Scheduler-level
+    /// enqueue/dequeue events are observed by constructing the hop's
+    /// scheduler with `with_observer` before boxing it.
+    pub fn set_hop_drop_observer(
+        &mut self,
+        hop: usize,
+        obs: Box<dyn sfq_core::obs::SchedObserver>,
+    ) {
+        self.hops[hop].set_drop_observer(obs);
+    }
+
+    /// Mutable access to one hop's switch port (observer attachment,
+    /// diagnostics).
+    pub fn hop_mut(&mut self, hop: usize) -> &mut SwitchCore {
+        &mut self.hops[hop]
+    }
+
     /// `true` if the tandem has no hops (never — construction forbids
     /// it; provided for API completeness).
     pub fn is_empty(&self) -> bool {

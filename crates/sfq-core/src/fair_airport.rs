@@ -17,6 +17,7 @@
 //! removed packet's start tag (rule 5), which is what keeps Lemmas 1–2
 //! valid for the ASQ and yields the fairness bound of Theorem 8.
 
+use crate::obs::{FlowChange, NoopObserver, SchedEvent, SchedObserver};
 use crate::packet::{FlowId, Packet};
 use crate::sched::Scheduler;
 use simtime::{Rate, Ratio, SimTime};
@@ -76,7 +77,7 @@ pub enum ServedVia {
 /// assert_eq!(fa.last_served_via(), Some(ServedVia::Asq));
 /// ```
 #[derive(Debug)]
-pub struct FairAirport {
+pub struct FairAirport<O: SchedObserver = NoopObserver> {
     flows: HashMap<FlowId, FaFlow>,
     flow_order: Vec<FlowId>,
     /// ASQ ready set: (front start tag, flow).
@@ -99,11 +100,24 @@ pub struct FairAirport {
     max_finish_served: Ratio,
     queued: usize,
     last_served_via: Option<ServedVia>,
+    obs: O,
 }
 
 impl FairAirport {
     /// New, empty Fair Airport scheduler.
     pub fn new() -> Self {
+        Self::with_observer(NoopObserver)
+    }
+}
+
+impl<O: SchedObserver> FairAirport<O> {
+    /// New Fair Airport scheduler reporting events to `obs`. Events
+    /// carry ASQ (SFQ) tags: dequeues report the removed packet's ASQ
+    /// start tag and natural finish tag with `v` = the ASQ virtual
+    /// time; enqueues report the flow-head tag when the arrival starts
+    /// a new head (tags of deeper packets are assigned lazily and
+    /// reported as zero).
+    pub fn with_observer(obs: O) -> Self {
         FairAirport {
             flows: HashMap::new(),
             flow_order: Vec::new(),
@@ -115,7 +129,23 @@ impl FairAirport {
             max_finish_served: Ratio::ZERO,
             queued: 0,
             last_served_via: None,
+            obs,
         }
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.obs
+    }
+
+    /// The attached observer, mutably.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.obs
+    }
+
+    /// Consume the scheduler, returning the observer.
+    pub fn into_observer(self) -> O {
+        self.obs
     }
 
     /// The ASQ's virtual time `v(t)` (SFQ semantics).
@@ -171,7 +201,7 @@ impl FairAirport {
 
     /// Remove the front unserved packet of `flow` and fix up the ASQ
     /// bookkeeping, applying start-tag inheritance on GSQ removals.
-    fn remove_front(&mut self, flow: FlowId, via: ServedVia) -> Packet {
+    fn remove_front(&mut self, now: SimTime, flow: FlowId, via: ServedVia) -> Packet {
         let fs = self.flows.get_mut(&flow).expect("known flow");
         let removed_start = fs.front_start;
         let p = fs.queue.pop_front().expect("non-empty flow queue");
@@ -193,6 +223,15 @@ impl FairAirport {
         self.max_finish_served = self.max_finish_served.max(natural_finish);
         self.queued -= 1;
         self.last_served_via = Some(via);
+        self.obs.on_dequeue(&SchedEvent {
+            time: now,
+            flow,
+            uid: p.uid,
+            len: p.len,
+            start_tag: removed_start,
+            finish_tag: natural_finish,
+            v: self.asq_virtual_time(),
+        });
         if via == ServedVia::Asq {
             // The served packet was the flow's front *pending* packet
             // (GSQ priority guarantees nothing is admitted here):
@@ -210,7 +249,7 @@ impl Default for FairAirport {
     }
 }
 
-impl Scheduler for FairAirport {
+impl<O: SchedObserver> Scheduler for FairAirport<O> {
     fn add_flow(&mut self, flow: FlowId, weight: Rate) {
         assert!(weight.as_bps() > 0, "FA: flow weight must be positive");
         if let Some(fs) = self.flows.get_mut(&flow) {
@@ -229,9 +268,10 @@ impl Scheduler for FairAirport {
             );
             self.flow_order.push(flow);
         }
+        self.obs.on_flow_change(flow, &FlowChange::Added { weight });
     }
 
-    fn enqueue(&mut self, _now: SimTime, pkt: Packet) {
+    fn enqueue(&mut self, now: SimTime, pkt: Packet) {
         // Snapped at the read point (see Ratio::snap_pico).
         let v_now = self.asq_virtual_time().snap_pico();
         let fs = self
@@ -241,16 +281,27 @@ impl Scheduler for FairAirport {
         let was_empty = fs.queue.is_empty();
         fs.queue.push_back(pkt);
         let is_front_pending = fs.queue.len() - fs.gsq_ts.len() == 1;
+        let mut tags = (Ratio::ZERO, Ratio::ZERO);
         if was_empty {
             // SFQ arrival to an idle flow: S = max(v(A), F_prev).
             fs.front_start = v_now.max(fs.last_finish);
             let s = fs.front_start;
+            tags = (s, s + fs.weight.tag_span(pkt.len));
             self.asq_ready.insert((s, pkt.flow));
         }
         self.queued += 1;
         if is_front_pending {
             self.announce_pending(pkt.flow);
         }
+        self.obs.on_enqueue(&SchedEvent {
+            time: now,
+            flow: pkt.flow,
+            uid: pkt.uid,
+            len: pkt.len,
+            start_tag: tags.0,
+            finish_tag: tags.1,
+            v: v_now,
+        });
     }
 
     fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
@@ -267,7 +318,7 @@ impl Scheduler for FairAirport {
                 "GSQ head must be its flow's oldest unserved packet"
             );
             fs.gsq_ts.pop_front();
-            let pkt = self.remove_front(flow, ServedVia::Gsq);
+            let pkt = self.remove_front(now, flow, ServedVia::Gsq);
             // The flow's next admitted packet (now its queue front, if
             // any) takes over as its GSQ head.
             let fs = self.flows.get(&flow).expect("known flow");
@@ -283,7 +334,7 @@ impl Scheduler for FairAirport {
         let &(start, flow) = self.asq_ready.iter().next()?;
         self.in_service = Some(start);
         self.v = start;
-        Some(self.remove_front(flow, ServedVia::Asq))
+        Some(self.remove_front(now, flow, ServedVia::Asq))
     }
 
     fn on_departure(&mut self, _now: SimTime) {
@@ -310,6 +361,7 @@ impl Scheduler for FairAirport {
             Some(fs) if fs.queue.is_empty() => {
                 self.flows.remove(&flow);
                 self.flow_order.retain(|f| *f != flow);
+                self.obs.on_flow_change(flow, &FlowChange::Removed);
                 true
             }
             _ => false,

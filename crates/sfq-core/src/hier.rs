@@ -25,6 +25,7 @@
 //! scheduler (`add_scheduler_class`) inherit the head-of-flow
 //! behaviour of whatever discipline they wrap.
 
+use crate::obs::{FlowChange, NoopObserver, SchedEvent, SchedObserver};
 use crate::packet::{FlowId, Packet};
 use crate::sched::Scheduler;
 use simtime::{Rate, Ratio, SimTime};
@@ -128,23 +129,57 @@ impl Node {
 /// .collect();
 /// assert_eq!(order, vec![1, 2, 1, 2]);
 /// ```
+///
+/// # Observation
+///
+/// `HierSfq` reports *class-level* tags to its observer (see
+/// [`crate::obs`]): events carry the leaf class's start tag and finish
+/// tag in its parent's tag space, and `v` is the root server's virtual
+/// time. Enqueue events report the leaf's current head tag (`start`)
+/// and tag chain state (`F_prev` as `finish_tag`) — the hierarchy
+/// charges classes at dequeue time, so a queued packet has no
+/// per-packet tag of its own.
 #[derive(Debug)]
-pub struct HierSfq {
+pub struct HierSfq<O: SchedObserver = NoopObserver> {
     nodes: Vec<Node>,
     flow_leaf: HashMap<FlowId, ClassId>,
     /// Path of the most recent dequeue (root-to-leaf class ids), used by
     /// `on_departure` to close per-class busy periods.
     service_path: Vec<ClassId>,
+    obs: O,
 }
 
 impl HierSfq {
     /// New tree containing only the root class.
     pub fn new() -> Self {
+        Self::with_observer(NoopObserver)
+    }
+}
+
+impl<O: SchedObserver> HierSfq<O> {
+    /// New tree reporting events to `obs` (see [`crate::obs`]).
+    pub fn with_observer(obs: O) -> Self {
         HierSfq {
             nodes: vec![Node::new(None, Rate::bps(1), false)],
             flow_leaf: HashMap::new(),
             service_path: Vec::new(),
+            obs,
         }
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.obs
+    }
+
+    /// The attached observer, mutably.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.obs
+    }
+
+    /// Consume the scheduler, returning the observer.
+    pub fn into_observer(self) -> O {
+        self.obs
     }
 
     /// The root class.
@@ -175,6 +210,7 @@ impl HierSfq {
         let id = ClassId(self.nodes.len() as u32);
         self.nodes.push(Node::new(Some(parent), weight, true));
         self.flow_leaf.insert(flow, id);
+        self.obs.on_flow_change(flow, &FlowChange::Added { weight });
     }
 
     /// Add a class under `parent` whose *internal* packet order is
@@ -211,6 +247,7 @@ impl HierSfq {
             .expect("add_flow_to_scheduler requires a scheduler class");
         inner.add_flow(flow, weight);
         self.flow_leaf.insert(flow, class);
+        self.obs.on_flow_change(flow, &FlowChange::Added { weight });
     }
 
     /// Route a flow to a scheduler class *without* registering it —
@@ -251,7 +288,7 @@ impl Default for HierSfq {
     }
 }
 
-impl Scheduler for HierSfq {
+impl<O: SchedObserver> Scheduler for HierSfq<O> {
     /// Trait-level `add_flow` attaches the flow directly under the root,
     /// which makes a flat `HierSfq` behave exactly like [`crate::Sfq`].
     fn add_flow(&mut self, flow: FlowId, weight: Rate) {
@@ -297,6 +334,16 @@ impl Scheduler for HierSfq {
             }
             child = parent;
         }
+        let ln = self.node(leaf);
+        self.obs.on_enqueue(&SchedEvent {
+            time: now,
+            flow: pkt.flow,
+            uid: pkt.uid,
+            len: pkt.len,
+            start_tag: ln.start,
+            finish_tag: ln.finish,
+            v: self.node(self.root()).virtual_time(),
+        });
     }
 
     fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
@@ -354,6 +401,19 @@ impl Scheduler for HierSfq {
         self.service_path = std::iter::once(self.root())
             .chain(path.iter().map(|&(_, c, _)| c))
             .collect();
+        // Class-level event: the leaf's start tag and the finish tag
+        // just charged to it, with the root server's virtual time.
+        if let Some(&(_, leaf, s)) = path.last() {
+            self.obs.on_dequeue(&SchedEvent {
+                time: now,
+                flow: pkt.flow,
+                uid: pkt.uid,
+                len: pkt.len,
+                start_tag: s,
+                finish_tag: self.node(leaf).finish,
+                v: self.node(self.root()).virtual_time(),
+            });
+        }
         Some(pkt)
     }
 

@@ -18,11 +18,17 @@
 //! arithmetic is exact (`simtime::Ratio`), so the paper's fairness and
 //! delay theorems can be verified as exact inequalities in the test
 //! suite.
+//!
+//! Every scheduler is generic over an observer (see [`obs`]): the
+//! default [`NoopObserver`] compiles away; the `sfq-obs` crate provides
+//! tracing and metrics implementations.
 
 #![warn(missing_docs)]
 
 mod fair_airport;
+pub mod flowq;
 mod hier;
+pub mod obs;
 mod packet;
 pub mod prefetch;
 mod sched;
@@ -30,6 +36,7 @@ mod sfq;
 
 pub use fair_airport::{FairAirport, ServedVia};
 pub use hier::{ClassId, HierSfq};
+pub use obs::{FlowChange, NoopObserver, SchedEvent, SchedObserver};
 pub use packet::{FlowId, Packet, PacketFactory};
 pub use sched::{Scheduler, TieBreak};
 pub use sfq::Sfq;

@@ -16,32 +16,27 @@
 //!
 //! # Head-of-flow scheduling structure
 //!
-//! Packets live in per-flow FIFO queues ([`std::collections::VecDeque`]);
-//! the priority heap holds **one entry per backlogged flow** — the key of
-//! that flow's head packet — rather than every queued packet. This is
-//! sound because the Eq. 4/5 tag recurrence is monotone within a flow:
-//! `S(p_f^j) >= F(p_f^{j-1}) > S(p_f^{j-1})` whenever packet lengths are
-//! positive (the `l/r` span of Eq. 5 is strictly positive), so a flow's
-//! minimum-tag packet is always its FIFO head and the global minimum is
-//! always some flow's head. Dequeue order — including [`TieBreak`] and
-//! uid tie resolution — is therefore identical to a heap over all
-//! packets, but heap operations cost `O(log Q)` in the number of
-//! *backlogged flows* instead of `O(log N)` in the number of *queued
-//! packets*: under deep backlogs (many packets per flow) the restructure
-//! keeps per-packet cost flat.
+//! Packets live in per-flow FIFOs with a heap holding one entry per
+//! backlogged flow — the shared [`crate::flowq::FlowFifos`] structure
+//! (see its module docs for the soundness argument). Dequeue order —
+//! including [`TieBreak`] and uid tie resolution — is identical to a
+//! heap over all packets, but heap operations cost `O(log Q)` in the
+//! number of *backlogged flows* instead of `O(log N)` in the number of
+//! *queued packets*: under deep backlogs the restructure keeps
+//! per-packet cost flat.
 //!
-//! Mechanically: `enqueue` appends to the flow's FIFO and touches the
-//! heap only when the flow was previously idle; `dequeue` pops the
-//! minimum head and, if that flow is still backlogged, pushes its next
-//! packet's key. A heap entry whose flow has been force-removed (see
-//! [`Sfq::force_remove_flow`]) is detected as stale and skipped without
-//! disturbing the `queued`/backlog accounting.
+//! # Observation
+//!
+//! `Sfq` is generic over an observer `O:`[`SchedObserver`] (default
+//! [`NoopObserver`], which compiles away) and reports each tag
+//! assignment, service selection, and flow change — see
+//! [`crate::obs`].
 
+use crate::flowq::FlowFifos;
+use crate::obs::{FlowChange, NoopObserver, SchedEvent, SchedObserver};
 use crate::packet::{FlowId, Packet};
 use crate::sched::{Scheduler, TieBreak};
 use simtime::{Rate, Ratio, SimTime};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// Heap ordering key: primary start tag, then the tie-break key, then
 /// packet uid for full determinism.
@@ -52,24 +47,12 @@ struct Key {
     uid: u64,
 }
 
-/// A packet waiting in its flow's FIFO, with the tags assigned at
-/// arrival so `dequeue` needs no recomputation (`key.start` is the
-/// start tag).
-#[derive(Clone, Copy, Debug)]
-struct QueuedPkt {
-    pkt: Packet,
-    key: Key,
-    finish: Ratio,
-}
-
 #[derive(Debug)]
-struct FlowState {
+struct FlowExt {
     weight: Rate,
     /// `F(p_f^{j-1})`: finish tag of the flow's previous packet
     /// (zero before the first packet, per the paper).
     last_finish: Ratio,
-    /// This flow's backlogged packets in arrival (= service) order.
-    queue: VecDeque<QueuedPkt>,
 }
 
 /// The Start-time Fair Queuing scheduler.
@@ -104,12 +87,8 @@ struct FlowState {
 /// assert_eq!(order, vec![1, 2, 1]);
 /// ```
 #[derive(Debug)]
-pub struct Sfq {
-    flows: HashMap<FlowId, FlowState>,
-    /// Head-of-flow heap: at most one entry per backlogged flow, keyed
-    /// by the flow's head packet. Entries for force-removed flows are
-    /// stale and skipped lazily in `dequeue`.
-    heap: BinaryHeap<Reverse<(Key, FlowId)>>,
+pub struct Sfq<O: SchedObserver = NoopObserver> {
+    q: FlowFifos<Key, FlowExt, Ratio>,
     tie: TieBreak,
     /// Current virtual time `v(t)` outside of service; while a packet is
     /// in service `in_service` overrides this.
@@ -118,7 +97,7 @@ pub struct Sfq {
     in_service: Option<Ratio>,
     /// Maximum finish tag assigned to any packet serviced so far.
     max_finish_served: Ratio,
-    queued: usize,
+    obs: O,
 }
 
 impl Sfq {
@@ -129,15 +108,38 @@ impl Sfq {
 
     /// New SFQ scheduler with an explicit tie-break rule (Section 2.3).
     pub fn with_tiebreak(tie: TieBreak) -> Self {
+        Self::with_observer(tie, NoopObserver)
+    }
+}
+
+impl<O: SchedObserver> Sfq<O> {
+    /// New SFQ scheduler reporting events to `obs` (see
+    /// [`crate::obs::SchedObserver`]).
+    pub fn with_observer(tie: TieBreak, obs: O) -> Self {
         Sfq {
-            flows: HashMap::new(),
-            heap: BinaryHeap::new(),
+            q: FlowFifos::new("SFQ"),
             tie,
             v: Ratio::ZERO,
             in_service: None,
             max_finish_served: Ratio::ZERO,
-            queued: 0,
+            obs,
         }
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.obs
+    }
+
+    /// The attached observer, mutably.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.obs
+    }
+
+    /// Consume the scheduler, returning the observer (e.g. to read a
+    /// trace back out after a run).
+    pub fn into_observer(self) -> O {
+        self.obs
     }
 
     /// The server virtual time `v(t)` right now: the start tag of the
@@ -152,54 +154,47 @@ impl Sfq {
     /// Diagnostic accessor (tests/telemetry): scans the per-flow FIFOs
     /// rather than taxing the enqueue/dequeue hot path with a uid index.
     pub fn tags_of(&self, uid: u64) -> Option<(Ratio, Ratio)> {
-        self.flows
-            .values()
-            .flat_map(|f| f.queue.iter())
-            .find(|qp| qp.pkt.uid == uid)
-            .map(|qp| (qp.key.start, qp.finish))
+        self.q.find(uid).map(|(key, finish)| (key.start, *finish))
     }
 
     /// The finish tag `F(p_f^{j-1})` state of a flow (0 before its first
     /// packet).
     pub fn flow_last_finish(&self, flow: FlowId) -> Option<Ratio> {
-        self.flows.get(&flow).map(|f| f.last_finish)
+        self.q.ext(flow).map(|e| e.last_finish)
     }
 
     /// Number of entries currently in the head-of-flow heap. Diagnostic:
     /// at most one live entry per backlogged flow (plus stale entries
     /// left by [`Sfq::force_remove_flow`], reclaimed lazily).
     pub fn head_heap_len(&self) -> usize {
-        self.heap.len()
+        self.q.head_heap_len()
     }
 
     /// Enqueue charging the packet at an explicit rate `r_f^j`
     /// (generalized SFQ, Eq. 36). The weight registered via `add_flow`
     /// is ignored for this packet's finish tag.
-    pub fn enqueue_with_rate(&mut self, _now: SimTime, pkt: Packet, rate: Rate) {
+    pub fn enqueue_with_rate(&mut self, now: SimTime, pkt: Packet, rate: Rate) {
         // Snap the virtual time at its read point: bounds tag
         // denominators under adversarial weight mixes (no-op at the
         // scales the exact theorem tests run at; see Ratio::snap_pico).
         let v_now = self.virtual_time().snap_pico();
-        let fs = self
-            .flows
-            .get_mut(&pkt.flow)
-            .unwrap_or_else(|| panic!("SFQ: unregistered flow {}", pkt.flow));
-        let start = v_now.max(fs.last_finish);
-        let finish = start + rate.tag_span(pkt.len);
-        fs.last_finish = finish;
-        let key = Key {
-            start,
-            tie: self.tie.key(rate),
+        let tie = self.tie.key(rate);
+        let uid = pkt.uid;
+        let (key, finish) = self.q.push_with(pkt, |ext| {
+            let start = v_now.max(ext.last_finish);
+            let finish = start + rate.tag_span(pkt.len);
+            ext.last_finish = finish;
+            (Key { start, tie, uid }, finish)
+        });
+        self.obs.on_enqueue(&SchedEvent {
+            time: now,
+            flow: pkt.flow,
             uid: pkt.uid,
-        };
-        let was_idle = fs.queue.is_empty();
-        fs.queue.push_back(QueuedPkt { pkt, key, finish });
-        if was_idle {
-            // The flow joins the backlogged set: its head (this packet)
-            // enters the heap. A non-idle flow's head is unchanged.
-            self.heap.push(Reverse((key, pkt.flow)));
-        }
-        self.queued += 1;
+            len: pkt.len,
+            start_tag: key.start,
+            finish_tag: finish,
+            v: v_now,
+        });
     }
 
     /// Drop a flow and all of its queued packets immediately, without
@@ -208,10 +203,11 @@ impl Sfq {
     /// left behind as stale and skipped by the next `dequeue` that
     /// reaches it; `len`/`backlog` accounting stays exact.
     pub fn force_remove_flow(&mut self, flow: FlowId) -> usize {
-        match self.flows.remove(&flow) {
-            Some(fs) => {
-                self.queued -= fs.queue.len();
-                fs.queue.len()
+        match self.q.force_remove_flow(flow) {
+            Some(dropped) => {
+                self.obs
+                    .on_flow_change(flow, &FlowChange::ForceRemoved { dropped });
+                dropped
             }
             None => 0,
         }
@@ -224,69 +220,48 @@ impl Default for Sfq {
     }
 }
 
-impl Scheduler for Sfq {
+impl<O: SchedObserver> Scheduler for Sfq<O> {
     fn add_flow(&mut self, flow: FlowId, weight: Rate) {
         assert!(weight.as_bps() > 0, "SFQ: flow weight must be positive");
-        self.flows
-            .entry(flow)
-            .and_modify(|f| f.weight = weight)
-            .or_insert(FlowState {
+        self.q
+            .upsert_flow(flow, || FlowExt {
                 weight,
                 last_finish: Ratio::ZERO,
-                queue: VecDeque::new(),
-            });
+            })
+            .weight = weight;
+        self.obs.on_flow_change(flow, &FlowChange::Added { weight });
     }
 
     fn enqueue(&mut self, now: SimTime, pkt: Packet) {
         let weight = self
-            .flows
-            .get(&pkt.flow)
+            .q
+            .ext(pkt.flow)
             .unwrap_or_else(|| panic!("SFQ: unregistered flow {}", pkt.flow))
             .weight;
         self.enqueue_with_rate(now, pkt, weight);
     }
 
-    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
-        loop {
-            let Reverse((key, flow)) = self.heap.pop()?;
-            // A force-removed flow leaves its heap entry behind. The
-            // entry is live only if it matches the flow's *current*
-            // head: after removal (and possibly re-registration with
-            // fresh packets) a leftover entry's uid can never equal a
-            // later head's uid, so a mismatch identifies stale entries
-            // exactly. Skip them without touching `queued` — their
-            // packets were already discounted at removal.
-            let Some(fs) = self.flows.get_mut(&flow) else {
-                continue;
-            };
-            if fs.queue.front().map(|h| h.key) != Some(key) {
-                continue;
-            }
-            let qp = fs.queue.pop_front().expect("checked non-empty front");
-            if let Some(next) = fs.queue.front() {
-                self.heap.push(Reverse((next.key, flow)));
-            }
-            self.queued -= 1;
-            // v(t) during service is the start tag of the packet in service.
-            self.in_service = Some(key.start);
-            self.v = key.start;
-            self.max_finish_served = self.max_finish_served.max(qp.finish);
-            // The next dequeue will read the new heap top's head packet,
-            // a line last touched a full ring revolution ago. Start
-            // pulling it in now (see crate::prefetch): measured ~6-point
-            // reduction in deep-backlog depth sensitivity at 512 flows.
-            if let Some(&Reverse((_, nf))) = self.heap.peek() {
-                if let Some(h) = self.flows.get(&nf).and_then(|f| f.queue.front()) {
-                    crate::prefetch::prefetch_read(h);
-                }
-            }
-            return Some(qp.pkt);
-        }
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        let (pkt, key, finish) = self.q.pop_min()?;
+        // v(t) during service is the start tag of the packet in service.
+        self.in_service = Some(key.start);
+        self.v = key.start;
+        self.max_finish_served = self.max_finish_served.max(finish);
+        self.obs.on_dequeue(&SchedEvent {
+            time: now,
+            flow: pkt.flow,
+            uid: pkt.uid,
+            len: pkt.len,
+            start_tag: key.start,
+            finish_tag: finish,
+            v: key.start,
+        });
+        Some(pkt)
     }
 
     fn on_departure(&mut self, _now: SimTime) {
         self.in_service = None;
-        if self.queued == 0 {
+        if self.q.is_empty() {
             // End of busy period: v := max finish tag serviced (step 2
             // of the algorithm definition).
             self.v = self.max_finish_served;
@@ -294,25 +269,23 @@ impl Scheduler for Sfq {
     }
 
     fn is_empty(&self) -> bool {
-        self.queued == 0
+        self.q.is_empty()
     }
 
     fn len(&self) -> usize {
-        self.queued
+        self.q.len()
     }
 
     fn backlog(&self, flow: FlowId) -> usize {
-        self.flows.get(&flow).map_or(0, |f| f.queue.len())
+        self.q.backlog(flow)
     }
 
     fn remove_flow(&mut self, flow: FlowId) -> bool {
-        match self.flows.get(&flow) {
-            Some(fs) if fs.queue.is_empty() => {
-                self.flows.remove(&flow);
-                true
-            }
-            _ => false,
+        let removed = self.q.remove_flow(flow);
+        if removed {
+            self.obs.on_flow_change(flow, &FlowChange::Removed);
         }
+        removed
     }
 
     fn name(&self) -> &'static str {
@@ -532,6 +505,30 @@ mod tests {
         assert!(s.dequeue(SimTime::ZERO).is_none());
         assert!(s.is_empty());
     }
+
+    /// The observer sees every tag assignment with the same values the
+    /// diagnostic accessors report.
+    #[test]
+    fn observer_reports_assigned_tags() {
+        #[derive(Default)]
+        struct Last(Vec<SchedEvent>);
+        impl SchedObserver for Last {
+            fn on_enqueue(&mut self, ev: &SchedEvent) {
+                self.0.push(*ev);
+            }
+        }
+        let mut s = Sfq::with_observer(TieBreak::Fifo, Last::default());
+        s.add_flow(FlowId(1), Rate::bps(1_000));
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        let p = pf.make(FlowId(1), Bytes::new(125), t0);
+        s.enqueue(t0, p);
+        let tags = s.tags_of(p.uid).unwrap();
+        let ev = s.observer().0.last().unwrap();
+        assert_eq!((ev.start_tag, ev.finish_tag), tags);
+        assert_eq!(ev.uid, p.uid);
+        assert_eq!(ev.v, Ratio::ZERO);
+    }
 }
 
 #[cfg(test)]
@@ -540,6 +537,8 @@ mod proptests {
     use crate::packet::PacketFactory;
     use proptest::prelude::*;
     use simtime::Bytes;
+    use std::cmp::Reverse;
+    use std::collections::{BinaryHeap, HashMap};
 
     /// A random interleaving of operations against an SFQ scheduler.
     #[derive(Debug, Clone)]

@@ -1,0 +1,110 @@
+//! Bare event counters, for invariant tests that reconcile observer
+//! counts against scheduler internals.
+
+use sfq_core::obs::{FlowChange, SchedEvent, SchedObserver};
+use sfq_core::FlowId;
+use std::collections::BTreeMap;
+
+/// Counts every hook invocation; nothing else. The derived quantity
+/// [`CountingObserver::in_queue`] must always equal the scheduler's
+/// `len()` — including across force-removals, whose discarded backlog
+/// arrives via the flow-change event.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CountingObserver {
+    /// Packets accepted (`on_enqueue`).
+    pub enqueued: u64,
+    /// Packets served (`on_dequeue`).
+    pub dequeued: u64,
+    /// Packets refused or discarded (`on_drop`), excluding force-removal
+    /// backlog (counted separately below).
+    pub dropped: u64,
+    /// Flow-added events.
+    pub flows_added: u64,
+    /// Idle flow removals.
+    pub flows_removed: u64,
+    /// Force-removals.
+    pub flows_force_removed: u64,
+    /// Backlog packets discarded by force-removals.
+    pub force_dropped: u64,
+    /// Per-flow `enqueued − dequeued − force_dropped` (the flow's
+    /// expected backlog).
+    backlog: BTreeMap<u32, i64>,
+}
+
+impl CountingObserver {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Packets the scheduler should currently hold:
+    /// `enqueued − dequeued − force_dropped`.
+    pub fn in_queue(&self) -> u64 {
+        self.enqueued - self.dequeued - self.force_dropped
+    }
+
+    /// Expected backlog of one flow (zero if never seen).
+    pub fn flow_backlog(&self, flow: FlowId) -> i64 {
+        self.backlog.get(&flow.0).copied().unwrap_or(0)
+    }
+}
+
+impl SchedObserver for CountingObserver {
+    fn on_enqueue(&mut self, ev: &SchedEvent) {
+        self.enqueued += 1;
+        *self.backlog.entry(ev.flow.0).or_insert(0) += 1;
+    }
+
+    fn on_dequeue(&mut self, ev: &SchedEvent) {
+        self.dequeued += 1;
+        *self.backlog.entry(ev.flow.0).or_insert(0) -= 1;
+    }
+
+    fn on_drop(&mut self, _ev: &SchedEvent) {
+        self.dropped += 1;
+    }
+
+    fn on_flow_change(&mut self, flow: FlowId, change: &FlowChange) {
+        match change {
+            FlowChange::Added { .. } => self.flows_added += 1,
+            FlowChange::Removed => self.flows_removed += 1,
+            FlowChange::ForceRemoved { dropped } => {
+                self.flows_force_removed += 1;
+                self.force_dropped += *dropped as u64;
+                self.backlog.insert(flow.0, 0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simtime::{Bytes, Ratio, SimTime};
+
+    fn ev(flow: u32, uid: u64) -> SchedEvent {
+        SchedEvent {
+            time: SimTime::ZERO,
+            flow: FlowId(flow),
+            uid,
+            len: Bytes::new(100),
+            start_tag: Ratio::ZERO,
+            finish_tag: Ratio::ZERO,
+            v: Ratio::ZERO,
+        }
+    }
+
+    #[test]
+    fn in_queue_tracks_force_removal() {
+        let mut c = CountingObserver::new();
+        c.on_enqueue(&ev(1, 1));
+        c.on_enqueue(&ev(1, 2));
+        c.on_enqueue(&ev(2, 3));
+        c.on_dequeue(&ev(2, 3));
+        assert_eq!(c.in_queue(), 2);
+        c.on_flow_change(FlowId(1), &FlowChange::ForceRemoved { dropped: 2 });
+        assert_eq!(c.in_queue(), 0);
+        assert_eq!(c.flow_backlog(FlowId(1)), 0);
+        assert_eq!(c.force_dropped, 2);
+    }
+}

@@ -1,0 +1,32 @@
+//! # sfq-obs — scheduler observability
+//!
+//! Concrete [`SchedObserver`] implementations for the schedulers in
+//! `sfq-core` and `baselines`, which are all generic over an observer
+//! type (defaulting to the free [`NoopObserver`]):
+//!
+//! - [`RingTracer`]: a fixed-capacity ring buffer of scheduler events —
+//!   `(time, flow, uid, len, S(p), F(p), v(t))` — exportable as JSON
+//!   lines for offline analysis,
+//! - [`FlowMetrics`]: per-flow rolling counters (cumulative service
+//!   `W_f`, backlog, head-of-line waits) plus exact normalized-service
+//!   lag watermarks between backlogged flow pairs — the measured side
+//!   of the paper's Theorem 1 fairness bound,
+//! - [`CountingObserver`]: bare event counters, cheap enough for
+//!   invariant tests that reconcile observer counts against scheduler
+//!   internals.
+//!
+//! Attach an observer at construction (`Sfq::with_observer(...)`), or
+//! share one between the caller and a boxed scheduler via
+//! `Rc<RefCell<O>>`, which also implements [`SchedObserver`]. The
+//! `(A, B)` tuple observer tees events to two sinks.
+
+#![warn(missing_docs)]
+
+mod counting;
+mod metrics;
+mod tracer;
+
+pub use counting::CountingObserver;
+pub use metrics::{FlowMetrics, FlowStats};
+pub use sfq_core::obs::{FlowChange, NoopObserver, SchedEvent, SchedObserver};
+pub use tracer::{EventKind, RingTracer, TraceRecord};

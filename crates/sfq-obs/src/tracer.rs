@@ -1,0 +1,289 @@
+//! Ring-buffer event tracer.
+
+use jsonline::{impl_to_json, ToJson};
+use sfq_core::obs::{FlowChange, SchedEvent, SchedObserver};
+use sfq_core::FlowId;
+use std::collections::VecDeque;
+
+/// What a [`TraceRecord`] records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A packet was accepted and tagged.
+    Enqueue,
+    /// A packet was selected for service.
+    Dequeue,
+    /// A packet was refused or discarded.
+    Drop,
+    /// A flow was registered (or re-registered).
+    FlowAdded,
+    /// An idle flow was removed.
+    FlowRemoved,
+    /// A flow was force-removed along with its backlog.
+    FlowForceRemoved,
+}
+
+impl EventKind {
+    /// Stable lowercase name used in the JSON export.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Enqueue => "enqueue",
+            EventKind::Dequeue => "dequeue",
+            EventKind::Drop => "drop",
+            EventKind::FlowAdded => "flow_added",
+            EventKind::FlowRemoved => "flow_removed",
+            EventKind::FlowForceRemoved => "flow_force_removed",
+        }
+    }
+}
+
+impl ToJson for EventKind {
+    fn push_json(&self, out: &mut String) {
+        jsonline::push_json_str(self.as_str(), out);
+    }
+}
+
+/// One traced event. Tags and `v(t)` are carried both as `f64`
+/// approximations (convenient for plotting) and as exact `"num/den"`
+/// strings (so golden-trace tests and offline tools lose nothing to
+/// rounding). Flow-change records reuse the packet fields: `uid` and
+/// `len` are zero, and `dropped` is set only for force-removals.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// Monotone sequence number (counts all events ever offered to the
+    /// tracer, including ones that have since been overwritten).
+    pub seq: u64,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Simulation time, seconds.
+    pub time_s: f64,
+    /// Flow id.
+    pub flow: u32,
+    /// Packet uid (zero for flow-change records).
+    pub uid: u64,
+    /// Packet length in bytes (zero for flow-change records).
+    pub len: u64,
+    /// Start tag `S(p)`, approximate.
+    pub start_tag: f64,
+    /// Finish tag `F(p)`, approximate.
+    pub finish_tag: f64,
+    /// Virtual time `v(t)` at the event, approximate.
+    pub v: f64,
+    /// Start tag, exact (`"num/den"`, or `"num"` when integral).
+    pub start_tag_exact: String,
+    /// Finish tag, exact.
+    pub finish_tag_exact: String,
+    /// Virtual time, exact.
+    pub v_exact: String,
+    /// Packets discarded (force-removals only).
+    pub dropped: Option<u64>,
+    /// Registered weight in b/s (flow-added records only).
+    pub weight_bps: Option<u64>,
+}
+
+impl_to_json!(TraceRecord {
+    seq,
+    kind,
+    time_s,
+    flow,
+    uid,
+    len,
+    start_tag,
+    finish_tag,
+    v,
+    start_tag_exact,
+    finish_tag_exact,
+    v_exact,
+    dropped,
+    weight_bps,
+});
+
+/// A bounded event trace: the last `capacity` events, oldest first.
+/// Older events are overwritten, never reallocated past the capacity,
+/// so the tracer is safe to leave attached to long runs.
+#[derive(Debug)]
+pub struct RingTracer {
+    capacity: usize,
+    buf: VecDeque<TraceRecord>,
+    seq: u64,
+}
+
+impl RingTracer {
+    /// Tracer retaining the last `capacity` events (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        RingTracer {
+            capacity: capacity.max(1),
+            buf: VecDeque::with_capacity(capacity.max(1)),
+            seq: 0,
+        }
+    }
+
+    /// Retained events, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever offered, including overwritten ones.
+    pub fn total_seen(&self) -> u64 {
+        self.seq
+    }
+
+    /// Events lost to ring overwrite.
+    pub fn overwritten(&self) -> u64 {
+        self.seq - self.buf.len() as u64
+    }
+
+    /// Discard all retained events (the sequence counter keeps going).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// The retained events as JSON lines (one object per line, oldest
+    /// first), via `crates/jsonline`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.buf {
+            r.push_json(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+
+    fn push(&mut self, rec: TraceRecord) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(rec);
+        self.seq += 1;
+    }
+
+    fn record_event(&mut self, kind: EventKind, ev: &SchedEvent) {
+        let rec = TraceRecord {
+            seq: self.seq,
+            kind,
+            time_s: ev.time.as_secs_f64(),
+            flow: ev.flow.0,
+            uid: ev.uid,
+            len: ev.len.as_u64(),
+            start_tag: ev.start_tag.to_f64(),
+            finish_tag: ev.finish_tag.to_f64(),
+            v: ev.v.to_f64(),
+            start_tag_exact: ev.start_tag.to_string(),
+            finish_tag_exact: ev.finish_tag.to_string(),
+            v_exact: ev.v.to_string(),
+            dropped: None,
+            weight_bps: None,
+        };
+        self.push(rec);
+    }
+}
+
+impl SchedObserver for RingTracer {
+    fn on_enqueue(&mut self, ev: &SchedEvent) {
+        self.record_event(EventKind::Enqueue, ev);
+    }
+
+    fn on_dequeue(&mut self, ev: &SchedEvent) {
+        self.record_event(EventKind::Dequeue, ev);
+    }
+
+    fn on_drop(&mut self, ev: &SchedEvent) {
+        self.record_event(EventKind::Drop, ev);
+    }
+
+    fn on_flow_change(&mut self, flow: FlowId, change: &FlowChange) {
+        let (kind, dropped, weight_bps) = match change {
+            FlowChange::Added { weight } => (EventKind::FlowAdded, None, Some(weight.as_bps())),
+            FlowChange::Removed => (EventKind::FlowRemoved, None, None),
+            FlowChange::ForceRemoved { dropped } => {
+                (EventKind::FlowForceRemoved, Some(*dropped as u64), None)
+            }
+        };
+        let rec = TraceRecord {
+            seq: self.seq,
+            kind,
+            time_s: 0.0,
+            flow: flow.0,
+            uid: 0,
+            len: 0,
+            start_tag: 0.0,
+            finish_tag: 0.0,
+            v: 0.0,
+            start_tag_exact: "0".into(),
+            finish_tag_exact: "0".into(),
+            v_exact: "0".into(),
+            dropped,
+            weight_bps,
+        };
+        self.push(rec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simtime::{Bytes, Ratio, SimTime};
+
+    fn ev(uid: u64) -> SchedEvent {
+        SchedEvent {
+            time: SimTime::from_secs(1),
+            flow: FlowId(7),
+            uid,
+            len: Bytes::new(125),
+            start_tag: Ratio::new(1, 3),
+            finish_tag: Ratio::new(4, 3),
+            v: Ratio::new(1, 3),
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut t = RingTracer::with_capacity(2);
+        t.on_enqueue(&ev(1));
+        t.on_enqueue(&ev(2));
+        t.on_enqueue(&ev(3));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total_seen(), 3);
+        assert_eq!(t.overwritten(), 1);
+        let uids: Vec<u64> = t.records().map(|r| r.uid).collect();
+        assert_eq!(uids, vec![2, 3]);
+    }
+
+    #[test]
+    fn jsonl_has_exact_and_float_tags() {
+        let mut t = RingTracer::with_capacity(8);
+        t.on_enqueue(&ev(1));
+        let line = t.to_jsonl();
+        assert!(line.contains(r#""kind":"enqueue""#));
+        assert!(line.contains(r#""start_tag_exact":"1/3""#));
+        assert!(line.contains(r#""finish_tag_exact":"4/3""#));
+        assert!(line.ends_with('\n'));
+        assert_eq!(line.matches('\n').count(), 1);
+    }
+
+    #[test]
+    fn flow_changes_recorded() {
+        let mut t = RingTracer::with_capacity(8);
+        t.on_flow_change(
+            FlowId(3),
+            &FlowChange::Added {
+                weight: simtime::Rate::bps(64_000),
+            },
+        );
+        t.on_flow_change(FlowId(3), &FlowChange::ForceRemoved { dropped: 5 });
+        let recs: Vec<&TraceRecord> = t.records().collect();
+        assert_eq!(recs[0].kind, EventKind::FlowAdded);
+        assert_eq!(recs[0].weight_bps, Some(64_000));
+        assert_eq!(recs[1].kind, EventKind::FlowForceRemoved);
+        assert_eq!(recs[1].dropped, Some(5));
+    }
+}

@@ -14,6 +14,8 @@
 //!   Section 2.4 tandem,
 //! - [`analysis`]: fairness/delay metrics and the paper's analytic
 //!   bounds,
+//! - [`obs`]: scheduler observability — event tracing and per-flow
+//!   metrics attachable to any scheduler,
 //! - [`des`] / [`simtime`]: the deterministic event engine and exact
 //!   arithmetic substrate.
 //!
@@ -60,6 +62,7 @@ pub use des;
 pub use netsim;
 pub use servers;
 pub use sfq_core as core;
+pub use sfq_obs as obs;
 pub use simtime;
 pub use traffic;
 
@@ -74,8 +77,10 @@ pub mod prelude {
     pub use netsim::{Net, SwitchCore, Tandem, TcpConfig};
     pub use servers::{fc_on_off, run_server, Departure, FcParams, RateProfile, Segment};
     pub use sfq_core::{
-        ClassId, FairAirport, FlowId, HierSfq, Packet, PacketFactory, Scheduler, Sfq, TieBreak,
+        ClassId, FairAirport, FlowId, HierSfq, NoopObserver, Packet, PacketFactory, SchedEvent,
+        SchedObserver, Scheduler, Sfq, TieBreak,
     };
+    pub use sfq_obs::{CountingObserver, FlowMetrics, RingTracer};
     pub use simtime::{Bytes, Rate, Ratio, SimDuration, SimTime};
     pub use traffic::{
         arrivals_until, merge, to_packets, CbrSource, LeakyBucket, OnOffSource, PoissonSource,

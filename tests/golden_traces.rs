@@ -1,0 +1,257 @@
+//! Golden traces for the paper's worked examples.
+//!
+//! `tests/paper_examples.rs` checks the *aggregate* claims of Examples
+//! 1–3 (work in interval, fairness gap). This suite pins down the
+//! *exact event trace* — every `(start_tag, finish_tag, dequeue order,
+//! v(t))` tuple the observability layer emits — so a refactor of the
+//! tag arithmetic or the heap structure that changes semantics shows
+//! up as a precise diff, not as a slightly different aggregate.
+//!
+//! All values below are hand-derived from Eqs. 4–5 of the paper
+//! (`S(p) = max(v(A(p)), F(prev))`, `F(p) = S(p) + l/r`) and asserted
+//! against the tracer's exact rational strings, never floats.
+
+use sfq_repro::core::HierSfq;
+use sfq_repro::obs::EventKind;
+use sfq_repro::prelude::*;
+
+/// `(flow, start_tag, finish_tag, v)` of every dequeue, exact.
+fn dequeues(tr: &RingTracer) -> Vec<(u32, String, String, String)> {
+    tr.records()
+        .filter(|r| r.kind == EventKind::Dequeue)
+        .map(|r| {
+            (
+                r.flow,
+                r.start_tag_exact.clone(),
+                r.finish_tag_exact.clone(),
+                r.v_exact.clone(),
+            )
+        })
+        .collect()
+}
+
+fn own(rows: &[(u32, &str, &str, &str)]) -> Vec<(u32, String, String, String)> {
+    rows.iter()
+        .map(|&(f, s, fin, v)| (f, s.to_string(), fin.to_string(), v.to_string()))
+        .collect()
+}
+
+/// Example 1: f sends two 250 B packets, m sends 250 + 125 + 125 B,
+/// all at t = 0; both weights 1000 b/s (span of a full packet: 2),
+/// link 2000 b/s. SFQ tags: f: S = 0, 2; m: S = 0, 2, 3 — service
+/// interleaves as f1, m1, f2, m2, m3 and v(t) steps 0, 0, 2, 2, 3.
+#[test]
+fn example1_sfq_golden_trace() {
+    let w = Rate::bps(1_000);
+    let mut sched = Sfq::with_observer(TieBreak::default(), RingTracer::with_capacity(64));
+    sched.add_flow(FlowId(1), w);
+    sched.add_flow(FlowId(2), w);
+    let mut pf = PacketFactory::new();
+    let t0 = SimTime::ZERO;
+    let arrivals = vec![
+        pf.make(FlowId(1), Bytes::new(250), t0),
+        pf.make(FlowId(1), Bytes::new(250), t0),
+        pf.make(FlowId(2), Bytes::new(250), t0),
+        pf.make(FlowId(2), Bytes::new(125), t0),
+        pf.make(FlowId(2), Bytes::new(125), t0),
+    ];
+    let profile = RateProfile::constant(Rate::bps(2_000));
+    run_server(&mut sched, &profile, &arrivals, SimTime::from_secs(20));
+    let tr = sched.into_observer();
+
+    // Enqueue events all see v = 0 (nothing served yet) and carry the
+    // Eq. 4/5 tags computed at arrival.
+    let enq: Vec<_> = tr
+        .records()
+        .filter(|r| r.kind == EventKind::Enqueue)
+        .map(|r| {
+            (
+                r.flow,
+                r.start_tag_exact.clone(),
+                r.finish_tag_exact.clone(),
+                r.v_exact.clone(),
+            )
+        })
+        .collect();
+    assert_eq!(
+        enq,
+        own(&[
+            (1, "0", "2", "0"),
+            (1, "2", "4", "0"),
+            (2, "0", "2", "0"),
+            (2, "2", "3", "0"),
+            (2, "3", "4", "0"),
+        ])
+    );
+
+    // Dequeue order f1, m1, f2, m2, m3; v(t) is the start tag of the
+    // packet entering service.
+    assert_eq!(
+        dequeues(&tr),
+        own(&[
+            (1, "0", "2", "0"),
+            (2, "0", "2", "0"),
+            (1, "2", "4", "2"),
+            (2, "2", "3", "2"),
+            (2, "3", "4", "3"),
+        ])
+    );
+
+    // Service instants on the 2000 b/s link: 250 B = 1 s, 125 B = ½ s.
+    let times: Vec<f64> = tr
+        .records()
+        .filter(|r| r.kind == EventKind::Dequeue)
+        .map(|r| r.time_s)
+        .collect();
+    assert_eq!(times, vec![0.0, 1.0, 2.0, 3.0, 3.5]);
+}
+
+/// Example 2: the server runs at 1 pkt/s during [0, 1) and C = 10
+/// pkt/s during [1, 2); f sends C + 1 unit packets at t = 0, m sends C
+/// at t = 1. The completion at t = 1 is processed before the arrivals
+/// at t = 1, so m's packets are tagged against v(1) = 0 (f1's start
+/// tag — f1 is still the last packet to have entered service) and the
+/// two flows interleave from t = 1 on: SFQ splits the high-rate phase
+/// evenly where WFQ would give m a single packet.
+#[test]
+fn example2_sfq_golden_trace() {
+    let c = 10u64;
+    let len = Bytes::new(125); // 1000 bits: a "unit packet", span 1
+    let w = Rate::bps(1_000);
+    let mut sched = Sfq::with_observer(TieBreak::default(), RingTracer::with_capacity(64));
+    sched.add_flow(FlowId(1), w);
+    sched.add_flow(FlowId(2), w);
+    let mut pf = PacketFactory::new();
+    let mut arrivals = Vec::new();
+    for _ in 0..=c {
+        arrivals.push(pf.make(FlowId(1), len, SimTime::ZERO));
+    }
+    for _ in 0..c {
+        arrivals.push(pf.make(FlowId(2), len, SimTime::from_secs(1)));
+    }
+    let profile = RateProfile::from_segments(vec![
+        Segment {
+            start: SimTime::ZERO,
+            rate: Rate::bps(1_000),
+        },
+        Segment {
+            start: SimTime::from_secs(1),
+            rate: Rate::bps(1_000 * c),
+        },
+    ]);
+    run_server(&mut sched, &profile, &arrivals, SimTime::from_secs(3));
+    let tr = sched.into_observer();
+
+    // m's enqueue events at t = 1: tagged S = 0..9 against v = 0.
+    let m_enq: Vec<_> = tr
+        .records()
+        .filter(|r| r.kind == EventKind::Enqueue && r.flow == 2)
+        .map(|r| (r.start_tag_exact.clone(), r.v_exact.clone()))
+        .collect();
+    let expect: Vec<_> = (0..c).map(|k| (k.to_string(), "0".to_string())).collect();
+    assert_eq!(m_enq, expect);
+
+    // Full dequeue order. f1 serves alone in the slow phase. At each
+    // start tag S = k both flows hold a packet; the FIFO uid
+    // tie-break favors f's (earlier-arrived) packet — except at S = 0,
+    // where f1 has already been served, leaving m1 alone. So the
+    // high-rate phase runs m1, f2, m2, f3, m3, …, f11: one packet each
+    // per tag value, the even split of Example 2. v(t) tracks the
+    // start tag of the packet entering service throughout.
+    let tag = |k: u64| (k.to_string(), (k + 1).to_string(), k.to_string());
+    let mut want: Vec<(u32, String, String, String)> = Vec::new();
+    let (s, f, v) = tag(0);
+    want.push((1, s, f, v)); // f1, slow phase
+    for k in 0..c {
+        if k > 0 {
+            let (s, f, v) = tag(k);
+            want.push((1, s, f, v)); // f_{k+1} wins the S = k tie
+        }
+        let (s, f, v) = tag(k);
+        want.push((2, s, f, v)); // m_{k+1}
+    }
+    let (s, f, v) = tag(c);
+    want.push((1, s, f, v)); // f11, no m packet left at S = 10
+    assert_eq!(dequeues(&tr), want);
+
+    // The high-rate phase serves one packet every 0.1 s from t = 1.
+    let times: Vec<f64> = tr
+        .records()
+        .filter(|r| r.kind == EventKind::Dequeue)
+        .map(|r| r.time_s)
+        .collect();
+    assert_eq!(times.len(), 21);
+    assert_eq!(times[0], 0.0);
+    for (i, t) in times[1..].iter().enumerate() {
+        assert!((t - (1.0 + 0.1 * i as f64)).abs() < 1e-9, "t[{i}] = {t}");
+    }
+}
+
+/// Example 3: link-sharing tree root{A{C, D}, B}, every class weight
+/// 1000 b/s, unit packets (span 1 at every level). While B is idle C
+/// and D alternate; when B activates, A and B alternate at the root
+/// and C, D keep splitting A's slots — the recursive-sharing property
+/// Example 3 shows flat WFQ lacks.
+#[test]
+fn example3_hier_sfq_golden_trace() {
+    let w = Rate::bps(1_000);
+    let len = Bytes::new(125);
+    let mut h = HierSfq::with_observer(RingTracer::with_capacity(64));
+    let root = h.root();
+    let a = h.add_class(root, w);
+    h.add_flow_to(a, FlowId(3), w); // C
+    h.add_flow_to(a, FlowId(4), w); // D
+    h.add_flow_to(root, FlowId(2), w); // B
+    let mut pf = PacketFactory::new();
+    let t0 = SimTime::ZERO;
+
+    // Phase 1: B idle; C and D send two unit packets each.
+    for _ in 0..2 {
+        h.enqueue(t0, pf.make(FlowId(3), len, t0));
+        h.enqueue(t0, pf.make(FlowId(4), len, t0));
+    }
+    for k in 0..4u64 {
+        let now = SimTime::from_secs(k as i128);
+        let p = h.dequeue(now).expect("backlogged");
+        h.on_departure(now);
+        // C, D, C, D — equal split of the link while B is idle.
+        assert_eq!(p.flow, FlowId(if k % 2 == 0 { 3 } else { 4 }));
+    }
+
+    // Phase 2: everything re-activates at t = 4. B's start tag comes
+    // from the root's post-busy-period v = 4; C and D re-enter A at
+    // S = max(v_A, F) = 2.
+    let t4 = SimTime::from_secs(4);
+    h.enqueue(t4, pf.make(FlowId(3), len, t4));
+    h.enqueue(t4, pf.make(FlowId(4), len, t4));
+    h.enqueue(t4, pf.make(FlowId(2), len, t4));
+    h.enqueue(t4, pf.make(FlowId(2), len, t4));
+    let mut order = Vec::new();
+    for k in 4..8u64 {
+        let now = SimTime::from_secs(k as i128);
+        let p = h.dequeue(now).expect("backlogged");
+        h.on_departure(now);
+        order.push(p.flow.0);
+    }
+    // A and B alternate at the root; within A, C then D.
+    assert_eq!(order, vec![3, 2, 4, 2]);
+
+    let tr = h.into_observer();
+    // Class-level dequeue tags: phase 1 charges C, D up to F = 2 each
+    // (v(t) at the root steps 0..3 — one slot per packet); in phase 2
+    // the leaves resume at S = 2 inside A while the root serves
+    // alternately at v = 4, 4, 5, 5.
+    assert_eq!(
+        dequeues(&tr),
+        own(&[
+            (3, "0", "1", "0"),
+            (4, "0", "1", "1"),
+            (3, "1", "2", "2"),
+            (4, "1", "2", "3"),
+            (3, "2", "3", "4"),
+            (2, "4", "5", "4"),
+            (4, "2", "3", "5"),
+            (2, "5", "6", "5"),
+        ])
+    );
+}

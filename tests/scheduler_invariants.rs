@@ -287,6 +287,92 @@ proptest! {
         check_invariants("HierSFQ2", &deps, &arrivals)?;
     }
 
+    /// Observer neutrality: attaching an observer must not perturb
+    /// scheduling. Run the identical workload through each discipline
+    /// bare (the `NoopObserver` default) and with live observers
+    /// attached, and require bit-identical departure sequences —
+    /// same uids, same service starts, same departure instants.
+    #[test]
+    fn observers_do_not_perturb_schedules(w in workload()) {
+        let same = |a: &[Departure], b: &[Departure]| -> Result<(), TestCaseError> {
+            prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                prop_assert_eq!(x.pkt.uid, y.pkt.uid);
+                prop_assert_eq!(x.service_start, y.service_start);
+                prop_assert_eq!(x.departure, y.departure);
+            }
+            Ok(())
+        };
+        let obs = || (RingTracer::with_capacity(64), FlowMetrics::new());
+        same(
+            &run_one(Sfq::new(), &w).0,
+            &run_one(Sfq::with_observer(TieBreak::default(), obs()), &w).0,
+        )?;
+        same(
+            &run_one(Scfq::new(), &w).0,
+            &run_one(Scfq::with_observer(obs()), &w).0,
+        )?;
+        same(
+            &run_one(VirtualClock::new(), &w).0,
+            &run_one(VirtualClock::with_observer(obs()), &w).0,
+        )?;
+        same(
+            &run_one(Wfq::new(Rate::kbps(64)), &w).0,
+            &run_one(Wfq::with_observer(Rate::kbps(64), obs()), &w).0,
+        )?;
+        same(
+            &run_one(Fifo::new(), &w).0,
+            &run_one(Fifo::with_observer(obs()), &w).0,
+        )?;
+    }
+
+    /// The counting observer's external tally reconciles with SFQ's
+    /// internal accounting at every step of a random
+    /// enqueue/dequeue/force-remove/re-register interleaving —
+    /// including across `force_remove_flow`, which must report its
+    /// discards to the observer exactly once.
+    #[test]
+    fn counting_observer_reconciles_with_sfq_internals(
+        ops in prop::collection::vec((0u8..4, 0u32..3), 1..150),
+    ) {
+        let mut s = Sfq::with_observer(TieBreak::default(), CountingObserver::new());
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        let mut registered = [false; 3];
+        for (kind, f) in ops {
+            let flow = FlowId(f + 1);
+            match kind {
+                0 | 1 => {
+                    if !registered[f as usize] {
+                        s.add_flow(flow, Rate::bps(1_000 + f as u64 * 613));
+                        registered[f as usize] = true;
+                    }
+                    s.enqueue(t0, pf.make(flow, Bytes::new(125 + f as u64), t0));
+                }
+                2 => {
+                    if s.dequeue(t0).is_some() {
+                        s.on_departure(t0);
+                    }
+                }
+                _ => {
+                    s.force_remove_flow(flow);
+                    registered[f as usize] = false;
+                }
+            }
+            prop_assert_eq!(s.observer().in_queue(), s.len() as u64);
+            for g in 0..3u32 {
+                prop_assert_eq!(
+                    s.observer().flow_backlog(FlowId(g + 1)),
+                    s.backlog(FlowId(g + 1)) as i64
+                );
+            }
+        }
+        while s.dequeue(t0).is_some() {
+            s.on_departure(t0);
+        }
+        prop_assert_eq!(s.observer().in_queue(), 0);
+    }
+
     /// Flat HierSfq and plain Sfq may break start-tag ties differently
     /// (class id vs packet uid), but their schedules must agree on the
     /// cumulative per-flow service up to tie-reordering: at every
