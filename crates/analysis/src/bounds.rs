@@ -214,6 +214,13 @@ pub fn edd_schedulable(
     true
 }
 
+/// Theorems 3/5 tail envelope of an EBF server `(C, B, α, δ)`: the
+/// probability that the guarantee slips by more than `γ/C` beyond its
+/// deterministic part is at most `B·e^{−αγ}` (γ in bits, α per bit).
+pub fn ebf_envelope(b: f64, alpha: f64, gamma_bits: u64) -> f64 {
+    b * (-alpha * gamma_bits as f64).exp()
+}
+
 /// Deterministic end-to-end delay bound (Corollary 1 + A.5) for a
 /// `(σ, ρ)`-conforming flow crossing `K` servers: `d <= σ/r − l/r +
 /// Σ_n β^n + Σ τ` where `β^n` is each server's delay term.

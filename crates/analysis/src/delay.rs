@@ -95,6 +95,34 @@ pub fn max_guarantee_violation(
     worst
 }
 
+/// Theorem 6 end-to-end check: every packet of a flow crossing a chain
+/// of servers must leave the **last** server by `EAT + term`, where the
+/// EAT chain (Eq. 37) is recomputed at rate `r` from the flow's arrival
+/// sequence at the *first* server and `term = Σ_n β^n + Σ τ` composes
+/// the per-hop delay terms and propagation delays. `packets` is the
+/// flow's `(arrival at server 1, length, departure from server K)`
+/// sequence in arrival order. Returns the worst violation (positive
+/// seconds) or zero.
+pub fn max_e2e_violation(
+    packets: &[(SimTime, Bytes, SimTime)],
+    r: Rate,
+    term: SimDuration,
+) -> SimDuration {
+    let arrivals: Vec<(SimTime, Bytes)> = packets.iter().map(|&(a, l, _)| (a, l)).collect();
+    for w in arrivals.windows(2) {
+        debug_assert!(w[0].0 <= w[1].0, "packets must be in arrival order");
+    }
+    let eats = crate::bounds::expected_arrival_times(&arrivals, r);
+    let mut worst = SimDuration::ZERO;
+    for (&(_, _, dep), eat) in packets.iter().zip(eats) {
+        let bound = eat + term;
+        if dep > bound {
+            worst = worst.max(dep - bound);
+        }
+    }
+    worst
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

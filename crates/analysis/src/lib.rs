@@ -21,7 +21,7 @@ pub mod timeseries;
 
 pub use admission::{Admission, AdmissionError, FlowSpec, Guarantee};
 pub use bounds::*;
-pub use delay::{max_guarantee_violation, packet_delays, DelaySummary};
+pub use delay::{max_e2e_violation, max_guarantee_violation, packet_delays, DelaySummary};
 pub use fairness::{
     fairness_gap_series, jain_index, max_fairness_gap, normalized_service_curve, packets_by,
     throughput_bps, work_in_interval,

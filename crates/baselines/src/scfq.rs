@@ -181,6 +181,10 @@ impl<O: SchedObserver> Scheduler for Scfq<O> {
         removed
     }
 
+    fn force_remove_flow(&mut self, flow: FlowId) -> usize {
+        Scfq::force_remove_flow(self, flow)
+    }
+
     fn name(&self) -> &'static str {
         "SCFQ"
     }

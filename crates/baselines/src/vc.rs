@@ -169,6 +169,10 @@ impl<O: SchedObserver> Scheduler for VirtualClock<O> {
         removed
     }
 
+    fn force_remove_flow(&mut self, flow: FlowId) -> usize {
+        VirtualClock::force_remove_flow(self, flow)
+    }
+
     fn name(&self) -> &'static str {
         "VirtualClock"
     }

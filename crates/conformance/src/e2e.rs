@@ -1,0 +1,290 @@
+//! End-to-end conformance: Theorem 6 and Corollary 1 over a
+//! `netsim::Tandem` of 2–5 FC servers, with the scenario's fault
+//! schedule (capacity droop, cross-flow churn, per-flow buffer caps)
+//! applied.
+//!
+//! Soundness under faults:
+//!
+//! - **Droop** makes a hop a worse-but-still FC server; the per-hop β
+//!   is recomputed with the *exact* effective δ of the faulted profile,
+//!   so the composed bound remains a theorem, not a heuristic.
+//! - **Churn** only ever removes cross flows. Removing competing
+//!   backlog can only advance the observed flow, and β (computed from
+//!   the cross flows' `l^max`) stays an upper bound.
+//! - **Buffer caps** drop packets. Dropped cross packets reduce load;
+//!   dropped observed packets are simply excluded from the check, while
+//!   the EAT chain is still computed over the *full* injected sequence
+//!   — later than the survivors' own chain, hence conservative.
+
+use crate::faults::{effective_delta_bits, hop_profile};
+use crate::scenario::{other_lmax_at, Scenario, SourceKind, OBSERVED_FLOW};
+use analysis::{e2e_delay_bound, max_e2e_violation, sfq_delay_term};
+use netsim::{SwitchCore, Tandem};
+use sfq_core::{FlowId, Scheduler, Sfq, TieBreak};
+use sfq_obs::RingTracer;
+use simtime::{Bytes, SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Everything one tandem conformance run produced.
+#[derive(Debug)]
+pub struct E2eOutcome {
+    /// Replay line reproducing the run.
+    pub replay: String,
+    /// Hops in the tandem.
+    pub hops: usize,
+    /// Observed packets injected at server 1.
+    pub injected: usize,
+    /// Observed packets that cleared every hop.
+    pub completed: usize,
+    /// Composed delay term `Σ_n β^n + Σ τ`.
+    pub term: SimDuration,
+    /// Worst Theorem 6 violation over completed observed packets
+    /// (zero = conforms).
+    pub theorem6_violation: SimDuration,
+    /// Worst Corollary 1 violation (end-to-end delay vs the (σ, ρ)
+    /// closed form; zero = conforms).
+    pub corollary1_violation: SimDuration,
+    /// Largest observed end-to-end delay.
+    pub max_delay: SimDuration,
+    /// Corollary 1 closed-form bound.
+    pub corollary1_bound: SimDuration,
+    /// Packets discarded by churn force-removals.
+    pub churn_discarded: u64,
+    /// In-flight packets refused at churned hops.
+    pub churn_refused: u64,
+    /// Packets dropped at buffer caps (all hops, all flows).
+    pub buffer_dropped: u64,
+    /// Per-hop departure fingerprint of the observed flow — `(uid,
+    /// final-hop departure)` — for bit-identity comparisons.
+    pub fingerprint: Vec<(u64, SimTime)>,
+}
+
+/// Run the full tandem conformance check for a [`Preset::Tandem`]
+/// scenario (any scenario with FC/constant hops works).
+///
+/// `with_observers` attaches a ring tracer to every hop's scheduler
+/// and a drop observer to every hop's port; the outcome must be
+/// bit-identical either way (the observer-neutrality satellite checks
+/// exactly that via [`E2eOutcome::fingerprint`]).
+pub fn run_tandem_conformance(sc: &Scenario, with_observers: bool) -> E2eOutcome {
+    assert!(
+        !matches!(sc.server, crate::scenario::ServerSpec::Ebf { .. }),
+        "Theorem 6 harness needs FC hops"
+    );
+    let link = sc.link();
+    let obs = sc.observed().clone();
+    let obs_len = obs.max_len();
+    let run_horizon = sc.horizon() + SimDuration::from_secs(10);
+
+    // Per-hop profiles, effective δ, and β terms.
+    let mut betas = Vec::with_capacity(sc.hops);
+    let mut hops = Vec::with_capacity(sc.hops);
+    for h in 0..sc.hops {
+        let profile = hop_profile(sc, h, run_horizon);
+        let delta = effective_delta_bits(sc, &profile, run_horizon);
+        let others = other_lmax_at(sc, h, OBSERVED_FLOW);
+        betas.push(sfq_delay_term(&others, obs_len, link, delta));
+
+        let mut sched: Box<dyn Scheduler> = if with_observers {
+            let tracer = Rc::new(RefCell::new(RingTracer::with_capacity(512)));
+            Box::new(Sfq::with_observer(TieBreak::Fifo, tracer))
+        } else {
+            Box::new(Sfq::new())
+        };
+        for f in sc.flows.iter().filter(|f| f.entry <= h && h <= f.exit) {
+            sched.add_flow(FlowId(f.id), f.weight());
+        }
+        let mut core = SwitchCore::new(sched, profile, sc.per_flow_cap);
+        if with_observers {
+            core.set_drop_observer(Box::new(sfq_obs::CountingObserver::default()));
+        }
+        hops.push(core);
+    }
+
+    let mut tandem = Tandem::new(hops, sc.prop());
+    let mut injected = 0usize;
+    for f in &sc.flows {
+        let arrivals = sc.arrivals_for(f);
+        if f.id == OBSERVED_FLOW.0 {
+            injected = arrivals.len();
+        }
+        tandem.add_path_source(FlowId(f.id), &arrivals, f.entry, f.exit);
+    }
+    for c in &sc.churns {
+        let spec = sc.flow(FlowId(c.flow)).expect("churned flow has a spec");
+        for h in spec.entry..=spec.exit {
+            tandem.schedule_force_remove(h, FlowId(c.flow), SimTime::from_millis(c.at_ms as i128));
+        }
+    }
+    let report = tandem.run_report(run_horizon);
+
+    // Completed observed transits, by injection order.
+    let mut done: Vec<(u64, SimTime, Bytes, SimTime)> = report
+        .transits
+        .iter()
+        .filter(|t| t.pkt.flow == OBSERVED_FLOW)
+        .map(|t| {
+            (
+                t.pkt.uid,
+                t.pkt.arrival,
+                t.pkt.len,
+                *t.hop_departures.last().expect("cleared all hops"),
+            )
+        })
+        .collect();
+    done.sort_by_key(|&(uid, arr, _, _)| (arr, uid));
+    let completed = done.len();
+
+    // Theorem 6: EAT over the full injected sequence; survivors are
+    // checked against their departure, non-survivors trivially pass
+    // (dep := arrival <= EAT + term always, since EAT >= arrival).
+    // Survivors are a subsequence of the injected order (drops only
+    // delete entries). Embed them back by matching from the *end*, so
+    // each survivor takes the latest admissible slot: among duplicate
+    // `(arrival, len)` entries with dropped siblings this yields the
+    // largest EAT, keeping the check conservative rather than strict.
+    let full = sc.arrivals_for(&obs);
+    let mut triples: Vec<(SimTime, Bytes, SimTime)> =
+        full.iter().map(|&(arr, len)| (arr, len, arr)).collect();
+    let mut j = done.len();
+    for i in (0..full.len()).rev() {
+        if j == 0 {
+            break;
+        }
+        let (arr, len) = full[i];
+        let (_, a, l, dep) = done[j - 1];
+        if a == arr && l == len {
+            triples[i].2 = dep;
+            j -= 1;
+        }
+    }
+    // All survivors must have been matched against the injected script.
+    assert_eq!(j, 0, "transit not present in injected script");
+
+    let term: SimDuration =
+        betas.iter().fold(SimDuration::ZERO, |acc, &b| acc + b) + props_total(sc);
+    let theorem6_violation = max_e2e_violation(&triples, obs.weight(), term);
+
+    // Corollary 1 for the (σ, ρ)-shaped observed flow.
+    let sigma_pkts = match obs.source {
+        SourceKind::ShapedPoisson { sigma_pkts } => sigma_pkts as u64,
+        _ => 1,
+    };
+    let props = vec![sc.prop(); sc.hops.saturating_sub(1)];
+    let corollary1_bound = e2e_delay_bound(
+        sigma_pkts * obs_len.bits(),
+        obs.weight(),
+        obs_len,
+        &betas,
+        &props,
+    );
+    let mut max_delay = SimDuration::ZERO;
+    let mut corollary1_violation = SimDuration::ZERO;
+    for &(_, arr, _, dep) in &done {
+        let delay = dep - arr;
+        max_delay = max_delay.max(delay);
+        if delay > corollary1_bound {
+            corollary1_violation = corollary1_violation.max(delay - corollary1_bound);
+        }
+    }
+
+    let buffer_dropped: u64 = report
+        .buffer_drops
+        .iter()
+        .flat_map(|hop| hop.iter().map(|&(_, n)| n))
+        .sum();
+    let fingerprint: Vec<(u64, SimTime)> =
+        done.iter().map(|&(uid, _, _, dep)| (uid, dep)).collect();
+
+    E2eOutcome {
+        replay: sc.replay_line(),
+        hops: sc.hops,
+        injected,
+        completed,
+        term,
+        theorem6_violation,
+        corollary1_violation,
+        max_delay,
+        corollary1_bound,
+        churn_discarded: report.churn_discarded,
+        churn_refused: report.churn_refused,
+        buffer_dropped,
+        fingerprint,
+    }
+}
+
+fn props_total(sc: &Scenario) -> SimDuration {
+    let n = sc.hops.saturating_sub(1) as i128;
+    SimDuration::from_millis(n * sc.prop_ms as i128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Preset;
+
+    #[test]
+    fn clean_tandem_meets_both_bounds() {
+        let mut sc = Scenario::from_seed(Preset::Tandem, 2);
+        sc.droops.clear();
+        sc.churns.clear();
+        sc.per_flow_cap = None;
+        let out = run_tandem_conformance(&sc, false);
+        assert!(out.completed > 0, "no observed packets completed");
+        assert_eq!(out.completed, out.injected);
+        assert_eq!(
+            out.theorem6_violation,
+            SimDuration::ZERO,
+            "Theorem 6 violated by {:?}\n  {}",
+            out.theorem6_violation,
+            out.replay
+        );
+        assert_eq!(
+            out.corollary1_violation,
+            SimDuration::ZERO,
+            "Corollary 1 violated by {:?}\n  {}",
+            out.corollary1_violation,
+            out.replay
+        );
+        assert!(out.max_delay <= out.corollary1_bound);
+    }
+
+    #[test]
+    fn faulted_tandem_still_meets_theorem6() {
+        // Force a droop and a churn onto a known seed.
+        let mut sc = Scenario::from_seed(Preset::Tandem, 4);
+        sc.droops = vec![crate::scenario::Droop {
+            hop: 0,
+            at_ms: 2_000,
+            dur_ms: 300,
+            percent: 50,
+        }];
+        let victim = sc.flows[1].id;
+        sc.churns = vec![crate::scenario::Churn {
+            flow: victim,
+            at_ms: 3_000,
+            revive_ms: None,
+        }];
+        let out = run_tandem_conformance(&sc, false);
+        assert!(out.completed > 0);
+        assert!(out.churn_discarded + out.churn_refused > 0 || out.completed == out.injected);
+        assert_eq!(
+            out.theorem6_violation,
+            SimDuration::ZERO,
+            "Theorem 6 violated by {:?}\n  {}",
+            out.theorem6_violation,
+            out.replay
+        );
+    }
+
+    #[test]
+    fn observers_do_not_change_departures() {
+        let sc = Scenario::from_seed(Preset::Tandem, 6);
+        let plain = run_tandem_conformance(&sc, false);
+        let traced = run_tandem_conformance(&sc, true);
+        assert_eq!(plain.fingerprint, traced.fingerprint);
+        assert_eq!(plain.churn_discarded, traced.churn_discarded);
+        assert_eq!(plain.buffer_dropped, traced.buffer_dropped);
+    }
+}

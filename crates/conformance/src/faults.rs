@@ -1,0 +1,116 @@
+//! Fault materialization: turn a scenario's server spec and droop
+//! schedule into per-hop [`RateProfile`]s, and recompute the effective
+//! FC burstiness `δ` the analytical bounds must use once capacity has
+//! been perturbed.
+//!
+//! The key soundness property: a capacity droop makes the server a
+//! *worse* FC server but still an FC server, so every theorem stays
+//! applicable with the enlarged `δ` measured exactly by
+//! [`servers::max_interval_deficit_bits`] on the faulted profile.
+
+use crate::scenario::{Scenario, ServerSpec};
+use des::SimRng;
+use servers::{ebf_catch_up, fc_on_off, max_interval_deficit_bits, FcParams, RateProfile};
+use simtime::{SimDuration, SimTime};
+
+/// Build hop `hop`'s rate profile: the base profile of the scenario's
+/// server class (seeded per hop for EBF), with every droop targeting
+/// this hop spliced in. `run_horizon` must cover the whole simulation
+/// including drain time.
+pub fn hop_profile(sc: &Scenario, hop: usize, run_horizon: SimTime) -> RateProfile {
+    let link = sc.link();
+    let base = match sc.server {
+        ServerSpec::Constant => RateProfile::constant(link),
+        ServerSpec::Fc { delta_bits } => fc_on_off(
+            FcParams {
+                rate: link,
+                delta_bits,
+            },
+            run_horizon,
+        ),
+        ServerSpec::Ebf {
+            slot_ms,
+            mean_gap_ms,
+        } => {
+            let mut rng = SimRng::new(sc.seed).fork(0xEBF0 + hop as u64);
+            ebf_catch_up(
+                link,
+                SimDuration::from_millis(slot_ms as i128),
+                SimDuration::from_millis(mean_gap_ms as i128),
+                run_horizon,
+                &mut rng,
+            )
+        }
+    };
+    let mut profile = base;
+    for d in sc.droops.iter().filter(|d| d.hop == hop) {
+        let from = SimTime::from_millis(d.at_ms as i128);
+        let until = SimTime::from_millis((d.at_ms + d.dur_ms) as i128);
+        profile = profile.scaled_window(from, until, d.percent);
+    }
+    profile
+}
+
+/// Effective FC burstiness of a (possibly faulted) profile against the
+/// scenario's nominal rate, in bits, rounded up to keep the resulting
+/// delay bounds valid.
+pub fn effective_delta_bits(sc: &Scenario, profile: &RateProfile, run_horizon: SimTime) -> u64 {
+    let d = max_interval_deficit_bits(profile, sc.link(), run_horizon);
+    let up = d.ceil();
+    assert!(up >= 0, "deficit cannot be negative");
+    up as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Droop, Preset};
+    use simtime::Ratio;
+
+    #[test]
+    fn droop_enlarges_effective_delta() {
+        let mut sc = Scenario::from_seed(Preset::SingleFc, 5);
+        sc.server = ServerSpec::Constant;
+        sc.droops = vec![];
+        let run_horizon = sc.horizon();
+        let clean = hop_profile(&sc, 0, run_horizon);
+        assert_eq!(effective_delta_bits(&sc, &clean, run_horizon), 0);
+
+        // A 1-second half-capacity droop on a constant server loses
+        // exactly C/2 bits: the effective δ must be exactly that.
+        sc.droops = vec![Droop {
+            hop: 0,
+            at_ms: 2_000,
+            dur_ms: 1_000,
+            percent: 50,
+        }];
+        let faulted = hop_profile(&sc, 0, run_horizon);
+        assert_eq!(
+            effective_delta_bits(&sc, &faulted, run_horizon),
+            sc.link_bps / 2
+        );
+    }
+
+    #[test]
+    fn fc_profile_delta_matches_spec_without_faults() {
+        let mut sc = Scenario::from_seed(Preset::SingleFc, 9);
+        sc.server = ServerSpec::Fc { delta_bits: 5_000 };
+        sc.droops = vec![];
+        let run_horizon = sc.horizon();
+        let p = hop_profile(&sc, 0, run_horizon);
+        let d = max_interval_deficit_bits(&p, sc.link(), run_horizon);
+        assert_eq!(d, Ratio::from_int(5_000));
+    }
+
+    #[test]
+    fn ebf_profiles_differ_per_hop_but_not_per_call() {
+        let mut sc = Scenario::from_seed(Preset::SingleEbf, 3);
+        sc.hops = 2;
+        let h = sc.horizon();
+        let a0 = hop_profile(&sc, 0, h);
+        let a0_again = hop_profile(&sc, 0, h);
+        let a1 = hop_profile(&sc, 1, h);
+        assert_eq!(a0.segments(), a0_again.segments());
+        assert_ne!(a0.segments(), a1.segments());
+    }
+}

@@ -1,0 +1,44 @@
+//! # conformance — scenario DSL, differential oracle, fault injection
+//!
+//! The test harness that drives every other crate end to end:
+//!
+//! - [`scenario`]: a deterministic scenario DSL — flows, rates,
+//!   packet-size distributions, FC/EBF server profiles, and a
+//!   fault-injection schedule — generated from `(preset, seed)` and
+//!   replayable from a single printed line,
+//! - [`exec`]: a single-server executor with timed force-remove /
+//!   revive faults,
+//! - [`faults`]: droop materialization and exact effective-δ
+//!   recomputation, so analytical bounds stay theorems under faults,
+//! - [`diff`]: the differential oracle — two schedulers (or a
+//!   scheduler against an `analysis` bound) on identical inputs, first
+//!   divergence rendered as a minimized observer-event trace,
+//! - [`e2e`]: Theorem 6 / Corollary 1 conformance over
+//!   `netsim::Tandem` chains of FC servers with injected capacity
+//!   droop, flow churn, and buffer-cap drops.
+//!
+//! Every failure anywhere in the harness prints
+//! `conformance replay: preset=<p> seed=<s>`; feeding that line to
+//! [`Scenario::from_replay_line`] reproduces the exact run.
+
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod e2e;
+pub mod exec;
+pub mod faults;
+pub mod scenario;
+
+pub use diff::{
+    check_against_bound, diff_schedulers, first_divergence, BoundCheck, DiffReport, SchedKind,
+};
+pub use e2e::{run_tandem_conformance, E2eOutcome};
+pub use exec::{
+    faults_from, materialize_packets, register_flows, run_faulted, ExecReport, FaultAction,
+    TimedFault,
+};
+pub use faults::{effective_delta_bits, hop_profile};
+pub use scenario::{
+    other_lmax_at, Churn, Droop, FlowSpec, Preset, Scenario, ServerSpec, SizeDist, SourceKind,
+    OBSERVED_FLOW,
+};

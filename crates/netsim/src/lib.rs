@@ -26,5 +26,5 @@ mod tcp;
 pub use mesh::{LinkId, Mesh, MeshDelivery};
 pub use net::{Delivery, Net};
 pub use switch::SwitchCore;
-pub use tandem::{Tandem, Transit};
+pub use tandem::{Tandem, TandemReport, Transit};
 pub use tcp::{TcpConfig, TcpReceiver, TcpSender};

@@ -54,6 +54,14 @@ impl SwitchCore {
         self.sched.add_flow(flow, weight);
     }
 
+    /// Force-remove a scheduled flow mid-backlog (the churn fault):
+    /// delegates to [`Scheduler::force_remove_flow`], returning the
+    /// number of queued packets discarded (0 if the discipline does
+    /// not support removal).
+    pub fn force_remove_flow(&mut self, flow: FlowId) -> usize {
+        self.sched.force_remove_flow(flow)
+    }
+
     /// Offer a packet to the strict-priority class (never dropped).
     pub fn offer_priority(&mut self, _now: SimTime, pkt: Packet) {
         self.priority.push_back(pkt);
@@ -109,6 +117,11 @@ impl SwitchCore {
     /// Total packets dropped for a flow.
     pub fn drops(&self, flow: FlowId) -> u64 {
         self.drops.get(&flow).copied().unwrap_or(0)
+    }
+
+    /// Every per-flow drop counter (flows with at least one drop).
+    pub fn all_drops(&self) -> impl Iterator<Item = (FlowId, u64)> + '_ {
+        self.drops.iter().map(|(&f, &n)| (f, n))
     }
 
     /// Queued packets (both classes).

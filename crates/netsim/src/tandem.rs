@@ -10,7 +10,7 @@ use crate::switch::SwitchCore;
 use des::EventQueue;
 use sfq_core::{FlowId, Packet, PacketFactory};
 use simtime::{Bytes, SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Per-packet record across the tandem.
 #[derive(Clone, Debug)]
@@ -21,10 +21,26 @@ pub struct Transit {
     pub hop_departures: Vec<SimTime>,
 }
 
+/// Everything a tandem run produced: completed transits plus the
+/// fault/drop accounting the conformance harness inspects.
+#[derive(Debug)]
+pub struct TandemReport {
+    /// Packets that cleared every hop of their path, by uid.
+    pub transits: Vec<Transit>,
+    /// Per-hop buffer-cap drops, `(flow, count)` per hop index.
+    pub buffer_drops: Vec<Vec<(FlowId, u64)>>,
+    /// Backlogged packets discarded by scheduled force-removals.
+    pub churn_discarded: u64,
+    /// Packets refused because their flow had already been
+    /// force-removed at that hop (in-flight stragglers).
+    pub churn_refused: u64,
+}
+
 enum Ev {
     Inject(usize),
     Arrive(usize, Packet),
     TxDone(usize, Packet),
+    Churn(usize, FlowId),
 }
 
 /// The tandem simulation.
@@ -38,6 +54,11 @@ pub struct Tandem {
     /// Per-flow path: (entry hop, exit hop inclusive). Flows without an
     /// entry ride the whole tandem.
     paths: HashMap<FlowId, (usize, usize)>,
+    /// `(hop, flow)` pairs force-removed by a churn fault; later
+    /// packets of that flow are refused at that hop.
+    removed: HashSet<(usize, FlowId)>,
+    churn_discarded: u64,
+    churn_refused: u64,
 }
 
 impl Tandem {
@@ -53,6 +74,9 @@ impl Tandem {
             script: Vec::new(),
             transits: HashMap::new(),
             paths: HashMap::new(),
+            removed: HashSet::new(),
+            churn_discarded: 0,
+            churn_refused: 0,
         }
     }
 
@@ -115,9 +139,24 @@ impl Tandem {
         }
     }
 
+    /// Schedule a churn fault: at time `at`, force-remove `flow` from
+    /// `hop`'s scheduler, discarding its backlog there. Packets of the
+    /// flow that reach that hop afterwards (in-flight stragglers) are
+    /// refused and counted, not enqueued — the flow has left the
+    /// server.
+    pub fn schedule_force_remove(&mut self, hop: usize, flow: FlowId, at: SimTime) {
+        assert!(hop < self.hops.len(), "invalid hop");
+        self.q.schedule(at, Ev::Churn(hop, flow));
+    }
+
     /// Run to `horizon`; returns each packet's transit record (only
     /// packets that cleared every hop).
-    pub fn run(mut self, horizon: SimTime) -> Vec<Transit> {
+    pub fn run(self, horizon: SimTime) -> Vec<Transit> {
+        self.run_report(horizon).transits
+    }
+
+    /// Run to `horizon`, returning transits plus drop/churn accounting.
+    pub fn run_report(mut self, horizon: SimTime) -> TandemReport {
         while let Some(t) = self.q.peek_time() {
             if t > horizon {
                 break;
@@ -126,7 +165,7 @@ impl Tandem {
             self.handle(now, ev);
         }
         let paths = self.paths;
-        let mut out: Vec<Transit> = self
+        let mut transits: Vec<Transit> = self
             .transits
             .into_values()
             .filter(|t| {
@@ -134,8 +173,22 @@ impl Tandem {
                 t.hop_departures.len() == exit - entry + 1
             })
             .collect();
-        out.sort_by_key(|t| t.pkt.uid);
-        out
+        transits.sort_by_key(|t| t.pkt.uid);
+        let buffer_drops = self
+            .hops
+            .iter()
+            .map(|h| {
+                let mut d: Vec<(FlowId, u64)> = h.all_drops().collect();
+                d.sort_by_key(|&(f, _)| f.0);
+                d
+            })
+            .collect();
+        TandemReport {
+            transits,
+            buffer_drops,
+            churn_discarded: self.churn_discarded,
+            churn_refused: self.churn_refused,
+        }
     }
 
     fn handle(&mut self, now: SimTime, ev: Ev) {
@@ -168,13 +221,22 @@ impl Tandem {
                 }
                 self.kick(now, hop);
             }
+            Ev::Churn(hop, flow) => {
+                self.churn_discarded += self.hops[hop].force_remove_flow(flow) as u64;
+                self.removed.insert((hop, flow));
+            }
         }
     }
 
     fn offer(&mut self, now: SimTime, hop: usize, mut pkt: Packet) {
+        if self.removed.contains(&(hop, pkt.flow)) {
+            self.churn_refused += 1;
+            return;
+        }
         pkt.arrival = now;
-        let accepted = self.hops[hop].offer(now, pkt);
-        assert!(accepted, "tandem hops are configured unbounded");
+        // A `false` return is a buffer-cap drop, recorded by the hop
+        // (and its drop observer); the packet simply leaves the tandem.
+        let _ = self.hops[hop].offer(now, pkt);
         self.kick(now, hop);
     }
 
@@ -260,6 +322,64 @@ mod tests {
         assert_eq!(cross.hop_departures.len(), 1, "one hop only");
         let main = out.iter().find(|tr| tr.pkt.flow == FlowId(1)).unwrap();
         assert_eq!(main.hop_departures.len(), 3);
+    }
+
+    #[test]
+    fn churn_discards_backlog_and_refuses_stragglers() {
+        // Slow hop 0 (1 kb/s) then fast hop 1; flow 2 is churned from
+        // hop 1 while its packets are still queued at hop 0.
+        let hops = vec![
+            hop(
+                &[(1, Rate::kbps(64)), (2, Rate::kbps(64))],
+                Rate::bps(1_000),
+            ),
+            hop(&[(1, Rate::kbps(64)), (2, Rate::kbps(64))], Rate::mbps(1)),
+        ];
+        let mut t = Tandem::new(hops, SimDuration::from_millis(1));
+        let arr: Vec<(SimTime, Bytes)> = (0..6).map(|_| (SimTime::ZERO, Bytes::new(125))).collect();
+        t.add_source(FlowId(1), &arr);
+        t.add_source(FlowId(2), &arr);
+        // At t = 1.5 s roughly one packet has cleared hop 0; remove
+        // flow 2 from hop 1 so all later flow-2 packets are refused.
+        t.schedule_force_remove(1, FlowId(2), SimTime::from_millis(1_500));
+        let rep = t.run_report(SimTime::from_secs(60));
+        let done2 = rep
+            .transits
+            .iter()
+            .filter(|tr| tr.pkt.flow == FlowId(2))
+            .count();
+        assert!(done2 < 6, "some flow-2 packets must be cut off");
+        assert!(
+            rep.churn_discarded + rep.churn_refused + done2 as u64 == 6,
+            "every flow-2 packet accounted for: {rep:?}"
+        );
+        // Flow 1 is unaffected end to end.
+        assert_eq!(
+            rep.transits
+                .iter()
+                .filter(|tr| tr.pkt.flow == FlowId(1))
+                .count(),
+            6
+        );
+    }
+
+    #[test]
+    fn bounded_hop_drops_instead_of_panicking() {
+        let mut s = Sfq::new();
+        s.add_flow(FlowId(1), Rate::kbps(64));
+        let hops = vec![SwitchCore::new(
+            Box::new(s),
+            RateProfile::constant(Rate::bps(1_000)),
+            Some(2),
+        )];
+        let mut t = Tandem::new(hops, SimDuration::ZERO);
+        // Burst of 5 one-second packets into a cap-2 buffer: the first
+        // starts transmitting, two queue, two drop.
+        let arr: Vec<(SimTime, Bytes)> = (0..5).map(|_| (SimTime::ZERO, Bytes::new(125))).collect();
+        t.add_source(FlowId(1), &arr);
+        let rep = t.run_report(SimTime::from_secs(30));
+        assert_eq!(rep.transits.len(), 3);
+        assert_eq!(rep.buffer_drops[0], vec![(FlowId(1), 2)]);
     }
 
     #[test]

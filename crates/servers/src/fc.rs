@@ -133,25 +133,26 @@ pub fn max_interval_deficit_bits(profile: &RateProfile, c: Rate, horizon: SimTim
     points.sort();
     points.dedup();
     // Prefix work W(0, t) at each point, then deficit over (i, j) is
-    // C*(tj-ti) - (Wj - Wi). Maximizing over i for fixed j means
-    // minimizing Wi - C*ti: single pass, O(n).
+    // C*(tj-ti) - (Wj - Wi) = base_i - base_j with base_t = W(0,t) -
+    // C*t. Maximizing over i for fixed j means carrying the running
+    // *maximum* of base: single pass, O(n).
     let mut best = Ratio::ZERO;
-    let mut min_base: Option<Ratio> = None;
+    let mut max_base: Option<Ratio> = None;
     let mut prefix = Ratio::ZERO;
     let mut prev = SimTime::ZERO;
     for &t in &points {
         prefix += profile.work_bits(prev, t);
         prev = t;
         let base = prefix - c.as_ratio() * t.as_ratio();
-        match min_base {
-            None => min_base = Some(base),
+        match max_base {
+            None => max_base = Some(base),
             Some(m) => {
                 let deficit = m - base;
                 if deficit > best {
                     best = deficit;
                 }
-                if base < m {
-                    min_base = Some(base);
+                if base > m {
+                    max_base = Some(base);
                 }
             }
         }
@@ -210,6 +211,35 @@ mod tests {
         let p = fc_on_off(params, horizon);
         let d = max_interval_deficit_bits(&p, params.rate, horizon);
         assert_eq!(d, Ratio::from_int(500));
+    }
+
+    /// The worst interval can start at an *interior* peak of `W - C·t`,
+    /// not at t = 0: surplus first (2C for 1 s), then a descent (idle
+    /// for 1.5 s). The deficit over the descent alone is 1.5·C even
+    /// though the whole-run deficit from t = 0 is only 0.5·C. This is a
+    /// regression test: a previous version carried the running minimum
+    /// of `W - C·t` instead of the maximum and reported 0.5·C here,
+    /// which under-counted capacity droops spliced into on/off FC
+    /// profiles.
+    #[test]
+    fn deficit_measured_from_interior_peak() {
+        let c = Rate::bps(1_000);
+        let p = RateProfile::from_segments(vec![
+            Segment {
+                start: SimTime::ZERO,
+                rate: Rate::bps(2_000),
+            },
+            Segment {
+                start: SimTime::from_secs(1),
+                rate: Rate::bps(0),
+            },
+            Segment {
+                start: SimTime::from_millis(2_500),
+                rate: c,
+            },
+        ]);
+        let d = max_interval_deficit_bits(&p, c, SimTime::from_secs(5));
+        assert_eq!(d, Ratio::from_int(1_500));
     }
 
     #[test]

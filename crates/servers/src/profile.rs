@@ -69,10 +69,23 @@ impl RateProfile {
     }
 
     /// Exact work (in bits) the server performs over `[t1, t2]`.
+    ///
+    /// Touches only the segments overlapping the interval (binary
+    /// search + early exit) — callers like the worst-interval deficit
+    /// scan invoke this once per breakpoint, which would otherwise go
+    /// quadratic in the segment count on fine-grained FC profiles.
     pub fn work_bits(&self, t1: SimTime, t2: SimTime) -> Ratio {
         assert!(t1 <= t2, "work_bits interval reversed");
         let mut total = Ratio::ZERO;
-        for (i, seg) in self.segments.iter().enumerate() {
+        let first = match self.segments.binary_search_by(|s| s.start.cmp(&t1)) {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        };
+        for i in first..self.segments.len() {
+            let seg = self.segments[i];
+            if seg.start >= t2 {
+                break;
+            }
             let seg_start = seg.start.max(t1);
             let seg_end = match self.segments.get(i + 1) {
                 Some(next) => next.start.min(t2),
@@ -127,6 +140,61 @@ impl RateProfile {
     /// Average rate over `[0, horizon]`.
     pub fn average_rate(&self, horizon: SimTime) -> Ratio {
         self.work_bits(SimTime::ZERO, horizon) / horizon.as_ratio()
+    }
+
+    /// Capacity-droop fault: a copy of this profile whose rate over
+    /// `[from, until)` is scaled to `percent`% of its nominal value
+    /// (integer floor, so `percent = 0` is a full outage). Outside the
+    /// window the profile is unchanged. The result is generally FC with
+    /// a *larger* burstiness than the original — conformance checks
+    /// recompute the effective `δ` with
+    /// [`crate::max_interval_deficit_bits`] on the drooped profile.
+    pub fn scaled_window(&self, from: SimTime, until: SimTime, percent: u32) -> RateProfile {
+        assert!(from < until, "droop window reversed");
+        assert!(percent <= 100, "droop percent over 100");
+        let scale = |r: Rate| Rate::bps(r.as_bps() * percent as u64 / 100);
+        let mut out: Vec<Segment> = Vec::with_capacity(self.segments.len() + 2);
+        let mut push = |seg: Segment| {
+            // Coalesce: drop zero-length predecessors, skip no-op rates.
+            if let Some(last) = out.last_mut() {
+                if last.start == seg.start {
+                    *last = seg;
+                    return;
+                }
+                if last.rate == seg.rate {
+                    return;
+                }
+            }
+            out.push(seg);
+        };
+        for (i, seg) in self.segments.iter().enumerate() {
+            let seg_end = self
+                .segments
+                .get(i + 1)
+                .map(|n| n.start)
+                .unwrap_or(until.max(seg.start) + simtime::SimDuration::from_secs(1));
+            // Portion before the window.
+            if seg.start < from {
+                push(*seg);
+            }
+            // Portion inside the window.
+            let in_start = seg.start.max(from);
+            let in_end = seg_end.min(until);
+            if in_end > in_start {
+                push(Segment {
+                    start: in_start,
+                    rate: scale(seg.rate),
+                });
+            }
+            // Portion after the window resumes the nominal rate.
+            if seg_end > until && seg.start < seg_end {
+                push(Segment {
+                    start: seg.start.max(until),
+                    rate: seg.rate,
+                });
+            }
+        }
+        RateProfile::from_segments(out)
     }
 }
 
@@ -209,6 +277,54 @@ mod tests {
     fn average_rate_over_horizon() {
         let p = on_off();
         assert_eq!(p.average_rate(SimTime::from_secs(2)), Ratio::from_int(4));
+    }
+
+    #[test]
+    fn scaled_window_droops_and_recovers() {
+        let p = RateProfile::constant(Rate::bps(1_000));
+        let d = p.scaled_window(SimTime::from_secs(2), SimTime::from_secs(3), 50);
+        assert_eq!(d.rate_at(SimTime::from_secs(1)), Rate::bps(1_000));
+        assert_eq!(d.rate_at(SimTime::from_secs(2)), Rate::bps(500));
+        assert_eq!(d.rate_at(SimTime::from_millis(2_999)), Rate::bps(500));
+        assert_eq!(d.rate_at(SimTime::from_secs(3)), Rate::bps(1_000));
+        // Work lost is exactly half the window.
+        assert_eq!(
+            d.work_bits(SimTime::ZERO, SimTime::from_secs(4)),
+            Ratio::from_int(4_000 - 500)
+        );
+    }
+
+    #[test]
+    fn scaled_window_full_outage_on_piecewise_profile() {
+        let p = on_off();
+        // Outage [500 ms, 2500 ms): spans the tail of the first on
+        // phase, the whole off phase, and the head of the 16 bps phase.
+        let d = p.scaled_window(SimTime::from_millis(500), SimTime::from_millis(2_500), 0);
+        assert_eq!(d.rate_at(SimTime::ZERO), Rate::bps(8));
+        assert_eq!(d.rate_at(SimTime::from_millis(600)), Rate::bps(0));
+        assert_eq!(d.rate_at(SimTime::from_millis(2_400)), Rate::bps(0));
+        assert_eq!(d.rate_at(SimTime::from_secs(3)), Rate::bps(16));
+        // 4 bits before the outage, then 8 bps-equivalent work resumes.
+        assert_eq!(
+            d.work_bits(SimTime::ZERO, SimTime::from_millis(2_500)),
+            Ratio::from_int(4)
+        );
+    }
+
+    #[test]
+    fn scaled_window_hundred_percent_is_identity() {
+        let p = on_off();
+        let d = p.scaled_window(SimTime::from_millis(500), SimTime::from_millis(1_500), 100);
+        for t in [0i128, 500, 999, 1_000, 1_500, 2_500] {
+            assert_eq!(
+                d.rate_at(SimTime::from_millis(t)),
+                p.rate_at(SimTime::from_millis(t))
+            );
+        }
+        assert_eq!(
+            d.work_bits(SimTime::ZERO, SimTime::from_secs(5)),
+            p.work_bits(SimTime::ZERO, SimTime::from_secs(5))
+        );
     }
 
     #[test]

@@ -53,6 +53,17 @@ pub trait Scheduler {
         false
     }
 
+    /// Remove a flow and discard its backlog immediately, without the
+    /// idle-only guard of [`Scheduler::remove_flow`] — the "flow churn"
+    /// fault of the conformance harness. Returns the number of queued
+    /// packets discarded. Disciplines without support ignore the
+    /// request and return 0 (the flow stays registered); a removed
+    /// flow must be re-registered with `add_flow` before any further
+    /// packets of it are enqueued.
+    fn force_remove_flow(&mut self, _flow: FlowId) -> usize {
+        0
+    }
+
     /// Human-readable discipline name for reports.
     fn name(&self) -> &'static str;
 }

@@ -288,6 +288,10 @@ impl<O: SchedObserver> Scheduler for Sfq<O> {
         removed
     }
 
+    fn force_remove_flow(&mut self, flow: FlowId) -> usize {
+        Sfq::force_remove_flow(self, flow)
+    }
+
     fn name(&self) -> &'static str {
         "SFQ"
     }

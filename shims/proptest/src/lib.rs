@@ -86,6 +86,21 @@ impl ProptestConfig {
     }
 }
 
+/// Case count a property actually runs: the configured count, raised
+/// (never lowered) by the `PROPTEST_CASES` environment variable. CI's
+/// nightly job uses this to widen the sweep without touching per-test
+/// configs tuned for tier-1 latency.
+#[doc(hidden)]
+pub fn effective_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => match v.parse::<u32>() {
+            Ok(n) => configured.max(n),
+            Err(_) => configured,
+        },
+        Err(_) => configured,
+    }
+}
+
 impl Default for ProptestConfig {
     fn default() -> Self {
         ProptestConfig { cases: 64 }
@@ -472,12 +487,13 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let __config: $crate::ProptestConfig = $cfg;
+                let __cases = $crate::effective_cases(__config.cases);
                 let mut __rng = $crate::TestRng::deterministic(concat!(
                     module_path!(),
                     "::",
                     stringify!($name)
                 ));
-                for __case in 0..__config.cases {
+                for __case in 0..__cases {
                     let mut __inputs = String::new();
                     $(
                         let __value = $crate::Strategy::generate(&($strat), &mut __rng);
@@ -497,7 +513,7 @@ macro_rules! __proptest_impl {
                         panic!(
                             "proptest case {}/{} failed: {}\ninputs:\n{}",
                             __case + 1,
-                            __config.cases,
+                            __cases,
                             e,
                             __inputs
                         );
@@ -563,6 +579,14 @@ mod tests {
         for _ in 0..32 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
+    }
+
+    #[test]
+    fn effective_cases_never_lowers() {
+        // With or without PROPTEST_CASES set, the configured count is a
+        // floor, never a ceiling.
+        assert!(crate::effective_cases(64) >= 64);
+        assert!(crate::effective_cases(1) >= 1);
     }
 
     #[test]

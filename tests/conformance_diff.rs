@@ -1,0 +1,134 @@
+//! Differential-oracle and observer-neutrality conformance.
+//!
+//! - The oracle reports the first divergence between two disciplines as
+//!   a minimized, human-readable observer-event trace with a replay
+//!   line.
+//! - Observer neutrality under fault injection (the PR 2 contract,
+//!   extended): departures are bit-identical with and without observers
+//!   attached while flows are force-removed mid-backlog and buffers
+//!   drop packets at `netsim` caps.
+
+use conformance::{
+    diff_schedulers, faults_from, materialize_packets, register_flows, run_faulted,
+    run_tandem_conformance, Preset, Scenario, SchedKind,
+};
+use proptest::prelude::*;
+use sfq_core::{Sfq, TieBreak};
+use sfq_obs::RingTracer;
+use simtime::SimDuration;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Self-diff is the identity: the same discipline on the same
+    /// faulted scenario produces bit-identical departures. Catches any
+    /// hidden nondeterminism in the executor or the fault injector.
+    #[test]
+    fn self_diff_is_identity(seed in 0u64..100_000) {
+        let sc = Scenario::from_seed(Preset::SingleFc, seed);
+        let rep = diff_schedulers(&sc, SchedKind::Sfq, SchedKind::Sfq);
+        prop_assert!(
+            rep.identical(),
+            "self-diff diverged:\n{}",
+            rep.divergence.map(|d| d.detail).unwrap_or_default()
+        );
+        prop_assert!(rep.compared > 0, "scenario produced no departures\n  {}", sc.replay_line());
+    }
+
+    /// Observer neutrality on single-server faulted runs: a traced SFQ
+    /// and a bare SFQ see identical departures, discards, and refusals
+    /// under the same force-remove/revive schedule.
+    #[test]
+    fn observers_neutral_under_single_server_churn(seed in 0u64..100_000) {
+        let sc = Scenario::from_seed(Preset::SingleFc, seed);
+        let horizon = sc.horizon() + SimDuration::from_secs(30);
+        let profile = conformance::hop_profile(&sc, 0, horizon);
+        let arrivals = materialize_packets(&sc);
+        let faults = faults_from(&sc);
+
+        let mut plain = Sfq::new();
+        register_flows(&sc, &mut plain);
+        let a = run_faulted(&mut plain, &profile, &arrivals, &faults, horizon);
+
+        let tracer = Rc::new(RefCell::new(RingTracer::with_capacity(256)));
+        let mut traced = Sfq::with_observer(TieBreak::Fifo, tracer.clone());
+        register_flows(&sc, &mut traced);
+        let b = run_faulted(&mut traced, &profile, &arrivals, &faults, horizon);
+
+        prop_assert_eq!(a.departures, b.departures, "observer changed departures\n  {}", sc.replay_line());
+        prop_assert_eq!(a.discarded, b.discarded);
+        prop_assert_eq!(a.refused, b.refused);
+        // The tracer actually saw the run (neutral ≠ disconnected).
+        prop_assert!(tracer.borrow().total_seen() > 0);
+    }
+}
+
+/// Observer neutrality across the tandem under churn *and* buffer-cap
+/// drops: scheduler tracers plus hop drop-observers attached at every
+/// hop must leave the observed flow's departure fingerprint — and the
+/// fault accounting — bit-identical.
+#[test]
+fn observers_neutral_under_tandem_faults() {
+    let mut exercised_drops = false;
+    let mut exercised_churn = false;
+    let mut checked = 0;
+    for seed in 0..40u64 {
+        let sc = Scenario::from_seed(Preset::Tandem, seed);
+        if sc.churns.is_empty() && sc.per_flow_cap.is_none() {
+            continue;
+        }
+        let plain = run_tandem_conformance(&sc, false);
+        let traced = run_tandem_conformance(&sc, true);
+        assert_eq!(
+            plain.fingerprint,
+            traced.fingerprint,
+            "observers changed departures\n  {}",
+            sc.replay_line()
+        );
+        assert_eq!(plain.churn_discarded, traced.churn_discarded);
+        assert_eq!(plain.churn_refused, traced.churn_refused);
+        assert_eq!(plain.buffer_dropped, traced.buffer_dropped);
+        exercised_drops |= plain.buffer_dropped > 0;
+        exercised_churn |= plain.churn_discarded + plain.churn_refused > 0;
+        checked += 1;
+        if exercised_drops && exercised_churn && checked >= 4 {
+            return;
+        }
+    }
+    assert!(
+        exercised_drops && exercised_churn,
+        "fault paths not exercised (drops={exercised_drops}, churn={exercised_churn})"
+    );
+}
+
+/// Different disciplines diverge, and the report is actionable: it
+/// names the disagreeing departures, embeds the replay line, and shows
+/// both sides' event traces restricted to the implicated flows.
+#[test]
+fn divergence_report_is_minimized_and_replayable() {
+    let mut found = None;
+    for seed in 0..20u64 {
+        let sc = Scenario::from_seed(Preset::SingleFc, seed);
+        let rep = diff_schedulers(&sc, SchedKind::Sfq, SchedKind::Fifo);
+        if let Some(d) = rep.divergence {
+            found = Some((sc, d));
+            break;
+        }
+    }
+    let (sc, d) = found.expect("SFQ vs FIFO must diverge on some weighted scenario");
+    assert!(d.detail.contains("schedules diverge at departure"));
+    assert!(d.detail.contains("trace sfq"));
+    assert!(d.detail.contains("trace fifo"));
+    // The embedded replay line round-trips to the same scenario.
+    let back = Scenario::from_replay_line(&d.detail).expect("replay line embedded in report");
+    assert_eq!(back.seed, sc.seed);
+    assert_eq!(back.preset, sc.preset);
+    // Minimized: the trace section fits a terminal, not a firehose.
+    assert!(
+        d.detail.lines().count() < 64,
+        "report too long ({} lines)",
+        d.detail.lines().count()
+    );
+}

@@ -1,0 +1,130 @@
+//! End-to-end Theorem 6 / Corollary 1 conformance over tandems of 2–5
+//! FC servers, with injected capacity droop, cross-flow churn, and
+//! per-flow buffer caps — the tentpole check of the conformance
+//! harness. Any failure prints a `conformance replay: preset=.. seed=..`
+//! line that reproduces the exact run.
+
+use conformance::{run_tandem_conformance, Preset, Scenario};
+use proptest::prelude::*;
+use simtime::SimDuration;
+
+fn assert_conforms(sc: &Scenario) -> Result<(), TestCaseError> {
+    let out = run_tandem_conformance(sc, false);
+    prop_assert!(
+        out.completed > 0,
+        "no observed packets completed ({} injected)\n  {}",
+        out.injected,
+        out.replay
+    );
+    prop_assert_eq!(
+        out.theorem6_violation,
+        SimDuration::ZERO,
+        "Theorem 6 violated by {:?} over {} hops (term {:?}, \
+         churn_discarded={} churn_refused={} buffer_dropped={})\n  {}",
+        out.theorem6_violation,
+        out.hops,
+        out.term,
+        out.churn_discarded,
+        out.churn_refused,
+        out.buffer_dropped,
+        out.replay
+    );
+    prop_assert_eq!(
+        out.corollary1_violation,
+        SimDuration::ZERO,
+        "Corollary 1 violated by {:?} (bound {:?}, max delay {:?})\n  {}",
+        out.corollary1_violation,
+        out.corollary1_bound,
+        out.max_delay,
+        out.replay
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Theorem 6 + Corollary 1 hold over randomly generated faulted
+    /// tandems of 2–5 FC servers.
+    #[test]
+    fn theorem6_corollary1_over_faulted_tandems(seed in 0u64..1_000_000) {
+        let sc = Scenario::from_seed(Preset::Tandem, seed);
+        assert_conforms(&sc)?;
+    }
+}
+
+/// A failure replay line reproduces the generating scenario and the
+/// bit-identical outcome — the single-line-replay contract.
+#[test]
+fn replay_line_reproduces_run_exactly() {
+    let sc = Scenario::from_seed(Preset::Tandem, 77);
+    let line = sc.replay_line();
+    let back = Scenario::from_replay_line(&line).expect("replay line parses");
+    let a = run_tandem_conformance(&sc, false);
+    let b = run_tandem_conformance(&back, false);
+    assert_eq!(a.fingerprint, b.fingerprint);
+    assert_eq!(a.theorem6_violation, b.theorem6_violation);
+    assert_eq!(a.churn_discarded, b.churn_discarded);
+    assert_eq!(a.buffer_dropped, b.buffer_dropped);
+}
+
+/// The generated fault schedule is actually exercised: across a seed
+/// range, some scenarios discard churned backlog and some drop at
+/// buffer caps (otherwise the proptest above would be testing the
+/// fault-free path only).
+#[test]
+fn fault_paths_are_reachable() {
+    let mut churned = false;
+    let mut capped = false;
+    for seed in 0..24u64 {
+        let sc = Scenario::from_seed(Preset::Tandem, seed);
+        if churned && capped {
+            break;
+        }
+        if (!churned && !sc.churns.is_empty()) || (!capped && sc.per_flow_cap.is_some()) {
+            let out = run_tandem_conformance(&sc, false);
+            churned |= out.churn_discarded + out.churn_refused > 0;
+            capped |= out.buffer_dropped > 0;
+        }
+    }
+    assert!(churned, "no seed in 0..24 exercised churn discard/refusal");
+    assert!(capped, "no seed in 0..24 exercised buffer-cap drops");
+}
+
+/// Long-horizon nightly mode: many more seeds, stretched horizons.
+/// Ignored in tier-1; CI's nightly job runs it with
+/// `cargo test -- --ignored nightly_long_horizon`.
+#[test]
+#[ignore = "nightly long-horizon sweep; run with --ignored"]
+fn nightly_long_horizon_tandems() {
+    let cases: u64 = std::env::var("CONFORMANCE_NIGHTLY_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+    let scale: u64 = std::env::var("CONFORMANCE_HORIZON_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let mut failures = Vec::new();
+    for seed in 1_000_000..1_000_000 + cases {
+        let mut sc = Scenario::from_seed(Preset::Tandem, seed);
+        sc.horizon_ms *= scale;
+        let out = run_tandem_conformance(&sc, false);
+        if out.theorem6_violation > SimDuration::ZERO
+            || out.corollary1_violation > SimDuration::ZERO
+            || out.completed == 0
+        {
+            eprintln!(
+                "FAIL: thm6={:?} cor1={:?} completed={}\n  {} (horizon x{scale})",
+                out.theorem6_violation, out.corollary1_violation, out.completed, out.replay
+            );
+            failures.push(out.replay);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} long-horizon failures:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

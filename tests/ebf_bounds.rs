@@ -1,0 +1,224 @@
+//! EBF probabilistic bounds (Theorems 3/5): with a seeded RNG, the
+//! measured tail-violation frequency must stay under the analytical
+//! `B·e^{−αγ}` envelope, and a deterministic worst-case witness pins
+//! the edge of the guarantee exactly.
+//!
+//! The randomized catch-up EBF server (`servers::ebf_catch_up`) idles
+//! `τ ~ Exp(mean_gap)` truncated to `slot/2` per slot, then catches up
+//! by the slot boundary. Its cumulative work therefore never leads the
+//! `C·t` line and lags it by at most `C·τ`, so for any interval the
+//! deficit tail obeys `P(deficit > γ) ≤ e^{−γ/(C·mean_gap)}` — the EBF
+//! property with `B = 1`, `α = 1/(C·mean_gap)`, `δ = 0` — and is
+//! *impossible* beyond `C·slot/2`.
+
+use conformance::{
+    materialize_packets, register_flows, Preset, Scenario, ServerSpec, OBSERVED_FLOW,
+};
+use des::SimRng;
+use proptest::prelude::*;
+use servers::{ebf_catch_up, ebf_tail_estimate, max_interval_deficit_bits};
+use sfq_repro::prelude::*;
+
+fn ebf_alpha(sc: &Scenario) -> (f64, u64, u64) {
+    match sc.server {
+        ServerSpec::Ebf {
+            slot_ms,
+            mean_gap_ms,
+        } => {
+            let alpha = 1.0 / (sc.link_bps as f64 * mean_gap_ms as f64 / 1_000.0);
+            (alpha, slot_ms, mean_gap_ms)
+        }
+        other => panic!("expected EBF server, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Theorem 3 shape: the server-side deficit tail of seeded EBF
+    /// profiles stays under the `B·e^{−αγ}` envelope at every γ, and
+    /// vanishes exactly at the truncation point `C·slot/2`.
+    #[test]
+    fn ebf_deficit_tail_under_envelope(seed in 0u64..1_000_000) {
+        let sc = Scenario::from_seed(Preset::SingleEbf, seed);
+        let (alpha, slot_ms, _) = ebf_alpha(&sc);
+        let horizon = sc.horizon();
+        let profile = conformance::hop_profile(&sc, 0, horizon);
+        let c = sc.link();
+        let slot_bits = sc.link_bps * slot_ms / 1_000;
+
+        for gamma in [slot_bits / 20, slot_bits / 8, slot_bits / 4, slot_bits * 2 / 5] {
+            let mut sampler = SimRng::new(sc.seed ^ 0x5A11);
+            let f = ebf_tail_estimate(&profile, c, 0, gamma, horizon, 3_000, &mut sampler);
+            let envelope = analysis::ebf_envelope(1.0, alpha, gamma);
+            prop_assert!(
+                f <= envelope + 0.03,
+                "tail {f} > envelope {envelope} at γ = {gamma} bits\n  {}",
+                sc.replay_line()
+            );
+        }
+        // Beyond the truncation point the tail is identically zero. The
+        // +64 bits absorb the catch-up rate's integer ceiling, which
+        // lets the profile run a hair ahead between slots.
+        let mut sampler = SimRng::new(sc.seed ^ 0x5A12);
+        let f = ebf_tail_estimate(&profile, c, 0, slot_bits / 2 + 64, horizon, 3_000, &mut sampler);
+        prop_assert_eq!(f, 0.0, "deficit beyond C·slot/2 is impossible\n  {}", sc.replay_line());
+    }
+
+    /// Theorem 5 shape: the per-packet delay tail on SFQ over seeded
+    /// EBF servers stays under the same envelope — the fraction of
+    /// packets departing later than `EAT + H + γ/C` is at most
+    /// `B·e^{−αγ}`, pooled over several independent server draws.
+    #[test]
+    fn ebf_delay_tail_under_envelope(seed in 0u64..1_000_000) {
+        let sc = Scenario::from_seed(Preset::SingleEbf, seed);
+        let (alpha, slot_ms, mean_gap_ms) = ebf_alpha(&sc);
+        let c = sc.link();
+        let horizon = sc.horizon() + SimDuration::from_secs(20);
+        let obs = sc.observed().clone();
+        let others = conformance::other_lmax_at(&sc, 0, OBSERVED_FLOW);
+        // H: the deterministic part of the Theorem 5 bound (δ = 0).
+        let base_term = analysis::sfq_delay_term(&others, obs.max_len(), c, 0);
+        let arrivals = materialize_packets(&sc);
+        let slot_bits = sc.link_bps * slot_ms / 1_000;
+
+        // Per-packet excess beyond EAT + H, in bits of γ, pooled over
+        // several independent server realizations.
+        let mut excess_bits: Vec<f64> = Vec::new();
+        for realization in 0..4u64 {
+            let mut rng = SimRng::new(sc.seed).fork(0xEBFD + realization);
+            let profile = ebf_catch_up(
+                c,
+                SimDuration::from_millis(slot_ms as i128),
+                SimDuration::from_millis(mean_gap_ms as i128),
+                horizon,
+                &mut rng,
+            );
+            let mut sched = Sfq::new();
+            register_flows(&sc, &mut sched);
+            let deps = run_server(&mut sched, &profile, &arrivals, horizon);
+            let mut flow_deps: Vec<&Departure> =
+                deps.iter().filter(|d| d.pkt.flow == OBSERVED_FLOW).collect();
+            flow_deps.sort_by_key(|d| (d.pkt.arrival, d.pkt.seq));
+            let arr: Vec<(SimTime, Bytes)> =
+                flow_deps.iter().map(|d| (d.pkt.arrival, d.pkt.len)).collect();
+            let eats = analysis::expected_arrival_times(&arr, obs.weight());
+            for (d, eat) in flow_deps.iter().zip(eats) {
+                let bound = eat + base_term;
+                let excess_s = if d.departure > bound {
+                    (d.departure - bound).as_secs_f64()
+                } else {
+                    0.0
+                };
+                excess_bits.push(excess_s * sc.link_bps as f64);
+            }
+        }
+        prop_assert!(!excess_bits.is_empty(), "no observed packets served\n  {}", sc.replay_line());
+        let n = excess_bits.len() as f64;
+        for gamma in [slot_bits / 8, slot_bits / 4, slot_bits * 2 / 5] {
+            let f = excess_bits.iter().filter(|&&e| e > gamma as f64).count() as f64 / n;
+            let envelope = analysis::ebf_envelope(1.0, alpha, gamma);
+            prop_assert!(
+                f <= envelope + 0.05,
+                "delay tail {f} > envelope {envelope} at γ = {gamma} bits\n  {}",
+                sc.replay_line()
+            );
+        }
+        // γ at the truncation point: the delay bound becomes Theorem 4
+        // with δ_eff = C·slot/2 and must hold deterministically (+64
+        // bits for the catch-up rate's integer ceiling).
+        let f = excess_bits
+            .iter()
+            .filter(|&&e| e > (slot_bits / 2 + 64) as f64)
+            .count();
+        prop_assert_eq!(f, 0, "delay beyond the deterministic cap\n  {}", sc.replay_line());
+    }
+}
+
+/// Deterministic worst-case witness: a server idling *exactly* `slot/2`
+/// every slot — the most adversarial profile `ebf_catch_up` can emit.
+/// Its worst-interval deficit is exactly `C·slot/2`, the probabilistic
+/// envelope's hard edge, and Theorem 4 with that effective δ holds with
+/// no slack to spare.
+#[test]
+fn ebf_worst_case_witness() {
+    let c = Rate::bps(100_000);
+    let slot = SimDuration::from_millis(100);
+    let horizon = SimTime::from_secs(30);
+    let delta_bits = 100_000 / 10 / 2; // C·slot/2 = 5000 bits
+
+    // Build the witness directly: off for slot/2, then 2C for slot/2.
+    let mut segments = Vec::new();
+    let mut t = SimTime::ZERO;
+    while t <= horizon {
+        segments.push(Segment {
+            start: t,
+            rate: Rate::bps(0),
+        });
+        segments.push(Segment {
+            start: t + SimDuration::from_millis(50),
+            rate: Rate::bps(200_000),
+        });
+        t += slot;
+    }
+    segments.push(Segment { start: t, rate: c });
+    let witness = RateProfile::from_segments(segments);
+
+    // The deficit is exactly C·slot/2 — the envelope's edge.
+    let d = max_interval_deficit_bits(&witness, c, horizon);
+    assert_eq!(d, Ratio::from_int(delta_bits as i128));
+
+    // The probabilistic tail at γ just inside the edge is nonzero
+    // (every slot realizes the worst case), and zero at the edge.
+    let mut sampler = SimRng::new(1);
+    let f_inside = ebf_tail_estimate(
+        &witness,
+        c,
+        0,
+        delta_bits - 500,
+        horizon,
+        3_000,
+        &mut sampler,
+    );
+    assert!(f_inside > 0.0, "witness never exceeds γ below the edge");
+    let mut sampler = SimRng::new(1);
+    let f_edge = ebf_tail_estimate(&witness, c, 0, delta_bits, horizon, 3_000, &mut sampler);
+    assert_eq!(f_edge, 0.0);
+
+    // Theorem 4 with δ_eff = C·slot/2 holds on the witness.
+    let lens = [400u64, 300, 250];
+    let weights = [30_000u64, 30_000, 30_000];
+    let mut sched = Sfq::new();
+    for (i, &w) in weights.iter().enumerate() {
+        sched.add_flow(FlowId(i as u32 + 1), Rate::bps(w));
+    }
+    let mut pf = PacketFactory::new();
+    let mut all = Vec::new();
+    for (i, (&w, &l)) in weights.iter().zip(&lens).enumerate() {
+        let src = CbrSource::with_rate(SimTime::ZERO, Rate::bps(w), Bytes::new(l));
+        all.push(to_packets(
+            &mut pf,
+            FlowId(i as u32 + 1),
+            &arrivals_until(src, horizon),
+        ));
+    }
+    let deps = run_server(&mut sched, &witness, &merge(all), horizon);
+    assert!(!deps.is_empty());
+    for (i, &w) in weights.iter().enumerate() {
+        let own = Bytes::new(lens[i]);
+        let others: Vec<Bytes> = lens
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &l)| Bytes::new(l))
+            .collect();
+        let term = analysis::sfq_delay_term(&others, own, c, delta_bits);
+        let viol = max_guarantee_violation(&deps, FlowId(i as u32 + 1), Rate::bps(w), term);
+        assert_eq!(
+            viol,
+            SimDuration::ZERO,
+            "Theorem 4 with δ_eff violated for flow {} by {viol:?}",
+            i + 1
+        );
+    }
+}

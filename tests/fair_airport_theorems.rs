@@ -1,0 +1,137 @@
+//! Fair Airport Theorems 8/9 as tier-1 property tests, driven by the
+//! conformance scenario DSL (previously these checks lived only in the
+//! bench harness, `crates/bench/src/exp_fa.rs`).
+//!
+//! The workload is Appendix B's "punished for using idle bandwidth"
+//! pattern with randomized burst sizes and server class: flow 1 drains
+//! a burst alone at the full link, then both flows stay backlogged.
+//!
+//! - Theorem 8: the normalized-service gap while both flows are
+//!   backlogged is at most `3(l_f/r_f + l_m/r_m) + 2β` — unlike plain
+//!   Virtual Clock, which punishes flow 1's head start without bound.
+//! - Theorem 9: every packet departs by `EAT + l/r + β` (WFQ's
+//!   guarantee), with `β = l/C + δ/C` folding the FC burstiness.
+
+use conformance::{
+    faults_from, hop_profile, materialize_packets, register_flows, run_faulted, Preset, Scenario,
+    ServerSpec, SourceKind,
+};
+use proptest::prelude::*;
+use sfq_repro::prelude::*;
+
+struct FaRun {
+    sc: Scenario,
+    fa_gap: Ratio,
+    vc_gap: Ratio,
+    gap_bound: Ratio,
+    delay_violation: SimDuration,
+    n1: u64,
+}
+
+fn run_fa(seed: u64) -> FaRun {
+    let sc = Scenario::from_seed(Preset::FairAirport, seed);
+    assert_eq!(sc.flows.len(), 2);
+    let weight = sc.flows[0].weight();
+    let len = sc.flows[0].max_len();
+    let c = sc.link();
+    let horizon = sc.horizon() + SimDuration::from_secs(60);
+    let profile = hop_profile(&sc, 0, horizon);
+    let delta_bits = match sc.server {
+        ServerSpec::Fc { delta_bits } => delta_bits,
+        _ => 0,
+    };
+    let arrivals = materialize_packets(&sc);
+    let faults = faults_from(&sc);
+
+    let run = |sched: &mut dyn Scheduler| {
+        register_flows(&sc, sched);
+        run_faulted(sched, &profile, &arrivals, &faults, horizon).departures
+    };
+    let mut fa = FairAirport::new();
+    let deps_fa = run(&mut fa);
+    let mut vc = VirtualClock::new();
+    let deps_vc = run(&mut vc);
+
+    // Both-backlogged window from the scenario's burst phases: phase 2
+    // starts when flow 2's burst lands; each flow then drains `n2`
+    // packets at its fair share (l/r seconds apiece). Trim a margin at
+    // both ends for the FC server's δ/C slack.
+    let (phase2_ms, n2) = match &sc.flows[1].source {
+        SourceKind::Bursts(phases) => phases[0],
+        other => panic!("flow 2 must be a burst source, got {other:?}"),
+    };
+    let n1 = match &sc.flows[0].source {
+        SourceKind::Bursts(phases) => phases[0].1 as u64,
+        other => panic!("flow 1 must be a burst source, got {other:?}"),
+    };
+    let pkt_span_s = weight.tag_span(len).to_f64() as i128; // l/r, whole seconds here
+    let t1 = SimTime::from_millis(phase2_ms as i128) + SimDuration::from_secs(2);
+    let t2 = SimTime::from_millis(phase2_ms as i128)
+        + SimDuration::from_secs(pkt_span_s * n2 as i128 - 4);
+    assert!(t2 > t1, "window degenerate: n2 too small");
+
+    let gap =
+        |deps: &[Departure]| max_fairness_gap(deps, FlowId(1), weight, FlowId(2), weight, t1, t2);
+    // Theorem 8 bound: 3(l/r + l/r) + 2β, β = l/C + δ/C.
+    let beta = c.tag_span(len) + Ratio::new(delta_bits as i128, c.as_bps() as i128);
+    let gap_bound = Ratio::from_int(3) * (weight.tag_span(len) + weight.tag_span(len))
+        + Ratio::from_int(2) * beta;
+    // Theorem 9 term: l/r + β.
+    let term = SimDuration::from_ratio(weight.tag_span(len) + beta);
+    let delay_violation = max_guarantee_violation(&deps_fa, FlowId(1), weight, term)
+        .max(max_guarantee_violation(&deps_fa, FlowId(2), weight, term));
+
+    FaRun {
+        sc,
+        fa_gap: gap(&deps_fa),
+        vc_gap: gap(&deps_vc),
+        gap_bound,
+        delay_violation,
+        n1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Theorem 8: Fair Airport's fairness gap stays within the bound on
+    /// constant and FC servers, for randomized burst geometry.
+    #[test]
+    fn fair_airport_theorem8_fairness(seed in 0u64..1_000_000) {
+        let r = run_fa(seed);
+        prop_assert!(
+            r.fa_gap <= r.gap_bound,
+            "Theorem 8 violated: gap {:?} > bound {:?}\n  {}",
+            r.fa_gap, r.gap_bound, r.sc.replay_line()
+        );
+    }
+
+    /// Theorem 9: Fair Airport honors WFQ's delay guarantee on the same
+    /// randomized workloads.
+    #[test]
+    fn fair_airport_theorem9_delay(seed in 0u64..1_000_000) {
+        let r = run_fa(seed);
+        prop_assert_eq!(
+            r.delay_violation,
+            SimDuration::ZERO,
+            "Theorem 9 violated by {:?}\n  {}",
+            r.delay_violation,
+            r.sc.replay_line()
+        );
+    }
+
+    /// The contrast claim: plain Virtual Clock punishes the flow that
+    /// used idle bandwidth. With a long-enough head start the VC gap
+    /// dwarfs Fair Airport's.
+    #[test]
+    fn virtual_clock_punishes_head_start(seed in 0u64..1_000_000) {
+        let r = run_fa(seed);
+        if r.n1 >= 20 {
+            prop_assert!(
+                r.vc_gap > r.fa_gap,
+                "VC gap {:?} not worse than FA gap {:?} (n1 = {})\n  {}",
+                r.vc_gap, r.fa_gap, r.n1, r.sc.replay_line()
+            );
+        }
+    }
+}

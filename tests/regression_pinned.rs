@@ -1,0 +1,232 @@
+//! Pinned regression scenarios, triaged from
+//! `tests/theorem_throughput_delay.proptest-regressions`.
+//!
+//! Triage: those seeds were recorded by upstream proptest's
+//! shrinking/persistence machinery, which the offline shim neither
+//! reads nor writes (`shims/proptest` derives its RNG from the test
+//! name and ignores `.proptest-regressions` files) — so the committed
+//! file was dead weight: nothing ever re-ran the four scenarios.
+//! Re-running them here shows **no theorem violation**: they were
+//! shrink-path artifacts of the upstream tool, not counterexamples.
+//! Each is pinned below as a named deterministic test running all four
+//! tier-1 properties (Theorem 4, Theorem 2, Eq. 56, WFQ guarantee), so
+//! a future scheduler change that breaks one of them fails by name.
+
+use sfq_repro::prelude::*;
+
+const LINK: u64 = 100_000; // 100 Kb/s — matches theorem_throughput_delay.rs
+const DELTA: u64 = 10_000; // FC burstiness in bits
+
+/// CBR at each flow's reserved rate plus a 3-packet burst on flow 1 —
+/// identical to `arrivals_for` in theorem_throughput_delay.rs.
+fn arrivals_for(
+    pf: &mut PacketFactory,
+    weights: &[u64],
+    lens: &[u64],
+    horizon: SimTime,
+) -> Vec<Packet> {
+    let mut all = Vec::new();
+    for (i, (&w, &l)) in weights.iter().zip(lens).enumerate() {
+        let flow = FlowId(i as u32 + 1);
+        let src = CbrSource::with_rate(SimTime::ZERO, Rate::bps(w), Bytes::new(l));
+        let mut list = to_packets(pf, flow, &arrivals_until(src, horizon));
+        if i == 0 {
+            for _ in 0..3 {
+                list.push(pf.make(flow, Bytes::new(l), SimTime::ZERO));
+            }
+        }
+        all.push(list);
+    }
+    merge(all)
+}
+
+fn others(lens: &[u64], i: usize) -> Vec<Bytes> {
+    lens.iter()
+        .enumerate()
+        .filter(|&(j, _)| j != i)
+        .map(|(_, &l)| Bytes::new(l))
+        .collect()
+}
+
+/// Theorem 4 on the fluctuating FC server.
+fn check_sfq_delay(weights: &[u64], lens: &[u64]) {
+    let horizon = SimTime::from_secs(120);
+    let profile = fc_on_off(
+        FcParams {
+            rate: Rate::bps(LINK),
+            delta_bits: DELTA,
+        },
+        horizon,
+    );
+    let mut sched = Sfq::new();
+    for (i, &w) in weights.iter().enumerate() {
+        sched.add_flow(FlowId(i as u32 + 1), Rate::bps(w));
+    }
+    let mut pf = PacketFactory::new();
+    let arrivals = arrivals_for(&mut pf, weights, lens, horizon);
+    let deps = run_server(&mut sched, &profile, &arrivals, horizon);
+    for (i, &w) in weights.iter().enumerate() {
+        let term = analysis::sfq_delay_term(
+            &others(lens, i),
+            Bytes::new(lens[i]),
+            Rate::bps(LINK),
+            DELTA,
+        );
+        let viol = max_guarantee_violation(&deps, FlowId(i as u32 + 1), Rate::bps(w), term);
+        assert_eq!(
+            viol,
+            SimDuration::ZERO,
+            "Theorem 4 violated for flow {} by {viol:?}",
+            i + 1
+        );
+    }
+}
+
+/// Theorem 2's throughput floor, sampled over departure boundaries.
+fn check_sfq_throughput(weights: &[u64], lens: &[u64]) {
+    let horizon = SimTime::from_secs(60);
+    let profile = fc_on_off(
+        FcParams {
+            rate: Rate::bps(LINK),
+            delta_bits: DELTA,
+        },
+        horizon,
+    );
+    let mut sched = Sfq::new();
+    for (i, &w) in weights.iter().enumerate() {
+        sched.add_flow(FlowId(i as u32 + 1), Rate::bps(w));
+    }
+    let mut pf = PacketFactory::new();
+    let mut all = Vec::new();
+    let burst_bits: u64 = 2 * LINK * 60;
+    let n_burst = burst_bits / (lens[0] * 8);
+    let mut l0 = Vec::new();
+    for _ in 0..n_burst {
+        l0.push(pf.make(FlowId(1), Bytes::new(lens[0]), SimTime::ZERO));
+    }
+    all.push(l0);
+    for (i, (&w, &l)) in weights.iter().zip(lens).enumerate().skip(1) {
+        let flow = FlowId(i as u32 + 1);
+        let src = CbrSource::with_rate(SimTime::ZERO, Rate::bps(w), Bytes::new(l));
+        all.push(to_packets(&mut pf, flow, &arrivals_until(src, horizon)));
+    }
+    let arrivals = merge(all);
+    let deps = run_server(&mut sched, &profile, &arrivals, horizon);
+    let boundaries: Vec<SimTime> = deps.iter().map(|d| d.departure).collect();
+    let all_lmax: Vec<Bytes> = lens.iter().map(|&l| Bytes::new(l)).collect();
+    let w1 = Rate::bps(weights[0]);
+    let step = (boundaries.len() / 12).max(1);
+    for (ai, &a) in boundaries.iter().step_by(step).enumerate() {
+        for &b in boundaries.iter().skip(ai * step).step_by(step * 2) {
+            if b <= a {
+                continue;
+            }
+            let floor = analysis::sfq_throughput_floor_bits(
+                w1,
+                b - a,
+                &all_lmax,
+                Rate::bps(LINK),
+                DELTA,
+                Bytes::new(lens[0]),
+            );
+            let got = work_in_interval(&deps, FlowId(1), a, b).bits_ratio();
+            assert!(
+                got >= floor,
+                "Theorem 2 violated on [{a:?},{b:?}]: got {got:?} < floor {floor:?}"
+            );
+        }
+    }
+}
+
+/// Eq. 56 (SCFQ) on a constant-rate server.
+fn check_scfq_delay(weights: &[u64], lens: &[u64]) {
+    let horizon = SimTime::from_secs(120);
+    let profile = RateProfile::constant(Rate::bps(LINK));
+    let mut sched = Scfq::new();
+    for (i, &w) in weights.iter().enumerate() {
+        sched.add_flow(FlowId(i as u32 + 1), Rate::bps(w));
+    }
+    let mut pf = PacketFactory::new();
+    let arrivals = arrivals_for(&mut pf, weights, lens, horizon);
+    let deps = run_server(&mut sched, &profile, &arrivals, horizon);
+    for (i, &w) in weights.iter().enumerate() {
+        let term = analysis::scfq_delay_term(
+            &others(lens, i),
+            Bytes::new(lens[i]),
+            Rate::bps(w),
+            Rate::bps(LINK),
+        );
+        let viol = max_guarantee_violation(&deps, FlowId(i as u32 + 1), Rate::bps(w), term);
+        assert_eq!(
+            viol,
+            SimDuration::ZERO,
+            "Eq. 56 violated for flow {} by {viol:?}",
+            i + 1
+        );
+    }
+}
+
+/// WFQ's guarantee `EAT + l/r + l_max/C` on a constant-rate server.
+fn check_wfq_delay(weights: &[u64], lens: &[u64]) {
+    let horizon = SimTime::from_secs(120);
+    let profile = RateProfile::constant(Rate::bps(LINK));
+    let mut sched = Wfq::new(Rate::bps(LINK));
+    for (i, &w) in weights.iter().enumerate() {
+        sched.add_flow(FlowId(i as u32 + 1), Rate::bps(w));
+    }
+    let mut pf = PacketFactory::new();
+    let arrivals = arrivals_for(&mut pf, weights, lens, horizon);
+    let deps = run_server(&mut sched, &profile, &arrivals, horizon);
+    let lmax = Bytes::new(*lens.iter().max().expect("non-empty"));
+    for (i, &w) in weights.iter().enumerate() {
+        let term =
+            analysis::wfq_delay_term(Bytes::new(lens[i]), Rate::bps(w), lmax, Rate::bps(LINK));
+        let viol = max_guarantee_violation(&deps, FlowId(i as u32 + 1), Rate::bps(w), term);
+        assert_eq!(
+            viol,
+            SimDuration::ZERO,
+            "WFQ guarantee violated for flow {} by {viol:?}",
+            i + 1
+        );
+    }
+}
+
+fn check_all(weights: &[u64], lens: &[u64]) {
+    check_sfq_delay(weights, lens);
+    check_sfq_throughput(weights, lens);
+    check_scfq_delay(weights, lens);
+    check_wfq_delay(weights, lens);
+}
+
+// cc f36ee7b0cc3feb6772a34427e78cafcb937755ed9cbac289ce6b8f2c14407007
+#[test]
+fn pinned_five_flows_burst_heavy_lens() {
+    check_all(
+        &[8_155, 10_529, 5_392, 5_361, 10_466],
+        &[226, 100, 100, 289, 100],
+    );
+}
+
+// cc 5d707df7b0abae14834bdec909fbd8cdb3eb3b3d8948adddcfe101a26e260880
+#[test]
+fn pinned_three_flows_large_packets() {
+    check_all(&[14_805, 11_121, 14_725], &[677, 555, 1_066]);
+}
+
+// cc 5e0f43a7d3981dc0680d19c40f4f2bb9683932b52f5a1b1f9dd1715cb40d0280
+#[test]
+fn pinned_five_flows_wide_len_spread() {
+    check_all(
+        &[9_678, 15_124, 10_576, 14_975, 14_423],
+        &[768, 579, 989, 495, 142],
+    );
+}
+
+// cc 4205f04ed299eb3bd88d262c04b246dfdc32dd0adf07cd4b3c9f7dbae9e7f7ac
+#[test]
+fn pinned_five_flows_minimal_lens() {
+    check_all(
+        &[15_733, 5_086, 14_097, 10_481, 6_713],
+        &[171, 100, 331, 100, 106],
+    );
+}
