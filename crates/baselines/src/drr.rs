@@ -112,7 +112,10 @@ impl<O: SchedObserver> Scheduler for Drr<O> {
         assert!(weight.as_bps() > 0, "DRR: flow weight must be positive");
         let quantum =
             ((weight.as_bps() as u128 * self.scale_num as u128) / self.scale_den as u128).max(1);
-        let quantum = u64::try_from(quantum).expect("DRR quantum overflow");
+        // A hostile giant rate saturates the quantum instead of
+        // aborting: one round then serves the whole backlog, which is
+        // the closest meaningful credit to "more than u64 bits".
+        let quantum = u64::try_from(quantum).unwrap_or(u64::MAX);
         self.flows
             .entry(flow)
             .and_modify(|f| f.quantum = quantum)
@@ -150,20 +153,29 @@ impl<O: SchedObserver> Scheduler for Drr<O> {
     fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
         loop {
             let &flow = self.active.front()?;
+            // A flow on the active list always exists with a non-empty
+            // queue; a stale entry (possible only through an invariant
+            // break) is shed instead of panicking the round.
+            let Some(fs) = self.flows.get_mut(&flow) else {
+                self.active.pop_front();
+                self.front_credited = false;
+                continue;
+            };
+            let Some(head) = fs.queue.front() else {
+                fs.active = false;
+                self.active.pop_front();
+                self.front_credited = false;
+                continue;
+            };
+            let head_len = head.len.as_u64();
             if !self.front_credited {
-                let fs = self.flows.get_mut(&flow).expect("active flow exists");
                 fs.deficit += fs.quantum;
                 self.front_credited = true;
             }
-            let fs = self.flows.get_mut(&flow).expect("active flow exists");
-            let head_len = fs
-                .queue
-                .front()
-                .expect("active flow has packets")
-                .len
-                .as_u64();
             if head_len <= fs.deficit {
-                let pkt = fs.queue.pop_front().expect("non-empty");
+                let Some(pkt) = fs.queue.pop_front() else {
+                    continue;
+                };
                 fs.deficit -= head_len;
                 self.queued -= 1;
                 if fs.queue.is_empty() {

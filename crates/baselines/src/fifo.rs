@@ -78,7 +78,9 @@ impl<O: SchedObserver> Scheduler for Fifo<O> {
 
     fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
         let pkt = self.queue.pop_front()?;
-        *self.backlog.get_mut(&pkt.flow).expect("flow counted") -= 1;
+        if let Some(n) = self.backlog.get_mut(&pkt.flow) {
+            *n -= 1;
+        }
         self.obs.on_dequeue(&SchedEvent {
             time: now,
             flow: pkt.flow,

@@ -82,12 +82,11 @@ impl GpsClock {
     pub fn advance(&mut self, t: SimTime) -> Ratio {
         assert!(t >= self.last_t, "GPS clock driven backwards");
         loop {
-            if self.backlogged.is_empty() {
+            let Some(&(next_exit, flow)) = self.backlogged.iter().next() else {
                 // Fluid-idle: v frozen.
                 self.last_t = t;
                 return self.v;
-            }
-            let &(next_exit, flow) = self.backlogged.iter().next().expect("non-empty");
+            };
             // Real time needed for v to reach next_exit at slope C/W:
             // dt = (next_exit - v) * W / C.
             let dt = (next_exit - self.v) * self.weight_sum / self.capacity.as_ratio();

@@ -15,6 +15,11 @@
 //! simulator, benches, and analysis treat them interchangeably with SFQ.
 
 #![warn(missing_docs)]
+// Non-test code must stay panic-free on fallible paths: route failures
+// through `sfq_core::SchedError` instead (see docs/robustness.md). Unit
+// tests may unwrap freely — the cfg_attr drops the lint under
+// `cfg(test)`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod drr;
 mod edd;

@@ -12,8 +12,9 @@
 
 use sfq_core::flowq::FlowFifos;
 use sfq_core::obs::{FlowChange, NoopObserver, SchedEvent, SchedObserver};
-use sfq_core::{FlowId, Packet, Scheduler};
+use sfq_core::{FlowId, Packet, SchedError, Scheduler};
 use simtime::{Rate, Ratio, SimTime};
+use std::cell::Cell;
 
 #[derive(Debug)]
 struct FlowExt {
@@ -35,6 +36,12 @@ pub struct Scfq<O: SchedObserver = NoopObserver> {
     /// v(t): finish tag of the packet in service (kept after service so
     /// arrivals between departures see the last served packet's tag).
     v: Ratio,
+    /// Virtual-time rebasing threshold in magnitude bits (`None` =
+    /// disabled). Same integer-baseline mechanism as
+    /// `sfq_core::Sfq::enable_rebasing`.
+    rebase_bits: Option<u32>,
+    /// Number of rebases applied so far.
+    rebases: u64,
     obs: O,
 }
 
@@ -51,7 +58,71 @@ impl<O: SchedObserver> Scfq<O> {
         Scfq {
             q: FlowFifos::new("SCFQ"),
             v: Ratio::ZERO,
+            rebase_bits: None,
+            rebases: 0,
             obs,
+        }
+    }
+
+    /// Enable virtual-time rebasing: whenever `v(t)`'s magnitude
+    /// exceeds `threshold_bits` (checked at enqueue), and whenever the
+    /// queue drains (SCFQ's busy-period boundary), the integer part of
+    /// `v(t)` is subtracted from every live tag and per-flow
+    /// `last_finish`. An integer shift commutes exactly with the Eq. 4/5
+    /// recurrence, comparisons, and the pico-grid snap, so dequeue
+    /// order is bit-identical to the un-rebased scheduler.
+    pub fn enable_rebasing(&mut self, threshold_bits: u32) {
+        self.rebase_bits = Some(threshold_bits);
+    }
+
+    /// Number of rebases applied so far.
+    pub fn rebases(&self) -> u64 {
+        self.rebases
+    }
+
+    /// Rebase immediately (all-or-nothing; see
+    /// `sfq_core::Sfq::rebase`). Returns the baseline subtracted.
+    pub fn rebase(&mut self) -> Ratio {
+        let base = Ratio::from_int(self.v.floor());
+        if !base.is_positive() {
+            return Ratio::ZERO;
+        }
+        let ok = Cell::new(true);
+        let check = |r: Ratio| {
+            if r.checked_sub(base).is_none() {
+                ok.set(false);
+            }
+        };
+        check(self.v);
+        self.q.retag_all(
+            |key, start| {
+                check(key.0);
+                check(*start);
+            },
+            |ext| check(ext.last_finish),
+        );
+        if !ok.get() {
+            return Ratio::ZERO;
+        }
+        let shift = |r: Ratio| r.checked_sub(base).unwrap_or(r);
+        self.v = shift(self.v);
+        self.q.retag_all(
+            |key, start| {
+                key.0 = shift(key.0);
+                *start = shift(*start);
+            },
+            |ext| ext.last_finish = shift(ext.last_finish),
+        );
+        self.rebases += 1;
+        base
+    }
+
+    fn maybe_rebase_eager(&mut self) {
+        let Some(bits) = self.rebase_bits else {
+            return;
+        };
+        if self.v.magnitude_bits() > bits {
+            self.rebase();
         }
     }
 
@@ -124,17 +195,25 @@ impl<O: SchedObserver> Scheduler for Scfq<O> {
     }
 
     fn enqueue(&mut self, now: SimTime, pkt: Packet) {
+        self.try_enqueue(now, pkt)
+            .unwrap_or_else(|e| panic!("SCFQ: {e}"));
+    }
+
+    fn try_enqueue(&mut self, now: SimTime, pkt: Packet) -> Result<(), SchedError> {
+        if self.rebase_bits.is_some() {
+            self.maybe_rebase_eager();
+        }
         // Snapped at the read point to bound tag-denominator growth
         // (no-op below denominators of 1e12; see Ratio::snap_pico).
         let v = self.v.snap_pico();
         let uid = pkt.uid;
         let len = pkt.len;
-        let ((finish, _), start) = self.q.push_with(pkt, |ext| {
+        let ((finish, _), start) = self.q.try_push_with(pkt, |ext| {
             let start = v.max(ext.last_finish);
-            let finish = start + ext.weight.tag_span(len);
+            let finish = start.checked_add(ext.weight.tag_span(len))?;
             ext.last_finish = finish;
-            ((finish, uid), start)
-        });
+            Some(((finish, uid), start))
+        })?;
         self.obs.on_enqueue(&SchedEvent {
             time: now,
             flow: pkt.flow,
@@ -144,11 +223,17 @@ impl<O: SchedObserver> Scheduler for Scfq<O> {
             finish_tag: finish,
             v,
         });
+        Ok(())
     }
 
     fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
         let (pkt, (finish, _), start) = self.q.pop_min()?;
         self.v = finish;
+        if self.rebase_bits.is_some() && self.q.is_empty() {
+            // Queue drained — SCFQ's busy-period boundary and the
+            // cheapest rebase point (only per-flow last_finish state).
+            self.rebase();
+        }
         self.obs.on_dequeue(&SchedEvent {
             time: now,
             flow: pkt.flow,
@@ -183,6 +268,20 @@ impl<O: SchedObserver> Scheduler for Scfq<O> {
 
     fn force_remove_flow(&mut self, flow: FlowId) -> usize {
         Scfq::force_remove_flow(self, flow)
+    }
+
+    fn drop_head(&mut self, flow: FlowId) -> Option<Packet> {
+        let (pkt, (finish, _), start) = self.q.drop_front(flow)?;
+        self.obs.on_drop(&SchedEvent {
+            time: pkt.arrival,
+            flow: pkt.flow,
+            uid: pkt.uid,
+            len: pkt.len,
+            start_tag: start,
+            finish_tag: finish,
+            v: self.v,
+        });
+        Some(pkt)
     }
 
     fn name(&self) -> &'static str {

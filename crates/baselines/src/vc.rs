@@ -11,7 +11,7 @@
 
 use sfq_core::flowq::FlowFifos;
 use sfq_core::obs::{FlowChange, NoopObserver, SchedEvent, SchedObserver};
-use sfq_core::{FlowId, Packet, Scheduler};
+use sfq_core::{FlowId, Packet, SchedError, Scheduler};
 use simtime::{Rate, SimTime};
 
 #[derive(Debug)]
@@ -116,14 +116,22 @@ impl<O: SchedObserver> Scheduler for VirtualClock<O> {
     }
 
     fn enqueue(&mut self, now: SimTime, pkt: Packet) {
+        self.try_enqueue(now, pkt)
+            .unwrap_or_else(|e| panic!("VC: {e}"));
+    }
+
+    fn try_enqueue(&mut self, now: SimTime, pkt: Packet) -> Result<(), SchedError> {
         let uid = pkt.uid;
         let len = pkt.len;
-        let ((stamp, _), base) = self.q.push_with(pkt, |ext| {
+        // VC stamps are real-time (`SimTime`), not rationals: they track
+        // the wall clock within a tx_time span, so `i128` nanoseconds
+        // cannot realistically overflow and no TagOverflow path exists.
+        let ((stamp, _), base) = self.q.try_push_with(pkt, |ext| {
             let base = now.max(ext.auxvc);
             let vc = base + ext.weight.tx_time(len);
             ext.auxvc = vc;
-            ((vc, uid), base)
-        });
+            Some(((vc, uid), base))
+        })?;
         self.obs.on_enqueue(&SchedEvent {
             time: now,
             flow: pkt.flow,
@@ -133,6 +141,7 @@ impl<O: SchedObserver> Scheduler for VirtualClock<O> {
             finish_tag: stamp.as_ratio(),
             v: now.as_ratio(),
         });
+        Ok(())
     }
 
     fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
@@ -171,6 +180,20 @@ impl<O: SchedObserver> Scheduler for VirtualClock<O> {
 
     fn force_remove_flow(&mut self, flow: FlowId) -> usize {
         VirtualClock::force_remove_flow(self, flow)
+    }
+
+    fn drop_head(&mut self, flow: FlowId) -> Option<Packet> {
+        let (pkt, (stamp, _), base) = self.q.drop_front(flow)?;
+        self.obs.on_drop(&SchedEvent {
+            time: pkt.arrival,
+            flow: pkt.flow,
+            uid: pkt.uid,
+            len: pkt.len,
+            start_tag: base.as_ratio(),
+            finish_tag: stamp.as_ratio(),
+            v: pkt.arrival.as_ratio(),
+        });
+        Some(pkt)
     }
 
     fn name(&self) -> &'static str {

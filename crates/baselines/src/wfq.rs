@@ -95,7 +95,9 @@ impl<O: SchedObserver> Scheduler for GpsScheduler<O> {
         let span = weight.tag_span(pkt.len);
         let (start, finish) = self.gps.on_arrival(now, pkt.flow, span, lf);
         self.last_finish.insert(pkt.flow, finish);
-        *self.backlog.get_mut(&pkt.flow).expect("registered") += 1;
+        if let Some(n) = self.backlog.get_mut(&pkt.flow) {
+            *n += 1;
+        }
         let key = match self.order {
             Order::Finish => finish,
             Order::Start => start,
@@ -119,8 +121,12 @@ impl<O: SchedObserver> Scheduler for GpsScheduler<O> {
     fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
         let Reverse((_key, uid, HeapPacket(pkt))) = self.heap.pop()?;
         self.queued -= 1;
-        let (start, finish) = self.tags.remove(&uid).expect("queued packet has tags");
-        *self.backlog.get_mut(&pkt.flow).expect("registered") -= 1;
+        // Every queued uid was tagged at enqueue; the zero fallback
+        // only shows to observers if that invariant is ever broken.
+        let (start, finish) = self.tags.remove(&uid).unwrap_or((Ratio::ZERO, Ratio::ZERO));
+        if let Some(n) = self.backlog.get_mut(&pkt.flow) {
+            *n -= 1;
+        }
         self.obs.on_dequeue(&SchedEvent {
             time: now,
             flow: pkt.flow,

@@ -19,7 +19,8 @@
 use baselines::{Drr, Fifo, Fqs, Scfq, VirtualClock, Wfq};
 use bench::report;
 use jsonline::{impl_to_json, ToJson};
-use sfq_core::{FairAirport, FlowId, HierSfq, PacketFactory, Scheduler, Sfq};
+use sfq_core::{FairAirport, FlowId, HierSfq, PacketFactory, Scheduler, Sfq, TieBreak};
+use sfq_obs::CountingObserver;
 use simtime::{Bytes, Rate, SimTime};
 use std::hint::black_box;
 use std::io::Write;
@@ -69,6 +70,28 @@ impl_to_json!(DepthCheck {
     deep_vs_shallow_pct
 });
 
+/// Drift-cancelled A-vs-B comparison on the 512-flow deep-backlog
+/// axis: the fallible control plane (`try_enqueue`/`try_dequeue`) vs
+/// the panicking wrappers, and an instrumented observer vs the no-op
+/// default. Both must stay within noise of the baseline.
+#[derive(Debug)]
+struct ControlCheck {
+    comparison: String,
+    flows: usize,
+    backlog_per_flow: usize,
+    base_pkts_per_sec: f64,
+    new_pkts_per_sec: f64,
+    new_vs_base_pct: f64,
+}
+impl_to_json!(ControlCheck {
+    comparison,
+    flows,
+    backlog_per_flow,
+    base_pkts_per_sec,
+    new_pkts_per_sec,
+    new_vs_base_pct
+});
+
 #[derive(Debug)]
 struct Snapshot {
     pkt_bytes: u64,
@@ -76,13 +99,15 @@ struct Snapshot {
     measure_ms: u64,
     results: Vec<SnapPoint>,
     depth_checks: Vec<DepthCheck>,
+    control_checks: Vec<ControlCheck>,
 }
 impl_to_json!(Snapshot {
     pkt_bytes,
     warmup_ms,
     measure_ms,
     results,
-    depth_checks
+    depth_checks,
+    control_checks
 });
 
 fn flows_of<S: Scheduler>(mut s: S, q: usize) -> S {
@@ -136,6 +161,9 @@ struct Steady<S: Scheduler> {
     pf: PacketFactory,
     q: usize,
     i: u32,
+    /// Drive the fallible control plane (`try_enqueue`/`try_dequeue`)
+    /// instead of the panicking wrappers.
+    use_try: bool,
 }
 
 impl<S: Scheduler> Steady<S> {
@@ -147,7 +175,19 @@ impl<S: Scheduler> Steady<S> {
                 sched.enqueue(t0, pf.make(FlowId(f), Bytes::new(PKT), t0));
             }
         }
-        Steady { sched, pf, q, i: 0 }
+        Steady {
+            sched,
+            pf,
+            q,
+            i: 0,
+            use_try: false,
+        }
+    }
+
+    fn new_try(sched: S, q: usize, depth: usize) -> Self {
+        let mut s = Self::new(sched, q, depth);
+        s.use_try = true;
+        s
     }
 
     fn run(&mut self, pairs: usize) {
@@ -155,8 +195,17 @@ impl<S: Scheduler> Steady<S> {
         for _ in 0..pairs {
             let f = FlowId(self.i % self.q as u32);
             self.i = self.i.wrapping_add(1);
-            self.sched.enqueue(t0, self.pf.make(f, Bytes::new(PKT), t0));
-            let p = self.sched.dequeue(t0).expect("backlogged");
+            let pkt = self.pf.make(f, Bytes::new(PKT), t0);
+            let p = if self.use_try {
+                self.sched.try_enqueue(t0, pkt).expect("registered");
+                self.sched
+                    .try_dequeue(t0)
+                    .expect("infallible")
+                    .expect("backlogged")
+            } else {
+                self.sched.enqueue(t0, pkt);
+                self.sched.dequeue(t0).expect("backlogged")
+            };
             self.sched.on_departure(t0);
             black_box(p.uid);
         }
@@ -166,28 +215,35 @@ impl<S: Scheduler> Steady<S> {
 /// Compare two configurations with interleaved time slices so that
 /// slow clock-frequency drift affects both equally. Returns sustained
 /// packets/sec for each.
-fn measure_paired<S: Scheduler>(a: &mut Steady<S>, b: &mut Steady<S>) -> (f64, f64) {
+fn measure_paired<A: Scheduler, B: Scheduler>(a: &mut Steady<A>, b: &mut Steady<B>) -> (f64, f64) {
     const SLICE: Duration = Duration::from_millis(25);
     const ROUNDS: usize = 10;
     // Warm both.
-    for s in [&mut *a, &mut *b] {
-        let end = Instant::now() + WARMUP;
-        while Instant::now() < end {
-            s.run(64);
-        }
+    let end = Instant::now() + WARMUP;
+    while Instant::now() < end {
+        a.run(64);
+    }
+    let end = Instant::now() + WARMUP;
+    while Instant::now() < end {
+        b.run(64);
     }
     let (mut na, mut nb) = (0u64, 0u64);
     let (mut ta, mut tb) = (Duration::ZERO, Duration::ZERO);
     for _ in 0..ROUNDS {
-        for (s, n, t) in [(&mut *a, &mut na, &mut ta), (&mut *b, &mut nb, &mut tb)] {
-            let start = Instant::now();
-            let end = start + SLICE;
-            while Instant::now() < end {
-                s.run(64);
-                *n += 64;
-            }
-            *t += start.elapsed();
+        let start = Instant::now();
+        let end = start + SLICE;
+        while Instant::now() < end {
+            a.run(64);
+            na += 64;
         }
+        ta += start.elapsed();
+        let start = Instant::now();
+        let end = start + SLICE;
+        while Instant::now() < end {
+            b.run(64);
+            nb += 64;
+        }
+        tb += start.elapsed();
     }
     (na as f64 / ta.as_secs_f64(), nb as f64 / tb.as_secs_f64())
 }
@@ -282,12 +338,62 @@ fn main() {
         flows_of(Fifo::new(), q)
     });
 
+    // Robustness-layer overhead on the 512-flow deep-backlog axis,
+    // drift-cancelled. try-vs-panicking must stay within noise: the
+    // panicking wrappers now delegate to the try path, so both sides
+    // run identical code. counting-obs-vs-noop records the opt-in
+    // observer cost (real work per event) so cross-commit snapshots
+    // catch regressions in either monomorphization.
+    let mut control_checks = Vec::new();
+    {
+        let depth = d_hi;
+        let mut base = Steady::new(flows_of(Sfq::new(), q), q, depth);
+        let mut tryp = Steady::new_try(flows_of(Sfq::new(), q), q, depth);
+        let (pps_base, pps_try) = measure_paired(&mut base, &mut tryp);
+        let pct = 100.0 * (pps_try / pps_base - 1.0);
+        eprintln!(
+            "sfq@{q} (paired): panicking -> {pps_base:.0} pkt/s, try -> {pps_try:.0} pkt/s ({pct:+.1}% try vs panicking)",
+        );
+        control_checks.push(ControlCheck {
+            comparison: "sfq_try_vs_panicking".to_string(),
+            flows: q,
+            backlog_per_flow: depth,
+            base_pkts_per_sec: pps_base,
+            new_pkts_per_sec: pps_try,
+            new_vs_base_pct: pct,
+        });
+
+        let mut noop = Steady::new(flows_of(Sfq::new(), q), q, depth);
+        let mut inst = Steady::new(
+            flows_of(
+                Sfq::with_observer(TieBreak::default(), CountingObserver::default()),
+                q,
+            ),
+            q,
+            depth,
+        );
+        let (pps_noop, pps_inst) = measure_paired(&mut noop, &mut inst);
+        let pct = 100.0 * (pps_inst / pps_noop - 1.0);
+        eprintln!(
+            "sfq@{q} (paired): noop-obs -> {pps_noop:.0} pkt/s, counting-obs -> {pps_inst:.0} pkt/s ({pct:+.1}% instrumented vs noop)",
+        );
+        control_checks.push(ControlCheck {
+            comparison: "sfq_counting_obs_vs_noop".to_string(),
+            flows: q,
+            backlog_per_flow: depth,
+            base_pkts_per_sec: pps_noop,
+            new_pkts_per_sec: pps_inst,
+            new_vs_base_pct: pct,
+        });
+    }
+
     let snapshot = Snapshot {
         pkt_bytes: PKT,
         warmup_ms: WARMUP.as_millis() as u64,
         measure_ms: MEASURE.as_millis() as u64,
         results,
         depth_checks,
+        control_checks,
     };
     // crates/bench -> repository root.
     let out: PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", "..", "BENCH_sched.json"]

@@ -10,7 +10,8 @@
 //! ```
 
 use conformance::{
-    check_against_bound, diff_schedulers, run_tandem_conformance, Preset, Scenario, SchedKind,
+    check_against_bound, diff_schedulers, run_soak, run_tandem_conformance, Preset, Scenario,
+    SchedKind,
 };
 use simtime::SimDuration;
 use std::io::Write;
@@ -88,6 +89,39 @@ fn check(sc: &Scenario) -> Option<String> {
             rep.divergence
                 .map(|d| format!("self-diff diverged:\n{}", d.detail))
         }
+        Preset::Soak => {
+            let out = run_soak(sc);
+            if out.recovery_spread > out.fairness_bound {
+                return Some(format!(
+                    "fairness did not recover after overload: spread {:?} > bound {:?}",
+                    out.recovery_spread, out.fairness_bound
+                ));
+            }
+            if sc.drop_policy == conformance::DropKind::Tail
+                && out.overload_spread > out.fairness_bound
+            {
+                return Some(format!(
+                    "Theorem 1 fairness violated under tail-drop overload: spread {:?} > bound {:?}",
+                    out.overload_spread, out.fairness_bound
+                ));
+            }
+            if out.shed == 0 || out.engages == 0 {
+                return Some(format!(
+                    "overload never engaged the buffer caps (shed={}, engages={})",
+                    out.shed, out.engages
+                ));
+            }
+            if out.releases != out.engages {
+                return Some(format!(
+                    "backpressure engage/release mismatch after drain: {} engages, {} releases",
+                    out.engages, out.releases
+                ));
+            }
+            if out.post_revive_completions == 0 {
+                return Some("churned flow never completed a packet after revive".to_string());
+            }
+            None
+        }
         Preset::SingleEbf | Preset::FairAirport => None, // covered by tier-1 tests
     }
 }
@@ -96,7 +130,7 @@ fn main() {
     let opts = parse_args();
     let presets: Vec<Preset> = match opts.preset {
         Some(p) => vec![p],
-        None => vec![Preset::Tandem, Preset::SingleFc],
+        None => vec![Preset::Tandem, Preset::SingleFc, Preset::Soak],
     };
     let started = Instant::now();
     let mut seed = opts.start_seed;

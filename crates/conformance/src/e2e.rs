@@ -96,6 +96,8 @@ pub fn run_tandem_conformance(sc: &Scenario, with_observers: bool) -> E2eOutcome
             sched.add_flow(FlowId(f.id), f.weight());
         }
         let mut core = SwitchCore::new(sched, profile, sc.per_flow_cap);
+        core.set_shared_cap(sc.shared_cap);
+        core.set_drop_policy(crate::soak::drop_policy_of(sc.drop_policy));
         if with_observers {
             core.set_drop_observer(Box::new(sfq_obs::CountingObserver::default()));
         }

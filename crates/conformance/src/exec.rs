@@ -11,7 +11,7 @@
 
 use crate::scenario::{Scenario, SourceKind};
 use servers::{Departure, RateProfile};
-use sfq_core::{FlowId, Packet, PacketFactory, Scheduler};
+use sfq_core::{FlowId, Packet, PacketFactory, SchedError, Scheduler};
 use simtime::{Rate, SimTime};
 use std::collections::HashSet;
 use traffic::{merge, to_packets};
@@ -49,6 +49,9 @@ pub struct ExecReport {
 /// Run `sched` over `profile` with `arrivals` (sorted by time) and the
 /// fault schedule (sorted by time). Mirrors `servers::run_server` when
 /// `faults` is empty.
+///
+/// Panics if the scheduler reports an error (unregistered flow, tag
+/// overflow); [`run_faulted_checked`] is the fallible form.
 pub fn run_faulted(
     sched: &mut dyn Scheduler,
     profile: &RateProfile,
@@ -56,6 +59,38 @@ pub fn run_faulted(
     faults: &[TimedFault],
     horizon: SimTime,
 ) -> ExecReport {
+    run_faulted_checked(sched, profile, arrivals, faults, horizon, "")
+        .unwrap_or_else(|e| panic!("{}: {e}", sched.name()))
+}
+
+/// Fallible [`run_faulted`]: a scheduler control-plane error
+/// ([`SchedError::UnknownFlow`], [`SchedError::TagOverflow`], ...)
+/// aborts the run and is returned instead of panicking. When `replay`
+/// is non-empty (pass [`Scenario::replay_line`]), the error and the
+/// replay line are printed to stderr first, so a failure deep inside a
+/// fuzz run reproduces from the log alone.
+pub fn run_faulted_checked(
+    sched: &mut dyn Scheduler,
+    profile: &RateProfile,
+    arrivals: &[Packet],
+    faults: &[TimedFault],
+    horizon: SimTime,
+    replay: &str,
+) -> Result<ExecReport, SchedError> {
+    run_faulted_inner(sched, profile, arrivals, faults, horizon).inspect_err(|e| {
+        if !replay.is_empty() {
+            eprintln!("scheduler error ({e})\n  {replay}");
+        }
+    })
+}
+
+fn run_faulted_inner(
+    sched: &mut dyn Scheduler,
+    profile: &RateProfile,
+    arrivals: &[Packet],
+    faults: &[TimedFault],
+    horizon: SimTime,
+) -> Result<ExecReport, SchedError> {
     for w in arrivals.windows(2) {
         debug_assert!(w[0].arrival <= w[1].arrival, "arrivals must be sorted");
     }
@@ -107,21 +142,21 @@ pub fn run_faulted(
             if removed.contains(&pkt.flow) {
                 refused += 1;
             } else {
-                sched.enqueue(now, pkt);
+                sched.try_enqueue(now, pkt)?;
             }
         }
         if in_flight.is_none() {
-            if let Some(pkt) = sched.dequeue(now) {
+            if let Some(pkt) = sched.try_dequeue(now)? {
                 let dep = profile.finish_time(now, pkt.len);
                 in_flight = Some((now, dep, pkt));
             }
         }
     }
-    ExecReport {
+    Ok(ExecReport {
         departures,
         discarded,
         refused,
-    }
+    })
 }
 
 /// Materialize a single-server scenario's merged packet script.
@@ -198,6 +233,41 @@ mod tests {
         assert_eq!(plain, faulted.departures);
         assert_eq!(faulted.discarded, 0);
         assert_eq!(faulted.refused, 0);
+    }
+
+    #[test]
+    fn checked_run_surfaces_scheduler_errors() {
+        use simtime::Bytes;
+        let sc = Scenario::from_seed(Preset::SingleFc, 33);
+        let profile = crate::faults::hop_profile(&sc, 0, sc.horizon());
+        // Register every flow but the first: its first arrival must
+        // surface as UnknownFlow instead of a panic, replay line and
+        // all (the same path a hostile/missing reservation takes).
+        let mut sched = Sfq::new();
+        for f in sc.flows.iter().skip(1) {
+            sched.add_flow(FlowId(f.id), f.weight());
+        }
+        let arrivals = materialize_packets(&sc);
+        let missing = FlowId(sc.flows[0].id);
+        let err = run_faulted_checked(
+            &mut sched,
+            &profile,
+            &arrivals,
+            &[],
+            sc.horizon(),
+            &sc.replay_line(),
+        )
+        .expect_err("unregistered flow must fail the checked run");
+        assert_eq!(err, SchedError::UnknownFlow(missing));
+
+        // The panicking wrapper reports the same failure.
+        let mut pf = PacketFactory::new();
+        let one = vec![pf.make(FlowId(999), Bytes::new(100), SimTime::ZERO)];
+        let mut bare = Sfq::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_faulted(&mut bare, &profile, &one, &[], SimTime::from_secs(1))
+        }));
+        assert!(caught.is_err(), "run_faulted must panic on UnknownFlow");
     }
 
     #[test]

@@ -28,17 +28,19 @@ pub mod e2e;
 pub mod exec;
 pub mod faults;
 pub mod scenario;
+pub mod soak;
 
 pub use diff::{
     check_against_bound, diff_schedulers, first_divergence, BoundCheck, DiffReport, SchedKind,
 };
 pub use e2e::{run_tandem_conformance, E2eOutcome};
 pub use exec::{
-    faults_from, materialize_packets, register_flows, run_faulted, ExecReport, FaultAction,
-    TimedFault,
+    faults_from, materialize_packets, register_flows, run_faulted, run_faulted_checked, ExecReport,
+    FaultAction, TimedFault,
 };
 pub use faults::{effective_delta_bits, hop_profile};
 pub use scenario::{
-    other_lmax_at, Churn, Droop, FlowSpec, Preset, Scenario, ServerSpec, SizeDist, SourceKind,
-    OBSERVED_FLOW,
+    other_lmax_at, Churn, Droop, DropKind, FlowSpec, Preset, Scenario, ServerSpec, SizeDist,
+    SourceKind, OBSERVED_FLOW,
 };
+pub use soak::{drop_policy_of, run_soak, SoakOutcome};

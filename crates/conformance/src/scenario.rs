@@ -34,15 +34,21 @@ pub enum Preset {
     /// Two-flow Fair Airport workload (Theorems 8/9): one flow bursts
     /// alone, then both stay backlogged.
     FairAirport,
+    /// Long-horizon overload soak: a deliberately overbooked single hop
+    /// with tight buffer caps, a randomized drop policy, and mid-run
+    /// churn + revive — the graceful-degradation / recovery preset (see
+    /// `docs/robustness.md`).
+    Soak,
 }
 
 impl Preset {
     /// Every preset, for fuzz drivers.
-    pub const ALL: [Preset; 4] = [
+    pub const ALL: [Preset; 5] = [
         Preset::SingleFc,
         Preset::SingleEbf,
         Preset::Tandem,
         Preset::FairAirport,
+        Preset::Soak,
     ];
 
     /// Stable name used in replay lines.
@@ -52,6 +58,7 @@ impl Preset {
             Preset::SingleEbf => "single-ebf",
             Preset::Tandem => "tandem",
             Preset::FairAirport => "fair-airport",
+            Preset::Soak => "soak",
         }
     }
 
@@ -185,6 +192,21 @@ pub struct Droop {
     pub percent: u32,
 }
 
+/// Buffer overflow response of every hop. Mirrors `netsim::DropPolicy`
+/// without importing it, so the DSL stays consumer-agnostic; the
+/// executors map it onto the switch policy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DropKind {
+    /// Refuse the arriving packet.
+    #[default]
+    Tail,
+    /// Evict the arriving flow's oldest queued packet.
+    Head,
+    /// On shared-cap overflow, evict the head of the flow with the
+    /// largest `backlog/weight` pressure.
+    Lwp,
+}
+
 /// A flow-churn fault: force-remove `flow` (discarding its backlog at
 /// every hop it traverses) at `at_ms`; optionally re-register it at
 /// `revive_ms` (single-server executor only).
@@ -217,6 +239,15 @@ pub struct Scenario {
     pub horizon_ms: u64,
     /// Per-flow buffer cap at every hop (`None` = unbounded).
     pub per_flow_cap: Option<usize>,
+    /// Shared (all-flow) buffer cap at every hop (`None` = unbounded).
+    pub shared_cap: Option<usize>,
+    /// Buffer overflow response at every hop.
+    pub drop_policy: DropKind,
+    /// Fairness-recovery measurement point, milliseconds: the instant
+    /// (mid drain gap, after the overload phase) at which the soak
+    /// runner opens a fresh watermark window. `None` for presets
+    /// without a recovery phase.
+    pub recovery_at_ms: Option<u64>,
     /// The flows.
     pub flows: Vec<FlowSpec>,
     /// Capacity-droop faults.
@@ -234,6 +265,7 @@ impl Scenario {
             Preset::SingleFc => gen_single_fc(seed, &mut rng),
             Preset::SingleEbf => gen_single_ebf(seed, &mut rng),
             Preset::FairAirport => gen_fair_airport(seed, &mut rng),
+            Preset::Soak => gen_soak(seed, &mut rng),
         }
     }
 
@@ -463,6 +495,9 @@ fn gen_tandem(seed: u64, rng: &mut SimRng) -> Scenario {
         prop_ms,
         horizon_ms,
         per_flow_cap,
+        shared_cap: None,
+        drop_policy: DropKind::Tail,
+        recovery_at_ms: None,
         flows,
         droops,
         churns,
@@ -534,6 +569,9 @@ fn gen_single_fc(seed: u64, rng: &mut SimRng) -> Scenario {
         prop_ms: 0,
         horizon_ms,
         per_flow_cap: None,
+        shared_cap: None,
+        drop_policy: DropKind::Tail,
+        recovery_at_ms: None,
         flows,
         droops,
         churns,
@@ -570,6 +608,9 @@ fn gen_single_ebf(seed: u64, rng: &mut SimRng) -> Scenario {
         prop_ms: 0,
         horizon_ms,
         per_flow_cap: None,
+        shared_cap: None,
+        drop_policy: DropKind::Tail,
+        recovery_at_ms: None,
         flows,
         droops: Vec::new(),
         churns: Vec::new(),
@@ -624,9 +665,106 @@ fn gen_fair_airport(seed: u64, rng: &mut SimRng) -> Scenario {
         prop_ms: 0,
         horizon_ms,
         per_flow_cap: None,
+        shared_cap: None,
+        drop_policy: DropKind::Tail,
+        recovery_at_ms: None,
         flows,
         droops: Vec::new(),
         churns: Vec::new(),
+    }
+}
+
+fn gen_soak(seed: u64, rng: &mut SimRng) -> Scenario {
+    // Deliberately overbooked single hop in two phases.
+    //
+    // Phase A (the first ~60% of the horizon): two heavy flows offer
+    // deterministic burst trains that jointly exceed the link (plus a
+    // CBR cross flow), so the tight buffer caps shed load under the
+    // scenario's drop policy the whole phase, and the cross flow is
+    // churned and revived mid-overload. Under head-drop/LWP the evicted
+    // packets' tag spans stay charged to their flows, so *delivered*
+    // service fairness is intentionally sacrificed here.
+    //
+    // Phase B (after a drain gap): both heavy flows switch to a gentle
+    // synchronized probe train that keeps them simultaneously
+    // backlogged without ever reaching a cap. Once the overload backlog
+    // drains and the busy period ends, SFQ's start-at-v rule forgives
+    // the accumulated charge — so a fresh fairness watermark opened at
+    // `recovery_at_ms` must come back under the Theorem 1 bound. That
+    // is the recovery invariant the soak exists to check.
+    let link_bps = 100_000u64;
+    let horizon_ms = rng.uniform_range(30, 61) * 1_000;
+    let overload_end_ms = horizon_ms * 6 / 10;
+    let probe_start_ms = overload_end_ms + 3_000;
+    let len = 250u64; // 2000 bits per packet
+
+    let mut flows = Vec::new();
+    for id in 1..=2u32 {
+        // 13–18 packets every 500 ms = 52–72 kb/s per flow: the pair
+        // always offers >= 104 kb/s, overbooking the 100 kb/s link
+        // before the cross flow is even counted.
+        let c = rng.uniform_range(13, 19) as u32;
+        let mut phases = Vec::new();
+        let mut t = rng.uniform_range(0, 100);
+        while t < overload_end_ms {
+            phases.push((t, c));
+            t += 500;
+        }
+        // Probe train: 3-packet bursts (below every cap) at instants
+        // shared by both flows, so both are backlogged while each
+        // burst drains.
+        let mut t = probe_start_ms;
+        while t + 2_000 <= horizon_ms {
+            phases.push((t, 3));
+            t += 2_000;
+        }
+        flows.push(FlowSpec {
+            id,
+            weight_bps: 4_000 * c as u64, // reserve exactly the offered rate
+            size: SizeDist::Fixed(len),
+            source: SourceKind::Bursts(phases),
+            start_ms: 0,
+            entry: 0,
+            exit: 0,
+        });
+    }
+    flows.push(FlowSpec {
+        id: 3,
+        weight_bps: link_bps / 10,
+        size: SizeDist::Fixed(len),
+        source: SourceKind::Cbr,
+        start_ms: 0,
+        entry: 0,
+        exit: 0,
+    });
+    let at_ms = rng.uniform_range(overload_end_ms / 3, overload_end_ms / 2);
+    let churns = vec![Churn {
+        flow: 3,
+        at_ms,
+        revive_ms: Some(at_ms + rng.uniform_range(2_000, 4_001)),
+    }];
+    let drop_policy = match rng.uniform_range(0, 3) {
+        0 => DropKind::Tail,
+        1 => DropKind::Head,
+        _ => DropKind::Lwp,
+    };
+    let per_flow_cap = rng.uniform_range(4, 9) as usize;
+    let shared_cap = per_flow_cap * 2 + rng.uniform_range(2, 7) as usize;
+    Scenario {
+        preset: Preset::Soak,
+        seed,
+        link_bps,
+        server: ServerSpec::Constant,
+        hops: 1,
+        prop_ms: 0,
+        horizon_ms,
+        per_flow_cap: Some(per_flow_cap),
+        shared_cap: Some(shared_cap),
+        drop_policy,
+        recovery_at_ms: Some(overload_end_ms + 1_500),
+        flows,
+        droops: Vec::new(),
+        churns,
     }
 }
 

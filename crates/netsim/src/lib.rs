@@ -25,6 +25,6 @@ mod tcp;
 
 pub use mesh::{LinkId, Mesh, MeshDelivery};
 pub use net::{Delivery, Net};
-pub use switch::SwitchCore;
+pub use switch::{DropPolicy, SwitchCore};
 pub use tandem::{Tandem, TandemReport, Transit};
 pub use tcp::{TcpConfig, TcpReceiver, TcpSender};

@@ -19,7 +19,7 @@
 
 use crate::obs::{FlowChange, NoopObserver, SchedEvent, SchedObserver};
 use crate::packet::{FlowId, Packet};
-use crate::sched::Scheduler;
+use crate::sched::{SchedError, Scheduler};
 use simtime::{Rate, Ratio, SimTime};
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
@@ -161,7 +161,9 @@ impl<O: SchedObserver> FairAirport<O> {
     /// (Re)announce `flow`'s current front pending packet on the
     /// eligibility heap. Stale announcements are skipped at pop time.
     fn announce_pending(&mut self, flow: FlowId) {
-        let fs = self.flows.get(&flow).expect("known flow");
+        let Some(fs) = self.flows.get(&flow) else {
+            return;
+        };
         if fs.gsq_ts.len() < fs.queue.len() {
             let p = fs.queue[fs.gsq_ts.len()];
             let eat = p.arrival.max(fs.chain);
@@ -176,7 +178,11 @@ impl<O: SchedObserver> FairAirport<O> {
                 break;
             }
             let _ = self.pending.pop();
-            let fs = self.flows.get_mut(&flow).expect("known flow");
+            // A force-removed flow leaves its announcements behind:
+            // skip them like any other stale entry.
+            let Some(fs) = self.flows.get_mut(&flow) else {
+                continue;
+            };
             // Skip stale announcements (the packet was ASQ-served or
             // already admitted since).
             let front = fs
@@ -202,9 +208,13 @@ impl<O: SchedObserver> FairAirport<O> {
     /// Remove the front unserved packet of `flow` and fix up the ASQ
     /// bookkeeping, applying start-tag inheritance on GSQ removals.
     fn remove_front(&mut self, now: SimTime, flow: FlowId, via: ServedVia) -> Packet {
-        let fs = self.flows.get_mut(&flow).expect("known flow");
+        let Some(fs) = self.flows.get_mut(&flow) else {
+            unreachable!("remove_front on unknown flow {flow}")
+        };
         let removed_start = fs.front_start;
-        let p = fs.queue.pop_front().expect("non-empty flow queue");
+        let Some(p) = fs.queue.pop_front() else {
+            unreachable!("remove_front on empty flow {flow}")
+        };
         let natural_finish = removed_start + fs.weight.tag_span(p.len);
         self.asq_ready.remove(&(removed_start, flow));
         if let Some(_next) = fs.queue.front() {
@@ -241,6 +251,29 @@ impl<O: SchedObserver> FairAirport<O> {
         }
         p
     }
+
+    /// Drop a flow and all of its queued packets immediately, without
+    /// the idle-only guard of [`Scheduler::remove_flow`] — the "flow
+    /// churn" fault of the conformance harness. Returns the number of
+    /// packets discarded. GSQ heap and regulator announcements for the
+    /// flow are left behind as stale entries and skipped lazily (by
+    /// flow-absence or head-uid mismatch) on later dequeues; the ASQ
+    /// virtual-time state is untouched, so removal is safe even while
+    /// one of the flow's packets is in service.
+    pub fn force_remove_flow(&mut self, flow: FlowId) -> usize {
+        let Some(fs) = self.flows.remove(&flow) else {
+            return 0;
+        };
+        self.flow_order.retain(|f| *f != flow);
+        let dropped = fs.queue.len();
+        self.queued -= dropped;
+        if !fs.queue.is_empty() {
+            self.asq_ready.remove(&(fs.front_start, flow));
+        }
+        self.obs
+            .on_flow_change(flow, &FlowChange::ForceRemoved { dropped });
+        dropped
+    }
 }
 
 impl Default for FairAirport {
@@ -272,22 +305,34 @@ impl<O: SchedObserver> Scheduler for FairAirport<O> {
     }
 
     fn enqueue(&mut self, now: SimTime, pkt: Packet) {
+        self.try_enqueue(now, pkt)
+            .unwrap_or_else(|e| panic!("FA: {e}"));
+    }
+
+    fn try_enqueue(&mut self, now: SimTime, pkt: Packet) -> Result<(), SchedError> {
         // Snapped at the read point (see Ratio::snap_pico).
         let v_now = self.asq_virtual_time().snap_pico();
         let fs = self
             .flows
             .get_mut(&pkt.flow)
-            .unwrap_or_else(|| panic!("FA: unregistered flow {}", pkt.flow));
+            .ok_or(SchedError::UnknownFlow(pkt.flow))?;
         let was_empty = fs.queue.is_empty();
-        fs.queue.push_back(pkt);
-        let is_front_pending = fs.queue.len() - fs.gsq_ts.len() == 1;
         let mut tags = (Ratio::ZERO, Ratio::ZERO);
         if was_empty {
             // SFQ arrival to an idle flow: S = max(v(A), F_prev).
-            fs.front_start = v_now.max(fs.last_finish);
-            let s = fs.front_start;
-            tags = (s, s + fs.weight.tag_span(pkt.len));
-            self.asq_ready.insert((s, pkt.flow));
+            // Checked before any state changes so a tag overflow
+            // leaves no trace.
+            let s = v_now.max(fs.last_finish);
+            let f = s
+                .checked_add(fs.weight.tag_span(pkt.len))
+                .ok_or(SchedError::TagOverflow)?;
+            fs.front_start = s;
+            tags = (s, f);
+        }
+        fs.queue.push_back(pkt);
+        let is_front_pending = fs.queue.len() - fs.gsq_ts.len() == 1;
+        if was_empty {
+            self.asq_ready.insert((tags.0, pkt.flow));
         }
         self.queued += 1;
         if is_front_pending {
@@ -302,6 +347,7 @@ impl<O: SchedObserver> Scheduler for FairAirport<O> {
             finish_tag: tags.1,
             v: v_now,
         });
+        Ok(())
     }
 
     fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
@@ -310,20 +356,25 @@ impl<O: SchedObserver> Scheduler for FairAirport<O> {
         }
         self.release_regulator(now);
         // Priority to the GSQ (rule 6).
-        if let Some(Reverse((_ts, uid, flow))) = self.gsq.pop() {
-            let fs = self.flows.get_mut(&flow).expect("known flow");
-            debug_assert_eq!(
-                fs.queue.front().map(|p| p.uid),
-                Some(uid),
-                "GSQ head must be its flow's oldest unserved packet"
-            );
+        while let Some(Reverse((_ts, uid, flow))) = self.gsq.pop() {
+            // A force-removed (possibly since revived) flow leaves its
+            // GSQ entry behind: uids are never reused, so the entry is
+            // live exactly when it still names the flow's oldest
+            // unserved packet; anything else is stale and skipped.
+            let Some(fs) = self.flows.get_mut(&flow) else {
+                continue;
+            };
+            if fs.queue.front().map(|p| p.uid) != Some(uid) {
+                continue;
+            }
             fs.gsq_ts.pop_front();
             let pkt = self.remove_front(now, flow, ServedVia::Gsq);
             // The flow's next admitted packet (now its queue front, if
             // any) takes over as its GSQ head.
-            let fs = self.flows.get(&flow).expect("known flow");
-            if let (Some(&ts), Some(next)) = (fs.gsq_ts.front(), fs.queue.front()) {
-                self.gsq.push(Reverse((ts, next.uid, flow)));
+            if let Some(fs) = self.flows.get(&flow) {
+                if let (Some(&ts), Some(next)) = (fs.gsq_ts.front(), fs.queue.front()) {
+                    self.gsq.push(Reverse((ts, next.uid, flow)));
+                }
             }
             return Some(pkt);
         }
@@ -366,6 +417,10 @@ impl<O: SchedObserver> Scheduler for FairAirport<O> {
             }
             _ => false,
         }
+    }
+
+    fn force_remove_flow(&mut self, flow: FlowId) -> usize {
+        FairAirport::force_remove_flow(self, flow)
     }
 
     fn name(&self) -> &'static str {

@@ -28,6 +28,7 @@
 //! in the disciplines — only the FIFO + heap mechanics live here.
 
 use crate::packet::{FlowId, Packet};
+use crate::sched::SchedError;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
@@ -101,11 +102,27 @@ impl<K: Ord + Copy, E, M: Copy> FlowFifos<K, E, M> {
     /// the assigned `(key, meta)` so the discipline can report the
     /// event. Panics if the flow is unregistered.
     pub fn push_with(&mut self, pkt: Packet, tag: impl FnOnce(&mut E) -> (K, M)) -> (K, M) {
+        let name = self.name;
+        self.try_push_with(pkt, |ext| Some(tag(ext)))
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+    }
+
+    /// Fallible [`FlowFifos::push_with`]: an unregistered flow returns
+    /// [`SchedError::UnknownFlow`] and a `tag` closure that returns
+    /// `None` (checked tag arithmetic overflowed) maps to
+    /// [`SchedError::TagOverflow`] — in both cases no state changes,
+    /// provided `tag` defers its extension-state update until after its
+    /// last fallible step.
+    pub fn try_push_with(
+        &mut self,
+        pkt: Packet,
+        tag: impl FnOnce(&mut E) -> Option<(K, M)>,
+    ) -> Result<(K, M), SchedError> {
         let fq = self
             .flows
             .get_mut(&pkt.flow)
-            .unwrap_or_else(|| panic!("{}: unregistered flow {}", self.name, pkt.flow));
-        let (key, meta) = tag(&mut fq.ext);
+            .ok_or(SchedError::UnknownFlow(pkt.flow))?;
+        let (key, meta) = tag(&mut fq.ext).ok_or(SchedError::TagOverflow)?;
         let was_idle = fq.queue.is_empty();
         fq.queue.push_back(Entry { pkt, key, meta });
         if was_idle {
@@ -114,7 +131,7 @@ impl<K: Ord + Copy, E, M: Copy> FlowFifos<K, E, M> {
             self.heap.push(Reverse((key, pkt.flow)));
         }
         self.queued += 1;
-        (key, meta)
+        Ok((key, meta))
     }
 
     /// Remove and return the minimum-key head packet, with its key and
@@ -132,7 +149,10 @@ impl<K: Ord + Copy, E, M: Copy> FlowFifos<K, E, M> {
             if fq.queue.front().map(|e| e.key) != Some(key) {
                 continue;
             }
-            let e = fq.queue.pop_front().expect("checked non-empty front");
+            let Some(e) = fq.queue.pop_front() else {
+                // Unreachable: the front was just matched against `key`.
+                continue;
+            };
             if let Some(next) = fq.queue.front() {
                 self.heap.push(Reverse((next.key, flow)));
             }
@@ -182,6 +202,46 @@ impl<K: Ord + Copy, E, M: Copy> FlowFifos<K, E, M> {
             .flat_map(|f| f.queue.iter())
             .find(|e| e.pkt.uid == uid)
             .map(|e| (&e.key, &e.meta))
+    }
+
+    /// Discard `flow`'s head-of-line packet, returning it. The new head
+    /// (if any) is pushed into the heap; the dropped head's entry —
+    /// whether still in the heap or not — becomes stale and is skipped
+    /// by key mismatch like any other. Used by the head-drop overload
+    /// policy: the flow's tag chain is left intact, so the dropped
+    /// packet's virtual-time span stays charged to the flow.
+    pub fn drop_front(&mut self, flow: FlowId) -> Option<(Packet, K, M)> {
+        let fq = self.flows.get_mut(&flow)?;
+        let e = fq.queue.pop_front()?;
+        if let Some(next) = fq.queue.front() {
+            self.heap.push(Reverse((next.key, flow)));
+        }
+        self.queued -= 1;
+        Some((e.pkt, e.key, e.meta))
+    }
+
+    /// Apply `entry` to every queued packet's key and metadata and
+    /// `ext` to every registered flow's extension state, then rebuild
+    /// the head-of-flow heap from the updated heads (dropping any stale
+    /// entries as a side effect). The caller must preserve relative key
+    /// order — virtual-time rebasing shifts every tag by the same
+    /// baseline, which does. Cost is `O(packets + flows)`; disciplines
+    /// call this only at rebase points, never on the per-packet path.
+    pub fn retag_all(
+        &mut self,
+        mut entry: impl FnMut(&mut K, &mut M),
+        mut ext: impl FnMut(&mut E),
+    ) {
+        self.heap.clear();
+        for (&flow, fq) in self.flows.iter_mut() {
+            ext(&mut fq.ext);
+            for e in fq.queue.iter_mut() {
+                entry(&mut e.key, &mut e.meta);
+            }
+            if let Some(front) = fq.queue.front() {
+                self.heap.push(Reverse((front.key, flow)));
+            }
+        }
     }
 
     /// Remove an **idle** flow; returns false if the flow is unknown or

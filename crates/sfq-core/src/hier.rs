@@ -27,7 +27,7 @@
 
 use crate::obs::{FlowChange, NoopObserver, SchedEvent, SchedObserver};
 use crate::packet::{FlowId, Packet};
-use crate::sched::Scheduler;
+use crate::sched::{SchedError, Scheduler};
 use simtime::{Rate, Ratio, SimTime};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
@@ -241,10 +241,9 @@ impl<O: SchedObserver> HierSfq<O> {
     pub fn add_flow_to_scheduler(&mut self, class: ClassId, flow: FlowId, weight: Rate) {
         assert!(!self.flow_leaf.contains_key(&flow), "flow already attached");
         let node = self.node_mut(class);
-        let inner = node
-            .inner
-            .as_mut()
-            .expect("add_flow_to_scheduler requires a scheduler class");
+        let Some(inner) = node.inner.as_mut() else {
+            panic!("add_flow_to_scheduler requires a scheduler class")
+        };
         inner.add_flow(flow, weight);
         self.flow_leaf.insert(flow, class);
         self.obs.on_flow_change(flow, &FlowChange::Added { weight });
@@ -273,6 +272,73 @@ impl<O: SchedObserver> HierSfq<O> {
         self.node(class).subtree_backlog
     }
 
+    /// Remove `dropped` packets' worth of backlog from `leaf` and every
+    /// ancestor, deactivating (withdrawing from the parent ready set)
+    /// any node whose subtree empties. Nodes currently mid-service are
+    /// not in any ready set; `on_departure` closes their busy period as
+    /// usual once the in-flight transmission completes.
+    fn shrink_backlog(&mut self, leaf: ClassId, dropped: usize) {
+        let mut cur = leaf;
+        loop {
+            self.node_mut(cur).subtree_backlog -= dropped;
+            let parent = self.node(cur).parent;
+            if self.node(cur).subtree_backlog == 0 && self.node(cur).in_ready {
+                let Some(p) = parent else {
+                    unreachable!("root is never in a ready set")
+                };
+                let start = self.node(cur).start;
+                self.node_mut(p).ready.remove(&(start, cur));
+                self.node_mut(cur).in_ready = false;
+            }
+            match parent {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+    }
+
+    /// Drop a flow and all of its queued packets immediately, without
+    /// the idle-only guard of [`Scheduler::remove_flow`] — including
+    /// while a packet of the flow is mid-service (the in-flight packet
+    /// has already been handed to the server and is unaffected).
+    /// Returns the number of packets discarded.
+    ///
+    /// The flow's leaf node stays in the tree as a tombstone carrying
+    /// its tag state (`ClassId`s are never reused), but the flow itself
+    /// detaches: further packets are refused until it is re-registered.
+    /// For flows routed to a nested scheduler class, the drop is
+    /// delegated to the inner discipline; if the inner discipline does
+    /// not support forced removal the flow stays attached.
+    pub fn force_remove_flow(&mut self, flow: FlowId) -> usize {
+        let Some(&leaf) = self.flow_leaf.get(&flow) else {
+            return 0;
+        };
+        let node = self.node_mut(leaf);
+        let dropped = match node.inner.as_mut() {
+            Some(inner) => {
+                let dropped = inner.force_remove_flow(flow);
+                if inner.backlog(flow) > 0 {
+                    // Inner discipline refused: keep the routing intact
+                    // so the retained packets stay reachable.
+                    return 0;
+                }
+                dropped
+            }
+            None => {
+                let dropped = node.queue.len();
+                node.queue.clear();
+                dropped
+            }
+        };
+        self.flow_leaf.remove(&flow);
+        if dropped > 0 {
+            self.shrink_backlog(leaf, dropped);
+        }
+        self.obs
+            .on_flow_change(flow, &FlowChange::ForceRemoved { dropped });
+        dropped
+    }
+
     fn node(&self, id: ClassId) -> &Node {
         &self.nodes[id.0 as usize]
     }
@@ -296,13 +362,32 @@ impl<O: SchedObserver> Scheduler for HierSfq<O> {
     }
 
     fn enqueue(&mut self, now: SimTime, pkt: Packet) {
-        let leaf = *self
-            .flow_leaf
-            .get(&pkt.flow)
-            .unwrap_or_else(|| panic!("HierSfq: unregistered flow {}", pkt.flow));
+        self.try_enqueue(now, pkt)
+            .unwrap_or_else(|e| panic!("HierSfq: {e}"));
+    }
+
+    fn try_add_flow(&mut self, flow: FlowId, weight: Rate) -> Result<(), SchedError> {
+        if weight.as_bps() == 0 {
+            return Err(SchedError::ZeroWeight(flow));
+        }
+        // A flow is bound to its leaf class: re-registration is refused
+        // rather than treated as a weight update (the flat default).
+        if self.flow_leaf.contains_key(&flow) {
+            return Err(SchedError::DuplicateFlow(flow));
+        }
+        self.add_flow(flow, weight);
+        Ok(())
+    }
+
+    fn try_enqueue(&mut self, now: SimTime, pkt: Packet) -> Result<(), SchedError> {
+        let Some(&leaf) = self.flow_leaf.get(&pkt.flow) else {
+            return Err(SchedError::UnknownFlow(pkt.flow));
+        };
         let leaf_node = self.node_mut(leaf);
         match leaf_node.inner.as_mut() {
-            Some(inner) => inner.enqueue(now, pkt),
+            // The nested discipline rejects before any tree state
+            // changes, so a refused packet leaves the hierarchy intact.
+            Some(inner) => inner.try_enqueue(now, pkt)?,
             None => leaf_node.queue.push_back(pkt),
         }
 
@@ -344,6 +429,7 @@ impl<O: SchedObserver> Scheduler for HierSfq<O> {
             finish_tag: ln.finish,
             v: self.node(self.root()).virtual_time(),
         });
+        Ok(())
     }
 
     fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
@@ -358,21 +444,23 @@ impl<O: SchedObserver> Scheduler for HierSfq<O> {
             if self.node(cur).is_leaf {
                 let node = self.node_mut(cur);
                 break match node.inner.as_mut() {
-                    Some(inner) => inner
-                        .dequeue(now)
-                        .expect("backlogged scheduler class with empty discipline"),
-                    None => node
-                        .queue
-                        .pop_front()
-                        .expect("backlogged leaf with empty queue"),
+                    Some(inner) => {
+                        let Some(p) = inner.dequeue(now) else {
+                            unreachable!("backlogged scheduler class with empty discipline")
+                        };
+                        p
+                    }
+                    None => {
+                        let Some(p) = node.queue.pop_front() else {
+                            unreachable!("backlogged leaf with empty queue")
+                        };
+                        p
+                    }
                 };
             }
-            let &(s, child) = self
-                .node(cur)
-                .ready
-                .iter()
-                .next()
-                .expect("backlogged interior class with empty ready set");
+            let Some(&(s, child)) = self.node(cur).ready.iter().next() else {
+                unreachable!("backlogged interior class with empty ready set")
+            };
             self.node_mut(cur).ready.remove(&(s, child));
             self.node_mut(child).in_ready = false;
             self.node_mut(cur).in_service = Some(s);
@@ -448,6 +536,32 @@ impl<O: SchedObserver> Scheduler for HierSfq<O> {
                 None => node.subtree_backlog,
             }
         })
+    }
+
+    fn force_remove_flow(&mut self, flow: FlowId) -> usize {
+        HierSfq::force_remove_flow(self, flow)
+    }
+
+    fn drop_head(&mut self, flow: FlowId) -> Option<Packet> {
+        let &leaf = self.flow_leaf.get(&flow)?;
+        let node = self.node_mut(leaf);
+        let pkt = match node.inner.as_mut() {
+            Some(inner) => inner.drop_head(flow)?,
+            None => node.queue.pop_front()?,
+        };
+        self.shrink_backlog(leaf, 1);
+        let ln = self.node(leaf);
+        let (start, finish) = (ln.start, ln.finish);
+        self.obs.on_drop(&SchedEvent {
+            time: pkt.arrival,
+            flow: pkt.flow,
+            uid: pkt.uid,
+            len: pkt.len,
+            start_tag: start,
+            finish_tag: finish,
+            v: self.node(self.root()).virtual_time(),
+        });
+        Some(pkt)
     }
 
     fn name(&self) -> &'static str {

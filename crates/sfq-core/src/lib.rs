@@ -24,6 +24,10 @@
 //! tracing and metrics implementations.
 
 #![warn(missing_docs)]
+// Non-test code must stay panic-free on fallible paths: route failures
+// through `SchedError` instead (see docs/robustness.md). Unit tests may
+// unwrap freely — the cfg_attr drops the lint under `cfg(test)`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod fair_airport;
 pub mod flowq;
@@ -36,7 +40,7 @@ mod sfq;
 
 pub use fair_airport::{FairAirport, ServedVia};
 pub use hier::{ClassId, HierSfq};
-pub use obs::{FlowChange, NoopObserver, SchedEvent, SchedObserver};
+pub use obs::{Backpressure, FlowChange, NoopObserver, SchedEvent, SchedObserver};
 pub use packet::{FlowId, Packet, PacketFactory};
-pub use sched::{Scheduler, TieBreak};
+pub use sched::{SchedError, Scheduler, TieBreak};
 pub use sfq::Sfq;

@@ -63,6 +63,19 @@ pub enum FlowChange {
     },
 }
 
+/// Buffer-pressure signal from a switch port (see `netsim`): emitted
+/// when a flow's backlog first reaches its buffer cap (`Engage`) and
+/// when it next drains back below it (`Release`). Sources, admission
+/// controllers, or telemetry can react; the schedulers themselves
+/// never emit this — only switch admission does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backpressure {
+    /// The flow's buffer filled: arrivals are being shed.
+    Engage,
+    /// The flow's backlog drained below its cap: admission resumed.
+    Release,
+}
+
 /// Observation hooks called by schedulers. All methods default to
 /// no-ops so implementors override only what they need.
 pub trait SchedObserver {
@@ -82,6 +95,11 @@ pub trait SchedObserver {
     /// The flow set changed.
     #[inline(always)]
     fn on_flow_change(&mut self, _flow: FlowId, _change: &FlowChange) {}
+
+    /// A switch port's buffer pressure changed for `flow` (never called
+    /// by bare disciplines; see [`Backpressure`]).
+    #[inline(always)]
+    fn on_backpressure(&mut self, _time: SimTime, _flow: FlowId, _state: Backpressure) {}
 }
 
 /// The do-nothing observer every scheduler defaults to. Zero-sized;
@@ -107,6 +125,9 @@ impl<O: SchedObserver> SchedObserver for Rc<RefCell<O>> {
     fn on_flow_change(&mut self, flow: FlowId, change: &FlowChange) {
         self.borrow_mut().on_flow_change(flow, change);
     }
+    fn on_backpressure(&mut self, time: SimTime, flow: FlowId, state: Backpressure) {
+        self.borrow_mut().on_backpressure(time, flow, state);
+    }
 }
 
 /// Boxed observers forward to their contents (used by `netsim`
@@ -123,6 +144,9 @@ impl<O: SchedObserver + ?Sized> SchedObserver for Box<O> {
     }
     fn on_flow_change(&mut self, flow: FlowId, change: &FlowChange) {
         (**self).on_flow_change(flow, change);
+    }
+    fn on_backpressure(&mut self, time: SimTime, flow: FlowId, state: Backpressure) {
+        (**self).on_backpressure(time, flow, state);
     }
 }
 
@@ -144,5 +168,9 @@ impl<A: SchedObserver, B: SchedObserver> SchedObserver for (A, B) {
     fn on_flow_change(&mut self, flow: FlowId, change: &FlowChange) {
         self.0.on_flow_change(flow, change);
         self.1.on_flow_change(flow, change);
+    }
+    fn on_backpressure(&mut self, time: SimTime, flow: FlowId, state: Backpressure) {
+        self.0.on_backpressure(time, flow, state);
+        self.1.on_backpressure(time, flow, state);
     }
 }

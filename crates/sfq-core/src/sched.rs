@@ -10,7 +10,48 @@
 //! variable-rate) server it runs on.
 
 use crate::packet::{FlowId, Packet};
+use core::fmt;
 use simtime::{Rate, SimTime};
+
+/// Typed failure of a scheduler control-plane operation.
+///
+/// The fallible `try_*` methods on [`Scheduler`] return these instead of
+/// panicking, so a switch under hostile or overloaded input can shed the
+/// offending operation and keep serving every other flow. The panicking
+/// methods remain as thin wrappers for callers that treat any of these
+/// as a programming error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedError {
+    /// The packet's flow was never registered (or was removed).
+    UnknownFlow(FlowId),
+    /// The flow is already registered and the discipline refuses to
+    /// silently re-register it.
+    DuplicateFlow(FlowId),
+    /// A flow cannot be registered with a zero rate: tag spans divide
+    /// by the weight (Eq. 5's `l / r_f`).
+    ZeroWeight(FlowId),
+    /// A buffer cap refused the packet (reported by `netsim` switch
+    /// admission, never by the bare disciplines).
+    BufferFull(FlowId),
+    /// Tag arithmetic overflowed `i128` rational range. Virtual-time
+    /// rebasing (see `docs/robustness.md`) keeps long-running schedulers
+    /// away from this edge.
+    TagOverflow,
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::UnknownFlow(flow) => write!(f, "unregistered flow {flow}"),
+            SchedError::DuplicateFlow(flow) => write!(f, "flow {flow} already registered"),
+            SchedError::ZeroWeight(flow) => write!(f, "flow {flow} has zero weight"),
+            SchedError::BufferFull(flow) => write!(f, "buffer full for flow {flow}"),
+            SchedError::TagOverflow => write!(f, "tag arithmetic overflow"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
 
 /// A work-conserving packet scheduling discipline.
 pub trait Scheduler {
@@ -28,6 +69,37 @@ pub trait Scheduler {
     /// if no packet is queued. Work conservation: must return `Some`
     /// whenever `!self.is_empty()`.
     fn dequeue(&mut self, now: SimTime) -> Option<Packet>;
+
+    /// Fallible flow registration: [`SchedError::ZeroWeight`] instead of
+    /// the `add_flow` assertion. Disciplines that refuse to re-register
+    /// a live flow (e.g. `HierSfq`, where a flow is bound to a class)
+    /// return [`SchedError::DuplicateFlow`]; the default — like
+    /// `add_flow` — treats re-registration as a weight update.
+    fn try_add_flow(&mut self, flow: FlowId, weight: Rate) -> Result<(), SchedError> {
+        if weight.as_bps() == 0 {
+            return Err(SchedError::ZeroWeight(flow));
+        }
+        self.add_flow(flow, weight);
+        Ok(())
+    }
+
+    /// Fallible enqueue: [`SchedError::UnknownFlow`] for an unregistered
+    /// flow and [`SchedError::TagOverflow`] when tag arithmetic would
+    /// leave `i128` rational range, leaving the scheduler state
+    /// untouched in both cases. The default delegates to the panicking
+    /// [`Scheduler::enqueue`] for disciplines not yet hardened.
+    fn try_enqueue(&mut self, now: SimTime, pkt: Packet) -> Result<(), SchedError> {
+        self.enqueue(now, pkt);
+        Ok(())
+    }
+
+    /// Fallible dequeue. Selection involves only comparisons and maxima
+    /// of existing tags, so for every discipline in this workspace it
+    /// cannot fail; the `Result` keeps the fallible control plane
+    /// uniform for drivers that thread `?` through each scheduler call.
+    fn try_dequeue(&mut self, now: SimTime) -> Result<Option<Packet>, SchedError> {
+        Ok(self.dequeue(now))
+    }
 
     /// The transmission started by the last `dequeue` completed at
     /// `now`. Disciplines that track busy periods (e.g. SFQ's rule for
@@ -62,6 +134,17 @@ pub trait Scheduler {
     /// packets of it are enqueued.
     fn force_remove_flow(&mut self, _flow: FlowId) -> usize {
         0
+    }
+
+    /// Discard `flow`'s head-of-line queued packet, returning it —
+    /// overload shedding for the head-drop buffer policy, which evicts
+    /// the oldest queued packet to make room for an arrival. The flow's
+    /// tag chain is left intact (the dropped packet's virtual-time span
+    /// stays charged to the flow, so fairness accounting is
+    /// unaffected). Default: `None` — the discipline does not support
+    /// eviction and callers fall back to refusing the arrival instead.
+    fn drop_head(&mut self, _flow: FlowId) -> Option<Packet> {
+        None
     }
 
     /// Human-readable discipline name for reports.

@@ -35,8 +35,9 @@
 use crate::flowq::FlowFifos;
 use crate::obs::{FlowChange, NoopObserver, SchedEvent, SchedObserver};
 use crate::packet::{FlowId, Packet};
-use crate::sched::{Scheduler, TieBreak};
+use crate::sched::{SchedError, Scheduler, TieBreak};
 use simtime::{Rate, Ratio, SimTime};
+use std::cell::Cell;
 
 /// Heap ordering key: primary start tag, then the tie-break key, then
 /// packet uid for full determinism.
@@ -97,6 +98,13 @@ pub struct Sfq<O: SchedObserver = NoopObserver> {
     in_service: Option<Ratio>,
     /// Maximum finish tag assigned to any packet serviced so far.
     max_finish_served: Ratio,
+    /// Virtual-time rebasing threshold in magnitude bits, or `None`
+    /// when rebasing is disabled (the seed behaviour: tags grow without
+    /// bound and arithmetic panics at the `i128` edge). See
+    /// [`Sfq::enable_rebasing`].
+    rebase_bits: Option<u32>,
+    /// Number of rebases applied so far.
+    rebases: u64,
     obs: O,
 }
 
@@ -122,8 +130,35 @@ impl<O: SchedObserver> Sfq<O> {
             v: Ratio::ZERO,
             in_service: None,
             max_finish_served: Ratio::ZERO,
+            rebase_bits: None,
+            rebases: 0,
             obs,
         }
+    }
+
+    /// Enable virtual-time rebasing: at every busy-period boundary, and
+    /// eagerly whenever `v(t)`'s numerator/denominator magnitude
+    /// exceeds `threshold_bits`, the integer part of the current `v(t)`
+    /// baseline is subtracted from every live start/finish tag, every
+    /// flow's `last_finish`, and the virtual-time state itself.
+    ///
+    /// Because the baseline is an integer and Eqs. 4/5 are built from
+    /// `max`, `+`, comparisons, and the pico-grid snap — all of which
+    /// commute exactly with an integer shift — the rebased scheduler's
+    /// dequeue order and observer-visible normalized-service lags are
+    /// bit-identical to the un-rebased one, while tag magnitudes stay
+    /// bounded by the active backlog's virtual span instead of the
+    /// server's lifetime. `threshold_bits = 0` forces a rebase attempt
+    /// on every enqueue (useful in tests); ~96 is a practical
+    /// production margin (rebases long before the 127-bit edge).
+    pub fn enable_rebasing(&mut self, threshold_bits: u32) {
+        self.rebase_bits = Some(threshold_bits);
+    }
+
+    /// Number of rebases applied so far (0 unless
+    /// [`Sfq::enable_rebasing`] was called).
+    pub fn rebases(&self) -> u64 {
+        self.rebases
     }
 
     /// The attached observer.
@@ -174,18 +209,39 @@ impl<O: SchedObserver> Sfq<O> {
     /// (generalized SFQ, Eq. 36). The weight registered via `add_flow`
     /// is ignored for this packet's finish tag.
     pub fn enqueue_with_rate(&mut self, now: SimTime, pkt: Packet, rate: Rate) {
+        self.try_enqueue_with_rate(now, pkt, rate)
+            .unwrap_or_else(|e| panic!("SFQ: {e}"));
+    }
+
+    /// Fallible [`Sfq::enqueue_with_rate`]: [`SchedError::UnknownFlow`]
+    /// for an unregistered flow, [`SchedError::ZeroWeight`] for a zero
+    /// charging rate, and [`SchedError::TagOverflow`] when the Eq. 5
+    /// finish tag would leave `i128` range — the scheduler state is
+    /// untouched on every error path.
+    pub fn try_enqueue_with_rate(
+        &mut self,
+        now: SimTime,
+        pkt: Packet,
+        rate: Rate,
+    ) -> Result<(), SchedError> {
+        if rate.as_bps() == 0 {
+            return Err(SchedError::ZeroWeight(pkt.flow));
+        }
+        if self.rebase_bits.is_some() {
+            self.maybe_rebase_eager();
+        }
         // Snap the virtual time at its read point: bounds tag
         // denominators under adversarial weight mixes (no-op at the
         // scales the exact theorem tests run at; see Ratio::snap_pico).
         let v_now = self.virtual_time().snap_pico();
         let tie = self.tie.key(rate);
         let uid = pkt.uid;
-        let (key, finish) = self.q.push_with(pkt, |ext| {
+        let (key, finish) = self.q.try_push_with(pkt, |ext| {
             let start = v_now.max(ext.last_finish);
-            let finish = start + rate.tag_span(pkt.len);
+            let finish = start.checked_add(rate.tag_span(pkt.len))?;
             ext.last_finish = finish;
-            (Key { start, tie, uid }, finish)
-        });
+            Some((Key { start, tie, uid }, finish))
+        })?;
         self.obs.on_enqueue(&SchedEvent {
             time: now,
             flow: pkt.flow,
@@ -195,6 +251,64 @@ impl<O: SchedObserver> Sfq<O> {
             finish_tag: finish,
             v: v_now,
         });
+        Ok(())
+    }
+
+    /// Rebase immediately: subtract the integer part of the current
+    /// `v(t)` from every live start/finish tag, every flow's
+    /// `last_finish`, and the virtual-time state. All-or-nothing — a
+    /// dry pass verifies every subtraction fits (it always does for an
+    /// integer baseline below `v(t)` at sane magnitudes) before any
+    /// state is mutated. Returns the baseline subtracted, zero when the
+    /// integer part is not yet positive or the shift would not fit.
+    pub fn rebase(&mut self) -> Ratio {
+        let base = Ratio::from_int(self.virtual_time().floor());
+        if !base.is_positive() {
+            return Ratio::ZERO;
+        }
+        let ok = Cell::new(true);
+        let check = |r: Ratio| {
+            if r.checked_sub(base).is_none() {
+                ok.set(false);
+            }
+        };
+        check(self.v);
+        check(self.max_finish_served);
+        if let Some(s) = self.in_service {
+            check(s);
+        }
+        self.q.retag_all(
+            |key, finish| {
+                check(key.start);
+                check(*finish);
+            },
+            |ext| check(ext.last_finish),
+        );
+        if !ok.get() {
+            return Ratio::ZERO;
+        }
+        let shift = |r: Ratio| r.checked_sub(base).unwrap_or(r);
+        self.v = shift(self.v);
+        self.max_finish_served = shift(self.max_finish_served);
+        self.in_service = self.in_service.map(shift);
+        self.q.retag_all(
+            |key, finish| {
+                key.start = shift(key.start);
+                *finish = shift(*finish);
+            },
+            |ext| ext.last_finish = shift(ext.last_finish),
+        );
+        self.rebases += 1;
+        base
+    }
+
+    fn maybe_rebase_eager(&mut self) {
+        let Some(bits) = self.rebase_bits else {
+            return;
+        };
+        if self.virtual_time().magnitude_bits() > bits {
+            self.rebase();
+        }
     }
 
     /// Drop a flow and all of its queued packets immediately, without
@@ -233,12 +347,17 @@ impl<O: SchedObserver> Scheduler for Sfq<O> {
     }
 
     fn enqueue(&mut self, now: SimTime, pkt: Packet) {
+        self.try_enqueue(now, pkt)
+            .unwrap_or_else(|e| panic!("SFQ: {e}"));
+    }
+
+    fn try_enqueue(&mut self, now: SimTime, pkt: Packet) -> Result<(), SchedError> {
         let weight = self
             .q
             .ext(pkt.flow)
-            .unwrap_or_else(|| panic!("SFQ: unregistered flow {}", pkt.flow))
+            .ok_or(SchedError::UnknownFlow(pkt.flow))?
             .weight;
-        self.enqueue_with_rate(now, pkt, weight);
+        self.try_enqueue_with_rate(now, pkt, weight)
     }
 
     fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
@@ -265,6 +384,11 @@ impl<O: SchedObserver> Scheduler for Sfq<O> {
             // End of busy period: v := max finish tag serviced (step 2
             // of the algorithm definition).
             self.v = self.max_finish_served;
+            if self.rebase_bits.is_some() {
+                // Busy-period boundary: the cheapest rebase point (no
+                // queued packets, only per-flow last_finish state).
+                self.rebase();
+            }
         }
     }
 
@@ -290,6 +414,20 @@ impl<O: SchedObserver> Scheduler for Sfq<O> {
 
     fn force_remove_flow(&mut self, flow: FlowId) -> usize {
         Sfq::force_remove_flow(self, flow)
+    }
+
+    fn drop_head(&mut self, flow: FlowId) -> Option<Packet> {
+        let (pkt, key, finish) = self.q.drop_front(flow)?;
+        self.obs.on_drop(&SchedEvent {
+            time: pkt.arrival,
+            flow: pkt.flow,
+            uid: pkt.uid,
+            len: pkt.len,
+            start_tag: key.start,
+            finish_tag: finish,
+            v: self.virtual_time(),
+        });
+        Some(pkt)
     }
 
     fn name(&self) -> &'static str {

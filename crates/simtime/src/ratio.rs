@@ -211,6 +211,36 @@ impl Ratio {
         Some(Ratio::raw(num, den))
     }
 
+    /// Checked subtraction (None on overflow).
+    pub fn checked_sub(self, rhs: Self) -> Option<Self> {
+        let neg = Ratio {
+            num: rhs.num.checked_neg()?,
+            den: rhs.den,
+        };
+        self.checked_add(neg)
+    }
+
+    /// Checked comparison.
+    ///
+    /// Comparison of reduced fractions with positive denominators is
+    /// overflow-free by construction ([`Ord::cmp`] falls back to a
+    /// continued-fraction expansion that never multiplies large
+    /// operands), so this always returns `Some`. It exists so that
+    /// fully-checked tag pipelines can thread `?` through every
+    /// arithmetic step uniformly instead of special-casing comparisons.
+    pub fn checked_cmp(self, other: Self) -> Option<Ordering> {
+        Some(self.cmp(&other))
+    }
+
+    /// Bits needed to represent the larger of `|numerator|` and
+    /// `denominator` — the growth measure that eager virtual-time
+    /// rebasing tests against its threshold. Never below 1 (the
+    /// denominator is at least 1).
+    pub fn magnitude_bits(self) -> u32 {
+        let m = self.num.unsigned_abs().max(self.den as u128);
+        u128::BITS - m.leading_zeros()
+    }
+
     /// Exact reciprocal; panics on zero.
     pub fn recip(self) -> Self {
         assert!(self.num != 0, "Ratio::recip of zero");
@@ -601,6 +631,85 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn checked_ops_agree_with_panicking_ops_on_small_domain() {
+        // Exhaustive small-domain equivalence: wherever the panicking
+        // operators succeed, the checked variants must return Some of
+        // the identical value (the operators are thin `.expect`
+        // wrappers, so this pins that relationship bidirectionally).
+        let mut vals = Vec::new();
+        for n in -8i128..=8 {
+            for d in 1i128..=8 {
+                vals.push(r(n, d));
+            }
+        }
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(a.checked_add(b), Some(a + b), "{a} + {b}");
+                assert_eq!(a.checked_sub(b), Some(a - b), "{a} - {b}");
+                assert_eq!(a.checked_mul(b), Some(a * b), "{a} * {b}");
+                assert_eq!(a.checked_cmp(b), Some(a.cmp(&b)), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn checked_ops_refuse_max_adjacent_numerators() {
+        // i128::MAX-adjacent numerators: one unit of headroom is
+        // honoured, the next step over the edge returns None.
+        let max = Ratio::from_int(i128::MAX);
+        let almost = Ratio::from_int(i128::MAX - 1);
+        assert_eq!(almost.checked_add(Ratio::ONE), Some(max));
+        assert_eq!(max.checked_add(Ratio::ONE), None);
+        assert_eq!(max.checked_sub(-Ratio::ONE), None);
+        assert_eq!(max.checked_mul(Ratio::from_int(2)), None);
+        let min = Ratio::from_int(i128::MIN);
+        // MIN's numerator cannot be negated, so subtracting it must
+        // refuse rather than wrap.
+        assert_eq!(Ratio::ZERO.checked_sub(min), None);
+        assert_eq!(min.checked_sub(Ratio::ONE), None);
+        // Comparison never overflows even at the extremes.
+        assert_eq!(max.checked_cmp(min), Some(Ordering::Greater));
+        assert_eq!(
+            Ratio::new(i128::MAX, 3).checked_cmp(Ratio::new(i128::MAX, 4)),
+            Some(Ordering::Greater)
+        );
+        // Fractional MAX-adjacent numerator: the cross-multiply in the
+        // unequal-denominator add overflows.
+        let frac = Ratio::new(i128::MAX - 2, 3);
+        assert_eq!(frac.checked_add(Ratio::new(1, 2)), None);
+    }
+
+    #[test]
+    fn checked_ops_refuse_coprime_giant_denominators() {
+        // Coprime giant denominators: lcm = product overflows i128
+        // even though each operand is individually representable.
+        let p1: i128 = i128::MAX; // 2^127 - 1, prime
+        let p2: i128 = (1i128 << 126) - 1; // coprime with p1: gcd(2^127-1, 2^126-1) = 2^gcd(127,126)-1 = 1
+        let a = Ratio::new(1, p1);
+        let b = Ratio::new(1, p2);
+        assert_eq!(a.checked_add(b), None, "den lcm must overflow");
+        assert_eq!(a.checked_sub(b), None);
+        // Multiplication of the same pair also overflows the
+        // denominator product (numerators are 1, nothing cross-reduces).
+        assert_eq!(a.checked_mul(b), None);
+        // But comparison of the very same operands stays total.
+        assert_eq!(a.checked_cmp(b), Some(p2.cmp(&p1)));
+        // Equal giant denominators stay on the no-multiply fast path
+        // and succeed.
+        assert_eq!(a.checked_add(a), Some(Ratio::new(2, p1)));
+    }
+
+    #[test]
+    fn magnitude_bits_tracks_growth() {
+        assert_eq!(Ratio::ZERO.magnitude_bits(), 1);
+        assert_eq!(Ratio::ONE.magnitude_bits(), 1);
+        assert_eq!(Ratio::from_int(-4).magnitude_bits(), 3);
+        assert_eq!(r(1, 1 << 40).magnitude_bits(), 41);
+        assert_eq!(Ratio::from_int(i128::MAX).magnitude_bits(), 127);
+        assert_eq!(Ratio::from_int(i128::MIN).magnitude_bits(), 128);
     }
 
     #[test]

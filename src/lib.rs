@@ -77,8 +77,8 @@ pub mod prelude {
     pub use netsim::{Net, SwitchCore, Tandem, TcpConfig};
     pub use servers::{fc_on_off, run_server, Departure, FcParams, RateProfile, Segment};
     pub use sfq_core::{
-        ClassId, FairAirport, FlowId, HierSfq, NoopObserver, Packet, PacketFactory, SchedEvent,
-        SchedObserver, Scheduler, Sfq, TieBreak,
+        Backpressure, ClassId, FairAirport, FlowId, HierSfq, NoopObserver, Packet, PacketFactory,
+        SchedError, SchedEvent, SchedObserver, Scheduler, Sfq, TieBreak,
     };
     pub use sfq_obs::{CountingObserver, FlowMetrics, RingTracer};
     pub use simtime::{Bytes, Rate, Ratio, SimDuration, SimTime};

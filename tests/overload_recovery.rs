@@ -1,0 +1,146 @@
+//! Overload soak: graceful degradation and post-overload recovery.
+//!
+//! Drives `Preset::Soak` scenarios — a deliberately overbooked single
+//! hop with tight per-flow and shared buffer caps — through
+//! `netsim::SwitchCore` under each drop policy, and asserts the
+//! recovery invariants deterministically on pinned seeds:
+//!
+//! - fairness watermarks measured over a fresh window opened at the
+//!   scenario's recovery instant return under the Theorem 1 bound for
+//!   *every* drop policy,
+//! - tail drop (untagged door drops) additionally keeps the bound
+//!   during the overload itself,
+//! - every backpressure engage is matched by a release once drained,
+//! - the churned cross flow completes packets again after revive,
+//! - the whole run is bit-deterministic (replayable from its seed).
+//!
+//! Any failure message carries the scenario's
+//! `conformance replay: preset=soak seed=..` line.
+
+use conformance::{run_soak, DropKind, Preset, Scenario, SoakOutcome};
+
+const SEEDS: [u64; 6] = [3, 17, 42, 101, 555, 9001];
+
+fn assert_recovers(sc: &Scenario, out: &SoakOutcome) {
+    assert!(
+        out.shed > 0,
+        "overload never shed a packet\n  {}",
+        out.replay
+    );
+    assert!(
+        out.engages > 0,
+        "buffer caps never engaged backpressure\n  {}",
+        out.replay
+    );
+    assert_eq!(
+        out.engages, out.releases,
+        "engage/release mismatch after drain\n  {}",
+        out.replay
+    );
+    assert!(
+        out.post_revive_completions > 0,
+        "churned flow never completed after revive\n  {}",
+        out.replay
+    );
+    assert!(
+        out.recovery_spread <= out.fairness_bound,
+        "fairness did not recover: spread {:?} > bound {:?} under {:?}\n  {}",
+        out.recovery_spread,
+        out.fairness_bound,
+        sc.drop_policy,
+        out.replay
+    );
+    if sc.drop_policy == DropKind::Tail {
+        assert!(
+            out.overload_spread <= out.fairness_bound,
+            "tail drop broke Theorem 1 during overload: {:?} > {:?}\n  {}",
+            out.overload_spread,
+            out.fairness_bound,
+            out.replay
+        );
+    }
+    assert!(out.healthy(), "soak outcome unhealthy\n  {}", out.replay);
+}
+
+#[test]
+fn pinned_seeds_recover_under_every_drop_policy() {
+    for seed in SEEDS {
+        let mut sc = Scenario::from_seed(Preset::Soak, seed);
+        for kind in [DropKind::Tail, DropKind::Head, DropKind::Lwp] {
+            sc.drop_policy = kind;
+            let out = run_soak(&sc);
+            assert_recovers(&sc, &out);
+        }
+    }
+}
+
+#[test]
+fn head_drop_trades_overload_fairness_for_freshness() {
+    // The documented tradeoff: evicting a tagged head leaves its tag
+    // span charged to the flow, so delivered-service fairness is
+    // sacrificed *during* overload — and must still return afterwards.
+    let mut witnessed = false;
+    for seed in SEEDS {
+        let mut sc = Scenario::from_seed(Preset::Soak, seed);
+        sc.drop_policy = DropKind::Head;
+        let out = run_soak(&sc);
+        assert_recovers(&sc, &out);
+        if out.overload_spread > out.fairness_bound {
+            witnessed = true;
+        }
+    }
+    assert!(
+        witnessed,
+        "no pinned seed showed the head-drop overload fairness excursion"
+    );
+}
+
+#[test]
+fn soak_runs_are_bit_deterministic() {
+    for seed in [17u64, 42] {
+        let sc = Scenario::from_seed(Preset::Soak, seed);
+        let a = run_soak(&sc);
+        let b = run_soak(&sc);
+        assert_eq!(a.completed, b.completed, "  {}", a.replay);
+        assert_eq!(a.shed, b.shed, "  {}", a.replay);
+        assert_eq!(a.engages, b.engages, "  {}", a.replay);
+        assert_eq!(a.releases, b.releases, "  {}", a.replay);
+        assert_eq!(a.overload_spread, b.overload_spread, "  {}", a.replay);
+        assert_eq!(a.recovery_spread, b.recovery_spread, "  {}", a.replay);
+        assert_eq!(
+            a.post_revive_completions, b.post_revive_completions,
+            "  {}",
+            a.replay
+        );
+    }
+}
+
+#[test]
+fn replay_line_reproduces_the_scenario() {
+    let sc = Scenario::from_seed(Preset::Soak, 101);
+    let line = sc.replay_line();
+    let back = Scenario::from_replay_line(&line).expect("replay line parses");
+    assert_eq!(back.preset, Preset::Soak);
+    assert_eq!(back.seed, sc.seed);
+    let a = run_soak(&sc);
+    let b = run_soak(&back);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.recovery_spread, b.recovery_spread);
+}
+
+#[test]
+fn accounting_balances_across_the_soak() {
+    for seed in SEEDS {
+        let sc = Scenario::from_seed(Preset::Soak, seed);
+        let out = run_soak(&sc);
+        // Every injected packet either completed, was shed at a cap,
+        // was refused while its flow was churned out, or was discarded
+        // by the force-removal itself.
+        assert_eq!(
+            out.injected as u64,
+            out.completed + out.shed + out.refused + out.discarded,
+            "packet accounting leaked\n  {}",
+            out.replay
+        );
+    }
+}

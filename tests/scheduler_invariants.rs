@@ -410,3 +410,279 @@ proptest! {
         }
     }
 }
+
+/// Fair Airport force-removal while the victim flow is mid-service: the
+/// in-flight packet already belongs to the server, the backlog is
+/// discarded, stale GSQ/regulator entries are skipped lazily, and the
+/// remaining flow drains completely. Reviving the flow starts a fresh
+/// tag chain and regulator state.
+#[test]
+fn fair_airport_force_remove_mid_service_and_revive() {
+    let mut fa = FairAirport::new();
+    fa.add_flow(FlowId(1), Rate::bps(1_000));
+    fa.add_flow(FlowId(2), Rate::bps(1_000));
+    let mut pf = PacketFactory::new();
+    let t0 = SimTime::ZERO;
+    for _ in 0..4 {
+        fa.enqueue(t0, pf.make(FlowId(1), Bytes::new(125), t0));
+        fa.enqueue(t0, pf.make(FlowId(2), Bytes::new(125), t0));
+    }
+    // First dequeue goes to flow 1's eligible head via the GSQ.
+    let served = fa.dequeue(t0).unwrap();
+    assert_eq!(served.flow, FlowId(1));
+    // Mid-service removal: 3 queued flow-1 packets discarded.
+    assert_eq!(fa.force_remove_flow(FlowId(1)), 3);
+    assert_eq!(fa.backlog(FlowId(1)), 0);
+    assert_eq!(fa.len(), 4);
+    fa.on_departure(t0);
+    // Only flow 2 comes out, in FIFO order, despite flow 1's stale
+    // GSQ announcement sitting in the heaps.
+    let mut served2 = Vec::new();
+    while let Some(p) = fa.dequeue(t0) {
+        assert_eq!(p.flow, FlowId(2));
+        served2.push(p.uid);
+        fa.on_departure(t0);
+    }
+    assert_eq!(served2.len(), 4);
+    assert!(served2.windows(2).all(|w| w[0] < w[1]));
+    assert!(fa.is_empty());
+    // Revive: the flow re-registers and schedules like a new flow.
+    fa.add_flow(FlowId(1), Rate::bps(1_000));
+    let p = pf.make(FlowId(1), Bytes::new(125), t0);
+    fa.enqueue(t0, p);
+    assert_eq!(fa.dequeue(t0).map(|q| q.uid), Some(p.uid));
+    fa.on_departure(t0);
+    assert!(fa.is_empty());
+    // Removing an unknown flow is a no-op.
+    assert_eq!(fa.force_remove_flow(FlowId(9)), 0);
+}
+
+/// A force-removed flow's already-admitted GSQ head must not be served:
+/// its heap entry is stale (uid mismatch against a revived flow's new
+/// packets) and a later dequeue skips it.
+#[test]
+fn fair_airport_stale_gsq_entry_never_serves_revived_flow() {
+    let mut fa = FairAirport::new();
+    fa.add_flow(FlowId(1), Rate::bps(1_000));
+    fa.add_flow(FlowId(2), Rate::bps(1_000));
+    let mut pf = PacketFactory::new();
+    let t0 = SimTime::ZERO;
+    // Flow 1's head is admitted to the GSQ at enqueue-time announcement;
+    // force-remove before any dequeue leaves the entry stale.
+    let doomed = pf.make(FlowId(1), Bytes::new(125), t0);
+    fa.enqueue(t0, doomed);
+    fa.enqueue(t0, pf.make(FlowId(2), Bytes::new(125), t0));
+    assert_eq!(fa.force_remove_flow(FlowId(1)), 1);
+    // Revive flow 1 with a fresh packet: new uid, so the old GSQ entry
+    // (if it named the flow) cannot match it.
+    fa.add_flow(FlowId(1), Rate::bps(1_000));
+    let fresh = pf.make(FlowId(1), Bytes::new(125), t0);
+    fa.enqueue(t0, fresh);
+    let mut uids = Vec::new();
+    while let Some(p) = fa.dequeue(t0) {
+        assert_ne!(p.uid, doomed.uid, "discarded packet served");
+        uids.push(p.uid);
+        fa.on_departure(t0);
+    }
+    assert_eq!(uids.len(), 2);
+    assert!(uids.contains(&fresh.uid));
+    assert!(fa.is_empty());
+}
+
+/// HierSfq force-removal fixes up the whole ancestor chain: subtree
+/// backlogs shrink at every level, a class whose subtree empties leaves
+/// its parent's ready set, and siblings keep scheduling normally —
+/// including removal while the victim's packet is mid-service.
+#[test]
+fn hier_force_remove_updates_ancestors_and_survives_mid_service() {
+    let mut h = HierSfq::new();
+    let a = h.add_class(h.root(), Rate::bps(1_000));
+    h.add_flow_to(a, FlowId(1), Rate::bps(1_000));
+    h.add_flow_to(a, FlowId(2), Rate::bps(1_000));
+    h.add_flow_to(h.root(), FlowId(3), Rate::bps(1_000));
+    let mut pf = PacketFactory::new();
+    let t0 = SimTime::ZERO;
+    for _ in 0..3 {
+        h.enqueue(t0, pf.make(FlowId(1), Bytes::new(125), t0));
+        h.enqueue(t0, pf.make(FlowId(3), Bytes::new(125), t0));
+    }
+    h.enqueue(t0, pf.make(FlowId(2), Bytes::new(125), t0));
+    assert_eq!(h.class_backlog(a), 4);
+    // Serve one packet (flow 1 or 3 ties at S=0) and remove flow 1
+    // while that service is still in flight.
+    let first = h.dequeue(t0).unwrap();
+    let dropped = h.force_remove_flow(FlowId(1));
+    assert_eq!(
+        dropped + h.backlog(FlowId(1)),
+        3 - (first.flow.0 == 1) as usize
+    );
+    assert_eq!(h.backlog(FlowId(1)), 0);
+    h.on_departure(t0);
+    // Remaining service: flow 2's single packet and flow 3's rest.
+    let mut order = Vec::new();
+    while let Some(p) = h.dequeue(t0) {
+        assert_ne!(p.flow, FlowId(1), "removed flow served");
+        order.push(p.flow.0);
+        h.on_departure(t0);
+    }
+    assert!(order.contains(&2), "sibling starved: {order:?}");
+    assert!(h.is_empty());
+    assert_eq!(h.class_backlog(a), 0);
+    // Enqueueing for the removed flow is now a typed error; reviving it
+    // attaches a fresh leaf that schedules normally.
+    let orphan = pf.make(FlowId(1), Bytes::new(125), t0);
+    assert_eq!(
+        h.try_enqueue(t0, orphan),
+        Err(sfq_repro::core::SchedError::UnknownFlow(FlowId(1)))
+    );
+    h.add_flow(FlowId(1), Rate::bps(1_000));
+    let p = pf.make(FlowId(1), Bytes::new(125), t0);
+    h.enqueue(t0, p);
+    assert_eq!(h.dequeue(t0).map(|q| q.uid), Some(p.uid));
+    h.on_departure(t0);
+    assert_eq!(h.force_remove_flow(FlowId(9)), 0, "unknown flow no-op");
+}
+
+/// Force-removing a flow routed to a nested scheduler class delegates
+/// to the inner discipline and keeps every level's subtree accounting
+/// exact.
+#[test]
+fn hier_force_remove_delegates_to_scheduler_class() {
+    let mut h = HierSfq::new();
+    let mut inner = sfq_repro::core::Sfq::new();
+    inner.add_flow(FlowId(1), Rate::bps(1_000));
+    inner.add_flow(FlowId(2), Rate::bps(1_000));
+    let class = h.add_scheduler_class(h.root(), Rate::bps(1_000), Box::new(inner));
+    h.attach_configured_flow(class, FlowId(1));
+    h.attach_configured_flow(class, FlowId(2));
+    h.add_flow(FlowId(3), Rate::bps(1_000));
+    let mut pf = PacketFactory::new();
+    let t0 = SimTime::ZERO;
+    for _ in 0..2 {
+        h.enqueue(t0, pf.make(FlowId(1), Bytes::new(125), t0));
+        h.enqueue(t0, pf.make(FlowId(2), Bytes::new(125), t0));
+        h.enqueue(t0, pf.make(FlowId(3), Bytes::new(125), t0));
+    }
+    assert_eq!(h.class_backlog(class), 4);
+    assert_eq!(h.force_remove_flow(FlowId(1)), 2);
+    assert_eq!(h.class_backlog(class), 2);
+    assert_eq!(h.len(), 4);
+    let mut order = Vec::new();
+    while let Some(p) = h.dequeue(t0) {
+        assert_ne!(p.flow, FlowId(1));
+        order.push(p.flow.0);
+        h.on_departure(t0);
+    }
+    assert_eq!(order.iter().filter(|&&f| f == 2).count(), 2);
+    assert_eq!(order.iter().filter(|&&f| f == 3).count(), 2);
+    assert!(h.is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Random interleavings of enqueue/dequeue/force-remove/re-register
+    /// against Fair Airport keep its counters exact (the same contract
+    /// `sfq_force_removal_keeps_counts_exact` pins for SFQ, here
+    /// crossing the GSQ/regulator machinery).
+    #[test]
+    fn fair_airport_force_removal_keeps_counts_exact(
+        ops in prop::collection::vec((0u8..4, 0u32..3), 1..150),
+    ) {
+        let mut s = FairAirport::new();
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        let mut live: HashMap<u32, usize> = HashMap::new();
+        let mut registered = [false; 3];
+        for (kind, f) in ops {
+            let flow = FlowId(f + 1);
+            match kind {
+                0 | 1 => {
+                    if !registered[f as usize] {
+                        s.add_flow(flow, Rate::bps(1_000 + f as u64 * 613));
+                        registered[f as usize] = true;
+                    }
+                    s.enqueue(t0, pf.make(flow, Bytes::new(125 + f as u64), t0));
+                    *live.entry(f).or_insert(0) += 1;
+                }
+                2 => {
+                    if let Some(p) = s.dequeue(t0) {
+                        let cnt = live.get_mut(&(p.flow.0 - 1)).expect("live flow");
+                        *cnt = cnt.checked_sub(1).expect("over-served flow");
+                        s.on_departure(t0);
+                    }
+                }
+                _ => {
+                    let dropped = s.force_remove_flow(flow);
+                    prop_assert_eq!(dropped, live.remove(&f).unwrap_or(0));
+                    registered[f as usize] = false;
+                }
+            }
+            prop_assert_eq!(s.len(), live.values().sum::<usize>());
+            for f in 0..3u32 {
+                prop_assert_eq!(
+                    s.backlog(FlowId(f + 1)),
+                    live.get(&f).copied().unwrap_or(0)
+                );
+            }
+        }
+        while s.dequeue(t0).is_some() {
+            s.on_departure(t0);
+        }
+        prop_assert!(s.is_empty());
+    }
+
+    /// The same interleaving contract for HierSfq over a two-level tree
+    /// (two flows under a class, one at the root).
+    #[test]
+    fn hier_force_removal_keeps_counts_exact(
+        ops in prop::collection::vec((0u8..4, 0u32..3), 1..150),
+    ) {
+        let mut s = HierSfq::new();
+        let class = s.add_class(s.root(), Rate::bps(2_000));
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        let mut live: HashMap<u32, usize> = HashMap::new();
+        let mut registered = [false; 3];
+        for (kind, f) in ops {
+            let flow = FlowId(f + 1);
+            match kind {
+                0 | 1 => {
+                    if !registered[f as usize] {
+                        if f < 2 {
+                            s.add_flow_to(class, flow, Rate::bps(1_000 + f as u64 * 613));
+                        } else {
+                            s.add_flow(flow, Rate::bps(1_000 + f as u64 * 613));
+                        }
+                        registered[f as usize] = true;
+                    }
+                    s.enqueue(t0, pf.make(flow, Bytes::new(125 + f as u64), t0));
+                    *live.entry(f).or_insert(0) += 1;
+                }
+                2 => {
+                    if let Some(p) = s.dequeue(t0) {
+                        let cnt = live.get_mut(&(p.flow.0 - 1)).expect("live flow");
+                        *cnt = cnt.checked_sub(1).expect("over-served flow");
+                        s.on_departure(t0);
+                    }
+                }
+                _ => {
+                    let dropped = s.force_remove_flow(flow);
+                    prop_assert_eq!(dropped, live.remove(&f).unwrap_or(0));
+                    registered[f as usize] = false;
+                }
+            }
+            prop_assert_eq!(s.len(), live.values().sum::<usize>());
+            for f in 0..3u32 {
+                prop_assert_eq!(
+                    s.backlog(FlowId(f + 1)),
+                    live.get(&f).copied().unwrap_or(0)
+                );
+            }
+        }
+        while s.dequeue(t0).is_some() {
+            s.on_departure(t0);
+        }
+        prop_assert!(s.is_empty());
+    }
+}
