@@ -226,6 +226,66 @@ impl<O: SchedObserver> Scheduler for Scfq<O> {
         Ok(())
     }
 
+    fn enqueue_batch(&mut self, now: SimTime, pkts: &[Packet]) {
+        self.try_enqueue_batch(now, pkts)
+            .unwrap_or_else(|e| panic!("SCFQ: {e}"));
+    }
+
+    fn try_enqueue_batch(&mut self, now: SimTime, pkts: &[Packet]) -> Result<(), SchedError> {
+        // v(t) changes only at dequeues, so one eager-rebase check and
+        // one pico-grid snap serve the whole pure-enqueue run,
+        // bit-identically to the per-packet loop (see Sfq's override).
+        if self.rebase_bits.is_some() {
+            self.maybe_rebase_eager();
+        }
+        let v = self.v.snap_pico();
+        for &pkt in pkts {
+            let uid = pkt.uid;
+            let len = pkt.len;
+            let ((finish, _), start) = self.q.try_push_with(pkt, |ext| {
+                let start = v.max(ext.last_finish);
+                let finish = start.checked_add(ext.weight.tag_span(len))?;
+                ext.last_finish = finish;
+                Some(((finish, uid), start))
+            })?;
+            self.obs.on_enqueue(&SchedEvent {
+                time: now,
+                flow: pkt.flow,
+                uid,
+                len,
+                start_tag: start,
+                finish_tag: finish,
+                v,
+            });
+        }
+        Ok(())
+    }
+
+    fn dequeue_batch(&mut self, now: SimTime, max: usize, out: &mut Vec<Packet>) -> usize {
+        let Scfq { q, v, obs, .. } = self;
+        let n = q.pop_min_batch(max, |pkt, (finish, _), start| {
+            *v = finish;
+            obs.on_dequeue(&SchedEvent {
+                time: now,
+                flow: pkt.flow,
+                uid: pkt.uid,
+                len: pkt.len,
+                start_tag: start,
+                finish_tag: finish,
+                v: finish,
+            });
+            out.push(pkt);
+        });
+        // The per-packet path rebases only when a dequeue empties the
+        // queue, i.e. after the batch's final packet; events always
+        // carry pre-rebase tags, so emitting them in the closure above
+        // is identical.
+        if n > 0 && self.rebase_bits.is_some() && self.q.is_empty() {
+            self.rebase();
+        }
+        n
+    }
+
     fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
         let (pkt, (finish, _), start) = self.q.pop_min()?;
         self.v = finish;

@@ -1,0 +1,308 @@
+//! Sharded-engine throughput snapshot: sustained packets/sec over the
+//! shards × batch axes at 512 flows under deep backlog, written as
+//! machine-readable JSON to `BENCH_engine.json` at the repository
+//! root. Run it from anywhere with:
+//!
+//! ```text
+//! cargo run --release -p bench --bin enginesnap [-- --smoke]
+//! ```
+//!
+//! `--smoke` shrinks the axes and the measurement windows so CI can
+//! exercise the whole path in well under a second of measured time;
+//! the committed artifact should come from a full run.
+//!
+//! The headline figure is the amortization win of the engine's native
+//! batch path: a 4-shard engine drained in batches against the same
+//! engine architecture at 1 shard driven strictly per packet (one
+//! `drain(now, 1)` round trip per departure — the degenerate
+//! configuration every packet of the per-packet facade pays for). The
+//! plain single-`Sfq` per-packet loop is also recorded so the cost of
+//! the engine indirection itself stays visible across commits.
+
+use bench::report;
+use jsonline::{impl_to_json, ToJson};
+use sfq_core::{FlowId, Packet, PacketFactory, Scheduler, Sfq};
+use sfq_engine::{EngineConfig, SyncEngine, ThreadedEngine};
+use simtime::{Bytes, Rate, SimTime};
+use std::hint::black_box;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const PKT: u64 = 200;
+const FLOWS: usize = 512;
+/// Packets per flow preloaded before measuring: deep backlog, so every
+/// drain pick finds work and the root arbiter is always arbitrating.
+const DEPTH: usize = 64;
+/// Packets ingested+drained per steady-state cycle.
+const CYCLE: usize = 64;
+/// Ring capacity: must exceed the whole preload (the deterministic
+/// backpressure rule refuses at `pending >= ring_capacity`, and with
+/// one shard the entire backlog is pending on that shard).
+const RING: usize = 1 << 16;
+
+#[derive(Debug)]
+struct EnginePoint {
+    driver: String,
+    drive: String,
+    shards: usize,
+    batch: usize,
+    flows: usize,
+    backlog_per_flow: usize,
+    pkts_per_sec: f64,
+    ns_per_pkt: f64,
+}
+impl_to_json!(EnginePoint {
+    driver,
+    drive,
+    shards,
+    batch,
+    flows,
+    backlog_per_flow,
+    pkts_per_sec,
+    ns_per_pkt
+});
+
+#[derive(Debug)]
+struct Snapshot {
+    smoke: bool,
+    pkt_bytes: u64,
+    flows: usize,
+    backlog_per_flow: usize,
+    warmup_ms: u64,
+    measure_ms: u64,
+    plain_sfq_per_packet_pps: f64,
+    single_shard_per_packet_pps: f64,
+    four_shard_batched_pps: f64,
+    speedup_4shard_batched_vs_single_shard_per_packet: f64,
+    points: Vec<EnginePoint>,
+}
+impl_to_json!(Snapshot {
+    smoke,
+    pkt_bytes,
+    flows,
+    backlog_per_flow,
+    warmup_ms,
+    measure_ms,
+    plain_sfq_per_packet_pps,
+    single_shard_per_packet_pps,
+    four_shard_batched_pps,
+    speedup_4shard_batched_vs_single_shard_per_packet,
+    points
+});
+
+/// The two engine drivers behind one measurement loop.
+trait Driver {
+    fn add(&mut self, flow: FlowId, weight: Rate);
+    fn ingest(&mut self, pkt: Packet);
+    fn drain_n(&mut self, max: usize, out: &mut Vec<Packet>) -> usize;
+}
+
+impl Driver for SyncEngine {
+    fn add(&mut self, flow: FlowId, weight: Rate) {
+        self.try_add_flow(flow, weight).expect("register");
+    }
+    fn ingest(&mut self, pkt: Packet) {
+        self.try_ingest(pkt).expect("ring sized for the backlog");
+    }
+    fn drain_n(&mut self, max: usize, out: &mut Vec<Packet>) -> usize {
+        self.drain(SimTime::ZERO, max, out).expect("drain")
+    }
+}
+
+impl Driver for ThreadedEngine {
+    fn add(&mut self, flow: FlowId, weight: Rate) {
+        self.try_add_flow(flow, weight).expect("register");
+    }
+    fn ingest(&mut self, pkt: Packet) {
+        self.try_ingest(pkt).expect("ring sized for the backlog");
+    }
+    fn drain_n(&mut self, max: usize, out: &mut Vec<Packet>) -> usize {
+        self.drain(SimTime::ZERO, max, out).expect("drain")
+    }
+}
+
+fn weight_of(f: usize) -> Rate {
+    Rate::kbps(64 + f as u64)
+}
+
+/// Steady-state cycles (ingest `CYCLE`, drain `CYCLE`) against a deep
+/// preloaded backlog; returns sustained drained packets per second.
+/// `per_packet` issues one `drain(now, 1)` per departure instead of
+/// one batched drain per cycle.
+fn measure_driver<D: Driver>(mut eng: D, per_packet: bool, warmup: Duration, win: Duration) -> f64 {
+    let t0 = SimTime::ZERO;
+    let mut pf = PacketFactory::new();
+    for f in 0..FLOWS {
+        eng.add(FlowId(f as u32), weight_of(f));
+    }
+    for _ in 0..DEPTH {
+        for f in 0..FLOWS {
+            eng.ingest(pf.make(FlowId(f as u32), Bytes::new(PKT), t0));
+        }
+    }
+    let mut out = Vec::with_capacity(CYCLE);
+    let mut i = 0u32;
+    let mut cycle = |eng: &mut D, pf: &mut PacketFactory, out: &mut Vec<Packet>| {
+        for _ in 0..CYCLE {
+            let f = FlowId(i % FLOWS as u32);
+            i = i.wrapping_add(1);
+            eng.ingest(pf.make(f, Bytes::new(PKT), t0));
+        }
+        out.clear();
+        let drained = if per_packet {
+            (0..CYCLE).map(|_| eng.drain_n(1, out)).sum::<usize>()
+        } else {
+            eng.drain_n(CYCLE, out)
+        };
+        assert_eq!(drained, CYCLE, "under-drain against a deep backlog");
+        black_box(out.last().map(|p| p.uid));
+    };
+    let warm_end = Instant::now() + warmup;
+    while Instant::now() < warm_end {
+        cycle(&mut eng, &mut pf, &mut out);
+    }
+    let mut served = 0u64;
+    let start = Instant::now();
+    let end = start + win;
+    while Instant::now() < end {
+        cycle(&mut eng, &mut pf, &mut out);
+        served += CYCLE as u64;
+    }
+    served as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Plain single-`Sfq` per-packet loop, for the engine-overhead
+/// comparison (same workload shape as `perfsnap`'s `measure`).
+fn measure_plain_sfq(warmup: Duration, win: Duration) -> f64 {
+    let t0 = SimTime::ZERO;
+    let mut s = Sfq::new();
+    let mut pf = PacketFactory::new();
+    for f in 0..FLOWS {
+        s.add_flow(FlowId(f as u32), weight_of(f));
+    }
+    for _ in 0..DEPTH {
+        for f in 0..FLOWS {
+            s.enqueue(t0, pf.make(FlowId(f as u32), Bytes::new(PKT), t0));
+        }
+    }
+    let mut i = 0u32;
+    let mut pair = |s: &mut Sfq, pf: &mut PacketFactory| {
+        let f = FlowId(i % FLOWS as u32);
+        i = i.wrapping_add(1);
+        s.enqueue(t0, pf.make(f, Bytes::new(PKT), t0));
+        let p = s.dequeue(t0).expect("backlogged");
+        s.on_departure(t0);
+        black_box(p.uid);
+    };
+    let warm_end = Instant::now() + warmup;
+    while Instant::now() < warm_end {
+        for _ in 0..CYCLE {
+            pair(&mut s, &mut pf);
+        }
+    }
+    let mut served = 0u64;
+    let start = Instant::now();
+    let end = start + win;
+    while Instant::now() < end {
+        for _ in 0..CYCLE {
+            pair(&mut s, &mut pf);
+        }
+        served += CYCLE as u64;
+    }
+    served as f64 / start.elapsed().as_secs_f64()
+}
+
+fn cfg(shards: usize, batch: usize) -> EngineConfig {
+    EngineConfig::new(shards).batch(batch).ring_capacity(RING)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (warmup, win) = if smoke {
+        (Duration::from_millis(10), Duration::from_millis(30))
+    } else {
+        (Duration::from_millis(60), Duration::from_millis(180))
+    };
+    let shards_axis: &[usize] = if smoke { &[1, 4] } else { &[1, 2, 4, 8] };
+    let batch_axis: &[usize] = if smoke { &[1, 32] } else { &[1, 8, 32] };
+
+    eprintln!("enginesnap: sharded-engine steady-state drain throughput");
+    let mut points = Vec::new();
+    let push = |points: &mut Vec<EnginePoint>, driver: &str, drive: &str, sh, ba, pps: f64| {
+        eprintln!("  {driver:>8} {drive:>10}  {sh} shard(s)  batch {ba:>2}  {pps:>12.0} pkt/s");
+        points.push(EnginePoint {
+            driver: driver.to_string(),
+            drive: drive.to_string(),
+            shards: sh,
+            batch: ba,
+            flows: FLOWS,
+            backlog_per_flow: DEPTH,
+            pkts_per_sec: pps,
+            ns_per_pkt: 1e9 / pps,
+        });
+    };
+
+    for &sh in shards_axis {
+        for &ba in batch_axis {
+            let pps = measure_driver(SyncEngine::new(cfg(sh, ba)), false, warmup, win);
+            push(&mut points, "sync", "batched", sh, ba, pps);
+            let pps = measure_driver(ThreadedEngine::new(cfg(sh, ba)), false, warmup, win);
+            push(&mut points, "threaded", "batched", sh, ba, pps);
+        }
+    }
+
+    // The acceptance comparison: 4-shard batched engine vs the same
+    // architecture at 1 shard driven strictly per packet.
+    let single_pp = measure_driver(ThreadedEngine::new(cfg(1, 1)), true, warmup, win);
+    push(&mut points, "threaded", "per_packet", 1, 1, single_pp);
+    let four_batched = points
+        .iter()
+        .find(|p| p.driver == "threaded" && p.drive == "batched" && p.shards == 4 && p.batch == 32)
+        .map(|p| p.pkts_per_sec)
+        .expect("axis includes (4, 32)");
+    let plain = measure_plain_sfq(warmup, win);
+    eprintln!("  plain sfq per-packet                       {plain:>12.0} pkt/s");
+    let speedup = four_batched / single_pp;
+    eprintln!(
+        "4-shard batched vs 1-shard per-packet: {four_batched:.0} / {single_pp:.0} = {speedup:.2}x"
+    );
+
+    let snapshot = Snapshot {
+        smoke,
+        pkt_bytes: PKT,
+        flows: FLOWS,
+        backlog_per_flow: DEPTH,
+        warmup_ms: warmup.as_millis() as u64,
+        measure_ms: win.as_millis() as u64,
+        plain_sfq_per_packet_pps: plain,
+        single_shard_per_packet_pps: single_pp,
+        four_shard_batched_pps: four_batched,
+        speedup_4shard_batched_vs_single_shard_per_packet: speedup,
+        points,
+    };
+    // crates/bench -> repository root.
+    let out: PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", "..", "BENCH_engine.json"]
+        .iter()
+        .collect();
+    let mut f = std::fs::File::create(&out).expect("create BENCH_engine.json");
+    writeln!(f, "{}", snapshot.to_json()).expect("write BENCH_engine.json");
+    eprintln!("wrote {}", out.display());
+    report::print_table(
+        "enginesnap (pkt/s)",
+        &["driver", "drive", "shards", "batch", "pkts/sec"],
+        &snapshot
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.driver.clone(),
+                    p.drive.clone(),
+                    p.shards.to_string(),
+                    p.batch.to_string(),
+                    format!("{:.0}", p.pkts_per_sec),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

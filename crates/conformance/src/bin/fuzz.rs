@@ -10,8 +10,8 @@
 //! ```
 
 use conformance::{
-    check_against_bound, diff_schedulers, run_soak, run_tandem_conformance, Preset, Scenario,
-    SchedKind,
+    check_against_bound, diff_schedulers, run_engine_conformance, run_soak, run_tandem_conformance,
+    Preset, Scenario, SchedKind,
 };
 use simtime::SimDuration;
 use std::io::Write;
@@ -122,6 +122,12 @@ fn check(sc: &Scenario) -> Option<String> {
             }
             None
         }
+        Preset::Engine => {
+            // Threaded sharded engine vs the single-threaded oracle:
+            // every run is a fresh OS interleaving of the same expected
+            // departure sequence.
+            run_engine_conformance(sc).err()
+        }
         Preset::SingleEbf | Preset::FairAirport => None, // covered by tier-1 tests
     }
 }
@@ -130,7 +136,12 @@ fn main() {
     let opts = parse_args();
     let presets: Vec<Preset> = match opts.preset {
         Some(p) => vec![p],
-        None => vec![Preset::Tandem, Preset::SingleFc, Preset::Soak],
+        None => vec![
+            Preset::Tandem,
+            Preset::SingleFc,
+            Preset::Soak,
+            Preset::Engine,
+        ],
     };
     let started = Instant::now();
     let mut seed = opts.start_seed;

@@ -1,0 +1,221 @@
+//! Differential conformance for the sharded engine: replay one seeded
+//! API call schedule against `sfq_engine::SyncEngine` (single-threaded
+//! deterministic oracle) and `sfq_engine::ThreadedEngine` (one worker
+//! thread per shard) and require bit-identical behaviour.
+//!
+//! The [`Preset::Engine`] scenario fixes the flow population; this
+//! module derives everything *operational* — shard count, batch size,
+//! ring capacity, and the interleaving of ingest / pump / drain calls —
+//! from the same seed under a separate domain separator, so one replay
+//! line reproduces both the workload and the exact call schedule. The
+//! threaded engine's claim (see its module docs) is that departures and
+//! backpressure refusals are a pure function of that call schedule, no
+//! matter how the OS schedules the shard workers; every run here is
+//! therefore a fresh adversarial interleaving of the same expected
+//! output.
+
+use crate::scenario::Scenario;
+use des::SimRng;
+use sfq_core::{FlowId, Packet, PacketFactory};
+use sfq_engine::{EngineConfig, SyncEngine, ThreadedEngine};
+use simtime::{Bytes, SimTime};
+
+/// Domain separator for the operational schedule, so it never reuses
+/// the scenario-generation or arrival streams of the same seed.
+const OP_DOMAIN: u64 = 0xE191_4E00;
+
+/// Statistics of a passing engine-differential run.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineOutcome {
+    /// Shards each engine ran.
+    pub shards: usize,
+    /// Drain batch size.
+    pub batch: usize,
+    /// Per-shard ring capacity.
+    pub ring_capacity: usize,
+    /// Packets offered to each engine.
+    pub offered: usize,
+    /// Packets that departed (identically) from both engines.
+    pub departures: usize,
+    /// Ingest refusals (identical in both engines).
+    pub refusals: usize,
+}
+
+/// Replay the scenario's derived call schedule against both engine
+/// drivers. `Ok` carries run statistics; `Err` is a human-readable
+/// divergence report ending in the scenario's replay line.
+pub fn run_engine_conformance(sc: &Scenario) -> Result<EngineOutcome, String> {
+    let mut rng = SimRng::new(sc.seed ^ OP_DOMAIN);
+    let shards = rng.uniform_range(2, 6) as usize;
+    let batch = rng.uniform_range(1, 33) as usize;
+    let ring_capacity = 1usize << rng.uniform_range(5, 10); // 32..=512
+    let cfg = EngineConfig::new(shards)
+        .batch(batch)
+        .ring_capacity(ring_capacity);
+    let mut sync = SyncEngine::new(cfg);
+    let mut thr = ThreadedEngine::new(cfg);
+
+    let fail = |msg: String| -> String { format!("{msg}\n  {}", sc.replay_line()) };
+
+    // Register every flow up front on both engines.
+    for f in &sc.flows {
+        let id = FlowId(f.id);
+        let w = f.weight();
+        if let Err(e) = sync.try_add_flow(id, w) {
+            return Err(fail(format!("oracle refused flow {id}: {e}")));
+        }
+        if let Err(e) = thr.try_add_flow(id, w) {
+            return Err(fail(format!("threaded engine refused flow {id}: {e}")));
+        }
+    }
+
+    // Materialize all arrivals, in (time, flow, position) order, and
+    // mint packets once so both engines see identical uids.
+    let mut arrivals: Vec<(SimTime, u32, Bytes)> = Vec::new();
+    for f in &sc.flows {
+        for (t, len) in sc.arrivals_for(f) {
+            arrivals.push((t, f.id, len));
+        }
+    }
+    arrivals.sort_by_key(|&(t, id, _)| (t, id));
+    let mut fac = PacketFactory::new();
+    let packets: Vec<Packet> = arrivals
+        .iter()
+        .map(|&(t, id, len)| fac.make(FlowId(id), len, t))
+        .collect();
+
+    let offered = packets.len();
+    let mut refusals = (0usize, 0usize);
+    let mut departures = 0usize;
+    let (mut out_a, mut out_b) = (Vec::new(), Vec::new());
+
+    let mut drain_both = |sync: &mut SyncEngine,
+                          thr: &mut ThreadedEngine,
+                          now: SimTime,
+                          max: usize,
+                          departures: usize|
+     -> Result<usize, String> {
+        out_a.clear();
+        out_b.clear();
+        let na = sync
+            .drain(now, max, &mut out_a)
+            .map_err(|e| format!("oracle drain failed: {e}"))?;
+        let nb = thr
+            .drain(now, max, &mut out_b)
+            .map_err(|e| format!("threaded drain failed: {e}"))?;
+        if na != nb {
+            return Err(format!(
+                "drain count diverged at departure {departures}: oracle {na}, threaded {nb}"
+            ));
+        }
+        for (i, (a, b)) in out_a.iter().zip(&out_b).enumerate() {
+            if a.uid != b.uid {
+                return Err(format!(
+                    "departure {} diverged: oracle uid {} ({}), threaded uid {} ({})",
+                    departures + i,
+                    a.uid,
+                    a.flow,
+                    b.uid,
+                    b.flow
+                ));
+            }
+        }
+        Ok(na)
+    };
+
+    // Replay: ingest packets in arrival order in randomly-sized chunks,
+    // interleaved with pumps and partial drains at random points.
+    let mut i = 0;
+    while i < offered {
+        let chunk = rng.uniform_range(1, 65) as usize;
+        let end = (i + chunk).min(offered);
+        let mut now = SimTime::ZERO;
+        for &pkt in &packets[i..end] {
+            now = pkt.arrival;
+            let ra = sync.try_ingest(pkt);
+            let rb = thr.try_ingest(pkt);
+            if ra.is_err() != rb.is_err() {
+                return Err(fail(format!(
+                    "ingest of uid {} diverged: oracle {ra:?}, threaded {rb:?}",
+                    pkt.uid
+                )));
+            }
+            if ra.is_err() {
+                refusals.0 += 1;
+                refusals.1 += 1;
+            }
+        }
+        i = end;
+        match rng.uniform_range(0, 4) {
+            0 => {
+                if let Err(e) = sync.pump(now) {
+                    return Err(fail(format!("oracle pump failed: {e}")));
+                }
+                thr.pump(now);
+            }
+            1 | 2 => {
+                let max = rng.uniform_range(1, 129) as usize;
+                departures +=
+                    drain_both(&mut sync, &mut thr, now, max, departures).map_err(&fail)?;
+            }
+            _ => {} // let backlog build
+        }
+    }
+
+    // Final drain to empty; both engines must agree they are done.
+    let end = sc.horizon();
+    let mut guard = 0;
+    while sync.pending() > 0 || thr.pending() > 0 {
+        departures += drain_both(&mut sync, &mut thr, end, 4096, departures).map_err(&fail)?;
+        guard += 1;
+        if guard > offered + 16 {
+            return Err(fail(format!(
+                "engines failed to drain: oracle pending {}, threaded pending {}",
+                sync.pending(),
+                thr.pending()
+            )));
+        }
+    }
+    if departures + refusals.0 != offered {
+        return Err(fail(format!(
+            "conservation broken: {offered} offered != {departures} departed + {} refused",
+            refusals.0
+        )));
+    }
+
+    Ok(EngineOutcome {
+        shards,
+        batch,
+        ring_capacity,
+        offered,
+        departures,
+        refusals: refusals.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Preset;
+
+    #[test]
+    fn engine_preset_passes_across_seeds() {
+        for seed in 0..8u64 {
+            let sc = Scenario::from_seed(Preset::Engine, seed);
+            let out = run_engine_conformance(&sc)
+                .unwrap_or_else(|e| panic!("seed {seed} diverged:\n{e}"));
+            assert_eq!(out.departures + out.refusals, out.offered);
+            assert!(out.offered > 0, "seed {seed} generated an empty workload");
+        }
+    }
+
+    #[test]
+    fn failure_reports_carry_the_replay_line() {
+        // Force a divergence-free run and check the outcome plumbing;
+        // the replay-line formatting itself is exercised by building
+        // the closure's message against a real scenario.
+        let sc = Scenario::from_seed(Preset::Engine, 3);
+        assert!(sc.replay_line().contains("preset=engine seed=3"));
+        assert!(run_engine_conformance(&sc).is_ok());
+    }
+}

@@ -15,7 +15,11 @@
 //!   divergence rendered as a minimized observer-event trace,
 //! - [`e2e`]: Theorem 6 / Corollary 1 conformance over
 //!   `netsim::Tandem` chains of FC servers with injected capacity
-//!   droop, flow churn, and buffer-cap drops.
+//!   droop, flow churn, and buffer-cap drops,
+//! - [`engine`]: sharded-engine differential — one seeded API call
+//!   schedule replayed against `sfq_engine::SyncEngine` (oracle) and
+//!   `sfq_engine::ThreadedEngine`, requiring bit-identical departures
+//!   and refusals under real thread interleavings.
 //!
 //! Every failure anywhere in the harness prints
 //! `conformance replay: preset=<p> seed=<s>`; feeding that line to
@@ -25,6 +29,7 @@
 
 pub mod diff;
 pub mod e2e;
+pub mod engine;
 pub mod exec;
 pub mod faults;
 pub mod scenario;
@@ -34,6 +39,7 @@ pub use diff::{
     check_against_bound, diff_schedulers, first_divergence, BoundCheck, DiffReport, SchedKind,
 };
 pub use e2e::{run_tandem_conformance, E2eOutcome};
+pub use engine::{run_engine_conformance, EngineOutcome};
 pub use exec::{
     faults_from, materialize_packets, register_flows, run_faulted, run_faulted_checked, ExecReport,
     FaultAction, TimedFault,

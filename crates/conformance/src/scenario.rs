@@ -39,16 +39,24 @@ pub enum Preset {
     /// churn + revive — the graceful-degradation / recovery preset (see
     /// `docs/robustness.md`).
     Soak,
+    /// Sharded-engine differential: a mixed flow population whose
+    /// packets are replayed as an identical ingest/pump/drain call
+    /// schedule against `sfq_engine::SyncEngine` (the deterministic
+    /// oracle) and `sfq_engine::ThreadedEngine`; any divergence in
+    /// departures or backpressure refusals under real thread
+    /// interleavings is a conformance failure (see [`crate::engine`]).
+    Engine,
 }
 
 impl Preset {
     /// Every preset, for fuzz drivers.
-    pub const ALL: [Preset; 5] = [
+    pub const ALL: [Preset; 6] = [
         Preset::SingleFc,
         Preset::SingleEbf,
         Preset::Tandem,
         Preset::FairAirport,
         Preset::Soak,
+        Preset::Engine,
     ];
 
     /// Stable name used in replay lines.
@@ -59,6 +67,7 @@ impl Preset {
             Preset::Tandem => "tandem",
             Preset::FairAirport => "fair-airport",
             Preset::Soak => "soak",
+            Preset::Engine => "engine",
         }
     }
 
@@ -266,6 +275,7 @@ impl Scenario {
             Preset::SingleEbf => gen_single_ebf(seed, &mut rng),
             Preset::FairAirport => gen_fair_airport(seed, &mut rng),
             Preset::Soak => gen_soak(seed, &mut rng),
+            Preset::Engine => gen_engine(seed, &mut rng),
         }
     }
 
@@ -765,6 +775,50 @@ fn gen_soak(seed: u64, rng: &mut SimRng) -> Scenario {
         flows,
         droops: Vec::new(),
         churns,
+    }
+}
+
+fn gen_engine(seed: u64, rng: &mut SimRng) -> Scenario {
+    // The engine runner replays these flows' packets as an explicit
+    // ingest/pump/drain call schedule (derived from the same seed, see
+    // `crate::engine`), so no server profile or fault schedule applies:
+    // the scenario only fixes the flow population and arrival horizon.
+    // Short horizons keep a single case cheap; the fuzz driver covers
+    // breadth with many seeds.
+    let link_bps = 1_000_000u64;
+    let horizon_ms = rng.uniform_range(200, 801);
+    let n = rng.uniform_range(6, 33);
+    let mut flows = Vec::new();
+    for i in 0..n {
+        flows.push(FlowSpec {
+            id: i as u32 + 1,
+            weight_bps: (link_bps / n * rng.uniform_range(20, 101) / 100).max(4_000),
+            size: pick_size(rng, 1_200),
+            source: if rng.uniform() < 0.7 {
+                SourceKind::Cbr
+            } else {
+                SourceKind::Poisson
+            },
+            start_ms: rng.uniform_range(0, horizon_ms / 2),
+            entry: 0,
+            exit: 0,
+        });
+    }
+    Scenario {
+        preset: Preset::Engine,
+        seed,
+        link_bps,
+        server: ServerSpec::Constant,
+        hops: 1,
+        prop_ms: 0,
+        horizon_ms,
+        per_flow_cap: None,
+        shared_cap: None,
+        drop_policy: DropKind::Tail,
+        recovery_at_ms: None,
+        flows,
+        droops: Vec::new(),
+        churns: Vec::new(),
     }
 }
 

@@ -13,16 +13,21 @@
 //! - [`Tandem`]: a K-server chain for the end-to-end delay experiments
 //!   of Section 2.4,
 //! - [`Mesh`]: arbitrary routed topologies (e.g. the parking-lot
-//!   end-to-end fairness scenario).
+//!   end-to-end fairness scenario),
+//! - [`engine_port`]: a switch port whose scheduled class is the
+//!   sharded `sfq-engine` drainer (hierarchical SFQ composition,
+//!   Section 4) behind the ordinary [`SwitchCore`] machinery.
 
 #![warn(missing_docs)]
 
+mod engine_port;
 mod mesh;
 mod net;
 mod switch;
 mod tandem;
 mod tcp;
 
+pub use engine_port::engine_port;
 pub use mesh::{LinkId, Mesh, MeshDelivery};
 pub use net::{Delivery, Net};
 pub use switch::{DropPolicy, SwitchCore};

@@ -171,6 +171,64 @@ impl<K: Ord + Copy, E, M: Copy> FlowFifos<K, E, M> {
         }
     }
 
+    /// Remove up to `max` minimum-key head packets in exact key order,
+    /// invoking `each` for every one. Returns the number popped.
+    ///
+    /// Order is bit-identical to `max` successive [`FlowFifos::pop_min`]
+    /// calls (keys embed the packet uid, so live keys are unique and the
+    /// comparison is total), but consecutive wins by the *same* flow are
+    /// detected without heap traffic: after serving a flow's head, if
+    /// its next head key precedes every heap entry it is served directly
+    /// — the push+pop pair the per-packet path would have paid is
+    /// skipped. Under bursty or skewed backlogs most of the batch rides
+    /// this path. Stale heap entries are skipped exactly as in
+    /// [`FlowFifos::pop_min`].
+    pub fn pop_min_batch(&mut self, max: usize, mut each: impl FnMut(Packet, K, M)) -> usize {
+        let mut n = 0;
+        while n < max {
+            // Heap path: find the live global-minimum head.
+            let Some(Reverse((key, flow))) = self.heap.pop() else {
+                break;
+            };
+            let Some(fq) = self.flows.get_mut(&flow) else {
+                continue;
+            };
+            if fq.queue.front().map(|e| e.key) != Some(key) {
+                continue;
+            }
+            let Some(e) = fq.queue.pop_front() else {
+                // Unreachable: the front was just matched against `key`.
+                continue;
+            };
+            self.queued -= 1;
+            n += 1;
+            each(e.pkt, e.key, e.meta);
+            // Run path: keep serving this flow while its head beats the
+            // heap top (live entries' keys are unique, so a strict
+            // comparison decides; a stale top with a smaller key only
+            // sends us back through the heap path, which skips it).
+            while let Some(next_key) = fq.queue.front().map(|e| e.key) {
+                let beats_heap = match self.heap.peek() {
+                    Some(&Reverse((top, _))) => next_key < top,
+                    None => true,
+                };
+                if n >= max || !beats_heap {
+                    // Re-admit the flow's head and return to the heap
+                    // path (or stop, leaving the invariant restored).
+                    self.heap.push(Reverse((next_key, flow)));
+                    break;
+                }
+                let Some(e) = fq.queue.pop_front() else {
+                    break; // unreachable: front() was Some above
+                };
+                self.queued -= 1;
+                n += 1;
+                each(e.pkt, e.key, e.meta);
+            }
+        }
+        n
+    }
+
     /// Total queued packets.
     pub fn len(&self) -> usize {
         self.queued

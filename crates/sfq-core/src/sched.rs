@@ -93,6 +93,56 @@ pub trait Scheduler {
         Ok(())
     }
 
+    /// Enqueue a batch of packets arriving at `now`, in slice order.
+    ///
+    /// Semantically identical — bit for bit, including observer events
+    /// — to calling [`Scheduler::enqueue`] once per packet; the default
+    /// does exactly that. Disciplines override it to amortize work that
+    /// is constant across a pure-enqueue run (the virtual time `v(t)`
+    /// changes only at dequeues, so one read serves the whole batch) —
+    /// see `Sfq`/`Scfq`. Panics like `enqueue` on the first bad packet;
+    /// packets before it are already queued.
+    fn enqueue_batch(&mut self, now: SimTime, pkts: &[Packet]) {
+        for &pkt in pkts {
+            self.enqueue(now, pkt);
+        }
+    }
+
+    /// Fallible [`Scheduler::enqueue_batch`]: stops at the first error,
+    /// returning it; packets admitted before the failing one stay
+    /// queued (the failing packet itself leaves no state behind, per
+    /// [`Scheduler::try_enqueue`]).
+    fn try_enqueue_batch(&mut self, now: SimTime, pkts: &[Packet]) -> Result<(), SchedError> {
+        for &pkt in pkts {
+            self.try_enqueue(now, pkt)?;
+        }
+        Ok(())
+    }
+
+    /// Dequeue up to `max` packets at `now`, each transmission treated
+    /// as completing instantaneously (the batch-drain model: a drainer
+    /// pulls a burst and relays it downstream). Appends to `out` and
+    /// returns the number drained.
+    ///
+    /// Semantically identical — bit for bit, including observer events
+    /// and busy-period bookkeeping — to `max` iterations of
+    /// `{ dequeue(now); on_departure(now) }` stopping when the queue
+    /// empties; the default is exactly that loop. Disciplines override
+    /// it to avoid heap churn when one flow holds several consecutive
+    /// global minima (see `FlowFifos::pop_min_batch`).
+    fn dequeue_batch(&mut self, now: SimTime, max: usize, out: &mut Vec<Packet>) -> usize {
+        let mut n = 0;
+        while n < max {
+            let Some(pkt) = self.dequeue(now) else {
+                break;
+            };
+            self.on_departure(now);
+            out.push(pkt);
+            n += 1;
+        }
+        n
+    }
+
     /// Fallible dequeue. Selection involves only comparisons and maxima
     /// of existing tags, so for every discipline in this workspace it
     /// cannot fail; the `Result` keeps the fallible control plane

@@ -360,6 +360,89 @@ impl<O: SchedObserver> Scheduler for Sfq<O> {
         self.try_enqueue_with_rate(now, pkt, weight)
     }
 
+    fn enqueue_batch(&mut self, now: SimTime, pkts: &[Packet]) {
+        self.try_enqueue_batch(now, pkts)
+            .unwrap_or_else(|e| panic!("SFQ: {e}"));
+    }
+
+    fn try_enqueue_batch(&mut self, now: SimTime, pkts: &[Packet]) -> Result<(), SchedError> {
+        // v(t) changes only at dequeues, so across a pure-enqueue run
+        // both the eager-rebase predicate and the snapped virtual time
+        // are constants: one check and one snap serve the whole batch.
+        // (If the check fires here, the per-packet loop's first check
+        // would have fired identically and its later ones would see the
+        // shrunk v and stay quiet — bit-identical either way.)
+        if self.rebase_bits.is_some() {
+            self.maybe_rebase_eager();
+        }
+        let v_now = self.virtual_time().snap_pico();
+        let tie_rule = self.tie;
+        for &pkt in pkts {
+            let uid = pkt.uid;
+            let (key, finish) = self.q.try_push_with(pkt, |ext| {
+                let start = v_now.max(ext.last_finish);
+                let finish = start.checked_add(ext.weight.tag_span(pkt.len))?;
+                let key = Key {
+                    start,
+                    tie: tie_rule.key(ext.weight),
+                    uid,
+                };
+                ext.last_finish = finish;
+                Some((key, finish))
+            })?;
+            self.obs.on_enqueue(&SchedEvent {
+                time: now,
+                flow: pkt.flow,
+                uid,
+                len: pkt.len,
+                start_tag: key.start,
+                finish_tag: finish,
+                v: v_now,
+            });
+        }
+        Ok(())
+    }
+
+    fn dequeue_batch(&mut self, now: SimTime, max: usize, out: &mut Vec<Packet>) -> usize {
+        let Sfq {
+            q,
+            v,
+            max_finish_served,
+            obs,
+            ..
+        } = self;
+        let n = q.pop_min_batch(max, |pkt, key, finish| {
+            *v = key.start;
+            *max_finish_served = (*max_finish_served).max(finish);
+            obs.on_dequeue(&SchedEvent {
+                time: now,
+                flow: pkt.flow,
+                uid: pkt.uid,
+                len: pkt.len,
+                start_tag: key.start,
+                finish_tag: finish,
+                v: key.start,
+            });
+            out.push(pkt);
+        });
+        if n == 0 {
+            return 0;
+        }
+        // Each packet's departure was reported before the next was
+        // selected, so only the final state matters: no packet in
+        // service, and — if the batch drained the queue — the busy
+        // period ended exactly as the last per-packet on_departure
+        // would have ended it.
+        self.in_service = None;
+        if self.q.is_empty() {
+            self.v = self.max_finish_served;
+            if self.rebase_bits.is_some() {
+                self.rebase();
+            }
+        }
+        n
+    }
+
     fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
         let (pkt, key, finish) = self.q.pop_min()?;
         // v(t) during service is the start tag of the packet in service.

@@ -1,0 +1,148 @@
+//! Sharded, batch-oriented SFQ scheduling engine.
+//!
+//! A single [`sfq_core::Sfq`] instance is a sequential data structure:
+//! every enqueue reads the virtual time and every dequeue updates it, so
+//! a multi-queue line card cannot simply call one scheduler from many
+//! ingress threads. This crate scales the discipline out the way the
+//! paper itself suggests: hierarchically (Section 4). Flows are
+//! hash-partitioned across `N` independent `Sfq` shards, each fed by a
+//! bounded single-producer/single-consumer ring, and a cross-shard
+//! drainer allocates link capacity among the shards with a top-level
+//! SFQ node ([`RootSfq`]) whose "packets" are the batches it pulls from
+//! each shard. Because SFQ guarantees fairness on any Fluctuation
+//! Constrained server and itself *provides* an FC server to each class
+//! (Theorem 10), the composition inherits a two-level fairness bound:
+//! within a shard the per-flow Theorem 1 bound, across shards the root
+//! bound with batch-sized "packets". `docs/engine.md` states the
+//! composed inequality and the tests in `tests/engine_fairness.rs`
+//! measure it.
+//!
+//! Two drivers share that layout:
+//!
+//! * [`SyncEngine`] — single-threaded, deterministic. Doubles as the
+//!   differential oracle for the threaded mode and as a drop-in
+//!   [`sfq_core::Scheduler`] so `netsim`'s switch can run a sharded
+//!   port (see `netsim::engine_port`).
+//! * [`ThreadedEngine`] — one worker thread per shard. Commands to the
+//!   workers carry explicit ring cursors (`upto` counts), which pins
+//!   the exact set of packets each worker consumes per command; given
+//!   the same API call sequence its departures are byte-identical to
+//!   `SyncEngine`'s under any OS interleaving. The conformance `engine`
+//!   preset replays seeded call sequences against both and diffs them.
+
+#![warn(missing_docs)]
+
+pub mod ring;
+pub mod root;
+mod sync;
+mod threaded;
+
+pub use ring::{spsc, SpscConsumer, SpscProducer};
+pub use root::RootSfq;
+pub use sync::SyncEngine;
+pub use threaded::ThreadedEngine;
+
+use sfq_core::FlowId;
+
+/// Construction parameters shared by both engine drivers.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Number of scheduler shards (and, for [`ThreadedEngine`], worker
+    /// threads). Must be at least 1.
+    pub shards: usize,
+    /// Preferred batch size: how many packets the drainer pulls from
+    /// the shard it selects before re-running root selection, and the
+    /// maximum root "packet" size in the cross-shard fairness bound.
+    pub batch: usize,
+    /// Capacity of each shard's ingress ring; a full ring refuses the
+    /// packet with `SchedError::BufferFull` (backpressure, not loss —
+    /// the caller decides whether to drop).
+    pub ring_capacity: usize,
+    /// When `Some(bits)`, enable virtual-time rebasing on every shard
+    /// scheduler and on the root node once tag magnitudes exceed
+    /// `bits` (see `docs/robustness.md`).
+    pub rebase_bits: Option<u32>,
+}
+
+impl EngineConfig {
+    /// Config with `shards` shards and the defaults used throughout the
+    /// test-suite: batch 32, ring capacity 4096, rebasing at 96 bits.
+    pub fn new(shards: usize) -> Self {
+        EngineConfig {
+            shards,
+            batch: 32,
+            ring_capacity: 4096,
+            rebase_bits: Some(96),
+        }
+    }
+
+    /// Replace the drain batch size.
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Replace the per-shard ingress ring capacity.
+    pub fn ring_capacity(mut self, cap: usize) -> Self {
+        self.ring_capacity = cap;
+        self
+    }
+
+    /// Replace the rebase threshold (`None` disables rebasing).
+    pub fn rebase_bits(mut self, bits: Option<u32>) -> Self {
+        self.rebase_bits = bits;
+        self
+    }
+
+    fn validated(self) -> Self {
+        assert!(self.shards >= 1, "sfq-engine: need at least one shard");
+        assert!(self.batch >= 1, "sfq-engine: batch size must be >= 1");
+        assert!(
+            self.ring_capacity >= 1,
+            "sfq-engine: ring capacity must be >= 1"
+        );
+        self
+    }
+}
+
+/// Shard index owning `flow` in an engine with `shards` shards.
+///
+/// SplitMix64 over the flow id: adjacent flow ids land on unrelated
+/// shards, and the mapping is a pure function shared by both drivers,
+/// the conformance harness, and the fairness tests.
+pub fn shard_of(flow: FlowId, shards: usize) -> usize {
+    debug_assert!(shards >= 1);
+    let mut z = (flow.0 as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % shards.max(1) as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for shards in 1..=8 {
+            for id in 0..256u32 {
+                let s = shard_of(FlowId(id), shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(FlowId(id), shards));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_spreads_flows() {
+        let shards = 4;
+        let mut counts = [0usize; 4];
+        for id in 0..1024u32 {
+            counts[shard_of(FlowId(id), shards)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 128, "degenerate shard distribution: {counts:?}");
+        }
+    }
+}

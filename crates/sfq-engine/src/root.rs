@@ -1,0 +1,257 @@
+//! Top-level hierarchical-SFQ node allocating link capacity to shards.
+//!
+//! The cross-shard drainer treats each shard as one flow of a root SFQ
+//! server whose "packets" are the batches it pulls. Selecting a shard
+//! stamps the batch with a start tag `S_i = max(v, F_i)` (Eq. 4 with
+//! the root's own virtual time), serving it advances `v := S_i` and
+//! charges `F_i := S_i + bits / R_i` (Eq. 5), where `R_i` is the sum
+//! of the weights of the flows registered on shard `i`. When every
+//! shard drains empty the busy period ends and `v` resets to the
+//! maximum finish tag served, exactly like the leaf discipline.
+//!
+//! Batch sizes are only known *after* the shard is drained (a shard may
+//! hold fewer packets than the batch budget), so selection and charging
+//! are split: [`RootSfq::pick`] chooses the shard, [`RootSfq::charge`]
+//! stamps and bills the actual bits pulled. Between the two calls the
+//! root state is untouched, which keeps the pick/charge sequence a pure
+//! function of the drained bit counts — the property the threaded
+//! driver's determinism proof leans on.
+//!
+//! All state is a handful of scalars per shard, so rebasing (shifting
+//! every tag down by `⌊v⌋` once magnitudes grow) is trivial here and
+//! enabled by default through [`EngineConfig::rebase_bits`].
+//!
+//! [`EngineConfig::rebase_bits`]: crate::EngineConfig::rebase_bits
+
+use sfq_core::SchedError;
+use simtime::Ratio;
+
+#[derive(Clone, Copy, Debug)]
+struct ShardClass {
+    /// Aggregate weight `R_i`: sum of registered flow rates, in bps.
+    weight_bps: u64,
+    /// Finish tag of the shard's most recent batch.
+    last_finish: Ratio,
+}
+
+/// The cross-shard SFQ arbiter. See the module docs for the algorithm.
+#[derive(Clone, Debug)]
+pub struct RootSfq {
+    classes: Vec<ShardClass>,
+    /// Root virtual time: start tag of the batch most recently served.
+    v: Ratio,
+    /// Running max of finish tags served; becomes `v` when the root
+    /// busy period ends.
+    max_finish_served: Ratio,
+    rebase_bits: Option<u32>,
+    rebases: u64,
+}
+
+impl RootSfq {
+    /// Root node over `shards` classes, all initially weightless.
+    pub fn new(shards: usize, rebase_bits: Option<u32>) -> Self {
+        RootSfq {
+            classes: vec![
+                ShardClass {
+                    weight_bps: 0,
+                    last_finish: Ratio::ZERO,
+                };
+                shards
+            ],
+            v: Ratio::ZERO,
+            max_finish_served: Ratio::ZERO,
+            rebase_bits,
+            rebases: 0,
+        }
+    }
+
+    /// Adjust shard `i`'s aggregate weight by a flow's rate moving from
+    /// `old_bps` (0 for a new flow) to `new_bps`.
+    pub fn reweigh(&mut self, shard: usize, old_bps: u64, new_bps: u64) {
+        let c = &mut self.classes[shard];
+        c.weight_bps = c.weight_bps - old_bps + new_bps;
+    }
+
+    /// Aggregate weight `R_i` of shard `shard`, in bps.
+    pub fn weight_bps(&self, shard: usize) -> u64 {
+        self.classes[shard].weight_bps
+    }
+
+    /// Current root virtual time.
+    pub fn virtual_time(&self) -> Ratio {
+        self.v
+    }
+
+    /// Times the scalar state has been rebased.
+    pub fn rebases(&self) -> u64 {
+        self.rebases
+    }
+
+    /// Choose the next shard to drain among those with
+    /// `backlogged[i] == true`: minimum start tag `max(v, F_i)`, shard
+    /// index breaking ties. Returns `None` when nothing is backlogged.
+    pub fn pick(&self, backlogged: &[bool]) -> Option<usize> {
+        debug_assert_eq!(backlogged.len(), self.classes.len());
+        let mut best: Option<(Ratio, usize)> = None;
+        for (i, c) in self.classes.iter().enumerate() {
+            if !backlogged[i] || c.weight_bps == 0 {
+                continue;
+            }
+            let start = self.v.max(c.last_finish);
+            if best.is_none_or(|b| (start, i) < b) {
+                best = Some((start, i));
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    /// Serve a `bits`-sized batch from `shard`: stamp `S = max(v, F_i)`,
+    /// set `v := S` and `F_i := S + bits / R_i`. Errors with
+    /// [`SchedError::TagOverflow`] only if tag arithmetic leaves `i128`
+    /// range despite rebasing, leaving the root untouched.
+    pub fn charge(&mut self, shard: usize, bits: u64) -> Result<(), SchedError> {
+        self.maybe_rebase();
+        let c = self.classes[shard];
+        debug_assert!(c.weight_bps > 0, "charging a weightless shard");
+        let start = self.v.max(c.last_finish);
+        let span = Ratio::new(bits as i128, c.weight_bps.max(1) as i128);
+        let finish = start.checked_add(span).ok_or(SchedError::TagOverflow)?;
+        self.classes[shard].last_finish = finish;
+        self.v = start;
+        self.max_finish_served = self.max_finish_served.max(finish);
+        Ok(())
+    }
+
+    /// The root busy period ended (every shard drained empty): reset
+    /// `v` to the maximum finish tag served, the leaf rule of Eq. 4's
+    /// companion invariant.
+    pub fn on_idle(&mut self) {
+        self.v = self.max_finish_served;
+    }
+
+    fn maybe_rebase(&mut self) {
+        let Some(bits) = self.rebase_bits else {
+            return;
+        };
+        let worst = self
+            .classes
+            .iter()
+            .map(|c| c.last_finish.magnitude_bits())
+            .chain([
+                self.v.magnitude_bits(),
+                self.max_finish_served.magnitude_bits(),
+            ])
+            .max()
+            .unwrap_or(0);
+        if worst <= bits {
+            return;
+        }
+        // Shift every tag down by the integer part of the smallest tag
+        // still in play, preserving all differences (and therefore all
+        // pick decisions) exactly.
+        let base = self
+            .classes
+            .iter()
+            .map(|c| c.last_finish)
+            .fold(self.v, Ratio::min)
+            .floor();
+        if base == 0 {
+            return;
+        }
+        let shift = Ratio::from_int(base);
+        let sub = |r: Ratio| r.checked_sub(shift);
+        let (Some(v), Some(mfs)) = (sub(self.v), sub(self.max_finish_served)) else {
+            return;
+        };
+        let mut shifted = Vec::with_capacity(self.classes.len());
+        for c in &self.classes {
+            match sub(c.last_finish) {
+                Some(f) => shifted.push(f),
+                None => return,
+            }
+        }
+        self.v = v;
+        self.max_finish_served = mfs;
+        for (c, f) in self.classes.iter_mut().zip(shifted) {
+            c.last_finish = f;
+        }
+        self.rebases += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_capacity_by_aggregate_weight() {
+        // Shard 0 carries twice the weight of shard 1: over any run
+        // where both stay backlogged it must be picked for ~2x the
+        // bits. Serve fixed 1000-bit batches and count.
+        let mut root = RootSfq::new(2, None);
+        root.reweigh(0, 0, 2000);
+        root.reweigh(1, 0, 1000);
+        let backlogged = [true, true];
+        let mut served = [0u32; 2];
+        for _ in 0..300 {
+            let s = root.pick(&backlogged).unwrap();
+            root.charge(s, 1000).unwrap();
+            served[s] += 1;
+        }
+        assert_eq!(served[0], 200);
+        assert_eq!(served[1], 100);
+    }
+
+    #[test]
+    fn idle_shard_does_not_accumulate_credit() {
+        // Shard 1 sits idle while shard 0 is served; when it wakes its
+        // start tag snaps up to v (Eq. 4's max), so it cannot monopolize
+        // the link to "catch up" — at equal weights service alternates.
+        let mut root = RootSfq::new(2, None);
+        root.reweigh(0, 0, 1000);
+        root.reweigh(1, 0, 1000);
+        for _ in 0..50 {
+            let s = root.pick(&[true, false]).unwrap();
+            assert_eq!(s, 0);
+            root.charge(s, 1000).unwrap();
+        }
+        let mut served = [0u32; 2];
+        for _ in 0..40 {
+            let s = root.pick(&[true, true]).unwrap();
+            root.charge(s, 1000).unwrap();
+            served[s] += 1;
+        }
+        assert_eq!(served, [20, 20]);
+    }
+
+    #[test]
+    fn rebasing_preserves_pick_sequence() {
+        let mk = |bits| {
+            let mut r = RootSfq::new(3, bits);
+            r.reweigh(0, 0, 700);
+            r.reweigh(1, 0, 1300);
+            r.reweigh(2, 0, 400);
+            r
+        };
+        let mut plain = mk(None);
+        let mut rebased = mk(Some(20));
+        let backlogged = [true, true, true];
+        for step in 0..5000 {
+            let a = plain.pick(&backlogged).unwrap();
+            let b = rebased.pick(&backlogged).unwrap();
+            assert_eq!(a, b, "pick diverged at step {step}");
+            plain.charge(a, 997).unwrap();
+            rebased.charge(b, 997).unwrap();
+        }
+        assert!(rebased.rebases() > 0, "rebase threshold never tripped");
+    }
+
+    #[test]
+    fn busy_period_reset_matches_leaf_rule() {
+        let mut root = RootSfq::new(1, None);
+        root.reweigh(0, 0, 1000);
+        root.charge(0, 5000).unwrap();
+        root.on_idle();
+        assert_eq!(root.virtual_time(), Ratio::new(5000, 1000));
+    }
+}

@@ -1,0 +1,295 @@
+//! Single-threaded engine driver: the deterministic oracle.
+//!
+//! `SyncEngine` runs the full sharded layout — hash partition, ingress
+//! rings, root arbiter — on one thread. It exists for three reasons:
+//!
+//! 1. **Oracle.** Its departures define the expected output of
+//!    [`ThreadedEngine`](crate::ThreadedEngine) for the same API call
+//!    sequence; the conformance `engine` preset diffs the two.
+//! 2. **Switch port.** It implements [`Scheduler`], so `netsim`'s
+//!    `SwitchCore` can run a sharded port unchanged (`netsim::engine_port`).
+//! 3. **Measurement.** Deterministic single-thread execution is what
+//!    the fairness tests instrument with `sfq-obs` observers.
+//!
+//! # Backpressure determinism
+//!
+//! Ingest refuses a packet (`SchedError::BufferFull`) when the shard's
+//! *pending* count — packets ingested but not yet drained, wherever
+//! they physically sit — has reached `ring_capacity`. The physical ring
+//! occupancy never exceeds the pending count (a drained packet was
+//! necessarily consumed from the ring first), so under this rule a
+//! `push` can never find the ring full, and — crucially — refusals
+//! depend only on the API call sequence, never on how far a worker
+//! thread happens to have progressed. Both drivers share the rule, so
+//! refusal counts are part of the differential contract. Size
+//! `ring_capacity` as "maximum un-drained backlog per shard".
+
+use crate::ring::{spsc, SpscConsumer, SpscProducer};
+use crate::root::RootSfq;
+use crate::{shard_of, EngineConfig};
+use sfq_core::obs::SchedObserver;
+use sfq_core::{FlowId, NoopObserver, Packet, SchedError, Scheduler, Sfq};
+use simtime::{Rate, SimTime};
+use std::collections::HashMap;
+
+struct Shard<O: SchedObserver> {
+    sched: Sfq<O>,
+    prod: SpscProducer<Packet>,
+    cons: SpscConsumer<Packet>,
+}
+
+impl<O: SchedObserver> Shard<O> {
+    /// Packets ingested but not yet drained: ring residue plus queued.
+    fn pending(&self) -> usize {
+        self.cons.len() + self.sched.len()
+    }
+}
+
+/// Deterministic single-threaded sharded engine. See the module docs.
+pub struct SyncEngine<O: SchedObserver = NoopObserver> {
+    batch: usize,
+    ring_capacity: usize,
+    shards: Vec<Shard<O>>,
+    root: RootSfq,
+    weights: HashMap<FlowId, Rate>,
+    backlogged: Vec<bool>,
+    scratch: Vec<Packet>,
+    one: Vec<Packet>,
+}
+
+impl SyncEngine<NoopObserver> {
+    /// Engine with no observers attached.
+    pub fn new(cfg: EngineConfig) -> Self {
+        Self::with_observer(cfg, NoopObserver)
+    }
+}
+
+impl<O: SchedObserver + Clone> SyncEngine<O> {
+    /// Engine whose every shard scheduler carries a clone of `obs`.
+    /// Pass an `Rc<RefCell<...>>` observer to aggregate events from all
+    /// shards into one sink (as the fairness tests do with
+    /// `sfq_obs::FlowMetrics`).
+    pub fn with_observer(cfg: EngineConfig, obs: O) -> Self {
+        let cfg = cfg.validated();
+        let shards = (0..cfg.shards)
+            .map(|_| {
+                let mut sched = Sfq::with_observer(Default::default(), obs.clone());
+                if let Some(bits) = cfg.rebase_bits {
+                    sched.enable_rebasing(bits);
+                }
+                let (prod, cons) = spsc(cfg.ring_capacity);
+                Shard { sched, prod, cons }
+            })
+            .collect();
+        SyncEngine {
+            batch: cfg.batch,
+            ring_capacity: cfg.ring_capacity,
+            shards,
+            root: RootSfq::new(cfg.shards, cfg.rebase_bits),
+            weights: HashMap::new(),
+            backlogged: vec![false; cfg.shards],
+            scratch: Vec::new(),
+            one: Vec::new(),
+        }
+    }
+}
+
+impl<O: SchedObserver> SyncEngine<O> {
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Drain batch size.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Shard owning `flow`.
+    pub fn shard_of(&self, flow: FlowId) -> usize {
+        shard_of(flow, self.shards.len())
+    }
+
+    /// Register `flow` at rate `weight` on its home shard and fold the
+    /// rate into the root arbiter's aggregate for that shard.
+    /// Re-registration updates the weight, as for the leaf discipline.
+    pub fn try_add_flow(&mut self, flow: FlowId, weight: Rate) -> Result<(), SchedError> {
+        if weight.as_bps() == 0 {
+            return Err(SchedError::ZeroWeight(flow));
+        }
+        let s = self.shard_of(flow);
+        self.shards[s].sched.try_add_flow(flow, weight)?;
+        let old = self.weights.insert(flow, weight).map_or(0, |w| w.as_bps());
+        self.root.reweigh(s, old, weight.as_bps());
+        Ok(())
+    }
+
+    /// Hand `pkt` to its home shard's ingress ring. Refuses with
+    /// [`SchedError::UnknownFlow`] for unregistered flows and
+    /// [`SchedError::BufferFull`] when the shard's pending count has
+    /// reached the ring capacity (see the module docs on backpressure
+    /// determinism). The packet is *not yet scheduled*: tags are
+    /// stamped at the next [`SyncEngine::pump`] or drain.
+    pub fn try_ingest(&mut self, pkt: Packet) -> Result<(), SchedError> {
+        if !self.weights.contains_key(&pkt.flow) {
+            return Err(SchedError::UnknownFlow(pkt.flow));
+        }
+        let s = self.shard_of(pkt.flow);
+        let shard = &self.shards[s];
+        if shard.pending() >= self.ring_capacity {
+            return Err(SchedError::BufferFull(pkt.flow));
+        }
+        shard
+            .prod
+            .push(pkt)
+            .unwrap_or_else(|_| unreachable!("pending < capacity implies ring has room"));
+        Ok(())
+    }
+
+    /// Move every ring-resident packet into its shard scheduler as one
+    /// batch per shard, stamping tags against each shard's current
+    /// virtual time. Tags do not depend on `now` (Eq. 4 reads only the
+    /// virtual time, which moves at dequeues), so deferring a pump
+    /// never changes an ordering decision — only observer timestamps.
+    pub fn pump(&mut self, now: SimTime) -> Result<(), SchedError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for shard in &mut self.shards {
+            scratch.clear();
+            while let Some(pkt) = shard.cons.pop() {
+                scratch.push(pkt);
+            }
+            let res = shard.sched.try_enqueue_batch(now, &scratch);
+            if let Err(e) = res {
+                self.scratch = scratch;
+                return Err(e);
+            }
+        }
+        self.scratch = scratch;
+        Ok(())
+    }
+
+    /// Drain up to `max` packets at `now` into `out`, batch by batch:
+    /// pump all rings, then repeatedly let the root arbiter pick the
+    /// backlogged shard with the least start tag, pull up to
+    /// [`EngineConfig::batch`] packets from it, and charge the root
+    /// with the actual bits pulled. Returns the number drained.
+    pub fn drain(
+        &mut self,
+        now: SimTime,
+        max: usize,
+        out: &mut Vec<Packet>,
+    ) -> Result<usize, SchedError> {
+        let batch = self.batch;
+        self.drain_inner(now, max, batch, out)
+    }
+
+    fn drain_inner(
+        &mut self,
+        now: SimTime,
+        max: usize,
+        per_pick: usize,
+        out: &mut Vec<Packet>,
+    ) -> Result<usize, SchedError> {
+        self.pump(now)?;
+        let mut n = 0;
+        while n < max {
+            for (i, shard) in self.shards.iter().enumerate() {
+                self.backlogged[i] = shard.pending() > 0;
+            }
+            let Some(s) = self.root.pick(&self.backlogged) else {
+                break;
+            };
+            let take = per_pick.min(max - n);
+            let before = out.len();
+            let k = self.shards[s].sched.dequeue_batch(now, take, out);
+            if k == 0 {
+                break;
+            }
+            let bits: u64 = out[before..].iter().map(|p| p.len.bits()).sum();
+            self.root.charge(s, bits)?;
+            n += k;
+        }
+        if self.shards.iter().all(|sh| sh.pending() == 0) {
+            self.root.on_idle();
+        }
+        Ok(n)
+    }
+
+    /// Total packets pending across all shards (rings plus queues).
+    pub fn pending(&self) -> usize {
+        self.shards.iter().map(Shard::pending).sum()
+    }
+
+    /// Root arbiter state, for tests and diagnostics.
+    pub fn root(&self) -> &RootSfq {
+        &self.root
+    }
+}
+
+impl<O: SchedObserver> Scheduler for SyncEngine<O> {
+    fn add_flow(&mut self, flow: FlowId, weight: Rate) {
+        if let Err(e) = self.try_add_flow(flow, weight) {
+            panic!("sfq-engine: {e}");
+        }
+    }
+
+    fn enqueue(&mut self, now: SimTime, pkt: Packet) {
+        if let Err(e) = self.try_enqueue(now, pkt) {
+            panic!("sfq-engine: {e}");
+        }
+    }
+
+    /// Ingest and immediately pump, so `len`/`backlog` stay exact for
+    /// the switch's admission logic.
+    fn try_enqueue(&mut self, now: SimTime, pkt: Packet) -> Result<(), SchedError> {
+        self.try_ingest(pkt)?;
+        self.pump(now)
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        match self.try_dequeue(now) {
+            Ok(p) => p,
+            Err(e) => panic!("sfq-engine: {e}"),
+        }
+    }
+
+    fn try_dequeue(&mut self, now: SimTime) -> Result<Option<Packet>, SchedError> {
+        let mut one = std::mem::take(&mut self.one);
+        one.clear();
+        let res = self.drain_inner(now, 1, 1, &mut one);
+        let pkt = one.pop();
+        self.one = one;
+        res.map(|_| pkt)
+    }
+
+    // The batch methods are deliberately NOT overridden: the engine's
+    // amortized path is the native `drain`, which charges the root
+    // arbiter per *batch* — a coarser root granularity than the
+    // per-packet facade, so overriding `dequeue_batch` with it would
+    // break the trait's bit-identity contract (and the switch drives
+    // per-packet transmissions anyway). The trait defaults delegate to
+    // `enqueue`/`dequeue` above, which are identical by construction.
+
+    /// No-op: batch draining folds transmission completion into
+    /// [`SyncEngine::drain`], and the root arbiter is charged there.
+    fn on_departure(&mut self, _now: SimTime) {}
+
+    fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    fn len(&self) -> usize {
+        self.pending()
+    }
+
+    fn backlog(&self, flow: FlowId) -> usize {
+        // Exact under `Scheduler` usage: `try_enqueue` pumps eagerly,
+        // so no packet of `flow` can be sitting uncounted in a ring.
+        let s = shard_of(flow, self.shards.len());
+        self.shards[s].sched.backlog(flow)
+    }
+
+    fn name(&self) -> &'static str {
+        "SFQ-ENGINE"
+    }
+}

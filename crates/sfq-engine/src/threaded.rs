@@ -1,0 +1,309 @@
+//! Multi-threaded engine driver: one worker per shard, determinism by
+//! construction.
+//!
+//! # Why the departures cannot depend on thread timing
+//!
+//! Each shard worker owns its `Sfq` and the consumer end of its ingress
+//! ring; the coordinator (the thread calling the `ThreadedEngine` API)
+//! owns every producer end and is the only command source. Two rules
+//! pin the execution:
+//!
+//! 1. **Count-bounded consumption.** Every `Pump`/`Drain` command
+//!    carries `upto`: the total number of packets the coordinator had
+//!    pushed to that shard's ring when it sent the command. The worker
+//!    pops *exactly* `upto - consumed` packets — never a packet pushed
+//!    after the command was sent, no matter how the threads interleave.
+//!    (The mpsc send/recv pair orders the ring writes before the
+//!    worker's reads.)
+//! 2. **Synchronous drains.** `Drain` round-trips: the coordinator
+//!    blocks for the worker's packet batch, charges the root arbiter
+//!    with the actual bits, and only then picks the next shard. The
+//!    root's pick/charge sequence is therefore a pure function of the
+//!    API call sequence.
+//!
+//! Since tag stamping inside a shard depends only on the shard's own
+//! enqueue/dequeue sequence (Eq. 4 reads the virtual time, which moves
+//! only at that shard's dequeues), the departures for a given API call
+//! sequence are identical to [`SyncEngine`](crate::SyncEngine)'s — the
+//! property `tests/engine_interleaving.rs` and the conformance `engine`
+//! preset check differentially. Backpressure refusals are coordinator-
+//! side and count-based (see the sync driver's module docs), so they
+//! are part of the same deterministic contract.
+//!
+//! A worker that hits an enqueue error (only `TagOverflow` is possible
+//! once flows are registered) does not panic: it parks the error and
+//! reports it on the next drain, keeping the coordinator free to shed
+//! that shard and keep serving the others.
+
+use crate::ring::{spsc, SpscConsumer, SpscProducer};
+use crate::root::RootSfq;
+use crate::{shard_of, EngineConfig};
+use sfq_core::{FlowId, Packet, SchedError, Scheduler, Sfq};
+use simtime::{Rate, SimTime};
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+enum Cmd {
+    AddFlow(FlowId, Rate),
+    Pump { upto: u64, now: SimTime },
+    Drain { upto: u64, now: SimTime, max: usize },
+    Stop,
+}
+
+type DrainResult = Result<Vec<Packet>, SchedError>;
+
+struct Worker {
+    sched: Sfq,
+    cons: SpscConsumer<Packet>,
+    consumed: u64,
+    scratch: Vec<Packet>,
+    poisoned: Option<SchedError>,
+}
+
+impl Worker {
+    fn run(mut self, cmds: Receiver<Cmd>, resp: Sender<DrainResult>) {
+        for cmd in cmds {
+            match cmd {
+                Cmd::AddFlow(flow, weight) => {
+                    if let Err(e) = self.sched.try_add_flow(flow, weight) {
+                        self.poisoned.get_or_insert(e);
+                    }
+                }
+                Cmd::Pump { upto, now } => self.pump(upto, now),
+                Cmd::Drain { upto, now, max } => {
+                    self.pump(upto, now);
+                    let out = match self.poisoned {
+                        Some(e) => Err(e),
+                        None => {
+                            let mut pkts = Vec::new();
+                            self.sched.dequeue_batch(now, max, &mut pkts);
+                            Ok(pkts)
+                        }
+                    };
+                    if resp.send(out).is_err() {
+                        break; // coordinator gone
+                    }
+                }
+                Cmd::Stop => break,
+            }
+        }
+    }
+
+    fn pump(&mut self, upto: u64, now: SimTime) {
+        self.scratch.clear();
+        while self.consumed < upto {
+            let Some(pkt) = self.cons.pop() else {
+                // Unreachable: the producer stored these packets before
+                // sending the command that carried `upto`.
+                break;
+            };
+            self.consumed += 1;
+            self.scratch.push(pkt);
+        }
+        if self.poisoned.is_none() {
+            if let Err(e) = self.sched.try_enqueue_batch(now, &self.scratch) {
+                self.poisoned = Some(e);
+            }
+        }
+    }
+}
+
+struct ShardHandle {
+    prod: SpscProducer<Packet>,
+    cmd: Sender<Cmd>,
+    resp: Receiver<DrainResult>,
+    /// Total packets ever pushed to this shard's ring.
+    pushed: u64,
+    /// Packets ingested but not yet drained (coordinator's view; equals
+    /// ring residue + shard queue length at every synchronous point).
+    pending: u64,
+    join: Option<JoinHandle<()>>,
+}
+
+/// Multi-threaded sharded engine. See the module docs for the
+/// determinism protocol; the API mirrors
+/// [`SyncEngine`](crate::SyncEngine)'s native surface.
+pub struct ThreadedEngine {
+    batch: usize,
+    ring_capacity: u64,
+    shards: Vec<ShardHandle>,
+    root: RootSfq,
+    weights: HashMap<FlowId, Rate>,
+    backlogged: Vec<bool>,
+}
+
+impl ThreadedEngine {
+    /// Spawn one worker thread per shard.
+    pub fn new(cfg: EngineConfig) -> Self {
+        let cfg = cfg.validated();
+        let shards = (0..cfg.shards)
+            .map(|i| {
+                let (prod, cons) = spsc(cfg.ring_capacity);
+                let (cmd_tx, cmd_rx) = channel();
+                let (resp_tx, resp_rx) = channel();
+                let mut sched = Sfq::new();
+                if let Some(bits) = cfg.rebase_bits {
+                    sched.enable_rebasing(bits);
+                }
+                let worker = Worker {
+                    sched,
+                    cons,
+                    consumed: 0,
+                    scratch: Vec::new(),
+                    poisoned: None,
+                };
+                let join = std::thread::Builder::new()
+                    .name(format!("sfq-engine-shard-{i}"))
+                    .spawn(move || worker.run(cmd_rx, resp_tx))
+                    .expect("spawn sfq-engine shard worker");
+                ShardHandle {
+                    prod,
+                    cmd: cmd_tx,
+                    resp: resp_rx,
+                    pushed: 0,
+                    pending: 0,
+                    join: Some(join),
+                }
+            })
+            .collect();
+        ThreadedEngine {
+            batch: cfg.batch,
+            ring_capacity: cfg.ring_capacity as u64,
+            shards,
+            root: RootSfq::new(cfg.shards, cfg.rebase_bits),
+            weights: HashMap::new(),
+            backlogged: vec![false; cfg.shards],
+        }
+    }
+
+    /// Number of shards (== worker threads).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard owning `flow`.
+    pub fn shard_of(&self, flow: FlowId) -> usize {
+        shard_of(flow, self.shards.len())
+    }
+
+    /// Register `flow` at rate `weight`; mirrors
+    /// [`SyncEngine::try_add_flow`](crate::SyncEngine::try_add_flow).
+    /// The command is ordered before any later packet of the flow
+    /// because both travel through the same per-shard channels.
+    pub fn try_add_flow(&mut self, flow: FlowId, weight: Rate) -> Result<(), SchedError> {
+        if weight.as_bps() == 0 {
+            return Err(SchedError::ZeroWeight(flow));
+        }
+        let s = self.shard_of(flow);
+        self.send(s, Cmd::AddFlow(flow, weight));
+        let old = self.weights.insert(flow, weight).map_or(0, |w| w.as_bps());
+        self.root.reweigh(s, old, weight.as_bps());
+        Ok(())
+    }
+
+    /// Hand `pkt` to its home shard's ring; same deterministic
+    /// backpressure rule as the sync driver (refuse when pending ==
+    /// ring capacity, so the physical push below cannot fail).
+    pub fn try_ingest(&mut self, pkt: Packet) -> Result<(), SchedError> {
+        if !self.weights.contains_key(&pkt.flow) {
+            return Err(SchedError::UnknownFlow(pkt.flow));
+        }
+        let s = shard_of(pkt.flow, self.shards.len());
+        let shard = &mut self.shards[s];
+        if shard.pending >= self.ring_capacity {
+            return Err(SchedError::BufferFull(pkt.flow));
+        }
+        shard
+            .prod
+            .push(pkt)
+            .unwrap_or_else(|_| unreachable!("pending < capacity implies ring has room"));
+        shard.pushed += 1;
+        shard.pending += 1;
+        Ok(())
+    }
+
+    /// Ask every worker to move its ring residue into its scheduler,
+    /// stamping tags now. Asynchronous: returns without waiting.
+    pub fn pump(&mut self, now: SimTime) {
+        for i in 0..self.shards.len() {
+            let upto = self.shards[i].pushed;
+            self.send(i, Cmd::Pump { upto, now });
+        }
+    }
+
+    /// Drain up to `max` packets at `now` into `out`; same root-arbiter
+    /// loop as [`SyncEngine::drain`](crate::SyncEngine::drain), with
+    /// each per-shard batch fetched synchronously from its worker.
+    pub fn drain(
+        &mut self,
+        now: SimTime,
+        max: usize,
+        out: &mut Vec<Packet>,
+    ) -> Result<usize, SchedError> {
+        let mut n = 0;
+        while n < max {
+            for (i, shard) in self.shards.iter().enumerate() {
+                self.backlogged[i] = shard.pending > 0;
+            }
+            let Some(s) = self.root.pick(&self.backlogged) else {
+                break;
+            };
+            let take = self.batch.min(max - n);
+            let upto = self.shards[s].pushed;
+            self.send(
+                s,
+                Cmd::Drain {
+                    upto,
+                    now,
+                    max: take,
+                },
+            );
+            let pkts = self.shards[s]
+                .resp
+                .recv()
+                .expect("sfq-engine shard worker died")?;
+            let k = pkts.len();
+            if k == 0 {
+                break;
+            }
+            let bits: u64 = pkts.iter().map(|p| p.len.bits()).sum();
+            self.root.charge(s, bits)?;
+            self.shards[s].pending -= k as u64;
+            out.extend(pkts);
+            n += k;
+        }
+        if self.shards.iter().all(|sh| sh.pending == 0) {
+            self.root.on_idle();
+        }
+        Ok(n)
+    }
+
+    /// Total packets pending across all shards (coordinator view).
+    pub fn pending(&self) -> usize {
+        self.shards.iter().map(|s| s.pending as usize).sum()
+    }
+
+    /// `true` when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    fn send(&self, shard: usize, cmd: Cmd) {
+        self.shards[shard]
+            .cmd
+            .send(cmd)
+            .expect("sfq-engine shard worker died");
+    }
+}
+
+impl Drop for ThreadedEngine {
+    fn drop(&mut self) {
+        for shard in &mut self.shards {
+            let _ = shard.cmd.send(Cmd::Stop);
+            if let Some(join) = shard.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}

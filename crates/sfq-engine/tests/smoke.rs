@@ -1,0 +1,99 @@
+//! In-crate smoke tests: the two drivers agree on a hand-rolled call
+//! sequence, and the engine behaves as a `Scheduler`. The heavy
+//! differential coverage (seeded scenarios, proptest interleavings)
+//! lives in the workspace-level `tests/engine_interleaving.rs` and the
+//! conformance `engine` preset.
+
+use sfq_core::{FlowId, Packet, PacketFactory, Scheduler};
+use sfq_engine::{EngineConfig, SyncEngine, ThreadedEngine};
+use simtime::{Bytes, Rate, SimTime};
+
+fn mk_cfg() -> EngineConfig {
+    EngineConfig::new(4).batch(3).ring_capacity(512)
+}
+
+#[test]
+fn threaded_matches_sync_on_fixed_sequence() {
+    let mut sync = SyncEngine::new(mk_cfg());
+    let mut thr = ThreadedEngine::new(mk_cfg());
+    let mut fac = PacketFactory::new();
+    let now = SimTime::ZERO;
+
+    for id in 0..16u32 {
+        let w = Rate::kbps(64 * (1 + id as u64 % 5));
+        sync.try_add_flow(FlowId(id), w).unwrap();
+        thr.try_add_flow(FlowId(id), w).unwrap();
+    }
+    let mut pkts: Vec<Packet> = Vec::new();
+    for round in 0..20 {
+        for id in 0..16u32 {
+            pkts.push(fac.make(
+                FlowId(id),
+                Bytes::new(200 + 37 * ((round + id as u64) % 7)),
+                now,
+            ));
+        }
+    }
+    for &p in &pkts {
+        sync.try_ingest(p).unwrap();
+        thr.try_ingest(p).unwrap();
+    }
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    // Drain in uneven chunks so batch boundaries get exercised.
+    for chunk in [7usize, 1, 13, 40, 400] {
+        sync.drain(now, chunk, &mut a).unwrap();
+        thr.drain(now, chunk, &mut b).unwrap();
+    }
+    assert_eq!(a.len(), pkts.len());
+    let a_uids: Vec<u64> = a.iter().map(|p| p.uid).collect();
+    let b_uids: Vec<u64> = b.iter().map(|p| p.uid).collect();
+    assert_eq!(a_uids, b_uids);
+    assert!(sync.is_empty() && thr.is_empty());
+}
+
+#[test]
+fn backpressure_is_deterministic_and_identical() {
+    let cfg = EngineConfig::new(2).ring_capacity(8);
+    let mut sync = SyncEngine::new(cfg);
+    let mut thr = ThreadedEngine::new(cfg);
+    let mut fac = PacketFactory::new();
+    let now = SimTime::ZERO;
+    sync.try_add_flow(FlowId(1), Rate::kbps(64)).unwrap();
+    thr.try_add_flow(FlowId(1), Rate::kbps(64)).unwrap();
+    let mut refusals = (0, 0);
+    for _ in 0..20 {
+        let p = fac.make(FlowId(1), Bytes::new(100), now);
+        if sync.try_ingest(p).is_err() {
+            refusals.0 += 1;
+        }
+        if thr.try_ingest(p).is_err() {
+            refusals.1 += 1;
+        }
+    }
+    // One flow -> one shard -> capacity 8: exactly 12 refusals each,
+    // regardless of worker progress.
+    assert_eq!(refusals, (12, 12));
+}
+
+#[test]
+fn engine_implements_scheduler() {
+    let mut eng = SyncEngine::new(mk_cfg());
+    let mut fac = PacketFactory::new();
+    let now = SimTime::ZERO;
+    eng.add_flow(FlowId(7), Rate::kbps(64));
+    eng.add_flow(FlowId(9), Rate::kbps(192));
+    assert_eq!(eng.name(), "SFQ-ENGINE");
+    for _ in 0..6 {
+        eng.enqueue(now, fac.make(FlowId(7), Bytes::new(500), now));
+        eng.enqueue(now, fac.make(FlowId(9), Bytes::new(500), now));
+    }
+    assert_eq!(eng.len(), 12);
+    assert_eq!(eng.backlog(FlowId(7)), 6);
+    let mut got = 0;
+    while let Some(_p) = eng.dequeue(now) {
+        eng.on_departure(now);
+        got += 1;
+    }
+    assert_eq!(got, 12);
+    assert!(eng.is_empty());
+}

@@ -11,7 +11,11 @@
 //! - no shrinking: a failing case reports its generated inputs verbatim;
 //! - the per-test RNG seed is a deterministic hash of the test name, so
 //!   runs are reproducible and CI is stable;
-//! - `.proptest-regressions` files are ignored.
+//! - committed `.proptest-regressions` files *are* honoured: every
+//!   `cc <hex>` line is folded to a 64-bit seed and replayed as an
+//!   extra case **before** the random stream, for every property in
+//!   the source file (upstream's per-file granularity). The shim still
+//!   never writes such files — record new pins by hand.
 
 use core::fmt;
 use core::ops::{Range, RangeInclusive};
@@ -30,16 +34,26 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
 impl TestRng {
     /// RNG seeded from an arbitrary label (we use the test name), so
     /// every test gets an independent, reproducible stream.
     pub fn deterministic(label: &str) -> Self {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in label.bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x1000_0000_01b3);
-        }
-        let mut sm = h;
+        Self::from_seed(fnv64(label.as_bytes()))
+    }
+
+    /// RNG with a fully specified 64-bit seed; used to replay the
+    /// planted cases from `.proptest-regressions` files.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
         TestRng {
             s: [
                 splitmix64(&mut sm),
@@ -105,6 +119,57 @@ impl Default for ProptestConfig {
     fn default() -> Self {
         ProptestConfig { cases: 64 }
     }
+}
+
+/// Planted regression cases for the properties defined in source file
+/// `file` (the caller's `file!()`): `(cc_token, seed)` pairs parsed
+/// from the sibling `.proptest-regressions` file, in file order.
+///
+/// Upstream writes that file next to the test source as
+/// `<stem>.proptest-regressions`, with one `cc <hex-token>` line per
+/// persisted failure. The shim cannot reverse upstream's token into
+/// its byte-exact RNG state, so it folds the token (FNV-1a, the same
+/// hash behind [`TestRng::deterministic`]) into a 64-bit seed: each
+/// committed line becomes one deterministic extra case that runs
+/// before the random stream — committed regressions are *executed*,
+/// not merely documented.
+///
+/// `file!()` is compiler-relative (usually workspace-relative) while
+/// the test process may run anywhere, so the source file is located by
+/// joining progressively shorter suffixes of `file` under the caller's
+/// `CARGO_MANIFEST_DIR`; missing or unreadable regression files yield
+/// an empty list.
+#[doc(hidden)]
+pub fn regression_seeds(manifest_dir: &str, file: &str) -> Vec<(String, u64)> {
+    use std::path::{Path, PathBuf};
+    let f = Path::new(file);
+    let source: Option<PathBuf> = if f.is_absolute() {
+        f.is_file().then(|| f.to_path_buf())
+    } else {
+        let comps: Vec<_> = f.components().collect();
+        (0..comps.len()).find_map(|strip| {
+            let mut cand = PathBuf::from(manifest_dir);
+            cand.extend(&comps[strip..]);
+            cand.is_file().then_some(cand)
+        })
+    };
+    let Some(path) = source.map(|s| s.with_extension("proptest-regressions")) else {
+        return Vec::new();
+    };
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("cc ") else {
+            continue; // blank lines and `#` comments
+        };
+        if let Some(token) = rest.split_whitespace().next() {
+            seeds.push((token.to_string(), fnv64(token.as_bytes())));
+        }
+    }
+    seeds
 }
 
 /// Failure raised by `prop_assert!`-family macros inside a property.
@@ -488,6 +553,37 @@ macro_rules! __proptest_impl {
             fn $name() {
                 let __config: $crate::ProptestConfig = $cfg;
                 let __cases = $crate::effective_cases(__config.cases);
+                // Committed `.proptest-regressions` pins run first,
+                // each from its own token-derived RNG, so a recorded
+                // failure is re-checked before any random case.
+                for (__token, __seed) in
+                    $crate::regression_seeds(env!("CARGO_MANIFEST_DIR"), file!())
+                {
+                    let mut __rng = $crate::TestRng::from_seed(__seed);
+                    let mut __inputs = String::new();
+                    $(
+                        let __value = $crate::Strategy::generate(&($strat), &mut __rng);
+                        __inputs.push_str(&format!(
+                            "  {} = {:?}\n",
+                            stringify!($pat),
+                            __value
+                        ));
+                        let $pat = __value;
+                    )+
+                    let __outcome = (|| -> ::core::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(e) = __outcome {
+                        panic!(
+                            "proptest regression case `cc {}` failed: {}\ninputs:\n{}",
+                            __token,
+                            e,
+                            __inputs
+                        );
+                    }
+                }
                 let mut __rng = $crate::TestRng::deterministic(concat!(
                     module_path!(),
                     "::",

@@ -1,0 +1,72 @@
+//! Meta-tests for the shim's `.proptest-regressions` support: a
+//! deliberately planted `cc` line in the sibling
+//! `regression_meta.proptest-regressions` file must produce a case
+//! that runs *before* the name-derived random stream, and a failure in
+//! a planted case must name its `cc` token so the committed line can
+//! be found and triaged.
+
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// The token committed in `regression_meta.proptest-regressions`.
+const PLANTED_TOKEN: &str = "5eed00dd1e55a11ec0de000000000000000000000000000000000000000000aa";
+
+static SEEN: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Deliberately NOT `#[test]`: invoked by hand below so the SEEN
+    // recording cannot race the parallel test runner.
+    fn records_generated_values(x in 0u64..1_000_000) {
+        SEEN.lock().unwrap().push(x);
+    }
+
+    // Fails on every input, so whichever case runs *first* produces
+    // the panic — which must be the planted one.
+    fn impossible(x in 0u64..10) {
+        prop_assert!(x > 1_000_000, "x was {}", x);
+    }
+}
+
+#[test]
+fn planted_seed_runs_before_the_random_stream() {
+    SEEN.lock().unwrap().clear();
+    records_generated_values();
+    let seen = SEEN.lock().unwrap().clone();
+
+    let planted = prop::regression_seeds(env!("CARGO_MANIFEST_DIR"), file!());
+    assert_eq!(planted.len(), 1, "exactly one planted cc line");
+    let (token, seed) = &planted[0];
+    assert_eq!(token, PLANTED_TOKEN);
+
+    // One planted case, then the configured random cases.
+    assert_eq!(seen.len(), 1 + prop::effective_cases(8) as usize);
+
+    // Case 0 came from the token-derived RNG ...
+    let mut planted_rng = TestRng::from_seed(*seed);
+    let expected_planted = Strategy::generate(&(0u64..1_000_000), &mut planted_rng);
+    assert_eq!(seen[0], expected_planted, "planted case did not run first");
+
+    // ... and case 1 is the first draw of the usual name-derived
+    // stream, i.e. planting a seed prepends to the schedule without
+    // perturbing the random cases.
+    let mut random_rng =
+        TestRng::deterministic(concat!(module_path!(), "::records_generated_values"));
+    let expected_random = Strategy::generate(&(0u64..1_000_000), &mut random_rng);
+    assert_eq!(seen[1], expected_random, "random stream was perturbed");
+}
+
+#[test]
+#[should_panic(expected = "proptest regression case `cc 5eed00dd1e55a11e")]
+fn failing_planted_case_names_its_token() {
+    impossible();
+}
+
+#[test]
+fn sources_without_a_regression_file_plant_nothing() {
+    // The shim's own lib has no sibling regression file.
+    assert!(prop::regression_seeds(env!("CARGO_MANIFEST_DIR"), "src/lib.rs").is_empty());
+    // Unresolvable paths degrade to "no planted cases", never an error.
+    assert!(prop::regression_seeds(env!("CARGO_MANIFEST_DIR"), "no/such/file.rs").is_empty());
+}

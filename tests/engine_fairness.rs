@@ -1,0 +1,210 @@
+//! Cross-shard fairness of the sharded engine, measured.
+//!
+//! The engine composes two SFQ levels: within shard `i`, Theorem 1
+//! bounds any two continuously-backlogged flows
+//! `|W_f/r_f − W_g/r_g| ≤ l_f/r_f + l_g/r_g`; at the root, shards are
+//! flows whose "packets" are batches of at most `B_i = batch · l_i^max`
+//! bits, so `|W_i/R_i − W_j/R_j| ≤ B_i/R_i + B_j/R_j` (with
+//! `R_i = Σ_{g∈i} r_g`). With every flow of shard `i` backlogged,
+//! `W_i/R_i` is a convex combination of the members' `W_g/r_g`, hence
+//! within `max_{g∈i}(l_f/r_f + l_g/r_g)` of any member. Chaining the
+//! three inequalities bounds two flows on *different* shards:
+//!
+//! ```text
+//! |W_f/r_f − W_m/r_m| ≤ [l_f/r_f + max_{g∈i} l_g/r_g]
+//!                     + [B_i/R_i + B_j/R_j]
+//!                     + [l_m/r_m + max_{g∈j} l_g/r_g]
+//! ```
+//!
+//! This suite measures the left side exactly (watermark spreads from
+//! `sfq_obs::FlowMetrics`, one shared observer across all shards) on a
+//! workload that keeps every flow backlogged for the whole run, and
+//! checks the inequality in exact rational arithmetic for every
+//! cross-shard pair. A deterministic witness pins the worst shard pair
+//! so a regression in the drainer shows up as a changed number, not
+//! just a still-under-the-bound drift.
+
+use sfq_core::{FlowId, PacketFactory};
+use sfq_engine::{shard_of, EngineConfig, SyncEngine};
+use sfq_obs::FlowMetrics;
+use simtime::{Bytes, Rate, Ratio, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const N: usize = 12;
+const SHARDS: usize = 3;
+const BATCH: usize = 8;
+/// Packets preloaded per flow; draining strictly fewer in total keeps
+/// every flow backlogged through the entire measured interval.
+const PRELOAD: usize = 2_000;
+const DRAINED: usize = 1_500;
+
+fn weight_of(f: u32) -> Rate {
+    Rate::kbps([64, 128, 256, 96, 160, 320, 224, 80, 112, 192, 144, 288][f as usize])
+}
+
+fn len_of(f: u32) -> Bytes {
+    Bytes::new(
+        [
+            300, 500, 700, 900, 1100, 400, 600, 800, 1000, 1200, 350, 750,
+        ][f as usize],
+    )
+}
+
+/// `l_f / r_f` exactly.
+fn span_of(f: u32) -> Ratio {
+    weight_of(f).tag_span(len_of(f))
+}
+
+fn members(shard: usize) -> Vec<u32> {
+    (0..N as u32)
+        .filter(|&f| shard_of(FlowId(f), SHARDS) == shard)
+        .collect()
+}
+
+/// Run the engine and return the shared metrics sink.
+fn run() -> Rc<RefCell<FlowMetrics>> {
+    let metrics = Rc::new(RefCell::new(FlowMetrics::new()));
+    let cfg = EngineConfig::new(SHARDS)
+        .batch(BATCH)
+        .ring_capacity(N * PRELOAD);
+    let mut eng = SyncEngine::with_observer(cfg, Rc::clone(&metrics));
+    let now = SimTime::ZERO;
+    for f in 0..N as u32 {
+        eng.try_add_flow(FlowId(f), weight_of(f)).unwrap();
+    }
+    let mut fac = PacketFactory::new();
+    // Round-robin preload so uids interleave across flows.
+    for _ in 0..PRELOAD {
+        for f in 0..N as u32 {
+            eng.try_ingest(fac.make(FlowId(f), len_of(f), now)).unwrap();
+        }
+    }
+    let mut out = Vec::new();
+    let mut left = DRAINED;
+    while left > 0 {
+        let chunk = left.min(50);
+        let n = eng.drain(now, chunk, &mut out).unwrap();
+        assert_eq!(n, chunk, "engine under-drained while backlogged");
+        left -= n;
+    }
+    // The watermark segments are only Theorem-1 intervals if nobody
+    // went idle: with DRAINED < PRELOAD no flow can have been emptied.
+    assert_eq!(
+        metrics.borrow().backlogged_flows().len(),
+        N,
+        "a flow went idle mid-measurement"
+    );
+    metrics
+}
+
+/// The composed two-level bound for `f` on shard `i`, `m` on shard `j`.
+fn composed_bound(f: u32, m: u32) -> Ratio {
+    let (i, j) = (shard_of(FlowId(f), SHARDS), shard_of(FlowId(m), SHARDS));
+    assert_ne!(i, j, "composed bound is for cross-shard pairs");
+    let shard_terms = |s: usize| -> (Ratio, Ratio) {
+        let ms = members(s);
+        let worst_span = ms.iter().map(|&g| span_of(g)).max().unwrap();
+        let r_total: u64 = ms.iter().map(|&g| weight_of(g).as_bps()).sum();
+        let b_bits = BATCH as u64 * ms.iter().map(|&g| len_of(g).bits()).max().unwrap();
+        (worst_span, Ratio::new(b_bits as i128, r_total as i128))
+    };
+    let (wi, bi) = shard_terms(i);
+    let (wj, bj) = shard_terms(j);
+    span_of(f) + wi + bi + bj + span_of(m) + wj
+}
+
+#[test]
+fn cross_shard_pairs_stay_under_the_composed_bound() {
+    let metrics = run();
+    let m = metrics.borrow();
+    let mut checked = 0;
+    for f in 0..N as u32 {
+        for g in (f + 1)..N as u32 {
+            if shard_of(FlowId(f), SHARDS) == shard_of(FlowId(g), SHARDS) {
+                continue;
+            }
+            let spread = m
+                .worst_spread_between(FlowId(f), FlowId(g))
+                .expect("pair was backlogged together");
+            let bound = composed_bound(f, g);
+            assert!(
+                spread <= bound,
+                "flows {f},{g}: spread {} > composed bound {}",
+                spread.to_f64(),
+                bound.to_f64()
+            );
+            checked += 1;
+        }
+    }
+    assert!(
+        checked >= 30,
+        "expected a dense cross-shard pair set, got {checked}"
+    );
+}
+
+#[test]
+fn same_shard_pairs_still_obey_theorem_1() {
+    // Sharding must not weaken the leaf guarantee: flows that share a
+    // shard see a plain single-server SFQ and Theorem 1 applies as-is.
+    let metrics = run();
+    let m = metrics.borrow();
+    for f in 0..N as u32 {
+        for g in (f + 1)..N as u32 {
+            if shard_of(FlowId(f), SHARDS) != shard_of(FlowId(g), SHARDS) {
+                continue;
+            }
+            let spread = m
+                .worst_spread_between(FlowId(f), FlowId(g))
+                .expect("pair was backlogged together");
+            let bound = span_of(f) + span_of(g);
+            assert!(
+                spread <= bound,
+                "flows {f},{g} share a shard: spread {} > Theorem 1 bound {}",
+                spread.to_f64(),
+                bound.to_f64()
+            );
+        }
+    }
+}
+
+#[test]
+fn worst_cross_shard_pair_witness_is_pinned() {
+    // Deterministic witness: the identity of the worst cross-shard pair
+    // and its exact measured spread. The run is fully deterministic
+    // (fixed workload, single thread), so any change here means the
+    // drainer's allocation behaviour changed — investigate before
+    // re-pinning. The expected values were captured from the first
+    // green run of this suite.
+    let metrics = run();
+    let m = metrics.borrow();
+    let mut worst: Option<(u32, u32, Ratio)> = None;
+    for f in 0..N as u32 {
+        for g in (f + 1)..N as u32 {
+            if shard_of(FlowId(f), SHARDS) == shard_of(FlowId(g), SHARDS) {
+                continue;
+            }
+            let spread = m.worst_spread_between(FlowId(f), FlowId(g)).unwrap();
+            if worst.is_none_or(|(_, _, w)| spread > w) {
+                worst = Some((f, g, spread));
+            }
+        }
+    }
+    let (f, g, spread) = worst.unwrap();
+    let expected = pinned_witness();
+    assert_eq!(
+        (f, g, spread.to_f64()),
+        expected,
+        "worst cross-shard pair moved (measured spread {})",
+        spread.to_f64()
+    );
+}
+
+/// `(flow_a, flow_b, exact spread as f64)` of the worst cross-shard
+/// pair — see `worst_cross_shard_pair_witness_is_pinned`.
+fn pinned_witness() -> (u32, u32, f64) {
+    // Flows 3 (shard of id 3) and 8: spread exactly 1/4 of normalized
+    // service — well inside their composed bound, and stable across
+    // platforms because every quantity in the run is exact rational.
+    (3, 8, 0.25)
+}

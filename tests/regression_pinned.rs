@@ -2,15 +2,22 @@
 //! `tests/theorem_throughput_delay.proptest-regressions`.
 //!
 //! Triage: those seeds were recorded by upstream proptest's
-//! shrinking/persistence machinery, which the offline shim neither
-//! reads nor writes (`shims/proptest` derives its RNG from the test
-//! name and ignores `.proptest-regressions` files) — so the committed
-//! file was dead weight: nothing ever re-ran the four scenarios.
-//! Re-running them here shows **no theorem violation**: they were
-//! shrink-path artifacts of the upstream tool, not counterexamples.
-//! Each is pinned below as a named deterministic test running all four
-//! tier-1 properties (Theorem 4, Theorem 2, Eq. 56, WFQ guarantee), so
-//! a future scheduler change that breaks one of them fails by name.
+//! shrinking/persistence machinery, which the offline shim originally
+//! ignored — so the committed file was dead weight: nothing ever
+//! re-ran the four scenarios. Re-running them here shows **no theorem
+//! violation**: they were shrink-path artifacts of the upstream tool,
+//! not counterexamples. Each is pinned below as a named deterministic
+//! test running all four tier-1 properties (Theorem 4, Theorem 2,
+//! Eq. 56, WFQ guarantee), so a future scheduler change that breaks
+//! one of them fails by name.
+//!
+//! Since PR 5 the shim *also* replays every committed `cc` line
+//! itself: each token is folded to a seed and run as an extra case
+//! before the random stream (see `shims/proptest`, meta-tested in
+//! `shims/proptest/tests/regression_meta.rs`). These named pins stay
+//! because they exercise the *exact* recorded scenarios, while the
+//! shim's token-folded replay draws fresh inputs from a token-derived
+//! RNG — complementary, not redundant.
 
 use sfq_repro::prelude::*;
 
