@@ -18,11 +18,17 @@
 //! configuration every packet of the per-packet facade pays for). The
 //! plain single-`Sfq` per-packet loop is also recorded so the cost of
 //! the engine indirection itself stays visible across commits.
+//!
+//! Every grid point is measured twice along a `sched` axis: exact
+//! rational `Sfq` shards and u64 fixed-point `SfqFast` shards (the
+//! root arbiter stays exact either way), so the artifact records how
+//! much of the engine's budget the shard scheduler actually is.
 
+use bench::meta::Meta;
 use bench::report;
 use jsonline::{impl_to_json, ToJson};
 use sfq_core::{FlowId, Packet, PacketFactory, Scheduler, Sfq};
-use sfq_engine::{EngineConfig, SyncEngine, ThreadedEngine};
+use sfq_engine::{EngineConfig, ShardSched, SyncEngine, ThreadedEngine};
 use simtime::{Bytes, Rate, SimTime};
 use std::hint::black_box;
 use std::io::Write;
@@ -45,26 +51,37 @@ const RING: usize = 1 << 16;
 struct EnginePoint {
     driver: String,
     drive: String,
+    /// Shard scheduler: `"sfq"` (exact rational) or `"sfq_fast"`
+    /// (u64 fixed-point). The root arbiter is exact in both cases.
+    sched: String,
     shards: usize,
     batch: usize,
     flows: usize,
     backlog_per_flow: usize,
     pkts_per_sec: f64,
     ns_per_pkt: f64,
+    /// Empty for a healthy point. `"per_packet_rpc_floor"` marks the
+    /// threaded batch=1 configurations, whose throughput is pinned to
+    /// the cross-thread round-trip latency rather than scheduler cost
+    /// — see `docs/engine.md` for the triage.
+    anomaly: String,
 }
 impl_to_json!(EnginePoint {
     driver,
     drive,
+    sched,
     shards,
     batch,
     flows,
     backlog_per_flow,
     pkts_per_sec,
-    ns_per_pkt
+    ns_per_pkt,
+    anomaly
 });
 
 #[derive(Debug)]
 struct Snapshot {
+    meta: Meta,
     smoke: bool,
     pkt_bytes: u64,
     flows: usize,
@@ -74,10 +91,13 @@ struct Snapshot {
     plain_sfq_per_packet_pps: f64,
     single_shard_per_packet_pps: f64,
     four_shard_batched_pps: f64,
+    four_shard_batched_fast_pps: f64,
     speedup_4shard_batched_vs_single_shard_per_packet: f64,
+    speedup_4shard_fast_vs_exact: f64,
     points: Vec<EnginePoint>,
 }
 impl_to_json!(Snapshot {
+    meta,
     smoke,
     pkt_bytes,
     flows,
@@ -87,7 +107,9 @@ impl_to_json!(Snapshot {
     plain_sfq_per_packet_pps,
     single_shard_per_packet_pps,
     four_shard_batched_pps,
+    four_shard_batched_fast_pps,
     speedup_4shard_batched_vs_single_shard_per_packet,
+    speedup_4shard_fast_vs_exact,
     points
 });
 
@@ -98,7 +120,7 @@ trait Driver {
     fn drain_n(&mut self, max: usize, out: &mut Vec<Packet>) -> usize;
 }
 
-impl Driver for SyncEngine {
+impl<S: ShardSched> Driver for SyncEngine<S> {
     fn add(&mut self, flow: FlowId, weight: Rate) {
         self.try_add_flow(flow, weight).expect("register");
     }
@@ -229,46 +251,92 @@ fn main() {
 
     eprintln!("enginesnap: sharded-engine steady-state drain throughput");
     let mut points = Vec::new();
-    let push = |points: &mut Vec<EnginePoint>, driver: &str, drive: &str, sh, ba, pps: f64| {
-        eprintln!("  {driver:>8} {drive:>10}  {sh} shard(s)  batch {ba:>2}  {pps:>12.0} pkt/s");
+    let push = |points: &mut Vec<EnginePoint>,
+                driver: &str,
+                drive: &str,
+                sched: &str,
+                sh,
+                ba,
+                pps: f64| {
+        // Threaded batch=1 pays one cross-thread round trip per
+        // packet: the number is a latency floor, not scheduler
+        // cost. Label it so artifact diffs don't read it as a
+        // scheduler regression (triage in docs/engine.md).
+        let anomaly = if driver == "threaded" && ba == 1 {
+            "per_packet_rpc_floor"
+        } else {
+            ""
+        };
+        eprintln!(
+            "  {driver:>8} {drive:>10} {sched:>9}  {sh} shard(s)  batch {ba:>2}  {pps:>12.0} pkt/s"
+        );
         points.push(EnginePoint {
             driver: driver.to_string(),
             drive: drive.to_string(),
+            sched: sched.to_string(),
             shards: sh,
             batch: ba,
             flows: FLOWS,
             backlog_per_flow: DEPTH,
             pkts_per_sec: pps,
             ns_per_pkt: 1e9 / pps,
+            anomaly: anomaly.to_string(),
         });
     };
 
     for &sh in shards_axis {
         for &ba in batch_axis {
             let pps = measure_driver(SyncEngine::new(cfg(sh, ba)), false, warmup, win);
-            push(&mut points, "sync", "batched", sh, ba, pps);
+            push(&mut points, "sync", "batched", "sfq", sh, ba, pps);
+            let pps = measure_driver(SyncEngine::new_fast(cfg(sh, ba)), false, warmup, win);
+            push(&mut points, "sync", "batched", "sfq_fast", sh, ba, pps);
             let pps = measure_driver(ThreadedEngine::new(cfg(sh, ba)), false, warmup, win);
-            push(&mut points, "threaded", "batched", sh, ba, pps);
+            push(&mut points, "threaded", "batched", "sfq", sh, ba, pps);
+            let pps = measure_driver(ThreadedEngine::new_fast(cfg(sh, ba)), false, warmup, win);
+            push(&mut points, "threaded", "batched", "sfq_fast", sh, ba, pps);
         }
     }
 
     // The acceptance comparison: 4-shard batched engine vs the same
     // architecture at 1 shard driven strictly per packet.
     let single_pp = measure_driver(ThreadedEngine::new(cfg(1, 1)), true, warmup, win);
-    push(&mut points, "threaded", "per_packet", 1, 1, single_pp);
-    let four_batched = points
-        .iter()
-        .find(|p| p.driver == "threaded" && p.drive == "batched" && p.shards == 4 && p.batch == 32)
-        .map(|p| p.pkts_per_sec)
-        .expect("axis includes (4, 32)");
+    push(
+        &mut points,
+        "threaded",
+        "per_packet",
+        "sfq",
+        1,
+        1,
+        single_pp,
+    );
+    let point_of = |points: &Vec<EnginePoint>, sched: &str| {
+        points
+            .iter()
+            .find(|p| {
+                p.driver == "threaded"
+                    && p.drive == "batched"
+                    && p.sched == sched
+                    && p.shards == 4
+                    && p.batch == 32
+            })
+            .map(|p| p.pkts_per_sec)
+            .expect("axis includes (4, 32)")
+    };
+    let four_batched = point_of(&points, "sfq");
+    let four_batched_fast = point_of(&points, "sfq_fast");
     let plain = measure_plain_sfq(warmup, win);
     eprintln!("  plain sfq per-packet                       {plain:>12.0} pkt/s");
     let speedup = four_batched / single_pp;
     eprintln!(
         "4-shard batched vs 1-shard per-packet: {four_batched:.0} / {single_pp:.0} = {speedup:.2}x"
     );
+    let speedup_fast = four_batched_fast / four_batched;
+    eprintln!(
+        "4-shard fast shards vs exact shards:   {four_batched_fast:.0} / {four_batched:.0} = {speedup_fast:.2}x"
+    );
 
     let snapshot = Snapshot {
+        meta: Meta::capture(),
         smoke,
         pkt_bytes: PKT,
         flows: FLOWS,
@@ -278,7 +346,9 @@ fn main() {
         plain_sfq_per_packet_pps: plain,
         single_shard_per_packet_pps: single_pp,
         four_shard_batched_pps: four_batched,
+        four_shard_batched_fast_pps: four_batched_fast,
         speedup_4shard_batched_vs_single_shard_per_packet: speedup,
+        speedup_4shard_fast_vs_exact: speedup_fast,
         points,
     };
     // crates/bench -> repository root.
@@ -290,7 +360,9 @@ fn main() {
     eprintln!("wrote {}", out.display());
     report::print_table(
         "enginesnap (pkt/s)",
-        &["driver", "drive", "shards", "batch", "pkts/sec"],
+        &[
+            "driver", "drive", "sched", "shards", "batch", "pkts/sec", "anomaly",
+        ],
         &snapshot
             .points
             .iter()
@@ -298,9 +370,11 @@ fn main() {
                 vec![
                     p.driver.clone(),
                     p.drive.clone(),
+                    p.sched.clone(),
                     p.shards.to_string(),
                     p.batch.to_string(),
                     format!("{:.0}", p.pkts_per_sec),
+                    p.anomaly.clone(),
                 ]
             })
             .collect::<Vec<_>>(),

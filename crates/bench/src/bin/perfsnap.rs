@@ -8,30 +8,57 @@
 //! single committed artifact. Run it from anywhere with:
 //!
 //! ```text
-//! cargo run --release -p bench --bin perfsnap
+//! cargo run --release -p bench --bin perfsnap [-- --smoke]
 //! ```
+//!
+//! `--smoke` shrinks the flow axis and the measurement windows so CI
+//! can exercise the whole path in a couple of seconds; the committed
+//! artifact should come from a full run.
 //!
 //! The deep-backlog axis (4 vs 64 packets per flow) exercises the
 //! head-of-flow heap restructure: per-packet cost should be flat in
 //! backlog depth because heap size tracks backlogged flows, not queued
-//! packets.
+//! packets. The `sfq_fast`/`scfq_fast` rows are the u64 fixed-point
+//! schedulers measured on the identical workload as their
+//! exact-rational counterparts — the speedup the fixed-point layer
+//! exists to buy.
 
 use baselines::{Drr, Fifo, Fqs, Scfq, VirtualClock, Wfq};
+use bench::meta::Meta;
 use bench::report;
 use jsonline::{impl_to_json, ToJson};
-use sfq_core::{FairAirport, FlowId, HierSfq, PacketFactory, Scheduler, Sfq, TieBreak};
+use sfq_core::{
+    FairAirport, FlowId, HierSfq, PacketFactory, ScfqFast, Scheduler, Sfq, SfqFast, TieBreak,
+};
 use sfq_obs::CountingObserver;
 use simtime::{Bytes, Rate, SimTime};
 use std::hint::black_box;
 use std::io::Write;
 use std::path::PathBuf;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 const PKT: u64 = 200;
-const FLOWS: [usize; 3] = [8, 64, 512];
 const DEPTHS: [usize; 2] = [4, 64];
-const WARMUP: Duration = Duration::from_millis(60);
-const MEASURE: Duration = Duration::from_millis(180);
+
+/// Run-time knobs selected by `--smoke`; every measurement helper
+/// reads them through [`cfg`] so the flag needs no parameter
+/// threading.
+struct RunCfg {
+    warmup: Duration,
+    measure: Duration,
+    /// Interleave slice of [`measure_paired`].
+    slice: Duration,
+    /// Slice rounds of [`measure_paired`].
+    rounds: usize,
+    flows_axis: &'static [usize],
+}
+
+static RUN_CFG: OnceLock<RunCfg> = OnceLock::new();
+
+fn cfg() -> &'static RunCfg {
+    RUN_CFG.get().expect("set at the top of main")
+}
 
 #[derive(Debug)]
 struct SnapPoint {
@@ -94,6 +121,8 @@ impl_to_json!(ControlCheck {
 
 #[derive(Debug)]
 struct Snapshot {
+    meta: Meta,
+    smoke: bool,
     pkt_bytes: u64,
     warmup_ms: u64,
     measure_ms: u64,
@@ -102,6 +131,8 @@ struct Snapshot {
     control_checks: Vec<ControlCheck>,
 }
 impl_to_json!(Snapshot {
+    meta,
+    smoke,
     pkt_bytes,
     warmup_ms,
     measure_ms,
@@ -136,7 +167,7 @@ fn measure<S: Scheduler>(mut sched: S, q: usize, depth: usize) -> f64 {
         sched.on_departure(t0);
         black_box(p.uid);
     };
-    let warm_end = Instant::now() + WARMUP;
+    let warm_end = Instant::now() + cfg().warmup;
     while Instant::now() < warm_end {
         for _ in 0..64 {
             pair(&mut sched, &mut pf);
@@ -144,7 +175,7 @@ fn measure<S: Scheduler>(mut sched: S, q: usize, depth: usize) -> f64 {
     }
     let mut served = 0u64;
     let start = Instant::now();
-    let end = start + MEASURE;
+    let end = start + cfg().measure;
     while Instant::now() < end {
         for _ in 0..64 {
             pair(&mut sched, &mut pf);
@@ -216,29 +247,28 @@ impl<S: Scheduler> Steady<S> {
 /// slow clock-frequency drift affects both equally. Returns sustained
 /// packets/sec for each.
 fn measure_paired<A: Scheduler, B: Scheduler>(a: &mut Steady<A>, b: &mut Steady<B>) -> (f64, f64) {
-    const SLICE: Duration = Duration::from_millis(25);
-    const ROUNDS: usize = 10;
+    let slice = cfg().slice;
     // Warm both.
-    let end = Instant::now() + WARMUP;
+    let end = Instant::now() + cfg().warmup;
     while Instant::now() < end {
         a.run(64);
     }
-    let end = Instant::now() + WARMUP;
+    let end = Instant::now() + cfg().warmup;
     while Instant::now() < end {
         b.run(64);
     }
     let (mut na, mut nb) = (0u64, 0u64);
     let (mut ta, mut tb) = (Duration::ZERO, Duration::ZERO);
-    for _ in 0..ROUNDS {
+    for _ in 0..cfg().rounds {
         let start = Instant::now();
-        let end = start + SLICE;
+        let end = start + slice;
         while Instant::now() < end {
             a.run(64);
             na += 64;
         }
         ta += start.elapsed();
         let start = Instant::now();
-        let end = start + SLICE;
+        let end = start + slice;
         while Instant::now() < end {
             b.run(64);
             nb += 64;
@@ -253,7 +283,7 @@ fn snap_discipline<S: Scheduler>(
     name: &str,
     make: impl Fn(usize) -> S,
 ) {
-    for &q in &FLOWS {
+    for &q in cfg().flows_axis {
         for &depth in &DEPTHS {
             let pps = measure(make(q), q, depth);
             eprintln!("  {name:>14}  {q:>4} flows  {depth:>3} deep  {pps:>12.0} pkt/s");
@@ -269,10 +299,33 @@ fn snap_discipline<S: Scheduler>(
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    RUN_CFG
+        .set(if smoke {
+            RunCfg {
+                warmup: Duration::from_millis(10),
+                measure: Duration::from_millis(30),
+                slice: Duration::from_millis(5),
+                rounds: 4,
+                flows_axis: &[8, 512],
+            }
+        } else {
+            RunCfg {
+                warmup: Duration::from_millis(60),
+                measure: Duration::from_millis(180),
+                slice: Duration::from_millis(25),
+                rounds: 10,
+                flows_axis: &[8, 64, 512],
+            }
+        })
+        .unwrap_or_else(|_| unreachable!("main runs once"));
+
     let mut results = Vec::new();
     eprintln!("perfsnap: steady-state enqueue+dequeue throughput");
     snap_discipline(&mut results, "sfq", |q| flows_of(Sfq::new(), q));
+    snap_discipline(&mut results, "sfq_fast", |q| flows_of(SfqFast::new(), q));
     snap_discipline(&mut results, "scfq", |q| flows_of(Scfq::new(), q));
+    snap_discipline(&mut results, "scfq_fast", |q| flows_of(ScfqFast::new(), q));
     snap_discipline(&mut results, "virtual_clock", |q| {
         flows_of(VirtualClock::new(), q)
     });
@@ -294,7 +347,7 @@ fn main() {
     // Measured with interleaved slices so clock drift cancels; the
     // sequential sweep above can show spurious depth gaps because each
     // shallow point always runs before its deep counterpart.
-    let q = *FLOWS.last().unwrap();
+    let q = *cfg().flows_axis.last().unwrap();
     let (d_lo, d_hi) = (DEPTHS[0], DEPTHS[1]);
     let mut depth_checks = Vec::new();
     fn run_check<S: Scheduler>(
@@ -324,6 +377,9 @@ fn main() {
     }
     run_check(&mut depth_checks, "sfq", q, d_lo, d_hi, || {
         flows_of(Sfq::new(), q)
+    });
+    run_check(&mut depth_checks, "sfq_fast", q, d_lo, d_hi, || {
+        flows_of(SfqFast::new(), q)
     });
     run_check(&mut depth_checks, "scfq", q, d_lo, d_hi, || {
         flows_of(Scfq::new(), q)
@@ -385,12 +441,33 @@ fn main() {
             new_pkts_per_sec: pps_inst,
             new_vs_base_pct: pct,
         });
+
+        // The fixed-point headline, drift-cancelled: the same speedup
+        // the `sfq_fast` rows above show, but robust against clock
+        // drift between sequential sweep points.
+        let mut exact = Steady::new(flows_of(Sfq::new(), q), q, depth);
+        let mut fast = Steady::new(flows_of(SfqFast::new(), q), q, depth);
+        let (pps_exact, pps_fast) = measure_paired(&mut exact, &mut fast);
+        let pct = 100.0 * (pps_fast / pps_exact - 1.0);
+        eprintln!(
+            "sfq@{q} (paired): exact -> {pps_exact:.0} pkt/s, fixed-point -> {pps_fast:.0} pkt/s ({pct:+.1}% fast vs exact)",
+        );
+        control_checks.push(ControlCheck {
+            comparison: "sfq_fast_vs_sfq_exact".to_string(),
+            flows: q,
+            backlog_per_flow: depth,
+            base_pkts_per_sec: pps_exact,
+            new_pkts_per_sec: pps_fast,
+            new_vs_base_pct: pct,
+        });
     }
 
     let snapshot = Snapshot {
+        meta: Meta::capture(),
+        smoke,
         pkt_bytes: PKT,
-        warmup_ms: WARMUP.as_millis() as u64,
-        measure_ms: MEASURE.as_millis() as u64,
+        warmup_ms: cfg().warmup.as_millis() as u64,
+        measure_ms: cfg().measure.as_millis() as u64,
         results,
         depth_checks,
         control_checks,

@@ -2,7 +2,9 @@
 //! original global-heap SFQ (every queued packet in one `BinaryHeap`,
 //! plus a per-packet uid→tags map) versus the current per-flow-FIFO
 //! implementation, at 512 flows and backlog depths of 4 and 64 packets
-//! per flow.
+//! per flow — plus the fixed-point `SfqFast` as a third rung, so the
+//! full lineage (seed → head-of-flow → fixed-point) is visible in one
+//! run.
 //!
 //! Shallow and deep configurations are measured in interleaved time
 //! slices (as in `perfsnap`) so clock-frequency drift cancels. Run:
@@ -11,7 +13,7 @@
 //! cargo run --release -p bench --bin seedcmp
 //! ```
 
-use sfq_core::{FlowId, Packet, PacketFactory, Scheduler, Sfq, TieBreak};
+use sfq_core::{FlowId, Packet, PacketFactory, Scheduler, Sfq, SfqFast, TieBreak};
 use simtime::{Bytes, Rate, Ratio, SimTime};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -148,6 +150,35 @@ fn steady_seed(depth: usize) -> Steady<impl FnMut(usize)> {
     }
 }
 
+/// Third rung of the lineage: identical driving loop over the u64
+/// fixed-point `SfqFast` (same `Scheduler` surface as `Sfq`).
+fn steady_fast(depth: usize) -> Steady<impl FnMut(usize)> {
+    let mut s = SfqFast::new();
+    let mut pf = PacketFactory::new();
+    let t0 = SimTime::ZERO;
+    for f in 0..FLOWS as u32 {
+        s.add_flow(FlowId(f), Rate::kbps(64 + f as u64));
+    }
+    for f in 0..FLOWS as u32 {
+        for _ in 0..depth {
+            s.enqueue(t0, pf.make(FlowId(f), Bytes::new(PKT), t0));
+        }
+    }
+    let mut i = 0u32;
+    Steady {
+        run: move |pairs: usize| {
+            for _ in 0..pairs {
+                let f = FlowId(i % FLOWS as u32);
+                i = i.wrapping_add(1);
+                s.enqueue(t0, pf.make(f, Bytes::new(PKT), t0));
+                let p = s.dequeue(t0).expect("backlogged");
+                s.on_departure(t0);
+                black_box(p.uid);
+            }
+        },
+    }
+}
+
 fn steady_current(depth: usize) -> Steady<impl FnMut(usize)> {
     let mut s = Sfq::new();
     let mut pf = PacketFactory::new();
@@ -210,7 +241,7 @@ fn report(name: &str, lo: f64, hi: f64) {
 }
 
 fn main() {
-    eprintln!("seedcmp: global-heap seed vs head-of-flow SFQ @ {FLOWS} flows");
+    eprintln!("seedcmp: global-heap seed vs head-of-flow vs fixed-point SFQ @ {FLOWS} flows");
     {
         let mut shallow = steady_seed(4);
         let mut deep = steady_seed(64);
@@ -223,7 +254,13 @@ fn main() {
         let (lo, hi) = measure_paired(&mut shallow.run, &mut deep.run);
         report("current(head-of-flow)", lo, hi);
     }
-    // Head-to-head at each depth: what the restructure bought.
+    {
+        let mut shallow = steady_fast(4);
+        let mut deep = steady_fast(64);
+        let (lo, hi) = measure_paired(&mut shallow.run, &mut deep.run);
+        report("fast(fixed-point)", lo, hi);
+    }
+    // Head-to-head at each depth: what each restructure bought.
     for depth in [4usize, 64] {
         let mut seed = steady_seed(depth);
         let mut cur = steady_current(depth);
@@ -231,6 +268,13 @@ fn main() {
         eprintln!(
             "  depth {depth:>2}: seed {s:.0} pkt/s vs head-of-flow {c:.0} pkt/s ({:+.1}%)",
             100.0 * (c / s - 1.0),
+        );
+        let mut cur = steady_current(depth);
+        let mut fast = steady_fast(depth);
+        let (c, f) = measure_paired(&mut cur.run, &mut fast.run);
+        eprintln!(
+            "  depth {depth:>2}: head-of-flow {c:.0} pkt/s vs fixed-point {f:.0} pkt/s ({:+.1}%)",
+            100.0 * (f / c - 1.0),
         );
     }
 }

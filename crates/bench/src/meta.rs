@@ -1,0 +1,90 @@
+//! Provenance header for committed benchmark artifacts.
+//!
+//! Every `BENCH_*.json` snapshot embeds a [`Meta`] record so a number
+//! in the artifact can always be traced back to the exact tree, the
+//! toolchain, and the build profile that produced it. Without this a
+//! cross-commit diff of the JSON can silently compare a debug-profile
+//! smoke run on one machine against a release run on another.
+
+use jsonline::impl_to_json;
+use std::process::Command;
+
+/// Provenance of one benchmark snapshot run.
+#[derive(Debug)]
+pub struct Meta {
+    /// `git rev-parse HEAD` of the working tree, with `-dirty`
+    /// appended when uncommitted changes were present; `"unknown"` if
+    /// git is unavailable.
+    pub git_commit: String,
+    /// `rustc --version` of the toolchain on `PATH` (the one cargo
+    /// invoked for this binary, absent rustup overrides mid-run).
+    pub rustc_version: String,
+    /// `"release"` or `"debug"`, from `cfg!(debug_assertions)`.
+    pub cargo_profile: String,
+}
+impl_to_json!(Meta {
+    git_commit,
+    rustc_version,
+    cargo_profile
+});
+
+fn run(cmd: &str, args: &[&str]) -> Option<String> {
+    let out = Command::new(cmd).args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let s = String::from_utf8(out.stdout).ok()?;
+    let s = s.trim();
+    if s.is_empty() {
+        None
+    } else {
+        Some(s.to_string())
+    }
+}
+
+impl Meta {
+    /// Capture provenance at run time. Infallible: missing tools
+    /// degrade to `"unknown"` rather than failing the benchmark.
+    pub fn capture() -> Self {
+        let mut git_commit =
+            run("git", &["rev-parse", "HEAD"]).unwrap_or_else(|| "unknown".to_string());
+        if git_commit != "unknown" {
+            // `status --porcelain` prints nothing iff the tree is clean.
+            let dirty = run("git", &["status", "--porcelain"]).is_some();
+            if dirty {
+                git_commit.push_str("-dirty");
+            }
+        }
+        Meta {
+            git_commit,
+            rustc_version: run("rustc", &["--version"]).unwrap_or_else(|| "unknown".to_string()),
+            cargo_profile: if cfg!(debug_assertions) {
+                "debug".to_string()
+            } else {
+                "release".to_string()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsonline::ToJson;
+
+    #[test]
+    fn capture_is_infallible_and_serializes() {
+        let m = Meta::capture();
+        let json = m.to_json();
+        assert!(json.contains("\"git_commit\""));
+        assert!(json.contains("\"rustc_version\""));
+        assert!(json.contains("\"cargo_profile\""));
+        // The profile is decided at compile time, never "unknown".
+        assert!(m.cargo_profile == "debug" || m.cargo_profile == "release");
+    }
+
+    #[test]
+    fn missing_command_degrades_to_none() {
+        assert!(run("definitely-not-a-real-binary-name", &[]).is_none());
+    }
+}

@@ -10,8 +10,8 @@
 //! ```
 
 use conformance::{
-    check_against_bound, diff_schedulers, run_engine_conformance, run_soak, run_tandem_conformance,
-    Preset, Scenario, SchedKind,
+    check_against_bound, diff_schedulers, run_engine_conformance, run_fast_conformance, run_soak,
+    run_tandem_conformance, Preset, Scenario, SchedKind,
 };
 use simtime::SimDuration;
 use std::io::Write;
@@ -128,6 +128,11 @@ fn check(sc: &Scenario) -> Option<String> {
             // departure sequence.
             run_engine_conformance(sc).err()
         }
+        Preset::Fast => {
+            // Fixed-point fast path vs the exact-rational oracle on a
+            // quantization-safe workload: must be bit-identical.
+            run_fast_conformance(sc).err()
+        }
         Preset::SingleEbf | Preset::FairAirport => None, // covered by tier-1 tests
     }
 }
@@ -141,6 +146,7 @@ fn main() {
             Preset::SingleFc,
             Preset::Soak,
             Preset::Engine,
+            Preset::Fast,
         ],
     };
     let started = Instant::now();

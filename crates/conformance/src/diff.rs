@@ -9,7 +9,7 @@ use crate::scenario::{other_lmax_at, Scenario, OBSERVED_FLOW};
 use analysis::{max_guarantee_violation, scfq_delay_term, sfq_delay_term};
 use baselines::{Fifo, Scfq, VirtualClock};
 use servers::Departure;
-use sfq_core::{FairAirport, Scheduler, Sfq, TieBreak};
+use sfq_core::{FairAirport, ScfqFast, Scheduler, Sfq, SfqFast, TieBreak};
 use sfq_obs::RingTracer;
 use simtime::{SimDuration, SimTime};
 use std::cell::RefCell;
@@ -29,6 +29,10 @@ pub enum SchedKind {
     FairAirport,
     /// FIFO — deliberately *not* fair; useful as a known-divergent peer.
     Fifo,
+    /// Fixed-point SFQ fast path (u64 tags, FIFO tie-break).
+    SfqFast,
+    /// Fixed-point SCFQ fast path (u64 tags).
+    ScfqFast,
 }
 
 impl SchedKind {
@@ -40,6 +44,8 @@ impl SchedKind {
             SchedKind::Vc => "vc",
             SchedKind::FairAirport => "fair-airport",
             SchedKind::Fifo => "fifo",
+            SchedKind::SfqFast => "sfq-fast",
+            SchedKind::ScfqFast => "scfq-fast",
         }
     }
 }
@@ -57,6 +63,8 @@ pub fn build_traced(
         SchedKind::Vc => Box::new(VirtualClock::with_observer(tracer.clone())),
         SchedKind::FairAirport => Box::new(FairAirport::with_observer(tracer.clone())),
         SchedKind::Fifo => Box::new(Fifo::with_observer(tracer.clone())),
+        SchedKind::SfqFast => Box::new(SfqFast::with_observer(TieBreak::Fifo, tracer.clone())),
+        SchedKind::ScfqFast => Box::new(ScfqFast::with_observer(tracer.clone())),
     };
     (sched, tracer)
 }

@@ -1,0 +1,83 @@
+//! Fixed-point fast-path conformance: the differential proof obligation
+//! of `docs/fixed_point.md`, packaged as a seeded scenario check.
+//!
+//! A [`Preset::Fast`](crate::scenario::Preset::Fast) scenario is
+//! *quantization-safe*: every weight is a power of two no larger than
+//! `2^19` b/s, so every tag span `l / r` is exactly representable on
+//! both the exact `i128` rational grid and the u64 fixed-point grid at
+//! the default shift. On such workloads the fast schedulers are not
+//! merely "close" to the exact ones — they must produce bit-identical
+//! departure schedules, and any divergence (packet identity, service
+//! start, or departure instant) is a bug in the fixed-point layer, not
+//! a tolerance issue. This runner replays one scenario through both
+//! pairs (`SfqFast` vs `Sfq`, `ScfqFast` vs `Scfq`) on identical
+//! arrivals and server profiles; a failure message carries the first
+//! divergence's minimized observer trace plus the
+//! `conformance replay: preset=fast seed=N` line.
+//!
+//! Workloads that are *not* quantization-safe are deliberately out of
+//! scope here: there the fast path is only boundedly close to exact
+//! (the error-bound side is covered by `tests/fixed_point_identity.rs`
+//! and the pinned small-shift witness).
+
+use crate::diff::{diff_schedulers, SchedKind};
+use crate::scenario::Scenario;
+
+/// Successful fast-path differential run.
+#[derive(Debug)]
+pub struct FastOutcome {
+    /// Departures compared across both scheduler pairs.
+    pub compared: usize,
+}
+
+/// Replay `sc` through `SfqFast` vs exact `Sfq` and `ScfqFast` vs exact
+/// `Scfq`; `Err` carries the rendered first divergence (replay line
+/// included) of whichever pair disagrees first.
+pub fn run_fast_conformance(sc: &Scenario) -> Result<FastOutcome, String> {
+    let mut compared = 0;
+    for (fast, exact) in [
+        (SchedKind::SfqFast, SchedKind::Sfq),
+        (SchedKind::ScfqFast, SchedKind::Scfq),
+    ] {
+        let rep = diff_schedulers(sc, exact, fast);
+        if let Some(d) = rep.divergence {
+            return Err(format!(
+                "{} diverged from exact {} on a quantization-safe workload:\n{}",
+                fast.name(),
+                exact.name(),
+                d.detail
+            ));
+        }
+        compared += rep.compared;
+    }
+    Ok(FastOutcome { compared })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Preset;
+
+    #[test]
+    fn fast_preset_is_quantization_safe_by_construction() {
+        for seed in 0..32u64 {
+            let sc = Scenario::from_seed(Preset::Fast, seed);
+            for f in &sc.flows {
+                assert!(f.weight_bps.is_power_of_two(), "seed {seed}: {f:?}");
+                assert!(f.weight_bps <= 1 << 19, "seed {seed}: {f:?}");
+                assert!(f.weight_bps >= 1 << 14, "seed {seed}: {f:?}");
+            }
+            assert_eq!(sc.hops, 1);
+            assert!(sc.droops.is_empty() && sc.churns.is_empty());
+        }
+    }
+
+    #[test]
+    fn fast_matches_exact_on_seeded_scenarios() {
+        for seed in [1u64, 7, 42] {
+            let sc = Scenario::from_seed(Preset::Fast, seed);
+            let out = run_fast_conformance(&sc).unwrap_or_else(|d| panic!("seed {seed}:\n{d}"));
+            assert!(out.compared > 0, "seed {seed} produced no departures");
+        }
+    }
+}

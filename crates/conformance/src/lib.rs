@@ -19,7 +19,10 @@
 //! - [`engine`]: sharded-engine differential — one seeded API call
 //!   schedule replayed against `sfq_engine::SyncEngine` (oracle) and
 //!   `sfq_engine::ThreadedEngine`, requiring bit-identical departures
-//!   and refusals under real thread interleavings.
+//!   and refusals under real thread interleavings,
+//! - [`fast`]: fixed-point fast-path differential — quantization-safe
+//!   workloads replayed against `SfqFast`/`ScfqFast` and their exact
+//!   rational counterparts, requiring bit-identical departures.
 //!
 //! Every failure anywhere in the harness prints
 //! `conformance replay: preset=<p> seed=<s>`; feeding that line to
@@ -31,6 +34,7 @@ pub mod diff;
 pub mod e2e;
 pub mod engine;
 pub mod exec;
+pub mod fast;
 pub mod faults;
 pub mod scenario;
 pub mod soak;
@@ -44,6 +48,7 @@ pub use exec::{
     faults_from, materialize_packets, register_flows, run_faulted, run_faulted_checked, ExecReport,
     FaultAction, TimedFault,
 };
+pub use fast::{run_fast_conformance, FastOutcome};
 pub use faults::{effective_delta_bits, hop_profile};
 pub use scenario::{
     other_lmax_at, Churn, Droop, DropKind, FlowSpec, Preset, Scenario, ServerSpec, SizeDist,

@@ -46,17 +46,26 @@ pub enum Preset {
     /// departures or backpressure refusals under real thread
     /// interleavings is a conformance failure (see [`crate::engine`]).
     Engine,
+    /// Fixed-point fast-path differential: a quantization-safe
+    /// workload — every weight an exact power of two no larger than
+    /// `2^19` b/s, so every tag span is exactly representable in both
+    /// the `i128` rationals and the u64 fixed-point grid — replayed
+    /// against `SfqFast` vs exact `Sfq` and `ScfqFast` vs exact `Scfq`;
+    /// any departure divergence is a conformance failure (see
+    /// [`crate::fast`]).
+    Fast,
 }
 
 impl Preset {
     /// Every preset, for fuzz drivers.
-    pub const ALL: [Preset; 6] = [
+    pub const ALL: [Preset; 7] = [
         Preset::SingleFc,
         Preset::SingleEbf,
         Preset::Tandem,
         Preset::FairAirport,
         Preset::Soak,
         Preset::Engine,
+        Preset::Fast,
     ];
 
     /// Stable name used in replay lines.
@@ -68,6 +77,7 @@ impl Preset {
             Preset::FairAirport => "fair-airport",
             Preset::Soak => "soak",
             Preset::Engine => "engine",
+            Preset::Fast => "fast",
         }
     }
 
@@ -276,6 +286,7 @@ impl Scenario {
             Preset::FairAirport => gen_fair_airport(seed, &mut rng),
             Preset::Soak => gen_soak(seed, &mut rng),
             Preset::Engine => gen_engine(seed, &mut rng),
+            Preset::Fast => gen_fast(seed, &mut rng),
         }
     }
 
@@ -806,6 +817,53 @@ fn gen_engine(seed: u64, rng: &mut SimRng) -> Scenario {
     }
     Scenario {
         preset: Preset::Engine,
+        seed,
+        link_bps,
+        server: ServerSpec::Constant,
+        hops: 1,
+        prop_ms: 0,
+        horizon_ms,
+        per_flow_cap: None,
+        shared_cap: None,
+        drop_policy: DropKind::Tail,
+        recovery_at_ms: None,
+        flows,
+        droops: Vec::new(),
+        churns: Vec::new(),
+    }
+}
+
+fn gen_fast(seed: u64, rng: &mut SimRng) -> Scenario {
+    // Quantization-safe by construction: every weight is 2^k b/s with
+    // 14 <= k <= 19. With the fixed-point shift at 24 (`sfq_core::
+    // DEFAULT_SHIFT`), a span `l / 2^k` lands exactly on the 2^-24
+    // grid, and on the exact side every tag denominator divides 2^19 —
+    // far below the pico-snap threshold — so fast and exact schedulers
+    // must produce *bit-identical* dequeue orders (see
+    // `docs/fixed_point.md`). The flow population may overbook the
+    // link: buffers are uncapped, and a deep standing backlog is
+    // exactly what stresses the fixed-point heap path.
+    let link_bps = 4_000_000u64;
+    let horizon_ms = rng.uniform_range(300, 1_201);
+    let n = rng.uniform_range(4, 17);
+    let mut flows = Vec::new();
+    for i in 0..n {
+        flows.push(FlowSpec {
+            id: i as u32 + 1,
+            weight_bps: 1u64 << rng.uniform_range(14, 20),
+            size: pick_size(rng, 1_000),
+            source: if rng.uniform() < 0.6 {
+                SourceKind::Cbr
+            } else {
+                SourceKind::Poisson
+            },
+            start_ms: rng.uniform_range(0, horizon_ms / 2),
+            entry: 0,
+            exit: 0,
+        });
+    }
+    Scenario {
+        preset: Preset::Fast,
         seed,
         link_bps,
         server: ServerSpec::Constant,

@@ -30,17 +30,23 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod fair_airport;
+pub mod fixed;
 pub mod flowq;
 mod hier;
 pub mod obs;
 mod packet;
 pub mod prefetch;
+mod scfq_fast;
 mod sched;
 mod sfq;
+mod sfq_fast;
 
 pub use fair_airport::{FairAirport, ServedVia};
+pub use fixed::{FixedInc, FixedTag, DEFAULT_SHIFT, ISM_SHIFT, MAX_REBASE_BITS, MAX_SHIFT};
 pub use hier::{ClassId, HierSfq};
 pub use obs::{Backpressure, FlowChange, NoopObserver, SchedEvent, SchedObserver};
 pub use packet::{FlowId, Packet, PacketFactory};
+pub use scfq_fast::ScfqFast;
 pub use sched::{SchedError, Scheduler, TieBreak};
 pub use sfq::Sfq;
+pub use sfq_fast::SfqFast;

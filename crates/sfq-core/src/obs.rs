@@ -79,6 +79,23 @@ pub enum Backpressure {
 /// Observation hooks called by schedulers. All methods default to
 /// no-ops so implementors override only what they need.
 pub trait SchedObserver {
+    /// Whether this observer does anything at all. The fixed-point fast
+    /// paths (`SfqFast`/`ScfqFast`) consult this to skip constructing
+    /// [`SchedEvent`]s entirely when the observer is a no-op: event
+    /// construction converts u64 tags to exact [`Ratio`]s, which is a
+    /// non-inlined gcd call the optimizer cannot always remove on its
+    /// own. Defaults to `true`; only [`NoopObserver`] (and wrappers
+    /// around it) report `false`. Under monomorphization the call folds
+    /// to a constant, so guarding with `if self.obs.active()` costs
+    /// nothing; it is a method rather than an associated const so the
+    /// trait stays usable as `dyn SchedObserver`. A performance hint,
+    /// never a correctness switch: returning `true` from a no-op
+    /// observer is always sound.
+    #[inline(always)]
+    fn active(&self) -> bool {
+        true
+    }
+
     /// A packet was accepted and tagged.
     #[inline(always)]
     fn on_enqueue(&mut self, _ev: &SchedEvent) {}
@@ -107,12 +124,21 @@ pub trait SchedObserver {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NoopObserver;
 
-impl SchedObserver for NoopObserver {}
+impl SchedObserver for NoopObserver {
+    #[inline(always)]
+    fn active(&self) -> bool {
+        false
+    }
+}
 
 /// A shared observer: lets the caller keep a handle on the observer
 /// after the scheduler has been boxed as `dyn Scheduler` (the pattern
 /// `netsim` and the `obs_trace` bin use).
 impl<O: SchedObserver> SchedObserver for Rc<RefCell<O>> {
+    #[inline(always)]
+    fn active(&self) -> bool {
+        self.borrow().active()
+    }
     fn on_enqueue(&mut self, ev: &SchedEvent) {
         self.borrow_mut().on_enqueue(ev);
     }
@@ -133,6 +159,10 @@ impl<O: SchedObserver> SchedObserver for Rc<RefCell<O>> {
 /// Boxed observers forward to their contents (used by `netsim`
 /// switches, which hold `Box<dyn SchedObserver>` drop hooks).
 impl<O: SchedObserver + ?Sized> SchedObserver for Box<O> {
+    #[inline(always)]
+    fn active(&self) -> bool {
+        (**self).active()
+    }
     fn on_enqueue(&mut self, ev: &SchedEvent) {
         (**self).on_enqueue(ev);
     }
@@ -153,6 +183,10 @@ impl<O: SchedObserver + ?Sized> SchedObserver for Box<O> {
 /// Pair fan-out: drive two observers from one scheduler (e.g. a ring
 /// tracer and a metrics accumulator side by side).
 impl<A: SchedObserver, B: SchedObserver> SchedObserver for (A, B) {
+    #[inline(always)]
+    fn active(&self) -> bool {
+        self.0.active() || self.1.active()
+    }
     fn on_enqueue(&mut self, ev: &SchedEvent) {
         self.0.on_enqueue(ev);
         self.1.on_enqueue(ev);

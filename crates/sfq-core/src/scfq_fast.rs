@@ -1,0 +1,491 @@
+//! Fixed-point fast-path SCFQ (see [`crate::fixed`] for the
+//! arithmetic).
+//!
+//! `ScfqFast` runs the Self-Clocked Fair Queuing algorithm of the
+//! `baselines` crate's `Scfq` — the Eq. 4/5 tag recurrence served in
+//! increasing **finish**-tag order, with `v(t)` = the finish tag of the
+//! packet in service — over u64 [`FixedTag`]s and precomputed
+//! [`FixedInc`] inverse rates. It lives in `sfq-core` beside
+//! [`SfqFast`](crate::SfqFast) so the two fast paths share the
+//! fixed-point module (and so `sfq-core` need not depend on
+//! `baselines`); the differential suite proves it bit-identical to the
+//! exact `Scfq` on quantization-safe workloads, just as `SfqFast` is to
+//! `Sfq`. Wraparound safety and the quantization error bound are the
+//! same as [`crate::sfq_fast`]'s — see docs/fixed_point.md.
+
+use crate::fixed::{FixedInc, FixedTag, DEFAULT_SHIFT, MAX_REBASE_BITS, MAX_SHIFT};
+use crate::flowq::FlowFifos;
+use crate::obs::{FlowChange, NoopObserver, SchedEvent, SchedObserver};
+use crate::packet::{FlowId, Packet};
+use crate::sched::{SchedError, Scheduler};
+use simtime::{Rate, Ratio, SimTime};
+
+#[derive(Debug)]
+struct FastExt {
+    weight: Rate,
+    inc: FixedInc,
+    last_finish: FixedTag,
+}
+
+/// Fixed-point Self-Clocked Fair Queuing: same algorithm and observable
+/// contract as the `baselines` crate's `Scfq`, u64 tag arithmetic.
+#[derive(Debug)]
+pub struct ScfqFast<O: SchedObserver = NoopObserver> {
+    /// Key `(finish, uid)`; per-packet metadata carries the start tag.
+    q: FlowFifos<(FixedTag, u64), FastExt, FixedTag>,
+    /// Fractional bits of the tag grid (1..=[`MAX_SHIFT`]).
+    shift: u32,
+    /// v(t): finish tag of the packet in service (kept after service so
+    /// arrivals between departures see the last served packet's tag).
+    v: FixedTag,
+    /// Virtual-time rebasing threshold in magnitude bits (clamped to
+    /// [`MAX_REBASE_BITS`] when tested), or `None` when disabled.
+    rebase_bits: Option<u32>,
+    /// Number of rebases applied so far.
+    rebases: u64,
+    obs: O,
+}
+
+impl ScfqFast {
+    /// New fixed-point SCFQ at [`DEFAULT_SHIFT`].
+    pub fn new() -> Self {
+        Self::with_observer(NoopObserver)
+    }
+
+    /// New fixed-point SCFQ on a custom `2^shift` tag grid; rejects
+    /// `shift == 0` and `shift >` [`MAX_SHIFT`] with
+    /// [`SchedError::TagOverflow`].
+    pub fn with_shift(shift: u32) -> Result<Self, SchedError> {
+        Self::with_shift_observer(shift, NoopObserver)
+    }
+}
+
+impl<O: SchedObserver> ScfqFast<O> {
+    /// New fixed-point SCFQ reporting events to `obs` at
+    /// [`DEFAULT_SHIFT`].
+    pub fn with_observer(obs: O) -> Self {
+        match Self::with_shift_observer(DEFAULT_SHIFT, obs) {
+            Ok(s) => s,
+            // DEFAULT_SHIFT is within 1..=MAX_SHIFT by construction.
+            Err(_) => unreachable!("DEFAULT_SHIFT is always valid"),
+        }
+    }
+
+    /// New fixed-point SCFQ with custom shift and observer.
+    pub fn with_shift_observer(shift: u32, obs: O) -> Result<Self, SchedError> {
+        if shift == 0 || shift > MAX_SHIFT {
+            return Err(SchedError::TagOverflow);
+        }
+        Ok(ScfqFast {
+            q: FlowFifos::new("SCFQ-FAST"),
+            shift,
+            v: FixedTag::ZERO,
+            rebase_bits: None,
+            rebases: 0,
+            obs,
+        })
+    }
+
+    /// Enable virtual-time rebasing; same contract as `Scfq`'s, with
+    /// the threshold clamped to [`MAX_REBASE_BITS`] (see
+    /// `SfqFast::enable_rebasing`).
+    pub fn enable_rebasing(&mut self, threshold_bits: u32) {
+        self.rebase_bits = Some(threshold_bits);
+    }
+
+    /// Number of rebases applied so far.
+    pub fn rebases(&self) -> u64 {
+        self.rebases
+    }
+
+    /// The tag grid's fractional bit count.
+    pub fn shift(&self) -> u32 {
+        self.shift
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.obs
+    }
+
+    /// The attached observer, mutably.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.obs
+    }
+
+    /// Consume the scheduler, returning the observer.
+    pub fn into_observer(self) -> O {
+        self.obs
+    }
+
+    /// Current virtual time in fixed point.
+    pub fn virtual_time_fixed(&self) -> FixedTag {
+        self.v
+    }
+
+    /// Current virtual time as an exact rational (diagnostic parity
+    /// with `Scfq::virtual_time`).
+    pub fn virtual_time(&self) -> Ratio {
+        self.v.to_ratio(self.shift)
+    }
+
+    /// Tags of a queued packet, as exact rationals. Diagnostic
+    /// accessor; scans the per-flow FIFOs.
+    pub fn tags_of(&self, uid: u64) -> Option<(Ratio, Ratio)> {
+        self.q
+            .find(uid)
+            .map(|(&(finish, _), &start)| (start.to_ratio(self.shift), finish.to_ratio(self.shift)))
+    }
+
+    /// Entries in the head-of-flow heap (diagnostic).
+    pub fn head_heap_len(&self) -> usize {
+        self.q.head_heap_len()
+    }
+
+    /// Rebase immediately: the fixed-point mirror of `Scfq::rebase`,
+    /// saturating instead of dry-checking (see `SfqFast::rebase` for
+    /// the soundness argument). Returns the baseline subtracted.
+    pub fn rebase(&mut self) -> FixedTag {
+        let base = self.v.floor_to_base(self.shift);
+        if base.raw() == 0 {
+            return FixedTag::ZERO;
+        }
+        self.v = self.v.saturating_sub(base);
+        self.q.retag_all(
+            |key, start| {
+                key.0 = key.0.saturating_sub(base);
+                *start = start.saturating_sub(base);
+            },
+            |ext| ext.last_finish = ext.last_finish.saturating_sub(base),
+        );
+        self.rebases += 1;
+        base
+    }
+
+    fn maybe_rebase_eager(&mut self) {
+        let Some(bits) = self.rebase_bits else {
+            return;
+        };
+        if self.v.magnitude_bits() > bits.min(MAX_REBASE_BITS) {
+            self.rebase();
+        }
+    }
+
+    /// Drop a flow and all of its queued packets immediately; see
+    /// `Scfq::force_remove_flow` for the contract.
+    pub fn force_remove_flow(&mut self, flow: FlowId) -> usize {
+        match self.q.force_remove_flow(flow) {
+            Some(dropped) => {
+                self.obs
+                    .on_flow_change(flow, &FlowChange::ForceRemoved { dropped });
+                dropped
+            }
+            None => 0,
+        }
+    }
+}
+
+impl Default for ScfqFast {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<O: SchedObserver> Scheduler for ScfqFast<O> {
+    fn add_flow(&mut self, flow: FlowId, weight: Rate) {
+        self.try_add_flow(flow, weight)
+            .unwrap_or_else(|e| panic!("SCFQ-FAST: {e}"));
+    }
+
+    fn try_add_flow(&mut self, flow: FlowId, weight: Rate) -> Result<(), SchedError> {
+        let inc = FixedInc::new(flow, weight, self.shift)?;
+        let ext = self.q.upsert_flow(flow, || FastExt {
+            weight,
+            inc,
+            last_finish: FixedTag::ZERO,
+        });
+        ext.weight = weight;
+        ext.inc = inc;
+        self.obs.on_flow_change(flow, &FlowChange::Added { weight });
+        Ok(())
+    }
+
+    fn enqueue(&mut self, now: SimTime, pkt: Packet) {
+        self.try_enqueue(now, pkt)
+            .unwrap_or_else(|e| panic!("SCFQ-FAST: {e}"));
+    }
+
+    fn try_enqueue(&mut self, now: SimTime, pkt: Packet) -> Result<(), SchedError> {
+        if self.rebase_bits.is_some() {
+            self.maybe_rebase_eager();
+        }
+        // No pico-grid snap: fixed tags are already on the 2^-shift
+        // grid (see SfqFast::try_enqueue).
+        let v = self.v;
+        let uid = pkt.uid;
+        let len = pkt.len;
+        let ((finish, _), start) = self.q.try_push_with(pkt, |ext| {
+            let span = ext.inc.span(len).ok()?;
+            let start = v.max(ext.last_finish);
+            let finish = start.checked_add(span)?;
+            ext.last_finish = finish;
+            Some(((finish, uid), start))
+        })?;
+        if self.obs.active() {
+            self.obs.on_enqueue(&SchedEvent {
+                time: now,
+                flow: pkt.flow,
+                uid,
+                len,
+                start_tag: start.to_ratio(self.shift),
+                finish_tag: finish.to_ratio(self.shift),
+                v: v.to_ratio(self.shift),
+            });
+        }
+        Ok(())
+    }
+
+    fn enqueue_batch(&mut self, now: SimTime, pkts: &[Packet]) {
+        self.try_enqueue_batch(now, pkts)
+            .unwrap_or_else(|e| panic!("SCFQ-FAST: {e}"));
+    }
+
+    fn try_enqueue_batch(&mut self, now: SimTime, pkts: &[Packet]) -> Result<(), SchedError> {
+        // One rebase check and one v read serve the whole pure-enqueue
+        // run, bit-identically to the per-packet loop (see Scfq).
+        if self.rebase_bits.is_some() {
+            self.maybe_rebase_eager();
+        }
+        let v = self.v;
+        for &pkt in pkts {
+            let uid = pkt.uid;
+            let len = pkt.len;
+            let ((finish, _), start) = self.q.try_push_with(pkt, |ext| {
+                let span = ext.inc.span(len).ok()?;
+                let start = v.max(ext.last_finish);
+                let finish = start.checked_add(span)?;
+                ext.last_finish = finish;
+                Some(((finish, uid), start))
+            })?;
+            if self.obs.active() {
+                self.obs.on_enqueue(&SchedEvent {
+                    time: now,
+                    flow: pkt.flow,
+                    uid,
+                    len,
+                    start_tag: start.to_ratio(self.shift),
+                    finish_tag: finish.to_ratio(self.shift),
+                    v: v.to_ratio(self.shift),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn dequeue_batch(&mut self, now: SimTime, max: usize, out: &mut Vec<Packet>) -> usize {
+        let shift = self.shift;
+        let ScfqFast { q, v, obs, .. } = self;
+        let n = q.pop_min_batch(max, |pkt, (finish, _), start| {
+            *v = finish;
+            if obs.active() {
+                obs.on_dequeue(&SchedEvent {
+                    time: now,
+                    flow: pkt.flow,
+                    uid: pkt.uid,
+                    len: pkt.len,
+                    start_tag: start.to_ratio(shift),
+                    finish_tag: finish.to_ratio(shift),
+                    v: finish.to_ratio(shift),
+                });
+            }
+            out.push(pkt);
+        });
+        // Same rebase placement as the exact Scfq: only after a batch
+        // that drained the queue, events carrying pre-rebase tags.
+        if n > 0 && self.rebase_bits.is_some() && self.q.is_empty() {
+            self.rebase();
+        }
+        n
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        let (pkt, (finish, _), start) = self.q.pop_min()?;
+        self.v = finish;
+        if self.rebase_bits.is_some() && self.q.is_empty() {
+            // Queue drained — SCFQ's busy-period boundary.
+            self.rebase();
+        }
+        if self.obs.active() {
+            self.obs.on_dequeue(&SchedEvent {
+                time: now,
+                flow: pkt.flow,
+                uid: pkt.uid,
+                len: pkt.len,
+                start_tag: start.to_ratio(self.shift),
+                finish_tag: finish.to_ratio(self.shift),
+                v: finish.to_ratio(self.shift),
+            });
+        }
+        Some(pkt)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    fn backlog(&self, flow: FlowId) -> usize {
+        self.q.backlog(flow)
+    }
+
+    fn remove_flow(&mut self, flow: FlowId) -> bool {
+        let removed = self.q.remove_flow(flow);
+        if removed {
+            self.obs.on_flow_change(flow, &FlowChange::Removed);
+        }
+        removed
+    }
+
+    fn force_remove_flow(&mut self, flow: FlowId) -> usize {
+        ScfqFast::force_remove_flow(self, flow)
+    }
+
+    fn drop_head(&mut self, flow: FlowId) -> Option<Packet> {
+        let (pkt, (finish, _), start) = self.q.drop_front(flow)?;
+        if self.obs.active() {
+            self.obs.on_drop(&SchedEvent {
+                time: pkt.arrival,
+                flow: pkt.flow,
+                uid: pkt.uid,
+                len: pkt.len,
+                start_tag: start.to_ratio(self.shift),
+                finish_tag: finish.to_ratio(self.shift),
+                v: self.v.to_ratio(self.shift),
+            });
+        }
+        Some(pkt)
+    }
+
+    fn name(&self) -> &'static str {
+        "SCFQ-FAST"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketFactory;
+    use simtime::Bytes;
+
+    #[test]
+    fn serves_by_finish_tag() {
+        let mut s = ScfqFast::new();
+        s.add_flow(FlowId(1), Rate::bps(1 << 10));
+        s.add_flow(FlowId(2), Rate::bps(1 << 11));
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        let a = pf.make(FlowId(1), Bytes::new(128), t0); // F = 1
+        let b = pf.make(FlowId(2), Bytes::new(128), t0); // F = 1/2
+        s.enqueue(t0, a);
+        s.enqueue(t0, b);
+        assert_eq!(s.dequeue(t0).unwrap().uid, b.uid);
+        assert_eq!(s.dequeue(t0).unwrap().uid, a.uid);
+    }
+
+    #[test]
+    fn virtual_time_is_finish_tag_of_served_packet() {
+        let mut s = ScfqFast::new();
+        s.add_flow(FlowId(1), Rate::bps(1 << 10));
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        let a = pf.make(FlowId(1), Bytes::new(128), t0);
+        s.enqueue(t0, a);
+        assert_eq!(s.virtual_time(), Ratio::ZERO);
+        let _ = s.dequeue(t0);
+        assert_eq!(s.virtual_time(), Ratio::ONE);
+        let b = pf.make(FlowId(1), Bytes::new(128), t0);
+        s.enqueue(t0, b);
+        assert_eq!(s.tags_of(b.uid).unwrap().0, Ratio::ONE);
+    }
+
+    #[test]
+    fn matches_exact_scfq_semantics_on_grid() {
+        // SCFQ pathology reproduced on the fixed grid: a slow flow's
+        // packet waits behind later-arriving fast-flow packets with
+        // smaller finish tags.
+        let mut s = ScfqFast::new();
+        s.add_flow(FlowId(1), Rate::bps(1 << 7)); // slow: span 8
+        s.add_flow(FlowId(2), Rate::bps(1 << 10)); // fast: span 1
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        let slow = pf.make(FlowId(1), Bytes::new(128), t0); // F = 8
+        s.enqueue(t0, slow);
+        let mut fast = Vec::new();
+        for _ in 0..5 {
+            let p = pf.make(FlowId(2), Bytes::new(128), t0); // F = 1..5
+            s.enqueue(t0, p);
+            fast.push(p.uid);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| s.dequeue(t0).map(|p| p.uid)).collect();
+        assert_eq!(order[..5], fast[..]);
+        assert_eq!(order[5], slow.uid);
+    }
+
+    #[test]
+    fn rebasing_keeps_order_and_magnitude() {
+        let mut plain = ScfqFast::new();
+        let mut rebased = ScfqFast::new();
+        rebased.enable_rebasing(0);
+        for s in [&mut plain, &mut rebased] {
+            s.add_flow(FlowId(1), Rate::bps(1 << 10));
+            s.add_flow(FlowId(2), Rate::bps(1 << 12));
+        }
+        let mut pf1 = PacketFactory::new();
+        let mut pf2 = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        for round in 0..20 {
+            for _ in 0..3 {
+                let l = Bytes::new(128 + 32 * round);
+                let f = FlowId(1 + (round % 2) as u32);
+                plain.enqueue(t0, pf1.make(f, l, t0));
+                rebased.enqueue(t0, pf2.make(f, l, t0));
+            }
+            loop {
+                let a = plain.dequeue(t0);
+                let b = rebased.dequeue(t0);
+                assert_eq!(a.map(|p| p.uid), b.map(|p| p.uid), "order diverged");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+        assert!(rebased.rebases() > 0);
+        assert!(rebased.virtual_time_fixed().magnitude_bits() <= DEFAULT_SHIFT + 1);
+    }
+
+    #[test]
+    fn shift_bounds_are_enforced() {
+        assert!(ScfqFast::with_shift(0).is_err());
+        assert!(ScfqFast::with_shift(MAX_SHIFT + 1).is_err());
+        assert!(ScfqFast::with_shift(4).is_ok());
+    }
+
+    #[test]
+    fn force_remove_discards_backlog() {
+        let mut s = ScfqFast::new();
+        s.add_flow(FlowId(1), Rate::bps(1 << 10));
+        s.add_flow(FlowId(2), Rate::bps(1 << 10));
+        let mut pf = PacketFactory::new();
+        let t0 = SimTime::ZERO;
+        s.enqueue(t0, pf.make(FlowId(1), Bytes::new(128), t0));
+        s.enqueue(t0, pf.make(FlowId(1), Bytes::new(128), t0));
+        let b = pf.make(FlowId(2), Bytes::new(128), t0);
+        s.enqueue(t0, b);
+        assert_eq!(s.force_remove_flow(FlowId(1)), 2);
+        assert_eq!(s.dequeue(t0).unwrap().uid, b.uid);
+        assert!(s.is_empty());
+    }
+}

@@ -230,6 +230,21 @@ impl TieBreak {
             TieBreak::HighWeightFirst => -(weight.as_bps() as i128),
         }
     }
+
+    /// Narrow secondary sort key used by the fixed-point fast paths,
+    /// which keep their heap keys at 64 bits. Saturates weights at
+    /// `i64::MAX` bits/s (≈ 9.2 Eb/s): below that — i.e. every physical
+    /// rate — the ordering is identical to [`TieBreak::key`]; at or
+    /// above it, equally-saturated weights fall through to the uid
+    /// tertiary key instead of ordering by weight.
+    pub fn key64(self, weight: Rate) -> i64 {
+        let w = i64::try_from(weight.as_bps()).unwrap_or(i64::MAX);
+        match self {
+            TieBreak::Fifo => 0,
+            TieBreak::LowWeightFirst => w,
+            TieBreak::HighWeightFirst => w.checked_neg().unwrap_or(i64::MIN),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -243,5 +258,37 @@ mod tests {
         assert_eq!(TieBreak::Fifo.key(lo), TieBreak::Fifo.key(hi));
         assert!(TieBreak::LowWeightFirst.key(lo) < TieBreak::LowWeightFirst.key(hi));
         assert!(TieBreak::HighWeightFirst.key(hi) < TieBreak::HighWeightFirst.key(lo));
+    }
+
+    #[test]
+    fn key64_orders_like_key_below_saturation() {
+        let rates = [
+            Rate::bps(0),
+            Rate::kbps(32),
+            Rate::mbps(1),
+            Rate::gbps(400),
+            Rate::bps(i64::MAX as u64),
+        ];
+        for tb in [
+            TieBreak::Fifo,
+            TieBreak::LowWeightFirst,
+            TieBreak::HighWeightFirst,
+        ] {
+            for a in rates {
+                for b in rates {
+                    assert_eq!(
+                        tb.key64(a).cmp(&tb.key64(b)),
+                        tb.key(a).cmp(&tb.key(b)),
+                        "{tb:?} {a} vs {b}"
+                    );
+                }
+            }
+        }
+        // Beyond saturation both collapse to the same key (uid decides).
+        let sat = Rate::bps(u64::MAX);
+        assert_eq!(
+            TieBreak::LowWeightFirst.key64(sat),
+            TieBreak::LowWeightFirst.key64(Rate::bps(i64::MAX as u64))
+        );
     }
 }

@@ -42,7 +42,43 @@ pub use root::RootSfq;
 pub use sync::SyncEngine;
 pub use threaded::ThreadedEngine;
 
-use sfq_core::FlowId;
+use sfq_core::obs::SchedObserver;
+use sfq_core::{FlowId, ScfqFast, Scheduler, Sfq, SfqFast};
+
+/// A scheduling discipline that can serve as an engine shard: the full
+/// [`sfq_core::Scheduler`] contract plus opt-in virtual-time rebasing,
+/// which both drivers wire to [`EngineConfig::rebase_bits`] at
+/// construction time.
+///
+/// The root arbiter stays exact-rational regardless of the shard type —
+/// it charges batch-sized "packets" at a far lower rate than the leaf
+/// schedulers stamp tags, so it is never the bottleneck the fixed-point
+/// fast path exists to remove.
+pub trait ShardSched: Scheduler {
+    /// Enable periodic virtual-time rebasing once tag magnitudes exceed
+    /// `threshold_bits`. Fixed-point shards clamp the threshold to
+    /// their u64 envelope (`sfq_core::MAX_REBASE_BITS`), so the exact
+    /// schedulers' default of 96 bits is safe to pass to any shard.
+    fn enable_rebasing(&mut self, threshold_bits: u32);
+}
+
+impl<O: SchedObserver> ShardSched for Sfq<O> {
+    fn enable_rebasing(&mut self, threshold_bits: u32) {
+        Sfq::enable_rebasing(self, threshold_bits);
+    }
+}
+
+impl<O: SchedObserver> ShardSched for SfqFast<O> {
+    fn enable_rebasing(&mut self, threshold_bits: u32) {
+        SfqFast::enable_rebasing(self, threshold_bits);
+    }
+}
+
+impl<O: SchedObserver> ShardSched for ScfqFast<O> {
+    fn enable_rebasing(&mut self, threshold_bits: u32) {
+        ScfqFast::enable_rebasing(self, threshold_bits);
+    }
+}
 
 /// Construction parameters shared by both engine drivers.
 #[derive(Clone, Copy, Debug)]

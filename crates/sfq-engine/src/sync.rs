@@ -26,30 +26,34 @@
 
 use crate::ring::{spsc, SpscConsumer, SpscProducer};
 use crate::root::RootSfq;
-use crate::{shard_of, EngineConfig};
+use crate::{shard_of, EngineConfig, ShardSched};
 use sfq_core::obs::SchedObserver;
-use sfq_core::{FlowId, NoopObserver, Packet, SchedError, Scheduler, Sfq};
+use sfq_core::{FlowId, NoopObserver, Packet, SchedError, Scheduler, Sfq, SfqFast};
 use simtime::{Rate, SimTime};
 use std::collections::HashMap;
 
-struct Shard<O: SchedObserver> {
-    sched: Sfq<O>,
+struct Shard<S> {
+    sched: S,
     prod: SpscProducer<Packet>,
     cons: SpscConsumer<Packet>,
 }
 
-impl<O: SchedObserver> Shard<O> {
+impl<S: Scheduler> Shard<S> {
     /// Packets ingested but not yet drained: ring residue plus queued.
     fn pending(&self) -> usize {
         self.cons.len() + self.sched.len()
     }
 }
 
-/// Deterministic single-threaded sharded engine. See the module docs.
-pub struct SyncEngine<O: SchedObserver = NoopObserver> {
+/// Deterministic single-threaded sharded engine, generic over the leaf
+/// discipline `S` running in each shard (exact-rational [`Sfq`] by
+/// default; [`SyncEngine::new_fast`] swaps in the fixed-point
+/// [`SfqFast`]). The root arbiter is exact-rational for every `S`. See
+/// the module docs.
+pub struct SyncEngine<S = Sfq> {
     batch: usize,
     ring_capacity: usize,
-    shards: Vec<Shard<O>>,
+    shards: Vec<Shard<S>>,
     root: RootSfq,
     weights: HashMap<FlowId, Rate>,
     backlogged: Vec<bool>,
@@ -57,23 +61,40 @@ pub struct SyncEngine<O: SchedObserver = NoopObserver> {
     one: Vec<Packet>,
 }
 
-impl SyncEngine<NoopObserver> {
-    /// Engine with no observers attached.
+impl SyncEngine<Sfq> {
+    /// Engine with exact-rational shards and no observers attached.
     pub fn new(cfg: EngineConfig) -> Self {
         Self::with_observer(cfg, NoopObserver)
     }
 }
 
-impl<O: SchedObserver + Clone> SyncEngine<O> {
+impl SyncEngine<SfqFast> {
+    /// Engine whose shards run the fixed-point [`SfqFast`] fast path at
+    /// the default tag shift; the root arbiter stays exact-rational.
+    pub fn new_fast(cfg: EngineConfig) -> Self {
+        Self::from_factory(cfg, |_| SfqFast::new())
+    }
+}
+
+impl<O: SchedObserver + Clone> SyncEngine<Sfq<O>> {
     /// Engine whose every shard scheduler carries a clone of `obs`.
     /// Pass an `Rc<RefCell<...>>` observer to aggregate events from all
     /// shards into one sink (as the fairness tests do with
     /// `sfq_obs::FlowMetrics`).
     pub fn with_observer(cfg: EngineConfig, obs: O) -> Self {
+        Self::from_factory(cfg, |_| Sfq::with_observer(Default::default(), obs.clone()))
+    }
+}
+
+impl<S: ShardSched> SyncEngine<S> {
+    /// Engine whose shard scheduler `i` is built by `mk(i)`; the config
+    /// rebase threshold is then applied to each. This is the one
+    /// construction path — the named constructors all delegate here.
+    pub fn from_factory(cfg: EngineConfig, mut mk: impl FnMut(usize) -> S) -> Self {
         let cfg = cfg.validated();
         let shards = (0..cfg.shards)
-            .map(|_| {
-                let mut sched = Sfq::with_observer(Default::default(), obs.clone());
+            .map(|i| {
+                let mut sched = mk(i);
                 if let Some(bits) = cfg.rebase_bits {
                     sched.enable_rebasing(bits);
                 }
@@ -94,7 +115,7 @@ impl<O: SchedObserver + Clone> SyncEngine<O> {
     }
 }
 
-impl<O: SchedObserver> SyncEngine<O> {
+impl<S: Scheduler> SyncEngine<S> {
     /// Number of shards.
     pub fn shards(&self) -> usize {
         self.shards.len()
@@ -226,7 +247,7 @@ impl<O: SchedObserver> SyncEngine<O> {
     }
 }
 
-impl<O: SchedObserver> Scheduler for SyncEngine<O> {
+impl<S: Scheduler> Scheduler for SyncEngine<S> {
     fn add_flow(&mut self, flow: FlowId, weight: Rate) {
         if let Err(e) = self.try_add_flow(flow, weight) {
             panic!("sfq-engine: {e}");

@@ -37,8 +37,8 @@
 
 use crate::ring::{spsc, SpscConsumer, SpscProducer};
 use crate::root::RootSfq;
-use crate::{shard_of, EngineConfig};
-use sfq_core::{FlowId, Packet, SchedError, Scheduler, Sfq};
+use crate::{shard_of, EngineConfig, ShardSched};
+use sfq_core::{FlowId, Packet, SchedError, Scheduler, Sfq, SfqFast};
 use simtime::{Rate, SimTime};
 use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -53,15 +53,15 @@ enum Cmd {
 
 type DrainResult = Result<Vec<Packet>, SchedError>;
 
-struct Worker {
-    sched: Sfq,
+struct Worker<S> {
+    sched: S,
     cons: SpscConsumer<Packet>,
     consumed: u64,
     scratch: Vec<Packet>,
     poisoned: Option<SchedError>,
 }
 
-impl Worker {
+impl<S: Scheduler> Worker<S> {
     fn run(mut self, cmds: Receiver<Cmd>, resp: Sender<DrainResult>) {
         for cmd in cmds {
             match cmd {
@@ -124,6 +124,12 @@ struct ShardHandle {
 /// Multi-threaded sharded engine. See the module docs for the
 /// determinism protocol; the API mirrors
 /// [`SyncEngine`](crate::SyncEngine)'s native surface.
+///
+/// The shard scheduler type is chosen at construction
+/// ([`ThreadedEngine::new`], [`ThreadedEngine::new_fast`], or the
+/// general [`ThreadedEngine::from_factory`]) and then erased: each
+/// worker thread owns its scheduler, so the coordinator handle is the
+/// same type whichever discipline runs inside.
 pub struct ThreadedEngine {
     batch: usize,
     ring_capacity: u64,
@@ -134,15 +140,35 @@ pub struct ThreadedEngine {
 }
 
 impl ThreadedEngine {
-    /// Spawn one worker thread per shard.
+    /// Spawn one worker thread per shard, each running an
+    /// exact-rational [`Sfq`].
     pub fn new(cfg: EngineConfig) -> Self {
+        Self::from_factory(cfg, |_| Sfq::new())
+    }
+
+    /// Spawn one worker thread per shard, each running the fixed-point
+    /// [`SfqFast`] fast path at the default tag shift; the root arbiter
+    /// stays exact-rational.
+    pub fn new_fast(cfg: EngineConfig) -> Self {
+        Self::from_factory(cfg, |_| SfqFast::new())
+    }
+
+    /// Spawn one worker thread per shard, shard `i`'s scheduler built
+    /// by `mk(i)` on the coordinator thread and then moved into the
+    /// worker; the config rebase threshold is applied to each. This is
+    /// the one construction path — the named constructors delegate
+    /// here.
+    pub fn from_factory<S>(cfg: EngineConfig, mut mk: impl FnMut(usize) -> S) -> Self
+    where
+        S: ShardSched + Send + 'static,
+    {
         let cfg = cfg.validated();
         let shards = (0..cfg.shards)
             .map(|i| {
                 let (prod, cons) = spsc(cfg.ring_capacity);
                 let (cmd_tx, cmd_rx) = channel();
                 let (resp_tx, resp_rx) = channel();
-                let mut sched = Sfq::new();
+                let mut sched = mk(i);
                 if let Some(bits) = cfg.rebase_bits {
                     sched.enable_rebasing(bits);
                 }

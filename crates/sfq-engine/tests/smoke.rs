@@ -51,6 +51,74 @@ fn threaded_matches_sync_on_fixed_sequence() {
     assert!(sync.is_empty() && thr.is_empty());
 }
 
+/// The fixed-point shard path under both drivers: `new_fast` sync and
+/// threaded engines agree with each other packet for packet, and —
+/// because the smoke weights are all multiples of 64 kbps but *not*
+/// powers of two — this also exercises the quantized-tag path where
+/// fast and exact may legitimately disagree, so we diff fast-vs-fast,
+/// not fast-vs-exact (that proof lives in the conformance `fast`
+/// preset on quantization-safe workloads).
+#[test]
+fn fast_threaded_matches_fast_sync_on_fixed_sequence() {
+    let mut sync = SyncEngine::new_fast(mk_cfg());
+    let mut thr = ThreadedEngine::new_fast(mk_cfg());
+    let mut fac = PacketFactory::new();
+    let now = SimTime::ZERO;
+
+    for id in 0..16u32 {
+        let w = Rate::kbps(64 * (1 + id as u64 % 5));
+        sync.try_add_flow(FlowId(id), w).unwrap();
+        thr.try_add_flow(FlowId(id), w).unwrap();
+    }
+    let mut pkts: Vec<Packet> = Vec::new();
+    for round in 0..20 {
+        for id in 0..16u32 {
+            pkts.push(fac.make(
+                FlowId(id),
+                Bytes::new(200 + 37 * ((round + id as u64) % 7)),
+                now,
+            ));
+        }
+    }
+    for &p in &pkts {
+        sync.try_ingest(p).unwrap();
+        thr.try_ingest(p).unwrap();
+    }
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    for chunk in [7usize, 1, 13, 40, 400] {
+        sync.drain(now, chunk, &mut a).unwrap();
+        thr.drain(now, chunk, &mut b).unwrap();
+    }
+    assert_eq!(a.len(), pkts.len());
+    let a_uids: Vec<u64> = a.iter().map(|p| p.uid).collect();
+    let b_uids: Vec<u64> = b.iter().map(|p| p.uid).collect();
+    assert_eq!(a_uids, b_uids);
+    assert!(sync.is_empty() && thr.is_empty());
+}
+
+/// `from_factory` accepts any `ShardSched` — here a per-shard mix is
+/// pointless semantically but proves the plumbing compiles and runs;
+/// the rebase threshold from the config is applied to every shard.
+#[test]
+fn from_factory_builds_scfq_fast_shards() {
+    let mut eng = SyncEngine::from_factory(mk_cfg(), |_| sfq_core::ScfqFast::new());
+    let mut fac = PacketFactory::new();
+    let now = SimTime::ZERO;
+    for id in 0..8u32 {
+        eng.try_add_flow(FlowId(id), Rate::kbps(128)).unwrap();
+    }
+    for _ in 0..10 {
+        for id in 0..8u32 {
+            eng.try_ingest(fac.make(FlowId(id), Bytes::new(400), now))
+                .unwrap();
+        }
+    }
+    let mut out = Vec::new();
+    eng.drain(now, usize::MAX, &mut out).unwrap();
+    assert_eq!(out.len(), 80);
+    assert!(eng.is_empty());
+}
+
 #[test]
 fn backpressure_is_deterministic_and_identical() {
     let cfg = EngineConfig::new(2).ring_capacity(8);

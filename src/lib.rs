@@ -78,7 +78,7 @@ pub mod prelude {
     pub use servers::{fc_on_off, run_server, Departure, FcParams, RateProfile, Segment};
     pub use sfq_core::{
         Backpressure, ClassId, FairAirport, FlowId, HierSfq, NoopObserver, Packet, PacketFactory,
-        SchedError, SchedEvent, SchedObserver, Scheduler, Sfq, TieBreak,
+        ScfqFast, SchedError, SchedEvent, SchedObserver, Scheduler, Sfq, SfqFast, TieBreak,
     };
     pub use sfq_obs::{CountingObserver, FlowMetrics, RingTracer};
     pub use simtime::{Bytes, Rate, Ratio, SimDuration, SimTime};
