@@ -10,8 +10,9 @@
 //! as 24.4 ms for a 64 Kb/s flow with 200-byte packets on a 100 Mb/s
 //! link.
 
-use sfq_core::flowq::FlowFifos;
+use sfq_core::flowq::{FifoBackend, FlowFifos};
 use sfq_core::obs::{FlowChange, NoopObserver, SchedEvent, SchedObserver};
+use sfq_core::pool::PoolStats;
 use sfq_core::{FlowId, Packet, SchedError, Scheduler};
 use simtime::{Rate, Ratio, SimTime};
 use std::cell::Cell;
@@ -42,6 +43,8 @@ pub struct Scfq<O: SchedObserver = NoopObserver> {
     rebase_bits: Option<u32>,
     /// Number of rebases applied so far.
     rebases: u64,
+    /// Lazy flow GC armed (see [`Scfq::enable_flow_gc`]).
+    gc: bool,
     obs: O,
 }
 
@@ -55,13 +58,54 @@ impl Scfq {
 impl<O: SchedObserver> Scfq<O> {
     /// New SCFQ scheduler reporting events to `obs`.
     pub fn with_observer(obs: O) -> Self {
+        Self::with_parts(obs, FifoBackend::default())
+    }
+
+    /// New SCFQ scheduler with an explicit [`FifoBackend`] (owned =
+    /// differential oracle).
+    pub fn with_parts(obs: O, backend: FifoBackend) -> Self {
         Scfq {
-            q: FlowFifos::new("SCFQ"),
+            q: FlowFifos::new_with("SCFQ", backend),
             v: Ratio::ZERO,
             rebase_bits: None,
             rebases: 0,
+            gc: false,
             obs,
         }
+    }
+
+    /// Enable lazy flow GC (pooled backend only): a drained flow is
+    /// reclaimed once `last_finish ≤ ⌊v(t)⌋` — the floor makes the
+    /// predicate robust to the pico-grid snap applied at enqueue, so a
+    /// revived flow recomputes `S = max(v, 0)` identically.
+    pub fn enable_flow_gc(&mut self) {
+        self.gc = true;
+        self.q.enable_gc();
+    }
+
+    /// Cap the pooled backend's packet-slot footprint; exhaustion
+    /// surfaces as [`SchedError::BufferFull`] from `try_enqueue`.
+    pub fn set_pool_limit(&mut self, limit: Option<usize>) {
+        self.q.set_pool_limit(limit);
+    }
+
+    /// Pool accounting (`None` on the owned backend).
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        self.q.pool_stats()
+    }
+
+    /// Currently registered flows.
+    pub fn live_flows(&self) -> usize {
+        self.q.live_flows()
+    }
+
+    fn gc_step(&mut self) {
+        if !self.gc {
+            return;
+        }
+        let horizon = Ratio::from_int(self.v.floor());
+        self.q
+            .gc_step(sfq_core::flowq::GC_BUDGET, |ext| ext.last_finish <= horizon);
     }
 
     /// Enable virtual-time rebasing: whenever `v(t)`'s magnitude
@@ -283,6 +327,9 @@ impl<O: SchedObserver> Scheduler for Scfq<O> {
         if n > 0 && self.rebase_bits.is_some() && self.q.is_empty() {
             self.rebase();
         }
+        if n > 0 {
+            self.gc_step();
+        }
         n
     }
 
@@ -303,6 +350,7 @@ impl<O: SchedObserver> Scheduler for Scfq<O> {
             finish_tag: finish,
             v: finish,
         });
+        self.gc_step();
         Some(pkt)
     }
 

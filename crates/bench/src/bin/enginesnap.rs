@@ -46,6 +46,14 @@ const CYCLE: usize = 64;
 /// backpressure rule refuses at `pending >= ring_capacity`, and with
 /// one shard the entire backlog is pending on that shard).
 const RING: usize = 1 << 16;
+/// Backlog per flow on the flow-count scale axis: shallow, so the 1M
+/// point preloads 2 M packets rather than 64 M.
+const SCALE_DEPTH: usize = 2;
+/// Shard count for the flow-count scale axis.
+const SCALE_SHARDS: usize = 4;
+/// Largest flow count the exact-rational shard scheduler runs on the
+/// scale axis (the fixed-point rows cover the million-flow regime).
+const EXACT_SCALE_CAP: usize = 100_000;
 
 #[derive(Debug)]
 struct EnginePoint {
@@ -95,6 +103,10 @@ struct Snapshot {
     speedup_4shard_batched_vs_single_shard_per_packet: f64,
     speedup_4shard_fast_vs_exact: f64,
     points: Vec<EnginePoint>,
+    /// Flow-count scale axis (512 → 100k → 1M flows, shallow backlog):
+    /// the 4-shard batched sync engine as the pooled flow tables grow.
+    /// The exact shard scheduler stops at [`EXACT_SCALE_CAP`].
+    flow_scale: Vec<EnginePoint>,
 }
 impl_to_json!(Snapshot {
     meta,
@@ -110,7 +122,8 @@ impl_to_json!(Snapshot {
     four_shard_batched_fast_pps,
     speedup_4shard_batched_vs_single_shard_per_packet,
     speedup_4shard_fast_vs_exact,
-    points
+    points,
+    flow_scale
 });
 
 /// The two engine drivers behind one measurement loop.
@@ -153,21 +166,44 @@ fn weight_of(f: usize) -> Rate {
 /// `per_packet` issues one `drain(now, 1)` per departure instead of
 /// one batched drain per cycle.
 fn measure_driver<D: Driver>(mut eng: D, per_packet: bool, warmup: Duration, win: Duration) -> f64 {
+    measure_driver_at(
+        eng_preloaded(&mut eng, FLOWS, DEPTH),
+        eng,
+        per_packet,
+        warmup,
+        win,
+    )
+}
+
+/// Register `flows` flows and preload `depth` packets each; returns the
+/// packet factory positioned after the preload.
+fn eng_preloaded<D: Driver>(eng: &mut D, flows: usize, depth: usize) -> (PacketFactory, usize) {
     let t0 = SimTime::ZERO;
     let mut pf = PacketFactory::new();
-    for f in 0..FLOWS {
+    for f in 0..flows {
         eng.add(FlowId(f as u32), weight_of(f));
     }
-    for _ in 0..DEPTH {
-        for f in 0..FLOWS {
+    for _ in 0..depth {
+        for f in 0..flows {
             eng.ingest(pf.make(FlowId(f as u32), Bytes::new(PKT), t0));
         }
     }
+    (pf, flows)
+}
+
+fn measure_driver_at<D: Driver>(
+    (mut pf, flows): (PacketFactory, usize),
+    mut eng: D,
+    per_packet: bool,
+    warmup: Duration,
+    win: Duration,
+) -> f64 {
+    let t0 = SimTime::ZERO;
     let mut out = Vec::with_capacity(CYCLE);
     let mut i = 0u32;
     let mut cycle = |eng: &mut D, pf: &mut PacketFactory, out: &mut Vec<Packet>| {
         for _ in 0..CYCLE {
-            let f = FlowId(i % FLOWS as u32);
+            let f = FlowId(i % flows as u32);
             i = i.wrapping_add(1);
             eng.ingest(pf.make(f, Bytes::new(PKT), t0));
         }
@@ -324,6 +360,66 @@ fn main() {
     };
     let four_batched = point_of(&points, "sfq");
     let four_batched_fast = point_of(&points, "sfq_fast");
+
+    // Flow-count scale axis: the batched sync engine with the default
+    // pooled shard backends as the flow tables grow from hundreds to a
+    // million registered flows. Rings are sized to the preload (with
+    // 2x headroom over an even flow->shard split) instead of the fixed
+    // RING so the million-flow point doesn't refuse at ingest.
+    let flow_axis: &[usize] = if smoke {
+        &[512, 4_096]
+    } else {
+        &[512, 100_000, 1_000_000]
+    };
+    let batch = *batch_axis.last().expect("nonempty axis");
+    let mut flow_scale = Vec::new();
+    eprintln!("enginesnap: flow-count scale axis (depth {SCALE_DEPTH}, {SCALE_SHARDS} shards, batch {batch})");
+    for &q in flow_axis {
+        let ring = (q * SCALE_DEPTH * 2) / SCALE_SHARDS + 4_096;
+        let scale_cfg = EngineConfig::new(SCALE_SHARDS)
+            .batch(batch)
+            .ring_capacity(ring);
+        let mut runs = vec![("sfq_fast", {
+            let mut eng = SyncEngine::new_fast(scale_cfg);
+            measure_driver_at(
+                eng_preloaded(&mut eng, q, SCALE_DEPTH),
+                eng,
+                false,
+                warmup,
+                win,
+            )
+        })];
+        if q <= EXACT_SCALE_CAP {
+            runs.push(("sfq", {
+                let mut eng = SyncEngine::new(scale_cfg);
+                measure_driver_at(
+                    eng_preloaded(&mut eng, q, SCALE_DEPTH),
+                    eng,
+                    false,
+                    warmup,
+                    win,
+                )
+            }));
+        }
+        for (sched, pps) in runs {
+            eprintln!(
+                "  {:>8} {:>10} {sched:>9}  {q:>9} flows  {pps:>12.0} pkt/s",
+                "sync", "batched"
+            );
+            flow_scale.push(EnginePoint {
+                driver: "sync".to_string(),
+                drive: "batched".to_string(),
+                sched: sched.to_string(),
+                shards: SCALE_SHARDS,
+                batch,
+                flows: q,
+                backlog_per_flow: SCALE_DEPTH,
+                pkts_per_sec: pps,
+                ns_per_pkt: 1e9 / pps,
+                anomaly: String::new(),
+            });
+        }
+    }
     let plain = measure_plain_sfq(warmup, win);
     eprintln!("  plain sfq per-packet                       {plain:>12.0} pkt/s");
     let speedup = four_batched / single_pp;
@@ -350,6 +446,7 @@ fn main() {
         speedup_4shard_batched_vs_single_shard_per_packet: speedup,
         speedup_4shard_fast_vs_exact: speedup_fast,
         points,
+        flow_scale,
     };
     // crates/bench -> repository root.
     let out: PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", "..", "BENCH_engine.json"]
@@ -375,6 +472,24 @@ fn main() {
                     p.batch.to_string(),
                     format!("{:.0}", p.pkts_per_sec),
                     p.anomaly.clone(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    report::print_table(
+        "enginesnap flow-count scale axis (pkt/s)",
+        &["driver", "sched", "shards", "batch", "flows", "pkts/sec"],
+        &snapshot
+            .flow_scale
+            .iter()
+            .map(|p| {
+                vec![
+                    p.driver.clone(),
+                    p.sched.clone(),
+                    p.shards.to_string(),
+                    p.batch.to_string(),
+                    p.flows.to_string(),
+                    format!("{:.0}", p.pkts_per_sec),
                 ]
             })
             .collect::<Vec<_>>(),

@@ -28,7 +28,8 @@ use bench::meta::Meta;
 use bench::report;
 use jsonline::{impl_to_json, ToJson};
 use sfq_core::{
-    FairAirport, FlowId, HierSfq, PacketFactory, ScfqFast, Scheduler, Sfq, SfqFast, TieBreak,
+    FairAirport, FifoBackend, FlowId, HierSfq, NoopObserver, PacketFactory, ScfqFast, Scheduler,
+    Sfq, SfqFast, TieBreak,
 };
 use sfq_obs::CountingObserver;
 use simtime::{Bytes, Rate, SimTime};
@@ -40,6 +41,13 @@ use std::time::{Duration, Instant};
 
 const PKT: u64 = 200;
 const DEPTHS: [usize; 2] = [4, 64];
+/// Backlog per flow on the flow-count scale axis: shallow, so the 1M
+/// point stays within the CI memory caps (2 M pooled slots, not 64 M).
+const SCALE_DEPTH: usize = 2;
+/// Largest flow count the exact-rational schedulers run on the scale
+/// axis; the i128 `Ratio` heap churn makes 1 M flows pointlessly slow
+/// and the fixed-point rows already cover that regime.
+const EXACT_SCALE_CAP: usize = 100_000;
 
 /// Run-time knobs selected by `--smoke`; every measurement helper
 /// reads them through [`cfg`] so the flag needs no parameter
@@ -52,6 +60,8 @@ struct RunCfg {
     /// Slice rounds of [`measure_paired`].
     rounds: usize,
     flows_axis: &'static [usize],
+    /// Flow counts for the scale sweep (pooled slab flow-table axis).
+    scale_axis: &'static [usize],
 }
 
 static RUN_CFG: OnceLock<RunCfg> = OnceLock::new();
@@ -127,6 +137,10 @@ struct Snapshot {
     warmup_ms: u64,
     measure_ms: u64,
     results: Vec<SnapPoint>,
+    /// Flow-count scale axis (512 → 100k → 1M): per-packet cost on the
+    /// slab-pooled data path as the dense flow table grows. The exact
+    /// schedulers stop at [`EXACT_SCALE_CAP`].
+    scale: Vec<SnapPoint>,
     depth_checks: Vec<DepthCheck>,
     control_checks: Vec<ControlCheck>,
 }
@@ -137,6 +151,7 @@ impl_to_json!(Snapshot {
     warmup_ms,
     measure_ms,
     results,
+    scale,
     depth_checks,
     control_checks
 });
@@ -308,6 +323,7 @@ fn main() {
                 slice: Duration::from_millis(5),
                 rounds: 4,
                 flows_axis: &[8, 512],
+                scale_axis: &[512, 4_096],
             }
         } else {
             RunCfg {
@@ -316,6 +332,7 @@ fn main() {
                 slice: Duration::from_millis(25),
                 rounds: 10,
                 flows_axis: &[8, 64, 512],
+                scale_axis: &[512, 100_000, 1_000_000],
             }
         })
         .unwrap_or_else(|_| unreachable!("main runs once"));
@@ -341,6 +358,47 @@ fn main() {
         flows_of(FairAirport::new(), q)
     });
     snap_discipline(&mut results, "hier_sfq", |q| flows_of(HierSfq::new(), q));
+
+    // Flow-count scale axis: how per-packet cost grows as the dense
+    // slab flow table goes from hundreds of flows to a million. Only
+    // the schedulers on the pooled data path run here; the exact
+    // rational pair stops at EXACT_SCALE_CAP (i128 Ratio heap churn
+    // dominates long before a million flows and the fixed-point rows
+    // cover that regime).
+    let mut scale = Vec::new();
+    eprintln!("perfsnap: flow-count scale axis (depth {SCALE_DEPTH})");
+    for &q in cfg().scale_axis {
+        for (name, pps) in [
+            (
+                "sfq_fast",
+                measure(flows_of(SfqFast::new(), q), q, SCALE_DEPTH),
+            ),
+            (
+                "scfq_fast",
+                measure(flows_of(ScfqFast::new(), q), q, SCALE_DEPTH),
+            ),
+        ] {
+            eprintln!("  {name:>14}  {q:>8} flows  {pps:>12.0} pkt/s");
+            scale.push(SnapPoint {
+                discipline: name.to_string(),
+                flows: q,
+                backlog_per_flow: SCALE_DEPTH,
+                pkts_per_sec: pps,
+                ns_per_pkt: 1e9 / pps,
+            });
+        }
+        if q <= EXACT_SCALE_CAP {
+            let pps = measure(flows_of(Sfq::new(), q), q, SCALE_DEPTH);
+            eprintln!("  {:>14}  {q:>8} flows  {pps:>12.0} pkt/s", "sfq");
+            scale.push(SnapPoint {
+                discipline: "sfq".to_string(),
+                flows: q,
+                backlog_per_flow: SCALE_DEPTH,
+                pkts_per_sec: pps,
+                ns_per_pkt: 1e9 / pps,
+            });
+        }
+    }
 
     // Depth sensitivity of SFQ at the largest flow count — the
     // head-of-flow acceptance check (shallow vs deep within ~10%).
@@ -460,6 +518,34 @@ fn main() {
             new_pkts_per_sec: pps_fast,
             new_vs_base_pct: pct,
         });
+
+        // The pooling headline, drift-cancelled: the default slab
+        // backend vs the owned HashMap/VecDeque oracle on the same
+        // deep-backlog workload. The slab keeps every queued packet in
+        // one contiguous arena and every flow FIFO as intrusive links,
+        // so deep backlogs stop scattering nodes across the heap.
+        let mut owned = Steady::new(
+            flows_of(
+                Sfq::with_parts(TieBreak::default(), NoopObserver, FifoBackend::Owned),
+                q,
+            ),
+            q,
+            depth,
+        );
+        let mut pooled = Steady::new(flows_of(Sfq::new(), q), q, depth);
+        let (pps_owned, pps_pooled) = measure_paired(&mut owned, &mut pooled);
+        let pct = 100.0 * (pps_pooled / pps_owned - 1.0);
+        eprintln!(
+            "sfq@{q} (paired): owned-backend -> {pps_owned:.0} pkt/s, pooled -> {pps_pooled:.0} pkt/s ({pct:+.1}% pooled vs owned)",
+        );
+        control_checks.push(ControlCheck {
+            comparison: "sfq_pooled_vs_owned_backend".to_string(),
+            flows: q,
+            backlog_per_flow: depth,
+            base_pkts_per_sec: pps_owned,
+            new_pkts_per_sec: pps_pooled,
+            new_vs_base_pct: pct,
+        });
     }
 
     let snapshot = Snapshot {
@@ -469,6 +555,7 @@ fn main() {
         warmup_ms: cfg().warmup.as_millis() as u64,
         measure_ms: cfg().measure.as_millis() as u64,
         results,
+        scale,
         depth_checks,
         control_checks,
     };
@@ -484,6 +571,22 @@ fn main() {
         &["discipline", "flows", "depth", "pkts/sec"],
         &snapshot
             .results
+            .iter()
+            .map(|p| {
+                vec![
+                    p.discipline.clone(),
+                    p.flows.to_string(),
+                    p.backlog_per_flow.to_string(),
+                    format!("{:.0}", p.pkts_per_sec),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    report::print_table(
+        "perfsnap scale axis (pkt/s)",
+        &["discipline", "flows", "depth", "pkts/sec"],
+        &snapshot
+            .scale
             .iter()
             .map(|p| {
                 vec![

@@ -10,8 +10,8 @@
 //! ```
 
 use conformance::{
-    check_against_bound, diff_schedulers, run_engine_conformance, run_fast_conformance, run_soak,
-    run_tandem_conformance, Preset, Scenario, SchedKind,
+    check_against_bound, diff_schedulers, run_engine_conformance, run_fast_conformance,
+    run_pool_conformance, run_soak, run_tandem_conformance, Preset, Scenario, SchedKind,
 };
 use simtime::SimDuration;
 use std::io::Write;
@@ -133,6 +133,11 @@ fn check(sc: &Scenario) -> Option<String> {
             // quantization-safe workload: must be bit-identical.
             run_fast_conformance(sc).err()
         }
+        Preset::Pool => {
+            // Slab-pooled FlowFifos backend vs the owned oracle under
+            // flow churn: must be bit-identical, no caveats.
+            run_pool_conformance(sc).err()
+        }
         Preset::SingleEbf | Preset::FairAirport => None, // covered by tier-1 tests
     }
 }
@@ -147,6 +152,7 @@ fn main() {
             Preset::Soak,
             Preset::Engine,
             Preset::Fast,
+            Preset::Pool,
         ],
     };
     let started = Instant::now();

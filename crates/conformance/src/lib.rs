@@ -22,7 +22,11 @@
 //!   and refusals under real thread interleavings,
 //! - [`fast`]: fixed-point fast-path differential — quantization-safe
 //!   workloads replayed against `SfqFast`/`ScfqFast` and their exact
-//!   rational counterparts, requiring bit-identical departures.
+//!   rational counterparts, requiring bit-identical departures,
+//! - [`pool`]: pooled-backend differential — churn-heavy workloads
+//!   replayed on the slab-pooled `FlowFifos` backend against the owned
+//!   oracle backend, requiring bit-identical departures for all four
+//!   schedulers.
 //!
 //! Every failure anywhere in the harness prints
 //! `conformance replay: preset=<p> seed=<s>`; feeding that line to
@@ -36,6 +40,7 @@ pub mod engine;
 pub mod exec;
 pub mod fast;
 pub mod faults;
+pub mod pool;
 pub mod scenario;
 pub mod soak;
 
@@ -50,6 +55,7 @@ pub use exec::{
 };
 pub use fast::{run_fast_conformance, FastOutcome};
 pub use faults::{effective_delta_bits, hop_profile};
+pub use pool::{run_pool_conformance, PoolOutcome};
 pub use scenario::{
     other_lmax_at, Churn, Droop, DropKind, FlowSpec, Preset, Scenario, ServerSpec, SizeDist,
     SourceKind, OBSERVED_FLOW,

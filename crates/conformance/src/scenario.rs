@@ -54,11 +54,19 @@ pub enum Preset {
     /// any departure divergence is a conformance failure (see
     /// [`crate::fast`]).
     Fast,
+    /// Pooled-backend differential: a mixed-weight workload with flow
+    /// churn (force-remove + revive) replayed through each scheduler
+    /// on the pooled `FlowFifos` backend vs the same scheduler on the
+    /// owned backend. The two backends run identical tag arithmetic,
+    /// so — unlike `fast` — identity is unconditional: any divergence
+    /// in departures is a bug in the slab pool, intrusive links, or
+    /// generation-checked flow table (see [`crate::pool`]).
+    Pool,
 }
 
 impl Preset {
     /// Every preset, for fuzz drivers.
-    pub const ALL: [Preset; 7] = [
+    pub const ALL: [Preset; 8] = [
         Preset::SingleFc,
         Preset::SingleEbf,
         Preset::Tandem,
@@ -66,6 +74,7 @@ impl Preset {
         Preset::Soak,
         Preset::Engine,
         Preset::Fast,
+        Preset::Pool,
     ];
 
     /// Stable name used in replay lines.
@@ -78,6 +87,7 @@ impl Preset {
             Preset::Soak => "soak",
             Preset::Engine => "engine",
             Preset::Fast => "fast",
+            Preset::Pool => "pool",
         }
     }
 
@@ -287,6 +297,7 @@ impl Scenario {
             Preset::Soak => gen_soak(seed, &mut rng),
             Preset::Engine => gen_engine(seed, &mut rng),
             Preset::Fast => gen_fast(seed, &mut rng),
+            Preset::Pool => gen_pool(seed, &mut rng),
         }
     }
 
@@ -877,6 +888,72 @@ fn gen_fast(seed: u64, rng: &mut SimRng) -> Scenario {
         flows,
         droops: Vec::new(),
         churns: Vec::new(),
+    }
+}
+
+fn gen_pool(seed: u64, rng: &mut SimRng) -> Scenario {
+    // Pooled-vs-owned backend differential. Identity is unconditional
+    // (same tag arithmetic on both sides), so the weights are
+    // deliberately *arbitrary* — no quantization-safety constraint —
+    // and the workload includes flow churn with revival, the path that
+    // exercises the pooled backend's generation-checked flow table
+    // (stale heap entries for a removed flow, slot reuse by a revived
+    // or fresh flow). Modest overbooking keeps per-flow FIFOs deep so
+    // the intrusive-link walk, not just the heap, is on the hot path.
+    let link_bps = 1_000_000u64;
+    let horizon_ms = rng.uniform_range(300, 1_001);
+    let n = rng.uniform_range(4, 13);
+    let mut flows = Vec::new();
+    for i in 0..n {
+        flows.push(FlowSpec {
+            id: i as u32 + 1,
+            weight_bps: rng.uniform_range(500, 400_000),
+            size: pick_size(rng, 1_500),
+            source: if rng.uniform() < 0.6 {
+                SourceKind::Cbr
+            } else {
+                SourceKind::Poisson
+            },
+            start_ms: rng.uniform_range(0, horizon_ms / 2),
+            entry: 0,
+            exit: 0,
+        });
+    }
+    // Churn one or two mid-population flows; revive roughly half.
+    let n_churn = rng.uniform_range(1, 3);
+    let mut churns = Vec::new();
+    for c in 0..n_churn {
+        let flow = rng.uniform_range(1, n + 1) as u32;
+        if churns.iter().any(|ch: &Churn| ch.flow == flow) {
+            continue;
+        }
+        let at_ms = rng.uniform_range(horizon_ms / 4, horizon_ms * 3 / 4);
+        let revive_ms = if c % 2 == 0 {
+            Some(at_ms + rng.uniform_range(50, horizon_ms / 4 + 51))
+        } else {
+            None
+        };
+        churns.push(Churn {
+            flow,
+            at_ms,
+            revive_ms,
+        });
+    }
+    Scenario {
+        preset: Preset::Pool,
+        seed,
+        link_bps,
+        server: ServerSpec::Constant,
+        hops: 1,
+        prop_ms: 0,
+        horizon_ms,
+        per_flow_cap: None,
+        shared_cap: None,
+        drop_policy: DropKind::Tail,
+        recovery_at_ms: None,
+        flows,
+        droops: Vec::new(),
+        churns,
     }
 }
 

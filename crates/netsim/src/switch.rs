@@ -8,9 +8,9 @@
 
 use servers::RateProfile;
 use sfq_core::obs::{Backpressure, SchedEvent, SchedObserver};
-use sfq_core::{FlowId, Packet, SchedError, Scheduler};
+use sfq_core::{FlowId, FlowMap, Packet, SchedError, Scheduler};
 use simtime::{Rate, Ratio, SimTime};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// How a port responds when an arrival finds its buffer full.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -44,13 +44,15 @@ pub struct SwitchCore {
     /// unbounded).
     shared_cap: Option<usize>,
     policy: DropPolicy,
-    /// Registered weights, for the pressure victim search.
-    weights: HashMap<FlowId, Rate>,
+    /// Registered weights, for the pressure victim search. Dense
+    /// (`FlowMap`) so a port tracks flows without hashing; iteration
+    /// order is insertion-dependent, so every scan below sorts by id.
+    weights: FlowMap<Rate>,
     /// Flows currently under backpressure (cap reached and a packet
     /// shed since the backlog last drained below the cap).
-    engaged: HashSet<FlowId>,
+    engaged: FlowMap<()>,
     busy: bool,
-    drops: HashMap<FlowId, u64>,
+    drops: FlowMap<u64>,
     /// Drop hook: fires for packets the port refuses before the
     /// scheduler ever sees them (so a scheduler-attached observer
     /// cannot report them), for head-drop evictions, and for
@@ -70,10 +72,10 @@ impl SwitchCore {
             per_flow_cap,
             shared_cap: None,
             policy: DropPolicy::TailDrop,
-            weights: HashMap::new(),
-            engaged: HashSet::new(),
+            weights: FlowMap::new(),
+            engaged: FlowMap::new(),
             busy: false,
-            drops: HashMap::new(),
+            drops: FlowMap::new(),
             drop_obs: None,
         }
     }
@@ -113,9 +115,9 @@ impl SwitchCore {
     /// not support removal). Any backpressure on the flow is released.
     pub fn force_remove_flow(&mut self, flow: FlowId) -> usize {
         let dropped = self.sched.force_remove_flow(flow);
-        self.weights.remove(&flow);
+        self.weights.remove(flow);
         self.release_drained(SimTime::ZERO);
-        if self.engaged.remove(&flow) {
+        if self.engaged.remove(flow).is_some() {
             if let Some(obs) = &mut self.drop_obs {
                 obs.on_backpressure(SimTime::ZERO, flow, Backpressure::Release);
             }
@@ -181,7 +183,7 @@ impl SwitchCore {
         let mut best: Option<(FlowId, u128, u64)> = None;
         let mut flows: Vec<_> = self.weights.iter().collect();
         flows.sort_by_key(|(f, _)| f.0);
-        for (&flow, &w) in flows {
+        for (flow, &w) in flows {
             let backlog = self.sched.backlog(flow) as u128;
             if backlog == 0 {
                 continue;
@@ -201,7 +203,7 @@ impl SwitchCore {
     /// Evict `victim`'s head-of-line packet, recording the drop.
     fn evict_head(&mut self, now: SimTime, victim: FlowId) -> Option<Packet> {
         let evicted = self.sched.drop_head(victim)?;
-        *self.drops.entry(evicted.flow).or_insert(0) += 1;
+        self.count_drop(evicted.flow);
         if let Some(obs) = &mut self.drop_obs {
             obs.on_drop(&SchedEvent {
                 time: now,
@@ -218,7 +220,7 @@ impl SwitchCore {
 
     /// Record a refused arrival and report [`SchedError::BufferFull`].
     fn refuse(&mut self, now: SimTime, pkt: Packet) -> Result<(), SchedError> {
-        *self.drops.entry(pkt.flow).or_insert(0) += 1;
+        self.count_drop(pkt.flow);
         if let Some(obs) = &mut self.drop_obs {
             obs.on_drop(&SchedEvent {
                 time: now,
@@ -233,9 +235,19 @@ impl SwitchCore {
         Err(SchedError::BufferFull(pkt.flow))
     }
 
+    /// Bump the per-flow drop counter.
+    fn count_drop(&mut self, flow: FlowId) {
+        match self.drops.get_mut(flow) {
+            Some(n) => *n += 1,
+            None => {
+                self.drops.insert(flow, 1);
+            }
+        }
+    }
+
     /// Mark `flow` as under backpressure, signalling the transition.
     fn engage(&mut self, now: SimTime, flow: FlowId) {
-        if self.engaged.insert(flow) {
+        if self.engaged.insert(flow, ()).is_none() {
             if let Some(obs) = &mut self.drop_obs {
                 obs.on_backpressure(now, flow, Backpressure::Engage);
             }
@@ -252,12 +264,12 @@ impl SwitchCore {
         let mut released: Vec<FlowId> = self
             .engaged
             .iter()
-            .copied()
+            .map(|(f, _)| f)
             .filter(|&f| shared_ok && self.per_flow_cap.is_none_or(|c| self.sched.backlog(f) < c))
             .collect();
         released.sort_by_key(|f| f.0);
         for flow in released {
-            self.engaged.remove(&flow);
+            self.engaged.remove(flow);
             if let Some(obs) = &mut self.drop_obs {
                 obs.on_backpressure(now, flow, Backpressure::Release);
             }
@@ -294,12 +306,12 @@ impl SwitchCore {
 
     /// Total packets dropped for a flow.
     pub fn drops(&self, flow: FlowId) -> u64 {
-        self.drops.get(&flow).copied().unwrap_or(0)
+        self.drops.get(flow).copied().unwrap_or(0)
     }
 
     /// Every per-flow drop counter (flows with at least one drop).
     pub fn all_drops(&self) -> impl Iterator<Item = (FlowId, u64)> + '_ {
-        self.drops.iter().map(|(&f, &n)| (f, n))
+        self.drops.iter().map(|(f, &n)| (f, n))
     }
 
     /// Queued packets (both classes).

@@ -35,6 +35,7 @@ pub mod flowq;
 mod hier;
 pub mod obs;
 mod packet;
+pub mod pool;
 pub mod prefetch;
 mod scfq_fast;
 mod sched;
@@ -43,9 +44,11 @@ mod sfq_fast;
 
 pub use fair_airport::{FairAirport, ServedVia};
 pub use fixed::{FixedInc, FixedTag, DEFAULT_SHIFT, ISM_SHIFT, MAX_REBASE_BITS, MAX_SHIFT};
+pub use flowq::FifoBackend;
 pub use hier::{ClassId, HierSfq};
 pub use obs::{Backpressure, FlowChange, NoopObserver, SchedEvent, SchedObserver};
 pub use packet::{FlowId, Packet, PacketFactory};
+pub use pool::{FlowMap, PktPool, PktRef, PoolStats, ReturnQueue, SlabPool};
 pub use scfq_fast::ScfqFast;
 pub use sched::{SchedError, Scheduler, TieBreak};
 pub use sfq::Sfq;

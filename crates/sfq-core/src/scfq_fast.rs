@@ -14,10 +14,12 @@
 //! same as [`crate::sfq_fast`]'s — see docs/fixed_point.md.
 
 use crate::fixed::{FixedInc, FixedTag, DEFAULT_SHIFT, MAX_REBASE_BITS, MAX_SHIFT};
-use crate::flowq::FlowFifos;
+use crate::flowq::{FifoBackend, FlowFifos};
 use crate::obs::{FlowChange, NoopObserver, SchedEvent, SchedObserver};
 use crate::packet::{FlowId, Packet};
+use crate::pool::PoolStats;
 use crate::sched::{SchedError, Scheduler};
+use crate::sfq::GC_BUDGET;
 use simtime::{Rate, Ratio, SimTime};
 
 #[derive(Debug)]
@@ -43,6 +45,8 @@ pub struct ScfqFast<O: SchedObserver = NoopObserver> {
     rebase_bits: Option<u32>,
     /// Number of rebases applied so far.
     rebases: u64,
+    /// Lazy flow GC armed (see [`ScfqFast::enable_flow_gc`]).
+    gc: bool,
     obs: O,
 }
 
@@ -73,17 +77,57 @@ impl<O: SchedObserver> ScfqFast<O> {
 
     /// New fixed-point SCFQ with custom shift and observer.
     pub fn with_shift_observer(shift: u32, obs: O) -> Result<Self, SchedError> {
+        Self::with_parts(shift, obs, FifoBackend::default())
+    }
+
+    /// New fixed-point SCFQ with every knob explicit, including the
+    /// [`FifoBackend`] (owned = differential oracle).
+    pub fn with_parts(shift: u32, obs: O, backend: FifoBackend) -> Result<Self, SchedError> {
         if shift == 0 || shift > MAX_SHIFT {
             return Err(SchedError::TagOverflow);
         }
         Ok(ScfqFast {
-            q: FlowFifos::new("SCFQ-FAST"),
+            q: FlowFifos::new_with("SCFQ-FAST", backend),
             shift,
             v: FixedTag::ZERO,
             rebase_bits: None,
             rebases: 0,
+            gc: false,
             obs,
         })
+    }
+
+    /// Enable lazy flow GC (pooled backend only): a drained flow is
+    /// reclaimed once its `last_finish ≤ v(t)` — same revival-stable
+    /// condition as `SfqFast::enable_flow_gc` (SCFQ's `v` is also
+    /// non-decreasing and never re-snapped).
+    pub fn enable_flow_gc(&mut self) {
+        self.gc = true;
+        self.q.enable_gc();
+    }
+
+    /// Cap the pooled backend's packet-slot footprint; exhaustion
+    /// surfaces as [`SchedError::BufferFull`] from `try_enqueue`.
+    pub fn set_pool_limit(&mut self, limit: Option<usize>) {
+        self.q.set_pool_limit(limit);
+    }
+
+    /// Pool accounting (`None` on the owned backend).
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        self.q.pool_stats()
+    }
+
+    /// Currently registered flows.
+    pub fn live_flows(&self) -> usize {
+        self.q.live_flows()
+    }
+
+    fn gc_step(&mut self) {
+        if !self.gc {
+            return;
+        }
+        let horizon = self.v;
+        self.q.gc_step(GC_BUDGET, |ext| ext.last_finish <= horizon);
     }
 
     /// Enable virtual-time rebasing; same contract as `Scfq`'s, with
@@ -305,6 +349,9 @@ impl<O: SchedObserver> Scheduler for ScfqFast<O> {
         if n > 0 && self.rebase_bits.is_some() && self.q.is_empty() {
             self.rebase();
         }
+        if n > 0 {
+            self.gc_step();
+        }
         n
     }
 
@@ -326,6 +373,7 @@ impl<O: SchedObserver> Scheduler for ScfqFast<O> {
                 v: finish.to_ratio(self.shift),
             });
         }
+        self.gc_step();
         Some(pkt)
     }
 

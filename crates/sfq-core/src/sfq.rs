@@ -32,12 +32,15 @@
 //! assignment, service selection, and flow change — see
 //! [`crate::obs`].
 
-use crate::flowq::FlowFifos;
+use crate::flowq::{FifoBackend, FlowFifos};
 use crate::obs::{FlowChange, NoopObserver, SchedEvent, SchedObserver};
 use crate::packet::{FlowId, Packet};
+use crate::pool::PoolStats;
 use crate::sched::{SchedError, Scheduler, TieBreak};
 use simtime::{Rate, Ratio, SimTime};
 use std::cell::Cell;
+
+pub(crate) use crate::flowq::GC_BUDGET;
 
 /// Heap ordering key: primary start tag, then the tie-break key, then
 /// packet uid for full determinism.
@@ -105,6 +108,8 @@ pub struct Sfq<O: SchedObserver = NoopObserver> {
     rebase_bits: Option<u32>,
     /// Number of rebases applied so far.
     rebases: u64,
+    /// Lazy flow GC armed (see [`Sfq::enable_flow_gc`]).
+    gc: bool,
     obs: O,
 }
 
@@ -124,16 +129,70 @@ impl<O: SchedObserver> Sfq<O> {
     /// New SFQ scheduler reporting events to `obs` (see
     /// [`crate::obs::SchedObserver`]).
     pub fn with_observer(tie: TieBreak, obs: O) -> Self {
+        Self::with_parts(tie, obs, FifoBackend::default())
+    }
+
+    /// New SFQ scheduler with every knob explicit: tie-break rule,
+    /// observer, and [`FifoBackend`]. The owned backend exists as the
+    /// differential oracle (`tests/pool_identity.rs`); production
+    /// callers take the pooled default.
+    pub fn with_parts(tie: TieBreak, obs: O, backend: FifoBackend) -> Self {
         Sfq {
-            q: FlowFifos::new("SFQ"),
+            q: FlowFifos::new_with("SFQ", backend),
             tie,
             v: Ratio::ZERO,
             in_service: None,
             max_finish_served: Ratio::ZERO,
             rebase_bits: None,
             rebases: 0,
+            gc: false,
             obs,
         }
+    }
+
+    /// Enable lazy flow GC (pooled backend only): a flow whose backlog
+    /// drains is reclaimed — id unlinked, table slot recycled — once
+    /// its `last_finish` tag falls at or below `⌊v(t)⌋`, the point
+    /// after which a revived flow starting from fresh state (Eq. 4's
+    /// `max` with `F(p_f^0) = 0`) computes exactly the tags it would
+    /// have computed anyway: dequeue order stays bit-identical while
+    /// the flow table stays bounded by the *live* flow set under
+    /// churn. A reclaimed flow must be re-registered before it can
+    /// enqueue again, matching [`Scheduler::remove_flow`] semantics.
+    pub fn enable_flow_gc(&mut self) {
+        self.gc = true;
+        self.q.enable_gc();
+    }
+
+    /// Cap the pooled backend's packet-slot footprint; see
+    /// [`FlowFifos::set_pool_limit`]. Exhaustion surfaces as
+    /// [`SchedError::BufferFull`] from the `try_enqueue` family.
+    pub fn set_pool_limit(&mut self, limit: Option<usize>) {
+        self.q.set_pool_limit(limit);
+    }
+
+    /// Pool accounting (`None` on the owned backend).
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        self.q.pool_stats()
+    }
+
+    /// Currently registered flows.
+    pub fn live_flows(&self) -> usize {
+        self.q.live_flows()
+    }
+
+    /// Amortized GC work on the dequeue side: examine a few drained
+    /// flows and reclaim those whose tags are safely behind `v(t)`.
+    fn gc_step(&mut self) {
+        if !self.gc {
+            return;
+        }
+        // Floor the safety horizon: future enqueues snap v(t) to the
+        // pico grid, and `⌊v⌋ ≤ snap(v') for every v' ≥ v`, so a flow
+        // with last_finish ≤ ⌊v⌋ can never again win Eq. 4's max —
+        // reclaiming it cannot change any future tag.
+        let horizon = Ratio::from_int(self.virtual_time().floor());
+        self.q.gc_step(GC_BUDGET, |ext| ext.last_finish <= horizon);
     }
 
     /// Enable virtual-time rebasing: at every busy-period boundary, and
@@ -440,6 +499,7 @@ impl<O: SchedObserver> Scheduler for Sfq<O> {
                 self.rebase();
             }
         }
+        self.gc_step();
         n
     }
 
@@ -473,6 +533,7 @@ impl<O: SchedObserver> Scheduler for Sfq<O> {
                 self.rebase();
             }
         }
+        self.gc_step();
     }
 
     fn is_empty(&self) -> bool {

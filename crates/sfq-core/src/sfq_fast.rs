@@ -33,10 +33,12 @@
 //! pass thresholds (e.g. 96) that a u64 could never reach.
 
 use crate::fixed::{FixedInc, FixedTag, DEFAULT_SHIFT, MAX_REBASE_BITS, MAX_SHIFT};
-use crate::flowq::FlowFifos;
+use crate::flowq::{FifoBackend, FlowFifos};
 use crate::obs::{FlowChange, NoopObserver, SchedEvent, SchedObserver};
 use crate::packet::{FlowId, Packet};
+use crate::pool::PoolStats;
 use crate::sched::{SchedError, Scheduler, TieBreak};
+use crate::sfq::GC_BUDGET;
 use simtime::{Rate, Ratio, SimTime};
 
 /// Heap ordering key: primary start tag, then the (narrowed) tie-break
@@ -84,6 +86,8 @@ pub struct SfqFast<O: SchedObserver = NoopObserver> {
     rebase_bits: Option<u32>,
     /// Number of rebases applied so far.
     rebases: u64,
+    /// Lazy flow GC armed (see [`SfqFast::enable_flow_gc`]).
+    gc: bool,
     obs: O,
 }
 
@@ -125,11 +129,23 @@ impl<O: SchedObserver> SfqFast<O> {
     /// New fixed-point SFQ with custom shift and observer; see
     /// [`SfqFast::with_shift`] for the accepted shift range.
     pub fn with_shift_observer(tie: TieBreak, shift: u32, obs: O) -> Result<Self, SchedError> {
+        Self::with_parts(tie, shift, obs, FifoBackend::default())
+    }
+
+    /// New fixed-point SFQ with every knob explicit, including the
+    /// [`FifoBackend`] (the owned backend is the differential oracle;
+    /// production callers take the pooled default).
+    pub fn with_parts(
+        tie: TieBreak,
+        shift: u32,
+        obs: O,
+        backend: FifoBackend,
+    ) -> Result<Self, SchedError> {
         if shift == 0 || shift > MAX_SHIFT {
             return Err(SchedError::TagOverflow);
         }
         Ok(SfqFast {
-            q: FlowFifos::new("SFQ-FAST"),
+            q: FlowFifos::new_with("SFQ-FAST", backend),
             tie,
             shift,
             v: FixedTag::ZERO,
@@ -137,8 +153,45 @@ impl<O: SchedObserver> SfqFast<O> {
             max_finish_served: FixedTag::ZERO,
             rebase_bits: None,
             rebases: 0,
+            gc: false,
             obs,
         })
+    }
+
+    /// Enable lazy flow GC (pooled backend only): a drained flow is
+    /// reclaimed once its `last_finish ≤ v(t)` — the fixed-point
+    /// mirror of `Sfq::enable_flow_gc` (no floor needed: fixed tags
+    /// are not re-snapped at enqueue, and `v(t)` is non-decreasing,
+    /// so the condition is already revival-stable). Dequeue order
+    /// stays bit-identical; the flow table stays bounded by the live
+    /// flow set under churn.
+    pub fn enable_flow_gc(&mut self) {
+        self.gc = true;
+        self.q.enable_gc();
+    }
+
+    /// Cap the pooled backend's packet-slot footprint; exhaustion
+    /// surfaces as [`SchedError::BufferFull`] from `try_enqueue`.
+    pub fn set_pool_limit(&mut self, limit: Option<usize>) {
+        self.q.set_pool_limit(limit);
+    }
+
+    /// Pool accounting (`None` on the owned backend).
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        self.q.pool_stats()
+    }
+
+    /// Currently registered flows.
+    pub fn live_flows(&self) -> usize {
+        self.q.live_flows()
+    }
+
+    fn gc_step(&mut self) {
+        if !self.gc {
+            return;
+        }
+        let horizon = self.virtual_time_fixed();
+        self.q.gc_step(GC_BUDGET, |ext| ext.last_finish <= horizon);
     }
 
     /// Enable virtual-time rebasing, same contract as the exact
@@ -414,6 +467,7 @@ impl<O: SchedObserver> Scheduler for SfqFast<O> {
                 self.rebase();
             }
         }
+        self.gc_step();
         n
     }
 
@@ -445,6 +499,7 @@ impl<O: SchedObserver> Scheduler for SfqFast<O> {
                 self.rebase();
             }
         }
+        self.gc_step();
     }
 
     fn is_empty(&self) -> bool {

@@ -28,9 +28,8 @@ use crate::ring::{spsc, SpscConsumer, SpscProducer};
 use crate::root::RootSfq;
 use crate::{shard_of, EngineConfig, ShardSched};
 use sfq_core::obs::SchedObserver;
-use sfq_core::{FlowId, NoopObserver, Packet, SchedError, Scheduler, Sfq, SfqFast};
+use sfq_core::{FlowId, FlowMap, NoopObserver, Packet, SchedError, Scheduler, Sfq, SfqFast};
 use simtime::{Rate, SimTime};
-use std::collections::HashMap;
 
 struct Shard<S> {
     sched: S,
@@ -55,7 +54,7 @@ pub struct SyncEngine<S = Sfq> {
     ring_capacity: usize,
     shards: Vec<Shard<S>>,
     root: RootSfq,
-    weights: HashMap<FlowId, Rate>,
+    weights: FlowMap<Rate>,
     backlogged: Vec<bool>,
     scratch: Vec<Packet>,
     one: Vec<Packet>,
@@ -107,7 +106,7 @@ impl<S: ShardSched> SyncEngine<S> {
             ring_capacity: cfg.ring_capacity,
             shards,
             root: RootSfq::new(cfg.shards, cfg.rebase_bits),
-            weights: HashMap::new(),
+            weights: FlowMap::new(),
             backlogged: vec![false; cfg.shards],
             scratch: Vec::new(),
             one: Vec::new(),
@@ -152,7 +151,7 @@ impl<S: Scheduler> SyncEngine<S> {
     /// determinism). The packet is *not yet scheduled*: tags are
     /// stamped at the next [`SyncEngine::pump`] or drain.
     pub fn try_ingest(&mut self, pkt: Packet) -> Result<(), SchedError> {
-        if !self.weights.contains_key(&pkt.flow) {
+        if !self.weights.contains(pkt.flow) {
             return Err(SchedError::UnknownFlow(pkt.flow));
         }
         let s = self.shard_of(pkt.flow);

@@ -38,9 +38,8 @@
 use crate::ring::{spsc, SpscConsumer, SpscProducer};
 use crate::root::RootSfq;
 use crate::{shard_of, EngineConfig, ShardSched};
-use sfq_core::{FlowId, Packet, SchedError, Scheduler, Sfq, SfqFast};
+use sfq_core::{FlowId, FlowMap, Packet, SchedError, Scheduler, Sfq, SfqFast};
 use simtime::{Rate, SimTime};
-use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
@@ -135,7 +134,7 @@ pub struct ThreadedEngine {
     ring_capacity: u64,
     shards: Vec<ShardHandle>,
     root: RootSfq,
-    weights: HashMap<FlowId, Rate>,
+    weights: FlowMap<Rate>,
     backlogged: Vec<bool>,
 }
 
@@ -198,7 +197,7 @@ impl ThreadedEngine {
             ring_capacity: cfg.ring_capacity as u64,
             shards,
             root: RootSfq::new(cfg.shards, cfg.rebase_bits),
-            weights: HashMap::new(),
+            weights: FlowMap::new(),
             backlogged: vec![false; cfg.shards],
         }
     }
@@ -232,7 +231,7 @@ impl ThreadedEngine {
     /// backpressure rule as the sync driver (refuse when pending ==
     /// ring capacity, so the physical push below cannot fail).
     pub fn try_ingest(&mut self, pkt: Packet) -> Result<(), SchedError> {
-        if !self.weights.contains_key(&pkt.flow) {
+        if !self.weights.contains(pkt.flow) {
             return Err(SchedError::UnknownFlow(pkt.flow));
         }
         let s = shard_of(pkt.flow, self.shards.len());

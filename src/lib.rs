@@ -77,8 +77,9 @@ pub mod prelude {
     pub use netsim::{Net, SwitchCore, Tandem, TcpConfig};
     pub use servers::{fc_on_off, run_server, Departure, FcParams, RateProfile, Segment};
     pub use sfq_core::{
-        Backpressure, ClassId, FairAirport, FlowId, HierSfq, NoopObserver, Packet, PacketFactory,
-        ScfqFast, SchedError, SchedEvent, SchedObserver, Scheduler, Sfq, SfqFast, TieBreak,
+        Backpressure, ClassId, FairAirport, FifoBackend, FlowId, FlowMap, HierSfq, NoopObserver,
+        Packet, PacketFactory, PoolStats, ScfqFast, SchedError, SchedEvent, SchedObserver,
+        Scheduler, Sfq, SfqFast, TieBreak,
     };
     pub use sfq_obs::{CountingObserver, FlowMetrics, RingTracer};
     pub use simtime::{Bytes, Rate, Ratio, SimDuration, SimTime};
