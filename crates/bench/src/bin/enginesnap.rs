@@ -26,7 +26,9 @@
 
 use bench::meta::Meta;
 use bench::report;
+use graph::{GraphSpec, PortKind, PortSpec};
 use jsonline::{impl_to_json, ToJson};
+use servers::RateProfile;
 use sfq_core::{FlowId, Packet, PacketFactory, Scheduler, Sfq};
 use sfq_engine::{EngineConfig, ShardSched, SyncEngine, ThreadedEngine};
 use simtime::{Bytes, Rate, SimTime};
@@ -87,6 +89,34 @@ impl_to_json!(EnginePoint {
     anomaly
 });
 
+/// One forwarding-graph point: a full run-to-completion pass over a
+/// fixed topology + script, measured end to end (ingress classify →
+/// schedule → transmit → pooled-slot return), wall clock per packet.
+#[derive(Debug)]
+struct GraphPoint {
+    /// `"incast_4to1"` or `"matrix_4x4"`.
+    topology: String,
+    /// Port scheduler: `"sfq"`, `"sfq_fast"`, `"engine_sync"`,
+    /// `"engine_threaded"`.
+    port: String,
+    ports: usize,
+    flows: usize,
+    /// Packets injected (== delivered: the bench topologies are
+    /// uncapped) per run-to-completion pass.
+    pkts_per_run: u64,
+    pkts_per_sec: f64,
+    ns_per_pkt: f64,
+}
+impl_to_json!(GraphPoint {
+    topology,
+    port,
+    ports,
+    flows,
+    pkts_per_run,
+    pkts_per_sec,
+    ns_per_pkt
+});
+
 #[derive(Debug)]
 struct Snapshot {
     meta: Meta,
@@ -107,6 +137,9 @@ struct Snapshot {
     /// the 4-shard batched sync engine as the pooled flow tables grow.
     /// The exact shard scheduler stops at [`EXACT_SCALE_CAP`].
     flow_scale: Vec<EnginePoint>,
+    /// Forwarding-graph axis: incast 4→1 and a 4×4 traffic matrix run
+    /// to completion through the whole node pipeline, per port kind.
+    graph_points: Vec<GraphPoint>,
 }
 impl_to_json!(Snapshot {
     meta,
@@ -123,7 +156,8 @@ impl_to_json!(Snapshot {
     speedup_4shard_batched_vs_single_shard_per_packet,
     speedup_4shard_fast_vs_exact,
     points,
-    flow_scale
+    flow_scale,
+    graph_points
 });
 
 /// The two engine drivers behind one measurement loop.
@@ -275,6 +309,98 @@ fn cfg(shards: usize, batch: usize) -> EngineConfig {
     EngineConfig::new(shards).batch(batch).ring_capacity(RING)
 }
 
+/// One injected source: `(entry node, flow, arrival script)`.
+type GraphSource = (usize, FlowId, Vec<(SimTime, Bytes)>);
+
+/// A graph-axis workload: named topology plus its sources, both
+/// reusable across port kinds and passes.
+struct GraphWorkload {
+    topology: &'static str,
+    spec: GraphSpec,
+    sources: Vec<GraphSource>,
+    ports: usize,
+    flows: usize,
+}
+
+/// The two acceptance topologies under saturating t = 0 bursts: every
+/// packet traverses classify → (schedule + transmit) → sink and rides
+/// a pooled slot end to end.
+fn graph_workloads(pkts_per_flow: usize) -> Vec<GraphWorkload> {
+    let burst: Vec<(SimTime, Bytes)> = (0..pkts_per_flow)
+        .map(|_| (SimTime::ZERO, Bytes::new(PKT)))
+        .collect();
+
+    // Incast 4→1: four weighted flows fanning into one port.
+    let flows: Vec<(FlowId, Rate)> = (1..=4u32)
+        .map(|f| (FlowId(f), Rate::kbps(64 * f as u64)))
+        .collect();
+    let port = PortSpec::new(RateProfile::constant(Rate::kbps(10_000)), flows);
+    let incast = GraphWorkload {
+        topology: "incast_4to1",
+        spec: GraphSpec::incast(4, port),
+        sources: (1..=4u32)
+            .map(|f| ((f - 1) as usize, FlowId(f), burst.clone()))
+            .collect(),
+        ports: 1,
+        flows: 4,
+    };
+
+    // 4×4 matrix: flow 1 + 4i + j enters at ingress i, exits at port j.
+    let all_flows: Vec<(FlowId, Rate)> = (0..16)
+        .map(|k| (FlowId(k as u32 + 1), Rate::kbps(64)))
+        .collect();
+    let ports: Vec<PortSpec> = (0..4)
+        .map(|_| PortSpec::new(RateProfile::constant(Rate::kbps(10_000)), all_flows.clone()))
+        .collect();
+    let routes: Vec<(FlowId, usize)> = (0..16u32)
+        .map(|k| (FlowId(k + 1), k as usize % 4))
+        .collect();
+    let matrix = GraphWorkload {
+        topology: "matrix_4x4",
+        spec: GraphSpec::matrix(4, ports, routes),
+        sources: (0..16u32)
+            .map(|k| ((k / 4) as usize, FlowId(k + 1), burst.clone()))
+            .collect(),
+        ports: 4,
+        flows: 16,
+    };
+    vec![incast, matrix]
+}
+
+/// Wall-clock throughput of full run-to-completion passes over `w`
+/// with every port built as `kind`: repeated build + inject + run
+/// until the window closes, packets delivered per second of wall
+/// time. Build cost is included deliberately — it is part of what a
+/// run-to-completion batch pays.
+fn measure_graph(w: &GraphWorkload, kind: PortKind, warmup: Duration, win: Duration) -> f64 {
+    let pass = || {
+        let mut g = w.spec.build(kind);
+        for (entry, flow, arrivals) in &w.sources {
+            g.add_source(*entry, *flow, arrivals);
+        }
+        let r = g.run(SimTime::from_secs(600));
+        let delivered: u64 = r.sink_departures.iter().map(|(_, d)| d.len() as u64).sum();
+        assert!(
+            r.audit.balanced() && r.audit.in_use == 0,
+            "graph bench leaked slots"
+        );
+        black_box(delivered)
+    };
+    let expect = (w.flows * w.sources[0].2.len()) as u64;
+    assert_eq!(pass(), expect, "bench topology must deliver everything");
+    let warm_end = Instant::now() + warmup;
+    while Instant::now() < warm_end {
+        pass();
+    }
+    let mut served = 0u64;
+    let start = Instant::now();
+    let end = start + win;
+    while Instant::now() < end {
+        served += pass();
+    }
+    served as f64 / start.elapsed().as_secs_f64()
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (warmup, win) = if smoke {
@@ -420,6 +546,40 @@ fn main() {
             });
         }
     }
+    // Forwarding-graph axis: the full node pipeline (classify →
+    // schedule → transmit → slot return) run to completion per pass,
+    // on the two acceptance topologies, per port kind.
+    let pkts_per_flow = if smoke { 200 } else { 2_000 };
+    let mut graph_points = Vec::new();
+    eprintln!("enginesnap: forwarding-graph axis ({pkts_per_flow} pkts/flow per pass)");
+    for w in &graph_workloads(pkts_per_flow) {
+        // Rings sized past the whole t = 0 burst (like RING on the main
+        // axes): this axis measures pipeline cost, not backpressure.
+        let ecfg = EngineConfig::new(2).ring_capacity(RING);
+        let kinds: [(&str, PortKind); 4] = [
+            ("sfq", PortKind::Sfq),
+            ("sfq_fast", PortKind::SfqFast),
+            ("engine_sync", PortKind::EngineSync(ecfg)),
+            ("engine_threaded", PortKind::EngineThreaded(ecfg)),
+        ];
+        for (port, kind) in kinds {
+            let pps = measure_graph(w, kind, warmup, win);
+            eprintln!(
+                "  {:>12} {port:>16}  {} port(s) {:>2} flows  {pps:>12.0} pkt/s",
+                w.topology, w.ports, w.flows
+            );
+            graph_points.push(GraphPoint {
+                topology: w.topology.to_string(),
+                port: port.to_string(),
+                ports: w.ports,
+                flows: w.flows,
+                pkts_per_run: (w.flows * pkts_per_flow) as u64,
+                pkts_per_sec: pps,
+                ns_per_pkt: 1e9 / pps,
+            });
+        }
+    }
+
     let plain = measure_plain_sfq(warmup, win);
     eprintln!("  plain sfq per-packet                       {plain:>12.0} pkt/s");
     let speedup = four_batched / single_pp;
@@ -447,6 +607,7 @@ fn main() {
         speedup_4shard_fast_vs_exact: speedup_fast,
         points,
         flow_scale,
+        graph_points,
     };
     // crates/bench -> repository root.
     let out: PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", "..", "BENCH_engine.json"]
@@ -489,6 +650,24 @@ fn main() {
                     p.shards.to_string(),
                     p.batch.to_string(),
                     p.flows.to_string(),
+                    format!("{:.0}", p.pkts_per_sec),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    report::print_table(
+        "enginesnap forwarding-graph axis (pkt/s, end to end)",
+        &["topology", "port", "ports", "flows", "pkts/run", "pkts/sec"],
+        &snapshot
+            .graph_points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.topology.clone(),
+                    p.port.clone(),
+                    p.ports.to_string(),
+                    p.flows.to_string(),
+                    p.pkts_per_run.to_string(),
                     format!("{:.0}", p.pkts_per_sec),
                 ]
             })

@@ -11,7 +11,8 @@
 
 use conformance::{
     check_against_bound, diff_schedulers, run_engine_conformance, run_fast_conformance,
-    run_pool_conformance, run_soak, run_tandem_conformance, Preset, Scenario, SchedKind,
+    run_graph_conformance, run_pool_conformance, run_soak, run_tandem_conformance, Preset,
+    Scenario, SchedKind,
 };
 use simtime::SimDuration;
 use std::io::Write;
@@ -138,6 +139,16 @@ fn check(sc: &Scenario) -> Option<String> {
             // flow churn: must be bit-identical, no caveats.
             run_pool_conformance(sc).err()
         }
+        Preset::Graph => {
+            // Multi-port forwarding graph: Theorem 6 on every path,
+            // Corollary 1, per-port Theorem 1, sync-vs-threaded port
+            // identity, and arena book balance — all in one runner.
+            run_graph_conformance(sc).err().map(|e| {
+                // The runner embeds the replay line; strip it so the
+                // fuzzer's own suffix doesn't duplicate it.
+                e.lines().next().unwrap_or(&e).to_string()
+            })
+        }
         Preset::SingleEbf | Preset::FairAirport => None, // covered by tier-1 tests
     }
 }
@@ -153,6 +164,7 @@ fn main() {
             Preset::Engine,
             Preset::Fast,
             Preset::Pool,
+            Preset::Graph,
         ],
     };
     let started = Instant::now();

@@ -139,30 +139,9 @@ pub fn run_tandem_conformance(sc: &Scenario, with_observers: bool) -> E2eOutcome
     let completed = done.len();
 
     // Theorem 6: EAT over the full injected sequence; survivors are
-    // checked against their departure, non-survivors trivially pass
-    // (dep := arrival <= EAT + term always, since EAT >= arrival).
-    // Survivors are a subsequence of the injected order (drops only
-    // delete entries). Embed them back by matching from the *end*, so
-    // each survivor takes the latest admissible slot: among duplicate
-    // `(arrival, len)` entries with dropped siblings this yields the
-    // largest EAT, keeping the check conservative rather than strict.
+    // checked against their departure, non-survivors trivially pass.
     let full = sc.arrivals_for(&obs);
-    let mut triples: Vec<(SimTime, Bytes, SimTime)> =
-        full.iter().map(|&(arr, len)| (arr, len, arr)).collect();
-    let mut j = done.len();
-    for i in (0..full.len()).rev() {
-        if j == 0 {
-            break;
-        }
-        let (arr, len) = full[i];
-        let (_, a, l, dep) = done[j - 1];
-        if a == arr && l == len {
-            triples[i].2 = dep;
-            j -= 1;
-        }
-    }
-    // All survivors must have been matched against the injected script.
-    assert_eq!(j, 0, "transit not present in injected script");
+    let triples = embed_survivors(&full, &done);
 
     let term: SimDuration =
         betas.iter().fold(SimDuration::ZERO, |acc, &b| acc + b) + props_total(sc);
@@ -214,6 +193,41 @@ pub fn run_tandem_conformance(sc: &Scenario, with_observers: bool) -> E2eOutcome
         buffer_dropped,
         fingerprint,
     }
+}
+
+/// Embed a run's completed transits back into the full injected script,
+/// producing the `(arrival, len, departure)` triples
+/// [`analysis::max_e2e_violation`] consumes.
+///
+/// `done` must be the survivors sorted by `(arrival, uid)` — a
+/// subsequence of the injected order, since drops only delete entries.
+/// Non-survivors get `dep := arrival`, which trivially conforms
+/// (`EAT >= arrival`, so `arrival <= EAT + term` always). Survivors are
+/// matched from the *end*, so each takes the latest admissible slot:
+/// among duplicate `(arrival, len)` entries with dropped siblings this
+/// yields the largest EAT, keeping the check conservative rather than
+/// strict. Panics if a survivor cannot be matched against the script.
+pub fn embed_survivors(
+    full: &[(SimTime, Bytes)],
+    done: &[(u64, SimTime, Bytes, SimTime)],
+) -> Vec<(SimTime, Bytes, SimTime)> {
+    let mut triples: Vec<(SimTime, Bytes, SimTime)> =
+        full.iter().map(|&(arr, len)| (arr, len, arr)).collect();
+    let mut j = done.len();
+    for i in (0..full.len()).rev() {
+        if j == 0 {
+            break;
+        }
+        let (arr, len) = full[i];
+        let (_, a, l, dep) = done[j - 1];
+        if a == arr && l == len {
+            triples[i].2 = dep;
+            j -= 1;
+        }
+    }
+    // All survivors must have been matched against the injected script.
+    assert_eq!(j, 0, "transit not present in injected script");
+    triples
 }
 
 fn props_total(sc: &Scenario) -> SimDuration {

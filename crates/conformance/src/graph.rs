@@ -1,0 +1,452 @@
+//! Forwarding-graph conformance: the [`Preset::Graph`] runner.
+//!
+//! One scenario drives three proofs over the same `graph::GraphSpec`
+//! chain (ports shared by multi-hop cross flows, policers in front of
+//! a deterministic subset of them, droops, churn, caps):
+//!
+//! 1. **Theorems, live.** The oracle build (bare exact-rational `Sfq`
+//!    ports with `sfq_obs::FlowMetrics` attached) must satisfy
+//!    Theorem 6 along *every* flow's path — per-hop β recomputed with
+//!    the droop-faulted effective δ, survivors embedded back into the
+//!    injected script by the shared reverse-greedy rule
+//!    ([`crate::e2e::embed_survivors`]) — plus Corollary 1 for the
+//!    (σ, ρ)-shaped observed flow, and (under tail-drop, where
+//!    delivered-service fairness is not sacrificed by evictions)
+//!    Theorem 1 pairwise fairness at every port via the FlowMetrics
+//!    watermarks.
+//! 2. **Identity.** The same spec built on `EngineSync` ports vs
+//!    `EngineThreaded` ports (config derived from the seed) must be
+//!    departure- and refusal-identical: sink sequences, per-port
+//!    refusal orders, drop/eviction books, policer and churn counts.
+//!    The executor is fully ordered and both engine drivers share the
+//!    count-bounded pending rule, so any divergence is a driver bug.
+//! 3. **Books.** After every run the packet arena's disposition books
+//!    balance exactly — no slot leaks however packets died mid-graph.
+//!
+//! Every failure message ends with the scenario's replay line.
+
+use crate::e2e::embed_survivors;
+use crate::faults::{effective_delta_bits, hop_profile};
+use crate::scenario::{other_lmax_at, DropKind, Scenario, SourceKind, OBSERVED_FLOW};
+use crate::soak::drop_policy_of;
+use analysis::{e2e_delay_bound, max_e2e_violation, sfq_delay_term, sfq_fairness_bound};
+use des::SimRng;
+use graph::{Graph, GraphReport, GraphSpec, PortSpec, TokenBucket};
+use sfq_core::{FlowId, Scheduler, Sfq, TieBreak};
+use sfq_engine::EngineConfig;
+use sfq_obs::FlowMetrics;
+use simtime::{Bytes, SimDuration, SimTime};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Domain separator for the engine config drawn for the identity leg,
+/// so it never correlates with the scenario's own generation stream.
+const GRAPH_CFG_DOMAIN: u64 = 0x6A4F_0C49;
+
+/// Everything one graph conformance run produced.
+#[derive(Debug)]
+pub struct GraphOutcome {
+    /// Replay line reproducing the run.
+    pub replay: String,
+    /// Ports in the chain.
+    pub hops: usize,
+    /// Observed packets injected.
+    pub injected: usize,
+    /// Observed packets delivered end to end.
+    pub completed: usize,
+    /// Flows whose path was checked against Theorem 6.
+    pub checked_paths: usize,
+    /// Worst Theorem 6 violation across all paths (zero = conforms).
+    pub theorem6_violation: SimDuration,
+    /// Corollary 1 violation for the observed flow (zero = conforms).
+    pub corollary1_violation: SimDuration,
+    /// Corollary 1 closed-form bound.
+    pub corollary1_bound: SimDuration,
+    /// Largest observed end-to-end delay of the observed flow.
+    pub max_delay: SimDuration,
+    /// Packets killed by ingress policers (oracle run).
+    pub policer_dropped: u64,
+    /// Packets shed at port buffers (oracle run, switch books).
+    pub buffer_dropped: u64,
+    /// Packets discarded or refused by churn (oracle run).
+    pub churn_discarded: u64,
+}
+
+/// The per-flow injection node map: policed flows enter at their
+/// policer, everything else at its entry port.
+type InjectMap = BTreeMap<u32, usize>;
+
+/// Build the scenario's chain spec plus the injection map. Cross flows
+/// with even ids get a `(σ = 3·l^max, ρ = weight)` GCRA contract at a
+/// policer in front of their entry port — generous enough that CBR
+/// conforms, tight enough that Poisson bursts shed.
+fn chain_spec(sc: &Scenario, run_horizon: SimTime) -> (GraphSpec, InjectMap) {
+    let mut ports = Vec::with_capacity(sc.hops);
+    for h in 0..sc.hops {
+        let flows = sc
+            .flows
+            .iter()
+            .filter(|f| f.entry <= h && h <= f.exit)
+            .map(|f| (FlowId(f.id), f.weight()))
+            .collect();
+        let mut ps = PortSpec::new(hop_profile(sc, h, run_horizon), flows);
+        ps.per_flow_cap = sc.per_flow_cap;
+        ps.shared_cap = sc.shared_cap;
+        ps.policy = drop_policy_of(sc.drop_policy);
+        ports.push(ps);
+    }
+    let exits: Vec<(FlowId, usize)> = sc.flows.iter().map(|f| (FlowId(f.id), f.exit)).collect();
+    let mut spec = GraphSpec::chain(ports, &exits, sc.prop());
+
+    let mut inject: InjectMap = sc.flows.iter().map(|f| (f.id, f.entry)).collect();
+    let mut by_entry: BTreeMap<usize, Vec<(FlowId, TokenBucket)>> = BTreeMap::new();
+    for f in sc
+        .flows
+        .iter()
+        .filter(|f| f.id != OBSERVED_FLOW.0 && f.id % 2 == 0)
+    {
+        by_entry.entry(f.entry).or_default().push((
+            FlowId(f.id),
+            TokenBucket {
+                sigma: Bytes::new(3 * f.size.max_bytes()),
+                rho: f.weight(),
+            },
+        ));
+    }
+    for (entry, rules) in by_entry {
+        let node = spec.add_policer(entry, rules.clone());
+        for (flow, _) in rules {
+            inject.insert(flow.0, node);
+        }
+    }
+    (spec, inject)
+}
+
+/// Materialize and run the spec once. Sources are added in flow-spec
+/// order, so packet uids are identical across every build of the same
+/// scenario — the property the identity comparison rides on.
+fn run_once(
+    sc: &Scenario,
+    spec: &GraphSpec,
+    inject: &InjectMap,
+    mk: &mut dyn FnMut(usize) -> Box<dyn Scheduler>,
+    run_horizon: SimTime,
+) -> GraphReport {
+    let mut g = spec.build_with(mk);
+    for f in &sc.flows {
+        let arrivals = sc.arrivals_for(f);
+        g.add_source(inject[&f.id], FlowId(f.id), &arrivals);
+    }
+    for c in &sc.churns {
+        let path = sc.flow(FlowId(c.flow)).expect("churned flow has a spec");
+        for h in path.entry..=path.exit {
+            g.schedule_churn(h, FlowId(c.flow), SimTime::from_millis(c.at_ms as i128));
+        }
+    }
+    g.run(run_horizon)
+}
+
+/// Identity surface of one run: everything that must be bit-identical
+/// between the sync-oracle and threaded builds.
+#[derive(PartialEq, Eq, Debug)]
+struct Identity {
+    sink_departures: Vec<(usize, Vec<(u64, SimTime)>)>,
+    port_refusals: Vec<(usize, Vec<u64>)>,
+    port_drops: Vec<(usize, u64)>,
+    evicted: u64,
+    policer_dropped: u64,
+    churn_discarded: u64,
+    churn_refused: u64,
+}
+
+impl Identity {
+    fn of(r: &GraphReport) -> Identity {
+        Identity {
+            sink_departures: r
+                .sink_departures
+                .iter()
+                .map(|(n, d)| (*n, d.iter().map(|x| (x.uid, x.at)).collect()))
+                .collect(),
+            port_refusals: r.port_refusals.clone(),
+            port_drops: r.port_drops.clone(),
+            evicted: r.evicted,
+            policer_dropped: r.policer_dropped,
+            churn_discarded: r.churn_discarded,
+            churn_refused: r.churn_refused,
+        }
+    }
+}
+
+/// Run the full graph conformance check for a [`Preset::Graph`]
+/// scenario. `Err` carries a human-readable reason ending with the
+/// replay line.
+pub fn run_graph_conformance(sc: &Scenario) -> Result<GraphOutcome, String> {
+    let replay = sc.replay_line();
+    let fail = |msg: String| format!("{msg}\n  {replay}");
+    let run_horizon = sc.horizon() + SimDuration::from_secs(10);
+    let (spec, inject) = chain_spec(sc, run_horizon);
+
+    // --- Oracle run: bare Sfq ports with live FlowMetrics. ---
+    let mut metrics: Vec<Rc<RefCell<FlowMetrics>>> = Vec::new();
+    let report = run_once(
+        sc,
+        &spec,
+        &inject,
+        &mut |_ordinal| {
+            let m = Rc::new(RefCell::new(FlowMetrics::new()));
+            metrics.push(Rc::clone(&m));
+            Box::new(Sfq::with_observer(TieBreak::Fifo, m))
+        },
+        run_horizon,
+    );
+    assert_eq!(metrics.len(), sc.hops, "one metrics observer per port");
+
+    if !report.audit.balanced() {
+        return Err(fail(format!(
+            "oracle run arena books unbalanced: {:?}",
+            report.audit
+        )));
+    }
+    if report.unrouted != 0 {
+        return Err(fail(format!(
+            "{} packets had no route in a fully-wired chain",
+            report.unrouted
+        )));
+    }
+
+    // Per-hop effective δ under the droop schedule, shared by every
+    // flow's β terms.
+    let deltas: Vec<u64> = (0..sc.hops)
+        .map(|h| effective_delta_bits(sc, &hop_profile(sc, h, run_horizon), run_horizon))
+        .collect();
+    let link = sc.link();
+
+    // --- Theorem 6 along every flow's path. ---
+    let mut theorem6_violation = SimDuration::ZERO;
+    let mut checked_paths = 0usize;
+    let mut obs_done: Vec<(u64, SimTime, Bytes, SimTime)> = Vec::new();
+    let mut obs_injected = 0usize;
+    for f in &sc.flows {
+        let full = sc.arrivals_for(f);
+        // Delivered transits, by injection order. Departure = last-hop
+        // transmission completion (the wire into the exit classifier
+        // and sink is zero-delay).
+        let mut done: Vec<(u64, SimTime, Bytes, SimTime)> = report
+            .transits
+            .iter()
+            .filter(|t| t.pkt.flow == FlowId(f.id) && t.delivered.is_some())
+            .map(|t| {
+                let (_, dep) = *t.port_departures.last().expect("delivered => transmitted");
+                (t.pkt.uid, t.pkt.arrival, t.pkt.len, dep)
+            })
+            .collect();
+        done.sort_by_key(|&(uid, arr, _, _)| (arr, uid));
+        let betas: Vec<SimDuration> = (f.entry..=f.exit)
+            .map(|h| {
+                sfq_delay_term(
+                    &other_lmax_at(sc, h, FlowId(f.id)),
+                    f.max_len(),
+                    link,
+                    deltas[h],
+                )
+            })
+            .collect();
+        let term = betas.iter().fold(SimDuration::ZERO, |acc, &b| acc + b)
+            + SimDuration::from_millis((f.exit - f.entry) as i128 * sc.prop_ms as i128);
+        let triples = embed_survivors(&full, &done);
+        let v = max_e2e_violation(&triples, f.weight(), term);
+        if v > theorem6_violation {
+            theorem6_violation = v;
+        }
+        checked_paths += 1;
+        if f.id == OBSERVED_FLOW.0 {
+            obs_injected = full.len();
+            obs_done = done;
+        }
+    }
+    if theorem6_violation > SimDuration::ZERO {
+        return Err(fail(format!(
+            "Theorem 6 violated by {theorem6_violation:?} on a {}-hop graph path",
+            sc.hops
+        )));
+    }
+
+    // --- Corollary 1 for the shaped observed flow. ---
+    let obs = sc.observed();
+    let sigma_pkts = match obs.source {
+        SourceKind::ShapedPoisson { sigma_pkts } => sigma_pkts as u64,
+        _ => 1,
+    };
+    let obs_betas: Vec<SimDuration> = (0..sc.hops)
+        .map(|h| {
+            sfq_delay_term(
+                &other_lmax_at(sc, h, OBSERVED_FLOW),
+                obs.max_len(),
+                link,
+                deltas[h],
+            )
+        })
+        .collect();
+    let props = vec![sc.prop(); sc.hops.saturating_sub(1)];
+    let corollary1_bound = e2e_delay_bound(
+        sigma_pkts * obs.max_len().bits(),
+        obs.weight(),
+        obs.max_len(),
+        &obs_betas,
+        &props,
+    );
+    let mut max_delay = SimDuration::ZERO;
+    let mut corollary1_violation = SimDuration::ZERO;
+    for &(_, arr, _, dep) in &obs_done {
+        let delay = dep - arr;
+        max_delay = max_delay.max(delay);
+        if delay > corollary1_bound {
+            corollary1_violation = corollary1_violation.max(delay - corollary1_bound);
+        }
+    }
+    if corollary1_violation > SimDuration::ZERO {
+        return Err(fail(format!(
+            "Corollary 1 violated by {corollary1_violation:?} (bound {corollary1_bound:?})"
+        )));
+    }
+    if obs_done.is_empty() {
+        return Err(fail("no observed packets delivered end to end".into()));
+    }
+
+    // --- Theorem 1 fairness at every port, via the live FlowMetrics
+    // watermarks. Only under tail-drop: head-drop/LWP evictions keep
+    // the evicted spans charged to their flows, intentionally
+    // sacrificing delivered-service fairness (see docs/robustness.md).
+    if sc.drop_policy == DropKind::Tail {
+        for (h, m) in metrics.iter().enumerate() {
+            let m = m.borrow();
+            let at_hop: Vec<_> = sc
+                .flows
+                .iter()
+                .filter(|f| f.entry <= h && h <= f.exit)
+                .collect();
+            for (i, f) in at_hop.iter().enumerate() {
+                for g in &at_hop[i + 1..] {
+                    let Some(spread) = m.worst_spread_between(FlowId(f.id), FlowId(g.id)) else {
+                        continue;
+                    };
+                    let bound =
+                        sfq_fairness_bound(f.max_len(), f.weight(), g.max_len(), g.weight());
+                    if spread > bound {
+                        return Err(fail(format!(
+                            "Theorem 1 violated at port {h} between flows {} and {}: \
+                             spread {spread:?} > bound {bound:?}",
+                            f.id, g.id
+                        )));
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Identity: sync-engine build vs threaded build. ---
+    let mut rng = SimRng::new(sc.seed).fork(GRAPH_CFG_DOMAIN);
+    let shards = rng.uniform_range(2, 6) as usize;
+    let ring = rng.uniform_range(12, 49) as usize;
+    let cfg = EngineConfig::new(shards).ring_capacity(ring);
+    let sync_rep = run_once(
+        sc,
+        &spec,
+        &inject,
+        &mut |_| Box::new(sfq_engine::SyncEngine::new(cfg)),
+        run_horizon,
+    );
+    let thr_rep = run_once(
+        sc,
+        &spec,
+        &inject,
+        &mut |_| Box::new(sfq_engine::ThreadedEngine::new(cfg)),
+        run_horizon,
+    );
+    if !sync_rep.audit.balanced() || !thr_rep.audit.balanced() {
+        return Err(fail(format!(
+            "engine-port arena books unbalanced: sync {:?} threaded {:?}",
+            sync_rep.audit, thr_rep.audit
+        )));
+    }
+    let a = Identity::of(&sync_rep);
+    let b = Identity::of(&thr_rep);
+    if a != b {
+        let what = if a.sink_departures != b.sink_departures {
+            "sink departure sequences"
+        } else if a.port_refusals != b.port_refusals {
+            "port refusal sequences"
+        } else {
+            "drop/eviction/churn books"
+        };
+        return Err(fail(format!(
+            "threaded graph diverged from sync oracle in {what} \
+             (shards={shards} ring={ring})"
+        )));
+    }
+
+    let buffer_dropped: u64 = report.port_drops.iter().map(|&(_, n)| n).sum();
+    Ok(GraphOutcome {
+        replay,
+        hops: sc.hops,
+        injected: obs_injected,
+        completed: obs_done.len(),
+        checked_paths,
+        theorem6_violation,
+        corollary1_violation,
+        corollary1_bound,
+        max_delay,
+        policer_dropped: report.policer_dropped,
+        buffer_dropped,
+        churn_discarded: report.churn_discarded + report.churn_refused,
+    })
+}
+
+/// Build the scenario's spec and run it once on bare-Sfq ports,
+/// returning the raw report — the hook `tests/graph_pool.rs` and the
+/// nightly soak use for book-keeping checks without re-deriving the
+/// topology.
+pub fn run_graph_oracle(sc: &Scenario) -> GraphReport {
+    let run_horizon = sc.horizon() + SimDuration::from_secs(10);
+    let (spec, inject) = chain_spec(sc, run_horizon);
+    run_once(
+        sc,
+        &spec,
+        &inject,
+        &mut |_| Box::new(Sfq::new()),
+        run_horizon,
+    )
+}
+
+// Keep the `Graph` name reachable for doc links without an unused
+// import warning in the module body.
+#[allow(unused)]
+fn _doc_anchor(_: &Graph) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Preset;
+
+    #[test]
+    fn graph_preset_passes_all_checks() {
+        for seed in [1u64, 2, 3] {
+            let sc = Scenario::from_seed(Preset::Graph, seed);
+            let out = run_graph_conformance(&sc).unwrap_or_else(|e| panic!("{e}"));
+            assert!(out.completed > 0);
+            assert!(out.checked_paths >= 2, "observed + cross paths checked");
+            assert_eq!(out.theorem6_violation, SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn policers_actually_shed_nonconforming_cross_traffic() {
+        // Some seed in a small window must produce a policed Poisson
+        // cross flow that exceeds its bucket.
+        let shed: u64 = (0..12u64)
+            .map(|s| run_graph_oracle(&Scenario::from_seed(Preset::Graph, s)).policer_dropped)
+            .sum();
+        assert!(shed > 0, "no policer ever dropped across 12 seeds");
+    }
+}

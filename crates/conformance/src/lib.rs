@@ -26,7 +26,12 @@
 //! - [`pool`]: pooled-backend differential — churn-heavy workloads
 //!   replayed on the slab-pooled `FlowFifos` backend against the owned
 //!   oracle backend, requiring bit-identical departures for all four
-//!   schedulers.
+//!   schedulers,
+//! - [`graph`]: forwarding-graph conformance — a multi-port chain with
+//!   shared intermediate ports and ingress policers, checked for
+//!   Theorem 6 along every path, Corollary 1 for the shaped observed
+//!   flow, Theorem 1 fairness at every port, sync-vs-threaded port
+//!   identity, and exact packet-arena book balance.
 //!
 //! Every failure anywhere in the harness prints
 //! `conformance replay: preset=<p> seed=<s>`; feeding that line to
@@ -40,6 +45,7 @@ pub mod engine;
 pub mod exec;
 pub mod fast;
 pub mod faults;
+pub mod graph;
 pub mod pool;
 pub mod scenario;
 pub mod soak;
@@ -47,7 +53,7 @@ pub mod soak;
 pub use diff::{
     check_against_bound, diff_schedulers, first_divergence, BoundCheck, DiffReport, SchedKind,
 };
-pub use e2e::{run_tandem_conformance, E2eOutcome};
+pub use e2e::{embed_survivors, run_tandem_conformance, E2eOutcome};
 pub use engine::{run_engine_conformance, EngineOutcome};
 pub use exec::{
     faults_from, materialize_packets, register_flows, run_faulted, run_faulted_checked, ExecReport,
@@ -55,6 +61,7 @@ pub use exec::{
 };
 pub use fast::{run_fast_conformance, FastOutcome};
 pub use faults::{effective_delta_bits, hop_profile};
+pub use graph::{run_graph_conformance, run_graph_oracle, GraphOutcome};
 pub use pool::{run_pool_conformance, PoolOutcome};
 pub use scenario::{
     other_lmax_at, Churn, Droop, DropKind, FlowSpec, Preset, Scenario, ServerSpec, SizeDist,

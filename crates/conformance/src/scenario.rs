@@ -62,11 +62,23 @@ pub enum Preset {
     /// in departures is a bug in the slab pool, intrusive links, or
     /// generation-checked flow table (see [`crate::pool`]).
     Pool,
+    /// Multi-port forwarding graph: a chain of 2–5 scheduler ports
+    /// with *shared* intermediate ports — unlike [`Preset::Tandem`],
+    /// whose cross traffic is hop-local, cross flows here span
+    /// multi-hop sub-paths, so intermediate ports see genuine fan-in
+    /// from flows that entered at different ingress points. The graph
+    /// runner builds the scenario as a `graph::GraphSpec::chain`,
+    /// polices a deterministic subset of cross flows, checks Theorem 6
+    /// along every flow's path plus Corollary 1 for the shaped
+    /// observed flow, proves the threaded-port build identical to the
+    /// sync-oracle build, and audits the packet-arena books (see
+    /// [`crate::graph`]).
+    Graph,
 }
 
 impl Preset {
     /// Every preset, for fuzz drivers.
-    pub const ALL: [Preset; 8] = [
+    pub const ALL: [Preset; 9] = [
         Preset::SingleFc,
         Preset::SingleEbf,
         Preset::Tandem,
@@ -75,6 +87,7 @@ impl Preset {
         Preset::Engine,
         Preset::Fast,
         Preset::Pool,
+        Preset::Graph,
     ];
 
     /// Stable name used in replay lines.
@@ -88,6 +101,7 @@ impl Preset {
             Preset::Engine => "engine",
             Preset::Fast => "fast",
             Preset::Pool => "pool",
+            Preset::Graph => "graph",
         }
     }
 
@@ -298,6 +312,7 @@ impl Scenario {
             Preset::Engine => gen_engine(seed, &mut rng),
             Preset::Fast => gen_fast(seed, &mut rng),
             Preset::Pool => gen_pool(seed, &mut rng),
+            Preset::Graph => gen_graph(seed, &mut rng),
         }
     }
 
@@ -957,6 +972,134 @@ fn gen_pool(seed: u64, rng: &mut SimRng) -> Scenario {
     }
 }
 
+fn gen_graph(seed: u64, rng: &mut SimRng) -> Scenario {
+    // Forwarding-graph chain: like tandem, the observed flow crosses
+    // every hop (σ, ρ)-shaped — but the cross traffic spans random
+    // multi-hop sub-paths `entry..=exit`, so intermediate ports carry
+    // flows that entered the graph at different ingress points (real
+    // fan-in), and the full drop-policy spectrum plus an optional
+    // shared cap is in play. Admission stays ≤ 90% of C on every hop a
+    // flow crosses, so the Theorem 6 / Corollary 1 bounds remain
+    // theorems along every path.
+    let hops = rng.uniform_range(2, 6) as usize;
+    let link_bps = 1_000_000u64;
+    let prop_ms = rng.uniform_range(1, 5);
+    let horizon_ms = rng.uniform_range(3, 8) * 1_000;
+    let delta_bits = rng.uniform_range(0, 4) * 4_000;
+    let server = if delta_bits == 0 {
+        ServerSpec::Constant
+    } else {
+        ServerSpec::Fc { delta_bits }
+    };
+
+    let mut flows = Vec::new();
+    let rho = 1_000 * rng.uniform_range(32, 97);
+    let obs_len = 50 * rng.uniform_range(2, 9);
+    flows.push(FlowSpec {
+        id: OBSERVED_FLOW.0,
+        weight_bps: rho,
+        size: SizeDist::Fixed(obs_len),
+        source: SourceKind::ShapedPoisson {
+            sigma_pkts: rng.uniform_range(1, 6) as u32,
+        },
+        start_ms: 0,
+        entry: 0,
+        exit: hops - 1,
+    });
+    // Cross flows on multi-hop sub-paths; per-hop budget tracked so
+    // admission holds on every hop a flow crosses.
+    let cap = link_bps * 9 / 10;
+    let mut used = vec![rho; hops];
+    for i in 0..rng.uniform_range(5, 10) {
+        let entry = rng.uniform_range(0, hops as u64) as usize;
+        let exit = rng.uniform_range(entry as u64, hops as u64) as usize;
+        let headroom = (entry..=exit)
+            .map(|h| cap.saturating_sub(used[h]))
+            .min()
+            .expect("non-empty path");
+        if headroom < 25_000 {
+            continue;
+        }
+        let w = (headroom * rng.uniform_range(25, 76) / 100).max(10_000);
+        for u in &mut used[entry..=exit] {
+            *u += w;
+        }
+        flows.push(FlowSpec {
+            id: 100 + i as u32,
+            weight_bps: w,
+            size: pick_size(rng, 500),
+            source: if rng.uniform() < 0.5 {
+                SourceKind::Cbr
+            } else {
+                SourceKind::Poisson
+            },
+            start_ms: rng.uniform_range(0, 20),
+            entry,
+            exit,
+        });
+    }
+
+    // Faults: droops (folded into the per-hop effective δ by the
+    // checker), cross-only churn, caps, and a randomized drop policy.
+    let mut droops = Vec::new();
+    for _ in 0..rng.uniform_range(0, 3) {
+        droops.push(Droop {
+            hop: rng.uniform_range(0, hops as u64) as usize,
+            at_ms: rng.uniform_range(horizon_ms / 4, horizon_ms / 2),
+            dur_ms: rng.uniform_range(100, 401),
+            percent: rng.uniform_range(40, 91) as u32,
+        });
+    }
+    let cross_ids: Vec<u32> = flows.iter().skip(1).map(|f| f.id).collect();
+    let mut churns = Vec::new();
+    for _ in 0..rng.uniform_range(0, 3) {
+        if cross_ids.is_empty() {
+            break;
+        }
+        let victim = cross_ids[rng.uniform_range(0, cross_ids.len() as u64) as usize];
+        if churns.iter().any(|c: &Churn| c.flow == victim) {
+            continue;
+        }
+        churns.push(Churn {
+            flow: victim,
+            at_ms: rng.uniform_range(horizon_ms / 3, 2 * horizon_ms / 3),
+            revive_ms: None,
+        });
+    }
+    let per_flow_cap = if rng.uniform() < 0.5 {
+        None
+    } else {
+        Some(rng.uniform_range(4, 25) as usize)
+    };
+    let shared_cap = if rng.uniform() < 0.33 {
+        Some(rng.uniform_range(24, 61) as usize)
+    } else {
+        None
+    };
+    let drop_policy = match rng.uniform_range(0, 3) {
+        0 => DropKind::Tail,
+        1 => DropKind::Head,
+        _ => DropKind::Lwp,
+    };
+
+    Scenario {
+        preset: Preset::Graph,
+        seed,
+        link_bps,
+        server,
+        hops,
+        prop_ms,
+        horizon_ms,
+        per_flow_cap,
+        shared_cap,
+        drop_policy,
+        recovery_at_ms: None,
+        flows,
+        droops,
+        churns,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1010,23 +1153,37 @@ mod tests {
 
     #[test]
     fn tandem_admission_holds_per_hop() {
-        for seed in 0..40u64 {
-            let sc = Scenario::from_seed(Preset::Tandem, seed);
-            for h in 0..sc.hops {
-                let total: u64 = sc
-                    .flows
-                    .iter()
-                    .filter(|f| f.entry <= h && h <= f.exit)
-                    .map(|f| f.weight_bps)
-                    .sum();
-                assert!(
-                    total <= sc.link_bps,
-                    "seed {seed} hop {h}: Σr = {total} > C = {}",
-                    sc.link_bps
-                );
+        for preset in [Preset::Tandem, Preset::Graph] {
+            for seed in 0..40u64 {
+                let sc = Scenario::from_seed(preset, seed);
+                for h in 0..sc.hops {
+                    let total: u64 = sc
+                        .flows
+                        .iter()
+                        .filter(|f| f.entry <= h && h <= f.exit)
+                        .map(|f| f.weight_bps)
+                        .sum();
+                    assert!(
+                        total <= sc.link_bps,
+                        "{preset:?} seed {seed} hop {h}: Σr = {total} > C = {}",
+                        sc.link_bps
+                    );
+                }
+                // Churn never targets the observed flow.
+                assert!(sc.churns.iter().all(|c| c.flow != OBSERVED_FLOW.0));
             }
-            // Churn never targets the observed flow.
-            assert!(sc.churns.iter().all(|c| c.flow != OBSERVED_FLOW.0));
         }
+    }
+
+    #[test]
+    fn graph_cross_flows_share_intermediate_ports() {
+        // The preset's reason to exist: some seed must produce a cross
+        // flow spanning more than one hop (tandem never does).
+        let mut multi_hop_cross = 0usize;
+        for seed in 0..40u64 {
+            let sc = Scenario::from_seed(Preset::Graph, seed);
+            multi_hop_cross += sc.flows.iter().skip(1).filter(|f| f.exit > f.entry).count();
+        }
+        assert!(multi_hop_cross > 0, "no multi-hop cross flow in 40 seeds");
     }
 }

@@ -195,7 +195,7 @@ pub fn run_soak(sc: &Scenario) -> SoakOutcome {
         while next_fault < faults.len() && faults[next_fault].at == now {
             match faults[next_fault].action {
                 FaultAction::ForceRemove(flow) => {
-                    discarded += sw.force_remove_flow(flow) as u64;
+                    discarded += sw.force_remove_flow(now, flow) as u64;
                     removed.insert(flow);
                 }
                 FaultAction::Revive(flow, weight) => {

@@ -1,0 +1,211 @@
+//! Scheduler port node: a [`SwitchCore`] (buffer caps, drop policies,
+//! backpressure, busy-link transmission model) wrapped so pooled
+//! handles flow through it without copying packet payloads per hop.
+//!
+//! The port keeps a uid → handle side table for packets the switch has
+//! admitted: the switch queues `Packet` values (they are small and
+//! `Copy`), while the slot stays allocated until the packet's fate is
+//! known. Three exits per admitted packet:
+//!
+//! - **transmission start** — the handle is removed from the table and
+//!   travels inside the executor's transmission-done event;
+//! - **eviction** — HeadDrop/pressure policies drop a *previously
+//!   admitted* packet; the switch reports it through its drop
+//!   observer, and the port frees the matching slot;
+//! - **churn** — `force_remove` discards the flow's whole backlog; the
+//!   port frees every remaining slot of that flow.
+//!
+//! A refused arrival never enters the table: its slot is freed on the
+//! spot and the uid recorded in the port's refusal sequence, which is
+//! part of the oracle-vs-threaded identity surface.
+
+use crate::arena::PktArena;
+use crate::node::{GraphNode, OutPort};
+use netsim::{DropPolicy, SwitchCore};
+use servers::RateProfile;
+use sfq_core::obs::{SchedEvent, SchedObserver};
+use sfq_core::{FlowId, PktRef, SchedError, Scheduler};
+use simtime::{Rate, SimTime};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Drop-observer sink capturing the uids the switch sheds (refusals
+/// *and* evictions both fire it), so the port can free the matching
+/// slots.
+#[derive(Default)]
+struct ShedLog {
+    uids: Vec<u64>,
+}
+
+impl SchedObserver for ShedLog {
+    fn on_drop(&mut self, ev: &SchedEvent) {
+        self.uids.push(ev.uid);
+    }
+}
+
+/// A scheduler port of the forwarding graph. See the module docs.
+pub struct PortNode {
+    core: SwitchCore,
+    inflight: HashMap<u64, (FlowId, PktRef)>,
+    shed: Rc<RefCell<ShedLog>>,
+    refused: Vec<u64>,
+    evicted: u64,
+}
+
+impl PortNode {
+    /// Port scheduling with `sched` over `link`, with the switch caps
+    /// and drop policy from PR 4.
+    pub fn new(
+        sched: Box<dyn Scheduler>,
+        link: RateProfile,
+        per_flow_cap: Option<usize>,
+        shared_cap: Option<usize>,
+        policy: DropPolicy,
+    ) -> Self {
+        let mut core = SwitchCore::new(sched, link, per_flow_cap);
+        core.set_shared_cap(shared_cap);
+        core.set_drop_policy(policy);
+        let shed = Rc::new(RefCell::new(ShedLog::default()));
+        core.set_drop_observer(Box::new(Rc::clone(&shed)));
+        PortNode {
+            core,
+            inflight: HashMap::new(),
+            shed,
+            refused: Vec::new(),
+            evicted: 0,
+        }
+    }
+
+    /// Register a scheduled flow.
+    pub fn add_flow(&mut self, flow: FlowId, weight: Rate) {
+        self.core.add_flow(flow, weight);
+    }
+
+    /// Offer one handle: re-stamp its arrival to `now` (each hop is a
+    /// fresh arrival, Eq. 4's `A(p)` is per-server), admit through the
+    /// switch caps, and settle slot fates for anything shed.
+    fn offer(&mut self, now: SimTime, arena: &mut PktArena, h: PktRef) {
+        let pkt = {
+            let p = arena.get_mut(h);
+            p.arrival = now;
+            *p
+        };
+        match self.core.try_offer(now, pkt) {
+            Ok(()) => {
+                self.inflight.insert(pkt.uid, (pkt.flow, h));
+            }
+            Err(SchedError::BufferFull(_)) => {
+                self.refused.push(pkt.uid);
+                arena.free(h);
+            }
+            Err(e) => panic!("graph port admission: {e}"),
+        }
+        // The switch reported every shed uid (refusal or eviction)
+        // through the drop observer; evicted uids were previously
+        // admitted, so their slots are in the side table.
+        let shed: Vec<u64> = self.shed.borrow_mut().uids.drain(..).collect();
+        for uid in shed {
+            if uid == pkt.uid {
+                continue; // the refusal settled above
+            }
+            if let Some((_, eh)) = self.inflight.remove(&uid) {
+                arena.free(eh);
+                self.evicted += 1;
+            }
+        }
+    }
+
+    /// Start transmitting if the link is free and a packet is queued:
+    /// returns the packet, its handle (removed from the side table),
+    /// and the completion time.
+    pub fn try_start(&mut self, now: SimTime) -> Option<(sfq_core::Packet, PktRef, SimTime)> {
+        let (pkt, done) = self.core.try_start(now)?;
+        let (_, h) = self
+            .inflight
+            .remove(&pkt.uid)
+            .expect("transmitting packet missing from the port side table");
+        Some((pkt, h, done))
+    }
+
+    /// Transmission-done: advances the switch (departure bookkeeping,
+    /// backpressure release).
+    pub fn complete(&mut self, now: SimTime) {
+        self.core.complete(now);
+    }
+
+    /// Churn fault: discard the flow's queued backlog, free the
+    /// matching slots, and unregister the flow. Returns the number of
+    /// packets discarded.
+    pub fn force_remove(&mut self, now: SimTime, arena: &mut PktArena, flow: FlowId) -> usize {
+        let dropped = self.core.force_remove_flow(now, flow);
+        let mut uids: Vec<u64> = self
+            .inflight
+            .iter()
+            .filter(|(_, (f, _))| *f == flow)
+            .map(|(uid, _)| *uid)
+            .collect();
+        uids.sort_unstable();
+        debug_assert_eq!(
+            uids.len(),
+            dropped,
+            "side table out of sync with the scheduler backlog"
+        );
+        for uid in uids {
+            let (_, h) = self.inflight.remove(&uid).expect("uid listed above");
+            arena.free(h);
+        }
+        dropped
+    }
+
+    /// Uids refused at admission, in arrival order (identity surface).
+    pub fn refusals(&self) -> &[u64] {
+        &self.refused
+    }
+
+    /// Previously admitted packets evicted by a drop policy.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Total shed packets (refusals + evictions) for `flow` per the
+    /// switch's own books.
+    pub fn drops(&self, flow: FlowId) -> u64 {
+        self.core.drops(flow)
+    }
+
+    /// Total shed packets across all flows per the switch books.
+    pub fn drops_total(&self) -> u64 {
+        self.core.all_drops().map(|(_, n)| n).sum()
+    }
+
+    /// Packets queued in the scheduled class.
+    pub fn queued(&self) -> usize {
+        self.core.queued()
+    }
+
+    /// The underlying discipline's name.
+    pub fn discipline(&self) -> &'static str {
+        self.core.discipline()
+    }
+}
+
+impl GraphNode for PortNode {
+    /// Admission only: a port emits nothing synchronously — its output
+    /// leaves via the executor's timed transmission-done events.
+    fn dispatch(
+        &mut self,
+        now: SimTime,
+        arena: &mut PktArena,
+        pkts: &[PktRef],
+        _out: &mut Vec<(OutPort, PktRef)>,
+    ) {
+        for &h in pkts {
+            self.offer(now, arena, h);
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        "port"
+    }
+}

@@ -1,0 +1,330 @@
+//! Topology builders and the traffic-matrix DSL.
+//!
+//! A [`GraphSpec`] is a declarative node/wire description that can be
+//! *built twice* — once with sync-oracle ports, once with threaded
+//! ports — which is what makes the departure/refusal identity argument
+//! checkable: both graphs see byte-identical topologies and scripts,
+//! so any divergence is a scheduler-driver bug, not a wiring artifact.
+//!
+//! Three canonical shapes cover the scenario classes the paper only
+//! gestures at:
+//!
+//! - [`GraphSpec::incast`] — N ingress classifiers fanning into one
+//!   scheduler port (the asymmetric fan-in incast scenario);
+//! - [`GraphSpec::matrix`] — N ingress classifiers routing a flow →
+//!   egress-port traffic matrix over M ports, one sink each;
+//! - [`GraphSpec::chain`] — K ports in sequence with per-flow
+//!   entry/exit hops, an exit classifier after every port, and
+//!   propagation delay between hops: the Tandem topology generalized
+//!   to shared intermediate ports with genuine fan-in.
+
+use crate::exec::{Edge, Graph, NodeKind};
+use crate::nodes::{Classifier, Policer, TokenBucket, TxSink};
+use crate::port::PortNode;
+use netsim::DropPolicy;
+use servers::RateProfile;
+use sfq_core::{FlowId, Scheduler, Sfq, SfqFast};
+use sfq_engine::{EngineConfig, SyncEngine, ThreadedEngine};
+use simtime::{Rate, SimDuration};
+
+/// Which scheduler runs inside every port of a built graph.
+#[derive(Clone, Copy, Debug)]
+pub enum PortKind {
+    /// Bare exact-rational [`Sfq`].
+    Sfq,
+    /// Bare fixed-point [`SfqFast`].
+    SfqFast,
+    /// Sharded single-threaded [`SyncEngine`] (the oracle driver).
+    EngineSync(EngineConfig),
+    /// Sharded multi-threaded [`ThreadedEngine`].
+    EngineThreaded(EngineConfig),
+}
+
+impl PortKind {
+    fn build(self) -> Box<dyn Scheduler> {
+        match self {
+            PortKind::Sfq => Box::new(Sfq::new()),
+            PortKind::SfqFast => Box::new(SfqFast::new()),
+            PortKind::EngineSync(cfg) => Box::new(SyncEngine::new(cfg)),
+            PortKind::EngineThreaded(cfg) => Box::new(ThreadedEngine::new(cfg)),
+        }
+    }
+}
+
+/// One scheduler port's declarative configuration.
+#[derive(Clone, Debug)]
+pub struct PortSpec {
+    /// Output link rate profile.
+    pub link: RateProfile,
+    /// Per-flow buffer cap (`None` = unbounded).
+    pub per_flow_cap: Option<usize>,
+    /// Shared buffer cap across the scheduled class.
+    pub shared_cap: Option<usize>,
+    /// Overflow response.
+    pub policy: DropPolicy,
+    /// Scheduled flows and their weights.
+    pub flows: Vec<(FlowId, Rate)>,
+}
+
+impl PortSpec {
+    /// Uncapped tail-drop port over `link` scheduling `flows`.
+    pub fn new(link: RateProfile, flows: Vec<(FlowId, Rate)>) -> Self {
+        PortSpec {
+            link,
+            per_flow_cap: None,
+            shared_cap: None,
+            policy: DropPolicy::TailDrop,
+            flows,
+        }
+    }
+}
+
+/// A node in declarative form.
+#[derive(Clone, Debug)]
+pub enum NodeSpec {
+    /// Classifier: explicit `(flow, out-port)` routes plus an optional
+    /// default out-port.
+    Classify {
+        /// Explicit per-flow routes.
+        routes: Vec<(FlowId, usize)>,
+        /// Fallback out-port for unlisted flows.
+        default: Option<usize>,
+    },
+    /// Ingress policer with per-flow token-bucket contracts.
+    Police(Vec<(FlowId, TokenBucket)>),
+    /// Scheduler port.
+    Port(PortSpec),
+    /// Terminal transmit sink.
+    Sink,
+}
+
+/// Declarative graph: nodes plus `wires[n][p]` = node `n`'s out-port
+/// `p`. Build into an executable [`Graph`] with [`GraphSpec::build`].
+#[derive(Clone, Debug)]
+pub struct GraphSpec {
+    /// The nodes, index == node id.
+    pub nodes: Vec<NodeSpec>,
+    /// Out-port wire table, outer index == node id.
+    pub wires: Vec<Vec<Edge>>,
+}
+
+impl GraphSpec {
+    /// Node indices of every port, in node order.
+    pub fn ports(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n, NodeSpec::Port(_)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Node indices of every sink, in node order.
+    pub fn sinks(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n, NodeSpec::Sink))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Materialize the spec with every port running `kind`.
+    pub fn build(&self, kind: PortKind) -> Graph {
+        self.build_with(&mut |_ordinal| kind.build())
+    }
+
+    /// Materialize over a caller-configured arena (e.g. slot-capped via
+    /// [`crate::PktArena::with_limit`]), every port running `kind`.
+    pub fn build_pooled(&self, kind: PortKind, arena: crate::PktArena) -> Graph {
+        let nodes = self.make_nodes(&mut |_ordinal| kind.build());
+        Graph::with_arena(nodes, self.wires.clone(), arena)
+    }
+
+    /// Materialize with a custom scheduler per port: `mk` receives the
+    /// port's ordinal (0-based, in node order) — the hook the
+    /// conformance layer uses to attach observers.
+    pub fn build_with(&self, mk: &mut dyn FnMut(usize) -> Box<dyn Scheduler>) -> Graph {
+        let nodes = self.make_nodes(mk);
+        // Sinks get a placeholder lane here; `Graph::with_arena`
+        // re-points them at the graph arena's lane.
+        Graph::new(nodes, self.wires.clone())
+    }
+
+    fn make_nodes(&self, mk: &mut dyn FnMut(usize) -> Box<dyn Scheduler>) -> Vec<NodeKind> {
+        let mut ordinal = 0usize;
+        self.nodes
+            .iter()
+            .map(|spec| match spec {
+                NodeSpec::Classify { routes, default } => {
+                    let mut c = Classifier::new();
+                    for &(flow, port) in routes {
+                        c.route(flow, port);
+                    }
+                    if let Some(p) = default {
+                        c.set_default(*p);
+                    }
+                    NodeKind::Classify(c)
+                }
+                NodeSpec::Police(rules) => {
+                    let mut p = Policer::new();
+                    for &(flow, tb) in rules {
+                        p.contract(flow, tb);
+                    }
+                    NodeKind::Police(p)
+                }
+                NodeSpec::Port(ps) => {
+                    let sched = mk(ordinal);
+                    ordinal += 1;
+                    let mut port = PortNode::new(
+                        sched,
+                        ps.link.clone(),
+                        ps.per_flow_cap,
+                        ps.shared_cap,
+                        ps.policy,
+                    );
+                    for &(flow, weight) in &ps.flows {
+                        port.add_flow(flow, weight);
+                    }
+                    NodeKind::Port(Box::new(port))
+                }
+                NodeSpec::Sink => NodeKind::Sink(TxSink::new(std::sync::Arc::new(
+                    sfq_core::ReturnQueue::new(),
+                ))),
+            })
+            .collect()
+    }
+
+    /// Incast fan-in: `fan_in` ingress classifiers all routing into one
+    /// scheduler `port`, which transmits into a single sink. Layout:
+    /// nodes `0..fan_in` are the ingress classifiers (inject here),
+    /// `fan_in` is the port, `fan_in + 1` the sink.
+    pub fn incast(fan_in: usize, port: PortSpec) -> GraphSpec {
+        assert!(fan_in >= 1);
+        let port_node = fan_in;
+        let sink_node = fan_in + 1;
+        let mut nodes = Vec::with_capacity(fan_in + 2);
+        let mut wires = Vec::with_capacity(fan_in + 2);
+        for _ in 0..fan_in {
+            nodes.push(NodeSpec::Classify {
+                routes: Vec::new(),
+                default: Some(0),
+            });
+            wires.push(vec![Edge {
+                to: port_node,
+                prop: SimDuration::ZERO,
+            }]);
+        }
+        nodes.push(NodeSpec::Port(port));
+        wires.push(vec![Edge {
+            to: sink_node,
+            prop: SimDuration::ZERO,
+        }]);
+        nodes.push(NodeSpec::Sink);
+        wires.push(Vec::new());
+        GraphSpec { nodes, wires }
+    }
+
+    /// Port-to-port traffic matrix: `ingresses` classifiers route each
+    /// flow to its egress port per `routes` (`(flow, egress ordinal)`),
+    /// over `ports.len()` scheduler ports with one sink each. Layout:
+    /// nodes `0..ingresses` are classifiers (inject here), then port
+    /// `j` at `ingresses + j`, then sink `j` at
+    /// `ingresses + ports.len() + j`.
+    pub fn matrix(
+        ingresses: usize,
+        ports: Vec<PortSpec>,
+        routes: Vec<(FlowId, usize)>,
+    ) -> GraphSpec {
+        assert!(ingresses >= 1 && !ports.is_empty());
+        let m = ports.len();
+        let port_base = ingresses;
+        let sink_base = ingresses + m;
+        let mut nodes = Vec::new();
+        let mut wires = Vec::new();
+        for _ in 0..ingresses {
+            nodes.push(NodeSpec::Classify {
+                routes: routes.clone(),
+                default: None,
+            });
+            // Classifier out-port j wires to egress port j.
+            wires.push(
+                (0..m)
+                    .map(|j| Edge {
+                        to: port_base + j,
+                        prop: SimDuration::ZERO,
+                    })
+                    .collect(),
+            );
+        }
+        for (j, ps) in ports.into_iter().enumerate() {
+            nodes.push(NodeSpec::Port(ps));
+            wires.push(vec![Edge {
+                to: sink_base + j,
+                prop: SimDuration::ZERO,
+            }]);
+        }
+        for _ in 0..m {
+            nodes.push(NodeSpec::Sink);
+            wires.push(Vec::new());
+        }
+        GraphSpec { nodes, wires }
+    }
+
+    /// Multi-hop chain with shared intermediate ports: port `h` at node
+    /// `h`, exit classifier `E_h` at node `hops + h`, one shared sink
+    /// at node `2·hops`. `P_h → E_h` is a zero-delay wire; `E_h` routes
+    /// each flow to the sink (out-port 0) if `exits[flow] == h`, else
+    /// onward to `P_{h+1}` (out-port 1) across a `prop`-delay wire.
+    /// Inject a flow at its entry port's node index (or at a policer
+    /// added with [`GraphSpec::add_policer`]).
+    pub fn chain(hops: Vec<PortSpec>, exits: &[(FlowId, usize)], prop: SimDuration) -> GraphSpec {
+        let k = hops.len();
+        assert!(k >= 1);
+        let sink_node = 2 * k;
+        let mut nodes = Vec::with_capacity(2 * k + 1);
+        let mut wires = Vec::with_capacity(2 * k + 1);
+        for (h, ps) in hops.into_iter().enumerate() {
+            nodes.push(NodeSpec::Port(ps));
+            wires.push(vec![Edge {
+                to: k + h,
+                prop: SimDuration::ZERO,
+            }]);
+        }
+        for h in 0..k {
+            let routes = exits
+                .iter()
+                .map(|&(flow, exit)| (flow, if exit == h { 0 } else { 1 }))
+                .collect();
+            nodes.push(NodeSpec::Classify {
+                routes,
+                default: None,
+            });
+            let mut w = vec![Edge {
+                to: sink_node,
+                prop: SimDuration::ZERO,
+            }];
+            if h + 1 < k {
+                w.push(Edge { to: h + 1, prop });
+            }
+            wires.push(w);
+        }
+        nodes.push(NodeSpec::Sink);
+        wires.push(Vec::new());
+        GraphSpec { nodes, wires }
+    }
+
+    /// Append an ingress [`Policer`](crate::Policer) node wired into
+    /// `target` with zero delay, returning the new node's index.
+    /// Sources whose flows are under contract inject at the returned
+    /// node instead of at `target`.
+    pub fn add_policer(&mut self, target: usize, rules: Vec<(FlowId, TokenBucket)>) -> usize {
+        let idx = self.nodes.len();
+        self.nodes.push(NodeSpec::Police(rules));
+        self.wires.push(vec![Edge {
+            to: target,
+            prop: SimDuration::ZERO,
+        }]);
+        idx
+    }
+}

@@ -27,7 +27,7 @@ mod switch;
 mod tandem;
 mod tcp;
 
-pub use engine_port::engine_port;
+pub use engine_port::{engine_port, threaded_engine_port};
 pub use mesh::{LinkId, Mesh, MeshDelivery};
 pub use net::{Delivery, Net};
 pub use switch::{DropPolicy, SwitchCore};

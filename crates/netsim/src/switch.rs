@@ -112,14 +112,17 @@ impl SwitchCore {
     /// Force-remove a scheduled flow mid-backlog (the churn fault):
     /// delegates to [`Scheduler::force_remove_flow`], returning the
     /// number of queued packets discarded (0 if the discipline does
-    /// not support removal). Any backpressure on the flow is released.
-    pub fn force_remove_flow(&mut self, flow: FlowId) -> usize {
+    /// not support removal). Any backpressure on the flow is released,
+    /// stamped at `now` — fan-in surfaced that the old zero-argument
+    /// form stamped these observer events at `SimTime::ZERO`, making
+    /// multi-port backpressure timelines regress mid-run.
+    pub fn force_remove_flow(&mut self, now: SimTime, flow: FlowId) -> usize {
         let dropped = self.sched.force_remove_flow(flow);
         self.weights.remove(flow);
-        self.release_drained(SimTime::ZERO);
+        self.release_drained(now);
         if self.engaged.remove(flow).is_some() {
             if let Some(obs) = &mut self.drop_obs {
-                obs.on_backpressure(SimTime::ZERO, flow, Backpressure::Release);
+                obs.on_backpressure(now, flow, Backpressure::Release);
             }
         }
         dropped
@@ -173,7 +176,18 @@ impl SwitchCore {
                 }
             }
         }
-        self.sched.try_enqueue(now, pkt)
+        match self.sched.try_enqueue(now, pkt) {
+            // A scheduler-level refusal (e.g. an engine ingress ring at
+            // capacity) is a shed packet like any other: it must hit
+            // the drop counters and the drop observer, not silently
+            // propagate. Surfaced by incast fan-in onto engine ports,
+            // where the ring cap trips before the switch caps do.
+            Err(SchedError::BufferFull(_)) => {
+                self.engage(now, pkt.flow);
+                self.refuse(now, pkt)
+            }
+            other => other,
+        }
     }
 
     /// The flow whose backlog is largest relative to its weight
@@ -621,7 +635,7 @@ mod backpressure_tests {
         let t0 = SimTime::ZERO;
         assert!(sw.offer(t0, pf.make(FlowId(1), Bytes::new(125), t0)));
         assert!(!sw.offer(t0, pf.make(FlowId(1), Bytes::new(125), t0)));
-        assert_eq!(sw.force_remove_flow(FlowId(1)), 1);
+        assert_eq!(sw.force_remove_flow(t0, FlowId(1)), 1);
         assert_eq!(
             log.borrow().events,
             vec![(1, Backpressure::Engage), (1, Backpressure::Release)]

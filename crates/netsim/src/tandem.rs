@@ -222,7 +222,7 @@ impl Tandem {
                 self.kick(now, hop);
             }
             Ev::Churn(hop, flow) => {
-                self.churn_discarded += self.hops[hop].force_remove_flow(flow) as u64;
+                self.churn_discarded += self.hops[hop].force_remove_flow(now, flow) as u64;
                 self.removed.insert((hop, flow));
             }
         }

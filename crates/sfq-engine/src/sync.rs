@@ -309,6 +309,30 @@ impl<S: Scheduler> Scheduler for SyncEngine<S> {
         self.shards[s].sched.backlog(flow)
     }
 
+    /// Discard `flow`'s scheduler-resident backlog, unregister it from
+    /// its home shard, and subtract its rate from the root arbiter's
+    /// aggregate for that shard. Ring-resident packets are not touched;
+    /// under `Scheduler` usage the eager `try_enqueue` pump keeps rings
+    /// empty, so the returned count is exact there (the graph/switch
+    /// churn path relies on this).
+    fn force_remove_flow(&mut self, flow: FlowId) -> usize {
+        let s = shard_of(flow, self.shards.len());
+        let dropped = self.shards[s].sched.force_remove_flow(flow);
+        if let Some(old) = self.weights.remove(flow) {
+            self.root.reweigh(s, old.as_bps(), 0);
+        }
+        dropped
+    }
+
+    /// Evict the oldest scheduler-resident packet of `flow` from its
+    /// home shard (the HeadDrop/pressure eviction hook). Ring residue
+    /// is never evicted — same eager-pump caveat as
+    /// [`Scheduler::backlog`] above.
+    fn drop_head(&mut self, flow: FlowId) -> Option<Packet> {
+        let s = shard_of(flow, self.shards.len());
+        self.shards[s].sched.drop_head(flow)
+    }
+
     fn name(&self) -> &'static str {
         "SFQ-ENGINE"
     }

@@ -45,12 +45,36 @@ use std::thread::JoinHandle;
 
 enum Cmd {
     AddFlow(FlowId, Rate),
-    Pump { upto: u64, now: SimTime },
-    Drain { upto: u64, now: SimTime, max: usize },
+    Pump {
+        upto: u64,
+        now: SimTime,
+    },
+    Drain {
+        upto: u64,
+        now: SimTime,
+        max: usize,
+    },
+    /// Discard the flow's scheduler-resident backlog and unregister it
+    /// (the churn fault). Synchronous: replies [`Resp::Removed`].
+    ForceRemove(FlowId),
+    /// Evict the flow's oldest scheduler-resident packet (the
+    /// HeadDrop/pressure eviction hook). Synchronous: replies
+    /// [`Resp::Evicted`].
+    DropHead(FlowId),
     Stop,
 }
 
 type DrainResult = Result<Vec<Packet>, SchedError>;
+
+/// Worker → coordinator replies. Each synchronous command has exactly
+/// one reply variant; the coordinator matches on it and treats any
+/// other variant as a protocol violation (unreachable by construction:
+/// one command source, one FIFO channel pair per shard).
+enum Resp {
+    Drained(DrainResult),
+    Removed(usize),
+    Evicted(Option<Packet>),
+}
 
 struct Worker<S> {
     sched: S,
@@ -61,7 +85,7 @@ struct Worker<S> {
 }
 
 impl<S: Scheduler> Worker<S> {
-    fn run(mut self, cmds: Receiver<Cmd>, resp: Sender<DrainResult>) {
+    fn run(mut self, cmds: Receiver<Cmd>, resp: Sender<Resp>) {
         for cmd in cmds {
             match cmd {
                 Cmd::AddFlow(flow, weight) => {
@@ -80,8 +104,20 @@ impl<S: Scheduler> Worker<S> {
                             Ok(pkts)
                         }
                     };
-                    if resp.send(out).is_err() {
+                    if resp.send(Resp::Drained(out)).is_err() {
                         break; // coordinator gone
+                    }
+                }
+                Cmd::ForceRemove(flow) => {
+                    let dropped = self.sched.force_remove_flow(flow);
+                    if resp.send(Resp::Removed(dropped)).is_err() {
+                        break;
+                    }
+                }
+                Cmd::DropHead(flow) => {
+                    let evicted = self.sched.drop_head(flow);
+                    if resp.send(Resp::Evicted(evicted)).is_err() {
+                        break;
                     }
                 }
                 Cmd::Stop => break,
@@ -111,7 +147,7 @@ impl<S: Scheduler> Worker<S> {
 struct ShardHandle {
     prod: SpscProducer<Packet>,
     cmd: Sender<Cmd>,
-    resp: Receiver<DrainResult>,
+    resp: Receiver<Resp>,
     /// Total packets ever pushed to this shard's ring.
     pushed: u64,
     /// Packets ingested but not yet drained (coordinator's view; equals
@@ -136,6 +172,15 @@ pub struct ThreadedEngine {
     root: RootSfq,
     weights: FlowMap<Rate>,
     backlogged: Vec<bool>,
+    /// Coordinator-side per-flow pending counts (ingested, not yet
+    /// departed). Every departure passes through a synchronous
+    /// `Drain`/`DropHead`/`ForceRemove` round trip, so the counts are
+    /// exact at every API boundary without asking a worker — they back
+    /// the `&self` [`Scheduler::backlog`] the switch admission path
+    /// needs.
+    flow_pending: FlowMap<u64>,
+    /// Scratch for the single-packet `Scheduler` facade.
+    one: Vec<Packet>,
 }
 
 impl ThreadedEngine {
@@ -199,6 +244,8 @@ impl ThreadedEngine {
             root: RootSfq::new(cfg.shards, cfg.rebase_bits),
             weights: FlowMap::new(),
             backlogged: vec![false; cfg.shards],
+            flow_pending: FlowMap::new(),
+            one: Vec::new(),
         }
     }
 
@@ -239,12 +286,19 @@ impl ThreadedEngine {
         if shard.pending >= self.ring_capacity {
             return Err(SchedError::BufferFull(pkt.flow));
         }
+        let flow = pkt.flow;
         shard
             .prod
             .push(pkt)
             .unwrap_or_else(|_| unreachable!("pending < capacity implies ring has room"));
         shard.pushed += 1;
         shard.pending += 1;
+        match self.flow_pending.get_mut(flow) {
+            Some(n) => *n += 1,
+            None => {
+                self.flow_pending.insert(flow, 1);
+            }
+        }
         Ok(())
     }
 
@@ -284,10 +338,10 @@ impl ThreadedEngine {
                     max: take,
                 },
             );
-            let pkts = self.shards[s]
-                .resp
-                .recv()
-                .expect("sfq-engine shard worker died")?;
+            let Resp::Drained(res) = self.recv(s) else {
+                unreachable!("drain reply out of protocol")
+            };
+            let pkts = res?;
             let k = pkts.len();
             if k == 0 {
                 break;
@@ -295,6 +349,11 @@ impl ThreadedEngine {
             let bits: u64 = pkts.iter().map(|p| p.len.bits()).sum();
             self.root.charge(s, bits)?;
             self.shards[s].pending -= k as u64;
+            for p in &pkts {
+                if let Some(c) = self.flow_pending.get_mut(p.flow) {
+                    *c -= 1;
+                }
+            }
             out.extend(pkts);
             n += k;
         }
@@ -314,11 +373,136 @@ impl ThreadedEngine {
         self.pending() == 0
     }
 
+    /// Discard `flow`'s scheduler-resident backlog on its home shard,
+    /// unregister the flow there, and subtract its rate from the root
+    /// aggregate (the churn fault). Synchronous round trip; mirrors
+    /// [`SyncEngine::force_remove_flow`](crate::SyncEngine) —
+    /// ring-resident packets of the flow are not discarded, so drive
+    /// this only from the eager-pump `Scheduler` facade (rings empty)
+    /// or accept the residue poisoning the shard at its next pump.
+    pub fn force_remove_flow(&mut self, flow: FlowId) -> usize {
+        let s = self.shard_of(flow);
+        self.send(s, Cmd::ForceRemove(flow));
+        let Resp::Removed(dropped) = self.recv(s) else {
+            unreachable!("force-remove reply out of protocol")
+        };
+        self.shards[s].pending -= dropped as u64;
+        self.flow_pending.remove(flow);
+        if let Some(old) = self.weights.remove(flow) {
+            self.root.reweigh(s, old.as_bps(), 0);
+        }
+        dropped
+    }
+
+    /// Evict the oldest scheduler-resident packet of `flow` from its
+    /// home shard (HeadDrop/pressure eviction). Synchronous round trip;
+    /// same eager-pump caveat as [`ThreadedEngine::force_remove_flow`].
+    pub fn drop_head(&mut self, flow: FlowId) -> Option<Packet> {
+        let s = self.shard_of(flow);
+        self.send(s, Cmd::DropHead(flow));
+        let Resp::Evicted(evicted) = self.recv(s) else {
+            unreachable!("drop-head reply out of protocol")
+        };
+        if let Some(p) = &evicted {
+            self.shards[s].pending -= 1;
+            if let Some(c) = self.flow_pending.get_mut(p.flow) {
+                *c -= 1;
+            }
+        }
+        evicted
+    }
+
     fn send(&self, shard: usize, cmd: Cmd) {
         self.shards[shard]
             .cmd
             .send(cmd)
             .expect("sfq-engine shard worker died");
+    }
+
+    fn recv(&self, shard: usize) -> Resp {
+        self.shards[shard]
+            .resp
+            .recv()
+            .expect("sfq-engine shard worker died")
+    }
+}
+
+/// The switch-port facade: lets `netsim`'s `SwitchCore` run a port
+/// whose scheduled class is the *threaded* engine, exactly as
+/// [`SyncEngine`](crate::SyncEngine) already can. Every method is a
+/// deterministic function of the API call sequence (count-bounded
+/// pumps, synchronous drains/evictions, coordinator-side refusals and
+/// backlog counts), so a threaded port's departures, refusals, and
+/// evictions are bit-identical to a sync port's for the same offered
+/// load — the property the graph conformance preset checks end to end.
+impl Scheduler for ThreadedEngine {
+    fn add_flow(&mut self, flow: FlowId, weight: Rate) {
+        if let Err(e) = self.try_add_flow(flow, weight) {
+            panic!("sfq-engine: {e}");
+        }
+    }
+
+    fn enqueue(&mut self, now: SimTime, pkt: Packet) {
+        if let Err(e) = self.try_enqueue(now, pkt) {
+            panic!("sfq-engine: {e}");
+        }
+    }
+
+    /// Ingest, then pump asynchronously. The pump is count-bounded to
+    /// the packets pushed so far, so later pushes can never be consumed
+    /// early; `len`/`backlog` stay exact because they are coordinator
+    /// counts, not worker state.
+    fn try_enqueue(&mut self, now: SimTime, pkt: Packet) -> Result<(), SchedError> {
+        self.try_ingest(pkt)?;
+        self.pump(now);
+        Ok(())
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        match self.try_dequeue(now) {
+            Ok(p) => p,
+            Err(e) => panic!("sfq-engine: {e}"),
+        }
+    }
+
+    fn try_dequeue(&mut self, now: SimTime) -> Result<Option<Packet>, SchedError> {
+        let mut one = std::mem::take(&mut self.one);
+        one.clear();
+        let res = self.drain(now, 1, &mut one);
+        let pkt = one.pop();
+        self.one = one;
+        res.map(|_| pkt)
+    }
+
+    // Batch methods deliberately not overridden — same reasoning as the
+    // sync driver: the native `drain` charges the root per batch, a
+    // coarser granularity than the per-packet facade contract.
+
+    /// No-op: the root arbiter is charged inside `drain`.
+    fn on_departure(&mut self, _now: SimTime) {}
+
+    fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    fn len(&self) -> usize {
+        self.pending()
+    }
+
+    fn backlog(&self, flow: FlowId) -> usize {
+        self.flow_pending.get(flow).copied().unwrap_or(0) as usize
+    }
+
+    fn force_remove_flow(&mut self, flow: FlowId) -> usize {
+        ThreadedEngine::force_remove_flow(self, flow)
+    }
+
+    fn drop_head(&mut self, flow: FlowId) -> Option<Packet> {
+        ThreadedEngine::drop_head(self, flow)
+    }
+
+    fn name(&self) -> &'static str {
+        "SFQ-ENGINE-MT"
     }
 }
 

@@ -285,7 +285,7 @@ fn switch_drop_policies_keep_books_balanced() {
                 balanced(&inner);
             }
             if round == 3 {
-                sw.force_remove_flow(FlowId(2));
+                sw.force_remove_flow(now, FlowId(2));
                 balanced(&inner);
                 sw.add_flow(FlowId(2), Rate::bps(16_000));
             }
