@@ -205,6 +205,72 @@ impl<O: SchedObserver> Scfq<O> {
         self.q.head_heap_len()
     }
 
+    /// Live weight reconfiguration under the tag-rewrite rule (see
+    /// `sfq_core::Sfq::try_set_weight` and `docs/robustness.md`): the
+    /// backlogged head keeps its start/finish tags (its finish-ordered
+    /// heap entry stays valid), every later queued packet is re-chained
+    /// at the new rate (`S_j := F_{j-1}`, `F_j := S_j + l_j / r_new`),
+    /// and `last_finish` becomes the rewritten tail finish. Idle flows
+    /// only have their registered weight updated. All-or-nothing via a
+    /// dry overflow pass.
+    pub fn try_set_weight(&mut self, flow: FlowId, weight: Rate) -> Result<(), SchedError> {
+        if weight.as_bps() == 0 {
+            return Err(SchedError::ZeroWeight(flow));
+        }
+        if self.q.ext(flow).is_none() {
+            return Err(SchedError::UnknownFlow(flow));
+        }
+        if self.q.backlog(flow) == 0 {
+            self.q
+                .retag_flow(flow, |_, _, _, _| {}, |ext| ext.weight = weight);
+        } else {
+            // Dry pass: chain new finishes from the (unchanged) head
+            // finish, verifying every step fits before mutating.
+            let ok = Cell::new(true);
+            let prev = Cell::new(Ratio::ZERO);
+            self.q.retag_flow(
+                flow,
+                |pos, pkt, key, _start| {
+                    if pos == 0 {
+                        prev.set(key.0);
+                    } else {
+                        match prev.get().checked_add(weight.tag_span(pkt.len)) {
+                            Some(f) => prev.set(f),
+                            None => ok.set(false),
+                        }
+                    }
+                },
+                |_| {},
+            );
+            if !ok.get() {
+                return Err(SchedError::TagOverflow);
+            }
+            let tail_finish = prev.get();
+            // Apply pass: verified above, so checked_add cannot fail.
+            let prev = Cell::new(Ratio::ZERO);
+            self.q.retag_flow(
+                flow,
+                |pos, pkt, key, start| {
+                    if pos == 0 {
+                        prev.set(key.0);
+                        return;
+                    }
+                    let s = prev.get();
+                    let finish = s.checked_add(weight.tag_span(pkt.len)).unwrap_or(s);
+                    key.0 = finish;
+                    *start = s;
+                    prev.set(finish);
+                },
+                |ext| {
+                    ext.weight = weight;
+                    ext.last_finish = tail_finish;
+                },
+            );
+        }
+        self.obs.on_flow_change(flow, &FlowChange::Added { weight });
+        Ok(())
+    }
+
     /// Drop a flow and all of its queued packets immediately, without
     /// the idle-only guard of [`Scheduler::remove_flow`]. Returns the
     /// number of packets discarded.
@@ -376,6 +442,10 @@ impl<O: SchedObserver> Scheduler for Scfq<O> {
 
     fn force_remove_flow(&mut self, flow: FlowId) -> usize {
         Scfq::force_remove_flow(self, flow)
+    }
+
+    fn try_set_weight(&mut self, flow: FlowId, weight: Rate) -> Result<(), SchedError> {
+        Scfq::try_set_weight(self, flow, weight)
     }
 
     fn drop_head(&mut self, flow: FlowId) -> Option<Packet> {

@@ -1,0 +1,113 @@
+//! Live weight reconfiguration on exact-rational SCFQ: the same
+//! tag-rewrite rule as `sfq_core::Sfq::try_set_weight` (head keeps its
+//! tags, the tail re-chains at the new rate), checked at the
+//! exact-span level. See `crates/sfq-core/tests/reconfig.rs` for the
+//! SFQ-family suite and the note on why SCFQ's no-op fixed point only
+//! holds while `v` (a *finish*-tag virtual time) has not overtaken the
+//! chain — as in the all-arrivals-first schedules used here.
+
+use baselines::Scfq;
+use sfq_core::{FlowId, PacketFactory, SchedError, Scheduler};
+use simtime::{Bytes, Rate, SimTime};
+
+const T0: SimTime = SimTime::ZERO;
+
+#[test]
+fn head_keeps_tags_and_tail_rechains_exact() {
+    let mut s = Scfq::new();
+    let f = FlowId(7);
+    let (old_w, new_w) = (Rate::bps(8_000), Rate::bps(32_000));
+    s.add_flow(f, old_w);
+    s.add_flow(FlowId(9), Rate::bps(16_000));
+    let mut pf = PacketFactory::new();
+    let lens = [400u64, 900, 300, 1200, 700];
+    let mut uids = Vec::new();
+    for &l in &lens {
+        let p = pf.make(f, Bytes::new(l), T0);
+        uids.push(p.uid);
+        s.enqueue(T0, p);
+    }
+    for _ in 0..3 {
+        s.enqueue(T0, pf.make(FlowId(9), Bytes::new(600), T0));
+    }
+    let head_before = s.tags_of(uids[0]).unwrap();
+    s.try_set_weight(f, new_w).unwrap();
+    let mut prev_finish = None;
+    for (j, (&u, &l)) in uids.iter().zip(&lens).enumerate() {
+        let (start, finish) = s.tags_of(u).unwrap();
+        if j == 0 {
+            assert_eq!((start, finish), head_before, "head tags must survive");
+            assert_eq!(finish - start, old_w.tag_span(Bytes::new(l)));
+        } else {
+            assert_eq!(Some(start), prev_finish, "S_j must equal F_(j-1)");
+            assert_eq!(finish - start, new_w.tag_span(Bytes::new(l)));
+        }
+        prev_finish = Some(finish);
+    }
+    // Per-flow FIFO order survives.
+    let mut served = Vec::new();
+    while let Some(p) = s.dequeue(T0) {
+        served.push(p);
+        s.on_departure(T0);
+    }
+    let flow_uids: Vec<u64> = served
+        .iter()
+        .filter(|p| p.flow == f)
+        .map(|p| p.uid)
+        .collect();
+    assert_eq!(flow_uids, uids);
+}
+
+#[test]
+fn noop_rewrite_is_bit_invisible() {
+    let run = |noop: bool| {
+        let mut s = Scfq::new();
+        s.add_flow(FlowId(1), Rate::bps(12_000));
+        s.add_flow(FlowId(2), Rate::bps(20_000));
+        let mut pf = PacketFactory::new();
+        let mut queued = Vec::new();
+        for i in 0..8u64 {
+            let f = FlowId(1 + (i % 2) as u32);
+            let p = pf.make(f, Bytes::new(200 + 173 * i), T0);
+            queued.push(p.uid);
+            s.enqueue(T0, p);
+        }
+        if noop {
+            s.try_set_weight(FlowId(1), Rate::bps(12_000)).unwrap();
+            s.try_set_weight(FlowId(2), Rate::bps(20_000)).unwrap();
+        }
+        let tags: Vec<_> = queued.iter().map(|&u| s.tags_of(u).unwrap()).collect();
+        let mut order = Vec::new();
+        while let Some(p) = s.dequeue(T0) {
+            order.push(p.uid);
+            s.on_departure(T0);
+        }
+        (tags, order)
+    };
+    assert_eq!(run(false), run(true), "no-op rewrite was visible");
+}
+
+#[test]
+fn errors_leave_tags_untouched() {
+    let mut s = Scfq::new();
+    let f = FlowId(3);
+    s.add_flow(f, Rate::bps(10_000));
+    let mut pf = PacketFactory::new();
+    let mut uids = Vec::new();
+    for _ in 0..4 {
+        let p = pf.make(f, Bytes::new(500), T0);
+        uids.push(p.uid);
+        s.enqueue(T0, p);
+    }
+    let before: Vec<_> = uids.iter().map(|&u| s.tags_of(u).unwrap()).collect();
+    assert_eq!(
+        s.try_set_weight(f, Rate::bps(0)),
+        Err(SchedError::ZeroWeight(f))
+    );
+    assert_eq!(
+        s.try_set_weight(FlowId(99), Rate::bps(5_000)),
+        Err(SchedError::UnknownFlow(FlowId(99)))
+    );
+    let after: Vec<_> = uids.iter().map(|&u| s.tags_of(u).unwrap()).collect();
+    assert_eq!(after, before);
+}

@@ -62,6 +62,10 @@ struct RunCfg {
     flows_axis: &'static [usize],
     /// Flow counts for the scale sweep (pooled slab flow-table axis).
     scale_axis: &'static [usize],
+    /// Wall-clock period of the live-reconfiguration churn axis
+    /// (1 Hz in the full run; fast enough to actually fire inside the
+    /// shrunken smoke windows).
+    churn_period: Duration,
 }
 
 static RUN_CFG: OnceLock<RunCfg> = OnceLock::new();
@@ -200,6 +204,15 @@ fn measure<S: Scheduler>(mut sched: S, q: usize, depth: usize) -> f64 {
     served as f64 / start.elapsed().as_secs_f64()
 }
 
+/// Wall-clock-paced live weight churn (the reconfiguration-overhead
+/// axis): toggles flow 0's rate through `try_set_weight` once per
+/// period while the pair loop runs.
+struct Churn {
+    period: Duration,
+    next: Instant,
+    hi: bool,
+}
+
 /// A scheduler in steady state plus the iteration state needed to keep
 /// driving enqueue+dequeue pairs against it.
 struct Steady<S: Scheduler> {
@@ -210,6 +223,7 @@ struct Steady<S: Scheduler> {
     /// Drive the fallible control plane (`try_enqueue`/`try_dequeue`)
     /// instead of the panicking wrappers.
     use_try: bool,
+    churn: Option<Churn>,
 }
 
 impl<S: Scheduler> Steady<S> {
@@ -227,6 +241,7 @@ impl<S: Scheduler> Steady<S> {
             q,
             i: 0,
             use_try: false,
+            churn: None,
         }
     }
 
@@ -236,8 +251,30 @@ impl<S: Scheduler> Steady<S> {
         s
     }
 
+    fn with_churn(mut self, period: Duration) -> Self {
+        self.churn = Some(Churn {
+            period,
+            next: Instant::now() + period,
+            hi: false,
+        });
+        self
+    }
+
     fn run(&mut self, pairs: usize) {
         let t0 = SimTime::ZERO;
+        if let Some(c) = &mut self.churn {
+            if Instant::now() >= c.next {
+                c.hi = !c.hi;
+                // flows_of registers flow 0 at 64 kbps; toggle it
+                // between that and double, exercising the tag-rewrite
+                // rule on a live backlogged chain.
+                let w = Rate::kbps(if c.hi { 128 } else { 64 });
+                self.sched
+                    .try_set_weight(FlowId(0), w)
+                    .expect("flow 0 registered");
+                c.next += c.period;
+            }
+        }
         for _ in 0..pairs {
             let f = FlowId(self.i % self.q as u32);
             self.i = self.i.wrapping_add(1);
@@ -324,6 +361,7 @@ fn main() {
                 rounds: 4,
                 flows_axis: &[8, 512],
                 scale_axis: &[512, 4_096],
+                churn_period: Duration::from_millis(5),
             }
         } else {
             RunCfg {
@@ -333,6 +371,7 @@ fn main() {
                 rounds: 10,
                 flows_axis: &[8, 64, 512],
                 scale_axis: &[512, 100_000, 1_000_000],
+                churn_period: Duration::from_secs(1),
             }
         })
         .unwrap_or_else(|_| unreachable!("main runs once"));
@@ -516,6 +555,28 @@ fn main() {
             backlog_per_flow: depth,
             base_pkts_per_sec: pps_exact,
             new_pkts_per_sec: pps_fast,
+            new_vs_base_pct: pct,
+        });
+
+        // The live-reconfiguration axis, drift-cancelled: the same
+        // steady workload with periodic weight churn on one flow
+        // (1 Hz in the full run) vs none. The tag-rewrite rule walks
+        // only the churned flow's queued chain, so churn at control-
+        // plane rates must stay within noise of the unchurned run.
+        let mut still = Steady::new(flows_of(Sfq::new(), q), q, depth);
+        let mut churned =
+            Steady::new(flows_of(Sfq::new(), q), q, depth).with_churn(cfg().churn_period);
+        let (pps_still, pps_churned) = measure_paired(&mut still, &mut churned);
+        let pct = 100.0 * (pps_churned / pps_still - 1.0);
+        eprintln!(
+            "sfq@{q} (paired): no-churn -> {pps_still:.0} pkt/s, weight-churn -> {pps_churned:.0} pkt/s ({pct:+.1}% churn vs none)",
+        );
+        control_checks.push(ControlCheck {
+            comparison: "sfq_reconfig_churn_vs_none".to_string(),
+            flows: q,
+            backlog_per_flow: depth,
+            base_pkts_per_sec: pps_still,
+            new_pkts_per_sec: pps_churned,
             new_vs_base_pct: pct,
         });
 

@@ -10,9 +10,9 @@
 //! ```
 
 use conformance::{
-    check_against_bound, diff_schedulers, run_engine_conformance, run_fast_conformance,
-    run_graph_conformance, run_pool_conformance, run_soak, run_tandem_conformance, Preset,
-    Scenario, SchedKind,
+    check_against_bound, diff_schedulers, run_chaos_conformance, run_engine_conformance,
+    run_fast_conformance, run_graph_conformance, run_pool_conformance, run_soak,
+    run_tandem_conformance, Preset, Scenario, SchedKind,
 };
 use simtime::SimDuration;
 use std::io::Write;
@@ -149,6 +149,16 @@ fn check(sc: &Scenario) -> Option<String> {
                 e.lines().next().unwrap_or(&e).to_string()
             })
         }
+        Preset::Chaos => {
+            // Live reconfiguration + shard kills: no-op bit-identity,
+            // driver identity, conservation under recovery policies,
+            // and fairness reconvergence — all in one runner.
+            run_chaos_conformance(sc).err().map(|e| {
+                // The runner embeds the replay line; strip it so the
+                // fuzzer's own suffix doesn't duplicate it.
+                e.lines().next().unwrap_or(&e).to_string()
+            })
+        }
         Preset::SingleEbf | Preset::FairAirport => None, // covered by tier-1 tests
     }
 }
@@ -164,6 +174,7 @@ fn main() {
             Preset::Engine,
             Preset::Fast,
             Preset::Pool,
+            Preset::Chaos,
             Preset::Graph,
         ],
     };

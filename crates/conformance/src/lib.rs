@@ -27,6 +27,14 @@
 //!   replayed on the slab-pooled `FlowFifos` backend against the owned
 //!   oracle backend, requiring bit-identical departures for all four
 //!   schedulers,
+//! - [`chaos`]: live-reconfiguration and shard-failure conformance —
+//!   seeded `SetWeight` reconfigurations and injected worker kills
+//!   mid-backlog, checking no-op tag-rewrite bit-identity against the
+//!   unreconfigured oracle on both engine drivers, sync-vs-threaded
+//!   identity for the reconfigured schedule, exact packet conservation
+//!   (`offered == departed + refused + dropped`) under every recovery
+//!   policy, and Theorem 1 reconvergence after a mid-backlog weight
+//!   change,
 //! - [`graph`]: forwarding-graph conformance — a multi-port chain with
 //!   shared intermediate ports and ingress policers, checked for
 //!   Theorem 6 along every path, Corollary 1 for the shaped observed
@@ -39,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod diff;
 pub mod e2e;
 pub mod engine;
@@ -50,6 +59,7 @@ pub mod pool;
 pub mod scenario;
 pub mod soak;
 
+pub use chaos::{run_chaos_conformance, ChaosOutcome, CHAOS_DOMAIN};
 pub use diff::{
     check_against_bound, diff_schedulers, first_divergence, BoundCheck, DiffReport, SchedKind,
 };

@@ -62,6 +62,18 @@ pub enum Preset {
     /// in departures is a bug in the slab pool, intrusive links, or
     /// generation-checked flow table (see [`crate::pool`]).
     Pool,
+    /// Control-plane chaos: the [`Preset::Engine`] workload shape with
+    /// a seeded schedule of live reconfigurations (`SetWeight` under
+    /// the leaf tag-rewrite rule) and injected worker kills woven into
+    /// the ingest/pump/drain call stream. The chaos runner checks (a)
+    /// reconfig-only sync-vs-threaded identity, with a *no-op*
+    /// reconfiguration schedule additionally proven bit-identical to
+    /// an unreconfigured oracle on both drivers, (b) packet
+    /// conservation, no-global-stall, and post-recovery liveness under
+    /// seeded worker kills for every `RecoveryPolicy`, and (c)
+    /// post-reconfiguration fairness reconvergence against the
+    /// Theorem 1 bound at the new weights (see [`crate::chaos`]).
+    Chaos,
     /// Multi-port forwarding graph: a chain of 2–5 scheduler ports
     /// with *shared* intermediate ports — unlike [`Preset::Tandem`],
     /// whose cross traffic is hop-local, cross flows here span
@@ -78,7 +90,7 @@ pub enum Preset {
 
 impl Preset {
     /// Every preset, for fuzz drivers.
-    pub const ALL: [Preset; 9] = [
+    pub const ALL: [Preset; 10] = [
         Preset::SingleFc,
         Preset::SingleEbf,
         Preset::Tandem,
@@ -87,6 +99,7 @@ impl Preset {
         Preset::Engine,
         Preset::Fast,
         Preset::Pool,
+        Preset::Chaos,
         Preset::Graph,
     ];
 
@@ -101,6 +114,7 @@ impl Preset {
             Preset::Engine => "engine",
             Preset::Fast => "fast",
             Preset::Pool => "pool",
+            Preset::Chaos => "chaos",
             Preset::Graph => "graph",
         }
     }
@@ -312,6 +326,7 @@ impl Scenario {
             Preset::Engine => gen_engine(seed, &mut rng),
             Preset::Fast => gen_fast(seed, &mut rng),
             Preset::Pool => gen_pool(seed, &mut rng),
+            Preset::Chaos => gen_chaos(seed, &mut rng),
             Preset::Graph => gen_graph(seed, &mut rng),
         }
     }
@@ -843,6 +858,50 @@ fn gen_engine(seed: u64, rng: &mut SimRng) -> Scenario {
     }
     Scenario {
         preset: Preset::Engine,
+        seed,
+        link_bps,
+        server: ServerSpec::Constant,
+        hops: 1,
+        prop_ms: 0,
+        horizon_ms,
+        per_flow_cap: None,
+        shared_cap: None,
+        drop_policy: DropKind::Tail,
+        recovery_at_ms: None,
+        flows,
+        droops: Vec::new(),
+        churns: Vec::new(),
+    }
+}
+
+fn gen_chaos(seed: u64, rng: &mut SimRng) -> Scenario {
+    // Chaos runs replay the flow population through *six* engine
+    // instances (plain/no-op/real-reconfig oracles and their threaded
+    // counterparts, plus the kill run), so the population and horizon
+    // are kept a notch smaller than `engine`'s; the reconfiguration and
+    // kill schedule itself is derived by the runner from the same seed
+    // under `crate::chaos::CHAOS_DOMAIN`.
+    let link_bps = 1_000_000u64;
+    let horizon_ms = rng.uniform_range(150, 501);
+    let n = rng.uniform_range(4, 17);
+    let mut flows = Vec::new();
+    for i in 0..n {
+        flows.push(FlowSpec {
+            id: i as u32 + 1,
+            weight_bps: (link_bps / n * rng.uniform_range(20, 101) / 100).max(4_000),
+            size: pick_size(rng, 1_200),
+            source: if rng.uniform() < 0.7 {
+                SourceKind::Cbr
+            } else {
+                SourceKind::Poisson
+            },
+            start_ms: rng.uniform_range(0, horizon_ms / 2),
+            entry: 0,
+            exit: 0,
+        });
+    }
+    Scenario {
+        preset: Preset::Chaos,
         seed,
         link_bps,
         server: ServerSpec::Constant,

@@ -24,7 +24,7 @@ use crate::node::{GraphNode, OutPort};
 use netsim::{DropPolicy, SwitchCore};
 use servers::RateProfile;
 use sfq_core::obs::{SchedEvent, SchedObserver};
-use sfq_core::{FlowId, PktRef, SchedError, Scheduler};
+use sfq_core::{FlowId, PktRef, ReconfigCmd, SchedError, Scheduler};
 use simtime::{Rate, SimTime};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -156,6 +156,29 @@ impl PortNode {
             arena.free(h);
         }
         dropped
+    }
+
+    /// Apply a live reconfiguration command to this port's scheduled
+    /// class (see [`SwitchCore::try_reconfig`]). `RemoveFlow` routes
+    /// through [`PortNode::force_remove`] instead of the switch hook so
+    /// the discarded backlog's arena slots are freed with it — the
+    /// reason this method needs the arena.
+    pub fn try_reconfig(
+        &mut self,
+        now: SimTime,
+        arena: &mut PktArena,
+        cmd: ReconfigCmd,
+    ) -> Result<(), SchedError> {
+        match cmd {
+            ReconfigCmd::RemoveFlow(flow) => {
+                if self.core.flow_weight(flow).is_none() {
+                    return Err(SchedError::UnknownFlow(flow));
+                }
+                self.force_remove(now, arena, flow);
+                Ok(())
+            }
+            other => self.core.try_reconfig(now, other),
+        }
     }
 
     /// Uids refused at admission, in arrival order (identity surface).

@@ -8,7 +8,7 @@
 
 use servers::RateProfile;
 use sfq_core::obs::{Backpressure, SchedEvent, SchedObserver};
-use sfq_core::{FlowId, FlowMap, Packet, SchedError, Scheduler};
+use sfq_core::{FlowId, FlowMap, Packet, ReconfigCmd, SchedError, Scheduler};
 use simtime::{Rate, Ratio, SimTime};
 use std::collections::VecDeque;
 
@@ -109,6 +109,11 @@ impl SwitchCore {
         self.sched.add_flow(flow, weight);
     }
 
+    /// The registered weight of a scheduled flow, if any.
+    pub fn flow_weight(&self, flow: FlowId) -> Option<Rate> {
+        self.weights.get(flow).copied()
+    }
+
     /// Force-remove a scheduled flow mid-backlog (the churn fault):
     /// delegates to [`Scheduler::force_remove_flow`], returning the
     /// number of queued packets discarded (0 if the discipline does
@@ -126,6 +131,35 @@ impl SwitchCore {
             }
         }
         dropped
+    }
+
+    /// Apply a live reconfiguration command to the scheduled class
+    /// (see [`Scheduler::try_reconfig`]), keeping the port's own flow
+    /// table — which feeds the pressure-victim search — in sync on
+    /// success. `RemoveFlow` is forceful mid-backlog on engine-backed
+    /// ports and releases any backpressure the flow held, stamped at
+    /// `now`, exactly like [`SwitchCore::force_remove_flow`]; callers
+    /// tracking conservation should read the flow's backlog first.
+    pub fn try_reconfig(&mut self, now: SimTime, cmd: ReconfigCmd) -> Result<(), SchedError> {
+        self.sched.try_reconfig(cmd)?;
+        match cmd {
+            ReconfigCmd::SetWeight(flow, rate)
+            | ReconfigCmd::SetRate(flow, rate)
+            | ReconfigCmd::AddFlow(flow, rate) => {
+                self.weights.insert(flow, rate);
+            }
+            ReconfigCmd::RemoveFlow(flow) => {
+                self.weights.remove(flow);
+                self.release_drained(now);
+                if self.engaged.remove(flow).is_some() {
+                    if let Some(obs) = &mut self.drop_obs {
+                        obs.on_backpressure(now, flow, Backpressure::Release);
+                    }
+                }
+            }
+            ReconfigCmd::SetShardWeight(..) => {}
+        }
+        Ok(())
     }
 
     /// Offer a packet to the strict-priority class (never dropped).

@@ -550,6 +550,76 @@ impl<K: Ord + Copy, E, M: Copy> FlowFifos<K, E, M> {
         }
     }
 
+    /// Apply `entry` to one flow's queued packets in FIFO order —
+    /// `entry(position, &packet, &mut key, &mut meta)` — and `ext` to
+    /// its extension state. The live-reconfiguration primitive behind
+    /// `Scheduler::try_set_weight`.
+    ///
+    /// **The closure must leave the head's (position 0) key unchanged**
+    /// (checked by a debug assertion): the flow's heap entry carries
+    /// the head key, and keeping it intact means no heap surgery — the
+    /// whole rewrite is `O(backlog)` with zero heap traffic, and a
+    /// flow whose backlog is untouched contributes nothing. Non-head
+    /// keys may change freely as long as the flow's key sequence stays
+    /// strictly increasing (the container invariant).
+    ///
+    /// Returns `false` (with no state change) if the flow is unknown.
+    pub fn retag_flow(
+        &mut self,
+        flow: FlowId,
+        mut entry: impl FnMut(usize, &Packet, &mut K, &mut M),
+        ext: impl FnOnce(&mut E),
+    ) -> bool {
+        match &mut self.inner {
+            Inner::Owned(o) => {
+                let Some(fq) = o.flows.get_mut(&flow) else {
+                    return false;
+                };
+                ext(&mut fq.ext);
+                for (pos, e) in fq.queue.iter_mut().enumerate() {
+                    #[cfg(debug_assertions)]
+                    let before = e.key;
+                    entry(pos, &e.pkt, &mut e.key, &mut e.meta);
+                    #[cfg(debug_assertions)]
+                    debug_assert!(
+                        pos > 0 || e.key == before,
+                        "retag_flow must keep the head key"
+                    );
+                }
+                true
+            }
+            Inner::Pooled(p) => {
+                let Some(fidx) = p.ids.get(flow) else {
+                    return false;
+                };
+                let head = {
+                    let s = &mut p.flows[fidx as usize];
+                    let Some(e) = s.ext.as_mut() else {
+                        return false;
+                    };
+                    ext(e);
+                    s.head
+                };
+                let mut cur = head;
+                let mut pos = 0usize;
+                while cur != NIL {
+                    let e = p.slab.val_mut_raw(cur);
+                    #[cfg(debug_assertions)]
+                    let before = e.key;
+                    entry(pos, &e.pkt, &mut e.key, &mut e.meta);
+                    #[cfg(debug_assertions)]
+                    debug_assert!(
+                        pos > 0 || e.key == before,
+                        "retag_flow must keep the head key"
+                    );
+                    cur = p.slab.link_raw(cur);
+                    pos += 1;
+                }
+                true
+            }
+        }
+    }
+
     /// Remove an **idle** flow; returns false if the flow is unknown or
     /// still backlogged.
     pub fn remove_flow(&mut self, flow: FlowId) -> bool {

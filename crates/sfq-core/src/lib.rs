@@ -50,6 +50,6 @@ pub use obs::{Backpressure, FlowChange, NoopObserver, SchedEvent, SchedObserver}
 pub use packet::{FlowId, Packet, PacketFactory};
 pub use pool::{FlowMap, PktPool, PktRef, PoolStats, ReturnQueue, SlabPool};
 pub use scfq_fast::ScfqFast;
-pub use sched::{SchedError, Scheduler, TieBreak};
+pub use sched::{ReconfigCmd, SchedError, Scheduler, TieBreak};
 pub use sfq::Sfq;
 pub use sfq_fast::SfqFast;

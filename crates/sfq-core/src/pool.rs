@@ -690,6 +690,45 @@ mod tests {
         assert_eq!(ix.get(hi), None);
     }
 
+    /// A consumer thread that dies mid-flight must not leak slots: any
+    /// handle it managed to post before panicking is recoverable via
+    /// `drain_returns`, the in-use count returns to zero, and
+    /// re-allocation reuses the recovered slots without growing the
+    /// slab (so the scheduler-level `PoolStats::pkts_in_use` invariant
+    /// survives consumer crashes).
+    #[test]
+    fn return_queue_survives_consumer_death_mid_flight() {
+        const N: usize = 8;
+        let mut p: SlabPool<u64> = SlabPool::new();
+        let rq = Arc::new(ReturnQueue::new());
+        p.attach_return_queue(Arc::clone(&rq));
+        let handles: Vec<PktRef> = (0..N as u64).map(|i| p.try_alloc(i).unwrap()).collect();
+        assert_eq!(p.in_use(), N);
+        let slots_before = p.slots();
+
+        let rq2 = Arc::clone(&rq);
+        let sent = handles.clone();
+        let consumer = std::thread::spawn(move || {
+            for r in sent {
+                rq2.give(r);
+            }
+            panic!("consumer dies mid-flight");
+        });
+        assert!(consumer.join().is_err(), "consumer must have panicked");
+
+        // The panic poisoned nothing the owner needs: every posted
+        // handle folds back, nothing stays in use, and reuse does not
+        // grow the slab.
+        assert_eq!(p.drain_returns(), N);
+        assert_eq!(p.in_use(), 0);
+        assert_eq!(p.foreign_freed(), N as u64);
+        for i in 0..N as u64 {
+            let r = p.try_alloc(100 + i).unwrap();
+            assert!(handles.contains(&r), "reuse recovered slots");
+        }
+        assert_eq!(p.slots(), slots_before);
+    }
+
     #[test]
     fn flow_map_swap_remove_repoints_moved_entry() {
         let mut m: FlowMap<u64> = FlowMap::new();

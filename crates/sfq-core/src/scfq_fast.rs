@@ -21,6 +21,7 @@ use crate::pool::PoolStats;
 use crate::sched::{SchedError, Scheduler};
 use crate::sfq::GC_BUDGET;
 use simtime::{Rate, Ratio, SimTime};
+use std::cell::Cell;
 
 #[derive(Debug)]
 struct FastExt {
@@ -215,6 +216,87 @@ impl<O: SchedObserver> ScfqFast<O> {
         }
     }
 
+    /// Live weight reconfiguration under the tag-rewrite rule, the
+    /// fixed-point mirror of `Scfq::try_set_weight` (see
+    /// `docs/robustness.md`): the backlogged head keeps its tags,
+    /// every later queued packet is re-chained at the new rate's
+    /// [`FixedInc`] span, and `last_finish` becomes the rewritten tail
+    /// finish. Idle flows only have their weight/increment refreshed.
+    /// All-or-nothing via increment construction plus a dry chain pass.
+    pub fn try_set_weight(&mut self, flow: FlowId, weight: Rate) -> Result<(), SchedError> {
+        if weight.as_bps() == 0 {
+            return Err(SchedError::ZeroWeight(flow));
+        }
+        if self.q.ext(flow).is_none() {
+            return Err(SchedError::UnknownFlow(flow));
+        }
+        let inc = FixedInc::new(flow, weight, self.shift)?;
+        if self.q.backlog(flow) == 0 {
+            self.q.retag_flow(
+                flow,
+                |_, _, _, _| {},
+                |ext| {
+                    ext.weight = weight;
+                    ext.inc = inc;
+                },
+            );
+        } else {
+            // Dry pass: chain new finishes from the (unchanged) head
+            // finish, verifying every span and add fits.
+            let ok = Cell::new(true);
+            let prev = Cell::new(FixedTag::ZERO);
+            self.q.retag_flow(
+                flow,
+                |pos, pkt, key, _start| {
+                    if pos == 0 {
+                        prev.set(key.0);
+                    } else {
+                        match inc
+                            .span(pkt.len)
+                            .ok()
+                            .and_then(|s| prev.get().checked_add(s))
+                        {
+                            Some(f) => prev.set(f),
+                            None => ok.set(false),
+                        }
+                    }
+                },
+                |_| {},
+            );
+            if !ok.get() {
+                return Err(SchedError::TagOverflow);
+            }
+            let tail_finish = prev.get();
+            // Apply pass: verified above, so the fallbacks never fire.
+            let prev = Cell::new(FixedTag::ZERO);
+            self.q.retag_flow(
+                flow,
+                |pos, pkt, key, start| {
+                    if pos == 0 {
+                        prev.set(key.0);
+                        return;
+                    }
+                    let s = prev.get();
+                    let finish = inc
+                        .span(pkt.len)
+                        .ok()
+                        .and_then(|sp| s.checked_add(sp))
+                        .unwrap_or(s);
+                    key.0 = finish;
+                    *start = s;
+                    prev.set(finish);
+                },
+                |ext| {
+                    ext.weight = weight;
+                    ext.inc = inc;
+                    ext.last_finish = tail_finish;
+                },
+            );
+        }
+        self.obs.on_flow_change(flow, &FlowChange::Added { weight });
+        Ok(())
+    }
+
     /// Drop a flow and all of its queued packets immediately; see
     /// `Scfq::force_remove_flow` for the contract.
     pub fn force_remove_flow(&mut self, flow: FlowId) -> usize {
@@ -399,6 +481,10 @@ impl<O: SchedObserver> Scheduler for ScfqFast<O> {
 
     fn force_remove_flow(&mut self, flow: FlowId) -> usize {
         ScfqFast::force_remove_flow(self, flow)
+    }
+
+    fn try_set_weight(&mut self, flow: FlowId, weight: Rate) -> Result<(), SchedError> {
+        ScfqFast::try_set_weight(self, flow, weight)
     }
 
     fn drop_head(&mut self, flow: FlowId) -> Option<Packet> {

@@ -37,6 +37,17 @@ pub enum SchedError {
     /// rebasing (see `docs/robustness.md`) keeps long-running schedulers
     /// away from this edge.
     TagOverflow,
+    /// The discipline does not implement the requested reconfiguration
+    /// (e.g. [`Scheduler::try_set_weight`] on a baseline without live
+    /// weight support). The scheduler state is untouched.
+    Unsupported,
+    /// The flow's home shard is down and the engine's recovery policy
+    /// parks its flows instead of restarting or redistributing; the
+    /// operation is refused until the shard is repaired (see
+    /// `docs/robustness.md`).
+    ShardDown(FlowId),
+    /// An engine-level command named a shard index that does not exist.
+    UnknownShard(usize),
 }
 
 impl fmt::Display for SchedError {
@@ -47,8 +58,42 @@ impl fmt::Display for SchedError {
             SchedError::ZeroWeight(flow) => write!(f, "flow {flow} has zero weight"),
             SchedError::BufferFull(flow) => write!(f, "buffer full for flow {flow}"),
             SchedError::TagOverflow => write!(f, "tag arithmetic overflow"),
+            SchedError::Unsupported => write!(f, "reconfiguration not supported"),
+            SchedError::ShardDown(flow) => write!(f, "home shard of flow {flow} is down"),
+            SchedError::UnknownShard(s) => write!(f, "no shard {s}"),
         }
     }
+}
+
+/// One live-reconfiguration command of the typed control plane.
+///
+/// Commands flow through [`Scheduler::try_reconfig`] — on a bare
+/// discipline they apply directly; on an engine driver they are routed
+/// through the per-shard command channels, so a reconfiguration is
+/// ordered with respect to packet ingest exactly like an `add_flow`
+/// (see `docs/robustness.md` for the reconvergence argument).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReconfigCmd {
+    /// Change a live flow's weight, rewriting the tags of its queued
+    /// backlog under the documented tag-rewrite rule: the backlogged
+    /// head keeps its tags, subsequent queued packets are re-chained at
+    /// the new rate. Equivalent to [`Scheduler::try_set_weight`].
+    SetWeight(FlowId, Rate),
+    /// Change the rate charged to *subsequently arriving* packets of
+    /// the flow, leaving already-queued tags untouched — the lazy
+    /// variant, identical to re-registering via `add_flow`.
+    SetRate(FlowId, Rate),
+    /// Register a new flow (or update an existing one), as
+    /// [`Scheduler::try_add_flow`].
+    AddFlow(FlowId, Rate),
+    /// Remove an idle flow, releasing its state; refused with
+    /// [`SchedError::UnknownFlow`] if unknown or still backlogged.
+    RemoveFlow(FlowId),
+    /// Override one shard's aggregate weight at an engine's root
+    /// arbiter (`None` restores the sum-of-flow-weights default). Only
+    /// engine drivers accept this; bare disciplines refuse with
+    /// [`SchedError::Unsupported`].
+    SetShardWeight(usize, Option<Rate>),
 }
 
 impl std::error::Error for SchedError {}
@@ -186,6 +231,52 @@ pub trait Scheduler {
         0
     }
 
+    /// Change `flow`'s weight *live*, rewriting the tags of its queued
+    /// backlog under the **tag-rewrite rule** (`docs/robustness.md`):
+    ///
+    /// - the backlogged **head keeps its start and finish tags** — its
+    ///   virtual-time position was earned under the old rate and the
+    ///   heap entry that orders it stays valid untouched;
+    /// - every subsequent queued packet `j` is re-chained as
+    ///   `S_j := F_{j-1}`, `F_j := S_j + l_j / r_new` (for a backlogged
+    ///   flow every non-head packet satisfies `S_j = F_{j-1}` exactly,
+    ///   so the chain rule preserves Eq. 4's max with `v` implicitly);
+    /// - packets arriving after the call are charged at `r_new` from
+    ///   the flow's new last finish tag.
+    ///
+    /// A no-op reconfiguration (`r_new` equal to the current weight)
+    /// therefore reproduces every tag bit-for-bit. Errors:
+    /// [`SchedError::UnknownFlow`], [`SchedError::ZeroWeight`],
+    /// [`SchedError::TagOverflow`] (state untouched), and
+    /// [`SchedError::Unsupported`] from the default for disciplines
+    /// without live weight support.
+    fn try_set_weight(&mut self, _flow: FlowId, _weight: Rate) -> Result<(), SchedError> {
+        Err(SchedError::Unsupported)
+    }
+
+    /// Apply one typed [`ReconfigCmd`]. The default routes the
+    /// flow-level commands to the corresponding trait methods and
+    /// refuses [`ReconfigCmd::SetShardWeight`] (an engine-only
+    /// command) with [`SchedError::Unsupported`]; engine drivers
+    /// override the routing to thread commands through their shard
+    /// channels.
+    fn try_reconfig(&mut self, cmd: ReconfigCmd) -> Result<(), SchedError> {
+        match cmd {
+            ReconfigCmd::SetWeight(flow, weight) => self.try_set_weight(flow, weight),
+            ReconfigCmd::SetRate(flow, weight) | ReconfigCmd::AddFlow(flow, weight) => {
+                self.try_add_flow(flow, weight)
+            }
+            ReconfigCmd::RemoveFlow(flow) => {
+                if self.remove_flow(flow) {
+                    Ok(())
+                } else {
+                    Err(SchedError::UnknownFlow(flow))
+                }
+            }
+            ReconfigCmd::SetShardWeight(..) => Err(SchedError::Unsupported),
+        }
+    }
+
     /// Discard `flow`'s head-of-line queued packet, returning it —
     /// overload shedding for the head-drop buffer policy, which evicts
     /// the oldest queued packet to make room for an arrival. The flow's
@@ -199,6 +290,71 @@ pub trait Scheduler {
 
     /// Human-readable discipline name for reports.
     fn name(&self) -> &'static str;
+}
+
+/// Boxed schedulers forward every method to the inner discipline —
+/// including the defaulted ones, so a `Box<dyn Scheduler>` (or a boxed
+/// engine shard) keeps the inner type's overrides instead of falling
+/// back to the trait defaults. This is what lets the threaded engine's
+/// supervisor hold type-erased, rebuildable workers.
+impl<T: Scheduler + ?Sized> Scheduler for Box<T> {
+    fn add_flow(&mut self, flow: FlowId, weight: Rate) {
+        (**self).add_flow(flow, weight)
+    }
+    fn enqueue(&mut self, now: SimTime, pkt: Packet) {
+        (**self).enqueue(now, pkt)
+    }
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        (**self).dequeue(now)
+    }
+    fn try_add_flow(&mut self, flow: FlowId, weight: Rate) -> Result<(), SchedError> {
+        (**self).try_add_flow(flow, weight)
+    }
+    fn try_enqueue(&mut self, now: SimTime, pkt: Packet) -> Result<(), SchedError> {
+        (**self).try_enqueue(now, pkt)
+    }
+    fn enqueue_batch(&mut self, now: SimTime, pkts: &[Packet]) {
+        (**self).enqueue_batch(now, pkts)
+    }
+    fn try_enqueue_batch(&mut self, now: SimTime, pkts: &[Packet]) -> Result<(), SchedError> {
+        (**self).try_enqueue_batch(now, pkts)
+    }
+    fn dequeue_batch(&mut self, now: SimTime, max: usize, out: &mut Vec<Packet>) -> usize {
+        (**self).dequeue_batch(now, max, out)
+    }
+    fn try_dequeue(&mut self, now: SimTime) -> Result<Option<Packet>, SchedError> {
+        (**self).try_dequeue(now)
+    }
+    fn on_departure(&mut self, now: SimTime) {
+        (**self).on_departure(now)
+    }
+    fn is_empty(&self) -> bool {
+        (**self).is_empty()
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn backlog(&self, flow: FlowId) -> usize {
+        (**self).backlog(flow)
+    }
+    fn remove_flow(&mut self, flow: FlowId) -> bool {
+        (**self).remove_flow(flow)
+    }
+    fn force_remove_flow(&mut self, flow: FlowId) -> usize {
+        (**self).force_remove_flow(flow)
+    }
+    fn try_set_weight(&mut self, flow: FlowId, weight: Rate) -> Result<(), SchedError> {
+        (**self).try_set_weight(flow, weight)
+    }
+    fn try_reconfig(&mut self, cmd: ReconfigCmd) -> Result<(), SchedError> {
+        (**self).try_reconfig(cmd)
+    }
+    fn drop_head(&mut self, flow: FlowId) -> Option<Packet> {
+        (**self).drop_head(flow)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
 }
 
 /// Tie-breaking rule applied when two packets carry equal primary tags.

@@ -370,6 +370,86 @@ impl<O: SchedObserver> Sfq<O> {
         }
     }
 
+    /// Live weight reconfiguration under the **tag-rewrite rule** (see
+    /// `docs/robustness.md`): the backlogged head packet keeps its
+    /// start/finish tags untouched — its heap entry stays valid, so no
+    /// heap surgery is needed — and every subsequent queued packet is
+    /// re-chained at the new rate, `S_j := F_{j-1}`,
+    /// `F_j := S_j + l_j / r_new`, with tie keys rebuilt for the new
+    /// weight. The flow's `last_finish` becomes the rewritten tail
+    /// finish, so packets arriving after the call chain from the new
+    /// rate. An idle flow only has its registered weight updated.
+    ///
+    /// Because a backlogged flow's queued chain already satisfies
+    /// `S_j = F_{j-1}` exactly (Eq. 4's `max` resolves to the flow term
+    /// while backlogged), re-applying the rule at the *same* weight
+    /// reproduces every tag bit for bit — the no-op reconfig is
+    /// provably invisible.
+    ///
+    /// All-or-nothing: a dry pass verifies every rewritten finish tag
+    /// fits in range before any state is mutated
+    /// ([`SchedError::TagOverflow`] otherwise). O(flow backlog), zero
+    /// heap traffic.
+    pub fn try_set_weight(&mut self, flow: FlowId, weight: Rate) -> Result<(), SchedError> {
+        if weight.as_bps() == 0 {
+            return Err(SchedError::ZeroWeight(flow));
+        }
+        if self.q.ext(flow).is_none() {
+            return Err(SchedError::UnknownFlow(flow));
+        }
+        if self.q.backlog(flow) == 0 {
+            self.q
+                .retag_flow(flow, |_, _, _, _| {}, |ext| ext.weight = weight);
+        } else {
+            // Dry pass: chain the new tags from the (unchanged) head
+            // finish, verifying every step fits before mutating.
+            let ok = Cell::new(true);
+            let prev = Cell::new(Ratio::ZERO);
+            self.q.retag_flow(
+                flow,
+                |pos, pkt, _key, meta| {
+                    if pos == 0 {
+                        prev.set(*meta);
+                    } else {
+                        match prev.get().checked_add(weight.tag_span(pkt.len)) {
+                            Some(f) => prev.set(f),
+                            None => ok.set(false),
+                        }
+                    }
+                },
+                |_| {},
+            );
+            if !ok.get() {
+                return Err(SchedError::TagOverflow);
+            }
+            let tail_finish = prev.get();
+            // Apply pass: verified above, so checked_add cannot fail.
+            let prev = Cell::new(Ratio::ZERO);
+            let tie = self.tie.key(weight);
+            self.q.retag_flow(
+                flow,
+                |pos, pkt, key, meta| {
+                    if pos == 0 {
+                        prev.set(*meta);
+                        return;
+                    }
+                    let start = prev.get();
+                    let finish = start.checked_add(weight.tag_span(pkt.len)).unwrap_or(start);
+                    key.start = start;
+                    key.tie = tie;
+                    *meta = finish;
+                    prev.set(finish);
+                },
+                |ext| {
+                    ext.weight = weight;
+                    ext.last_finish = tail_finish;
+                },
+            );
+        }
+        self.obs.on_flow_change(flow, &FlowChange::Added { weight });
+        Ok(())
+    }
+
     /// Drop a flow and all of its queued packets immediately, without
     /// the idle-only guard of [`Scheduler::remove_flow`]. Returns the
     /// number of packets discarded. The flow's heap entry (if any) is
@@ -558,6 +638,10 @@ impl<O: SchedObserver> Scheduler for Sfq<O> {
 
     fn force_remove_flow(&mut self, flow: FlowId) -> usize {
         Sfq::force_remove_flow(self, flow)
+    }
+
+    fn try_set_weight(&mut self, flow: FlowId, weight: Rate) -> Result<(), SchedError> {
+        Sfq::try_set_weight(self, flow, weight)
     }
 
     fn drop_head(&mut self, flow: FlowId) -> Option<Packet> {

@@ -40,6 +40,7 @@ use crate::pool::PoolStats;
 use crate::sched::{SchedError, Scheduler, TieBreak};
 use crate::sfq::GC_BUDGET;
 use simtime::{Rate, Ratio, SimTime};
+use std::cell::Cell;
 
 /// Heap ordering key: primary start tag, then the (narrowed) tie-break
 /// key, then packet uid for full determinism. 24 bytes against the
@@ -300,6 +301,93 @@ impl<O: SchedObserver> SfqFast<O> {
         }
     }
 
+    /// Live weight reconfiguration under the tag-rewrite rule, the
+    /// fixed-point mirror of `Sfq::try_set_weight` (see
+    /// `docs/robustness.md`): the backlogged head keeps its tags,
+    /// every later queued packet is re-chained at the new rate's
+    /// [`FixedInc`] span, tie keys are rebuilt, and `last_finish`
+    /// becomes the rewritten tail finish. Idle flows only have their
+    /// registered weight/increment/tie refreshed. All-or-nothing: the
+    /// increment construction and a dry chain pass are verified before
+    /// any state is mutated.
+    pub fn try_set_weight(&mut self, flow: FlowId, weight: Rate) -> Result<(), SchedError> {
+        if weight.as_bps() == 0 {
+            return Err(SchedError::ZeroWeight(flow));
+        }
+        if self.q.ext(flow).is_none() {
+            return Err(SchedError::UnknownFlow(flow));
+        }
+        let inc = FixedInc::new(flow, weight, self.shift)?;
+        let tie = self.tie.key64(weight);
+        if self.q.backlog(flow) == 0 {
+            self.q.retag_flow(
+                flow,
+                |_, _, _, _| {},
+                |ext| {
+                    ext.weight = weight;
+                    ext.inc = inc;
+                    ext.tie = tie;
+                },
+            );
+        } else {
+            // Dry pass: chain the new tags from the (unchanged) head
+            // finish, verifying every span and add fits.
+            let ok = Cell::new(true);
+            let prev = Cell::new(FixedTag::ZERO);
+            self.q.retag_flow(
+                flow,
+                |pos, pkt, _key, meta| {
+                    if pos == 0 {
+                        prev.set(*meta);
+                    } else {
+                        match inc
+                            .span(pkt.len)
+                            .ok()
+                            .and_then(|s| prev.get().checked_add(s))
+                        {
+                            Some(f) => prev.set(f),
+                            None => ok.set(false),
+                        }
+                    }
+                },
+                |_| {},
+            );
+            if !ok.get() {
+                return Err(SchedError::TagOverflow);
+            }
+            let tail_finish = prev.get();
+            // Apply pass: verified above, so the fallbacks never fire.
+            let prev = Cell::new(FixedTag::ZERO);
+            self.q.retag_flow(
+                flow,
+                |pos, pkt, key, meta| {
+                    if pos == 0 {
+                        prev.set(*meta);
+                        return;
+                    }
+                    let start = prev.get();
+                    let finish = inc
+                        .span(pkt.len)
+                        .ok()
+                        .and_then(|s| start.checked_add(s))
+                        .unwrap_or(start);
+                    key.start = start;
+                    key.tie = tie;
+                    *meta = finish;
+                    prev.set(finish);
+                },
+                |ext| {
+                    ext.weight = weight;
+                    ext.inc = inc;
+                    ext.tie = tie;
+                    ext.last_finish = tail_finish;
+                },
+            );
+        }
+        self.obs.on_flow_change(flow, &FlowChange::Added { weight });
+        Ok(())
+    }
+
     /// Drop a flow and all of its queued packets immediately; see
     /// `Sfq::force_remove_flow` for the contract.
     pub fn force_remove_flow(&mut self, flow: FlowId) -> usize {
@@ -524,6 +612,10 @@ impl<O: SchedObserver> Scheduler for SfqFast<O> {
 
     fn force_remove_flow(&mut self, flow: FlowId) -> usize {
         SfqFast::force_remove_flow(self, flow)
+    }
+
+    fn try_set_weight(&mut self, flow: FlowId, weight: Rate) -> Result<(), SchedError> {
+        SfqFast::try_set_weight(self, flow, weight)
     }
 
     fn drop_head(&mut self, flow: FlowId) -> Option<Packet> {

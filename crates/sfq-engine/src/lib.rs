@@ -40,7 +40,7 @@ mod threaded;
 pub use ring::{spsc, SpscConsumer, SpscProducer};
 pub use root::RootSfq;
 pub use sync::SyncEngine;
-pub use threaded::ThreadedEngine;
+pub use threaded::{RecoveryStats, ThreadedEngine};
 
 use sfq_core::obs::SchedObserver;
 use sfq_core::{FlowId, ScfqFast, Scheduler, Sfq, SfqFast};
@@ -80,6 +80,50 @@ impl<O: SchedObserver> ShardSched for ScfqFast<O> {
     }
 }
 
+// Boxed shards forward the whole contract (the `Scheduler` supertrait
+// already forwards through `Box` in sfq-core); this is what lets the
+// threaded driver type-erase heterogeneous shard factories so a
+// supervisor can rebuild a worker's scheduler after a crash.
+impl<T: ShardSched + ?Sized> ShardSched for Box<T> {
+    fn enable_rebasing(&mut self, threshold_bits: u32) {
+        (**self).enable_rebasing(threshold_bits);
+    }
+}
+
+/// What the [`ThreadedEngine`] supervisor does with a shard whose
+/// worker thread died (panic or injected fault). Either way the
+/// supervisor first salvages the dead shard's ingress-ring residue
+/// through the deposited consumer handle, so those packets are never
+/// silently lost — only scheduler-resident packets (whose tag state
+/// died with the worker) are unrecoverable and counted as drops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Rebuild the shard in place: spawn a fresh worker from the
+    /// construction factory, re-register every flow homed on the shard
+    /// from the coordinator's authoritative weight table, and re-ingest
+    /// the salvaged ring residue. The default.
+    Restart,
+    /// Leave the shard down and degrade per the given mode.
+    Degrade(DegradedMode),
+}
+
+/// Degraded operation for a dead shard when restarts are disabled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegradedMode {
+    /// Re-home the dead shard's flows onto the surviving shards
+    /// (deterministic rehash over the alive set), moving their weights
+    /// in the root arbiter and re-ingesting the salvaged ring residue
+    /// at the new homes. Flows keep flowing at the cost of fresh tag
+    /// state.
+    Redistribute,
+    /// Park the dead shard's flows: every later ingest or
+    /// reconfiguration of a parked flow is refused with
+    /// [`sfq_core::SchedError::ShardDown`], and the salvaged ring
+    /// residue is counted as dropped. Nothing moves between shards, so
+    /// surviving flows keep their exact schedule.
+    Park,
+}
+
 /// Construction parameters shared by both engine drivers.
 #[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
@@ -98,6 +142,9 @@ pub struct EngineConfig {
     /// scheduler and on the root node once tag magnitudes exceed
     /// `bits` (see `docs/robustness.md`).
     pub rebase_bits: Option<u32>,
+    /// What the [`ThreadedEngine`] supervisor does when a shard worker
+    /// dies (ignored by [`SyncEngine`], which has no workers to lose).
+    pub recovery: RecoveryPolicy,
 }
 
 impl EngineConfig {
@@ -109,6 +156,7 @@ impl EngineConfig {
             batch: 32,
             ring_capacity: 4096,
             rebase_bits: Some(96),
+            recovery: RecoveryPolicy::Restart,
         }
     }
 
@@ -127,6 +175,12 @@ impl EngineConfig {
     /// Replace the rebase threshold (`None` disables rebasing).
     pub fn rebase_bits(mut self, bits: Option<u32>) -> Self {
         self.rebase_bits = bits;
+        self
+    }
+
+    /// Replace the shard-failure recovery policy.
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
         self
     }
 

@@ -24,14 +24,24 @@
 //! [`EngineConfig::rebase_bits`]: crate::EngineConfig::rebase_bits
 
 use sfq_core::SchedError;
-use simtime::Ratio;
+use simtime::{Rate, Ratio};
 
 #[derive(Clone, Copy, Debug)]
 struct ShardClass {
     /// Aggregate weight `R_i`: sum of registered flow rates, in bps.
     weight_bps: u64,
+    /// Administrative override of `R_i` (the `SetShardWeight`
+    /// reconfiguration command); `None` uses the flow-sum aggregate.
+    override_bps: Option<u64>,
     /// Finish tag of the shard's most recent batch.
     last_finish: Ratio,
+}
+
+impl ShardClass {
+    /// Effective `R_i`: the override when set, else the flow-sum.
+    fn effective_bps(&self) -> u64 {
+        self.override_bps.unwrap_or(self.weight_bps)
+    }
 }
 
 /// The cross-shard SFQ arbiter. See the module docs for the algorithm.
@@ -54,6 +64,7 @@ impl RootSfq {
             classes: vec![
                 ShardClass {
                     weight_bps: 0,
+                    override_bps: None,
                     last_finish: Ratio::ZERO,
                 };
                 shards
@@ -77,6 +88,32 @@ impl RootSfq {
         self.classes[shard].weight_bps
     }
 
+    /// Override shard `shard`'s effective aggregate weight with a fixed
+    /// rate, or return to the flow-sum aggregate with `None` (the
+    /// `SetShardWeight` reconfiguration command). The flow-sum keeps
+    /// accumulating underneath, so clearing the override restores exact
+    /// per-flow bookkeeping. Errors with [`SchedError::UnknownShard`]
+    /// for an out-of-range shard and [`SchedError::ZeroWeight`] for a
+    /// zero-rate override (a weightless shard would never be picked,
+    /// silently parking its flows — park explicitly instead).
+    pub fn set_shard_weight(&mut self, shard: usize, rate: Option<Rate>) -> Result<(), SchedError> {
+        let Some(c) = self.classes.get_mut(shard) else {
+            return Err(SchedError::UnknownShard(shard));
+        };
+        if let Some(r) = rate {
+            if r.as_bps() == 0 {
+                return Err(SchedError::ZeroWeight(sfq_core::FlowId(shard as u32)));
+            }
+        }
+        c.override_bps = rate.map(|r| r.as_bps());
+        Ok(())
+    }
+
+    /// The administrative override on shard `shard`, if any.
+    pub fn shard_weight_override(&self, shard: usize) -> Option<u64> {
+        self.classes.get(shard).and_then(|c| c.override_bps)
+    }
+
     /// Current root virtual time.
     pub fn virtual_time(&self) -> Ratio {
         self.v
@@ -94,7 +131,7 @@ impl RootSfq {
         debug_assert_eq!(backlogged.len(), self.classes.len());
         let mut best: Option<(Ratio, usize)> = None;
         for (i, c) in self.classes.iter().enumerate() {
-            if !backlogged[i] || c.weight_bps == 0 {
+            if !backlogged[i] || c.effective_bps() == 0 {
                 continue;
             }
             let start = self.v.max(c.last_finish);
@@ -112,9 +149,9 @@ impl RootSfq {
     pub fn charge(&mut self, shard: usize, bits: u64) -> Result<(), SchedError> {
         self.maybe_rebase();
         let c = self.classes[shard];
-        debug_assert!(c.weight_bps > 0, "charging a weightless shard");
+        debug_assert!(c.effective_bps() > 0, "charging a weightless shard");
         let start = self.v.max(c.last_finish);
-        let span = Ratio::new(bits as i128, c.weight_bps.max(1) as i128);
+        let span = Ratio::new(bits as i128, c.effective_bps().max(1) as i128);
         let finish = start.checked_add(span).ok_or(SchedError::TagOverflow)?;
         self.classes[shard].last_finish = finish;
         self.v = start;

@@ -28,7 +28,9 @@ use crate::ring::{spsc, SpscConsumer, SpscProducer};
 use crate::root::RootSfq;
 use crate::{shard_of, EngineConfig, ShardSched};
 use sfq_core::obs::SchedObserver;
-use sfq_core::{FlowId, FlowMap, NoopObserver, Packet, SchedError, Scheduler, Sfq, SfqFast};
+use sfq_core::{
+    FlowId, FlowMap, NoopObserver, Packet, ReconfigCmd, SchedError, Scheduler, Sfq, SfqFast,
+};
 use simtime::{Rate, SimTime};
 
 struct Shard<S> {
@@ -235,6 +237,65 @@ impl<S: Scheduler> SyncEngine<S> {
         Ok(n)
     }
 
+    /// Live weight change for `flow` on its home shard, under the leaf
+    /// discipline's tag-rewrite rule (see `Sfq::try_set_weight` and
+    /// `docs/robustness.md`), with the coordinator weight table and the
+    /// root arbiter's shard aggregate updated to match. The scheduler
+    /// state is untouched on every error path.
+    pub fn try_set_weight(&mut self, flow: FlowId, weight: Rate) -> Result<(), SchedError> {
+        if weight.as_bps() == 0 {
+            return Err(SchedError::ZeroWeight(flow));
+        }
+        if !self.weights.contains(flow) {
+            return Err(SchedError::UnknownFlow(flow));
+        }
+        let s = self.shard_of(flow);
+        self.shards[s].sched.try_set_weight(flow, weight)?;
+        let old = self.weights.insert(flow, weight).map_or(0, |w| w.as_bps());
+        self.root.reweigh(s, old, weight.as_bps());
+        Ok(())
+    }
+
+    /// Override shard `shard`'s effective aggregate weight at the root
+    /// arbiter, or clear the override with `None` — the
+    /// [`ReconfigCmd::SetShardWeight`] command. See
+    /// [`RootSfq::set_shard_weight`].
+    pub fn try_set_shard_weight(
+        &mut self,
+        shard: usize,
+        rate: Option<Rate>,
+    ) -> Result<(), SchedError> {
+        if shard >= self.shards.len() {
+            return Err(SchedError::UnknownShard(shard));
+        }
+        self.root.set_shard_weight(shard, rate)
+    }
+
+    /// Apply a typed reconfiguration command. `SetRate` and `AddFlow`
+    /// both route through [`SyncEngine::try_add_flow`] (re-registration
+    /// updates the weight lazily — queued tags keep the old rate);
+    /// `SetWeight` rewrites queued tags eagerly; `RemoveFlow` removes
+    /// the flow *forcefully*, discarding any backlog — engine removal
+    /// is forceful by contract, so callers tracking conservation should
+    /// read [`Scheduler::backlog`] first and count the discard as
+    /// drops.
+    pub fn try_reconfig(&mut self, cmd: ReconfigCmd) -> Result<(), SchedError> {
+        match cmd {
+            ReconfigCmd::SetWeight(flow, weight) => self.try_set_weight(flow, weight),
+            ReconfigCmd::SetRate(flow, weight) | ReconfigCmd::AddFlow(flow, weight) => {
+                self.try_add_flow(flow, weight)
+            }
+            ReconfigCmd::RemoveFlow(flow) => {
+                if !self.weights.contains(flow) {
+                    return Err(SchedError::UnknownFlow(flow));
+                }
+                Scheduler::force_remove_flow(self, flow);
+                Ok(())
+            }
+            ReconfigCmd::SetShardWeight(shard, rate) => self.try_set_shard_weight(shard, rate),
+        }
+    }
+
     /// Total packets pending across all shards (rings plus queues).
     pub fn pending(&self) -> usize {
         self.shards.iter().map(Shard::pending).sum()
@@ -331,6 +392,14 @@ impl<S: Scheduler> Scheduler for SyncEngine<S> {
     fn drop_head(&mut self, flow: FlowId) -> Option<Packet> {
         let s = shard_of(flow, self.shards.len());
         self.shards[s].sched.drop_head(flow)
+    }
+
+    fn try_set_weight(&mut self, flow: FlowId, weight: Rate) -> Result<(), SchedError> {
+        SyncEngine::try_set_weight(self, flow, weight)
+    }
+
+    fn try_reconfig(&mut self, cmd: ReconfigCmd) -> Result<(), SchedError> {
+        SyncEngine::try_reconfig(self, cmd)
     }
 
     fn name(&self) -> &'static str {

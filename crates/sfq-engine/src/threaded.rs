@@ -1,5 +1,5 @@
 //! Multi-threaded engine driver: one worker per shard, determinism by
-//! construction.
+//! construction, supervised recovery when a worker dies.
 //!
 //! # Why the departures cannot depend on thread timing
 //!
@@ -34,17 +34,57 @@
 //! once flows are registered) does not panic: it parks the error and
 //! reports it on the next drain, keeping the coordinator free to shed
 //! that shard and keep serving the others.
+//!
+//! # Shard supervision
+//!
+//! Every worker loop runs its command steps under `catch_unwind`. When
+//! a step panics — a real scheduler bug, or a fault injected with
+//! [`ThreadedEngine::inject_worker_panic`] — the dying worker deposits
+//! its ring-consumer handle into a salvage slot shared with the
+//! coordinator and exits without replying. The coordinator detects the
+//! death at its next synchronous round trip with that shard (a failed
+//! command send or reply receive), and the supervisor path runs:
+//!
+//! 1. **Draining.** Join the dead thread (guaranteeing the deposit has
+//!    happened), then pop every packet still in the ingress ring
+//!    through the salvaged consumer. These packets were ingested but
+//!    never tag-stamped, so they are fully recoverable. Packets that
+//!    were already inside the dead worker's scheduler are not — their
+//!    tag state died with the thread — and are counted as drops in
+//!    [`RecoveryStats`].
+//! 2. **Rebuilding** ([`RecoveryPolicy::Restart`], the default): spawn
+//!    a fresh worker from the construction factory, re-register every
+//!    flow homed on the shard from the coordinator's authoritative
+//!    weight table, and re-ingest the salvaged residue in arrival
+//!    order.
+//! 3. **Degraded** ([`RecoveryPolicy::Degrade`]): leave the shard down
+//!    and either re-home its flows over the survivors
+//!    ([`DegradedMode::Redistribute`]) or park them so later ingests
+//!    refuse with [`SchedError::ShardDown`] ([`DegradedMode::Park`]).
+//!
+//! Throughout, the other shards keep draining — the supervisor runs
+//! inline on the coordinator and never blocks on the dead thread beyond
+//! the (already-exited) join. Packet conservation is exact:
+//! `offered == departures + refusals + RecoveryStats::dropped` at every
+//! fully-drained point, the invariant the conformance `chaos` preset
+//! replays under seeded kills.
 
 use crate::ring::{spsc, SpscConsumer, SpscProducer};
 use crate::root::RootSfq;
-use crate::{shard_of, EngineConfig, ShardSched};
-use sfq_core::{FlowId, FlowMap, Packet, SchedError, Scheduler, Sfq, SfqFast};
+use crate::{shard_of, DegradedMode, EngineConfig, RecoveryPolicy, ShardSched};
+use sfq_core::{FlowId, FlowMap, Packet, ReconfigCmd, SchedError, Scheduler, Sfq, SfqFast};
 use simtime::{Rate, SimTime};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 enum Cmd {
     AddFlow(FlowId, Rate),
+    /// Live weight change under the leaf tag-rewrite rule. Synchronous:
+    /// replies [`Resp::Reconfigured`] so rewrite errors (tag overflow)
+    /// propagate without poisoning the shard.
+    SetWeight(FlowId, Rate),
     Pump {
         upto: u64,
         now: SimTime,
@@ -61,6 +101,9 @@ enum Cmd {
     /// HeadDrop/pressure eviction hook). Synchronous: replies
     /// [`Resp::Evicted`].
     DropHead(FlowId),
+    /// Fault injection: panic inside the worker step, exercising the
+    /// exact unwind-salvage-recover path a real scheduler bug would.
+    Crash,
     Stop,
 }
 
@@ -74,54 +117,104 @@ enum Resp {
     Drained(DrainResult),
     Removed(usize),
     Evicted(Option<Packet>),
+    Reconfigured(Result<(), SchedError>),
 }
 
-struct Worker<S> {
-    sched: S,
+/// Private panic payload for [`Cmd::Crash`]: the global quiet hook
+/// suppresses the default stderr report for exactly this type, so chaos
+/// runs do not spray backtraces while real panics stay loud.
+struct InjectedFault;
+
+/// Slot through which a dying worker hands its ring consumer back to
+/// the coordinator for salvage.
+type SalvageSlot = Arc<Mutex<Option<SpscConsumer<Packet>>>>;
+
+/// Install (once, process-wide) a panic hook that silences only
+/// [`InjectedFault`] panics and delegates everything else to the
+/// previous hook.
+fn install_quiet_panic_hook() {
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedFault>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+struct Worker {
+    sched: Box<dyn ShardSched + Send>,
     cons: SpscConsumer<Packet>,
     consumed: u64,
     scratch: Vec<Packet>,
     poisoned: Option<SchedError>,
 }
 
-impl<S: Scheduler> Worker<S> {
-    fn run(mut self, cmds: Receiver<Cmd>, resp: Sender<Resp>) {
-        for cmd in cmds {
-            match cmd {
-                Cmd::AddFlow(flow, weight) => {
-                    if let Err(e) = self.sched.try_add_flow(flow, weight) {
-                        self.poisoned.get_or_insert(e);
+impl Worker {
+    fn run(mut self, cmds: Receiver<Cmd>, resp: Sender<Resp>, salvage: SalvageSlot) {
+        while let Ok(cmd) = cmds.recv() {
+            match catch_unwind(AssertUnwindSafe(|| self.step(cmd, &resp))) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(payload) => {
+                    // The worker is dying (injected fault or real
+                    // scheduler panic). Deposit the ring consumer so
+                    // the supervisor can salvage in-flight ingress;
+                    // the scheduler's own state is untrusted mid-panic
+                    // and dies with the thread. Dropping `resp` (as
+                    // this frame unwinds out) is the coordinator's
+                    // detection signal.
+                    if let Ok(mut slot) = salvage.lock() {
+                        *slot = Some(self.cons);
                     }
+                    drop(payload);
+                    return;
                 }
-                Cmd::Pump { upto, now } => self.pump(upto, now),
-                Cmd::Drain { upto, now, max } => {
-                    self.pump(upto, now);
-                    let out = match self.poisoned {
-                        Some(e) => Err(e),
-                        None => {
-                            let mut pkts = Vec::new();
-                            self.sched.dequeue_batch(now, max, &mut pkts);
-                            Ok(pkts)
-                        }
-                    };
-                    if resp.send(Resp::Drained(out)).is_err() {
-                        break; // coordinator gone
-                    }
-                }
-                Cmd::ForceRemove(flow) => {
-                    let dropped = self.sched.force_remove_flow(flow);
-                    if resp.send(Resp::Removed(dropped)).is_err() {
-                        break;
-                    }
-                }
-                Cmd::DropHead(flow) => {
-                    let evicted = self.sched.drop_head(flow);
-                    if resp.send(Resp::Evicted(evicted)).is_err() {
-                        break;
-                    }
-                }
-                Cmd::Stop => break,
             }
+        }
+    }
+
+    /// Apply one command; `false` ends the worker loop cleanly.
+    fn step(&mut self, cmd: Cmd, resp: &Sender<Resp>) -> bool {
+        match cmd {
+            Cmd::AddFlow(flow, weight) => {
+                if let Err(e) = self.sched.try_add_flow(flow, weight) {
+                    self.poisoned.get_or_insert(e);
+                }
+                true
+            }
+            Cmd::SetWeight(flow, weight) => {
+                let res = self.sched.try_set_weight(flow, weight);
+                resp.send(Resp::Reconfigured(res)).is_ok()
+            }
+            Cmd::Pump { upto, now } => {
+                self.pump(upto, now);
+                true
+            }
+            Cmd::Drain { upto, now, max } => {
+                self.pump(upto, now);
+                let out = match self.poisoned {
+                    Some(e) => Err(e),
+                    None => {
+                        let mut pkts = Vec::new();
+                        self.sched.dequeue_batch(now, max, &mut pkts);
+                        Ok(pkts)
+                    }
+                };
+                resp.send(Resp::Drained(out)).is_ok()
+            }
+            Cmd::ForceRemove(flow) => {
+                let dropped = self.sched.force_remove_flow(flow);
+                resp.send(Resp::Removed(dropped)).is_ok()
+            }
+            Cmd::DropHead(flow) => {
+                let evicted = self.sched.drop_head(flow);
+                resp.send(Resp::Evicted(evicted)).is_ok()
+            }
+            Cmd::Crash => std::panic::panic_any(InjectedFault),
+            Cmd::Stop => false,
         }
     }
 
@@ -153,24 +246,91 @@ struct ShardHandle {
     /// Packets ingested but not yet drained (coordinator's view; equals
     /// ring residue + shard queue length at every synchronous point).
     pending: u64,
+    /// Where a dying worker deposits its ring consumer for salvage.
+    salvage: SalvageSlot,
     join: Option<JoinHandle<()>>,
 }
 
+/// Spawn one shard worker: fresh ring, fresh channel pair, fresh
+/// scheduler from the factory. Used at construction and again by the
+/// supervisor when rebuilding a dead shard.
+fn spawn_shard(
+    index: usize,
+    ring_capacity: usize,
+    rebase_bits: Option<u32>,
+    mk: &mut (dyn FnMut(usize) -> Box<dyn ShardSched + Send> + Send),
+) -> ShardHandle {
+    let (prod, cons) = spsc(ring_capacity);
+    let (cmd_tx, cmd_rx) = channel();
+    let (resp_tx, resp_rx) = channel();
+    let mut sched = mk(index);
+    if let Some(bits) = rebase_bits {
+        sched.enable_rebasing(bits);
+    }
+    let salvage: SalvageSlot = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&salvage);
+    let worker = Worker {
+        sched,
+        cons,
+        consumed: 0,
+        scratch: Vec::new(),
+        poisoned: None,
+    };
+    let join = std::thread::Builder::new()
+        .name(format!("sfq-engine-shard-{index}"))
+        .spawn(move || worker.run(cmd_rx, resp_tx, slot))
+        .expect("spawn sfq-engine shard worker");
+    ShardHandle {
+        prod,
+        cmd: cmd_tx,
+        resp: resp_rx,
+        pushed: 0,
+        pending: 0,
+        salvage,
+        join: Some(join),
+    }
+}
+
+/// Supervisor bookkeeping: worker deaths handled and the packet fate
+/// ledger that closes the conservation equation
+/// `offered == departures + refusals + dropped`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Worker deaths detected and recovered from (any policy).
+    pub recoveries: u64,
+    /// Ring-resident packets salvaged from dead shards and re-queued.
+    pub recovered: u64,
+    /// Packets lost to dead workers: scheduler-resident state, plus
+    /// salvaged residue the active policy had to discard.
+    pub dropped: u64,
+}
+
 /// Multi-threaded sharded engine. See the module docs for the
-/// determinism protocol; the API mirrors
-/// [`SyncEngine`](crate::SyncEngine)'s native surface.
+/// determinism protocol and the supervision state machine; the API
+/// mirrors [`SyncEngine`](crate::SyncEngine)'s native surface.
 ///
 /// The shard scheduler type is chosen at construction
 /// ([`ThreadedEngine::new`], [`ThreadedEngine::new_fast`], or the
 /// general [`ThreadedEngine::from_factory`]) and then erased: each
-/// worker thread owns its scheduler, so the coordinator handle is the
-/// same type whichever discipline runs inside.
+/// worker thread owns its scheduler boxed, and the coordinator keeps
+/// the factory so the supervisor can rebuild a shard after a crash.
 pub struct ThreadedEngine {
     batch: usize,
     ring_capacity: u64,
+    rebase_bits: Option<u32>,
+    recovery: RecoveryPolicy,
+    mk: Box<dyn FnMut(usize) -> Box<dyn ShardSched + Send> + Send>,
     shards: Vec<ShardHandle>,
     root: RootSfq,
     weights: FlowMap<Rate>,
+    /// Current home shard of every registered flow. Identical to
+    /// [`shard_of`] until a degraded-mode redistribution re-homes the
+    /// dead shard's flows; authoritative for every routing decision.
+    assign: FlowMap<usize>,
+    /// Shards whose worker died under a [`RecoveryPolicy::Degrade`]
+    /// policy (never set under `Restart`).
+    dead: Vec<bool>,
+    stats: RecoveryStats,
     backlogged: Vec<bool>,
     /// Coordinator-side per-flow pending counts (ingested, not yet
     /// departed). Every departure passes through a synchronous
@@ -199,89 +359,193 @@ impl ThreadedEngine {
 
     /// Spawn one worker thread per shard, shard `i`'s scheduler built
     /// by `mk(i)` on the coordinator thread and then moved into the
-    /// worker; the config rebase threshold is applied to each. This is
-    /// the one construction path — the named constructors delegate
-    /// here.
-    pub fn from_factory<S>(cfg: EngineConfig, mut mk: impl FnMut(usize) -> S) -> Self
+    /// worker; the config rebase threshold is applied to each. The
+    /// factory is retained so the supervisor can rebuild a shard whose
+    /// worker died (hence the `Send + 'static` bounds). This is the
+    /// one construction path — the named constructors delegate here.
+    pub fn from_factory<S>(
+        cfg: EngineConfig,
+        mut mk: impl FnMut(usize) -> S + Send + 'static,
+    ) -> Self
     where
         S: ShardSched + Send + 'static,
     {
         let cfg = cfg.validated();
+        let mut mk_boxed: Box<dyn FnMut(usize) -> Box<dyn ShardSched + Send> + Send> =
+            Box::new(move |i| Box::new(mk(i)) as Box<dyn ShardSched + Send>);
         let shards = (0..cfg.shards)
-            .map(|i| {
-                let (prod, cons) = spsc(cfg.ring_capacity);
-                let (cmd_tx, cmd_rx) = channel();
-                let (resp_tx, resp_rx) = channel();
-                let mut sched = mk(i);
-                if let Some(bits) = cfg.rebase_bits {
-                    sched.enable_rebasing(bits);
-                }
-                let worker = Worker {
-                    sched,
-                    cons,
-                    consumed: 0,
-                    scratch: Vec::new(),
-                    poisoned: None,
-                };
-                let join = std::thread::Builder::new()
-                    .name(format!("sfq-engine-shard-{i}"))
-                    .spawn(move || worker.run(cmd_rx, resp_tx))
-                    .expect("spawn sfq-engine shard worker");
-                ShardHandle {
-                    prod,
-                    cmd: cmd_tx,
-                    resp: resp_rx,
-                    pushed: 0,
-                    pending: 0,
-                    join: Some(join),
-                }
-            })
+            .map(|i| spawn_shard(i, cfg.ring_capacity, cfg.rebase_bits, &mut *mk_boxed))
             .collect();
         ThreadedEngine {
             batch: cfg.batch,
             ring_capacity: cfg.ring_capacity as u64,
+            rebase_bits: cfg.rebase_bits,
+            recovery: cfg.recovery,
+            mk: mk_boxed,
             shards,
             root: RootSfq::new(cfg.shards, cfg.rebase_bits),
             weights: FlowMap::new(),
+            assign: FlowMap::new(),
+            dead: vec![false; cfg.shards],
+            stats: RecoveryStats::default(),
             backlogged: vec![false; cfg.shards],
             flow_pending: FlowMap::new(),
             one: Vec::new(),
         }
     }
 
-    /// Number of shards (== worker threads).
+    /// Number of shards (== worker threads at construction; a dead
+    /// shard under a degraded policy no longer has a thread).
     pub fn shards(&self) -> usize {
         self.shards.len()
     }
 
-    /// Shard owning `flow`.
+    /// Shard owning `flow` right now: the hash home, unless a
+    /// degraded-mode redistribution re-homed it.
     pub fn shard_of(&self, flow: FlowId) -> usize {
-        shard_of(flow, self.shards.len())
+        self.assign
+            .get(flow)
+            .copied()
+            .unwrap_or_else(|| shard_of(flow, self.shards.len()))
+    }
+
+    /// `true` when `shard`'s worker died under a degraded policy and
+    /// was not rebuilt.
+    pub fn shard_is_down(&self, shard: usize) -> bool {
+        self.dead.get(shard).copied().unwrap_or(false)
+    }
+
+    /// Supervisor ledger: recoveries handled, packets salvaged,
+    /// packets lost. See [`RecoveryStats`].
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.stats
+    }
+
+    /// Inject a panic into `shard`'s worker (the chaos-conformance
+    /// fault hook): the worker panics inside its command step on the
+    /// next command it processes, exercising the exact unwind → salvage
+    /// → supervise path a real scheduler bug would. The death is
+    /// detected — and recovery runs — at the coordinator's next
+    /// synchronous round trip with the shard. Errors with
+    /// [`SchedError::UnknownShard`] for an out-of-range or
+    /// already-dead shard.
+    pub fn inject_worker_panic(&mut self, shard: usize) -> Result<(), SchedError> {
+        if shard >= self.shards.len() || self.dead[shard] {
+            return Err(SchedError::UnknownShard(shard));
+        }
+        install_quiet_panic_hook();
+        self.send(shard, Cmd::Crash);
+        Ok(())
     }
 
     /// Register `flow` at rate `weight`; mirrors
     /// [`SyncEngine::try_add_flow`](crate::SyncEngine::try_add_flow).
     /// The command is ordered before any later packet of the flow
-    /// because both travel through the same per-shard channels.
+    /// because both travel through the same per-shard channels. A new
+    /// flow whose hash home is down is re-homed (redistribute) or
+    /// refused with [`SchedError::ShardDown`] (park).
     pub fn try_add_flow(&mut self, flow: FlowId, weight: Rate) -> Result<(), SchedError> {
         if weight.as_bps() == 0 {
             return Err(SchedError::ZeroWeight(flow));
         }
-        let s = self.shard_of(flow);
+        let s = match self.assign.get(flow).copied() {
+            Some(s) => s,
+            None => self.initial_home(flow)?,
+        };
+        if self.dead[s] {
+            return Err(SchedError::ShardDown(flow));
+        }
         self.send(s, Cmd::AddFlow(flow, weight));
+        self.assign.insert(flow, s);
         let old = self.weights.insert(flow, weight).map_or(0, |w| w.as_bps());
         self.root.reweigh(s, old, weight.as_bps());
         Ok(())
     }
 
+    /// Live weight change for `flow` under the leaf tag-rewrite rule
+    /// (synchronous round trip; see `Sfq::try_set_weight` and
+    /// `docs/robustness.md`), with the coordinator weight table and the
+    /// root aggregate updated on success. If the worker dies during
+    /// the round trip the supervisor recovers it and the command is
+    /// retried once on the recovered topology.
+    pub fn try_set_weight(&mut self, flow: FlowId, weight: Rate) -> Result<(), SchedError> {
+        if weight.as_bps() == 0 {
+            return Err(SchedError::ZeroWeight(flow));
+        }
+        if !self.weights.contains(flow) {
+            return Err(SchedError::UnknownFlow(flow));
+        }
+        for _attempt in 0..2 {
+            let Some(s) = self.assign.get(flow).copied() else {
+                return Err(SchedError::UnknownFlow(flow));
+            };
+            if self.dead[s] {
+                return Err(SchedError::ShardDown(flow));
+            }
+            match self.roundtrip(s, Cmd::SetWeight(flow, weight)) {
+                Some(Resp::Reconfigured(res)) => {
+                    res?;
+                    let old = self.weights.insert(flow, weight).map_or(0, |w| w.as_bps());
+                    self.root.reweigh(s, old, weight.as_bps());
+                    return Ok(());
+                }
+                Some(_) => unreachable!("set-weight reply out of protocol"),
+                None => continue, // supervisor ran; retry on the new topology
+            }
+        }
+        Err(SchedError::ShardDown(flow))
+    }
+
+    /// Override shard `shard`'s effective aggregate weight at the root
+    /// arbiter, or clear the override with `None` — the
+    /// [`ReconfigCmd::SetShardWeight`] command. Pure coordinator state;
+    /// no worker round trip. See [`RootSfq::set_shard_weight`].
+    pub fn try_set_shard_weight(
+        &mut self,
+        shard: usize,
+        rate: Option<Rate>,
+    ) -> Result<(), SchedError> {
+        if shard >= self.shards.len() {
+            return Err(SchedError::UnknownShard(shard));
+        }
+        self.root.set_shard_weight(shard, rate)
+    }
+
+    /// Apply a typed reconfiguration command; same routing contract as
+    /// [`SyncEngine::try_reconfig`](crate::SyncEngine::try_reconfig)
+    /// (notably: `RemoveFlow` is forceful — callers tracking
+    /// conservation should read [`Scheduler::backlog`] first and count
+    /// the discard as drops).
+    pub fn try_reconfig(&mut self, cmd: ReconfigCmd) -> Result<(), SchedError> {
+        match cmd {
+            ReconfigCmd::SetWeight(flow, weight) => self.try_set_weight(flow, weight),
+            ReconfigCmd::SetRate(flow, weight) | ReconfigCmd::AddFlow(flow, weight) => {
+                self.try_add_flow(flow, weight)
+            }
+            ReconfigCmd::RemoveFlow(flow) => {
+                if !self.weights.contains(flow) {
+                    return Err(SchedError::UnknownFlow(flow));
+                }
+                self.force_remove_flow(flow);
+                Ok(())
+            }
+            ReconfigCmd::SetShardWeight(shard, rate) => self.try_set_shard_weight(shard, rate),
+        }
+    }
+
     /// Hand `pkt` to its home shard's ring; same deterministic
     /// backpressure rule as the sync driver (refuse when pending ==
-    /// ring capacity, so the physical push below cannot fail).
+    /// ring capacity, so the physical push below cannot fail). A flow
+    /// whose home shard is down (parked) is refused with
+    /// [`SchedError::ShardDown`].
     pub fn try_ingest(&mut self, pkt: Packet) -> Result<(), SchedError> {
         if !self.weights.contains(pkt.flow) {
             return Err(SchedError::UnknownFlow(pkt.flow));
         }
-        let s = shard_of(pkt.flow, self.shards.len());
+        let s = self.shard_of(pkt.flow);
+        if self.dead[s] {
+            return Err(SchedError::ShardDown(pkt.flow));
+        }
         let shard = &mut self.shards[s];
         if shard.pending >= self.ring_capacity {
             return Err(SchedError::BufferFull(pkt.flow));
@@ -302,10 +566,14 @@ impl ThreadedEngine {
         Ok(())
     }
 
-    /// Ask every worker to move its ring residue into its scheduler,
-    /// stamping tags now. Asynchronous: returns without waiting.
+    /// Ask every live worker to move its ring residue into its
+    /// scheduler, stamping tags now. Asynchronous: returns without
+    /// waiting.
     pub fn pump(&mut self, now: SimTime) {
         for i in 0..self.shards.len() {
+            if self.dead[i] {
+                continue;
+            }
             let upto = self.shards[i].pushed;
             self.send(i, Cmd::Pump { upto, now });
         }
@@ -313,24 +581,40 @@ impl ThreadedEngine {
 
     /// Drain up to `max` packets at `now` into `out`; same root-arbiter
     /// loop as [`SyncEngine::drain`](crate::SyncEngine::drain), with
-    /// each per-shard batch fetched synchronously from its worker.
+    /// each per-shard batch fetched synchronously from its worker. A
+    /// worker death surfaces here as a failed round trip: the
+    /// supervisor recovers the shard inline and the loop continues
+    /// with the surviving shards — no global stall.
     pub fn drain(
         &mut self,
         now: SimTime,
         max: usize,
         out: &mut Vec<Packet>,
     ) -> Result<usize, SchedError> {
+        // Pump every live shard first, exactly like the sync driver's
+        // drain. For plain schedules this is optional (tags don't
+        // depend on when the ring is consumed), but it is load-bearing
+        // for reconfiguration identity: a later `SetWeight` must find
+        // the same scheduler-resident packet set on both drivers, and
+        // the tag-rewrite rule treats queued packets (head keeps its
+        // tags) differently from ring residue (enqueued wholly at the
+        // new rate).
+        self.pump(now);
         let mut n = 0;
+        // Backstop against a shard whose rebuilt worker keeps dying
+        // (impossible for injected faults, which are one-shot, but a
+        // deterministic scheduler bug could re-panic on re-ingest).
+        let mut recoveries = 0usize;
         while n < max {
             for (i, shard) in self.shards.iter().enumerate() {
-                self.backlogged[i] = shard.pending > 0;
+                self.backlogged[i] = !self.dead[i] && shard.pending > 0;
             }
             let Some(s) = self.root.pick(&self.backlogged) else {
                 break;
             };
             let take = self.batch.min(max - n);
             let upto = self.shards[s].pushed;
-            self.send(
+            let resp = self.roundtrip(
                 s,
                 Cmd::Drain {
                     upto,
@@ -338,8 +622,15 @@ impl ThreadedEngine {
                     max: take,
                 },
             );
-            let Resp::Drained(res) = self.recv(s) else {
-                unreachable!("drain reply out of protocol")
+            let Some(Resp::Drained(res)) = resp else {
+                if resp.is_some() {
+                    unreachable!("drain reply out of protocol");
+                }
+                recoveries += 1;
+                if recoveries > self.shards.len() * 4 {
+                    break;
+                }
+                continue;
             };
             let pkts = res?;
             let k = pkts.len();
@@ -379,51 +670,255 @@ impl ThreadedEngine {
     /// [`SyncEngine::force_remove_flow`](crate::SyncEngine) —
     /// ring-resident packets of the flow are not discarded, so drive
     /// this only from the eager-pump `Scheduler` facade (rings empty)
-    /// or accept the residue poisoning the shard at its next pump.
+    /// or accept the residue poisoning the shard at its next pump. If
+    /// the worker dies mid-round-trip the supervisor recovers and the
+    /// removal retries once.
     pub fn force_remove_flow(&mut self, flow: FlowId) -> usize {
-        let s = self.shard_of(flow);
-        self.send(s, Cmd::ForceRemove(flow));
-        let Resp::Removed(dropped) = self.recv(s) else {
-            unreachable!("force-remove reply out of protocol")
-        };
-        self.shards[s].pending -= dropped as u64;
-        self.flow_pending.remove(flow);
-        if let Some(old) = self.weights.remove(flow) {
-            self.root.reweigh(s, old.as_bps(), 0);
+        for _attempt in 0..2 {
+            let Some(s) = self.assign.get(flow).copied() else {
+                return 0;
+            };
+            if self.dead[s] {
+                // Parked flow: its backlog died with the shard (already
+                // in the drop ledger); just unregister.
+                self.flow_pending.remove(flow);
+                self.assign.remove(flow);
+                if let Some(old) = self.weights.remove(flow) {
+                    self.root.reweigh(s, old.as_bps(), 0);
+                }
+                return 0;
+            }
+            match self.roundtrip(s, Cmd::ForceRemove(flow)) {
+                Some(Resp::Removed(dropped)) => {
+                    self.shards[s].pending -= dropped as u64;
+                    self.flow_pending.remove(flow);
+                    self.assign.remove(flow);
+                    if let Some(old) = self.weights.remove(flow) {
+                        self.root.reweigh(s, old.as_bps(), 0);
+                    }
+                    return dropped;
+                }
+                Some(_) => unreachable!("force-remove reply out of protocol"),
+                None => continue, // supervisor ran; retry on the new topology
+            }
         }
-        dropped
+        0
     }
 
     /// Evict the oldest scheduler-resident packet of `flow` from its
     /// home shard (HeadDrop/pressure eviction). Synchronous round trip;
-    /// same eager-pump caveat as [`ThreadedEngine::force_remove_flow`].
+    /// same eager-pump caveat as [`ThreadedEngine::force_remove_flow`],
+    /// and the same recover-and-retry-once behavior on worker death
+    /// (the retry returns `None`: the rebuilt shard holds no
+    /// scheduler-resident packets yet).
     pub fn drop_head(&mut self, flow: FlowId) -> Option<Packet> {
-        let s = self.shard_of(flow);
-        self.send(s, Cmd::DropHead(flow));
-        let Resp::Evicted(evicted) = self.recv(s) else {
-            unreachable!("drop-head reply out of protocol")
-        };
-        if let Some(p) = &evicted {
-            self.shards[s].pending -= 1;
-            if let Some(c) = self.flow_pending.get_mut(p.flow) {
-                *c -= 1;
+        for _attempt in 0..2 {
+            let s = self.assign.get(flow).copied()?;
+            if self.dead[s] {
+                return None;
+            }
+            match self.roundtrip(s, Cmd::DropHead(flow)) {
+                Some(Resp::Evicted(evicted)) => {
+                    if let Some(p) = &evicted {
+                        self.shards[s].pending -= 1;
+                        if let Some(c) = self.flow_pending.get_mut(p.flow) {
+                            *c -= 1;
+                        }
+                    }
+                    return evicted;
+                }
+                Some(_) => unreachable!("drop-head reply out of protocol"),
+                None => continue,
             }
         }
-        evicted
+        None
     }
 
+    /// Hash home for a not-yet-registered flow, re-homed when the hash
+    /// target is down under a redistributing degraded policy.
+    fn initial_home(&self, flow: FlowId) -> Result<usize, SchedError> {
+        let s = shard_of(flow, self.shards.len());
+        if !self.dead[s] {
+            return Ok(s);
+        }
+        match self.recovery {
+            RecoveryPolicy::Degrade(DegradedMode::Redistribute) => self.rehome(flow),
+            _ => Err(SchedError::ShardDown(flow)),
+        }
+    }
+
+    /// Deterministic re-hash of `flow` over the surviving shards.
+    fn rehome(&self, flow: FlowId) -> Result<usize, SchedError> {
+        let alive: Vec<usize> = (0..self.shards.len()).filter(|&i| !self.dead[i]).collect();
+        if alive.is_empty() {
+            return Err(SchedError::UnknownShard(shard_of(flow, self.shards.len())));
+        }
+        Ok(alive[shard_of(flow, alive.len())])
+    }
+
+    /// Fire-and-forget command. A dead worker has dropped its receiver,
+    /// so the send simply fails; losing the command is safe because
+    /// every async command (`AddFlow`/`Pump`/`Crash`) is reconstructed
+    /// from coordinator state when the supervisor recovers the shard at
+    /// the next synchronous round trip.
     fn send(&self, shard: usize, cmd: Cmd) {
-        self.shards[shard]
-            .cmd
-            .send(cmd)
-            .expect("sfq-engine shard worker died");
+        let _ = self.shards[shard].cmd.send(cmd);
     }
 
-    fn recv(&self, shard: usize) -> Resp {
-        self.shards[shard]
-            .resp
-            .recv()
-            .expect("sfq-engine shard worker died")
+    /// Synchronous command round trip. `None` means the worker died;
+    /// the supervisor has already recovered the shard (per the active
+    /// [`RecoveryPolicy`]) by the time this returns.
+    fn roundtrip(&mut self, shard: usize, cmd: Cmd) -> Option<Resp> {
+        if self.shards[shard].cmd.send(cmd).is_err() {
+            self.recover(shard);
+            return None;
+        }
+        match self.shards[shard].resp.recv() {
+            Ok(r) => Some(r),
+            Err(_) => {
+                self.recover(shard);
+                None
+            }
+        }
+    }
+
+    /// The supervisor: Running → Draining → Rebuilding/Degraded (see
+    /// the module docs and `docs/robustness.md`). Joins the dead
+    /// thread, salvages the ingress ring through the deposited
+    /// consumer, and applies the recovery policy.
+    fn recover(&mut self, s: usize) {
+        // Draining. Join first: guarantees the dying worker finished
+        // depositing its ring consumer (or dropped it) before the slot
+        // is inspected.
+        if let Some(join) = self.shards[s].join.take() {
+            let _ = join.join(); // Err carries the panic payload; dropped here
+        }
+        let slot = match self.shards[s].salvage.lock() {
+            Ok(mut g) => g.take(),
+            Err(poisoned) => poisoned.into_inner().take(),
+        };
+        let mut salvaged: Vec<Packet> = Vec::new();
+        if let Some(cons) = slot {
+            while let Some(p) = cons.pop() {
+                salvaged.push(p);
+            }
+        }
+        let pending_before = self.shards[s].pending;
+        self.stats.recoveries += 1;
+        // Per-flow books: scheduler-resident packets died with the
+        // worker; only the salvaged residue can still be pending.
+        let homed: Vec<FlowId> = self
+            .assign
+            .iter()
+            .filter(|&(_, &h)| h == s)
+            .map(|(f, _)| f)
+            .collect();
+        for &flow in &homed {
+            if let Some(c) = self.flow_pending.get_mut(flow) {
+                *c = 0;
+            }
+        }
+        match self.recovery {
+            RecoveryPolicy::Restart => self.rebuild(s, &homed, salvaged, pending_before),
+            RecoveryPolicy::Degrade(mode) => {
+                self.degrade(s, mode, &homed, salvaged, pending_before)
+            }
+        }
+    }
+
+    /// Rebuilding: fresh worker from the factory, flows re-registered
+    /// from the authoritative weight table, salvaged residue re-pushed
+    /// in arrival order.
+    fn rebuild(&mut self, s: usize, homed: &[FlowId], salvaged: Vec<Packet>, pending_before: u64) {
+        self.stats.recovered += salvaged.len() as u64;
+        self.stats.dropped += pending_before - salvaged.len() as u64;
+        self.shards[s] = spawn_shard(
+            s,
+            self.ring_capacity as usize,
+            self.rebase_bits,
+            &mut *self.mk,
+        );
+        for &flow in homed {
+            if let Some(w) = self.weights.get(flow) {
+                let _ = self.shards[s].cmd.send(Cmd::AddFlow(flow, *w));
+            }
+        }
+        let shard = &mut self.shards[s];
+        for p in salvaged {
+            let flow = p.flow;
+            shard
+                .prod
+                .push(p)
+                .unwrap_or_else(|_| unreachable!("fresh ring holds the old ring's residue"));
+            shard.pushed += 1;
+            shard.pending += 1;
+            match self.flow_pending.get_mut(flow) {
+                Some(n) => *n += 1,
+                None => {
+                    self.flow_pending.insert(flow, 1);
+                }
+            }
+        }
+    }
+
+    /// Degraded: the shard stays down; its flows are re-homed over the
+    /// survivors (redistribute) or parked behind `ShardDown` refusals.
+    fn degrade(
+        &mut self,
+        s: usize,
+        mode: DegradedMode,
+        homed: &[FlowId],
+        salvaged: Vec<Packet>,
+        pending_before: u64,
+    ) {
+        self.dead[s] = true;
+        self.shards[s].pending = 0;
+        match mode {
+            DegradedMode::Park => {
+                // Salvaged residue has nowhere to go: the whole pending
+                // count is dropped. Flows stay registered (weights are
+                // the rebuild source if the policy ever changes) but
+                // the shard never reports backlog, so the root skips it.
+                self.stats.dropped += pending_before;
+            }
+            DegradedMode::Redistribute => {
+                for &flow in homed {
+                    let Ok(new) = self.rehome(flow) else {
+                        continue; // no survivors: flow stays parked
+                    };
+                    self.assign.insert(flow, new);
+                    if let Some(w) = self.weights.get(flow).copied() {
+                        let _ = self.shards[new].cmd.send(Cmd::AddFlow(flow, w));
+                        self.root.reweigh(s, w.as_bps(), 0);
+                        self.root.reweigh(new, 0, w.as_bps());
+                    }
+                }
+                // Re-ingest the salvaged residue at the new homes,
+                // subject to the survivors' ring capacity.
+                let mut kept = 0u64;
+                for p in salvaged {
+                    let new = self.assign.get(p.flow).copied();
+                    let Some(new) = new.filter(|&i| !self.dead[i]) else {
+                        continue;
+                    };
+                    let shard = &mut self.shards[new];
+                    if shard.pending >= self.ring_capacity || shard.prod.push(p).is_err() {
+                        continue;
+                    }
+                    shard.pushed += 1;
+                    shard.pending += 1;
+                    kept += 1;
+                    match self.flow_pending.get_mut(p.flow) {
+                        Some(n) => *n += 1,
+                        None => {
+                            self.flow_pending.insert(p.flow, 1);
+                        }
+                    }
+                }
+                self.stats.recovered += kept;
+                self.stats.dropped += pending_before - kept;
+            }
+        }
     }
 }
 
@@ -501,6 +996,14 @@ impl Scheduler for ThreadedEngine {
         ThreadedEngine::drop_head(self, flow)
     }
 
+    fn try_set_weight(&mut self, flow: FlowId, weight: Rate) -> Result<(), SchedError> {
+        ThreadedEngine::try_set_weight(self, flow, weight)
+    }
+
+    fn try_reconfig(&mut self, cmd: ReconfigCmd) -> Result<(), SchedError> {
+        ThreadedEngine::try_reconfig(self, cmd)
+    }
+
     fn name(&self) -> &'static str {
         "SFQ-ENGINE-MT"
     }
@@ -508,8 +1011,15 @@ impl Scheduler for ThreadedEngine {
 
 impl Drop for ThreadedEngine {
     fn drop(&mut self) {
-        for shard in &mut self.shards {
+        // Two phases so one dead worker cannot serialize the shutdown:
+        // a send to a dead worker fails harmlessly (its receiver is
+        // gone), and joining an exited thread returns immediately —
+        // with the panic payload as `Err`, which is dropped, so the
+        // coordinator never re-panics on shutdown.
+        for shard in &self.shards {
             let _ = shard.cmd.send(Cmd::Stop);
+        }
+        for shard in &mut self.shards {
             if let Some(join) = shard.join.take() {
                 let _ = join.join();
             }

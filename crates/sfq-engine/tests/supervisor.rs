@@ -1,0 +1,274 @@
+//! Shard-failure supervision: injected worker panics exercised through
+//! every recovery policy, plus the shutdown audit — dropping an engine
+//! with a dead worker must never hang.
+//!
+//! The conservation ledger checked throughout is the one the module
+//! docs promise: `offered == departures + refusals + dropped` once the
+//! engine is fully drained, where `dropped` is the supervisor's count
+//! of scheduler-resident packets that died with their worker. Ring
+//! residue is salvageable; scheduler state is not.
+
+use sfq_core::{FlowId, Packet, PacketFactory, SchedError};
+use sfq_engine::{DegradedMode, EngineConfig, RecoveryPolicy, ThreadedEngine};
+use simtime::{Bytes, Rate, SimTime};
+use std::sync::mpsc;
+use std::time::Duration;
+
+const T0: SimTime = SimTime::ZERO;
+
+/// First flow id (starting at `from`) homed on `shard` by the engine's
+/// hash, discovered through the public `shard_of` accessor.
+fn flow_on_shard(eng: &ThreadedEngine, shard: usize, from: u32) -> FlowId {
+    (from..from + 1024)
+        .map(FlowId)
+        .find(|&f| eng.shard_of(f) == shard)
+        .expect("some flow id in range hashes to every shard")
+}
+
+/// Ingest `n` packets of `len` bytes for `flow`, returning their uids.
+fn ingest_n(
+    eng: &mut ThreadedEngine,
+    pf: &mut PacketFactory,
+    flow: FlowId,
+    n: usize,
+    len: u64,
+) -> Vec<u64> {
+    (0..n)
+        .map(|_| {
+            let p = pf.make(flow, Bytes::new(len), T0);
+            let uid = p.uid;
+            eng.try_ingest(p).expect("ring has room");
+            uid
+        })
+        .collect()
+}
+
+fn drain_all(eng: &mut ThreadedEngine, out: &mut Vec<Packet>) {
+    loop {
+        let before = out.len();
+        eng.drain(T0, 1 << 20, out).expect("drain");
+        if out.len() == before && eng.pending() == 0 {
+            return;
+        }
+        if out.len() == before {
+            // Pending but nothing drainable: only a dead shard under a
+            // degraded policy can hold this state, and it reports its
+            // backlog as zero — so this is unreachable; guard anyway.
+            return;
+        }
+    }
+}
+
+/// Restart policy, worker killed while every packet is still ingress
+/// ring residue (the injected `Crash` is ordered before any `Pump`, so
+/// the worker dies without ever consuming its ring): the supervisor
+/// must salvage everything, rebuild, and lose nothing.
+#[test]
+fn restart_salvages_ring_residue_and_rebuilds() {
+    let mut eng = ThreadedEngine::new(EngineConfig::new(2).batch(4).ring_capacity(64));
+    let victim = 0usize;
+    let fa = flow_on_shard(&eng, victim, 1);
+    let fb = flow_on_shard(&eng, 1, 1);
+    eng.try_add_flow(fa, Rate::kbps(64)).unwrap();
+    eng.try_add_flow(fb, Rate::kbps(64)).unwrap();
+    let mut pf = PacketFactory::new();
+    let fa_uids = ingest_n(&mut eng, &mut pf, fa, 10, 800);
+    ingest_n(&mut eng, &mut pf, fb, 10, 800);
+
+    eng.inject_worker_panic(victim).unwrap();
+    let mut out = Vec::new();
+    drain_all(&mut eng, &mut out);
+
+    assert_eq!(out.len(), 20, "every offered packet departs");
+    let stats = eng.recovery_stats();
+    assert_eq!(stats.recoveries, 1);
+    assert_eq!(stats.recovered, 10, "all ring residue salvaged");
+    assert_eq!(stats.dropped, 0);
+    assert!(!eng.shard_is_down(victim), "restart leaves no dead shard");
+    // Per-flow FIFO survives the salvage → re-push round trip.
+    let served: Vec<u64> = out.iter().filter(|p| p.flow == fa).map(|p| p.uid).collect();
+    assert_eq!(served, fa_uids);
+}
+
+/// Restart policy, worker killed after its ring was pumped into the
+/// shard scheduler: tag state died with the worker, so the supervisor
+/// counts exactly the victim's pending packets as dropped — and the
+/// ledger still balances.
+#[test]
+fn restart_drops_scheduler_resident_backlog_deterministically() {
+    let mut eng = ThreadedEngine::new(EngineConfig::new(2).batch(2).ring_capacity(64));
+    let victim = 0usize;
+    let fa = flow_on_shard(&eng, victim, 1);
+    let fb = flow_on_shard(&eng, 1, 1);
+    eng.try_add_flow(fa, Rate::kbps(64)).unwrap();
+    eng.try_add_flow(fb, Rate::kbps(64)).unwrap();
+    let mut pf = PacketFactory::new();
+    ingest_n(&mut eng, &mut pf, fa, 10, 800);
+    ingest_n(&mut eng, &mut pf, fb, 10, 800);
+
+    // Pump + partial drain moves every ring packet into its shard
+    // scheduler (the drain round trip is ordered after the pump on the
+    // same channel, so the ring is empty before the kill lands).
+    let mut out = Vec::new();
+    eng.drain(T0, 4, &mut out).unwrap();
+    let victim_served_before = out.iter().filter(|p| p.flow == fa).count() as u64;
+
+    eng.inject_worker_panic(victim).unwrap();
+    drain_all(&mut eng, &mut out);
+
+    let stats = eng.recovery_stats();
+    assert_eq!(stats.recoveries, 1);
+    assert_eq!(stats.recovered, 0, "nothing left in the ring to salvage");
+    assert_eq!(
+        stats.dropped,
+        10 - victim_served_before,
+        "drops == the victim's scheduler-resident backlog at the kill"
+    );
+    // Conservation: offered == departures + dropped (no refusals here).
+    assert_eq!(out.len() as u64 + stats.dropped, 20);
+
+    // The rebuilt shard serves fresh traffic for the same flow.
+    let probe = pf.make(fa, Bytes::new(500), T0);
+    let probe_uid = probe.uid;
+    eng.try_ingest(probe).unwrap();
+    let mut out2 = Vec::new();
+    drain_all(&mut eng, &mut out2);
+    assert_eq!(out2.iter().map(|p| p.uid).collect::<Vec<_>>(), [probe_uid]);
+}
+
+/// Park policy: the dead shard stays down, its flows refuse ingest and
+/// reconfiguration with `ShardDown`, survivors are untouched, and the
+/// parked backlog is counted as dropped so the ledger balances.
+#[test]
+fn park_refuses_new_ingest_with_shard_down() {
+    let cfg = EngineConfig::new(2)
+        .batch(4)
+        .ring_capacity(64)
+        .recovery(RecoveryPolicy::Degrade(DegradedMode::Park));
+    let mut eng = ThreadedEngine::new(cfg);
+    let victim = 1usize;
+    let fa = flow_on_shard(&eng, 0, 1);
+    let fb = flow_on_shard(&eng, victim, 1);
+    eng.try_add_flow(fa, Rate::kbps(64)).unwrap();
+    eng.try_add_flow(fb, Rate::kbps(64)).unwrap();
+    let mut pf = PacketFactory::new();
+    ingest_n(&mut eng, &mut pf, fa, 6, 700);
+    ingest_n(&mut eng, &mut pf, fb, 6, 700);
+
+    eng.inject_worker_panic(victim).unwrap();
+    let mut out = Vec::new();
+    drain_all(&mut eng, &mut out);
+
+    assert!(eng.shard_is_down(victim));
+    assert!(out.iter().all(|p| p.flow == fa), "survivor flows only");
+    assert_eq!(out.len(), 6);
+    let stats = eng.recovery_stats();
+    assert_eq!(stats.recoveries, 1);
+    assert_eq!(stats.dropped, 6, "parked backlog is dropped");
+
+    // Typed refusals for everything touching the parked flow.
+    assert_eq!(
+        eng.try_ingest(pf.make(fb, Bytes::new(100), T0)),
+        Err(SchedError::ShardDown(fb))
+    );
+    assert_eq!(
+        eng.try_set_weight(fb, Rate::kbps(128)),
+        Err(SchedError::ShardDown(fb))
+    );
+    let parked_new = flow_on_shard(&eng, victim, fb.0 + 1);
+    assert_eq!(
+        eng.try_add_flow(parked_new, Rate::kbps(64)),
+        Err(SchedError::ShardDown(parked_new))
+    );
+    // The survivor keeps serving: offered == departed + refused(1) +
+    // dropped, and a fresh survivor packet departs.
+    let probe = pf.make(fa, Bytes::new(400), T0);
+    eng.try_ingest(probe).unwrap();
+    let mut out2 = Vec::new();
+    drain_all(&mut eng, &mut out2);
+    assert_eq!(out2.len(), 1);
+    assert_eq!(out.len() as u64 + out2.len() as u64 + 1 + stats.dropped, 14);
+}
+
+/// Redistribute policy: the dead shard's flows re-home onto survivors,
+/// salvaged ring residue rides along, and both old and new traffic for
+/// the re-homed flow keep departing.
+#[test]
+fn redistribute_rehomes_flows_to_survivors() {
+    let cfg = EngineConfig::new(2)
+        .batch(4)
+        .ring_capacity(64)
+        .recovery(RecoveryPolicy::Degrade(DegradedMode::Redistribute));
+    let mut eng = ThreadedEngine::new(cfg);
+    let victim = 0usize;
+    let survivor = 1usize;
+    let fa = flow_on_shard(&eng, victim, 1);
+    let fb = flow_on_shard(&eng, survivor, 1);
+    eng.try_add_flow(fa, Rate::kbps(64)).unwrap();
+    eng.try_add_flow(fb, Rate::kbps(64)).unwrap();
+    let mut pf = PacketFactory::new();
+    // Kill while everything is ring residue: all of it is salvageable
+    // and must follow the flow to its new home.
+    ingest_n(&mut eng, &mut pf, fa, 6, 700);
+    ingest_n(&mut eng, &mut pf, fb, 6, 700);
+
+    eng.inject_worker_panic(victim).unwrap();
+    let mut out = Vec::new();
+    drain_all(&mut eng, &mut out);
+
+    assert!(eng.shard_is_down(victim));
+    assert_eq!(eng.shard_of(fa), survivor, "flow re-homed to the survivor");
+    let stats = eng.recovery_stats();
+    assert_eq!(stats.recoveries, 1);
+    assert_eq!(stats.recovered, 6, "ring residue re-ingested at new home");
+    assert_eq!(stats.dropped, 0);
+    assert_eq!(out.len(), 12, "nothing lost");
+
+    // New traffic for the re-homed flow flows, as does a brand-new flow
+    // whose hash home is the dead shard.
+    let probe = pf.make(fa, Bytes::new(300), T0);
+    eng.try_ingest(probe).unwrap();
+    let newcomer = flow_on_shard(&eng, victim, fa.0 + 1);
+    eng.try_add_flow(newcomer, Rate::kbps(64)).unwrap();
+    eng.try_ingest(pf.make(newcomer, Bytes::new(300), T0))
+        .unwrap();
+    let mut out2 = Vec::new();
+    drain_all(&mut eng, &mut out2);
+    assert_eq!(out2.len(), 2);
+}
+
+/// The shutdown audit (and its pin): dropping an engine whose worker
+/// has panicked must complete promptly — whether the death was already
+/// detected by the supervisor or is still latent in the channel. The
+/// drop runs on a helper thread so a regression shows up as a test
+/// failure (watchdog timeout), not a hung test process.
+#[test]
+fn drop_with_dead_worker_does_not_hang() {
+    for detect_first in [false, true] {
+        let cfg = EngineConfig::new(2)
+            .batch(4)
+            .ring_capacity(64)
+            .recovery(RecoveryPolicy::Degrade(DegradedMode::Park));
+        let mut eng = ThreadedEngine::new(cfg);
+        let f = flow_on_shard(&eng, 0, 1);
+        eng.try_add_flow(f, Rate::kbps(64)).unwrap();
+        let mut pf = PacketFactory::new();
+        ingest_n(&mut eng, &mut pf, f, 3, 500);
+        eng.inject_worker_panic(0).unwrap();
+        if detect_first {
+            // Force detection: the failed round trip runs the
+            // supervisor, leaving a dead shard with no thread.
+            let mut out = Vec::new();
+            drain_all(&mut eng, &mut out);
+            assert!(eng.shard_is_down(0));
+        }
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            drop(eng);
+            let _ = tx.send(());
+        });
+        rx.recv_timeout(Duration::from_secs(5)).unwrap_or_else(|_| {
+            panic!("Drop hung with a dead worker (detect_first={detect_first})")
+        });
+    }
+}

@@ -1,0 +1,94 @@
+//! Observer-trace identity for no-op reconfiguration.
+//!
+//! The tag-rewrite rule's no-op fixed point (`try_set_weight` at the
+//! flow's current weight) must be invisible in the *observed* event
+//! stream, not just the departure order: every packet event — enqueue,
+//! dequeue, drop — carries bit-identical exact tags and virtual time
+//! against a twin scheduler that never saw the call. The only records
+//! that may differ are the `flow_added` markers the reconfiguration
+//! itself emits: they are its audit trail.
+
+use sfq_core::{FlowId, PacketFactory, Scheduler, Sfq, TieBreak};
+use sfq_obs::{EventKind, RingTracer};
+use simtime::{Bytes, Rate, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One packet event's observable payload: kind, flow, uid, len, and
+/// the three exact-tag strings. `seq` is deliberately excluded — the
+/// reconfigured run's extra `flow_added` markers shift it.
+type PacketEvent = (EventKind, u32, u64, u64, String, String, String);
+
+/// The packet-event projection of a trace.
+fn packet_events(tracer: &RingTracer) -> Vec<PacketEvent> {
+    tracer
+        .records()
+        .filter(|r| {
+            matches!(
+                r.kind,
+                EventKind::Enqueue | EventKind::Dequeue | EventKind::Drop
+            )
+        })
+        .map(|r| {
+            (
+                r.kind,
+                r.flow,
+                r.uid,
+                r.len,
+                r.start_tag_exact.clone(),
+                r.finish_tag_exact.clone(),
+                r.v_exact.clone(),
+            )
+        })
+        .collect()
+}
+
+fn run(noop_reconfigs: bool) -> (Vec<PacketEvent>, usize) {
+    let tracer = Rc::new(RefCell::new(RingTracer::with_capacity(4096)));
+    let mut s = Sfq::with_observer(TieBreak::Fifo, Rc::clone(&tracer));
+    let weights = [
+        (FlowId(1), Rate::bps(12_000)),
+        (FlowId(2), Rate::bps(20_000)),
+    ];
+    for (f, w) in weights {
+        s.add_flow(f, w);
+    }
+    let mut pf = PacketFactory::new();
+    let t = SimTime::ZERO;
+    for i in 0..10u64 {
+        let f = FlowId(1 + (i % 2) as u32);
+        s.enqueue(t, pf.make(f, Bytes::new(150 + 217 * i), t));
+    }
+    for _ in 0..3 {
+        s.dequeue(t).unwrap();
+        s.on_departure(t);
+    }
+    if noop_reconfigs {
+        for (f, w) in weights {
+            s.try_set_weight(f, w).unwrap();
+        }
+    }
+    while let Some(_p) = s.dequeue(t) {
+        s.on_departure(t);
+    }
+    let tr = tracer.borrow();
+    let flow_added = tr
+        .records()
+        .filter(|r| r.kind == EventKind::FlowAdded)
+        .count();
+    (packet_events(&tr), flow_added)
+}
+
+#[test]
+fn noop_reconfig_trace_is_bit_identical() {
+    let (plain_events, plain_added) = run(false);
+    let (noop_events, noop_added) = run(true);
+    assert!(!plain_events.is_empty());
+    assert_eq!(
+        noop_events, plain_events,
+        "no-op reconfiguration leaked into the packet-event trace"
+    );
+    // The two registrations plus one audit marker per reconfiguration.
+    assert_eq!(plain_added, 2);
+    assert_eq!(noop_added, 4, "each reconfig must leave its audit marker");
+}
