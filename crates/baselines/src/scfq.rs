@@ -13,7 +13,7 @@
 use sfq_core::flowq::{FifoBackend, FlowFifos};
 use sfq_core::obs::{FlowChange, NoopObserver, SchedEvent, SchedObserver};
 use sfq_core::pool::PoolStats;
-use sfq_core::{FlowId, Packet, SchedError, Scheduler};
+use sfq_core::{FlowId, Packet, SchedError, Scheduler, TelemetrySink};
 use simtime::{Rate, Ratio, SimTime};
 use std::cell::Cell;
 
@@ -46,6 +46,8 @@ pub struct Scfq<O: SchedObserver = NoopObserver> {
     /// Lazy flow GC armed (see [`Scfq::enable_flow_gc`]).
     gc: bool,
     obs: O,
+    /// Counter-page sink (see [`Scfq::attach_telemetry`]).
+    tele: Option<TelemetrySink>,
 }
 
 impl Scfq {
@@ -71,7 +73,19 @@ impl<O: SchedObserver> Scfq<O> {
             rebases: 0,
             gc: false,
             obs,
+            tele: None,
         }
+    }
+
+    /// Attach a plain-write counter-page sink (see
+    /// `sfq_core::Sfq::attach_telemetry` and `docs/telemetry.md`).
+    pub fn attach_telemetry(&mut self, sink: TelemetrySink) {
+        self.tele = Some(sink);
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<&TelemetrySink> {
+        self.tele.as_ref()
     }
 
     /// Enable lazy flow GC (pooled backend only): a drained flow is
@@ -277,6 +291,9 @@ impl<O: SchedObserver> Scfq<O> {
     pub fn force_remove_flow(&mut self, flow: FlowId) -> usize {
         match self.q.force_remove_flow(flow) {
             Some(dropped) => {
+                if let Some(t) = &self.tele {
+                    t.record_force_removed(dropped);
+                }
                 self.obs
                     .on_flow_change(flow, &FlowChange::ForceRemoved { dropped });
                 dropped
@@ -324,6 +341,9 @@ impl<O: SchedObserver> Scheduler for Scfq<O> {
             ext.last_finish = finish;
             Some(((finish, uid), start))
         })?;
+        if let Some(t) = &self.tele {
+            t.record_enqueue(len.as_u64(), self.q.len());
+        }
         self.obs.on_enqueue(&SchedEvent {
             time: now,
             flow: pkt.flow,
@@ -358,6 +378,9 @@ impl<O: SchedObserver> Scheduler for Scfq<O> {
                 ext.last_finish = finish;
                 Some(((finish, uid), start))
             })?;
+            if let Some(t) = &self.tele {
+                t.record_enqueue(len.as_u64(), self.q.len());
+            }
             self.obs.on_enqueue(&SchedEvent {
                 time: now,
                 flow: pkt.flow,
@@ -372,9 +395,14 @@ impl<O: SchedObserver> Scheduler for Scfq<O> {
     }
 
     fn dequeue_batch(&mut self, now: SimTime, max: usize, out: &mut Vec<Packet>) -> usize {
-        let Scfq { q, v, obs, .. } = self;
+        let Scfq {
+            q, v, obs, tele, ..
+        } = self;
         let n = q.pop_min_batch(max, |pkt, (finish, _), start| {
             *v = finish;
+            if let Some(t) = tele {
+                t.record_dequeue(pkt.flow.0, pkt.len.as_u64(), pkt.arrival, now);
+            }
             obs.on_dequeue(&SchedEvent {
                 time: now,
                 flow: pkt.flow,
@@ -406,6 +434,9 @@ impl<O: SchedObserver> Scheduler for Scfq<O> {
             // Queue drained — SCFQ's busy-period boundary and the
             // cheapest rebase point (only per-flow last_finish state).
             self.rebase();
+        }
+        if let Some(t) = &self.tele {
+            t.record_dequeue(pkt.flow.0, pkt.len.as_u64(), pkt.arrival, now);
         }
         self.obs.on_dequeue(&SchedEvent {
             time: now,
@@ -450,6 +481,9 @@ impl<O: SchedObserver> Scheduler for Scfq<O> {
 
     fn drop_head(&mut self, flow: FlowId) -> Option<Packet> {
         let (pkt, (finish, _), start) = self.q.drop_front(flow)?;
+        if let Some(t) = &self.tele {
+            t.record_head_drop();
+        }
         self.obs.on_drop(&SchedEvent {
             time: pkt.arrival,
             flow: pkt.flow,

@@ -487,6 +487,40 @@ fn main() {
     let four_batched = point_of(&points, "sfq");
     let four_batched_fast = point_of(&points, "sfq_fast");
 
+    // Telemetry axis: the flagship 4-shard batched configuration with
+    // counter pages attached — each shard worker plain-writes its own
+    // page under the seqlock epoch while the coordinator books
+    // offered/refused on the engine page. Recorded as its own point
+    // (sched "sfq_pages") so the artifact keeps the pages-on cost
+    // visible next to the pages-off row across commits; the perfsnap
+    // `sfq_telemetry_on_vs_off` control check is the drift-cancelled
+    // version of the same comparison at scheduler level.
+    let four_batched_tele = {
+        let mut eng = ThreadedEngine::new(cfg(4, 32));
+        let hub = eng.attach_telemetry();
+        let preload = eng_preloaded(&mut eng, FLOWS, DEPTH);
+        let pps = measure_driver_at(preload, eng, false, warmup, win);
+        // The pages must have been live: fold them off-thread and
+        // check the shard dequeue totals saw the measured traffic.
+        let snap = sfq_telemetry::Aggregator::new(hub)
+            .snapshot(1 << 16)
+            .expect("pages quiescent after engine drop");
+        assert!(
+            snap.totals.dequeues > 0,
+            "telemetry pages missed the measured traffic"
+        );
+        pps
+    };
+    push(
+        &mut points,
+        "threaded",
+        "batched",
+        "sfq_pages",
+        4,
+        32,
+        four_batched_tele,
+    );
+
     // Flow-count scale axis: the batched sync engine with the default
     // pooled shard backends as the flow tables grow from hundreds to a
     // million registered flows. Rings are sized to the preload (with

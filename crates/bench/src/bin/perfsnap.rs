@@ -29,7 +29,7 @@ use bench::report;
 use jsonline::{impl_to_json, ToJson};
 use sfq_core::{
     FairAirport, FifoBackend, FlowId, HierSfq, NoopObserver, PacketFactory, ScfqFast, Scheduler,
-    Sfq, SfqFast, TieBreak,
+    Sfq, SfqFast, TelemetrySink, TieBreak,
 };
 use sfq_obs::CountingObserver;
 use simtime::{Bytes, Rate, SimTime};
@@ -605,6 +605,30 @@ fn main() {
             backlog_per_flow: depth,
             base_pkts_per_sec: pps_owned,
             new_pkts_per_sec: pps_pooled,
+            new_vs_base_pct: pct,
+        });
+
+        // The telemetry-plane acceptance gate, drift-cancelled: the
+        // same scheduler with a counter page attached vs without. The
+        // page writes are plain relaxed stores bracketed by one seqlock
+        // epoch bump per dequeue, so telemetry-on must stay within
+        // noise of telemetry-off — the whole point of the plain-write
+        // design over locked or CAS counters.
+        let mut dark = Steady::new(flows_of(Sfq::new(), q), q, depth);
+        let mut lit_sched = flows_of(Sfq::new(), q);
+        lit_sched.attach_telemetry(TelemetrySink::new());
+        let mut lit = Steady::new(lit_sched, q, depth);
+        let (pps_dark, pps_lit) = measure_paired(&mut dark, &mut lit);
+        let pct = 100.0 * (pps_lit / pps_dark - 1.0);
+        eprintln!(
+            "sfq@{q} (paired): telemetry-off -> {pps_dark:.0} pkt/s, telemetry-on -> {pps_lit:.0} pkt/s ({pct:+.1}% on vs off)",
+        );
+        control_checks.push(ControlCheck {
+            comparison: "sfq_telemetry_on_vs_off".to_string(),
+            flows: q,
+            backlog_per_flow: depth,
+            base_pkts_per_sec: pps_dark,
+            new_pkts_per_sec: pps_lit,
             new_vs_base_pct: pct,
         });
     }

@@ -12,7 +12,7 @@
 use conformance::{
     check_against_bound, diff_schedulers, run_chaos_conformance, run_engine_conformance,
     run_fast_conformance, run_graph_conformance, run_pool_conformance, run_soak,
-    run_tandem_conformance, Preset, Scenario, SchedKind,
+    run_tandem_conformance, run_telemetry_conformance, Preset, Scenario, SchedKind,
 };
 use simtime::SimDuration;
 use std::io::Write;
@@ -159,6 +159,17 @@ fn check(sc: &Scenario) -> Option<String> {
                 e.lines().next().unwrap_or(&e).to_string()
             })
         }
+        Preset::Telemetry => {
+            // Counter pages vs the driver-side ledger: conservation as
+            // read purely from the pages, seqlock retry termination
+            // under live writers, driver page identity, and coherence
+            // under kills — all in one runner.
+            run_telemetry_conformance(sc).err().map(|e| {
+                // The runner embeds the replay line; strip it so the
+                // fuzzer's own suffix doesn't duplicate it.
+                e.lines().next().unwrap_or(&e).to_string()
+            })
+        }
         Preset::SingleEbf | Preset::FairAirport => None, // covered by tier-1 tests
     }
 }
@@ -175,6 +186,7 @@ fn main() {
             Preset::Fast,
             Preset::Pool,
             Preset::Chaos,
+            Preset::Telemetry,
             Preset::Graph,
         ],
     };

@@ -35,6 +35,14 @@
 //!   (`offered == departed + refused + dropped`) under every recovery
 //!   policy, and Theorem 1 reconvergence after a mid-backlog weight
 //!   change,
+//! - [`telemetry`]: telemetry-plane conformance — seeded operational
+//!   schedules (ingest chunks, pumps, partial drains, flow churn,
+//!   worker kills) replayed on both engine drivers with counter pages
+//!   attached, checking snapshot-vs-ledger conservation as read purely
+//!   from the pages, seqlock retry termination under live writers,
+//!   bit-identical pages across drivers on kill-free schedules, and
+//!   page coherence (generation bumps, exactly-once booking) under
+//!   every recovery policy,
 //! - [`graph`]: forwarding-graph conformance — a multi-port chain with
 //!   shared intermediate ports and ingress policers, checked for
 //!   Theorem 6 along every path, Corollary 1 for the shaped observed
@@ -58,6 +66,7 @@ pub mod graph;
 pub mod pool;
 pub mod scenario;
 pub mod soak;
+pub mod telemetry;
 
 pub use chaos::{run_chaos_conformance, ChaosOutcome, CHAOS_DOMAIN};
 pub use diff::{
@@ -78,3 +87,4 @@ pub use scenario::{
     SourceKind, OBSERVED_FLOW,
 };
 pub use soak::{drop_policy_of, run_soak, SoakOutcome};
+pub use telemetry::{run_telemetry_conformance, TelemetryOutcome, SNAP_BUDGET, TELEMETRY_DOMAIN};

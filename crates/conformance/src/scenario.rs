@@ -74,6 +74,17 @@ pub enum Preset {
     /// post-reconfiguration fairness reconvergence against the
     /// Theorem 1 bound at the new weights (see [`crate::chaos`]).
     Chaos,
+    /// Telemetry-plane differential: the [`Preset::Engine`] workload
+    /// shape replayed with per-shard counter pages attached, under a
+    /// seeded schedule of ingest chunks, pumps, partial drains, flow
+    /// churn (force-remove + revive), and — on the chaos leg — injected
+    /// worker kills. The runner checks the pages against a driver-side
+    /// ledger (offered == departures + refusals + drops as read purely
+    /// from the pages), proves the seqlock snapshot retry terminates
+    /// under live writers, and requires the sync and threaded drivers
+    /// to produce bit-identical pages for the same call schedule (see
+    /// [`crate::telemetry`]).
+    Telemetry,
     /// Multi-port forwarding graph: a chain of 2–5 scheduler ports
     /// with *shared* intermediate ports — unlike [`Preset::Tandem`],
     /// whose cross traffic is hop-local, cross flows here span
@@ -90,7 +101,7 @@ pub enum Preset {
 
 impl Preset {
     /// Every preset, for fuzz drivers.
-    pub const ALL: [Preset; 10] = [
+    pub const ALL: [Preset; 11] = [
         Preset::SingleFc,
         Preset::SingleEbf,
         Preset::Tandem,
@@ -100,6 +111,7 @@ impl Preset {
         Preset::Fast,
         Preset::Pool,
         Preset::Chaos,
+        Preset::Telemetry,
         Preset::Graph,
     ];
 
@@ -115,6 +127,7 @@ impl Preset {
             Preset::Fast => "fast",
             Preset::Pool => "pool",
             Preset::Chaos => "chaos",
+            Preset::Telemetry => "telemetry",
             Preset::Graph => "graph",
         }
     }
@@ -327,6 +340,7 @@ impl Scenario {
             Preset::Fast => gen_fast(seed, &mut rng),
             Preset::Pool => gen_pool(seed, &mut rng),
             Preset::Chaos => gen_chaos(seed, &mut rng),
+            Preset::Telemetry => gen_telemetry(seed, &mut rng),
             Preset::Graph => gen_graph(seed, &mut rng),
         }
     }
@@ -902,6 +916,51 @@ fn gen_chaos(seed: u64, rng: &mut SimRng) -> Scenario {
     }
     Scenario {
         preset: Preset::Chaos,
+        seed,
+        link_bps,
+        server: ServerSpec::Constant,
+        hops: 1,
+        prop_ms: 0,
+        horizon_ms,
+        per_flow_cap: None,
+        shared_cap: None,
+        drop_policy: DropKind::Tail,
+        recovery_at_ms: None,
+        flows,
+        droops: Vec::new(),
+        churns: Vec::new(),
+    }
+}
+
+fn gen_telemetry(seed: u64, rng: &mut SimRng) -> Scenario {
+    // Telemetry runs replay the flow population through three engine
+    // instances (sync, threaded, threaded + kills), each with counter
+    // pages attached and a snapshot taken after every operation, so
+    // the population stays a notch smaller than `engine`'s; the
+    // operational schedule (churn, kills, snapshots) is derived by the
+    // runner from the same seed under `crate::telemetry::
+    // TELEMETRY_DOMAIN`.
+    let link_bps = 1_000_000u64;
+    let horizon_ms = rng.uniform_range(150, 451);
+    let n = rng.uniform_range(4, 13);
+    let mut flows = Vec::new();
+    for i in 0..n {
+        flows.push(FlowSpec {
+            id: i as u32 + 1,
+            weight_bps: (link_bps / n * rng.uniform_range(20, 101) / 100).max(4_000),
+            size: pick_size(rng, 1_200),
+            source: if rng.uniform() < 0.7 {
+                SourceKind::Cbr
+            } else {
+                SourceKind::Poisson
+            },
+            start_ms: rng.uniform_range(0, horizon_ms / 2),
+            entry: 0,
+            exit: 0,
+        });
+    }
+    Scenario {
+        preset: Preset::Telemetry,
         seed,
         link_bps,
         server: ServerSpec::Constant,

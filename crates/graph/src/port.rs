@@ -24,7 +24,7 @@ use crate::node::{GraphNode, OutPort};
 use netsim::{DropPolicy, SwitchCore};
 use servers::RateProfile;
 use sfq_core::obs::{SchedEvent, SchedObserver};
-use sfq_core::{FlowId, PktRef, ReconfigCmd, SchedError, Scheduler};
+use sfq_core::{FlowId, PktRef, ReconfigCmd, SchedError, Scheduler, TelemetrySink};
 use simtime::{Rate, SimTime};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -80,6 +80,19 @@ impl PortNode {
     /// Register a scheduled flow.
     pub fn add_flow(&mut self, flow: FlowId, weight: Rate) {
         self.core.add_flow(flow, weight);
+    }
+
+    /// Attach a port-level telemetry page (offered arrivals, cap
+    /// refusals, policy evictions) — the pass-through to
+    /// [`SwitchCore::set_telemetry`], so graph ports report on the same
+    /// counter pages the engines do.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.core.set_telemetry(sink);
+    }
+
+    /// The attached port telemetry page, if any.
+    pub fn telemetry(&self) -> Option<&TelemetrySink> {
+        self.core.telemetry()
     }
 
     /// Offer one handle: re-stamp its arrival to `now` (each hop is a

@@ -8,7 +8,8 @@
 
 use servers::RateProfile;
 use sfq_core::obs::{Backpressure, SchedEvent, SchedObserver};
-use sfq_core::{FlowId, FlowMap, Packet, ReconfigCmd, SchedError, Scheduler};
+use sfq_core::{FlowId, FlowMap, Packet, ReconfigCmd, SchedError, Scheduler, TelemetrySink};
+use sfq_telemetry::RefuseCause;
 use simtime::{Rate, Ratio, SimTime};
 use std::collections::VecDeque;
 
@@ -59,6 +60,12 @@ pub struct SwitchCore {
     /// [`Backpressure`] transitions. Enqueue/dequeue events come from
     /// the scheduler's own observer, attached at construction.
     drop_obs: Option<Box<dyn SchedObserver>>,
+    /// Port-level counter page (offered arrivals, cap refusals, policy
+    /// evictions), written with plain single-writer stores. Enqueue and
+    /// dequeue counters for admitted packets live on the scheduler's
+    /// own page — attach one there for the full picture (engines do
+    /// this per shard via `attach_telemetry`).
+    tele: Option<TelemetrySink>,
 }
 
 impl SwitchCore {
@@ -77,7 +84,20 @@ impl SwitchCore {
             busy: false,
             drops: FlowMap::new(),
             drop_obs: None,
+            tele: None,
         }
+    }
+
+    /// Attach a port-level telemetry page: every later offered arrival,
+    /// cap refusal, and policy eviction is recorded on `sink` (see the
+    /// `sfq-telemetry` crate and `docs/telemetry.md`).
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.tele = Some(sink);
+    }
+
+    /// The attached port telemetry page, if any.
+    pub fn telemetry(&self) -> Option<&TelemetrySink> {
+        self.tele.as_ref()
     }
 
     /// Select the overflow response (default [`DropPolicy::TailDrop`]).
@@ -187,6 +207,9 @@ impl SwitchCore {
     /// untouched.
     pub fn try_offer(&mut self, now: SimTime, pkt: Packet) -> Result<(), SchedError> {
         let flow = pkt.flow;
+        if let Some(t) = &self.tele {
+            t.record_offered(1);
+        }
         if let Some(cap) = self.per_flow_cap {
             if self.sched.backlog(flow) >= cap {
                 self.engage(now, flow);
@@ -252,6 +275,9 @@ impl SwitchCore {
     fn evict_head(&mut self, now: SimTime, victim: FlowId) -> Option<Packet> {
         let evicted = self.sched.drop_head(victim)?;
         self.count_drop(evicted.flow);
+        if let Some(t) = &self.tele {
+            t.record_head_drop();
+        }
         if let Some(obs) = &mut self.drop_obs {
             obs.on_drop(&SchedEvent {
                 time: now,
@@ -269,6 +295,9 @@ impl SwitchCore {
     /// Record a refused arrival and report [`SchedError::BufferFull`].
     fn refuse(&mut self, now: SimTime, pkt: Packet) -> Result<(), SchedError> {
         self.count_drop(pkt.flow);
+        if let Some(t) = &self.tele {
+            t.record_refusal(RefuseCause::BufferFull);
+        }
         if let Some(obs) = &mut self.drop_obs {
             obs.on_drop(&SchedEvent {
                 time: now,

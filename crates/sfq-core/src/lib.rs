@@ -53,3 +53,8 @@ pub use scfq_fast::ScfqFast;
 pub use sched::{ReconfigCmd, SchedError, Scheduler, TieBreak};
 pub use sfq::Sfq;
 pub use sfq_fast::SfqFast;
+// Counter-page telemetry handle the schedulers accept via
+// `attach_telemetry` (see the `sfq-telemetry` crate and
+// docs/telemetry.md); re-exported so scheduler users need not name the
+// telemetry crate for the common attach-and-read flow.
+pub use sfq_telemetry::TelemetrySink;

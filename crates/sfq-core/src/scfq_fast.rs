@@ -20,6 +20,7 @@ use crate::packet::{FlowId, Packet};
 use crate::pool::PoolStats;
 use crate::sched::{SchedError, Scheduler};
 use crate::sfq::GC_BUDGET;
+use sfq_telemetry::TelemetrySink;
 use simtime::{Rate, Ratio, SimTime};
 use std::cell::Cell;
 
@@ -49,6 +50,8 @@ pub struct ScfqFast<O: SchedObserver = NoopObserver> {
     /// Lazy flow GC armed (see [`ScfqFast::enable_flow_gc`]).
     gc: bool,
     obs: O,
+    /// Counter-page sink (see [`ScfqFast::attach_telemetry`]).
+    tele: Option<TelemetrySink>,
 }
 
 impl ScfqFast {
@@ -95,7 +98,19 @@ impl<O: SchedObserver> ScfqFast<O> {
             rebases: 0,
             gc: false,
             obs,
+            tele: None,
         })
+    }
+
+    /// Attach a plain-write counter-page sink (see
+    /// `Sfq::attach_telemetry` and `docs/telemetry.md`).
+    pub fn attach_telemetry(&mut self, sink: TelemetrySink) {
+        self.tele = Some(sink);
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<&TelemetrySink> {
+        self.tele.as_ref()
     }
 
     /// Enable lazy flow GC (pooled backend only): a drained flow is
@@ -302,6 +317,9 @@ impl<O: SchedObserver> ScfqFast<O> {
     pub fn force_remove_flow(&mut self, flow: FlowId) -> usize {
         match self.q.force_remove_flow(flow) {
             Some(dropped) => {
+                if let Some(t) = &self.tele {
+                    t.record_force_removed(dropped);
+                }
                 self.obs
                     .on_flow_change(flow, &FlowChange::ForceRemoved { dropped });
                 dropped
@@ -357,6 +375,9 @@ impl<O: SchedObserver> Scheduler for ScfqFast<O> {
             ext.last_finish = finish;
             Some(((finish, uid), start))
         })?;
+        if let Some(t) = &self.tele {
+            t.record_enqueue(len.as_u64(), self.q.len());
+        }
         if self.obs.active() {
             self.obs.on_enqueue(&SchedEvent {
                 time: now,
@@ -393,6 +414,9 @@ impl<O: SchedObserver> Scheduler for ScfqFast<O> {
                 ext.last_finish = finish;
                 Some(((finish, uid), start))
             })?;
+            if let Some(t) = &self.tele {
+                t.record_enqueue(len.as_u64(), self.q.len());
+            }
             if self.obs.active() {
                 self.obs.on_enqueue(&SchedEvent {
                     time: now,
@@ -410,9 +434,14 @@ impl<O: SchedObserver> Scheduler for ScfqFast<O> {
 
     fn dequeue_batch(&mut self, now: SimTime, max: usize, out: &mut Vec<Packet>) -> usize {
         let shift = self.shift;
-        let ScfqFast { q, v, obs, .. } = self;
+        let ScfqFast {
+            q, v, obs, tele, ..
+        } = self;
         let n = q.pop_min_batch(max, |pkt, (finish, _), start| {
             *v = finish;
+            if let Some(t) = tele {
+                t.record_dequeue(pkt.flow.0, pkt.len.as_u64(), pkt.arrival, now);
+            }
             if obs.active() {
                 obs.on_dequeue(&SchedEvent {
                     time: now,
@@ -443,6 +472,9 @@ impl<O: SchedObserver> Scheduler for ScfqFast<O> {
         if self.rebase_bits.is_some() && self.q.is_empty() {
             // Queue drained — SCFQ's busy-period boundary.
             self.rebase();
+        }
+        if let Some(t) = &self.tele {
+            t.record_dequeue(pkt.flow.0, pkt.len.as_u64(), pkt.arrival, now);
         }
         if self.obs.active() {
             self.obs.on_dequeue(&SchedEvent {
@@ -489,6 +521,9 @@ impl<O: SchedObserver> Scheduler for ScfqFast<O> {
 
     fn drop_head(&mut self, flow: FlowId) -> Option<Packet> {
         let (pkt, (finish, _), start) = self.q.drop_front(flow)?;
+        if let Some(t) = &self.tele {
+            t.record_head_drop();
+        }
         if self.obs.active() {
             self.obs.on_drop(&SchedEvent {
                 time: pkt.arrival,

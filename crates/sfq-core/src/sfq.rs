@@ -37,6 +37,7 @@ use crate::obs::{FlowChange, NoopObserver, SchedEvent, SchedObserver};
 use crate::packet::{FlowId, Packet};
 use crate::pool::PoolStats;
 use crate::sched::{SchedError, Scheduler, TieBreak};
+use sfq_telemetry::TelemetrySink;
 use simtime::{Rate, Ratio, SimTime};
 use std::cell::Cell;
 
@@ -111,6 +112,9 @@ pub struct Sfq<O: SchedObserver = NoopObserver> {
     /// Lazy flow GC armed (see [`Sfq::enable_flow_gc`]).
     gc: bool,
     obs: O,
+    /// Counter-page sink (see [`Sfq::attach_telemetry`]); `None` costs
+    /// one branch per operation.
+    tele: Option<TelemetrySink>,
 }
 
 impl Sfq {
@@ -147,7 +151,23 @@ impl<O: SchedObserver> Sfq<O> {
             rebases: 0,
             gc: false,
             obs,
+            tele: None,
         }
+    }
+
+    /// Attach a plain-write counter-page sink: every enqueue, dequeue,
+    /// head drop, refusal-shaped error, and force-removal from now on
+    /// is counted into the sink's [`sfq_telemetry::StatPage`] with
+    /// relaxed stores (no tag conversions, no observer machinery — see
+    /// `docs/telemetry.md` for when to prefer this over
+    /// [`SchedObserver`]).
+    pub fn attach_telemetry(&mut self, sink: TelemetrySink) {
+        self.tele = Some(sink);
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<&TelemetrySink> {
+        self.tele.as_ref()
     }
 
     /// Enable lazy flow GC (pooled backend only): a flow whose backlog
@@ -301,6 +321,9 @@ impl<O: SchedObserver> Sfq<O> {
             ext.last_finish = finish;
             Some((Key { start, tie, uid }, finish))
         })?;
+        if let Some(t) = &self.tele {
+            t.record_enqueue(pkt.len.as_u64(), self.q.len());
+        }
         self.obs.on_enqueue(&SchedEvent {
             time: now,
             flow: pkt.flow,
@@ -458,6 +481,9 @@ impl<O: SchedObserver> Sfq<O> {
     pub fn force_remove_flow(&mut self, flow: FlowId) -> usize {
         match self.q.force_remove_flow(flow) {
             Some(dropped) => {
+                if let Some(t) = &self.tele {
+                    t.record_force_removed(dropped);
+                }
                 self.obs
                     .on_flow_change(flow, &FlowChange::ForceRemoved { dropped });
                 dropped
@@ -529,6 +555,9 @@ impl<O: SchedObserver> Scheduler for Sfq<O> {
                 ext.last_finish = finish;
                 Some((key, finish))
             })?;
+            if let Some(t) = &self.tele {
+                t.record_enqueue(pkt.len.as_u64(), self.q.len());
+            }
             self.obs.on_enqueue(&SchedEvent {
                 time: now,
                 flow: pkt.flow,
@@ -548,11 +577,15 @@ impl<O: SchedObserver> Scheduler for Sfq<O> {
             v,
             max_finish_served,
             obs,
+            tele,
             ..
         } = self;
         let n = q.pop_min_batch(max, |pkt, key, finish| {
             *v = key.start;
             *max_finish_served = (*max_finish_served).max(finish);
+            if let Some(t) = tele {
+                t.record_dequeue(pkt.flow.0, pkt.len.as_u64(), pkt.arrival, now);
+            }
             obs.on_dequeue(&SchedEvent {
                 time: now,
                 flow: pkt.flow,
@@ -589,6 +622,9 @@ impl<O: SchedObserver> Scheduler for Sfq<O> {
         self.in_service = Some(key.start);
         self.v = key.start;
         self.max_finish_served = self.max_finish_served.max(finish);
+        if let Some(t) = &self.tele {
+            t.record_dequeue(pkt.flow.0, pkt.len.as_u64(), pkt.arrival, now);
+        }
         self.obs.on_dequeue(&SchedEvent {
             time: now,
             flow: pkt.flow,
@@ -646,6 +682,9 @@ impl<O: SchedObserver> Scheduler for Sfq<O> {
 
     fn drop_head(&mut self, flow: FlowId) -> Option<Packet> {
         let (pkt, key, finish) = self.q.drop_front(flow)?;
+        if let Some(t) = &self.tele {
+            t.record_head_drop();
+        }
         self.obs.on_drop(&SchedEvent {
             time: pkt.arrival,
             flow: pkt.flow,

@@ -39,6 +39,7 @@ use crate::packet::{FlowId, Packet};
 use crate::pool::PoolStats;
 use crate::sched::{SchedError, Scheduler, TieBreak};
 use crate::sfq::GC_BUDGET;
+use sfq_telemetry::TelemetrySink;
 use simtime::{Rate, Ratio, SimTime};
 use std::cell::Cell;
 
@@ -90,6 +91,10 @@ pub struct SfqFast<O: SchedObserver = NoopObserver> {
     /// Lazy flow GC armed (see [`SfqFast::enable_flow_gc`]).
     gc: bool,
     obs: O,
+    /// Counter-page sink (see [`SfqFast::attach_telemetry`]); unlike
+    /// the observer there is no tag conversion on this path — the sink
+    /// writes plain relaxed counters only.
+    tele: Option<TelemetrySink>,
 }
 
 impl SfqFast {
@@ -156,7 +161,19 @@ impl<O: SchedObserver> SfqFast<O> {
             rebases: 0,
             gc: false,
             obs,
+            tele: None,
         })
+    }
+
+    /// Attach a plain-write counter-page sink (see
+    /// `Sfq::attach_telemetry` and `docs/telemetry.md`).
+    pub fn attach_telemetry(&mut self, sink: TelemetrySink) {
+        self.tele = Some(sink);
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<&TelemetrySink> {
+        self.tele.as_ref()
     }
 
     /// Enable lazy flow GC (pooled backend only): a drained flow is
@@ -393,6 +410,9 @@ impl<O: SchedObserver> SfqFast<O> {
     pub fn force_remove_flow(&mut self, flow: FlowId) -> usize {
         match self.q.force_remove_flow(flow) {
             Some(dropped) => {
+                if let Some(t) = &self.tele {
+                    t.record_force_removed(dropped);
+                }
                 self.obs
                     .on_flow_change(flow, &FlowChange::ForceRemoved { dropped });
                 dropped
@@ -459,6 +479,9 @@ impl<O: SchedObserver> Scheduler for SfqFast<O> {
                 finish,
             ))
         })?;
+        if let Some(t) = &self.tele {
+            t.record_enqueue(pkt.len.as_u64(), self.q.len());
+        }
         if self.obs.active() {
             self.obs.on_enqueue(&SchedEvent {
                 time: now,
@@ -503,6 +526,9 @@ impl<O: SchedObserver> Scheduler for SfqFast<O> {
                     finish,
                 ))
             })?;
+            if let Some(t) = &self.tele {
+                t.record_enqueue(pkt.len.as_u64(), self.q.len());
+            }
             if self.obs.active() {
                 self.obs.on_enqueue(&SchedEvent {
                     time: now,
@@ -525,11 +551,15 @@ impl<O: SchedObserver> Scheduler for SfqFast<O> {
             v,
             max_finish_served,
             obs,
+            tele,
             ..
         } = self;
         let n = q.pop_min_batch(max, |pkt, key, finish| {
             *v = key.start;
             *max_finish_served = (*max_finish_served).max(finish);
+            if let Some(t) = tele {
+                t.record_dequeue(pkt.flow.0, pkt.len.as_u64(), pkt.arrival, now);
+            }
             if obs.active() {
                 obs.on_dequeue(&SchedEvent {
                     time: now,
@@ -564,6 +594,9 @@ impl<O: SchedObserver> Scheduler for SfqFast<O> {
         self.in_service = Some(key.start);
         self.v = key.start;
         self.max_finish_served = self.max_finish_served.max(finish);
+        if let Some(t) = &self.tele {
+            t.record_dequeue(pkt.flow.0, pkt.len.as_u64(), pkt.arrival, now);
+        }
         if self.obs.active() {
             self.obs.on_dequeue(&SchedEvent {
                 time: now,
@@ -620,6 +653,9 @@ impl<O: SchedObserver> Scheduler for SfqFast<O> {
 
     fn drop_head(&mut self, flow: FlowId) -> Option<Packet> {
         let (pkt, key, finish) = self.q.drop_front(flow)?;
+        if let Some(t) = &self.tele {
+            t.record_head_drop();
+        }
         if self.obs.active() {
             self.obs.on_drop(&SchedEvent {
                 time: pkt.arrival,

@@ -43,7 +43,7 @@ pub use sync::SyncEngine;
 pub use threaded::{RecoveryStats, ThreadedEngine};
 
 use sfq_core::obs::SchedObserver;
-use sfq_core::{FlowId, ScfqFast, Scheduler, Sfq, SfqFast};
+use sfq_core::{FlowId, ScfqFast, Scheduler, Sfq, SfqFast, TelemetrySink};
 
 /// A scheduling discipline that can serve as an engine shard: the full
 /// [`sfq_core::Scheduler`] contract plus opt-in virtual-time rebasing,
@@ -60,11 +60,22 @@ pub trait ShardSched: Scheduler {
     /// their u64 envelope (`sfq_core::MAX_REBASE_BITS`), so the exact
     /// schedulers' default of 96 bits is safe to pass to any shard.
     fn enable_rebasing(&mut self, threshold_bits: u32);
+
+    /// Attach a telemetry counter page: every later enqueue, dequeue,
+    /// head drop, and forced removal is recorded on `sink` with plain
+    /// single-writer stores (see the `sfq-telemetry` crate and
+    /// `docs/telemetry.md`). Both drivers call this from
+    /// `attach_telemetry` so each shard writes its own page.
+    fn attach_telemetry(&mut self, sink: TelemetrySink);
 }
 
 impl<O: SchedObserver> ShardSched for Sfq<O> {
     fn enable_rebasing(&mut self, threshold_bits: u32) {
         Sfq::enable_rebasing(self, threshold_bits);
+    }
+
+    fn attach_telemetry(&mut self, sink: TelemetrySink) {
+        Sfq::attach_telemetry(self, sink);
     }
 }
 
@@ -72,11 +83,19 @@ impl<O: SchedObserver> ShardSched for SfqFast<O> {
     fn enable_rebasing(&mut self, threshold_bits: u32) {
         SfqFast::enable_rebasing(self, threshold_bits);
     }
+
+    fn attach_telemetry(&mut self, sink: TelemetrySink) {
+        SfqFast::attach_telemetry(self, sink);
+    }
 }
 
 impl<O: SchedObserver> ShardSched for ScfqFast<O> {
     fn enable_rebasing(&mut self, threshold_bits: u32) {
         ScfqFast::enable_rebasing(self, threshold_bits);
+    }
+
+    fn attach_telemetry(&mut self, sink: TelemetrySink) {
+        ScfqFast::attach_telemetry(self, sink);
     }
 }
 
@@ -87,6 +106,10 @@ impl<O: SchedObserver> ShardSched for ScfqFast<O> {
 impl<T: ShardSched + ?Sized> ShardSched for Box<T> {
     fn enable_rebasing(&mut self, threshold_bits: u32) {
         (**self).enable_rebasing(threshold_bits);
+    }
+
+    fn attach_telemetry(&mut self, sink: TelemetrySink) {
+        (**self).attach_telemetry(sink);
     }
 }
 

@@ -31,7 +31,9 @@ use sfq_core::obs::SchedObserver;
 use sfq_core::{
     FlowId, FlowMap, NoopObserver, Packet, ReconfigCmd, SchedError, Scheduler, Sfq, SfqFast,
 };
+use sfq_telemetry::{RefuseCause, TelemetryHub};
 use simtime::{Rate, SimTime};
+use std::sync::Arc;
 
 struct Shard<S> {
     sched: S,
@@ -60,6 +62,10 @@ pub struct SyncEngine<S = Sfq> {
     backlogged: Vec<bool>,
     scratch: Vec<Packet>,
     one: Vec<Packet>,
+    /// Counter pages: shard page `i` written by shard `i`'s scheduler,
+    /// engine page written here (offered / refusals). `None` until
+    /// [`SyncEngine::attach_telemetry`].
+    tele: Option<Arc<TelemetryHub>>,
 }
 
 impl SyncEngine<Sfq> {
@@ -112,7 +118,30 @@ impl<S: ShardSched> SyncEngine<S> {
             backlogged: vec![false; cfg.shards],
             scratch: Vec::new(),
             one: Vec::new(),
+            tele: None,
         }
+    }
+
+    /// Allocate one [`sfq_telemetry::StatPage`] per shard plus an
+    /// engine page, attach each shard page to its scheduler, and return
+    /// the hub an off-thread [`sfq_telemetry::Aggregator`] can snapshot.
+    /// Idempotent: a second call returns the existing hub unchanged, so
+    /// counters are never reset mid-run.
+    pub fn attach_telemetry(&mut self) -> Arc<TelemetryHub> {
+        if let Some(hub) = &self.tele {
+            return Arc::clone(hub);
+        }
+        let hub = TelemetryHub::new(self.shards.len());
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            shard.sched.attach_telemetry(hub.shard(i).clone());
+        }
+        self.tele = Some(Arc::clone(&hub));
+        hub
+    }
+
+    /// The telemetry hub, if [`SyncEngine::attach_telemetry`] ran.
+    pub fn telemetry(&self) -> Option<&Arc<TelemetryHub>> {
+        self.tele.as_ref()
     }
 }
 
@@ -153,12 +182,24 @@ impl<S: Scheduler> SyncEngine<S> {
     /// determinism). The packet is *not yet scheduled*: tags are
     /// stamped at the next [`SyncEngine::pump`] or drain.
     pub fn try_ingest(&mut self, pkt: Packet) -> Result<(), SchedError> {
+        // Every arrival is booked as offered on the engine page —
+        // accepted or refused — so the pages close the conservation
+        // identity `offered == departures + refusals + drops`.
+        if let Some(hub) = &self.tele {
+            hub.engine().record_offered(1);
+        }
         if !self.weights.contains(pkt.flow) {
+            if let Some(hub) = &self.tele {
+                hub.engine().record_refusal(RefuseCause::UnknownFlow);
+            }
             return Err(SchedError::UnknownFlow(pkt.flow));
         }
         let s = self.shard_of(pkt.flow);
         let shard = &self.shards[s];
         if shard.pending() >= self.ring_capacity {
+            if let Some(hub) = &self.tele {
+                hub.engine().record_refusal(RefuseCause::BufferFull);
+            }
             return Err(SchedError::BufferFull(pkt.flow));
         }
         shard

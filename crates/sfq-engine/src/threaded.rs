@@ -72,7 +72,10 @@
 use crate::ring::{spsc, SpscConsumer, SpscProducer};
 use crate::root::RootSfq;
 use crate::{shard_of, DegradedMode, EngineConfig, RecoveryPolicy, ShardSched};
-use sfq_core::{FlowId, FlowMap, Packet, ReconfigCmd, SchedError, Scheduler, Sfq, SfqFast};
+use sfq_core::{
+    FlowId, FlowMap, Packet, ReconfigCmd, SchedError, Scheduler, Sfq, SfqFast, TelemetrySink,
+};
+use sfq_telemetry::{RefuseCause, TelemetryHub};
 use simtime::{Rate, SimTime};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -101,6 +104,12 @@ enum Cmd {
     /// HeadDrop/pressure eviction hook). Synchronous: replies
     /// [`Resp::Evicted`].
     DropHead(FlowId),
+    /// Attach a telemetry counter page to the worker's scheduler.
+    /// Asynchronous, like `AddFlow`: the channel FIFO orders it before
+    /// any later `Pump`, so every enqueue after the coordinator-side
+    /// attach is recorded. (The page itself is shared: the sink is a
+    /// clone of the coordinator's hub entry for this shard.)
+    AttachTelemetry(TelemetrySink),
     /// Fault injection: panic inside the worker step, exercising the
     /// exact unwind-salvage-recover path a real scheduler bug would.
     Crash,
@@ -206,12 +215,34 @@ impl Worker {
                 resp.send(Resp::Drained(out)).is_ok()
             }
             Cmd::ForceRemove(flow) => {
+                // Fold the whole ring into the scheduler first: the
+                // discard count must cover every packet of the flow
+                // ingress already accepted, including residue a
+                // supervisor salvage re-pushed after the flow's last
+                // coordinator pump — left in the ring, that residue
+                // would poison the next pump once the flow is
+                // unregistered. Ring order is preserved and virtual
+                // time cannot have moved since the last dequeue (only
+                // dequeues advance it, and every drain pumps first),
+                // so the tags are identical to pumping lazily.
+                while let Some(pkt) = self.cons.pop() {
+                    self.consumed += 1;
+                    if self.poisoned.is_none() {
+                        if let Err(e) = self.sched.try_enqueue(pkt.arrival, pkt) {
+                            self.poisoned = Some(e);
+                        }
+                    }
+                }
                 let dropped = self.sched.force_remove_flow(flow);
                 resp.send(Resp::Removed(dropped)).is_ok()
             }
             Cmd::DropHead(flow) => {
                 let evicted = self.sched.drop_head(flow);
                 resp.send(Resp::Evicted(evicted)).is_ok()
+            }
+            Cmd::AttachTelemetry(sink) => {
+                self.sched.attach_telemetry(sink);
+                true
             }
             Cmd::Crash => std::panic::panic_any(InjectedFault),
             Cmd::Stop => false,
@@ -339,6 +370,13 @@ pub struct ThreadedEngine {
     /// the `&self` [`Scheduler::backlog`] the switch admission path
     /// needs.
     flow_pending: FlowMap<u64>,
+    /// Counter pages: shard page `i` written by shard `i`'s worker,
+    /// engine page written by the coordinator (offered / refusals /
+    /// recovery ledger). `None` until
+    /// [`ThreadedEngine::attach_telemetry`]. Pages survive shard
+    /// rebuilds — the supervisor bumps the page generation instead of
+    /// replacing the page, so restart recovery never double-counts.
+    tele: Option<Arc<TelemetryHub>>,
     /// Scratch for the single-packet `Scheduler` facade.
     one: Vec<Packet>,
 }
@@ -391,7 +429,33 @@ impl ThreadedEngine {
             backlogged: vec![false; cfg.shards],
             flow_pending: FlowMap::new(),
             one: Vec::new(),
+            tele: None,
         }
+    }
+
+    /// Allocate one [`sfq_telemetry::StatPage`] per shard plus an
+    /// engine page, hand each live worker its shard page (an async
+    /// command, ordered before any later pump by the channel FIFO), and
+    /// return the hub an off-thread [`sfq_telemetry::Aggregator`] can
+    /// snapshot without ever touching the workers. Idempotent: a second
+    /// call returns the existing hub unchanged.
+    pub fn attach_telemetry(&mut self) -> Arc<TelemetryHub> {
+        if let Some(hub) = &self.tele {
+            return Arc::clone(hub);
+        }
+        let hub = TelemetryHub::new(self.shards.len());
+        for i in 0..self.shards.len() {
+            if !self.dead[i] {
+                self.send(i, Cmd::AttachTelemetry(hub.shard(i).clone()));
+            }
+        }
+        self.tele = Some(Arc::clone(&hub));
+        hub
+    }
+
+    /// The telemetry hub, if [`ThreadedEngine::attach_telemetry`] ran.
+    pub fn telemetry(&self) -> Option<&Arc<TelemetryHub>> {
+        self.tele.as_ref()
     }
 
     /// Number of shards (== worker threads at construction; a dead
@@ -539,15 +603,31 @@ impl ThreadedEngine {
     /// whose home shard is down (parked) is refused with
     /// [`SchedError::ShardDown`].
     pub fn try_ingest(&mut self, pkt: Packet) -> Result<(), SchedError> {
+        // Every arrival is booked as offered on the engine page —
+        // accepted or refused — closing the conservation identity
+        // `offered == departures + refusals + drops` the telemetry
+        // conformance preset checks.
+        if let Some(hub) = &self.tele {
+            hub.engine().record_offered(1);
+        }
         if !self.weights.contains(pkt.flow) {
+            if let Some(hub) = &self.tele {
+                hub.engine().record_refusal(RefuseCause::UnknownFlow);
+            }
             return Err(SchedError::UnknownFlow(pkt.flow));
         }
         let s = self.shard_of(pkt.flow);
         if self.dead[s] {
+            if let Some(hub) = &self.tele {
+                hub.engine().record_refusal(RefuseCause::ShardDown);
+            }
             return Err(SchedError::ShardDown(pkt.flow));
         }
         let shard = &mut self.shards[s];
         if shard.pending >= self.ring_capacity {
+            if let Some(hub) = &self.tele {
+                hub.engine().record_refusal(RefuseCause::BufferFull);
+            }
             return Err(SchedError::BufferFull(pkt.flow));
         }
         let flow = pkt.flow;
@@ -664,15 +744,16 @@ impl ThreadedEngine {
         self.pending() == 0
     }
 
-    /// Discard `flow`'s scheduler-resident backlog on its home shard,
-    /// unregister the flow there, and subtract its rate from the root
-    /// aggregate (the churn fault). Synchronous round trip; mirrors
-    /// [`SyncEngine::force_remove_flow`](crate::SyncEngine) —
-    /// ring-resident packets of the flow are not discarded, so drive
-    /// this only from the eager-pump `Scheduler` facade (rings empty)
-    /// or accept the residue poisoning the shard at its next pump. If
-    /// the worker dies mid-round-trip the supervisor recovers and the
-    /// removal retries once.
+    /// Discard `flow`'s backlog on its home shard — the worker folds
+    /// its ring into the scheduler before discarding, so the count
+    /// covers ring residue too (unlike
+    /// [`SyncEngine::force_remove_flow`](crate::SyncEngine), whose
+    /// eager-pump `Scheduler` facade keeps rings empty instead) — then
+    /// unregister the flow and subtract its rate from the root
+    /// aggregate (the churn fault). Synchronous round trip. If the
+    /// worker dies mid-round-trip the supervisor recovers and the
+    /// removal retries once on the new topology, where the ring fold
+    /// also settles any residue the salvage re-pushed.
     pub fn force_remove_flow(&mut self, flow: FlowId) -> usize {
         for _attempt in 0..2 {
             let Some(s) = self.assign.get(flow).copied() else {
@@ -805,6 +886,15 @@ impl ThreadedEngine {
         }
         let pending_before = self.shards[s].pending;
         self.stats.recoveries += 1;
+        // The shard's page survives the death (cumulative counters);
+        // bumping its generation marks the restart so readers can tell
+        // "counted before the crash" from "counted after" without the
+        // supervisor ever zeroing — which is what prevents recovery
+        // from double-counting. Safe to store from the coordinator:
+        // the old writer is joined, the new one not yet spawned.
+        if let Some(hub) = &self.tele {
+            hub.shard(s).bump_generation();
+        }
         // Per-flow books: scheduler-resident packets died with the
         // worker; only the salvaged residue can still be pending.
         let homed: Vec<FlowId> = self
@@ -832,12 +922,25 @@ impl ThreadedEngine {
     fn rebuild(&mut self, s: usize, homed: &[FlowId], salvaged: Vec<Packet>, pending_before: u64) {
         self.stats.recovered += salvaged.len() as u64;
         self.stats.dropped += pending_before - salvaged.len() as u64;
+        if let Some(hub) = &self.tele {
+            hub.engine().record_recovered(salvaged.len() as u64);
+            hub.engine()
+                .record_recovery_dropped(pending_before - salvaged.len() as u64);
+        }
         self.shards[s] = spawn_shard(
             s,
             self.ring_capacity as usize,
             self.rebase_bits,
             &mut *self.mk,
         );
+        // Hand the fresh worker the *same* page (next generation): the
+        // salvaged residue below was never enqueued pre-crash (it sat
+        // in the ring), so its re-ingest books each packet exactly once.
+        if let Some(hub) = &self.tele {
+            let _ = self.shards[s]
+                .cmd
+                .send(Cmd::AttachTelemetry(hub.shard(s).clone()));
+        }
         for &flow in homed {
             if let Some(w) = self.weights.get(flow) {
                 let _ = self.shards[s].cmd.send(Cmd::AddFlow(flow, *w));
@@ -880,6 +983,9 @@ impl ThreadedEngine {
                 // the rebuild source if the policy ever changes) but
                 // the shard never reports backlog, so the root skips it.
                 self.stats.dropped += pending_before;
+                if let Some(hub) = &self.tele {
+                    hub.engine().record_recovery_dropped(pending_before);
+                }
             }
             DegradedMode::Redistribute => {
                 for &flow in homed {
@@ -917,6 +1023,10 @@ impl ThreadedEngine {
                 }
                 self.stats.recovered += kept;
                 self.stats.dropped += pending_before - kept;
+                if let Some(hub) = &self.tele {
+                    hub.engine().record_recovered(kept);
+                    hub.engine().record_recovery_dropped(pending_before - kept);
+                }
             }
         }
     }

@@ -1,0 +1,243 @@
+//! Telemetry across shard failure: killing a worker under each
+//! [`RecoveryPolicy`] must leave the counter pages coherent — the
+//! shard's page survives the death with a generation bump (never a
+//! reset), salvaged ring residue is booked as an enqueue exactly once,
+//! and the engine page's recovery ledger mirrors [`RecoveryStats`] so
+//! the conservation identity
+//! `offered == refused + dequeues + recovery_drops + force_drops +
+//! head_drops` closes at quiescence for every policy.
+
+use sfq_core::{FlowId, Packet, PacketFactory, SchedError};
+use sfq_engine::{DegradedMode, EngineConfig, RecoveryPolicy, ThreadedEngine};
+use sfq_telemetry::{Aggregator, EngineSnapshot, TelemetryHub};
+use simtime::{Bytes, Rate, SimTime};
+use std::sync::Arc;
+
+const T0: SimTime = SimTime::ZERO;
+
+fn flow_on_shard(eng: &ThreadedEngine, shard: usize, from: u32) -> FlowId {
+    (from..from + 1024)
+        .map(FlowId)
+        .find(|&f| eng.shard_of(f) == shard)
+        .expect("some flow id in range hashes to every shard")
+}
+
+fn ingest_n(eng: &mut ThreadedEngine, pf: &mut PacketFactory, flow: FlowId, n: usize, len: u64) {
+    for _ in 0..n {
+        eng.try_ingest(pf.make(flow, Bytes::new(len), T0))
+            .expect("ring has room");
+    }
+}
+
+fn drain_all(eng: &mut ThreadedEngine, out: &mut Vec<Packet>) {
+    loop {
+        let before = out.len();
+        eng.drain(T0, 1 << 20, out).expect("drain");
+        if out.len() == before {
+            return;
+        }
+    }
+}
+
+fn snapshot(hub: &Arc<TelemetryHub>) -> EngineSnapshot {
+    Aggregator::new(Arc::clone(hub))
+        .snapshot(1024)
+        .expect("quiescent snapshot")
+}
+
+/// The checks shared by every policy: the engine page's recovery
+/// ledger mirrors the supervisor's, the conservation gap is zero, and
+/// departures match the telemetry dequeue count.
+fn check_coherent(eng: &ThreadedEngine, snap: &EngineSnapshot, departed: u64) {
+    let stats = eng.recovery_stats();
+    assert_eq!(snap.engine.recovered, stats.recovered, "recovered ledger");
+    assert_eq!(snap.engine.recovery_drops, stats.dropped, "dropped ledger");
+    assert_eq!(snap.totals.dequeues, departed, "departures");
+    assert_eq!(snap.conservation_gap(), 0, "conservation at quiescence");
+}
+
+/// Restart, killed while every packet is still ring residue: the whole
+/// backlog is salvaged, re-ingested into the *same* page at the next
+/// generation, and booked as an enqueue exactly once.
+#[test]
+fn restart_books_salvaged_residue_exactly_once() {
+    let mut eng = ThreadedEngine::new(EngineConfig::new(2).batch(4).ring_capacity(64));
+    let hub = eng.attach_telemetry();
+    let victim = 0usize;
+    let fa = flow_on_shard(&eng, victim, 1);
+    let fb = flow_on_shard(&eng, 1, 1);
+    eng.try_add_flow(fa, Rate::kbps(64)).unwrap();
+    eng.try_add_flow(fb, Rate::kbps(64)).unwrap();
+    let mut pf = PacketFactory::new();
+    ingest_n(&mut eng, &mut pf, fa, 10, 800);
+    ingest_n(&mut eng, &mut pf, fb, 10, 800);
+
+    eng.inject_worker_panic(victim).unwrap();
+    let mut out = Vec::new();
+    drain_all(&mut eng, &mut out);
+    assert_eq!(out.len(), 20, "nothing lost");
+
+    let snap = snapshot(&hub);
+    check_coherent(&eng, &snap, 20);
+    assert_eq!(snap.engine.offered, 20);
+    assert_eq!(snap.engine.recovered, 10, "all ring residue salvaged");
+    assert_eq!(snap.engine.recovery_drops, 0);
+    // Exactly-once booking: 20 packets offered, 20 enqueued across all
+    // pages — the salvage → re-push round trip did not double-count.
+    assert_eq!(snap.totals.enqueues, 20);
+    // The victim's page survived the restart at the next generation;
+    // the survivor's page never bumped.
+    assert_eq!(snap.shards[victim].generation, 1);
+    assert_eq!(snap.shards[1].generation, 0);
+}
+
+/// Restart, killed after the ring was pumped: scheduler-resident
+/// packets died with the worker. Their enqueues stay on the page
+/// (counters are cumulative across generations) and the loss shows up
+/// as `recovery_drops` on the engine page, keeping the ledger closed
+/// without re-counting anything.
+#[test]
+fn restart_counts_dead_scheduler_backlog_as_recovery_drops() {
+    let mut eng = ThreadedEngine::new(EngineConfig::new(2).batch(2).ring_capacity(64));
+    let hub = eng.attach_telemetry();
+    let victim = 0usize;
+    let fa = flow_on_shard(&eng, victim, 1);
+    let fb = flow_on_shard(&eng, 1, 1);
+    eng.try_add_flow(fa, Rate::kbps(64)).unwrap();
+    eng.try_add_flow(fb, Rate::kbps(64)).unwrap();
+    let mut pf = PacketFactory::new();
+    ingest_n(&mut eng, &mut pf, fa, 10, 800);
+    ingest_n(&mut eng, &mut pf, fb, 10, 800);
+
+    // Partial drain pumps every ring packet into its shard scheduler.
+    let mut out = Vec::new();
+    eng.drain(T0, 4, &mut out).unwrap();
+
+    eng.inject_worker_panic(victim).unwrap();
+    drain_all(&mut eng, &mut out);
+
+    let snap = snapshot(&hub);
+    check_coherent(&eng, &snap, out.len() as u64);
+    assert_eq!(snap.engine.offered, 20);
+    assert_eq!(snap.engine.recovered, 0, "ring was empty at the kill");
+    assert_eq!(
+        snap.engine.recovery_drops + out.len() as u64,
+        20,
+        "drops + departures account for every offered packet"
+    );
+    // Every packet was pumped (hence enqueued) exactly once before the
+    // kill; the rebuild must not re-book the dead backlog.
+    assert_eq!(snap.totals.enqueues, 20);
+    assert_eq!(snap.shards[victim].generation, 1);
+}
+
+/// Park: the dead shard's backlog is dropped on the engine page, the
+/// page generation still bumps (the death happened), and later
+/// `ShardDown` refusals are booked by cause so the ledger keeps
+/// closing after the degrade.
+#[test]
+fn park_books_drops_and_shard_down_refusals() {
+    let cfg = EngineConfig::new(2)
+        .batch(4)
+        .ring_capacity(64)
+        .recovery(RecoveryPolicy::Degrade(DegradedMode::Park));
+    let mut eng = ThreadedEngine::new(cfg);
+    let hub = eng.attach_telemetry();
+    let victim = 1usize;
+    let fa = flow_on_shard(&eng, 0, 1);
+    let fb = flow_on_shard(&eng, victim, 1);
+    eng.try_add_flow(fa, Rate::kbps(64)).unwrap();
+    eng.try_add_flow(fb, Rate::kbps(64)).unwrap();
+    let mut pf = PacketFactory::new();
+    ingest_n(&mut eng, &mut pf, fa, 6, 700);
+    ingest_n(&mut eng, &mut pf, fb, 6, 700);
+
+    eng.inject_worker_panic(victim).unwrap();
+    let mut out = Vec::new();
+    drain_all(&mut eng, &mut out);
+    assert_eq!(out.len(), 6, "survivor flows only");
+
+    // A post-park ingest of the parked flow refuses with ShardDown —
+    // still offered, booked by cause.
+    assert_eq!(
+        eng.try_ingest(pf.make(fb, Bytes::new(100), T0)),
+        Err(SchedError::ShardDown(fb))
+    );
+    let snap = snapshot(&hub);
+    check_coherent(&eng, &snap, 6);
+    assert_eq!(snap.engine.offered, 13);
+    assert_eq!(snap.engine.recovery_drops, 6, "parked backlog dropped");
+    assert_eq!(snap.engine.refused_total(), 1);
+    assert_eq!(snap.shards[victim].generation, 1);
+}
+
+/// Redistribute: salvaged residue re-homes to a survivor and is booked
+/// on the *survivor's* page exactly once; the dead shard's page never
+/// saw those packets (they were ring residue) and keeps generation
+/// parity with the death count.
+#[test]
+fn redistribute_books_rehomed_residue_on_the_survivor() {
+    let cfg = EngineConfig::new(2)
+        .batch(4)
+        .ring_capacity(64)
+        .recovery(RecoveryPolicy::Degrade(DegradedMode::Redistribute));
+    let mut eng = ThreadedEngine::new(cfg);
+    let hub = eng.attach_telemetry();
+    let victim = 0usize;
+    let survivor = 1usize;
+    let fa = flow_on_shard(&eng, victim, 1);
+    let fb = flow_on_shard(&eng, survivor, 1);
+    eng.try_add_flow(fa, Rate::kbps(64)).unwrap();
+    eng.try_add_flow(fb, Rate::kbps(64)).unwrap();
+    let mut pf = PacketFactory::new();
+    ingest_n(&mut eng, &mut pf, fa, 6, 700);
+    ingest_n(&mut eng, &mut pf, fb, 6, 700);
+
+    eng.inject_worker_panic(victim).unwrap();
+    let mut out = Vec::new();
+    drain_all(&mut eng, &mut out);
+    assert_eq!(out.len(), 12, "nothing lost");
+
+    let snap = snapshot(&hub);
+    check_coherent(&eng, &snap, 12);
+    assert_eq!(snap.engine.recovered, 6);
+    assert_eq!(snap.engine.recovery_drops, 0);
+    assert_eq!(snap.totals.enqueues, 12, "each packet booked exactly once");
+    assert_eq!(
+        snap.shards[victim].enqueues, 0,
+        "residue never reached the dead scheduler"
+    );
+    assert_eq!(snap.shards[survivor].enqueues, 12);
+    assert_eq!(snap.shards[victim].generation, 1);
+    assert_eq!(snap.shards[survivor].generation, 0);
+}
+
+/// Attaching telemetry is idempotent and late attachment after a
+/// recovery still lands on every live shard (the rebuilt worker gets
+/// the page at spawn when the hub exists, or at the next attach).
+#[test]
+fn attach_is_idempotent_across_recovery() {
+    let mut eng = ThreadedEngine::new(EngineConfig::new(2).batch(4).ring_capacity(64));
+    let hub = eng.attach_telemetry();
+    let again = eng.attach_telemetry();
+    assert!(Arc::ptr_eq(&hub, &again), "second attach returns same hub");
+
+    let f = flow_on_shard(&eng, 0, 1);
+    eng.try_add_flow(f, Rate::kbps(64)).unwrap();
+    let mut pf = PacketFactory::new();
+    ingest_n(&mut eng, &mut pf, f, 4, 500);
+    eng.inject_worker_panic(0).unwrap();
+    let mut out = Vec::new();
+    drain_all(&mut eng, &mut out);
+    assert_eq!(out.len(), 4);
+
+    // Fresh post-recovery traffic keeps landing on the same page.
+    ingest_n(&mut eng, &mut pf, f, 3, 500);
+    let mut out2 = Vec::new();
+    drain_all(&mut eng, &mut out2);
+    assert_eq!(out2.len(), 3);
+    let snap = snapshot(&hub);
+    assert_eq!(snap.engine.offered, 7);
+    assert_eq!(snap.totals.dequeues, 7);
+    assert_eq!(snap.conservation_gap(), 0);
+}

@@ -1,0 +1,794 @@
+//! # sfq-telemetry — plain-write counter pages, read off-thread
+//!
+//! Production telemetry for the scheduling data path. The synchronous
+//! [`SchedObserver`](https://docs.rs/) layer in `sfq-obs` is exact but
+//! in-process: every event call runs on the forwarding thread, and the
+//! exact-rational tag conversions its events carry are precisely the
+//! cost the fixed-point fast path exists to avoid. This crate follows
+//! router practice instead (the R2-style counters design): each shard
+//! thread owns a [`StatPage`] of counters it updates with **plain
+//! relaxed stores** — single writer, no read-modify-write, no lock
+//! prefix on the hot path — and a control-plane [`Aggregator`] folds
+//! the pages into engine totals from another thread, using a
+//! seqlock-style epoch stamp per page to detect and retry torn reads.
+//!
+//! ## Coherence contract
+//!
+//! Counters are monotone within a page generation, and the whole page
+//! has exactly one writer at a time (ownership moves with the shard's
+//! worker thread; the thread-spawn/join edges order the handoff). A
+//! snapshot taken at a quiescent point — no writer mid-update — is
+//! exact, which is what the differential stats oracle in the
+//! conformance `telemetry` preset proves against the
+//! `CountingObserver`/conservation-ledger ground truth. A snapshot
+//! taken mid-write is either consistent (the epoch did not move) or
+//! reported as [`SnapshotError::Torn`] and retried; with a finite
+//! workload the retry terminates because the writer performs finitely
+//! many epoch bumps.
+//!
+//! See `docs/telemetry.md` for the page layout, the snapshot protocol,
+//! and the generation rule that keeps supervisor recovery from double
+//! counting.
+
+#![warn(missing_docs)]
+
+use simtime::SimTime;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Flow-class count for the per-class service counters. Classes are a
+/// coarse production-style rollup: flow id modulo [`FLOW_CLASSES`].
+pub const FLOW_CLASSES: usize = 8;
+
+/// Log2 buckets of the queueing-delay histogram. Bucket `i` counts
+/// delays in `[2^i, 2^(i+1))` nanoseconds; bucket 0 also absorbs
+/// zero/sub-nanosecond delays and the last bucket absorbs everything
+/// beyond `2^40` ns (~18 minutes).
+pub const DELAY_BUCKETS: usize = 40;
+
+/// Log2 buckets of the backlog histogram, sampled at enqueue: bucket
+/// `i` counts enqueues that left the shard backlog in
+/// `[2^i, 2^(i+1))` packets (saturating at the last bucket).
+pub const BACKLOG_BUCKETS: usize = 24;
+
+/// Why an arrival was refused before reaching a scheduler queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefuseCause {
+    /// A buffer cap or ingress ring was full (backpressure).
+    BufferFull,
+    /// The flow was not registered.
+    UnknownFlow,
+    /// The flow's shard is down (degraded engine).
+    ShardDown,
+    /// Any other refusal.
+    Other,
+}
+
+/// Refusal causes, in slot order.
+pub const REFUSE_CAUSES: [RefuseCause; 4] = [
+    RefuseCause::BufferFull,
+    RefuseCause::UnknownFlow,
+    RefuseCause::ShardDown,
+    RefuseCause::Other,
+];
+
+impl RefuseCause {
+    fn index(self) -> usize {
+        match self {
+            RefuseCause::BufferFull => 0,
+            RefuseCause::UnknownFlow => 1,
+            RefuseCause::ShardDown => 2,
+            RefuseCause::Other => 3,
+        }
+    }
+}
+
+/// Coarse flow class of a raw flow id (`flow mod FLOW_CLASSES`).
+pub fn flow_class(flow: u32) -> usize {
+    flow as usize & (FLOW_CLASSES - 1)
+}
+
+// Slot indices of the counter array. Scalar counters first, then the
+// fixed-width vector sections.
+const ENQUEUES: usize = 0;
+const ENQ_BYTES: usize = 1;
+const DEQUEUES: usize = 2;
+const DEQ_BYTES: usize = 3;
+const HEAD_DROPS: usize = 4;
+const FORCE_DROPS: usize = 5;
+const FORCE_REMOVALS: usize = 6;
+const OFFERED: usize = 7;
+const RECOVERY_DROPS: usize = 8;
+const RECOVERED: usize = 9;
+const REFUSED: usize = 10; // ..+4
+const CLASS_BYTES: usize = REFUSED + 4; // ..+FLOW_CLASSES
+const DELAY_HIST: usize = CLASS_BYTES + FLOW_CLASSES; // ..+DELAY_BUCKETS
+const BACKLOG_HIST: usize = DELAY_HIST + DELAY_BUCKETS; // ..+BACKLOG_BUCKETS
+const SLOTS: usize = BACKLOG_HIST + BACKLOG_BUCKETS;
+
+/// One shard's (or the coordinator's) counter page.
+///
+/// Cache-line aligned so adjacent pages never share a line; within a
+/// page there is no false sharing to avoid because the page has a
+/// single writer. All writer methods take `&self` and use
+/// `Relaxed` loads + stores only — on every mainstream ISA these
+/// compile to plain `mov`s, never a locked read-modify-write. The
+/// epoch stamp ([`StatPage::try_snapshot`]) is what makes concurrent
+/// off-thread reads sound.
+#[derive(Debug)]
+#[repr(align(64))]
+pub struct StatPage {
+    /// Seqlock epoch: odd while the writer is mid-update.
+    seq: AtomicU64,
+    /// Restart generation, bumped by the coordinator when a shard
+    /// worker is rebuilt over this page (see `docs/telemetry.md`).
+    generation: AtomicU64,
+    slots: [AtomicU64; SLOTS],
+}
+
+impl Default for StatPage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StatPage {
+    /// Fresh zeroed page at generation 0.
+    pub fn new() -> Self {
+        StatPage {
+            seq: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+            slots: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Open a write section: bump the epoch to odd. Single writer only.
+    #[inline(always)]
+    fn begin(&self) -> u64 {
+        let s = self.seq.load(Ordering::Relaxed);
+        self.seq.store(s.wrapping_add(1), Ordering::Relaxed);
+        // Counter stores below must not become visible before the odd
+        // epoch; a release fence orders the epoch store before them
+        // from any acquire reader's point of view.
+        fence(Ordering::Release);
+        s
+    }
+
+    /// Close the write section: bump the epoch back to even.
+    #[inline(always)]
+    fn end(&self, s: u64) {
+        self.seq.store(s.wrapping_add(2), Ordering::Release);
+    }
+
+    /// Plain single-writer increment: load + store, no RMW.
+    #[inline(always)]
+    fn bump(&self, slot: usize, by: u64) {
+        let v = self.slots[slot].load(Ordering::Relaxed);
+        self.slots[slot].store(v.wrapping_add(by), Ordering::Relaxed);
+    }
+
+    /// Record a successful scheduler enqueue. `backlog_after` is the
+    /// shard's total queued packets after the push (feeds the backlog
+    /// histogram).
+    #[inline]
+    pub fn record_enqueue(&self, len_bytes: u64, backlog_after: usize) {
+        let s = self.begin();
+        self.bump(ENQUEUES, 1);
+        self.bump(ENQ_BYTES, len_bytes);
+        self.bump(BACKLOG_HIST + backlog_bucket(backlog_after), 1);
+        self.end(s);
+    }
+
+    /// Record a dequeue (departure from the scheduler). Queueing delay
+    /// is `now - arrival`, bucketed log2 in nanoseconds; the common
+    /// synthetic-bench case `now == arrival` takes a comparison-only
+    /// fast path.
+    #[inline]
+    pub fn record_dequeue(&self, flow: u32, len_bytes: u64, arrival: SimTime, now: SimTime) {
+        let s = self.begin();
+        self.bump(DEQUEUES, 1);
+        self.bump(DEQ_BYTES, len_bytes);
+        self.bump(CLASS_BYTES + flow_class(flow), len_bytes);
+        self.bump(DELAY_HIST + delay_bucket(arrival, now), 1);
+        self.end(s);
+    }
+
+    /// Record a head-of-line eviction (`drop_head`).
+    #[inline]
+    pub fn record_head_drop(&self) {
+        let s = self.begin();
+        self.bump(HEAD_DROPS, 1);
+        self.end(s);
+    }
+
+    /// Record a `force_remove_flow` that discarded `dropped` queued
+    /// packets.
+    #[inline]
+    pub fn record_force_removed(&self, dropped: usize) {
+        let s = self.begin();
+        self.bump(FORCE_REMOVALS, 1);
+        self.bump(FORCE_DROPS, dropped as u64);
+        self.end(s);
+    }
+
+    /// Coordinator-side: a packet was offered to the engine.
+    #[inline]
+    pub fn record_offered(&self, n: u64) {
+        let s = self.begin();
+        self.bump(OFFERED, n);
+        self.end(s);
+    }
+
+    /// Coordinator-side: an arrival was refused, by cause.
+    #[inline]
+    pub fn record_refusal(&self, cause: RefuseCause) {
+        let s = self.begin();
+        self.bump(REFUSED + cause.index(), 1);
+        self.end(s);
+    }
+
+    /// Coordinator-side: the supervisor recorded `n` packets lost to a
+    /// dead worker (scheduler-resident state, or parked ring residue).
+    #[inline]
+    pub fn record_recovery_dropped(&self, n: u64) {
+        let s = self.begin();
+        self.bump(RECOVERY_DROPS, n);
+        self.end(s);
+    }
+
+    /// Coordinator-side: `n` ring-residue packets were salvaged and
+    /// re-ingested after a worker death.
+    #[inline]
+    pub fn record_recovered(&self, n: u64) {
+        let s = self.begin();
+        self.bump(RECOVERED, n);
+        self.end(s);
+    }
+
+    /// Bump the restart generation. Coordinator-only, and only while
+    /// the page's worker is provably not running (the supervisor holds
+    /// the joined worker's corpse when it rebuilds) — the page is
+    /// single-writer even across the bump.
+    pub fn bump_generation(&self) {
+        let s = self.begin();
+        let g = self.generation.load(Ordering::Relaxed);
+        self.generation.store(g + 1, Ordering::Relaxed);
+        self.end(s);
+    }
+
+    /// Current restart generation.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// One optimistic snapshot attempt. Returns [`SnapshotError::Torn`]
+    /// if a write section overlapped the read.
+    pub fn try_snapshot(&self) -> Result<PageSnapshot, SnapshotError> {
+        let s1 = self.seq.load(Ordering::Acquire);
+        if s1 & 1 == 1 {
+            return Err(SnapshotError::Torn { attempts: 1 });
+        }
+        let generation = self.generation.load(Ordering::Relaxed);
+        let mut raw = [0u64; SLOTS];
+        for (i, slot) in self.slots.iter().enumerate() {
+            raw[i] = slot.load(Ordering::Relaxed);
+        }
+        // Pairs with the writer's release fence/stores: if the epoch is
+        // unchanged after an acquire fence, no write section overlapped
+        // and the relaxed reads above are mutually consistent.
+        fence(Ordering::Acquire);
+        let s2 = self.seq.load(Ordering::Relaxed);
+        if s1 != s2 {
+            return Err(SnapshotError::Torn { attempts: 1 });
+        }
+        Ok(PageSnapshot::from_raw(generation, &raw))
+    }
+
+    /// Snapshot with bounded retry: up to `budget` attempts before
+    /// giving up with [`SnapshotError::Torn`]. Against a writer that
+    /// eventually quiesces the retry terminates — every failed attempt
+    /// is caused by an epoch bump, and a finite workload performs
+    /// finitely many bumps (proven empirically by the conformance
+    /// `telemetry` preset's torn-retry leg).
+    pub fn snapshot(&self, budget: usize) -> Result<PageSnapshot, SnapshotError> {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            match self.try_snapshot() {
+                Ok(snap) => return Ok(snap),
+                Err(_) if attempts < budget => std::hint::spin_loop(),
+                Err(_) => return Err(SnapshotError::Torn { attempts }),
+            }
+        }
+    }
+}
+
+/// Bucket index for a backlog depth (log2, saturating).
+#[inline]
+fn backlog_bucket(backlog: usize) -> usize {
+    (backlog.max(1).ilog2() as usize).min(BACKLOG_BUCKETS - 1)
+}
+
+/// Bucket index for a queueing delay (log2 nanoseconds, saturating).
+#[inline]
+fn delay_bucket(arrival: SimTime, now: SimTime) -> usize {
+    if now <= arrival {
+        return 0;
+    }
+    let ns = (now - arrival).as_secs_f64() * 1e9;
+    if ns < 2.0 {
+        return 0;
+    }
+    ((ns.log2()) as usize).min(DELAY_BUCKETS - 1)
+}
+
+/// A snapshot-time error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The page's write epoch moved during every read attempt.
+    Torn {
+        /// Attempts made before giving up.
+        attempts: usize,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Torn { attempts } => {
+                write!(f, "torn snapshot after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A consistent copy of one [`StatPage`], plain integers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PageSnapshot {
+    /// Restart generation at snapshot time.
+    pub generation: u64,
+    /// Successful scheduler enqueues.
+    pub enqueues: u64,
+    /// Bytes enqueued.
+    pub enq_bytes: u64,
+    /// Departures from the scheduler.
+    pub dequeues: u64,
+    /// Bytes departed.
+    pub deq_bytes: u64,
+    /// Head-of-line evictions (`drop_head`).
+    pub head_drops: u64,
+    /// Packets discarded by `force_remove_flow`.
+    pub force_drops: u64,
+    /// `force_remove_flow` calls that discarded a flow.
+    pub force_removals: u64,
+    /// Packets offered to the engine (coordinator page only).
+    pub offered: u64,
+    /// Packets the supervisor recorded as lost to dead workers.
+    pub recovery_drops: u64,
+    /// Ring-residue packets salvaged and re-ingested after a death.
+    pub recovered: u64,
+    /// Refusals by cause, in [`REFUSE_CAUSES`] order.
+    pub refused: [u64; 4],
+    /// Bytes served per flow class (`flow mod FLOW_CLASSES`).
+    pub class_bytes: [u64; FLOW_CLASSES],
+    /// Log2 queueing-delay histogram (nanoseconds).
+    pub delay_hist: [u64; DELAY_BUCKETS],
+    /// Log2 backlog histogram (packets, sampled at enqueue).
+    pub backlog_hist: [u64; BACKLOG_BUCKETS],
+}
+
+impl Default for PageSnapshot {
+    fn default() -> Self {
+        PageSnapshot {
+            generation: 0,
+            enqueues: 0,
+            enq_bytes: 0,
+            dequeues: 0,
+            deq_bytes: 0,
+            head_drops: 0,
+            force_drops: 0,
+            force_removals: 0,
+            offered: 0,
+            recovery_drops: 0,
+            recovered: 0,
+            refused: [0; 4],
+            class_bytes: [0; FLOW_CLASSES],
+            delay_hist: [0; DELAY_BUCKETS],
+            backlog_hist: [0; BACKLOG_BUCKETS],
+        }
+    }
+}
+
+impl PageSnapshot {
+    fn from_raw(generation: u64, raw: &[u64; SLOTS]) -> Self {
+        let mut snap = PageSnapshot {
+            generation,
+            enqueues: raw[ENQUEUES],
+            enq_bytes: raw[ENQ_BYTES],
+            dequeues: raw[DEQUEUES],
+            deq_bytes: raw[DEQ_BYTES],
+            head_drops: raw[HEAD_DROPS],
+            force_drops: raw[FORCE_DROPS],
+            force_removals: raw[FORCE_REMOVALS],
+            offered: raw[OFFERED],
+            recovery_drops: raw[RECOVERY_DROPS],
+            recovered: raw[RECOVERED],
+            ..PageSnapshot::default()
+        };
+        snap.refused.copy_from_slice(&raw[REFUSED..REFUSED + 4]);
+        snap.class_bytes
+            .copy_from_slice(&raw[CLASS_BYTES..CLASS_BYTES + FLOW_CLASSES]);
+        snap.delay_hist
+            .copy_from_slice(&raw[DELAY_HIST..DELAY_HIST + DELAY_BUCKETS]);
+        snap.backlog_hist
+            .copy_from_slice(&raw[BACKLOG_HIST..BACKLOG_HIST + BACKLOG_BUCKETS]);
+        snap
+    }
+
+    /// Total refusals across causes.
+    pub fn refused_total(&self) -> u64 {
+        self.refused.iter().sum()
+    }
+
+    /// Packets still resident in the scheduler per this page's books:
+    /// `enqueues - dequeues - head_drops - force_drops`. On a page that
+    /// lost a worker mid-backlog this *includes* the lost packets until
+    /// the coordinator's `recovery_drops` are netted against it — see
+    /// the generation rule in `docs/telemetry.md`.
+    pub fn resident(&self) -> i128 {
+        self.enqueues as i128
+            - self.dequeues as i128
+            - self.head_drops as i128
+            - self.force_drops as i128
+    }
+
+    /// Fold another page's counters into this one (histograms and
+    /// vectors add element-wise; `generation` takes the max).
+    pub fn merge(&mut self, other: &PageSnapshot) {
+        self.generation = self.generation.max(other.generation);
+        self.enqueues += other.enqueues;
+        self.enq_bytes += other.enq_bytes;
+        self.dequeues += other.dequeues;
+        self.deq_bytes += other.deq_bytes;
+        self.head_drops += other.head_drops;
+        self.force_drops += other.force_drops;
+        self.force_removals += other.force_removals;
+        self.offered += other.offered;
+        self.recovery_drops += other.recovery_drops;
+        self.recovered += other.recovered;
+        for i in 0..4 {
+            self.refused[i] += other.refused[i];
+        }
+        for i in 0..FLOW_CLASSES {
+            self.class_bytes[i] += other.class_bytes[i];
+        }
+        for i in 0..DELAY_BUCKETS {
+            self.delay_hist[i] += other.delay_hist[i];
+        }
+        for i in 0..BACKLOG_BUCKETS {
+            self.backlog_hist[i] += other.backlog_hist[i];
+        }
+    }
+
+    /// Approximate delay percentile (0–100) as the upper bound of the
+    /// bucket containing it, in nanoseconds. `None` when no delays were
+    /// recorded.
+    pub fn delay_percentile_ns(&self, pct: f64) -> Option<u64> {
+        let total: u64 = self.delay_hist.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = (pct.clamp(0.0, 100.0) / 100.0 * total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.delay_hist.iter().enumerate() {
+            seen += n;
+            if seen >= target.max(1) {
+                return Some(1u64 << (i + 1).min(63));
+            }
+        }
+        Some(1u64 << DELAY_BUCKETS.min(63))
+    }
+}
+
+/// A cloneable writer handle on a [`StatPage`].
+///
+/// Cloning shares the page; the single-writer discipline is the
+/// *caller's* contract — exactly one thread calls the record methods at
+/// a time (scheduler shards satisfy it by construction: a shard's
+/// scheduler lives on one worker thread).
+#[derive(Clone, Debug)]
+pub struct TelemetrySink {
+    page: Arc<StatPage>,
+}
+
+impl Default for TelemetrySink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TelemetrySink {
+    /// Sink over a fresh page.
+    pub fn new() -> Self {
+        TelemetrySink {
+            page: Arc::new(StatPage::new()),
+        }
+    }
+
+    /// Sink over an existing page.
+    pub fn for_page(page: Arc<StatPage>) -> Self {
+        TelemetrySink { page }
+    }
+
+    /// The underlying page, for readers.
+    pub fn page(&self) -> &Arc<StatPage> {
+        &self.page
+    }
+}
+
+impl std::ops::Deref for TelemetrySink {
+    type Target = StatPage;
+    fn deref(&self) -> &StatPage {
+        &self.page
+    }
+}
+
+/// The coordinator-allocated page set of one engine: one engine-level
+/// page (offered / refusals / recovery accounting, written by the
+/// coordinator thread) plus one page per shard (written by the shard's
+/// worker). Shared with the off-thread [`Aggregator`] through an `Arc`.
+#[derive(Debug)]
+pub struct TelemetryHub {
+    engine: TelemetrySink,
+    shards: Vec<TelemetrySink>,
+}
+
+impl TelemetryHub {
+    /// Hub for an engine with `shards` shards.
+    pub fn new(shards: usize) -> Arc<TelemetryHub> {
+        Arc::new(TelemetryHub {
+            engine: TelemetrySink::new(),
+            shards: (0..shards).map(|_| TelemetrySink::new()).collect(),
+        })
+    }
+
+    /// The coordinator's engine-level sink.
+    pub fn engine(&self) -> &TelemetrySink {
+        &self.engine
+    }
+
+    /// Shard `i`'s sink.
+    pub fn shard(&self, i: usize) -> &TelemetrySink {
+        &self.shards[i]
+    }
+
+    /// All shard sinks.
+    pub fn shards(&self) -> &[TelemetrySink] {
+        &self.shards
+    }
+}
+
+/// Everything one aggregation pass produced.
+#[derive(Clone, Debug)]
+pub struct EngineSnapshot {
+    /// The coordinator page.
+    pub engine: PageSnapshot,
+    /// Every shard page, in shard order.
+    pub shards: Vec<PageSnapshot>,
+    /// Shard pages folded together.
+    pub totals: PageSnapshot,
+}
+
+impl EngineSnapshot {
+    /// The drained-state conservation identity, as read purely from the
+    /// pages: `offered - (refusals + dequeues + recovery_drops +
+    /// force_drops + head_drops)`. Zero at any quiescent point where
+    /// the engine has fully drained (`pending() == 0`); the difference
+    /// equals the packets still resident in rings + schedulers
+    /// otherwise.
+    pub fn conservation_gap(&self) -> i128 {
+        self.engine.offered as i128
+            - (self.engine.refused_total() as i128
+                + self.totals.dequeues as i128
+                + self.engine.recovery_drops as i128
+                + self.totals.force_drops as i128
+                + self.totals.head_drops as i128)
+    }
+}
+
+/// Off-thread reader folding a [`TelemetryHub`]'s pages into engine
+/// totals without touching the workers.
+#[derive(Clone, Debug)]
+pub struct Aggregator {
+    hub: Arc<TelemetryHub>,
+}
+
+impl Aggregator {
+    /// Aggregator over `hub`.
+    pub fn new(hub: Arc<TelemetryHub>) -> Self {
+        Aggregator { hub }
+    }
+
+    /// Snapshot every page (each with up to `budget` seqlock retries)
+    /// and fold the shard pages into totals.
+    pub fn snapshot(&self, budget: usize) -> Result<EngineSnapshot, SnapshotError> {
+        let engine = self.hub.engine.snapshot(budget)?;
+        let mut shards = Vec::with_capacity(self.hub.shards.len());
+        let mut totals = PageSnapshot::default();
+        for s in &self.hub.shards {
+            let snap = s.snapshot(budget)?;
+            totals.merge(&snap);
+            shards.push(snap);
+        }
+        Ok(EngineSnapshot {
+            engine,
+            shards,
+            totals,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_writer_counts_are_exact() {
+        let sink = TelemetrySink::new();
+        let t0 = SimTime::ZERO;
+        let t1 = SimTime::from_micros(3);
+        for i in 0..100u32 {
+            sink.record_enqueue(200, (i + 1) as usize);
+        }
+        for i in 0..60u32 {
+            sink.record_dequeue(i % 4, 200, t0, t1);
+        }
+        sink.record_head_drop();
+        sink.record_force_removed(7);
+        let snap = sink.snapshot(8).expect("no writer running");
+        assert_eq!(snap.enqueues, 100);
+        assert_eq!(snap.enq_bytes, 20_000);
+        assert_eq!(snap.dequeues, 60);
+        assert_eq!(snap.deq_bytes, 12_000);
+        assert_eq!(snap.head_drops, 1);
+        assert_eq!(snap.force_drops, 7);
+        assert_eq!(snap.force_removals, 1);
+        assert_eq!(snap.resident(), 100 - 60 - 1 - 7);
+        assert_eq!(snap.class_bytes.iter().sum::<u64>(), 12_000);
+        assert_eq!(snap.delay_hist.iter().sum::<u64>(), 60);
+        assert_eq!(snap.backlog_hist.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn torn_read_is_detected_and_retried() {
+        let page = StatPage::new();
+        // Hold a write section open: every snapshot attempt must
+        // report Torn, none may return half-updated counters.
+        let s = page.begin();
+        page.bump(super::ENQUEUES, 1);
+        assert!(matches!(
+            page.try_snapshot(),
+            Err(SnapshotError::Torn { .. })
+        ));
+        assert!(matches!(
+            page.snapshot(4),
+            Err(SnapshotError::Torn { attempts: 4 })
+        ));
+        page.end(s);
+        let snap = page.try_snapshot().expect("write section closed");
+        assert_eq!(snap.enqueues, 1);
+    }
+
+    #[test]
+    fn generation_bump_is_visible_and_keeps_counters() {
+        let sink = TelemetrySink::new();
+        sink.record_enqueue(100, 1);
+        assert_eq!(sink.generation(), 0);
+        sink.bump_generation();
+        assert_eq!(sink.generation(), 1);
+        let snap = sink.snapshot(8).unwrap();
+        assert_eq!(snap.generation, 1);
+        assert_eq!(
+            snap.enqueues, 1,
+            "counters are cumulative across generations"
+        );
+    }
+
+    #[test]
+    fn delay_buckets_are_log2_ns() {
+        let t0 = SimTime::ZERO;
+        assert_eq!(delay_bucket(t0, t0), 0);
+        assert_eq!(delay_bucket(t0, SimTime::from_nanos(1)), 0);
+        assert_eq!(delay_bucket(t0, SimTime::from_nanos(2)), 1);
+        assert_eq!(delay_bucket(t0, SimTime::from_nanos(1024)), 10);
+        assert_eq!(delay_bucket(t0, SimTime::from_micros(1)), 9);
+        assert_eq!(
+            delay_bucket(t0, SimTime::from_secs(10_000_000)),
+            DELAY_BUCKETS - 1
+        );
+    }
+
+    #[test]
+    fn backlog_buckets_saturate() {
+        assert_eq!(backlog_bucket(0), 0);
+        assert_eq!(backlog_bucket(1), 0);
+        assert_eq!(backlog_bucket(2), 1);
+        assert_eq!(backlog_bucket(3), 1);
+        assert_eq!(backlog_bucket(1024), 10);
+        assert_eq!(backlog_bucket(usize::MAX), BACKLOG_BUCKETS - 1);
+    }
+
+    #[test]
+    fn aggregator_folds_shard_pages() {
+        let hub = TelemetryHub::new(3);
+        let t0 = SimTime::ZERO;
+        for (i, s) in hub.shards().iter().enumerate() {
+            for _ in 0..=i {
+                s.record_enqueue(100, 1);
+                s.record_dequeue(i as u32, 100, t0, t0);
+            }
+        }
+        hub.engine().record_offered(6);
+        let agg = Aggregator::new(Arc::clone(&hub));
+        let snap = agg.snapshot(8).unwrap();
+        assert_eq!(snap.totals.enqueues, 6);
+        assert_eq!(snap.totals.dequeues, 6);
+        assert_eq!(snap.engine.offered, 6);
+        assert_eq!(snap.conservation_gap(), 0);
+        assert_eq!(snap.shards.len(), 3);
+    }
+
+    #[test]
+    fn concurrent_reader_never_sees_torn_totals() {
+        // The writer keeps enqueue/dequeue in lockstep inside write
+        // sections; a racing reader must only ever observe equal
+        // counts (or report Torn), never a half-applied update.
+        let sink = TelemetrySink::new();
+        let page = Arc::clone(sink.page());
+        let stop = Arc::new(AtomicU64::new(0));
+        let stop2 = Arc::clone(&stop);
+        let reader = std::thread::spawn(move || {
+            let mut seen = 0u64;
+            let mut torn = 0u64;
+            while stop2.load(Ordering::Relaxed) == 0 {
+                match page.try_snapshot() {
+                    Ok(s) => {
+                        assert_eq!(
+                            s.enqueues, s.dequeues,
+                            "torn page slipped past the epoch check"
+                        );
+                        seen += 1;
+                    }
+                    Err(_) => torn += 1,
+                }
+            }
+            (seen, torn)
+        });
+        let t0 = SimTime::ZERO;
+        for _ in 0..200_000 {
+            let s = sink.begin();
+            sink.bump(super::ENQUEUES, 1);
+            sink.bump(super::DEQUEUES, 1);
+            sink.end(s);
+        }
+        let _ = t0;
+        stop.store(1, Ordering::Relaxed);
+        let (seen, _torn) = reader.join().unwrap();
+        assert!(seen > 0, "reader never got a consistent snapshot");
+        let snap = sink.snapshot(64).unwrap();
+        assert_eq!(snap.enqueues, 200_000);
+        assert_eq!(snap.dequeues, 200_000);
+    }
+
+    #[test]
+    fn delay_percentiles_walk_the_histogram() {
+        let mut snap = PageSnapshot::default();
+        assert_eq!(snap.delay_percentile_ns(99.0), None);
+        snap.delay_hist[0] = 90;
+        snap.delay_hist[10] = 10;
+        assert_eq!(snap.delay_percentile_ns(50.0), Some(2));
+        assert_eq!(snap.delay_percentile_ns(99.0), Some(1 << 11));
+    }
+}

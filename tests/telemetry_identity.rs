@@ -1,0 +1,340 @@
+//! Differential stats oracle for the telemetry plane (see
+//! `docs/telemetry.md`): the plain-write counter pages of
+//! `sfq-telemetry` must agree *bit for bit* with the synchronous
+//! [`CountingObserver`] ground truth — the observer sits inside the
+//! scheduler's event path, the page is written with relaxed stores and
+//! read through a seqlock, and any divergence means a recording hook is
+//! missing, double-firing, or torn.
+//!
+//! Three layers:
+//!
+//! 1. **Core schedulers.** `Sfq`, `SfqFast`, `ScfqFast`, and the SCFQ
+//!    baseline run the same seeded op schedule (enqueues, dequeues,
+//!    head drops, force-removals, weight churn) with both a counting
+//!    observer and a telemetry page attached; every shared counter must
+//!    match exactly, and the page's internal identities (histogram
+//!    masses, per-class byte split, resident count) must close.
+//! 2. **Engine drivers.** `SyncEngine` and `ThreadedEngine` run the
+//!    same call sequence with pages attached; the aggregated
+//!    `EngineSnapshot` must reproduce the driver-side ledger (offered,
+//!    refusals by cause, departures, force drops) and close the
+//!    conservation identity at quiescence — and the two drivers'
+//!    snapshots must be identical to each other, page by page, the
+//!    telemetry face of the engine determinism contract.
+//! 3. **Reconfig churn.** Weight changes and force-removals are part of
+//!    the op alphabet throughout, so the identities hold across live
+//!    reconfiguration, not just steady-state forwarding.
+
+use proptest::prelude::*;
+use sfq_engine::{EngineConfig, SyncEngine, ThreadedEngine};
+use sfq_repro::core::ReconfigCmd;
+use sfq_repro::prelude::*;
+use sfq_telemetry::{Aggregator, EngineSnapshot, PageSnapshot, TelemetryHub, TelemetrySink};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+const FLOWS: u32 = 6;
+const SNAP_BUDGET: usize = 1024;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Enqueue a packet of the given length for flow index `0..FLOWS`.
+    Enq(u32, u64),
+    /// Dequeue (drain) up to the given number of packets.
+    Deq(u8),
+    /// Evict the flow's head-of-line packet.
+    DropHead(u32),
+    /// Force-remove the flow mid-backlog (the churn fault).
+    ForceRemove(u32),
+    /// (Re-)register the flow at a fresh weight.
+    AddFlow(u32, u64),
+    /// Live weight change (tag-rewrite reconfiguration).
+    SetWeight(u32, u64),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            // Enqueues and dequeues repeated so the schedule is mostly
+            // forwarding with occasional churn.
+            (0..FLOWS, 64u64..1500).prop_map(|(f, l)| Op::Enq(f, l)),
+            (0..FLOWS, 64u64..1500).prop_map(|(f, l)| Op::Enq(f, l)),
+            (0..FLOWS, 64u64..1500).prop_map(|(f, l)| Op::Enq(f, l)),
+            (0..FLOWS, 64u64..1500).prop_map(|(f, l)| Op::Enq(f, l)),
+            (1u8..8).prop_map(Op::Deq),
+            (1u8..8).prop_map(Op::Deq),
+            (0..FLOWS).prop_map(Op::DropHead),
+            (0..FLOWS).prop_map(Op::ForceRemove),
+            (0..FLOWS, 1u64..64).prop_map(|(f, k)| Op::AddFlow(f, k)),
+            (0..FLOWS, 1u64..64).prop_map(|(f, k)| Op::SetWeight(f, k)),
+        ],
+        1..250,
+    )
+}
+
+/// What the test driver itself observed — the ledger every page must
+/// reproduce.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct Ledger {
+    offered: u64,
+    refused: u64,
+    departures: u64,
+    head_drops: u64,
+    force_drops: u64,
+}
+
+/// Check the identities a single scheduler page must satisfy on its
+/// own: histogram masses equal the event counts, the per-class byte
+/// split sums to the byte total, and the resident derivation matches
+/// the live queue length.
+fn check_page_self_consistency(snap: &PageSnapshot, live_len: usize, ctx: &str) {
+    assert_eq!(
+        snap.delay_hist.iter().sum::<u64>(),
+        snap.dequeues,
+        "{ctx}: delay histogram mass != dequeues"
+    );
+    assert_eq!(
+        snap.backlog_hist.iter().sum::<u64>(),
+        snap.enqueues,
+        "{ctx}: backlog histogram mass != enqueues"
+    );
+    assert_eq!(
+        snap.class_bytes.iter().sum::<u64>(),
+        snap.deq_bytes,
+        "{ctx}: per-class service bytes != dequeued bytes"
+    );
+    assert_eq!(
+        snap.resident(),
+        live_len as i128,
+        "{ctx}: page resident count != scheduler len"
+    );
+}
+
+/// Drive one core scheduler (counting observer attached at
+/// construction, telemetry page via `attach`) through `ops` at a
+/// slowly advancing clock, then reconcile page against observer.
+fn check_core_scheduler<S: Scheduler>(
+    mut sched: S,
+    counts: Rc<RefCell<CountingObserver>>,
+    sink: TelemetrySink,
+    ops: &[Op],
+    ctx: &str,
+) {
+    let mut pf = PacketFactory::new();
+    let mut now = SimTime::ZERO;
+    for f in 0..FLOWS {
+        sched.add_flow(FlowId(f + 1), Rate::kbps(8 * (f as u64 + 1)));
+    }
+    for op in ops {
+        now += SimDuration::from_micros(50);
+        match *op {
+            Op::Enq(f, len) => {
+                let pkt = pf.make(FlowId(f + 1), Bytes::new(len), now);
+                let _ = sched.try_enqueue(now, pkt);
+            }
+            Op::Deq(k) => {
+                for _ in 0..k {
+                    if sched.dequeue(now).is_some() {
+                        sched.on_departure(now);
+                    }
+                }
+            }
+            Op::DropHead(f) => {
+                sched.drop_head(FlowId(f + 1));
+            }
+            Op::ForceRemove(f) => {
+                sched.force_remove_flow(FlowId(f + 1));
+            }
+            Op::AddFlow(f, k) => {
+                let _ = sched.try_reconfig(ReconfigCmd::AddFlow(FlowId(f + 1), Rate::kbps(k)));
+            }
+            Op::SetWeight(f, k) => {
+                let _ = sched.try_reconfig(ReconfigCmd::SetWeight(FlowId(f + 1), Rate::kbps(k)));
+            }
+        }
+    }
+    let snap = sink.page().snapshot(SNAP_BUDGET).expect("snapshot");
+    let truth = counts.borrow();
+    assert_eq!(snap.enqueues, truth.enqueued, "{ctx}: enqueues");
+    assert_eq!(snap.dequeues, truth.dequeued, "{ctx}: dequeues");
+    assert_eq!(snap.head_drops, truth.dropped, "{ctx}: head drops");
+    assert_eq!(snap.force_drops, truth.force_dropped, "{ctx}: force drops");
+    assert_eq!(
+        snap.force_removals, truth.flows_force_removed,
+        "{ctx}: force removals"
+    );
+    check_page_self_consistency(&snap, sched.len(), ctx);
+}
+
+/// Drive an engine (either driver) through `ops` via its `Scheduler`
+/// facade, recording the driver-side ledger.
+fn drive_engine<S: Scheduler>(eng: &mut S, ops: &[Op]) -> Ledger {
+    let mut pf = PacketFactory::new();
+    let mut now = SimTime::ZERO;
+    let mut ledger = Ledger::default();
+    for f in 0..FLOWS {
+        eng.add_flow(FlowId(f + 1), Rate::kbps(8 * (f as u64 + 1)));
+    }
+    for op in ops {
+        now += SimDuration::from_micros(50);
+        match *op {
+            Op::Enq(f, len) => {
+                let pkt = pf.make(FlowId(f + 1), Bytes::new(len), now);
+                ledger.offered += 1;
+                match eng.try_enqueue(now, pkt) {
+                    Ok(()) => {}
+                    Err(_) => ledger.refused += 1,
+                }
+            }
+            Op::Deq(k) => {
+                for _ in 0..k {
+                    if let Ok(Some(_)) = eng.try_dequeue(now) {
+                        ledger.departures += 1;
+                    }
+                }
+            }
+            Op::DropHead(f) => {
+                if eng.drop_head(FlowId(f + 1)).is_some() {
+                    ledger.head_drops += 1;
+                }
+            }
+            Op::ForceRemove(f) => {
+                ledger.force_drops += eng.force_remove_flow(FlowId(f + 1)) as u64;
+            }
+            Op::AddFlow(f, k) => {
+                let _ = eng.try_reconfig(ReconfigCmd::AddFlow(FlowId(f + 1), Rate::kbps(k)));
+            }
+            Op::SetWeight(f, k) => {
+                let _ = eng.try_reconfig(ReconfigCmd::SetWeight(FlowId(f + 1), Rate::kbps(k)));
+            }
+        }
+    }
+    // Drain to quiescence so every page is fully synchronized (each
+    // backlogged shard gets one final synchronous round trip) and the
+    // conservation identity closes exactly.
+    while let Ok(Some(_)) = eng.try_dequeue(now) {
+        ledger.departures += 1;
+    }
+    ledger
+}
+
+/// Reconcile an engine snapshot against the driver ledger. No shard
+/// kills here, so the recovery counters must be zero.
+fn check_engine_snapshot(snap: &EngineSnapshot, ledger: &Ledger, ctx: &str) {
+    assert_eq!(snap.engine.offered, ledger.offered, "{ctx}: offered");
+    assert_eq!(
+        snap.engine.refused_total(),
+        ledger.refused,
+        "{ctx}: refusals"
+    );
+    assert_eq!(snap.totals.dequeues, ledger.departures, "{ctx}: departures");
+    assert_eq!(
+        snap.totals.head_drops, ledger.head_drops,
+        "{ctx}: head drops"
+    );
+    assert_eq!(
+        snap.totals.force_drops, ledger.force_drops,
+        "{ctx}: force drops"
+    );
+    assert_eq!(snap.engine.recovery_drops, 0, "{ctx}: no kills injected");
+    assert_eq!(snap.engine.recovered, 0, "{ctx}: no kills injected");
+    // Accepted packets all reached a shard scheduler (quiescent), and
+    // every one of them departed or was dropped by an eviction hook.
+    assert_eq!(
+        snap.totals.enqueues,
+        ledger.offered - ledger.refused,
+        "{ctx}: accepted != shard enqueues"
+    );
+    assert_eq!(snap.conservation_gap(), 0, "{ctx}: conservation gap");
+}
+
+fn engine_snapshot(hub: &Arc<TelemetryHub>) -> EngineSnapshot {
+    Aggregator::new(Arc::clone(hub))
+        .snapshot(SNAP_BUDGET)
+        .expect("engine snapshot")
+}
+
+fn check_all(ops: &[Op]) {
+    // Layer 1: the four core schedulers against the counting observer.
+    {
+        let c = Rc::new(RefCell::new(CountingObserver::new()));
+        let sink = TelemetrySink::new();
+        let mut s = Sfq::with_observer(TieBreak::default(), Rc::clone(&c));
+        s.attach_telemetry(sink.clone());
+        check_core_scheduler(s, c, sink, ops, "Sfq");
+    }
+    {
+        let c = Rc::new(RefCell::new(CountingObserver::new()));
+        let sink = TelemetrySink::new();
+        let mut s = SfqFast::with_observer(TieBreak::default(), Rc::clone(&c));
+        s.attach_telemetry(sink.clone());
+        check_core_scheduler(s, c, sink, ops, "SfqFast");
+    }
+    {
+        let c = Rc::new(RefCell::new(CountingObserver::new()));
+        let sink = TelemetrySink::new();
+        let mut s = ScfqFast::with_observer(Rc::clone(&c));
+        s.attach_telemetry(sink.clone());
+        check_core_scheduler(s, c, sink, ops, "ScfqFast");
+    }
+    {
+        let c = Rc::new(RefCell::new(CountingObserver::new()));
+        let sink = TelemetrySink::new();
+        let mut s = Scfq::with_observer(Rc::clone(&c));
+        s.attach_telemetry(sink.clone());
+        check_core_scheduler(s, c, sink, ops, "Scfq");
+    }
+
+    // Layer 2: both engine drivers, small rings so backpressure
+    // refusals actually fire, then page-by-page driver identity.
+    let cfg = EngineConfig::new(3).batch(4).ring_capacity(16);
+    let mut sync = SyncEngine::new(cfg);
+    let sync_hub = sync.attach_telemetry();
+    let sync_ledger = drive_engine(&mut sync, ops);
+    let sync_snap = engine_snapshot(&sync_hub);
+    check_engine_snapshot(&sync_snap, &sync_ledger, "SyncEngine");
+
+    let mut threaded = ThreadedEngine::new(cfg);
+    let thr_hub = threaded.attach_telemetry();
+    let thr_ledger = drive_engine(&mut threaded, ops);
+    let thr_snap = engine_snapshot(&thr_hub);
+    check_engine_snapshot(&thr_snap, &thr_ledger, "ThreadedEngine");
+
+    assert_eq!(sync_ledger, thr_ledger, "driver ledgers diverged");
+    assert_eq!(
+        sync_snap.engine, thr_snap.engine,
+        "engine pages diverged between drivers"
+    );
+    assert_eq!(
+        sync_snap.shards, thr_snap.shards,
+        "shard pages diverged between drivers"
+    );
+    assert_eq!(sync_snap.totals, thr_snap.totals, "totals diverged");
+}
+
+proptest! {
+    #[test]
+    fn telemetry_matches_counting_observer(ops in ops()) {
+        check_all(&ops);
+    }
+}
+
+/// Pinned schedule: always runs, exercising every op kind including
+/// refusals (ring capacity 16 with a 40-packet burst) and churn.
+#[test]
+fn pinned_schedule_holds_the_identities() {
+    let mut ops = Vec::new();
+    for i in 0..40u32 {
+        ops.push(Op::Enq(i % FLOWS, 700 + i as u64));
+    }
+    ops.push(Op::SetWeight(1, 13));
+    ops.push(Op::Deq(6));
+    ops.push(Op::DropHead(2));
+    ops.push(Op::ForceRemove(3));
+    ops.push(Op::Enq(3, 900)); // refused: flow 4 was just removed
+    ops.push(Op::AddFlow(3, 21));
+    ops.push(Op::Enq(3, 901));
+    ops.push(Op::Deq(50));
+    check_all(&ops);
+}
